@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction bench binaries: training
+ * recipes at bench scale, evaluation wrappers, and table formatting.
+ *
+ * Scale note: every algorithm bench trains the DESIGN.md §1 stand-in
+ * models on the synthetic datasets at laptop scale. Absolute
+ * accuracies therefore differ from the paper; the quantity each bench
+ * reproduces is the *shape* — the sign and rough magnitude of the
+ * RPS-vs-baseline gaps. Set TWOINONE_BENCH_FAST=1 to shrink every
+ * workload ~2x for smoke runs.
+ */
+
+#ifndef TWOINONE_BENCH_BENCH_UTIL_HH
+#define TWOINONE_BENCH_BENCH_UTIL_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "adversarial/evaluation.hh"
+#include "adversarial/trainer.hh"
+#include "common/stats.hh"
+#include "nn/model_zoo.hh"
+
+namespace twoinone {
+namespace bench {
+
+/** True when TWOINONE_BENCH_FAST=1 is set. */
+inline bool
+fastMode()
+{
+    const char *v = std::getenv("TWOINONE_BENCH_FAST");
+    return v != nullptr && std::string(v) == "1";
+}
+
+/** Scale a sample count by the fast-mode factor. */
+inline int
+scaled(int n)
+{
+    return fastMode() ? std::max(32, n / 2) : n;
+}
+
+/** Bench-scale training hyper-parameters. */
+inline TrainConfig
+benchTrainConfig(TrainMethod method, bool rps, uint64_t seed)
+{
+    TrainConfig cfg;
+    cfg.method = method;
+    cfg.rps = rps;
+    // RPS splits its training iterations across the candidate
+    // precisions, so it needs more epochs to converge every SBN bank
+    // (the paper trains all methods to convergence).
+    cfg.epochs = (fastMode() ? 2 : 6) * (rps ? 2 : 1);
+    cfg.batchSize = 64;
+    cfg.lr = 0.08f;
+    cfg.eps = 8.0f / 255.0f;
+    cfg.alpha = 2.0f / 255.0f;
+    cfg.seed = seed;
+    return cfg;
+}
+
+/** The two CIFAR-scale model stand-ins used by Tabs. 1-3. */
+inline Network
+makePreActMini(const PrecisionSet &set, int num_classes, Rng &rng)
+{
+    ModelConfig cfg;
+    cfg.baseWidth = 4;
+    cfg.numClasses = num_classes;
+    cfg.precisions = set;
+    return preActResNetMini(cfg, rng);
+}
+
+inline Network
+makeWideMini(const PrecisionSet &set, int num_classes, Rng &rng)
+{
+    ModelConfig cfg;
+    cfg.baseWidth = 4;
+    cfg.numClasses = num_classes;
+    cfg.precisions = set;
+    return wideResNetMini(cfg, rng);
+}
+
+/**
+ * Train a model with a method, optionally RPS-equipped, and return
+ * it. Baselines (rps = false) train at full precision, matching the
+ * paper's full-precision adversarial-training baselines.
+ */
+inline Network
+trainModel(Network model, TrainMethod method, bool rps,
+           const Dataset &train, uint64_t seed)
+{
+    Trainer trainer(model, benchTrainConfig(method, rps, seed));
+    trainer.fit(train);
+    model.setPrecision(0);
+    return model;
+}
+
+/** Robust accuracy of a baseline model (attacked and evaluated at
+ * full precision, the paper's baseline protocol). */
+inline double
+baselineRobust(Network &model, Attack &attack, const Dataset &data,
+               Rng &rng)
+{
+    return robustAccuracy(model, attack, data, 0, 0, rng);
+}
+
+/** Print a section banner. */
+inline void
+banner(const std::string &title)
+{
+    std::cout << "\n=== " << title << " ===\n";
+}
+
+/** Print the standard scale disclaimer once per bench. */
+inline void
+scaleNote()
+{
+    std::cout << "(laptop-scale reproduction: synthetic datasets + "
+                 "mini models; compare shapes, not absolute values — "
+                 "see DESIGN.md)\n";
+}
+
+} // namespace bench
+} // namespace twoinone
+
+#endif // TWOINONE_BENCH_BENCH_UTIL_HH

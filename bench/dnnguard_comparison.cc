@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Paper Sec. 4.3.2: throughput/area of the 2-in-1 Accelerator vs the
+ * robustness-aware DNNGuard on AlexNet, VGG-16 and ResNet-50, with
+ * the RPS precision sets 4~8 and 4~16 (ours averages FPS over the
+ * set). Paper reference: 36.5x/17.9x (AlexNet), 19.3x/9.5x (VGG-16),
+ * 12.8x/6.4x (ResNet-50).
+ */
+
+#include "accel/dnnguard.hh"
+#include "bench_util.hh"
+#include "optimizer/evolutionary.hh"
+#include "workloads/model_library.hh"
+
+using namespace twoinone;
+
+namespace {
+
+double
+avgFpsPerArea(const Accelerator &accel, const NetworkWorkload &net,
+              const PrecisionSet &set)
+{
+    EvoConfig cfg;
+    cfg.populationSize = bench::fastMode() ? 8 : 16;
+    cfg.totalCycles = bench::fastMode() ? 2 : 5;
+    cfg.objective = Objective::Latency;
+    cfg.seed = 555;
+    double sum = 0.0;
+    for (int q : set.bits()) {
+        std::vector<Dataflow> dfs =
+            optimizeNetworkDataflows(accel, net, q, q, cfg);
+        sum += accel.predictor()
+                   .predictNetwork(net, q, q, dfs)
+                   .fps(TechModel::defaults().clockGhz, 1);
+    }
+    return sum / static_cast<double>(set.size()) /
+           accel.macArrayArea();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Sec. 4.3.2 — throughput/area vs DNNGuard");
+    const TechModel &tech = TechModel::defaults();
+    double budget = Accelerator::defaultAreaBudget();
+    Accelerator ours(AcceleratorKind::TwoInOne, budget, tech);
+    // DNNGuard runs a ResNet-18 detection network next to every
+    // inference (its paper's configuration).
+    DnnGuardModel guard(budget, tech, workloads::resNet18ImageNet());
+
+    PrecisionSet low = PrecisionSet::rps4to8();
+    PrecisionSet full = PrecisionSet::rps4to16();
+
+    TablePrinter table;
+    table.header({"network", "ours 4~8 / DNNGuard",
+                  "ours 4~16 / DNNGuard", "paper 4~8", "paper 4~16"});
+    struct Ref
+    {
+        NetworkWorkload net;
+        const char *p48;
+        const char *p416;
+    };
+    const Ref rows[] = {
+        {workloads::alexNet(), "36.5x", "17.9x"},
+        {workloads::vgg16(), "19.3x", "9.5x"},
+        {workloads::resNet50(), "12.8x", "6.4x"},
+    };
+    for (const Ref &r : rows) {
+        double g = guard.fpsPerArea(r.net, tech.clockGhz);
+        double o_low = avgFpsPerArea(ours, r.net, low);
+        double o_full = avgFpsPerArea(ours, r.net, full);
+        table.row({r.net.name, formatFixed(o_low / g, 1) + "x",
+                   formatFixed(o_full / g, 1) + "x", r.p48, r.p416});
+    }
+    table.print();
+    std::cout << "expected shape: ours >> DNNGuard everywhere; the "
+                 "gap is largest on AlexNet (smallest target, so the "
+                 "fixed detector overhead dominates) and the 4~8 set "
+                 "beats 4~16\n";
+    return 0;
+}

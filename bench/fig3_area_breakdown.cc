@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Paper Fig. 3: area breakdown of the MAC units of the temporal
+ * design, the spatial design (Bit Fusion) and the proposed
+ * spatial-temporal design. Reference fractions (shift-add):
+ * 60.9% / 67.0% / 39.7%.
+ */
+
+#include "accel/spatial_mac.hh"
+#include "accel/spatial_temporal_mac.hh"
+#include "accel/temporal_mac.hh"
+#include "bench_util.hh"
+
+using namespace twoinone;
+
+int
+main()
+{
+    bench::banner("Fig. 3 — MAC-unit area breakdown");
+    TemporalMacModel temporal;
+    SpatialMacModel spatial;
+    SpatialTemporalMacModel ours;
+
+    TablePrinter table;
+    table.header({"design", "multiplier(%)", "shift-add(%)",
+                  "register(%)", "total(norm)"});
+    const MacUnitModel *models[] = {&temporal, &spatial, &ours};
+    for (const MacUnitModel *m : models) {
+        MacAreaBreakdown a = m->area();
+        double t = a.total();
+        table.row({m->name(), formatFixed(100.0 * a.multiplier / t, 1),
+                   formatFixed(100.0 * a.shiftAdd / t, 1),
+                   formatFixed(100.0 * a.registers / t, 1),
+                   formatFixed(t, 2)});
+    }
+    table.print();
+    std::cout << "paper reference: shift-add 60.9% (temporal) / 67.0% "
+                 "(spatial) / 39.7% (ours)\n";
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Paper Fig. 7: normalized throughput of Bit Fusion / Stripes / ours
+ * on six networks at {2,4,8,16}-bit, everything normalized to
+ * Bit Fusion. Dataflows are optimized per the paper's protocol: full
+ * search for ours and Stripes, GB-loop-order-only for Bit Fusion.
+ * Expected shape: ours 1.4x~2.9x over Bit Fusion and 1.15x~4.6x over
+ * Stripes at every precision.
+ */
+
+#include "bench_util.hh"
+#include "optimizer/evolutionary.hh"
+#include "workloads/model_library.hh"
+
+using namespace twoinone;
+
+namespace {
+
+double
+optimizedFps(const Accelerator &accel, const NetworkWorkload &net, int q)
+{
+    EvoConfig cfg;
+    cfg.populationSize = bench::fastMode() ? 10 : 20;
+    cfg.totalCycles = bench::fastMode() ? 3 : 6;
+    cfg.objective = Objective::Latency;
+    cfg.seed = 1234;
+    std::vector<Dataflow> dfs =
+        optimizeNetworkDataflows(accel, net, q, q, cfg);
+    NetworkPrediction np =
+        accel.predictor().predictNetwork(net, q, q, dfs);
+    return np.fps(TechModel::defaults().clockGhz, 1);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Fig. 7 — normalized throughput (BitFusion = 1.0)");
+    const TechModel &tech = TechModel::defaults();
+    double budget = Accelerator::defaultAreaBudget();
+    Accelerator ours(AcceleratorKind::TwoInOne, budget, tech);
+    Accelerator stripes(AcceleratorKind::Stripes, budget, tech);
+    Accelerator bf(AcceleratorKind::BitFusion, budget, tech);
+
+    auto suite = workloads::benchmarkSuite();
+    double worst_ours_vs_bf = 1e30, best_ours_vs_bf = 0.0;
+    for (int q : {2, 4, 8, 16}) {
+        bench::banner("Fig. 7 — " + std::to_string(q) + "-bit x " +
+                      std::to_string(q) + "-bit");
+        TablePrinter table;
+        table.header({"network", "BitFusion", "Stripes", "Ours"});
+        for (const NetworkWorkload &net : suite) {
+            double f_bf = optimizedFps(bf, net, q);
+            double f_st = optimizedFps(stripes, net, q);
+            double f_ours = optimizedFps(ours, net, q);
+            table.row({net.name, "1.00", formatFixed(f_st / f_bf, 2),
+                       formatFixed(f_ours / f_bf, 2)});
+            worst_ours_vs_bf =
+                std::min(worst_ours_vs_bf, f_ours / f_bf);
+            best_ours_vs_bf = std::max(best_ours_vs_bf, f_ours / f_bf);
+        }
+        table.print();
+    }
+    std::cout << "ours vs BitFusion across the grid: "
+              << formatFixed(worst_ours_vs_bf, 2) << "x ~ "
+              << formatFixed(best_ours_vs_bf, 2)
+              << "x (paper: 1.41x ~ 2.88x)\n";
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Paper Fig. 8: normalized energy efficiency (inferences per Joule)
+ * of the three accelerators on six networks at {2,4,8,16}-bit,
+ * normalized to Bit Fusion, with energy-optimized dataflows.
+ * Expected shape: ours 1.9x~7.6x over Bit Fusion; Stripes also beats
+ * Bit Fusion once its dataflow is optimized.
+ */
+
+#include "bench_util.hh"
+#include "optimizer/evolutionary.hh"
+#include "workloads/model_library.hh"
+
+using namespace twoinone;
+
+namespace {
+
+double
+optimizedIpj(const Accelerator &accel, const NetworkWorkload &net, int q)
+{
+    EvoConfig cfg;
+    cfg.populationSize = bench::fastMode() ? 10 : 20;
+    cfg.totalCycles = bench::fastMode() ? 3 : 6;
+    cfg.objective = Objective::Energy;
+    cfg.seed = 4321;
+    std::vector<Dataflow> dfs =
+        optimizeNetworkDataflows(accel, net, q, q, cfg);
+    NetworkPrediction np =
+        accel.predictor().predictNetwork(net, q, q, dfs);
+    return np.inferencesPerJoule(1);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Fig. 8 — normalized energy efficiency (BitFusion = 1.0)");
+    const TechModel &tech = TechModel::defaults();
+    double budget = Accelerator::defaultAreaBudget();
+    Accelerator ours(AcceleratorKind::TwoInOne, budget, tech);
+    Accelerator stripes(AcceleratorKind::Stripes, budget, tech);
+    Accelerator bf(AcceleratorKind::BitFusion, budget, tech);
+
+    auto suite = workloads::benchmarkSuite();
+    double worst = 1e30, best = 0.0;
+    for (int q : {2, 4, 8, 16}) {
+        bench::banner("Fig. 8 — " + std::to_string(q) + "-bit x " +
+                      std::to_string(q) + "-bit");
+        TablePrinter table;
+        table.header({"network", "BitFusion", "Stripes", "Ours"});
+        for (const NetworkWorkload &net : suite) {
+            double e_bf = optimizedIpj(bf, net, q);
+            double e_st = optimizedIpj(stripes, net, q);
+            double e_ours = optimizedIpj(ours, net, q);
+            table.row({net.name, "1.00", formatFixed(e_st / e_bf, 2),
+                       formatFixed(e_ours / e_bf, 2)});
+            worst = std::min(worst, e_ours / e_bf);
+            best = std::max(best, e_ours / e_bf);
+        }
+        table.print();
+    }
+    std::cout << "ours vs BitFusion across the grid: "
+              << formatFixed(worst, 2) << "x ~ " << formatFixed(best, 2)
+              << "x (paper: 1.91x ~ 7.58x)\n";
+    return 0;
+}

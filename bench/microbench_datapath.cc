@@ -1,0 +1,88 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot paths: the
+ * bit-true MAC datapaths (per precision) and the performance
+ * predictor (the inner loop of the evolutionary optimizer, queried
+ * thousands of times per Alg. 2 search).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "accel/accelerator.hh"
+#include "accel/bitserial.hh"
+#include "workloads/model_library.hh"
+
+namespace {
+
+using namespace twoinone;
+
+void
+BM_BitSerialMultiply(benchmark::State &state)
+{
+    int bits = static_cast<int>(state.range(0));
+    BitSerialMultiplier unit(bits);
+    int qmax = (1 << (bits - 1)) - 1;
+    int64_t a = qmax, b = -qmax;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(unit.multiply(a, b));
+        a = -a;
+    }
+}
+BENCHMARK(BM_BitSerialMultiply)->Arg(2)->Arg(4)->Arg(8);
+
+void
+BM_ComposeSpatial(benchmark::State &state)
+{
+    int bits = static_cast<int>(state.range(0));
+    int qmax = (1 << (bits - 1)) - 1;
+    int64_t a = qmax, b = qmax - 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(composeSpatial(a, b, bits));
+        a = -a;
+    }
+}
+BENCHMARK(BM_ComposeSpatial)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void
+BM_GroupedMacReduce(benchmark::State &state)
+{
+    int bits = static_cast<int>(state.range(0));
+    int qmax = (1 << (bits - 1)) - 1;
+    GroupedMacDatapath mac(4);
+    std::vector<int64_t> a = {qmax, -qmax, qmax / 2, 1};
+    std::vector<int64_t> b = {1, qmax, -qmax / 2, qmax};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mac.macReduce(a, b, bits));
+}
+BENCHMARK(BM_GroupedMacReduce)->Arg(4)->Arg(8)->Arg(16);
+
+void
+BM_PredictLayer(benchmark::State &state)
+{
+    const TechModel &tech = TechModel::defaults();
+    Accelerator accel(AcceleratorKind::TwoInOne,
+                      Accelerator::defaultAreaBudget(), tech);
+    NetworkWorkload net = workloads::resNet50();
+    const ConvShape &layer = net.layers[20];
+    Dataflow df = Dataflow::greedyDefault(layer, accel.numUnits());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(accel.runLayer(layer, 4, 4, df));
+    }
+}
+BENCHMARK(BM_PredictLayer);
+
+void
+BM_PredictNetwork(benchmark::State &state)
+{
+    const TechModel &tech = TechModel::defaults();
+    Accelerator accel(AcceleratorKind::TwoInOne,
+                      Accelerator::defaultAreaBudget(), tech);
+    NetworkWorkload net = workloads::resNet50();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(accel.run(net, 4, 4));
+}
+BENCHMARK(BM_PredictNetwork);
+
+} // namespace
+
+BENCHMARK_MAIN();

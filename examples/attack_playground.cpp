@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Scenario example: red-team attack playground.
+ *
+ * Trains a defended (PGD-7 + RPS) and an undefended model, then runs
+ * the library's full attack arsenal against both — the white-box
+ * attacks (FGSM, PGD, CW-Inf, AutoAttack), the gradient-free Bandits
+ * attack, and the RPS-aware adaptive E-PGD — printing a side-by-side
+ * scoreboard. This is the experiment to extend when probing a new
+ * defense for obfuscated gradients (paper Sec. 4.2.2).
+ *
+ * Run: ./build/examples/attack_playground
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "adversarial/autoattack.hh"
+#include "adversarial/bandits.hh"
+#include "adversarial/cw.hh"
+#include "adversarial/epgd.hh"
+#include "adversarial/evaluation.hh"
+#include "adversarial/fgsm.hh"
+#include "adversarial/pgd.hh"
+#include "adversarial/trainer.hh"
+#include "common/stats.hh"
+#include "nn/model_zoo.hh"
+
+using namespace twoinone;
+
+int
+main()
+{
+    DatasetPair data = makeCifar10Like(0.4);
+    PrecisionSet set = PrecisionSet::rps4to16();
+    Dataset eval = data.test.batch(0, 64);
+
+    Rng rng(31);
+    ModelConfig mcfg;
+    mcfg.baseWidth = 4;
+    mcfg.precisions = set;
+
+    Network natural = preActResNetMini(mcfg, rng);
+    Network defended = preActResNetMini(mcfg, rng);
+
+    TrainConfig nat_cfg;
+    nat_cfg.method = TrainMethod::Natural;
+    nat_cfg.epochs = 4;
+    Trainer(natural, nat_cfg).fit(data.train);
+    natural.setPrecision(0);
+
+    TrainConfig def_cfg;
+    def_cfg.method = TrainMethod::Pgd7;
+    def_cfg.rps = true;
+    def_cfg.epochs = 4;
+    Trainer(defended, def_cfg).fit(data.train);
+    defended.setPrecision(0);
+
+    AttackConfig cfg = AttackConfig::fromEps255(8.0f, 2.0f, 20);
+    FgsmAttack fgsm(cfg);
+    PgdAttack pgd(cfg);
+    CwInfAttack cw(cfg);
+    AutoAttackLite aa(cfg);
+    BanditsAttack bandits(cfg);
+    EpgdAttack epgd(cfg, set);
+
+    const std::pair<Attack *, const char *> arsenal[] = {
+        {&fgsm, "FGSM"},     {&pgd, "PGD-20"},
+        {&cw, "CW-Inf"},     {&aa, "AutoAttack"},
+        {&bandits, "Bandits"}, {&epgd, "E-PGD (adaptive)"},
+    };
+
+    TablePrinter board;
+    board.header({"attack", "undefended(%)", "PGD-7+RPS(%)"});
+    Rng a_rng(32);
+    board.row({"(clean)",
+               formatFixed(naturalAccuracy(natural, eval), 1),
+               formatFixed(rpsNaturalAccuracy(defended, eval, set,
+                                              a_rng),
+                           1)});
+    for (const auto &[attack, name] : arsenal) {
+        double undef = robustAccuracy(natural, *attack, eval, 0, 0,
+                                      a_rng);
+        double def = rpsRobustAccuracy(defended, *attack, eval, set,
+                                       a_rng);
+        board.row({name, formatFixed(undef, 1), formatFixed(def, 1)});
+    }
+    board.print();
+    std::cout << "(expected: every attack flattens the undefended "
+                 "model; the RPS-defended model retains substantial "
+                 "robust accuracy, including against the gradient-"
+                 "free and adaptive attacks)\n";
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Scenario example: accelerator design-space exploration.
+ *
+ * Uses the library the way an architect would (paper Sec. 3.3): given
+ * a workload (ResNet-50) and an area budget, (1) compare the three
+ * MAC-unit designs under iso-area, (2) run the Alg. 2 evolutionary
+ * dataflow search and show what it buys over the heuristic mapping,
+ * and (3) sweep micro-architectures (array area vs buffer size) with
+ * the joint search mode to pick the best configuration for a
+ * variable-precision (RPS) deployment.
+ *
+ * Run: ./build/examples/design_space_exploration
+ */
+
+#include <iostream>
+
+#include "common/stats.hh"
+#include "optimizer/arch_search.hh"
+#include "workloads/model_library.hh"
+
+using namespace twoinone;
+
+int
+main()
+{
+    const TechModel &tech = TechModel::defaults();
+    double budget = Accelerator::defaultAreaBudget();
+    NetworkWorkload net = workloads::resNet50();
+    std::cout << "workload: " << net.name << ", "
+              << net.layers.size() << " layers, "
+              << net.totalMacs() / 1e9 << " GMACs\n";
+
+    // 1. Iso-area design comparison at the RPS set's precisions.
+    TablePrinter cmp;
+    cmp.header({"design", "units", "4b FPS", "8b FPS", "16b FPS",
+                "8b uJ/inf"});
+    for (AcceleratorKind kind :
+         {AcceleratorKind::TwoInOne, AcceleratorKind::Stripes,
+          AcceleratorKind::BitFusion}) {
+        Accelerator accel(kind, budget, tech);
+        auto fps = [&](int q) {
+            return formatFixed(
+                accel.run(net, q, q).fps(tech.clockGhz, 1), 1);
+        };
+        cmp.row({accel.name(), std::to_string(accel.numUnits()),
+                 fps(4), fps(8), fps(16),
+                 formatFixed(accel.run(net, 8, 8).totalEnergyPj * 1e-6,
+                             1)});
+    }
+    cmp.print();
+
+    // 2. What the evolutionary dataflow optimizer buys (Alg. 2).
+    Accelerator ours(AcceleratorKind::TwoInOne, budget, tech);
+    EvoConfig cfg;
+    cfg.populationSize = 20;
+    cfg.totalCycles = 8;
+    cfg.objective = Objective::EnergyDelay;
+    std::vector<Dataflow> dfs =
+        optimizeNetworkDataflows(ours, net, 4, 4, cfg);
+    NetworkPrediction greedy = ours.run(net, 4, 4);
+    NetworkPrediction opt =
+        ours.predictor().predictNetwork(net, 4, 4, dfs);
+    std::cout << "\nAlg. 2 on ours @4-bit: "
+              << formatFixed(greedy.totalCycles / opt.totalCycles, 2)
+              << "x cycles, "
+              << formatFixed(greedy.totalEnergyPj / opt.totalEnergyPj,
+                             2)
+              << "x energy over the heuristic mapping\n";
+    std::cout << "an optimized layer mapping (stage3 conv):\n"
+              << dfs[20].describe();
+
+    // 3. Joint micro-architecture + dataflow search for the RPS set.
+    ArchSearchSpace space = ArchSearchSpace::makeDefault(budget * 1.2);
+    NetworkWorkload probe;
+    probe.name = "ResNet-50 probe";
+    probe.layers = {net.layers[8], net.layers[20], net.layers[40]};
+    EvoConfig jcfg;
+    jcfg.populationSize = 10;
+    jcfg.totalCycles = 3;
+    ArchSearchResult r = searchMicroArchitecture(
+        AcceleratorKind::TwoInOne, space, probe,
+        PrecisionSet::rps4to16(), jcfg, tech);
+    if (r.found) {
+        std::cout << "\njoint search over " << r.evaluated.size()
+                  << " micro-architectures -> best: array area "
+                  << r.best.macArrayArea << ", GB "
+                  << r.best.gbCapacityBits / 8192.0 << " KB\n";
+    }
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Accelerator facade implementation.
+ */
+
+#include "accel/accelerator.hh"
+
+#include "accel/spatial_mac.hh"
+#include "accel/spatial_temporal_mac.hh"
+#include "accel/temporal_mac.hh"
+#include "common/logging.hh"
+
+namespace twoinone {
+
+const char *
+acceleratorName(AcceleratorKind k)
+{
+    switch (k) {
+      case AcceleratorKind::TwoInOne: return "2-in-1";
+      case AcceleratorKind::Stripes: return "Stripes";
+      case AcceleratorKind::BitFusion: return "BitFusion";
+    }
+    TWOINONE_PANIC("unknown AcceleratorKind");
+}
+
+namespace {
+
+MacUnitModelPtr
+makeMac(AcceleratorKind kind)
+{
+    switch (kind) {
+      case AcceleratorKind::TwoInOne:
+        return std::make_unique<SpatialTemporalMacModel>();
+      case AcceleratorKind::Stripes:
+        return std::make_unique<TemporalMacModel>();
+      case AcceleratorKind::BitFusion:
+        return std::make_unique<SpatialMacModel>();
+    }
+    TWOINONE_PANIC("unknown AcceleratorKind");
+}
+
+} // namespace
+
+double
+Accelerator::defaultAreaBudget()
+{
+    return 256.0 * 2.3;
+}
+
+Accelerator::Accelerator(AcceleratorKind kind, double mac_array_area,
+                         const TechModel &tech)
+    : kind_(kind), macArrayArea_(mac_array_area), mac_(makeMac(kind))
+{
+    TWOINONE_ASSERT(mac_array_area > 0.0, "non-positive area budget");
+    numUnits_ = static_cast<int>(mac_array_area / mac_->area().total() +
+                                 1e-6);
+    TWOINONE_ASSERT(numUnits_ >= 1, "area budget below one MAC unit");
+    predictor_ = std::make_unique<PerformancePredictor>(
+        *mac_, MemoryHierarchy::makeDefault(tech, numUnits_), tech,
+        numUnits_);
+}
+
+DataflowFreedom
+Accelerator::freedom() const
+{
+    // Paper Sec. 3.1.3: Bit Fusion's tool only optimizes the GB loop
+    // order; Stripes' dataflow is optimized with our optimizer
+    // (Sec. 4.1.2), as is ours.
+    return (kind_ == AcceleratorKind::BitFusion)
+               ? DataflowFreedom::GbOrderOnly
+               : DataflowFreedom::Full;
+}
+
+Dataflow
+Accelerator::defaultLayerDataflow(const ConvShape &shape) const
+{
+    if (kind_ == AcceleratorKind::BitFusion)
+        return Dataflow::bitFusionFixed(shape, numUnits_);
+    return Dataflow::greedyDefault(shape, numUnits_);
+}
+
+NetworkPrediction
+Accelerator::run(const NetworkWorkload &net, int w_bits, int a_bits) const
+{
+    std::vector<Dataflow> dfs;
+    dfs.reserve(net.layers.size());
+    for (const ConvShape &l : net.layers) {
+        Dataflow df = defaultLayerDataflow(l);
+        if (!predictor_->predictLayer(l, w_bits, a_bits, df).valid)
+            df = Dataflow::minimalFallback(l);
+        dfs.push_back(std::move(df));
+    }
+    return predictor_->predictNetwork(net, w_bits, a_bits, dfs);
+}
+
+LayerPrediction
+Accelerator::runLayer(const ConvShape &shape, int w_bits, int a_bits,
+                      const Dataflow &df) const
+{
+    return predictor_->predictLayer(shape, w_bits, a_bits, df);
+}
+
+} // namespace twoinone

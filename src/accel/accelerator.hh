@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Accelerator facade: bundles a MAC-unit model, an iso-area MAC-array
+ * sizing, the shared memory hierarchy and a performance predictor
+ * into one of the three accelerators the paper compares —
+ * the 2-in-1 Accelerator, Stripes [37] and Bit Fusion [67].
+ *
+ * Iso-area setup (paper Sec. 4.1.2): all three accelerators receive
+ * the same MAC-array area budget and the same memory configuration;
+ * the unit count follows from each design's per-unit area. Dataflow
+ * freedom also follows the paper: ours and Stripes are fully
+ * optimizable, Bit Fusion's tool only reorders the global-buffer
+ * loops over a fixed NoC mapping (Sec. 3.1.3).
+ */
+
+#ifndef TWOINONE_ACCEL_ACCELERATOR_HH
+#define TWOINONE_ACCEL_ACCELERATOR_HH
+
+#include <memory>
+
+#include "accel/predictor.hh"
+
+namespace twoinone {
+
+/** Which accelerator design. */
+enum class AcceleratorKind
+{
+    TwoInOne,
+    Stripes,
+    BitFusion,
+};
+
+/** Design name for reports. */
+const char *acceleratorName(AcceleratorKind k);
+
+/** How much of the dataflow the design's mapper may optimize. */
+enum class DataflowFreedom
+{
+    Full,        ///< Loop order + tiling at every level.
+    GbOrderOnly, ///< Only the global-buffer loop order (Bit Fusion).
+};
+
+/**
+ * One configured accelerator instance.
+ */
+class Accelerator
+{
+  public:
+    /**
+     * @param kind Design selector.
+     * @param mac_array_area Area budget in normalized MAC-area units
+     *        (the proposed MAC unit = 1.0).
+     * @param tech Technology constants.
+     */
+    Accelerator(AcceleratorKind kind, double mac_array_area,
+                const TechModel &tech);
+
+    AcceleratorKind kind() const { return kind_; }
+    const char *name() const { return acceleratorName(kind_); }
+
+    /** The design's dataflow-optimization freedom. */
+    DataflowFreedom freedom() const;
+
+    const MacUnitModel &mac() const { return *mac_; }
+    int numUnits() const { return numUnits_; }
+    double macArrayArea() const { return macArrayArea_; }
+    const PerformancePredictor &predictor() const { return *predictor_; }
+
+    /** Run a network with the design's native default dataflows
+     * (adaptive greedy for ours/Stripes, the fixed 16x16 NoC mapping
+     * for Bit Fusion). */
+    NetworkPrediction run(const NetworkWorkload &net, int w_bits,
+                          int a_bits) const;
+
+    /** The design's native default mapping for one layer. */
+    Dataflow defaultLayerDataflow(const ConvShape &shape) const;
+
+    /** Run one layer under an explicit dataflow. */
+    LayerPrediction runLayer(const ConvShape &shape, int w_bits,
+                             int a_bits, const Dataflow &df) const;
+
+    /** The default area budget shared by all benches: a 256-unit
+     * Bit Fusion array (256 x 2.3 normalized units). */
+    static double defaultAreaBudget();
+
+  private:
+    AcceleratorKind kind_;
+    double macArrayArea_;
+    MacUnitModelPtr mac_;
+    int numUnits_;
+    std::unique_ptr<PerformancePredictor> predictor_;
+};
+
+} // namespace twoinone
+
+#endif // TWOINONE_ACCEL_ACCELERATOR_HH

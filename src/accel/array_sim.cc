@@ -1,0 +1,146 @@
+/**
+ * @file
+ * MacArraySimulator implementation.
+ *
+ * Schedule: every output pixel's reduction (over C, R, S) is chopped
+ * into passes of `reduction ways` operand pairs (the unit's Opt-1
+ * concurrency at the active precision). Units process one pass per
+ * wave; a wave costs the Sec. 3.2.1 cycle count for the precision.
+ * Waves sweep the output space until every pixel's reduction is
+ * accumulated — mirroring how the dispatcher feeds the real array.
+ */
+
+#include "accel/array_sim.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace twoinone {
+
+IntTensor
+IntTensor::zeros(std::vector<int> shape)
+{
+    IntTensor t;
+    size_t n = 1;
+    for (int d : shape) {
+        TWOINONE_ASSERT(d > 0, "bad IntTensor dim");
+        n *= static_cast<size_t>(d);
+    }
+    t.shape = std::move(shape);
+    t.data.assign(n, 0);
+    return t;
+}
+
+int64_t &
+IntTensor::at(std::initializer_list<int> idx)
+{
+    TWOINONE_ASSERT(idx.size() == shape.size(), "IntTensor rank");
+    size_t flat = 0;
+    size_t i = 0;
+    for (int v : idx) {
+        TWOINONE_ASSERT(v >= 0 && v < shape[i], "IntTensor index");
+        flat = flat * static_cast<size_t>(shape[i]) +
+               static_cast<size_t>(v);
+        ++i;
+    }
+    return data[flat];
+}
+
+int64_t
+IntTensor::at(std::initializer_list<int> idx) const
+{
+    return const_cast<IntTensor *>(this)->at(idx);
+}
+
+MacArraySimulator::MacArraySimulator(int num_units, int units_per_group)
+    : numUnits_(num_units), unitsPerGroup_(units_per_group),
+      datapath_(units_per_group)
+{
+    TWOINONE_ASSERT(num_units >= 1, "need at least one unit");
+}
+
+ArraySimResult
+MacArraySimulator::runConv(const IntTensor &weights,
+                           const IntTensor &input, int stride,
+                           int padding, int w_bits, int a_bits) const
+{
+    TWOINONE_ASSERT(weights.shape.size() == 4, "weights are [K,C,R,S]");
+    TWOINONE_ASSERT(input.shape.size() == 3, "input is [C,IY,IX]");
+    int k = weights.shape[0], c = weights.shape[1], r = weights.shape[2],
+        s = weights.shape[3];
+    TWOINONE_ASSERT(input.shape[0] == c, "channel mismatch");
+    int iy = input.shape[1], ix = input.shape[2];
+    int oy = (iy + 2 * padding - r) / stride + 1;
+    int ox = (ix + 2 * padding - s) / stride + 1;
+    TWOINONE_ASSERT(oy > 0 && ox > 0, "empty output");
+
+    // Pairs a unit consumes per pass at this precision (Opt-1).
+    int p = std::max(w_bits, a_bits);
+    int ways = (p <= 4) ? 4 * unitsPerGroup_ : unitsPerGroup_;
+    int pass_cycles =
+        GroupedMacDatapath::cyclesForPrecision(w_bits, a_bits);
+
+    ArraySimResult res;
+    res.output = IntTensor::zeros({k, oy, ox});
+
+    // Work queue: every output pixel owns reduction_len operand
+    // pairs, issued in chunks of `ways`.
+    int reduction_len = c * r * s;
+    int passes_per_pixel = (reduction_len + ways - 1) / ways;
+    int64_t total_pixels = static_cast<int64_t>(k) * oy * ox;
+    int64_t total_passes = total_pixels * passes_per_pixel;
+
+    // Units execute in lockstep waves of up to numUnits_ passes.
+    res.cycles = static_cast<uint64_t>(
+        (total_passes + numUnits_ - 1) / numUnits_ *
+        static_cast<int64_t>(pass_cycles));
+
+    std::vector<int64_t> wa(static_cast<size_t>(ways));
+    std::vector<int64_t> ab(static_cast<size_t>(ways));
+    for (int ki = 0; ki < k; ++ki) {
+        for (int y = 0; y < oy; ++y) {
+            for (int x = 0; x < ox; ++x) {
+                int64_t acc = 0;
+                int filled = 0;
+                auto flush = [&]() {
+                    if (filled == 0)
+                        return;
+                    wa.resize(static_cast<size_t>(filled));
+                    ab.resize(static_cast<size_t>(filled));
+                    acc += datapath_.macReduce(
+                        wa, ab, std::max(w_bits, a_bits), nullptr);
+                    res.macs += static_cast<uint64_t>(filled);
+                    res.idleMacSlots +=
+                        static_cast<uint64_t>(ways - filled);
+                    wa.resize(static_cast<size_t>(ways));
+                    ab.resize(static_cast<size_t>(ways));
+                    filled = 0;
+                };
+                for (int ci = 0; ci < c; ++ci) {
+                    for (int ry = 0; ry < r; ++ry) {
+                        for (int sx = 0; sx < s; ++sx) {
+                            int in_y = y * stride - padding + ry;
+                            int in_x = x * stride - padding + sx;
+                            int64_t a_val = 0;
+                            if (in_y >= 0 && in_y < iy && in_x >= 0 &&
+                                in_x < ix) {
+                                a_val = input.at({ci, in_y, in_x});
+                            }
+                            wa[static_cast<size_t>(filled)] =
+                                weights.at({ki, ci, ry, sx});
+                            ab[static_cast<size_t>(filled)] = a_val;
+                            if (++filled == ways)
+                                flush();
+                        }
+                    }
+                }
+                flush();
+                res.output.at({ki, y, x}) = acc;
+            }
+        }
+    }
+    return res;
+}
+
+} // namespace twoinone

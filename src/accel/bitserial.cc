@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Bit-true datapath implementations.
+ */
+
+#include "accel/bitserial.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace twoinone {
+
+namespace {
+
+/** Magnitude and sign of a signed operand. */
+inline uint64_t
+magnitude(int64_t v, int *sign)
+{
+    if (v < 0) {
+        *sign = -1;
+        return static_cast<uint64_t>(-v);
+    }
+    *sign = 1;
+    return static_cast<uint64_t>(v);
+}
+
+/** ceil(x / y) for positive ints. */
+inline int
+ceilDiv(int x, int y)
+{
+    return (x + y - 1) / y;
+}
+
+} // namespace
+
+BitSerialMultiplier::BitSerialMultiplier(int serial_bits)
+    : serialBits_(serial_bits)
+{
+    TWOINONE_ASSERT(serial_bits >= 1 && serial_bits <= 32,
+                    "bad serial width ", serial_bits);
+}
+
+void
+BitSerialMultiplier::load(int64_t a, int64_t b)
+{
+    int sa = 1, sb = 1;
+    aMag_ = magnitude(a, &sa);
+    bMag_ = magnitude(b, &sb);
+    TWOINONE_ASSERT(aMag_ < (1ULL << serialBits_),
+                    "serial operand exceeds unit width");
+    signProduct_ = sa * sb;
+    acc_ = 0;
+    cycle_ = 0;
+}
+
+bool
+BitSerialMultiplier::step()
+{
+    if (done())
+        return false;
+    // One cycle: AND the current serial bit with the parallel operand
+    // and add the shifted partial into the accumulator.
+    if ((aMag_ >> cycle_) & 1ULL)
+        acc_ += bMag_ << cycle_;
+    ++cycle_;
+    return !done();
+}
+
+int64_t
+BitSerialMultiplier::result() const
+{
+    TWOINONE_ASSERT(done(), "result read before completion");
+    return signProduct_ * static_cast<int64_t>(acc_);
+}
+
+int64_t
+BitSerialMultiplier::multiply(int64_t a, int64_t b)
+{
+    load(a, b);
+    while (step()) {
+    }
+    return result();
+}
+
+int64_t
+composeSpatial(int64_t a, int64_t b, int bits, int *brick_ops_out)
+{
+    TWOINONE_ASSERT(bits >= 1 && bits <= 16, "composeSpatial bits ", bits);
+    int sa = 1, sb = 1;
+    uint64_t am = magnitude(a, &sa);
+    uint64_t bm = magnitude(b, &sb);
+    TWOINONE_ASSERT(am < (1ULL << bits) && bm < (1ULL << bits),
+                    "operand exceeds declared precision");
+
+    // Decompose magnitudes into 2-bit digits (the BitBricks).
+    int digits = ceilDiv(bits, 2);
+    int bricks = 0;
+    uint64_t acc = 0;
+    for (int i = 0; i < digits; ++i) {
+        uint64_t ad = (am >> (2 * i)) & 0x3ULL;
+        for (int j = 0; j < digits; ++j) {
+            uint64_t bd = (bm >> (2 * j)) & 0x3ULL;
+            // Every brick position is exercised regardless of the
+            // digit values (the hardware cannot skip zeros).
+            ++bricks;
+            acc += (ad * bd) << (2 * (i + j));
+        }
+    }
+    if (brick_ops_out)
+        *brick_ops_out = bricks;
+    return sa * sb * static_cast<int64_t>(acc);
+}
+
+GroupedMacDatapath::GroupedMacDatapath(int units_per_group)
+    : unitsPerGroup_(units_per_group)
+{
+    TWOINONE_ASSERT(units_per_group >= 1, "need at least one unit");
+}
+
+int
+GroupedMacDatapath::cyclesForPrecision(int w_bits, int a_bits)
+{
+    TWOINONE_ASSERT(w_bits >= 1 && w_bits <= 16 && a_bits >= 1 &&
+                        a_bits <= 16,
+                    "precision out of range");
+    int p = std::max(w_bits, a_bits);
+    if (p <= 8) {
+        // The streamed operand is the shorter one; operands above
+        // 4-bit split hi/lo so the serial length is the sub-precision.
+        int q = std::min(w_bits, a_bits);
+        return (q <= 4) ? q : ceilDiv(q, 2);
+    }
+    // Above 8-bit: temporal chunking into <=8-bit pieces (Sec. 3.2.1).
+    int chunks_w = ceilDiv(w_bits, 8);
+    int chunks_a = ceilDiv(a_bits, 8);
+    int sub_w = ceilDiv(w_bits, chunks_w);
+    int sub_a = ceilDiv(a_bits, chunks_a);
+    return chunks_w * chunks_a * cyclesForPrecision(sub_w, sub_a);
+}
+
+int64_t
+GroupedMacDatapath::macReduce(const std::vector<int64_t> &a,
+                              const std::vector<int64_t> &b, int bits,
+                              int *cycles_out) const
+{
+    TWOINONE_ASSERT(a.size() == b.size(), "operand count mismatch");
+    // Capacity: at <=4-bit all 4n bit-serial units take independent
+    // pairs; above that each pair occupies one unit per group.
+    int capacity = (bits <= 4) ? 4 * unitsPerGroup_ : unitsPerGroup_;
+    TWOINONE_ASSERT(static_cast<int>(a.size()) <= capacity,
+                    "more partial sums than the unit's capacity");
+    TWOINONE_ASSERT(bits >= 1 && bits <= 16, "bits out of range");
+
+    if (cycles_out)
+        *cycles_out = cyclesForPrecision(bits, bits);
+
+    if (bits <= 4) {
+        // Each pair maps onto one bit-serial unit directly.
+        int64_t sum = 0;
+        BitSerialMultiplier unit(bits);
+        for (size_t i = 0; i < a.size(); ++i)
+            sum += unit.multiply(a[i], b[i]);
+        return sum;
+    }
+
+    if (bits <= 8) {
+        // Eq. 5: group the equal-magnitude partial products, reduce
+        // first, shift once per group (Opt-1 + Opt-2).
+        int m = ceilDiv(bits, 2);
+        uint64_t lo_mask = (1ULL << m) - 1;
+        BitSerialMultiplier unit(m);
+        int64_t hh = 0, hl = 0, lh = 0, ll = 0;
+        for (size_t i = 0; i < a.size(); ++i) {
+            int sa = 1, sb = 1;
+            uint64_t am = magnitude(a[i], &sa);
+            uint64_t bm = magnitude(b[i], &sb);
+            int sign = sa * sb;
+            int64_t ah = static_cast<int64_t>(am >> m);
+            int64_t al = static_cast<int64_t>(am & lo_mask);
+            int64_t bh = static_cast<int64_t>(bm >> m);
+            int64_t bl = static_cast<int64_t>(bm & lo_mask);
+            // The group adders reduce signed partial products before
+            // the single group shift.
+            hh += sign * unit.multiply(ah, bh);
+            hl += sign * unit.multiply(ah, bl);
+            lh += sign * unit.multiply(al, bh);
+            ll += sign * unit.multiply(al, bl);
+        }
+        return (hh << (2 * m)) + ((hl + lh) << m) + ll;
+    }
+
+    // bits > 8: temporal chunking of each operand into two halves of
+    // h bits; the four cross terms run sequentially on the MAC unit
+    // and accumulate into the (wider) output register.
+    int h = ceilDiv(bits, 2);
+    uint64_t lo_mask = (1ULL << h) - 1;
+    int64_t total = 0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        int sa = 1, sb = 1;
+        uint64_t am = magnitude(a[i], &sa);
+        uint64_t bm = magnitude(b[i], &sb);
+        int sign = sa * sb;
+        int64_t ah = static_cast<int64_t>(am >> h);
+        int64_t al = static_cast<int64_t>(am & lo_mask);
+        int64_t bh = static_cast<int64_t>(bm >> h);
+        int64_t bl = static_cast<int64_t>(bm & lo_mask);
+        int64_t hh = macReduce({ah}, {bh}, h, nullptr);
+        int64_t hl = macReduce({ah}, {bl}, h, nullptr);
+        int64_t lh = macReduce({al}, {bh}, h, nullptr);
+        int64_t ll = macReduce({al}, {bl}, h, nullptr);
+        total += sign * ((hh << (2 * h)) + ((hl + lh) << h) + ll);
+    }
+    return total;
+}
+
+} // namespace twoinone

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Bit-true, cycle-accurate models of the arithmetic datapaths inside
+ * the three MAC-unit families the paper studies (Sec. 3.2):
+ *
+ *  - BitSerialMultiplier: one temporal (Stripes-style) unit. One
+ *    operand is held in parallel, the other is streamed LSB-first one
+ *    bit per cycle through an AND array followed by a shift-add.
+ *  - composeSpatial: the Bit Fusion composition — a product of wide
+ *    operands built from 2-bit x 2-bit partial products combined with
+ *    shifts (Eq. 4 of the paper).
+ *  - GroupedMacDatapath: the paper's proposed MAC unit — n partial
+ *    sums split hi/lo (Eq. 5), partial products of equal magnitude
+ *    reduced *first* inside a group (Opt-1) and shifted once per
+ *    group through the fused group shift-add (Opt-2).
+ *
+ * These models exist to prove functional equivalence with plain
+ * integer arithmetic at every supported precision; the performance /
+ * area / energy numbers live in the MacUnitModel classes.
+ */
+
+#ifndef TWOINONE_ACCEL_BITSERIAL_HH
+#define TWOINONE_ACCEL_BITSERIAL_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace twoinone {
+
+/**
+ * Cycle-accurate bit-serial multiplier (one temporal unit).
+ *
+ * Computes a * b for signed operands by streaming |a|'s bits LSB
+ * first; each cycle adds (bit ? |b| << t : 0) into the accumulator.
+ * Sign is resolved at the end (sign-magnitude datapath, as in
+ * serial designs that avoid two's-complement correction logic).
+ */
+class BitSerialMultiplier
+{
+  public:
+    /**
+     * @param serial_bits Width of the streamed operand in bits.
+     */
+    explicit BitSerialMultiplier(int serial_bits);
+
+    /** Load operands and reset the datapath. */
+    void load(int64_t a, int64_t b);
+
+    /** Advance one cycle; returns true while work remains. */
+    bool step();
+
+    /** True when all serial bits have been consumed. */
+    bool done() const { return cycle_ >= serialBits_; }
+
+    /** Cycles consumed so far. */
+    int cyclesElapsed() const { return cycle_; }
+
+    /** The signed product (valid once done()). */
+    int64_t result() const;
+
+    /** Convenience: run to completion and return the product. */
+    int64_t multiply(int64_t a, int64_t b);
+
+  private:
+    int serialBits_;
+    uint64_t aMag_ = 0;
+    uint64_t bMag_ = 0;
+    int signProduct_ = 1;
+    uint64_t acc_ = 0;
+    int cycle_ = 0;
+};
+
+/**
+ * Spatial (Bit Fusion style) composition: decompose a p-bit x p-bit
+ * product into ceil(p/2)^2 2-bit x 2-bit partial products and fuse
+ * them with shifts (paper Eq. 4). Returns the exact product.
+ *
+ * @param a Signed multiplicand, |a| < 2^(p-1).
+ * @param b Signed multiplier.
+ * @param bits Operand precision p (2..16).
+ * @param brick_ops_out When non-null, receives the number of 2-bit
+ *                      bricks consumed (utilization accounting).
+ */
+int64_t composeSpatial(int64_t a, int64_t b, int bits,
+                       int *brick_ops_out = nullptr);
+
+/**
+ * The proposed grouped MAC datapath (Opt-1 + Opt-2).
+ *
+ * Computes sum_i a_i * b_i for n operand pairs at precision p:
+ *  - p <= 4: each pair maps onto one bit-serial unit directly;
+ *  - 4 < p <= 8: each operand splits into (hi m-bit, lo m-bit) with
+ *    m = ceil(p/2); the four magnitude classes (HH, HL, LH, LL) form
+ *    the four groups; partial products of one group are *summed
+ *    first* and shifted *once* (Eq. 5), so only 4 group shifters are
+ *    exercised instead of 4n unit shifters;
+ *  - p > 8: operands split into <= 8-bit chunks executed temporally
+ *    and accumulated (paper Sec. 3.2.1 scheduling).
+ */
+class GroupedMacDatapath
+{
+  public:
+    /**
+     * @param units_per_group Number of bit-serial units per group
+     *        (n, the partial-sum count of Opt-1).
+     */
+    explicit GroupedMacDatapath(int units_per_group = 4);
+
+    /**
+     * Exact multi-operand MAC at the given precision.
+     *
+     * @param a Multiplicands (size <= units_per_group).
+     * @param b Multipliers (same size).
+     * @param bits Operand precision (1..16).
+     * @param cycles_out When non-null, receives the cycle count the
+     *        schedule of Sec. 3.2.1 needs for this precision.
+     */
+    int64_t macReduce(const std::vector<int64_t> &a,
+                      const std::vector<int64_t> &b, int bits,
+                      int *cycles_out = nullptr) const;
+
+    /**
+     * Cycle count of one pass at a (possibly asymmetric) precision,
+     * per the spatial-temporal schedule: cycles follow the serial
+     * operand's sub-precision.
+     */
+    static int cyclesForPrecision(int w_bits, int a_bits);
+
+  private:
+    int unitsPerGroup_;
+};
+
+} // namespace twoinone
+
+#endif // TWOINONE_ACCEL_BITSERIAL_HH

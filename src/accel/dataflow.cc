@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Dataflow implementation.
+ */
+
+#include "accel/dataflow.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace twoinone {
+
+const char *
+dimName(Dim d)
+{
+    static const char *names[kNumDims] = {"N", "K", "C", "OY",
+                                          "OX", "R", "S"};
+    return names[static_cast<int>(d)];
+}
+
+const char *
+levelName(Level l)
+{
+    static const char *names[kNumLevels] = {"RF", "NoC", "GB", "DRAM"};
+    return names[static_cast<int>(l)];
+}
+
+Dataflow::Dataflow()
+{
+    for (auto &per_level : tiling)
+        per_level.fill(1);
+    for (auto &per_level : order) {
+        for (int i = 0; i < kNumDims; ++i)
+            per_level[static_cast<size_t>(i)] = static_cast<Dim>(i);
+    }
+}
+
+int
+Dataflow::trips(Level l, Dim d) const
+{
+    return tiling[static_cast<size_t>(l)][static_cast<size_t>(d)];
+}
+
+int &
+Dataflow::trips(Level l, Dim d)
+{
+    return tiling[static_cast<size_t>(l)][static_cast<size_t>(d)];
+}
+
+int64_t
+Dataflow::tileExtent(Dim d, Level l) const
+{
+    int64_t e = 1;
+    for (int lv = 0; lv <= static_cast<int>(l); ++lv)
+        e *= trips(static_cast<Level>(lv), d);
+    return e;
+}
+
+int64_t
+Dataflow::paddedExtent(Dim d) const
+{
+    return tileExtent(d, Level::Dram);
+}
+
+int64_t
+Dataflow::spatialUnits() const
+{
+    int64_t p = 1;
+    for (int d = 0; d < kNumDims; ++d)
+        p *= trips(Level::Noc, static_cast<Dim>(d));
+    return p;
+}
+
+int
+Dataflow::shapeExtent(const ConvShape &shape, Dim d)
+{
+    switch (d) {
+      case Dim::N: return shape.n;
+      case Dim::K: return shape.k;
+      case Dim::C: return shape.c;
+      case Dim::OY: return shape.oy;
+      case Dim::OX: return shape.ox;
+      case Dim::R: return shape.r;
+      case Dim::S: return shape.s;
+    }
+    TWOINONE_PANIC("unknown Dim");
+}
+
+bool
+Dataflow::covers(const ConvShape &shape) const
+{
+    for (int d = 0; d < kNumDims; ++d) {
+        Dim dim = static_cast<Dim>(d);
+        if (paddedExtent(dim) < shapeExtent(shape, dim))
+            return false;
+    }
+    return true;
+}
+
+double
+Dataflow::paddingFactor(const ConvShape &shape) const
+{
+    double padded = 1.0, real = 1.0;
+    for (int d = 0; d < kNumDims; ++d) {
+        Dim dim = static_cast<Dim>(d);
+        padded *= static_cast<double>(paddedExtent(dim));
+        real *= static_cast<double>(shapeExtent(shape, dim));
+    }
+    TWOINONE_ASSERT(real > 0.0, "degenerate shape");
+    return padded / real;
+}
+
+std::string
+Dataflow::describe() const
+{
+    std::ostringstream oss;
+    for (int l = kNumLevels - 1; l >= 0; --l) {
+        Level lv = static_cast<Level>(l);
+        oss << levelName(lv) << ": ";
+        for (int i = 0; i < kNumDims; ++i) {
+            Dim d = order[static_cast<size_t>(l)][static_cast<size_t>(i)];
+            int t = trips(lv, d);
+            if (t > 1)
+                oss << dimName(d) << "x" << t << " ";
+        }
+        oss << "\n";
+    }
+    return oss.str();
+}
+
+namespace {
+
+/** Smallest factor split: choose t <= limit maximizing coverage. */
+int
+takeTile(int remaining, int limit)
+{
+    return std::max(1, std::min(remaining, limit));
+}
+
+/** ceil(a/b) for positive ints. */
+int
+ceilDiv(int a, int b)
+{
+    return (a + b - 1) / b;
+}
+
+/**
+ * Grow the GB tiles under the current RF/NoC tiling — reduction dims
+ * first (weight residency kills the refetch factor), then outputs —
+ * while a conservative 16-bit footprint estimate stays within half of
+ * the default 512 KB buffer. Then fill DRAM trips to cover the layer
+ * and install the default loop orders.
+ */
+void
+growGbAndFinish(Dataflow &df, const ConvShape &shape)
+{
+    const double gb_budget_bits = 0.5 * 512.0 * 1024.0 * 8.0;
+    auto footprint16 = [&]() {
+        double kext = static_cast<double>(std::min<int64_t>(
+            df.tileExtent(Dim::K, Level::Gb), shape.k));
+        double cext = static_cast<double>(std::min<int64_t>(
+            df.tileExtent(Dim::C, Level::Gb), shape.c));
+        double oyext = static_cast<double>(std::min<int64_t>(
+            df.tileExtent(Dim::OY, Level::Gb), shape.oy));
+        double oxext = static_cast<double>(std::min<int64_t>(
+            df.tileExtent(Dim::OX, Level::Gb), shape.ox));
+        double w = kext * cext * shape.r * shape.s;
+        double iy = oyext * shape.stride + shape.r - shape.stride;
+        double ix = oxext * shape.stride + shape.s - shape.stride;
+        double i = cext * iy * ix;
+        double o = kext * oyext * oxext;
+        return (w + i + o) * 16.0;
+    };
+
+    // Cover R/S fully at GB (they are small and enable weight reuse).
+    df.trips(Level::Gb, Dim::R) =
+        ceilDiv(shape.r, static_cast<int>(df.tileExtent(Dim::R,
+                                                        Level::Noc)));
+    df.trips(Level::Gb, Dim::S) =
+        ceilDiv(shape.s, static_cast<int>(df.tileExtent(Dim::S,
+                                                        Level::Noc)));
+    const Dim grow_order[] = {Dim::C, Dim::K, Dim::OY, Dim::OX};
+    bool grew = true;
+    while (grew && footprint16() < gb_budget_bits) {
+        grew = false;
+        for (Dim d : grow_order) {
+            int inner = static_cast<int>(df.tileExtent(d, Level::Noc));
+            int remaining =
+                ceilDiv(Dataflow::shapeExtent(shape, d), inner);
+            if (df.trips(Level::Gb, d) >= remaining)
+                continue;
+            df.trips(Level::Gb, d) =
+                std::min(remaining, df.trips(Level::Gb, d) * 2);
+            if (footprint16() > gb_budget_bits) {
+                // Undo the growth that crossed the budget.
+                df.trips(Level::Gb, d) =
+                    std::max(1, df.trips(Level::Gb, d) / 2);
+            } else {
+                grew = true;
+            }
+        }
+    }
+
+    // DRAM level: whatever remains of every dimension.
+    for (int d = 0; d < kNumDims; ++d) {
+        Dim dim = static_cast<Dim>(d);
+        int covered = static_cast<int>(df.tileExtent(dim, Level::Gb));
+        df.trips(Level::Dram, dim) =
+            ceilDiv(Dataflow::shapeExtent(shape, dim), covered);
+    }
+
+    // Default loop orders: reduction dims innermost at GB/DRAM (good
+    // output reuse); the optimizer permutes these.
+    std::array<Dim, kNumDims> temporal_order = {
+        Dim::N, Dim::K, Dim::OY, Dim::OX, Dim::C, Dim::R, Dim::S};
+    df.order[static_cast<size_t>(Level::Gb)] = temporal_order;
+    df.order[static_cast<size_t>(Level::Dram)] = temporal_order;
+    df.order[static_cast<size_t>(Level::Rf)] = temporal_order;
+}
+
+} // namespace
+
+Dataflow
+Dataflow::minimalFallback(const ConvShape &shape)
+{
+    Dataflow df;
+    for (int d = 0; d < kNumDims; ++d) {
+        Dim dim = static_cast<Dim>(d);
+        df.trips(Level::Dram, dim) = shapeExtent(shape, dim);
+    }
+    return df;
+}
+
+Dataflow
+Dataflow::bitFusionFixed(const ConvShape &shape, int64_t pe_budget)
+{
+    Dataflow df;
+
+    // RF level as in the adaptive mapping (Bit Fusion has no
+    // intra-unit reduction, so a modest tile suffices).
+    df.trips(Level::Rf, Dim::R) = takeTile(shape.r, 3);
+    df.trips(Level::Rf, Dim::S) = takeTile(shape.s, 3);
+    df.trips(Level::Rf, Dim::C) = takeTile(shape.c, 4);
+
+    int side = 16;
+    while (static_cast<int64_t>(side) * side > pe_budget && side > 1)
+        side /= 2;
+    // The fixed assignment maps K down one array side and output
+    // pixels (OX, then OY) down the other; layers whose extents do
+    // not fill the grid under-utilize it (FC layers, tiny feature
+    // maps) — the inflexibility the paper criticizes.
+    int k_t = std::min(side, std::max(shape.k, 1));
+    int ox_t = std::min(side, std::max(shape.ox, 1));
+    int oy_t = std::min(std::max(side / ox_t, 1),
+                        std::max(shape.oy, 1));
+    df.trips(Level::Noc, Dim::K) = k_t;
+    df.trips(Level::Noc, Dim::OX) = ox_t;
+    df.trips(Level::Noc, Dim::OY) = oy_t;
+
+    growGbAndFinish(df, shape);
+    return df;
+}
+
+Dataflow
+Dataflow::greedyDefault(const ConvShape &shape, int64_t pe_budget,
+                        int64_t rf_reduction)
+{
+    Dataflow df;
+
+    // RF level: reduction dims feed the intra-unit partial sums; the
+    // C tile grows until R*S*C covers the target reduction ways (16
+    // for the proposed MAC at <=4-bit), so 1x1 convolutions keep the
+    // unit fully fed.
+    int rf_r = takeTile(shape.r, 3);
+    int rf_s = takeTile(shape.s, 3);
+    int target = static_cast<int>(std::max<int64_t>(1, rf_reduction));
+    int rf_c = takeTile(shape.c, ceilDiv(target, rf_r * rf_s));
+    df.trips(Level::Rf, Dim::R) = rf_r;
+    df.trips(Level::Rf, Dim::S) = rf_s;
+    df.trips(Level::Rf, Dim::C) = rf_c;
+
+    // NoC level: spread K then OX then OY spatially.
+    int64_t budget = std::max<int64_t>(1, pe_budget);
+    int noc_k = takeTile(shape.k, static_cast<int>(std::min<int64_t>(
+                                      budget, 64)));
+    budget = std::max<int64_t>(1, budget / noc_k);
+    int noc_ox = takeTile(shape.ox, static_cast<int>(budget));
+    budget = std::max<int64_t>(1, budget / noc_ox);
+    int noc_oy = takeTile(shape.oy, static_cast<int>(budget));
+    df.trips(Level::Noc, Dim::K) = noc_k;
+    df.trips(Level::Noc, Dim::OX) = noc_ox;
+    df.trips(Level::Noc, Dim::OY) = noc_oy;
+
+    growGbAndFinish(df, shape);
+    return df;
+}
+
+} // namespace twoinone

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Dataflow descriptor: the tiling strategy (per-level tiling factors
+ * and loop orders) across the accelerator's memory hierarchy, in the
+ * Eyeriss nomenclature the paper adopts (Sec. 3.1.3) — RF (inside a
+ * MAC unit), NoC (the spatial MAC array), global buffer, and DRAM.
+ */
+
+#ifndef TWOINONE_ACCEL_DATAFLOW_HH
+#define TWOINONE_ACCEL_DATAFLOW_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "workloads/layer_shape.hh"
+
+namespace twoinone {
+
+/** The seven loop dimensions of a convolution. */
+enum class Dim : int
+{
+    N = 0,
+    K = 1,
+    C = 2,
+    OY = 3,
+    OX = 4,
+    R = 5,
+    S = 6,
+};
+
+/** Number of loop dimensions. */
+constexpr int kNumDims = 7;
+
+/** Short dimension name ("N", "K", ...). */
+const char *dimName(Dim d);
+
+/** Memory-hierarchy levels, innermost first. */
+enum class Level : int
+{
+    Rf = 0,   ///< Register file inside a MAC unit.
+    Noc = 1,  ///< Spatial tiling across the MAC array.
+    Gb = 2,   ///< Global buffer (SRAM).
+    Dram = 3, ///< Off-chip memory.
+};
+
+/** Number of hierarchy levels. */
+constexpr int kNumLevels = 4;
+
+/** Level name ("RF", "NoC", "GB", "DRAM"). */
+const char *levelName(Level l);
+
+/**
+ * A complete dataflow: per-level trip counts for every dimension plus
+ * a per-level loop order (outermost loop first).
+ *
+ * The product of a dimension's trip counts across all levels must
+ * cover the layer's extent (padding allowed: product >= extent, with
+ * the overhang modeled as utilization loss by the predictor).
+ */
+struct Dataflow
+{
+    /** tiling[level][dim] = trip count of that loop. */
+    std::array<std::array<int, kNumDims>, kNumLevels> tiling;
+
+    /** order[level][i] = i-th loop at that level, outermost first
+     * (meaningful for the temporal levels RF, GB, DRAM). */
+    std::array<std::array<Dim, kNumDims>, kNumLevels> order;
+
+    Dataflow();
+
+    /** Trip count accessor. */
+    int trips(Level l, Dim d) const;
+    int &trips(Level l, Dim d);
+
+    /** Cumulative tile extent of dim d up to and including level l. */
+    int64_t tileExtent(Dim d, Level l) const;
+
+    /** Padded total extent of dim d (across all levels). */
+    int64_t paddedExtent(Dim d) const;
+
+    /** Spatial parallelism: product of all NoC trip counts. */
+    int64_t spatialUnits() const;
+
+    /** True when every padded extent covers the layer's extent. */
+    bool covers(const ConvShape &shape) const;
+
+    /** Padding overhead: padded MACs / real MACs (>= 1). */
+    double paddingFactor(const ConvShape &shape) const;
+
+    /** Human-readable multi-line description. */
+    std::string describe() const;
+
+    /**
+     * A simple valid default: reduction dims at RF, K/OY/OX spread
+     * spatially up to @p pe_budget units, the remainder split between
+     * GB and DRAM so the GB tile stays within @p gb_budget_hint
+     * elements per tensor (heuristic, not optimal — the evolutionary
+     * optimizer improves on it).
+     */
+    static Dataflow greedyDefault(const ConvShape &shape,
+                                  int64_t pe_budget,
+                                  int64_t rf_reduction = 16);
+
+    /**
+     * A guaranteed-valid fallback: every loop at DRAM, single MAC
+     * unit, trivial tiles everywhere else. Traffic-heavy but always
+     * fits any buffer; used when a candidate mapping overflows.
+     */
+    static Dataflow minimalFallback(const ConvShape &shape);
+
+    /**
+     * Bit Fusion's fixed NoC mapping (paper Sec. 3.1.3): a 16x16
+     * systolic-style assignment of K x OX to the array regardless of
+     * the layer, causing under-utilization when a layer's extents do
+     * not fill it. The GB level grows capacity-aware like
+     * greedyDefault; only the GB loop order is ever re-optimized.
+     */
+    static Dataflow bitFusionFixed(const ConvShape &shape,
+                                   int64_t pe_budget);
+
+    /** The extent of dim d in a shape. */
+    static int shapeExtent(const ConvShape &shape, Dim d);
+};
+
+} // namespace twoinone
+
+#endif // TWOINONE_ACCEL_DATAFLOW_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * DNNGuard model implementation.
+ */
+
+#include "accel/dnnguard.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace twoinone {
+
+double
+DnnGuardModel::fixedMacUnitArea()
+{
+    // A fixed 16-bit MAC plus the per-PE share of DNNGuard's elastic
+    // interconnect and buffer-management logic (the heterogeneous
+    // orchestration hardware of [76]).
+    return 1.2;
+}
+
+DnnGuardModel::DnnGuardModel(double mac_array_area, const TechModel &tech,
+                             NetworkWorkload detector,
+                             double elastic_efficiency)
+    : macArrayArea_(mac_array_area), detector_(std::move(detector)),
+      elasticEfficiency_(elastic_efficiency)
+{
+    (void)tech;
+    TWOINONE_ASSERT(mac_array_area > 0.0, "non-positive area budget");
+    TWOINONE_ASSERT(elastic_efficiency > 0.0 && elastic_efficiency <= 1.0,
+                    "bad elastic efficiency");
+    numUnits_ = static_cast<int>(mac_array_area / fixedMacUnitArea());
+    TWOINONE_ASSERT(numUnits_ >= 1, "area budget below one MAC unit");
+}
+
+double
+DnnGuardModel::totalCycles(const NetworkWorkload &target) const
+{
+    // Target and detector share the elastic array; total work is the
+    // sum of both networks' MACs at one MAC/unit/cycle, scaled by the
+    // elastic-partitioning utilization DNNGuard reports. The same
+    // LPDDR-class memory roofline as the other accelerators applies,
+    // at the design's fixed 16-bit datapath width.
+    double total_macs = static_cast<double>(target.totalMacs()) +
+                        static_cast<double>(detector_.totalMacs());
+    double array_macs_per_cycle =
+        static_cast<double>(numUnits_) * elasticEfficiency_;
+    double compute = total_macs / array_macs_per_cycle;
+
+    double traffic_bits = 0.0;
+    auto add_net = [&](const NetworkWorkload &net) {
+        for (const ConvShape &l : net.layers) {
+            traffic_bits += 16.0 *
+                            (static_cast<double>(l.weightCount()) +
+                             static_cast<double>(l.inputCount()) +
+                             static_cast<double>(l.outputCount()));
+        }
+    };
+    add_net(target);
+    add_net(detector_);
+    double stall = traffic_bits / 512.0; // DRAM bits per cycle
+    return std::max(compute, stall);
+}
+
+double
+DnnGuardModel::fps(const NetworkWorkload &target, double clock_ghz) const
+{
+    double cycles = totalCycles(target);
+    TWOINONE_ASSERT(cycles > 0.0, "degenerate workload");
+    return clock_ghz * 1e9 / cycles;
+}
+
+double
+DnnGuardModel::fpsPerArea(const NetworkWorkload &target,
+                          double clock_ghz) const
+{
+    return fps(target, clock_ghz) / macArrayArea_;
+}
+
+} // namespace twoinone

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * DNNGuard [76] baseline model — the robustness-aware accelerator the
+ * paper compares against in Sec. 4.3.2.
+ *
+ * DNNGuard is an elastic heterogeneous accelerator that runs the
+ * target DNN *and* an adversarial-sample detection network
+ * concurrently, sharing the PE array and on-chip buffer. The model
+ * here captures exactly that cost structure: a fixed-precision
+ * (16-bit) MAC array whose throughput is split between the target
+ * workload and the detection workload, plus an orchestration
+ * efficiency factor for the elastic resource management. Defending
+ * is therefore paid for in throughput — the contrast to the 2-in-1
+ * approach, which defends inside the target model at low precision.
+ */
+
+#ifndef TWOINONE_ACCEL_DNNGUARD_HH
+#define TWOINONE_ACCEL_DNNGUARD_HH
+
+#include "accel/predictor.hh"
+
+namespace twoinone {
+
+/**
+ * DNNGuard performance model.
+ */
+class DnnGuardModel
+{
+  public:
+    /**
+     * @param mac_array_area Area budget in normalized MAC-area units
+     *        (same budget the other accelerators receive).
+     * @param tech Technology constants.
+     * @param detector Detection network run next to every inference
+     *        (the paper's setting uses a ResNet-18-class detector).
+     * @param elastic_efficiency Utilization of the elastic PE/buffer
+     *        partitioning (< 1: orchestration overhead).
+     */
+    DnnGuardModel(double mac_array_area, const TechModel &tech,
+                  NetworkWorkload detector,
+                  double elastic_efficiency = 0.35);
+
+    /** MAC units (fixed 16-bit, one MAC/cycle each). */
+    int numUnits() const { return numUnits_; }
+
+    double macArrayArea() const { return macArrayArea_; }
+
+    /**
+     * Cycles to run one inference of @p target including the
+     * concurrent detector execution.
+     */
+    double totalCycles(const NetworkWorkload &target) const;
+
+    /** Frames per second on the target network. */
+    double fps(const NetworkWorkload &target, double clock_ghz) const;
+
+    /** Throughput normalized by the MAC-array area. */
+    double fpsPerArea(const NetworkWorkload &target,
+                      double clock_ghz) const;
+
+  private:
+    double macArrayArea_;
+    int numUnits_;
+    NetworkWorkload detector_;
+    double elasticEfficiency_;
+
+    /** Area of one fixed-precision 16-bit MAC unit (normalized). */
+    static double fixedMacUnitArea();
+};
+
+} // namespace twoinone
+
+#endif // TWOINONE_ACCEL_DNNGUARD_HH

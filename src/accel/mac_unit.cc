@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared MacUnitModel behaviour.
+ */
+
+#include "accel/mac_unit.hh"
+
+#include "common/logging.hh"
+
+namespace twoinone {
+
+double
+MacAreaBreakdown::shiftAddFraction() const
+{
+    double t = total();
+    return (t > 0.0) ? shiftAdd / t : 0.0;
+}
+
+double
+MacUnitModel::reductionWays(int w_bits, int a_bits) const
+{
+    (void)w_bits;
+    (void)a_bits;
+    return 1.0;
+}
+
+double
+MacUnitModel::macsPerCycle(int w_bits, int a_bits) const
+{
+    double c = cyclesPerPass(w_bits, a_bits);
+    TWOINONE_ASSERT(c > 0.0, "non-positive pass cycles");
+    return productsPerPass(w_bits, a_bits) / c;
+}
+
+double
+MacUnitModel::macsPerCyclePerArea(int w_bits, int a_bits) const
+{
+    double a = area().total();
+    TWOINONE_ASSERT(a > 0.0, "non-positive unit area");
+    return macsPerCycle(w_bits, a_bits) / a;
+}
+
+double
+MacUnitModel::energyPerMac(int w_bits, int a_bits,
+                           const TechModel &tech) const
+{
+    const MacAreaBreakdown a = area();
+    const MacActivity act = activity();
+    double active_area = a.multiplier * act.multiplier +
+                         a.shiftAdd * act.shiftAdd +
+                         a.registers * act.registers;
+    double energy_per_cycle = active_area * tech.macEnergyScale;
+    double products = productsPerPass(w_bits, a_bits);
+    TWOINONE_ASSERT(products > 0.0, "non-positive products per pass");
+    return energy_per_cycle * cyclesPerPass(w_bits, a_bits) / products;
+}
+
+} // namespace twoinone

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Abstract MAC-unit performance/area/energy model.
+ *
+ * A MacUnitModel answers, for every (weight precision, activation
+ * precision) pair: how many cycles one pass takes, how many MAC
+ * operations the pass completes, what the unit's area breakdown is,
+ * and how much energy one MAC costs. The three concrete models —
+ * temporal (Stripes), spatial (Bit Fusion) and the proposed
+ * spatial-temporal design — live in their own files.
+ */
+
+#ifndef TWOINONE_ACCEL_MAC_UNIT_HH
+#define TWOINONE_ACCEL_MAC_UNIT_HH
+
+#include <memory>
+#include <string>
+
+#include "accel/tech_model.hh"
+
+namespace twoinone {
+
+/**
+ * Area of one MAC unit split into the paper's Fig. 3 components
+ * (normalized area units; 1.0 = the proposed MAC unit's total).
+ */
+struct MacAreaBreakdown
+{
+    double multiplier = 0.0; ///< Multiplier / AND-array area.
+    double shiftAdd = 0.0;   ///< Shifters + accumulators/adders.
+    double registers = 0.0;  ///< Pipeline and operand registers.
+
+    double total() const { return multiplier + shiftAdd + registers; }
+
+    /** Fraction of total occupied by the shift-add logic. */
+    double shiftAddFraction() const;
+};
+
+/**
+ * Per-component switching-activity factors, the energy calibration
+ * knob (see tech_model.hh).
+ */
+struct MacActivity
+{
+    double multiplier = 1.0;
+    double shiftAdd = 1.0;
+    double registers = 0.8;
+};
+
+/**
+ * Abstract precision-scalable MAC-unit model.
+ */
+class MacUnitModel
+{
+  public:
+    virtual ~MacUnitModel() = default;
+
+    /** Design name for reports. */
+    virtual std::string name() const = 0;
+
+    /** Static area breakdown of one unit. */
+    virtual MacAreaBreakdown area() const = 0;
+
+    /** Switching-activity calibration of this design. */
+    virtual MacActivity activity() const = 0;
+
+    /**
+     * Cycles of one pass at the given precisions.
+     * A "pass" is the unit's natural repetition period.
+     */
+    virtual double cyclesPerPass(int w_bits, int a_bits) const = 0;
+
+    /** MAC operations completed by one pass. */
+    virtual double productsPerPass(int w_bits, int a_bits) const = 0;
+
+    /**
+     * Intra-unit parallelism over *reduction* operands: how many
+     * distinct (weight, activation) pairs of the same output a pass
+     * consumes. 1 for designs whose parallelism is over independent
+     * outputs.
+     */
+    virtual double reductionWays(int w_bits, int a_bits) const;
+
+    /**
+     * The precision the unit actually executes when asked for
+     * @p bits (spatial designs round up to a supported precision;
+     * see paper Fig. 2 discussion).
+     */
+    virtual int effectivePrecision(int bits) const { return bits; }
+
+    /** Throughput: MACs per cycle of one unit. */
+    double macsPerCycle(int w_bits, int a_bits) const;
+
+    /** Throughput normalized by unit area. */
+    double macsPerCyclePerArea(int w_bits, int a_bits) const;
+
+    /**
+     * Energy of one MAC operation, pJ.
+     *
+     * Modeled as (active area x activity x scale) per cycle, spread
+     * over the MACs one pass completes.
+     */
+    double energyPerMac(int w_bits, int a_bits,
+                        const TechModel &tech) const;
+};
+
+using MacUnitModelPtr = std::unique_ptr<MacUnitModel>;
+
+} // namespace twoinone
+
+#endif // TWOINONE_ACCEL_MAC_UNIT_HH

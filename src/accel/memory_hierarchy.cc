@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Default memory-hierarchy construction.
+ */
+
+#include "accel/memory_hierarchy.hh"
+
+namespace twoinone {
+
+MemoryHierarchy
+MemoryHierarchy::makeDefault(const TechModel &tech, int num_units)
+{
+    MemoryHierarchy h;
+
+    // Register file: 2 Kb per MAC unit (operand tiles + partials for
+    // the intra-unit reduction of Opt-1).
+    h.level(Level::Rf).capacityBits = 2048.0 * num_units;
+    h.level(Level::Rf).bandwidthBitsPerCycle = 64.0 * num_units;
+    h.level(Level::Rf).energyPerBit = tech.rfEnergyPerBit;
+
+    // NoC: transport only; per-unit injection bandwidth.
+    h.level(Level::Noc).capacityBits = 0.0;
+    h.level(Level::Noc).bandwidthBitsPerCycle = 16.0 * num_units;
+    h.level(Level::Noc).energyPerBit = tech.nocEnergyPerBit;
+
+    // Global buffer: 512 KB shared SRAM, wide port.
+    h.level(Level::Gb).capacityBits = 512.0 * 1024.0 * 8.0;
+    h.level(Level::Gb).bandwidthBitsPerCycle = 1024.0;
+    h.level(Level::Gb).energyPerBit = tech.sramEnergyPerBit;
+
+    // DRAM: unbounded capacity, LPDDR-class bandwidth (64 GB/s at
+    // the 1 GHz reference clock).
+    h.level(Level::Dram).capacityBits = 0.0;
+    h.level(Level::Dram).bandwidthBitsPerCycle = 512.0;
+    h.level(Level::Dram).energyPerBit = tech.dramEnergyPerBit;
+
+    return h;
+}
+
+} // namespace twoinone

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Memory-hierarchy specification: capacities, bandwidths, and access
+ * energies of RF / NoC / global buffer / DRAM. Every accelerator in
+ * the comparison (ours, Stripes, Bit Fusion) is built with the *same*
+ * hierarchy, matching the paper's iso-memory/iso-array-area setup
+ * (Sec. 4.1.2).
+ */
+
+#ifndef TWOINONE_ACCEL_MEMORY_HIERARCHY_HH
+#define TWOINONE_ACCEL_MEMORY_HIERARCHY_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "accel/dataflow.hh"
+#include "accel/tech_model.hh"
+
+namespace twoinone {
+
+/**
+ * One memory level's physical parameters.
+ */
+struct MemoryLevelSpec
+{
+    /** Capacity in bits (0 = unbounded, e.g. DRAM; NoC is transport
+     * only and also 0). */
+    double capacityBits = 0.0;
+    /** Sustained bandwidth in bits per cycle. */
+    double bandwidthBitsPerCycle = 0.0;
+    /** Access energy in pJ per bit. */
+    double energyPerBit = 0.0;
+};
+
+/**
+ * The four-level hierarchy the predictor walks.
+ */
+struct MemoryHierarchy
+{
+    std::array<MemoryLevelSpec, kNumLevels> levels;
+
+    const MemoryLevelSpec &level(Level l) const
+    {
+        return levels[static_cast<size_t>(l)];
+    }
+    MemoryLevelSpec &level(Level l)
+    {
+        return levels[static_cast<size_t>(l)];
+    }
+
+    /**
+     * The default configuration used by all benches: 512-bit RF per
+     * MAC unit, 16 KB/unit-scaled NoC bandwidth, a 512 KB global
+     * buffer, and DDR-class DRAM bandwidth.
+     *
+     * @param tech Source of per-bit energies.
+     * @param num_units MAC-unit count (scales RF capacity and NoC
+     *        bandwidth, which are per-unit resources).
+     */
+    static MemoryHierarchy makeDefault(const TechModel &tech,
+                                       int num_units);
+};
+
+} // namespace twoinone
+
+#endif // TWOINONE_ACCEL_MEMORY_HIERARCHY_HH

@@ -1,0 +1,356 @@
+/**
+ * @file
+ * PerformancePredictor implementation.
+ */
+
+#include "accel/predictor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace twoinone {
+
+const char *
+tensorName(TensorKind t)
+{
+    static const char *names[kNumTensors] = {"W", "I", "O"};
+    return names[static_cast<int>(t)];
+}
+
+double
+LayerPrediction::totalEnergyPj() const
+{
+    double e = macEnergyPj;
+    for (double m : memEnergyPj)
+        e += m;
+    return e;
+}
+
+double
+NetworkPrediction::fps(double clock_ghz, int batch) const
+{
+    if (totalCycles <= 0.0)
+        return 0.0;
+    double seconds = totalCycles / (clock_ghz * 1e9);
+    return static_cast<double>(batch) / seconds;
+}
+
+double
+NetworkPrediction::inferencesPerJoule(int batch) const
+{
+    if (totalEnergyPj <= 0.0)
+        return 0.0;
+    return static_cast<double>(batch) / (totalEnergyPj * 1e-12);
+}
+
+PerformancePredictor::PerformancePredictor(const MacUnitModel &mac,
+                                           MemoryHierarchy hierarchy,
+                                           const TechModel &tech,
+                                           int num_units)
+    : mac_(mac), hierarchy_(std::move(hierarchy)), tech_(tech),
+      numUnits_(num_units)
+{
+    TWOINONE_ASSERT(num_units > 0, "need at least one MAC unit");
+}
+
+bool
+PerformancePredictor::dimRelevant(TensorKind t, Dim d)
+{
+    switch (t) {
+      case TensorKind::Weight:
+        return d == Dim::K || d == Dim::C || d == Dim::R || d == Dim::S;
+      case TensorKind::Input:
+        // Inputs depend on OY/OX through the sliding window and on
+        // R/S through the halo.
+        return d == Dim::N || d == Dim::C || d == Dim::OY ||
+               d == Dim::OX || d == Dim::R || d == Dim::S;
+      case TensorKind::Output:
+        return d == Dim::N || d == Dim::K || d == Dim::OY || d == Dim::OX;
+    }
+    TWOINONE_PANIC("unknown TensorKind");
+}
+
+bool
+PerformancePredictor::isReductionDim(Dim d)
+{
+    return d == Dim::C || d == Dim::R || d == Dim::S;
+}
+
+double
+PerformancePredictor::footprintElements(TensorKind t,
+                                        const ConvShape &shape,
+                                        const Dataflow &df, Level l) const
+{
+    auto ext = [&](Dim d) {
+        return static_cast<double>(
+            std::min<int64_t>(df.tileExtent(d, l),
+                              Dataflow::shapeExtent(shape, d)));
+    };
+    switch (t) {
+      case TensorKind::Weight:
+        return ext(Dim::K) * ext(Dim::C) * ext(Dim::R) * ext(Dim::S);
+      case TensorKind::Input: {
+        // Halo: iy = oy*stride + r - stride.
+        double iy = ext(Dim::OY) * shape.stride + ext(Dim::R) -
+                    shape.stride;
+        double ix = ext(Dim::OX) * shape.stride + ext(Dim::S) -
+                    shape.stride;
+        return ext(Dim::N) * ext(Dim::C) * iy * ix;
+      }
+      case TensorKind::Output:
+        return ext(Dim::N) * ext(Dim::K) * ext(Dim::OY) * ext(Dim::OX);
+    }
+    TWOINONE_PANIC("unknown TensorKind");
+}
+
+double
+PerformancePredictor::refetchFactor(TensorKind t, const Dataflow &df,
+                                    Level retention) const
+{
+    // Walk the temporal levels above the retention level. At each
+    // level, loops run outermost-first in the stored order; trailing
+    // (innermost) loops irrelevant to the tensor leave the retained
+    // tile untouched — the "refresh location" sits just outside them.
+    // Any irrelevant loop outside a relevant one forces a refetch of
+    // the whole tile per iteration.
+    double refetch = 1.0;
+    for (int lv = static_cast<int>(retention) + 1; lv < kNumLevels;
+         ++lv) {
+        Level level = static_cast<Level>(lv);
+        if (level == Level::Noc)
+            continue; // spatial level: parallel units, not iterations
+        const auto &ord = df.order[static_cast<size_t>(lv)];
+
+        // Find the innermost *relevant* loop position.
+        int innermost_relevant = -1;
+        for (int i = kNumDims - 1; i >= 0; --i) {
+            Dim d = ord[static_cast<size_t>(i)];
+            if (dimRelevant(t, d) && df.trips(level, d) > 1) {
+                innermost_relevant = i;
+                break;
+            }
+        }
+        for (int i = 0; i < kNumDims; ++i) {
+            Dim d = ord[static_cast<size_t>(i)];
+            int trip = df.trips(level, d);
+            if (trip <= 1)
+                continue;
+            if (dimRelevant(t, d)) {
+                // Relevant loop: iterates over fresh data.
+                refetch *= trip;
+            } else if (i < innermost_relevant) {
+                // Irrelevant loop outside a relevant loop: the tile
+                // is evicted and refetched every iteration.
+                refetch *= trip;
+            }
+            // Irrelevant loops inside every relevant loop reuse the
+            // retained tile: factor 1.
+        }
+    }
+    return refetch;
+}
+
+LayerPrediction
+PerformancePredictor::predictLayer(const ConvShape &shape, int w_bits,
+                                   int a_bits, const Dataflow &df) const
+{
+    LayerPrediction p;
+
+    if (!df.covers(shape)) {
+        p.invalidReason = "dataflow does not cover the layer extent";
+        return p;
+    }
+
+    // --- Validity: spatial fit ------------------------------------
+    int64_t spatial = df.spatialUnits();
+    if (spatial > numUnits_) {
+        p.invalidReason = "NoC tiling exceeds MAC-unit count";
+        return p;
+    }
+
+    const double out_bits = 16.0; // partial-sum precision on the wire
+
+    // --- Validity: buffer capacities -------------------------------
+    double gb_bits = 0.0;
+    double rf_bits = 0.0;
+    for (int ti = 0; ti < kNumTensors; ++ti) {
+        TensorKind t = static_cast<TensorKind>(ti);
+        double bits = (t == TensorKind::Weight)
+                          ? w_bits
+                          : (t == TensorKind::Input ? a_bits : out_bits);
+        gb_bits += footprintElements(t, shape, df, Level::Gb) * bits;
+        // The RF of *every active unit* holds its own tile.
+        rf_bits += footprintElements(t, shape, df, Level::Rf) * bits *
+                   static_cast<double>(spatial);
+    }
+    if (hierarchy_.level(Level::Gb).capacityBits > 0.0 &&
+        gb_bits > hierarchy_.level(Level::Gb).capacityBits) {
+        p.invalidReason = "global-buffer tile overflows capacity";
+        return p;
+    }
+    if (hierarchy_.level(Level::Rf).capacityBits > 0.0 &&
+        rf_bits > hierarchy_.level(Level::Rf).capacityBits) {
+        p.invalidReason = "register-file tile overflows capacity";
+        return p;
+    }
+
+    // --- Compute cycles --------------------------------------------
+    double padded_macs =
+        static_cast<double>(shape.macs()) * df.paddingFactor(shape);
+    p.spatialUtilization =
+        static_cast<double>(spatial) / static_cast<double>(numUnits_);
+
+    // Intra-unit reduction parallelism must be fed by the RF-level
+    // reduction tile (Opt-1's R/S/C operands).
+    double rf_reduction =
+        static_cast<double>(df.tileExtent(Dim::C, Level::Rf)) *
+        static_cast<double>(df.tileExtent(Dim::R, Level::Rf)) *
+        static_cast<double>(df.tileExtent(Dim::S, Level::Rf));
+    double ways = mac_.reductionWays(w_bits, a_bits);
+    p.intraUtilization = std::min(1.0, rf_reduction / ways);
+
+    double per_unit_macs_per_cycle =
+        mac_.macsPerCycle(w_bits, a_bits) * p.intraUtilization;
+    double array_macs_per_cycle =
+        per_unit_macs_per_cycle * static_cast<double>(spatial);
+    TWOINONE_ASSERT(array_macs_per_cycle > 0.0, "zero array throughput");
+    p.computeCycles = padded_macs / array_macs_per_cycle;
+
+    // --- Traffic ----------------------------------------------------
+    // DRAM <-> GB: footprint at GB refetched per the DRAM loops.
+    // GB -> RF (over the NoC): footprint at RF per active unit,
+    //   refetched per the GB + DRAM loops; spatial multicast of
+    //   shared data across units is free for irrelevant NoC dims.
+    auto bits_of = [&](TensorKind t) {
+        return (t == TensorKind::Weight)
+                   ? static_cast<double>(w_bits)
+                   : (t == TensorKind::Input ? static_cast<double>(a_bits)
+                                             : out_bits);
+    };
+
+    double dram_traffic = 0.0;
+    double noc_traffic = 0.0;
+    for (int ti = 0; ti < kNumTensors; ++ti) {
+        TensorKind t = static_cast<TensorKind>(ti);
+        double b = bits_of(t);
+
+        double gb_tile = footprintElements(t, shape, df, Level::Gb) * b;
+        double d_traffic = gb_tile * refetchFactor(t, df, Level::Gb);
+
+        // Spatial fan-out: units mapped to relevant NoC dims each
+        // need distinct data; irrelevant NoC dims multicast.
+        double fanout = 1.0;
+        for (int d = 0; d < kNumDims; ++d) {
+            Dim dim = static_cast<Dim>(d);
+            if (dimRelevant(t, dim))
+                fanout *= df.trips(Level::Noc, dim);
+        }
+        double rf_tile = footprintElements(t, shape, df, Level::Rf) * b;
+        double n_traffic =
+            rf_tile * fanout * refetchFactor(t, df, Level::Rf);
+
+        if (t == TensorKind::Output) {
+            // Partial sums cross the boundary once per reduction
+            // refetch, and each refetch is a read-modify-write. A
+            // MAC unit with w-way intra-unit reduction (Opt-1)
+            // accumulates w partials locally before one writeback,
+            // cutting the array-level partial-sum movement by 1/w —
+            // the paper's "better output reuse" advantage.
+            double ways = std::max(1.0, mac_.reductionWays(w_bits,
+                                                           a_bits));
+            d_traffic = std::max(d_traffic, gb_tile);
+            n_traffic = std::max(n_traffic, rf_tile * fanout);
+            d_traffic = 2.0 * d_traffic - gb_tile;
+            n_traffic =
+                (2.0 * n_traffic - rf_tile * fanout) / ways +
+                rf_tile * fanout * (1.0 - 1.0 / ways);
+        }
+        dram_traffic += d_traffic;
+        noc_traffic += n_traffic;
+    }
+
+    // RF accesses: every MAC reads one weight and one activation.
+    double rf_traffic =
+        padded_macs * (static_cast<double>(w_bits) + a_bits);
+    // GB port sees DRAM fills plus NoC drains.
+    double gb_traffic = dram_traffic + noc_traffic;
+
+    p.trafficBits[static_cast<size_t>(Level::Rf)] = rf_traffic;
+    p.trafficBits[static_cast<size_t>(Level::Noc)] = noc_traffic;
+    p.trafficBits[static_cast<size_t>(Level::Gb)] = gb_traffic;
+    p.trafficBits[static_cast<size_t>(Level::Dram)] = dram_traffic;
+
+    // --- Stalls (roofline over bandwidths) --------------------------
+    double bottleneck = p.computeCycles;
+    for (int lv = 0; lv < kNumLevels; ++lv) {
+        double bw = hierarchy_.levels[static_cast<size_t>(lv)]
+                        .bandwidthBitsPerCycle;
+        if (bw > 0.0) {
+            bottleneck = std::max(
+                bottleneck,
+                p.trafficBits[static_cast<size_t>(lv)] / bw);
+        }
+    }
+    p.totalCycles = bottleneck;
+    p.stallCycles = bottleneck - p.computeCycles;
+
+    // --- Energy ------------------------------------------------------
+    p.macEnergyPj = static_cast<double>(shape.macs()) *
+                    mac_.energyPerMac(w_bits, a_bits, tech_);
+    for (int lv = 0; lv < kNumLevels; ++lv) {
+        p.memEnergyPj[static_cast<size_t>(lv)] =
+            p.trafficBits[static_cast<size_t>(lv)] *
+            hierarchy_.levels[static_cast<size_t>(lv)].energyPerBit;
+    }
+
+    p.valid = true;
+    return p;
+}
+
+NetworkPrediction
+PerformancePredictor::predictNetwork(
+    const NetworkWorkload &net, int w_bits, int a_bits,
+    const std::vector<Dataflow> &dataflows) const
+{
+    TWOINONE_ASSERT(dataflows.size() == net.layers.size(),
+                    "one dataflow per layer required");
+    NetworkPrediction np;
+    for (size_t i = 0; i < net.layers.size(); ++i) {
+        LayerPrediction lp =
+            predictLayer(net.layers[i], w_bits, a_bits, dataflows[i]);
+        if (!lp.valid) {
+            ++np.invalidLayers;
+            continue;
+        }
+        np.totalCycles += lp.totalCycles;
+        np.totalEnergyPj += lp.totalEnergyPj();
+        np.macEnergyPj += lp.macEnergyPj;
+        for (int lv = 0; lv < kNumLevels; ++lv) {
+            np.memEnergyPj[static_cast<size_t>(lv)] +=
+                lp.memEnergyPj[static_cast<size_t>(lv)];
+        }
+    }
+    return np;
+}
+
+NetworkPrediction
+PerformancePredictor::predictNetworkDefault(const NetworkWorkload &net,
+                                            int w_bits, int a_bits) const
+{
+    std::vector<Dataflow> dfs;
+    dfs.reserve(net.layers.size());
+    for (const ConvShape &l : net.layers) {
+        Dataflow df = Dataflow::greedyDefault(l, numUnits_);
+        // Capacity validity depends on the precision; fall back to
+        // the always-valid streaming mapping rather than dropping the
+        // layer from the totals.
+        if (!predictLayer(l, w_bits, a_bits, df).valid)
+            df = Dataflow::minimalFallback(l);
+        dfs.push_back(std::move(df));
+    }
+    return predictNetwork(net, w_bits, a_bits, dfs);
+}
+
+} // namespace twoinone

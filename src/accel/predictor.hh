@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Analytical performance/energy predictor for one accelerator
+ * configuration — the reproduction of the DNN-Chip Predictor [90]
+ * that the paper's optimizer queries for every candidate dataflow.
+ *
+ * Given a layer shape, an execution precision, a MAC-unit model, a
+ * MAC-unit count and a dataflow, the predictor computes:
+ *  - compute cycles (MAC throughput x spatial/intra-unit utilization),
+ *  - per-level data traffic from tiling-based reuse analysis
+ *    (loop-order aware: trailing irrelevant loops at a level retain
+ *    the tile, earlier ones force a refetch — the "refresh location"
+ *    logic of paper Alg. 2),
+ *  - bandwidth-limited stall cycles (roofline over the levels),
+ *  - energy = traffic x per-bit energies + MACs x MAC energy,
+ *  - validity (buffer capacity and spatial-fit checks).
+ */
+
+#ifndef TWOINONE_ACCEL_PREDICTOR_HH
+#define TWOINONE_ACCEL_PREDICTOR_HH
+
+#include <string>
+
+#include "accel/dataflow.hh"
+#include "accel/mac_unit.hh"
+#include "accel/memory_hierarchy.hh"
+#include "workloads/layer_shape.hh"
+
+namespace twoinone {
+
+/** The three tensors whose movement the predictor tracks. */
+enum class TensorKind : int
+{
+    Weight = 0,
+    Input = 1,
+    Output = 2,
+};
+
+constexpr int kNumTensors = 3;
+
+/** Tensor name ("W", "I", "O"). */
+const char *tensorName(TensorKind t);
+
+/**
+ * Prediction for one layer at one precision under one dataflow.
+ */
+struct LayerPrediction
+{
+    bool valid = false;
+    std::string invalidReason;
+
+    double computeCycles = 0.0;
+    double stallCycles = 0.0; ///< max(0, bottleneck - compute)
+    double totalCycles = 0.0;
+
+    /** Spatial utilization of the MAC array, in (0, 1]. */
+    double spatialUtilization = 0.0;
+    /** Intra-unit reduction utilization, in (0, 1]. */
+    double intraUtilization = 0.0;
+
+    /** Bits moved through each level (RF, NoC, GB, DRAM). */
+    std::array<double, kNumLevels> trafficBits{};
+
+    double macEnergyPj = 0.0;
+    /** Energy per level, pJ. */
+    std::array<double, kNumLevels> memEnergyPj{};
+
+    double totalEnergyPj() const;
+};
+
+/**
+ * Prediction aggregated over a full network.
+ */
+struct NetworkPrediction
+{
+    double totalCycles = 0.0;
+    double totalEnergyPj = 0.0;
+    double macEnergyPj = 0.0;
+    std::array<double, kNumLevels> memEnergyPj{};
+    int invalidLayers = 0;
+
+    /** Frames (batches) per second at the given clock. */
+    double fps(double clock_ghz, int batch) const;
+    /** Inferences per Joule. */
+    double inferencesPerJoule(int batch) const;
+};
+
+/**
+ * The predictor: immutable configuration, pure predict calls.
+ */
+class PerformancePredictor
+{
+  public:
+    /**
+     * @param mac MAC-unit model (not owned; must outlive).
+     * @param hierarchy Memory hierarchy specification.
+     * @param tech Technology constants.
+     * @param num_units MAC-unit count of the array.
+     */
+    PerformancePredictor(const MacUnitModel &mac,
+                         MemoryHierarchy hierarchy, const TechModel &tech,
+                         int num_units);
+
+    /** Predict one layer at a (weight, activation) precision. */
+    LayerPrediction predictLayer(const ConvShape &shape, int w_bits,
+                                 int a_bits, const Dataflow &df) const;
+
+    /** Predict a network, one dataflow per layer. */
+    NetworkPrediction
+    predictNetwork(const NetworkWorkload &net, int w_bits, int a_bits,
+                   const std::vector<Dataflow> &dataflows) const;
+
+    /** Predict a network with greedy default dataflows. */
+    NetworkPrediction predictNetworkDefault(const NetworkWorkload &net,
+                                            int w_bits,
+                                            int a_bits) const;
+
+    int numUnits() const { return numUnits_; }
+    const MacUnitModel &mac() const { return mac_; }
+    const MemoryHierarchy &hierarchy() const { return hierarchy_; }
+    const TechModel &tech() const { return tech_; }
+
+    /** Is a tensor dependent on a loop dimension? */
+    static bool dimRelevant(TensorKind t, Dim d);
+
+    /** Is a dimension a reduction dim (C, R, S)? */
+    static bool isReductionDim(Dim d);
+
+  private:
+    const MacUnitModel &mac_;
+    MemoryHierarchy hierarchy_;
+    const TechModel &tech_;
+    int numUnits_;
+
+    /** Tile footprint (elements) of a tensor at a level. */
+    double footprintElements(TensorKind t, const ConvShape &shape,
+                             const Dataflow &df, Level l) const;
+
+    /**
+     * Refetch multiplier for a tensor at a retention level: the
+     * product of trip counts of loops above @p retention that cannot
+     * be reused (loop-order aware per level).
+     */
+    double refetchFactor(TensorKind t, const Dataflow &df,
+                         Level retention) const;
+};
+
+} // namespace twoinone
+
+#endif // TWOINONE_ACCEL_PREDICTOR_HH

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Spatial MAC-unit model in the style of Bit Fusion [67].
+ *
+ * Sixteen 2-bit BitBricks compose combinationally into products of
+ * 2/4/8-bit operands; precisions outside {2,4,8} execute at the next
+ * supported precision (paper Fig. 2 under-utilization observation);
+ * precisions above 8-bit run the whole fusion unit four times
+ * temporally. The per-brick compose shifters make shift-add 67% of
+ * the unit area ([63]'s observation, paper Fig. 3).
+ */
+
+#ifndef TWOINONE_ACCEL_SPATIAL_MAC_HH
+#define TWOINONE_ACCEL_SPATIAL_MAC_HH
+
+#include "accel/mac_unit.hh"
+
+namespace twoinone {
+
+/**
+ * Bit Fusion-style fusion-unit model (16 BitBricks).
+ */
+class SpatialMacModel : public MacUnitModel
+{
+  public:
+    std::string name() const override { return "BitFusion(spatial)"; }
+
+    MacAreaBreakdown area() const override;
+    MacActivity activity() const override;
+    double cyclesPerPass(int w_bits, int a_bits) const override;
+    double productsPerPass(int w_bits, int a_bits) const override;
+    int effectivePrecision(int bits) const override;
+};
+
+} // namespace twoinone
+
+#endif // TWOINONE_ACCEL_SPATIAL_MAC_HH

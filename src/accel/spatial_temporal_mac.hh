@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The paper's proposed spatial-temporal MAC-unit model (Sec. 3.2).
+ *
+ * Four groups of n bit-serial units (each unit <= 4-bit x 4-bit)
+ * spatially tile the temporal units:
+ *  - Opt-1 reorganizes the bit-level split so the n partial sums'
+ *    equal-magnitude partial products share a group, cutting the
+ *    cross-unit shifters from 4n to 4 (Eq. 4 -> Eq. 5);
+ *  - Opt-2 fuses the per-unit shift-add of a group into one *group
+ *    shift-add*, cutting the in-unit shifters by 1/n.
+ * The result is the Fig. 3 "Ours" breakdown where shift-add drops to
+ * 39.7% of the unit and multipliers claim 43.0%.
+ *
+ * Schedule (Sec. 3.2.1): p <= 4-bit -> every unit computes one
+ * product in p cycles; 4 < p <= 8 -> hi/lo split, one product per
+ * group-set in ceil(p/2) cycles; p > 8 -> temporal chunking into
+ * <= 8-bit pieces. Asymmetric precisions follow the serial operand.
+ */
+
+#ifndef TWOINONE_ACCEL_SPATIAL_TEMPORAL_MAC_HH
+#define TWOINONE_ACCEL_SPATIAL_TEMPORAL_MAC_HH
+
+#include "accel/mac_unit.hh"
+
+namespace twoinone {
+
+/**
+ * The 2-in-1 Accelerator's MAC-unit model.
+ */
+class SpatialTemporalMacModel : public MacUnitModel
+{
+  public:
+    /** @param units_per_group Partial sums computed concurrently
+     *        (n of Opt-1, default 4). */
+    explicit SpatialTemporalMacModel(int units_per_group = 4)
+        : unitsPerGroup_(units_per_group)
+    {
+    }
+
+    std::string name() const override
+    {
+        return "2-in-1(spatial-temporal)";
+    }
+
+    MacAreaBreakdown area() const override;
+    MacActivity activity() const override;
+    double cyclesPerPass(int w_bits, int a_bits) const override;
+    double productsPerPass(int w_bits, int a_bits) const override;
+    double reductionWays(int w_bits, int a_bits) const override;
+
+    int unitsPerGroup() const { return unitsPerGroup_; }
+
+  private:
+    int unitsPerGroup_;
+};
+
+} // namespace twoinone
+
+#endif // TWOINONE_ACCEL_SPATIAL_TEMPORAL_MAC_HH

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Default technology model instance.
+ */
+
+#include "accel/tech_model.hh"
+
+namespace twoinone {
+
+const TechModel &
+TechModel::defaults()
+{
+    static const TechModel instance;
+    return instance;
+}
+
+} // namespace twoinone

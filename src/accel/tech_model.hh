@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Technology model: per-component area and per-access energy
+ * constants used by every MAC-unit and memory model.
+ *
+ * The paper's numbers come from a commercial 28 nm flow (Design
+ * Compiler + PrimeTime + a foundry memory compiler). That flow is not
+ * available here, so this model is *calibrated*: the MAC component
+ * constants are fit so that (a) the area breakdowns of the three
+ * MAC-unit designs match the paper's Fig. 3 and (b) the synthesized
+ * MAC-unit ratios of Sec. 3.2.3 (2.3x throughput/area and 4.88x
+ * energy-efficiency/op over Bit Fusion at 8-bit) are reproduced. The
+ * memory energy ratios (RF : NoC : SRAM : DRAM) follow the widely
+ * used Eyeriss/DNN-Chip-Predictor relative-access-cost tables.
+ * DESIGN.md §1 records this substitution.
+ */
+
+#ifndef TWOINONE_ACCEL_TECH_MODEL_HH
+#define TWOINONE_ACCEL_TECH_MODEL_HH
+
+namespace twoinone {
+
+/**
+ * Area/energy constants of the modeled 28 nm-class process.
+ */
+struct TechModel
+{
+    /** @name Memory access energy, pJ per bit */
+    /** @{ */
+    double rfEnergyPerBit = 0.015;  ///< Register-file access.
+    double nocEnergyPerBit = 0.15;  ///< One array-level hop.
+    double sramEnergyPerBit = 0.60; ///< Global-buffer access.
+    double dramEnergyPerBit = 8.0;  ///< Off-chip (LPDDR4-class).
+    /** @} */
+
+    /** Energy per unit of active MAC area per cycle, pJ. */
+    double macEnergyScale = 0.15;
+
+    /** Clock frequency used to convert cycles to seconds. */
+    double clockGhz = 1.0;
+
+    /** Default instance shared by the benches. */
+    static const TechModel &defaults();
+};
+
+} // namespace twoinone
+
+#endif // TWOINONE_ACCEL_TECH_MODEL_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Temporal MAC model implementation.
+ *
+ * Area calibration: total 0.45 normalized units with the Fig. 3
+ * breakdown (9.4% multiplier / 60.9% shift-add / 29.7% registers).
+ */
+
+#include "accel/temporal_mac.hh"
+
+#include "common/logging.hh"
+
+namespace twoinone {
+
+MacAreaBreakdown
+TemporalMacModel::area() const
+{
+    MacAreaBreakdown a;
+    const double total = 0.45;
+    a.multiplier = total * 0.094;
+    a.shiftAdd = total * 0.609;
+    a.registers = total * 0.297;
+    return a;
+}
+
+MacActivity
+TemporalMacModel::activity() const
+{
+    MacActivity act;
+    // The max-precision shifter/accumulator toggles every cycle.
+    act.shiftAdd = 1.5;
+    return act;
+}
+
+double
+TemporalMacModel::cyclesPerPass(int w_bits, int a_bits) const
+{
+    (void)w_bits; // weights are held in parallel form
+    TWOINONE_ASSERT(a_bits >= 1 && a_bits <= maxBits_,
+                    "temporal unit asked for ", a_bits, "-bit serial");
+    return static_cast<double>(a_bits);
+}
+
+double
+TemporalMacModel::productsPerPass(int w_bits, int a_bits) const
+{
+    (void)w_bits;
+    (void)a_bits;
+    return 1.0;
+}
+
+} // namespace twoinone

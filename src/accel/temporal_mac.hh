@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Temporal (bit-serial) MAC-unit model in the style of Stripes [37].
+ *
+ * One operand (the activation) streams one bit per cycle through an
+ * AND array, a shifter and an accumulator sized for the *maximum*
+ * supported precision (16-bit) — which is exactly why the shift-add
+ * logic dominates the unit's area (paper Fig. 3, ~60.9%, and the
+ * "90% of area" observation of [67] for 16-bit serial units).
+ */
+
+#ifndef TWOINONE_ACCEL_TEMPORAL_MAC_HH
+#define TWOINONE_ACCEL_TEMPORAL_MAC_HH
+
+#include "accel/mac_unit.hh"
+
+namespace twoinone {
+
+/**
+ * Stripes-style bit-serial MAC unit model.
+ */
+class TemporalMacModel : public MacUnitModel
+{
+  public:
+    /** @param max_bits Highest supported precision (default 16). */
+    explicit TemporalMacModel(int max_bits = 16) : maxBits_(max_bits) {}
+
+    std::string name() const override { return "Stripes(temporal)"; }
+
+    MacAreaBreakdown area() const override;
+    MacActivity activity() const override;
+    double cyclesPerPass(int w_bits, int a_bits) const override;
+    double productsPerPass(int w_bits, int a_bits) const override;
+
+    int maxBits() const { return maxBits_; }
+
+  private:
+    int maxBits_;
+};
+
+} // namespace twoinone
+
+#endif // TWOINONE_ACCEL_TEMPORAL_MAC_HH

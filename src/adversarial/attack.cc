@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Shared attack helpers.
+ */
+
+#include "adversarial/attack.hh"
+
+#include <cmath>
+
+#include "tensor/ops.hh"
+
+namespace twoinone {
+
+AttackConfig
+AttackConfig::fromEps255(float eps255, float alpha255, int steps)
+{
+    AttackConfig cfg;
+    cfg.eps = eps255 / 255.0f;
+    cfg.alpha = alpha255 / 255.0f;
+    cfg.steps = steps;
+    return cfg;
+}
+
+float
+ceInputGradient(Network &net, const Tensor &x,
+                const std::vector<int> &labels, bool train_mode,
+                Tensor &grad_out)
+{
+    Tensor logits = net.forward(x, train_mode);
+    SoftmaxCrossEntropy loss;
+    float l = loss.forward(logits, labels);
+    grad_out = net.backward(loss.backward());
+    return l;
+}
+
+std::vector<float>
+perSampleCeLoss(Network &net, const Tensor &x,
+                const std::vector<int> &labels)
+{
+    Tensor logits = net.forward(x, /*train=*/false);
+    Tensor probs = softmax(logits);
+    std::vector<float> out(labels.size());
+    for (size_t i = 0; i < labels.size(); ++i) {
+        float p = probs.at2(static_cast<int>(i), labels[i]);
+        out[i] = -std::log(std::max(1e-12f, p));
+    }
+    return out;
+}
+
+} // namespace twoinone

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Attack abstractions shared by all adversarial attacks.
+ *
+ * Every attack perturbs a batch of inputs within an L-infinity ball of
+ * radius eps (the paper's threat model) against the network *at its
+ * currently active precision* — precision switching between attack
+ * generation and inference is what the transferability experiments
+ * (paper Fig. 1) and RPS inference exploit.
+ */
+
+#ifndef TWOINONE_ADVERSARIAL_ATTACK_HH
+#define TWOINONE_ADVERSARIAL_ATTACK_HH
+
+#include <string>
+#include <vector>
+
+#include "nn/loss.hh"
+#include "nn/network.hh"
+
+namespace twoinone {
+
+/**
+ * Shared attack hyper-parameters. Epsilons follow the paper's
+ * convention of being expressed on the 0-255 pixel scale.
+ */
+struct AttackConfig
+{
+    /** L-inf radius (0-1 scale). Default 8/255. */
+    float eps = 8.0f / 255.0f;
+    /** Step size (0-1 scale). Default 2/255. */
+    float alpha = 2.0f / 255.0f;
+    /** Iteration count. */
+    int steps = 20;
+    /** Random restarts (best per-sample result kept). */
+    int restarts = 1;
+    /** Start from a uniform random point in the eps-ball. */
+    bool randomStart = true;
+    /** Valid input range. */
+    float clampLo = 0.0f;
+    float clampHi = 1.0f;
+    /** Run the model in training mode while generating (used during
+     * adversarial training, where gradients w.r.t. batch statistics
+     * are the convention). */
+    bool trainMode = false;
+
+    /** Convenience: build from an epsilon on the 0-255 scale. */
+    static AttackConfig fromEps255(float eps255, float alpha255,
+                                   int steps);
+};
+
+/**
+ * Abstract adversarial attack.
+ */
+class Attack
+{
+  public:
+    explicit Attack(AttackConfig cfg) : cfg_(cfg) {}
+    virtual ~Attack() = default;
+
+    /**
+     * Produce adversarial examples for a batch.
+     *
+     * @param net Target network (attacked at its active precision).
+     * @param x Clean inputs [N,C,H,W] in [clampLo, clampHi].
+     * @param labels Ground-truth labels.
+     * @param rng Randomness for starts/exploration.
+     * @return Adversarial inputs, same shape as x, within the eps
+     *         ball and the valid range.
+     */
+    virtual Tensor perturb(Network &net, const Tensor &x,
+                           const std::vector<int> &labels, Rng &rng) = 0;
+
+    /** Attack name for reports, e.g. "PGD-20". */
+    virtual std::string name() const = 0;
+
+    const AttackConfig &config() const { return cfg_; }
+    AttackConfig &config() { return cfg_; }
+
+  protected:
+    AttackConfig cfg_;
+};
+
+/**
+ * Compute the cross-entropy loss and its gradient wrt the input.
+ *
+ * @param net Network (run at its active precision).
+ * @param x Input batch.
+ * @param labels Ground truth.
+ * @param train_mode Forward in training mode (batch statistics).
+ * @param grad_out Receives dLoss/dx.
+ * @return Mean loss.
+ */
+float ceInputGradient(Network &net, const Tensor &x,
+                      const std::vector<int> &labels, bool train_mode,
+                      Tensor &grad_out);
+
+/**
+ * Per-sample cross-entropy losses of the network on a batch
+ * (no gradients). Used for per-sample restart selection.
+ */
+std::vector<float> perSampleCeLoss(Network &net, const Tensor &x,
+                                   const std::vector<int> &labels);
+
+} // namespace twoinone
+
+#endif // TWOINONE_ADVERSARIAL_ATTACK_HH

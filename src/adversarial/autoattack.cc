@@ -1,0 +1,122 @@
+/**
+ * @file
+ * APGD and the AutoAttack-lite ensemble.
+ */
+
+#include "adversarial/autoattack.hh"
+
+#include <sstream>
+
+#include "tensor/ops.hh"
+
+namespace twoinone {
+
+float
+ApgdAttack::lossGrad(Network &net, const Tensor &x,
+                     const std::vector<int> &labels, Tensor &grad) const
+{
+    Tensor logits = net.forward(x, cfg_.trainMode);
+    if (objective_ == Objective::CrossEntropy) {
+        SoftmaxCrossEntropy loss;
+        float l = loss.forward(logits, labels);
+        grad = net.backward(loss.backward());
+        return l;
+    }
+    CwMarginLoss loss(0.0f);
+    float l = loss.forward(logits, labels);
+    grad = net.backward(loss.backward());
+    return l;
+}
+
+Tensor
+ApgdAttack::perturb(Network &net, const Tensor &x,
+                    const std::vector<int> &labels, Rng &rng)
+{
+    Tensor x_adv = x;
+    if (cfg_.randomStart) {
+        for (size_t i = 0; i < x_adv.size(); ++i)
+            x_adv[i] += static_cast<float>(rng.uniform(-cfg_.eps, cfg_.eps));
+        ops::clampInPlace(x_adv, cfg_.clampLo, cfg_.clampHi);
+    }
+
+    // APGD schedule: start at 2*eps, halve when the objective stops
+    // improving over a patience window; keep the best iterate.
+    float step = 2.0f * cfg_.eps;
+    int patience = std::max(3, cfg_.steps / 5);
+    int since_improve = 0;
+
+    Tensor best = x_adv;
+    Tensor grad;
+    float best_loss = lossGrad(net, x_adv, labels, grad);
+    Tensor momentum = Tensor::zeros(x.shape());
+
+    for (int t = 0; t < cfg_.steps; ++t) {
+        // Momentum step (alpha-blend of previous direction and grad
+        // sign, as in APGD's z-update).
+        for (size_t i = 0; i < x_adv.size(); ++i) {
+            float s = (grad[i] > 0.0f) ? 1.0f : (grad[i] < 0.0f ? -1.0f : 0.0f);
+            momentum[i] = 0.75f * momentum[i] + 0.25f * s;
+            x_adv[i] += step * momentum[i];
+        }
+        ops::projectLinf(x, cfg_.eps, x_adv);
+        ops::clampInPlace(x_adv, cfg_.clampLo, cfg_.clampHi);
+
+        float l = lossGrad(net, x_adv, labels, grad);
+        if (l > best_loss) {
+            best_loss = l;
+            best = x_adv;
+            since_improve = 0;
+        } else if (++since_improve >= patience) {
+            step = std::max(step * 0.5f, cfg_.eps / 16.0f);
+            x_adv = best; // restart from the best iterate
+            since_improve = 0;
+        }
+    }
+    return best;
+}
+
+std::string
+ApgdAttack::name() const
+{
+    std::ostringstream oss;
+    oss << "APGD-"
+        << (objective_ == Objective::CrossEntropy ? "CE" : "CW");
+    return oss.str();
+}
+
+Tensor
+AutoAttackLite::perturb(Network &net, const Tensor &x,
+                        const std::vector<int> &labels, Rng &rng)
+{
+    ApgdAttack ce(cfg_, ApgdAttack::Objective::CrossEntropy);
+    ApgdAttack cw(cfg_, ApgdAttack::Objective::CwMargin);
+
+    Tensor adv_ce = ce.perturb(net, x, labels, rng);
+    Tensor adv_cw = cw.perturb(net, x, labels, rng);
+
+    // Per-sample worst case: prefer the variant that fools the model;
+    // break ties by cross-entropy loss.
+    std::vector<int> pred_ce = net.predict(adv_ce);
+    std::vector<int> pred_cw = net.predict(adv_cw);
+    std::vector<float> loss_ce = perSampleCeLoss(net, adv_ce, labels);
+    std::vector<float> loss_cw = perSampleCeLoss(net, adv_cw, labels);
+
+    int n = x.dim(0);
+    size_t sample_sz = x.size() / static_cast<size_t>(n);
+    Tensor out = adv_ce;
+    for (int i = 0; i < n; ++i) {
+        size_t is = static_cast<size_t>(i);
+        bool ce_fools = pred_ce[is] != labels[is];
+        bool cw_fools = pred_cw[is] != labels[is];
+        bool take_cw =
+            (cw_fools && !ce_fools) ||
+            (cw_fools == ce_fools && loss_cw[is] > loss_ce[is]);
+        if (take_cw) {
+            for (size_t k = 0; k < sample_sz; ++k)
+                out[is * sample_sz + k] = adv_cw[is * sample_sz + k];
+        }
+    }
+    return out;
+}
+
+} // namespace twoinone

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Bandits attack implementation (queries only, no model gradients).
+ */
+
+#include "adversarial/bandits.hh"
+
+#include <cmath>
+
+#include "tensor/ops.hh"
+
+namespace twoinone {
+
+Tensor
+BanditsAttack::perturb(Network &net, const Tensor &x,
+                       const std::vector<int> &labels, Rng &rng)
+{
+    Tensor x_adv = x;
+    Tensor prior = Tensor::zeros(x.shape());
+
+    auto batch_loss = [&](const Tensor &probe) {
+        return perSampleCeLoss(net, probe, labels);
+    };
+
+    int n = x.dim(0);
+    size_t sample_sz = x.size() / static_cast<size_t>(n);
+
+    for (int t = 0; t < cfg_.steps; ++t) {
+        // Exploration direction.
+        Tensor u = Tensor::randn(x.shape(), rng);
+        float u_scale = priorExploration_ /
+                        std::sqrt(static_cast<float>(sample_sz));
+
+        // Two-point finite difference along (prior + delta*u).
+        Tensor probe_plus = x_adv;
+        Tensor probe_minus = x_adv;
+        for (size_t i = 0; i < x.size(); ++i) {
+            float dir = prior[i] + u_scale * u[i];
+            probe_plus[i] += fdEta_ * dir;
+            probe_minus[i] -= fdEta_ * dir;
+        }
+        ops::clampInPlace(probe_plus, cfg_.clampLo, cfg_.clampHi);
+        ops::clampInPlace(probe_minus, cfg_.clampLo, cfg_.clampHi);
+
+        std::vector<float> l_plus = batch_loss(probe_plus);
+        std::vector<float> l_minus = batch_loss(probe_minus);
+
+        // Per-sample derivative estimate updates the prior along u.
+        for (int s = 0; s < n; ++s) {
+            float est = (l_plus[static_cast<size_t>(s)] -
+                         l_minus[static_cast<size_t>(s)]) /
+                        (2.0f * fdEta_);
+            for (size_t k = 0; k < sample_sz; ++k) {
+                size_t idx = static_cast<size_t>(s) * sample_sz + k;
+                prior[idx] += priorLr_ * est * u_scale * u[idx];
+            }
+        }
+
+        // Gradient-sign step along the prior.
+        for (size_t i = 0; i < x.size(); ++i) {
+            float sgn = (prior[i] > 0.0f)
+                            ? 1.0f
+                            : (prior[i] < 0.0f ? -1.0f : 0.0f);
+            x_adv[i] += cfg_.alpha * sgn;
+        }
+        ops::projectLinf(x, cfg_.eps, x_adv);
+        ops::clampInPlace(x_adv, cfg_.clampLo, cfg_.clampHi);
+    }
+    return x_adv;
+}
+
+} // namespace twoinone

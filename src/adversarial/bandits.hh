@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Bandits attack (Ilyas et al. [33]): gradient-free black-box attack
+ * estimating the input gradient with a bandit prior and two-point
+ * finite differences — only forward passes are issued against the
+ * model, so it probes the obfuscated-gradient question the paper
+ * raises in Sec. 4.2.2.
+ */
+
+#ifndef TWOINONE_ADVERSARIAL_BANDITS_HH
+#define TWOINONE_ADVERSARIAL_BANDITS_HH
+
+#include "adversarial/attack.hh"
+
+namespace twoinone {
+
+/**
+ * Bandits-TD style prior-guided finite-difference attack.
+ */
+class BanditsAttack : public Attack
+{
+  public:
+    /**
+     * @param cfg Shared attack parameters (steps = query rounds).
+     * @param fd_eta Finite-difference probe length.
+     * @param prior_lr Prior exploration update rate.
+     * @param prior_exploration Exploration radius mixed into probes.
+     */
+    BanditsAttack(AttackConfig cfg, float fd_eta = 0.1f,
+                  float prior_lr = 1.0f, float prior_exploration = 1.0f)
+        : Attack(cfg), fdEta_(fd_eta), priorLr_(prior_lr),
+          priorExploration_(prior_exploration)
+    {
+    }
+
+    Tensor perturb(Network &net, const Tensor &x,
+                   const std::vector<int> &labels, Rng &rng) override;
+
+    std::string name() const override { return "Bandits"; }
+
+  private:
+    float fdEta_;
+    float priorLr_;
+    float priorExploration_;
+};
+
+} // namespace twoinone
+
+#endif // TWOINONE_ADVERSARIAL_BANDITS_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * CW-Inf implementation.
+ */
+
+#include "adversarial/cw.hh"
+
+#include "tensor/ops.hh"
+
+namespace twoinone {
+
+Tensor
+CwInfAttack::perturb(Network &net, const Tensor &x,
+                     const std::vector<int> &labels, Rng &rng)
+{
+    Tensor x_adv = x;
+    if (cfg_.randomStart) {
+        for (size_t i = 0; i < x_adv.size(); ++i)
+            x_adv[i] += static_cast<float>(rng.uniform(-cfg_.eps, cfg_.eps));
+        ops::clampInPlace(x_adv, cfg_.clampLo, cfg_.clampHi);
+    }
+
+    CwMarginLoss loss(kappa_);
+    for (int t = 0; t < cfg_.steps; ++t) {
+        Tensor logits = net.forward(x_adv, cfg_.trainMode);
+        loss.forward(logits, labels);
+        Tensor grad = net.backward(loss.backward());
+        for (size_t i = 0; i < x_adv.size(); ++i) {
+            float s = (grad[i] > 0.0f) ? 1.0f : (grad[i] < 0.0f ? -1.0f : 0.0f);
+            x_adv[i] += cfg_.alpha * s;
+        }
+        ops::projectLinf(x, cfg_.eps, x_adv);
+        ops::clampInPlace(x_adv, cfg_.clampLo, cfg_.clampHi);
+    }
+    return x_adv;
+}
+
+} // namespace twoinone

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * CW-Inf attack (Carlini & Wagner [8]): PGD-style L-infinity iterations
+ * maximizing the CW margin objective instead of cross-entropy, matching
+ * the paper's Tab. 5 "CW-Inf" rows.
+ */
+
+#ifndef TWOINONE_ADVERSARIAL_CW_HH
+#define TWOINONE_ADVERSARIAL_CW_HH
+
+#include "adversarial/attack.hh"
+
+namespace twoinone {
+
+/**
+ * L-infinity Carlini-Wagner margin attack.
+ */
+class CwInfAttack : public Attack
+{
+  public:
+    /**
+     * @param cfg Shared attack parameters.
+     * @param kappa Confidence margin of the CW objective.
+     */
+    explicit CwInfAttack(AttackConfig cfg, float kappa = 0.0f)
+        : Attack(cfg), kappa_(kappa)
+    {
+    }
+
+    Tensor perturb(Network &net, const Tensor &x,
+                   const std::vector<int> &labels, Rng &rng) override;
+
+    std::string name() const override { return "CW-Inf"; }
+
+  private:
+    float kappa_;
+};
+
+} // namespace twoinone
+
+#endif // TWOINONE_ADVERSARIAL_CW_HH

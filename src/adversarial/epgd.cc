@@ -1,0 +1,60 @@
+/**
+ * @file
+ * E-PGD implementation. Note the attack restores the network's active
+ * precision on exit, so evaluation code can keep switching freely.
+ */
+
+#include "adversarial/epgd.hh"
+
+#include <sstream>
+
+#include "tensor/ops.hh"
+
+namespace twoinone {
+
+Tensor
+EpgdAttack::perturb(Network &net, const Tensor &x,
+                    const std::vector<int> &labels, Rng &rng)
+{
+    TWOINONE_ASSERT(!precisions_.empty(), "E-PGD needs a precision set");
+    int restore_bits = net.activePrecision();
+
+    Tensor x_adv = x;
+    if (cfg_.randomStart) {
+        for (size_t i = 0; i < x_adv.size(); ++i)
+            x_adv[i] += static_cast<float>(rng.uniform(-cfg_.eps, cfg_.eps));
+        ops::clampInPlace(x_adv, cfg_.clampLo, cfg_.clampHi);
+    }
+
+    for (int t = 0; t < cfg_.steps; ++t) {
+        // Ensemble gradient: mean of the CE gradients across all
+        // candidate precisions (gradient of the averaged objective).
+        Tensor total = Tensor::zeros(x.shape());
+        for (int q : precisions_.bits()) {
+            net.setPrecision(q);
+            Tensor grad;
+            ceInputGradient(net, x_adv, labels, cfg_.trainMode, grad);
+            ops::addInPlace(total, grad);
+        }
+        for (size_t i = 0; i < x_adv.size(); ++i) {
+            float s = (total[i] > 0.0f) ? 1.0f
+                                        : (total[i] < 0.0f ? -1.0f : 0.0f);
+            x_adv[i] += cfg_.alpha * s;
+        }
+        ops::projectLinf(x, cfg_.eps, x_adv);
+        ops::clampInPlace(x_adv, cfg_.clampLo, cfg_.clampHi);
+    }
+
+    net.setPrecision(restore_bits);
+    return x_adv;
+}
+
+std::string
+EpgdAttack::name() const
+{
+    std::ostringstream oss;
+    oss << "E-PGD-" << cfg_.steps;
+    return oss.str();
+}
+
+} // namespace twoinone

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * E-PGD: the paper's customized adaptive attack (Tab. 6, Sec. 4.2.3).
+ *
+ * The adversary is assumed to know the full RPS precision set and
+ * attacks the *ensemble* of all candidate precisions: every PGD step
+ * follows the gradient of the summed cross-entropy over the model
+ * quantized to each precision in the set, making the perturbation
+ * aware of all precisions simultaneously.
+ */
+
+#ifndef TWOINONE_ADVERSARIAL_EPGD_HH
+#define TWOINONE_ADVERSARIAL_EPGD_HH
+
+#include "adversarial/attack.hh"
+
+namespace twoinone {
+
+/**
+ * Ensemble-over-precisions PGD.
+ */
+class EpgdAttack : public Attack
+{
+  public:
+    /**
+     * @param cfg Shared attack parameters.
+     * @param precisions Candidate set assumed known to the adversary.
+     */
+    EpgdAttack(AttackConfig cfg, PrecisionSet precisions)
+        : Attack(cfg), precisions_(std::move(precisions))
+    {
+    }
+
+    Tensor perturb(Network &net, const Tensor &x,
+                   const std::vector<int> &labels, Rng &rng) override;
+
+    std::string name() const override;
+
+  private:
+    PrecisionSet precisions_;
+};
+
+} // namespace twoinone
+
+#endif // TWOINONE_ADVERSARIAL_EPGD_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Evaluation harness implementation.
+ */
+
+#include "adversarial/evaluation.hh"
+
+#include "common/stats.hh"
+
+namespace twoinone {
+
+namespace {
+
+/** Iterate a dataset in batches, invoking fn(batch_x, batch_labels). */
+template <typename Fn>
+void
+forEachBatch(const Dataset &data, int batch_size, Fn &&fn)
+{
+    int n = data.size();
+    for (int start = 0; start < n; start += batch_size) {
+        int len = std::min(batch_size, n - start);
+        Dataset b = data.batch(start, len);
+        fn(b.images, b.labels);
+    }
+}
+
+} // namespace
+
+double
+naturalAccuracy(Network &net, const Dataset &data, int batch_size)
+{
+    Accuracy acc;
+    forEachBatch(data, batch_size,
+                 [&](const Tensor &x, const std::vector<int> &y) {
+                     std::vector<int> pred = net.predict(x);
+                     for (size_t i = 0; i < y.size(); ++i)
+                         acc.add(pred[i] == y[i]);
+                 });
+    return acc.percent();
+}
+
+double
+robustAccuracy(Network &net, Attack &attack, const Dataset &data,
+               int attack_bits, int infer_bits, Rng &rng, int batch_size)
+{
+    int restore = net.activePrecision();
+    Accuracy acc;
+    forEachBatch(data, batch_size,
+                 [&](const Tensor &x, const std::vector<int> &y) {
+                     net.setPrecision(attack_bits);
+                     Tensor x_adv = attack.perturb(net, x, y, rng);
+                     net.setPrecision(infer_bits);
+                     std::vector<int> pred = net.predict(x_adv);
+                     for (size_t i = 0; i < y.size(); ++i)
+                         acc.add(pred[i] == y[i]);
+                 });
+    net.setPrecision(restore);
+    return acc.percent();
+}
+
+double
+rpsRobustAccuracy(Network &net, Attack &attack, const Dataset &data,
+                  const PrecisionSet &set, Rng &rng, int batch_size)
+{
+    TWOINONE_ASSERT(!set.empty(), "RPS evaluation needs a precision set");
+    int restore = net.activePrecision();
+    Accuracy acc;
+    forEachBatch(data, batch_size,
+                 [&](const Tensor &x, const std::vector<int> &y) {
+                     // Adversary and defender sample independently
+                     // (paper Sec. 4.1.1 threat model).
+                     int attack_bits = set.sample(rng);
+                     int infer_bits = set.sample(rng);
+                     net.setPrecision(attack_bits);
+                     Tensor x_adv = attack.perturb(net, x, y, rng);
+                     net.setPrecision(infer_bits);
+                     std::vector<int> pred = net.predict(x_adv);
+                     for (size_t i = 0; i < y.size(); ++i)
+                         acc.add(pred[i] == y[i]);
+                 });
+    net.setPrecision(restore);
+    return acc.percent();
+}
+
+double
+rpsNaturalAccuracy(Network &net, const Dataset &data,
+                   const PrecisionSet &set, Rng &rng, int batch_size)
+{
+    TWOINONE_ASSERT(!set.empty(), "RPS evaluation needs a precision set");
+    int restore = net.activePrecision();
+    Accuracy acc;
+    forEachBatch(data, batch_size,
+                 [&](const Tensor &x, const std::vector<int> &y) {
+                     net.setPrecision(set.sample(rng));
+                     std::vector<int> pred = net.predict(x);
+                     for (size_t i = 0; i < y.size(); ++i)
+                         acc.add(pred[i] == y[i]);
+                 });
+    net.setPrecision(restore);
+    return acc.percent();
+}
+
+std::vector<std::vector<double>>
+transferMatrix(Network &net, Attack &attack, const Dataset &data,
+               const PrecisionSet &set, Rng &rng, int batch_size)
+{
+    size_t k = set.size();
+    std::vector<std::vector<double>> m(k, std::vector<double>(k, 0.0));
+    for (size_t i = 0; i < k; ++i) {
+        for (size_t j = 0; j < k; ++j) {
+            m[i][j] = robustAccuracy(net, attack, data, set.bits()[i],
+                                     set.bits()[j], rng, batch_size);
+        }
+    }
+    return m;
+}
+
+} // namespace twoinone

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * FGSM / FGSM-RS implementations.
+ */
+
+#include "adversarial/fgsm.hh"
+
+#include "tensor/ops.hh"
+
+namespace twoinone {
+
+Tensor
+FgsmAttack::perturb(Network &net, const Tensor &x,
+                    const std::vector<int> &labels, Rng &rng)
+{
+    (void)rng;
+    Tensor grad;
+    ceInputGradient(net, x, labels, cfg_.trainMode, grad);
+    Tensor x_adv = x;
+    for (size_t i = 0; i < x_adv.size(); ++i) {
+        float s = (grad[i] > 0.0f) ? 1.0f : (grad[i] < 0.0f ? -1.0f : 0.0f);
+        x_adv[i] += cfg_.eps * s;
+    }
+    ops::clampInPlace(x_adv, cfg_.clampLo, cfg_.clampHi);
+    return x_adv;
+}
+
+Tensor
+FgsmRsAttack::perturb(Network &net, const Tensor &x,
+                      const std::vector<int> &labels, Rng &rng)
+{
+    Tensor x_adv = x;
+    for (size_t i = 0; i < x_adv.size(); ++i)
+        x_adv[i] += static_cast<float>(rng.uniform(-cfg_.eps, cfg_.eps));
+    ops::clampInPlace(x_adv, cfg_.clampLo, cfg_.clampHi);
+
+    Tensor grad;
+    ceInputGradient(net, x_adv, labels, cfg_.trainMode, grad);
+    // FGSM-RS convention: alpha = 1.25 * eps, then project to the ball.
+    float alpha = (cfg_.alpha > 0.0f) ? cfg_.alpha : 1.25f * cfg_.eps;
+    for (size_t i = 0; i < x_adv.size(); ++i) {
+        float s = (grad[i] > 0.0f) ? 1.0f : (grad[i] < 0.0f ? -1.0f : 0.0f);
+        x_adv[i] += alpha * s;
+    }
+    ops::projectLinf(x, cfg_.eps, x_adv);
+    ops::clampInPlace(x_adv, cfg_.clampLo, cfg_.clampHi);
+    return x_adv;
+}
+
+} // namespace twoinone

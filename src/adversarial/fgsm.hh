@@ -1,0 +1,48 @@
+/**
+ * @file
+ * FGSM (Goodfellow et al. [24]) and FGSM-RS (Wong et al., "Fast is
+ * better than free" [78]) attacks — both one-step sign attacks; RS adds
+ * a random start and a step size alpha > eps clipped back to the ball.
+ */
+
+#ifndef TWOINONE_ADVERSARIAL_FGSM_HH
+#define TWOINONE_ADVERSARIAL_FGSM_HH
+
+#include "adversarial/attack.hh"
+
+namespace twoinone {
+
+/**
+ * One-step fast gradient sign method.
+ */
+class FgsmAttack : public Attack
+{
+  public:
+    explicit FgsmAttack(AttackConfig cfg) : Attack(cfg) {}
+
+    Tensor perturb(Network &net, const Tensor &x,
+                   const std::vector<int> &labels, Rng &rng) override;
+
+    std::string name() const override { return "FGSM"; }
+};
+
+/**
+ * FGSM with random start (the fast adversarial-training attack).
+ */
+class FgsmRsAttack : public Attack
+{
+  public:
+    explicit FgsmRsAttack(AttackConfig cfg) : Attack(cfg)
+    {
+        cfg_.randomStart = true;
+    }
+
+    Tensor perturb(Network &net, const Tensor &x,
+                   const std::vector<int> &labels, Rng &rng) override;
+
+    std::string name() const override { return "FGSM-RS"; }
+};
+
+} // namespace twoinone
+
+#endif // TWOINONE_ADVERSARIAL_FGSM_HH

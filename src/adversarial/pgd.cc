@@ -1,0 +1,71 @@
+/**
+ * @file
+ * PGD attack implementation with per-sample restart selection.
+ */
+
+#include "adversarial/pgd.hh"
+
+#include <sstream>
+
+#include "tensor/ops.hh"
+
+namespace twoinone {
+
+Tensor
+PgdAttack::perturb(Network &net, const Tensor &x,
+                   const std::vector<int> &labels, Rng &rng)
+{
+    int n = x.dim(0);
+    size_t sample_sz = x.size() / static_cast<size_t>(n);
+
+    Tensor best = x;
+    std::vector<float> best_loss(static_cast<size_t>(n), -1e30f);
+
+    for (int r = 0; r < std::max(1, cfg_.restarts); ++r) {
+        Tensor x_adv = x;
+        if (cfg_.randomStart) {
+            for (size_t i = 0; i < x_adv.size(); ++i) {
+                x_adv[i] += static_cast<float>(
+                    rng.uniform(-cfg_.eps, cfg_.eps));
+            }
+            ops::clampInPlace(x_adv, cfg_.clampLo, cfg_.clampHi);
+        }
+
+        for (int t = 0; t < cfg_.steps; ++t) {
+            Tensor grad;
+            ceInputGradient(net, x_adv, labels, cfg_.trainMode, grad);
+            for (size_t i = 0; i < x_adv.size(); ++i) {
+                float s = (grad[i] > 0.0f)
+                              ? 1.0f
+                              : (grad[i] < 0.0f ? -1.0f : 0.0f);
+                x_adv[i] += cfg_.alpha * s;
+            }
+            ops::projectLinf(x, cfg_.eps, x_adv);
+            ops::clampInPlace(x_adv, cfg_.clampLo, cfg_.clampHi);
+        }
+
+        std::vector<float> losses = perSampleCeLoss(net, x_adv, labels);
+        for (int i = 0; i < n; ++i) {
+            if (losses[static_cast<size_t>(i)] >
+                best_loss[static_cast<size_t>(i)]) {
+                best_loss[static_cast<size_t>(i)] =
+                    losses[static_cast<size_t>(i)];
+                for (size_t k = 0; k < sample_sz; ++k) {
+                    best[static_cast<size_t>(i) * sample_sz + k] =
+                        x_adv[static_cast<size_t>(i) * sample_sz + k];
+                }
+            }
+        }
+    }
+    return best;
+}
+
+std::string
+PgdAttack::name() const
+{
+    std::ostringstream oss;
+    oss << "PGD-" << cfg_.steps;
+    return oss.str();
+}
+
+} // namespace twoinone

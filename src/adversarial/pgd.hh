@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Projected gradient descent attack (Madry et al. [48]) — the paper's
+ * main white-box attack (PGD-20 / PGD-100 in Tabs. 1-4, PGD-7 as the
+ * inner maximization of adversarial training).
+ */
+
+#ifndef TWOINONE_ADVERSARIAL_PGD_HH
+#define TWOINONE_ADVERSARIAL_PGD_HH
+
+#include "adversarial/attack.hh"
+
+namespace twoinone {
+
+/**
+ * L-infinity PGD on the cross-entropy objective.
+ */
+class PgdAttack : public Attack
+{
+  public:
+    explicit PgdAttack(AttackConfig cfg) : Attack(cfg) {}
+
+    Tensor perturb(Network &net, const Tensor &x,
+                   const std::vector<int> &labels, Rng &rng) override;
+
+    std::string name() const override;
+};
+
+} // namespace twoinone
+
+#endif // TWOINONE_ADVERSARIAL_PGD_HH

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Trainer implementation (Alg. 1 of the paper when cfg.rps is set).
+ */
+
+#include "adversarial/trainer.hh"
+
+#include <numeric>
+
+#include "adversarial/fgsm.hh"
+#include "adversarial/pgd.hh"
+#include "tensor/ops.hh"
+
+namespace twoinone {
+
+std::string
+trainMethodName(TrainMethod m)
+{
+    switch (m) {
+      case TrainMethod::Natural: return "Natural";
+      case TrainMethod::Fgsm: return "FGSM";
+      case TrainMethod::FgsmRs: return "FGSM-RS";
+      case TrainMethod::Pgd7: return "PGD-7";
+      case TrainMethod::Free: return "Free";
+    }
+    TWOINONE_PANIC("unknown TrainMethod");
+}
+
+Trainer::Trainer(Network &net, TrainConfig cfg)
+    : net_(net), cfg_(cfg), sgd_(cfg.lr, cfg.momentum, cfg.weightDecay),
+      rng_(cfg.seed)
+{
+    if (cfg_.rps) {
+        TWOINONE_ASSERT(!net_.precisionSet().empty(),
+                        "RPS training needs a bound precision set");
+    }
+}
+
+Tensor
+Trainer::makeAdversarial(const Tensor &x, const std::vector<int> &y)
+{
+    AttackConfig acfg;
+    acfg.eps = cfg_.eps;
+    acfg.alpha = cfg_.alpha;
+    acfg.trainMode = true;
+    acfg.restarts = 1;
+
+    switch (cfg_.method) {
+      case TrainMethod::Natural:
+        return x;
+      case TrainMethod::Fgsm: {
+        FgsmAttack attack(acfg);
+        return attack.perturb(net_, x, y, rng_);
+      }
+      case TrainMethod::FgsmRs: {
+        acfg.alpha = 1.25f * cfg_.eps;
+        FgsmRsAttack attack(acfg);
+        return attack.perturb(net_, x, y, rng_);
+      }
+      case TrainMethod::Pgd7: {
+        acfg.steps = cfg_.pgdSteps;
+        PgdAttack attack(acfg);
+        return attack.perturb(net_, x, y, rng_);
+      }
+      case TrainMethod::Free:
+        TWOINONE_PANIC("Free handled by freeEpoch");
+    }
+    TWOINONE_PANIC("unknown TrainMethod");
+}
+
+float
+Trainer::updateStep(const Tensor &x, const std::vector<int> &y)
+{
+    Tensor logits = net_.forward(x, /*train=*/true);
+    SoftmaxCrossEntropy loss;
+    float l = loss.forward(logits, y);
+    net_.zeroGrad();
+    net_.backward(loss.backward());
+    sgd_.step(net_.parameters());
+    net_.zeroGrad();
+    ++steps_;
+    return l;
+}
+
+float
+Trainer::freeEpoch(const Dataset &train, const std::vector<int> &order)
+{
+    // Free adversarial training: the perturbation persists across the
+    // m replays of each batch; every replay both updates the model and
+    // takes an FGSM step on the perturbation "for free" from the same
+    // backward pass.
+    int n = train.size();
+    int bs = std::min(cfg_.batchSize, n);
+    double loss_sum = 0.0;
+    int batches = 0;
+
+    for (int start = 0; start + bs <= n; start += bs) {
+        if (cfg_.rps) {
+            net_.setPrecision(net_.precisionSet().sample(rng_));
+        } else {
+            net_.setPrecision(cfg_.staticPrecision);
+        }
+        Tensor x({bs, train.images.dim(1), train.images.dim(2),
+                  train.images.dim(3)});
+        std::vector<int> y(static_cast<size_t>(bs));
+        for (int i = 0; i < bs; ++i) {
+            int src = order[static_cast<size_t>(start + i)];
+            x.setSlice0(i, train.images.slice0(src, 1));
+            y[static_cast<size_t>(i)] = train.labels[static_cast<size_t>(src)];
+        }
+
+        Tensor delta = Tensor::zeros(x.shape());
+        for (int replay = 0; replay < cfg_.freeReplays; ++replay) {
+            Tensor x_adv = ops::add(x, delta);
+            ops::clampInPlace(x_adv, 0.0f, 1.0f);
+
+            Tensor logits = net_.forward(x_adv, /*train=*/true);
+            SoftmaxCrossEntropy loss;
+            float l = loss.forward(logits, y);
+            net_.zeroGrad();
+            Tensor input_grad = net_.backward(loss.backward());
+            sgd_.step(net_.parameters());
+            net_.zeroGrad();
+            ++steps_;
+            loss_sum += l;
+            ++batches;
+
+            // Free's perturbation update from the same gradients.
+            for (size_t i = 0; i < delta.size(); ++i) {
+                float s = (input_grad[i] > 0.0f)
+                              ? 1.0f
+                              : (input_grad[i] < 0.0f ? -1.0f : 0.0f);
+                delta[i] += cfg_.eps * s;
+                delta[i] = std::min(cfg_.eps,
+                                    std::max(-cfg_.eps, delta[i]));
+            }
+        }
+    }
+    return batches ? static_cast<float>(loss_sum / batches) : 0.0f;
+}
+
+float
+Trainer::fit(const Dataset &train)
+{
+    TWOINONE_ASSERT(train.size() > 0, "empty training set");
+    int n = train.size();
+    int bs = std::min(cfg_.batchSize, n);
+    std::vector<int> order(static_cast<size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+
+    float last_epoch_loss = 0.0f;
+    for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+        rng_.shuffle(order);
+
+        if (cfg_.method == TrainMethod::Free) {
+            last_epoch_loss = freeEpoch(train, order);
+        } else {
+            double loss_sum = 0.0;
+            int batches = 0;
+            for (int start = 0; start + bs <= n; start += bs) {
+                // Alg. 1 line 5: sample the iteration's precision.
+                if (cfg_.rps) {
+                    net_.setPrecision(net_.precisionSet().sample(rng_));
+                } else {
+                    net_.setPrecision(cfg_.staticPrecision);
+                }
+
+                Tensor x({bs, train.images.dim(1), train.images.dim(2),
+                          train.images.dim(3)});
+                std::vector<int> y(static_cast<size_t>(bs));
+                for (int i = 0; i < bs; ++i) {
+                    int src = order[static_cast<size_t>(start + i)];
+                    x.setSlice0(i, train.images.slice0(src, 1));
+                    y[static_cast<size_t>(i)] =
+                        train.labels[static_cast<size_t>(src)];
+                }
+
+                Tensor x_adv = makeAdversarial(x, y);
+                loss_sum += updateStep(x_adv, y);
+                ++batches;
+            }
+            last_epoch_loss =
+                batches ? static_cast<float>(loss_sum / batches) : 0.0f;
+        }
+
+        if (cfg_.verbose) {
+            TWOINONE_INFORM("epoch ", epoch + 1, "/", cfg_.epochs,
+                            " method=", trainMethodName(cfg_.method),
+                            cfg_.rps ? "+RPS" : "", " loss=",
+                            last_epoch_loss);
+        }
+    }
+    return last_epoch_loss;
+}
+
+} // namespace twoinone

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Implementation of the logging/error primitives.
+ */
+
+#include "common/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace twoinone {
+
+[[noreturn]] void
+panicImpl(const std::string &msg, const char *file, int line)
+{
+    std::cerr << "panic: " << msg << " @ " << file << ":" << line
+              << std::endl;
+    std::abort();
+}
+
+[[noreturn]] void
+fatalImpl(const std::string &msg, const char *file, int line)
+{
+    std::cerr << "fatal: " << msg << " @ " << file << ":" << line
+              << std::endl;
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::cerr << "info: " << msg << std::endl;
+}
+
+} // namespace twoinone

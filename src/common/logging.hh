@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Error-reporting and status-message primitives, following the gem5
+ * discipline: panic() for internal invariant violations (bugs in this
+ * library), fatal() for unrecoverable user/configuration errors, and
+ * warn()/inform() for non-fatal status messages.
+ */
+
+#ifndef TWOINONE_COMMON_LOGGING_HH
+#define TWOINONE_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace twoinone {
+
+/**
+ * Report an internal invariant violation and abort.
+ *
+ * Use when something happens that should never happen regardless of
+ * user input, i.e. a bug in this library. Calls std::abort().
+ *
+ * @param msg Description of the violated invariant.
+ * @param file Source file (use the panic() macro below).
+ * @param line Source line.
+ */
+[[noreturn]] void panicImpl(const std::string &msg, const char *file,
+                            int line);
+
+/**
+ * Report an unrecoverable user-facing error and exit(1).
+ *
+ * Use when the simulation cannot continue due to a condition that is
+ * the caller's fault (invalid configuration, impossible parameters).
+ */
+[[noreturn]] void fatalImpl(const std::string &msg, const char *file,
+                            int line);
+
+/** Emit a non-fatal warning to stderr. */
+void warnImpl(const std::string &msg);
+
+/** Emit an informational status message to stderr. */
+void informImpl(const std::string &msg);
+
+/**
+ * Build a message from stream-style arguments.
+ *
+ * Joins each argument through an std::ostringstream so callers can mix
+ * strings and numbers without manual formatting.
+ */
+template <typename... Args>
+std::string
+formatMessage(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace twoinone
+
+#define TWOINONE_PANIC(...)                                                  \
+    ::twoinone::panicImpl(::twoinone::formatMessage(__VA_ARGS__),            \
+                          __FILE__, __LINE__)
+
+#define TWOINONE_FATAL(...)                                                  \
+    ::twoinone::fatalImpl(::twoinone::formatMessage(__VA_ARGS__),            \
+                          __FILE__, __LINE__)
+
+#define TWOINONE_WARN(...)                                                   \
+    ::twoinone::warnImpl(::twoinone::formatMessage(__VA_ARGS__))
+
+#define TWOINONE_INFORM(...)                                                 \
+    ::twoinone::informImpl(::twoinone::formatMessage(__VA_ARGS__))
+
+/** Assert an invariant; panics (library bug) when violated. */
+#define TWOINONE_ASSERT(cond, ...)                                           \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            TWOINONE_PANIC("assertion failed: " #cond " ", __VA_ARGS__);     \
+        }                                                                    \
+    } while (0)
+
+#endif // TWOINONE_COMMON_LOGGING_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Implementation of the seeded Rng wrapper.
+ */
+
+#include "common/rng.hh"
+
+#include <algorithm>
+
+namespace twoinone {
+
+Rng::Rng(uint64_t seed) : engine_(seed)
+{
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine_);
+}
+
+int
+Rng::uniformInt(int lo, int hi)
+{
+    std::uniform_int_distribution<int> dist(lo, hi);
+    return dist(engine_);
+}
+
+double
+Rng::sign()
+{
+    return bernoulli(0.5) ? 1.0 : -1.0;
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+}
+
+Rng
+Rng::fork()
+{
+    // splitmix64 finalizer on the next raw draw decorrelates streams.
+    uint64_t z = engine_() + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return Rng(z ^ (z >> 31));
+}
+
+} // namespace twoinone

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Deterministic random number generation for reproducible experiments.
+ *
+ * All stochastic components of the library (dataset synthesis, weight
+ * initialization, adversarial random starts, the RPS precision sampler,
+ * and the evolutionary optimizer) draw from an explicitly seeded Rng so
+ * that every experiment in bench/ is bit-reproducible.
+ */
+
+#ifndef TWOINONE_COMMON_RNG_HH
+#define TWOINONE_COMMON_RNG_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace twoinone {
+
+/**
+ * A seeded pseudo-random source wrapping std::mt19937_64.
+ *
+ * Thin convenience layer: uniform/normal scalars, integer ranges,
+ * Rademacher signs, and index shuffles. Copyable so sub-experiments can
+ * fork an independent stream via fork().
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed. */
+    explicit Rng(uint64_t seed = 0x21A1ULL);
+
+    /** Uniform real in [lo, hi). */
+    double uniform(double lo = 0.0, double hi = 1.0);
+
+    /** Standard normal scaled by stddev around mean. */
+    double normal(double mean = 0.0, double stddev = 1.0);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int uniformInt(int lo, int hi);
+
+    /** +1 or -1 with equal probability. */
+    double sign();
+
+    /** true with probability p. */
+    bool bernoulli(double p);
+
+    /** Pick an element uniformly from a non-empty vector. */
+    template <typename T>
+    const T &
+    pick(const std::vector<T> &v)
+    {
+        return v[static_cast<size_t>(
+            uniformInt(0, static_cast<int>(v.size()) - 1))];
+    }
+
+    /** Shuffle a vector in place (Fisher-Yates via std::shuffle). */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        std::shuffle(v.begin(), v.end(), engine_);
+    }
+
+    /** Derive an independent child stream (splitmix of next draw). */
+    Rng fork();
+
+    /** Access the underlying engine (for std distributions). */
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace twoinone
+
+#endif // TWOINONE_COMMON_RNG_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Implementation of statistics helpers and the bench table printer.
+ */
+
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+namespace twoinone {
+
+void
+RunningStat::add(double x)
+{
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double
+RunningStat::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Accuracy::add(bool correct)
+{
+    ++total_;
+    if (correct)
+        ++correct_;
+}
+
+double
+Accuracy::fraction() const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(correct_) / static_cast<double>(total_);
+}
+
+void
+TablePrinter::header(const std::vector<std::string> &cells)
+{
+    rows_.insert(rows_.begin(), cells);
+    hasHeader_ = true;
+}
+
+void
+TablePrinter::row(const std::vector<std::string> &cells)
+{
+    rows_.push_back(cells);
+}
+
+std::string
+TablePrinter::str() const
+{
+    if (rows_.empty())
+        return "";
+
+    size_t cols = 0;
+    for (const auto &r : rows_)
+        cols = std::max(cols, r.size());
+
+    std::vector<size_t> width(cols, 0);
+    for (const auto &r : rows_) {
+        for (size_t c = 0; c < r.size(); ++c)
+            width[c] = std::max(width[c], r[c].size());
+    }
+
+    std::ostringstream oss;
+    for (size_t i = 0; i < rows_.size(); ++i) {
+        const auto &r = rows_[i];
+        for (size_t c = 0; c < r.size(); ++c) {
+            oss << std::left << std::setw(static_cast<int>(width[c]) + 2)
+                << r[c];
+        }
+        oss << "\n";
+        if (i == 0 && hasHeader_) {
+            for (size_t c = 0; c < cols; ++c)
+                oss << std::string(width[c], '-') << "  ";
+            oss << "\n";
+        }
+    }
+    return oss.str();
+}
+
+void
+TablePrinter::print() const
+{
+    std::cout << str();
+}
+
+std::string
+formatFixed(double v, int decimals)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(decimals) << v;
+    return oss.str();
+}
+
+} // namespace twoinone

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Small statistics helpers shared across evaluation and bench code:
+ * running mean/variance accumulator, fraction-correct counter, and a
+ * fixed-width table printer used by the paper-reproduction benches.
+ */
+
+#ifndef TWOINONE_COMMON_STATS_HH
+#define TWOINONE_COMMON_STATS_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace twoinone {
+
+/**
+ * Welford running mean / variance accumulator.
+ */
+class RunningStat
+{
+  public:
+    /** Fold one observation into the accumulator. */
+    void add(double x);
+
+    /** Number of observations so far. */
+    size_t count() const { return n_; }
+
+    /** Mean of observations (0 when empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Unbiased sample variance (0 with fewer than two samples). */
+    double variance() const;
+
+    /** Square root of variance(). */
+    double stddev() const;
+
+    /** Smallest observation (+inf when empty). */
+    double min() const { return min_; }
+
+    /** Largest observation (-inf when empty). */
+    double max() const { return max_; }
+
+  private:
+    size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 1e300;
+    double max_ = -1e300;
+};
+
+/**
+ * Accuracy counter: fraction of correct predictions.
+ */
+class Accuracy
+{
+  public:
+    /** Record one prediction outcome. */
+    void add(bool correct);
+
+    /** Fraction correct in [0,1]; 0 when empty. */
+    double fraction() const;
+
+    /** Fraction correct as a percentage. */
+    double percent() const { return 100.0 * fraction(); }
+
+    /** Number of predictions recorded. */
+    size_t count() const { return total_; }
+
+  private:
+    size_t correct_ = 0;
+    size_t total_ = 0;
+};
+
+/**
+ * Fixed-width ASCII table used by bench binaries to print paper-style
+ * rows. Columns auto-size to their widest cell.
+ */
+class TablePrinter
+{
+  public:
+    /** Set the header row. */
+    void header(const std::vector<std::string> &cells);
+
+    /** Append a data row. */
+    void row(const std::vector<std::string> &cells);
+
+    /** Render the table to a string. */
+    std::string str() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::vector<std::string>> rows_;
+    bool hasHeader_ = false;
+};
+
+/** Format a double with fixed decimals (bench table cells). */
+std::string formatFixed(double v, int decimals = 2);
+
+} // namespace twoinone
+
+#endif // TWOINONE_COMMON_STATS_HH

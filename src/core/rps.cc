@@ -1,0 +1,57 @@
+/**
+ * @file
+ * RpsController implementation.
+ */
+
+#include "core/rps.hh"
+
+namespace twoinone {
+
+RpsController::RpsController(Network &net, PrecisionSet set, uint64_t seed)
+    : net_(net), set_(std::move(set)), rng_(seed)
+{
+    validateSet(set_);
+}
+
+void
+RpsController::validateSet(const PrecisionSet &set) const
+{
+    TWOINONE_ASSERT(!set.empty(), "empty inference precision set");
+    for (int q : set.bits()) {
+        TWOINONE_ASSERT(net_.precisionSet().contains(q),
+                        "inference precision ", q,
+                        " outside the trained set ",
+                        net_.precisionSet().name());
+    }
+}
+
+int
+RpsController::samplePrecision()
+{
+    return set_.sample(rng_);
+}
+
+std::vector<int>
+RpsController::classify(const Tensor &x)
+{
+    lastPrecision_ = samplePrecision();
+    net_.setPrecision(lastPrecision_);
+    return net_.predict(x);
+}
+
+void
+RpsController::setPrecisionSet(PrecisionSet set)
+{
+    validateSet(set);
+    set_ = std::move(set);
+}
+
+float
+rpsTrain(Network &net, const Dataset &train, TrainConfig cfg)
+{
+    cfg.rps = true;
+    Trainer trainer(net, cfg);
+    return trainer.fit(train);
+}
+
+} // namespace twoinone

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * RPS inference controller — the runtime half of paper Alg. 1.
+ *
+ * The controller owns the random precision sampler: every
+ * classification draws a precision from the candidate set, switches
+ * the model in situ (weights, activations and SBN bank), and runs
+ * inference. It is also the hook for the instant robustness-
+ * efficiency trade-off of Sec. 2.5: swapping the candidate set at
+ * run time needs no retraining.
+ */
+
+#ifndef TWOINONE_CORE_RPS_HH
+#define TWOINONE_CORE_RPS_HH
+
+#include "adversarial/trainer.hh"
+#include "nn/network.hh"
+
+namespace twoinone {
+
+/**
+ * Runtime random-precision-switch controller for one network.
+ */
+class RpsController
+{
+  public:
+    /**
+     * @param net RPS-trained network (must be bound to a superset of
+     *        every candidate set used at run time).
+     * @param set Initial inference candidate set.
+     * @param seed Sampler seed.
+     */
+    RpsController(Network &net, PrecisionSet set, uint64_t seed = 99);
+
+    /** Draw the next inference precision (Alg. 1 line 16). */
+    int samplePrecision();
+
+    /**
+     * Classify a batch at a freshly drawn random precision.
+     * The drawn precision is left active (see lastPrecision()).
+     */
+    std::vector<int> classify(const Tensor &x);
+
+    /** Precision used by the most recent classify(). */
+    int lastPrecision() const { return lastPrecision_; }
+
+    /** The active candidate set. */
+    const PrecisionSet &precisionSet() const { return set_; }
+
+    /**
+     * Instant trade-off switch (Sec. 2.5): replace the candidate set.
+     * Every member must be one the network was trained for.
+     */
+    void setPrecisionSet(PrecisionSet set);
+
+    Network &network() { return net_; }
+
+  private:
+    Network &net_;
+    PrecisionSet set_;
+    Rng rng_;
+    int lastPrecision_ = 0;
+
+    void validateSet(const PrecisionSet &set) const;
+};
+
+/**
+ * Convenience: run the full RPS recipe — adversarial training with
+ * random precision switching (Alg. 1 training) — returning the
+ * trained network's final training loss.
+ */
+float rpsTrain(Network &net, const Dataset &train,
+               TrainConfig cfg);
+
+} // namespace twoinone
+
+#endif // TWOINONE_CORE_RPS_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * TwoInOneSystem implementation.
+ */
+
+#include "core/system.hh"
+
+namespace twoinone {
+
+TwoInOneSystem::TwoInOneSystem(Network &model, NetworkWorkload hw_workload,
+                               PrecisionSet set, AcceleratorKind kind,
+                               uint64_t seed)
+    : controller_(model, std::move(set), seed),
+      hwWorkload_(std::move(hw_workload)),
+      accel_(kind, Accelerator::defaultAreaBudget(),
+             TechModel::defaults())
+{
+}
+
+InferenceStats
+TwoInOneSystem::classify(const Tensor &x)
+{
+    InferenceStats stats;
+    stats.predictions = controller_.classify(x);
+    stats.precision = controller_.lastPrecision();
+    NetworkPrediction np =
+        accel_.run(hwWorkload_, stats.precision, stats.precision);
+    stats.cycles = np.totalCycles;
+    stats.energyPj = np.totalEnergyPj;
+    return stats;
+}
+
+double
+TwoInOneSystem::energyPjAt(int bits) const
+{
+    return accel_.run(hwWorkload_, bits, bits).totalEnergyPj;
+}
+
+double
+TwoInOneSystem::cyclesAt(int bits) const
+{
+    return accel_.run(hwWorkload_, bits, bits).totalCycles;
+}
+
+double
+TwoInOneSystem::avgEnergyPjPerInference() const
+{
+    const PrecisionSet &set = controller_.precisionSet();
+    double sum = 0.0;
+    for (int q : set.bits())
+        sum += energyPjAt(q);
+    return sum / static_cast<double>(set.size());
+}
+
+double
+TwoInOneSystem::avgFps() const
+{
+    const PrecisionSet &set = controller_.precisionSet();
+    double clock = accel_.predictor().tech().clockGhz;
+    double sum = 0.0;
+    for (int q : set.bits()) {
+        double cycles = cyclesAt(q);
+        sum += clock * 1e9 / cycles;
+    }
+    return sum / static_cast<double>(set.size());
+}
+
+} // namespace twoinone

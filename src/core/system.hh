@@ -1,0 +1,81 @@
+/**
+ * @file
+ * TwoInOneSystem: the full co-designed stack — an RPS-trained model
+ * switched in situ by an RpsController, executed on the
+ * precision-scalable accelerator model, with per-inference latency
+ * and energy accounting. This is the integration point the paper's
+ * title promises: one system winning both robustness and efficiency.
+ */
+
+#ifndef TWOINONE_CORE_SYSTEM_HH
+#define TWOINONE_CORE_SYSTEM_HH
+
+#include "accel/accelerator.hh"
+#include "core/rps.hh"
+
+namespace twoinone {
+
+/**
+ * Result of one classify() call on the system.
+ */
+struct InferenceStats
+{
+    /** Precision the RPS controller drew. */
+    int precision = 0;
+    /** Accelerator cycles for this inference. */
+    double cycles = 0.0;
+    /** Accelerator energy for this inference, pJ. */
+    double energyPj = 0.0;
+    /** Class predictions. */
+    std::vector<int> predictions;
+};
+
+/**
+ * The integrated 2-in-1 system.
+ */
+class TwoInOneSystem
+{
+  public:
+    /**
+     * @param model RPS-trained network (functional behaviour).
+     * @param hw_workload Layer shapes of the deployed model on the
+     *        accelerator (timing/energy behaviour). The mini model
+     *        and the workload are decoupled so laptop-scale models
+     *        can be costed as their full-scale counterparts.
+     * @param set Inference candidate precision set.
+     * @param kind Accelerator design (default: the 2-in-1 design).
+     * @param seed RPS sampler seed.
+     */
+    TwoInOneSystem(Network &model, NetworkWorkload hw_workload,
+                   PrecisionSet set,
+                   AcceleratorKind kind = AcceleratorKind::TwoInOne,
+                   uint64_t seed = 99);
+
+    /** Classify a batch at a random precision, with cost accounting. */
+    InferenceStats classify(const Tensor &x);
+
+    /** Expected energy per inference averaged over the active set. */
+    double avgEnergyPjPerInference() const;
+
+    /** Expected frames/s averaged over the active set. */
+    double avgFps() const;
+
+    /** Energy at one specific precision (helper for sweeps). */
+    double energyPjAt(int bits) const;
+
+    /** Cycles at one specific precision. */
+    double cyclesAt(int bits) const;
+
+    RpsController &controller() { return controller_; }
+    const Accelerator &accelerator() const { return accel_; }
+    const NetworkWorkload &hwWorkload() const { return hwWorkload_; }
+
+  private:
+    RpsController controller_;
+    NetworkWorkload hwWorkload_;
+    Accelerator accel_;
+};
+
+} // namespace twoinone
+
+#endif // TWOINONE_CORE_SYSTEM_HH

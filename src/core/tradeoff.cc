@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Trade-off controller implementation.
+ */
+
+#include "core/tradeoff.hh"
+
+#include "adversarial/evaluation.hh"
+#include "common/logging.hh"
+
+namespace twoinone {
+
+const char *
+safetyConditionName(SafetyCondition c)
+{
+    switch (c) {
+      case SafetyCondition::Hostile: return "hostile";
+      case SafetyCondition::Elevated: return "elevated";
+      case SafetyCondition::Normal: return "normal";
+      case SafetyCondition::Safe: return "safe";
+    }
+    TWOINONE_PANIC("unknown SafetyCondition");
+}
+
+PrecisionSet
+precisionSetFor(SafetyCondition c)
+{
+    switch (c) {
+      case SafetyCondition::Hostile: return PrecisionSet::rps4to16();
+      case SafetyCondition::Elevated: return PrecisionSet::rps4to12();
+      case SafetyCondition::Normal: return PrecisionSet::rps4to8();
+      case SafetyCondition::Safe: return PrecisionSet::static4();
+    }
+    TWOINONE_PANIC("unknown SafetyCondition");
+}
+
+std::vector<TradeoffPoint>
+evaluateTradeoffCurve(TwoInOneSystem &system, const Dataset &data,
+                      Attack &attack, Rng &rng)
+{
+    PrecisionSet restore = system.controller().precisionSet();
+    Network &net = system.controller().network();
+
+    std::vector<TradeoffPoint> points;
+    double worst_energy = 0.0;
+    for (SafetyCondition c :
+         {SafetyCondition::Hostile, SafetyCondition::Elevated,
+          SafetyCondition::Normal, SafetyCondition::Safe}) {
+        PrecisionSet set = precisionSetFor(c);
+        system.controller().setPrecisionSet(set);
+
+        TradeoffPoint p;
+        p.setName = set.name();
+        p.naturalAccuracy = rpsNaturalAccuracy(net, data, set, rng);
+        p.robustAccuracy = rpsRobustAccuracy(net, attack, data, set, rng);
+        p.avgEnergyPj = system.avgEnergyPjPerInference();
+        worst_energy = std::max(worst_energy, p.avgEnergyPj);
+        points.push_back(std::move(p));
+    }
+
+    for (TradeoffPoint &p : points) {
+        TWOINONE_ASSERT(p.avgEnergyPj > 0.0, "degenerate energy");
+        p.normalizedEfficiency = worst_energy / p.avgEnergyPj;
+    }
+
+    system.controller().setPrecisionSet(restore);
+    return points;
+}
+
+} // namespace twoinone

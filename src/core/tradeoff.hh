@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Instant robustness-efficiency trade-off controller (paper Sec. 2.5
+ * and Fig. 11): without retraining, the deployed system switches
+ * between candidate precision sets — higher sets for hostile
+ * environments, lower sets or a static low precision for safe,
+ * battery-constrained operation.
+ */
+
+#ifndef TWOINONE_CORE_TRADEOFF_HH
+#define TWOINONE_CORE_TRADEOFF_HH
+
+#include "adversarial/attack.hh"
+#include "core/system.hh"
+#include "data/synthetic.hh"
+
+namespace twoinone {
+
+/** Environment condition driving the trade-off policy. */
+enum class SafetyCondition
+{
+    Hostile,  ///< Full candidate set (max robustness).
+    Elevated, ///< Mid-range set.
+    Normal,   ///< Low-precision set (efficiency-leaning).
+    Safe,     ///< Static low precision (max efficiency).
+};
+
+/** Condition name for reports. */
+const char *safetyConditionName(SafetyCondition c);
+
+/** The paper's Fig. 11 precision set for a condition. */
+PrecisionSet precisionSetFor(SafetyCondition c);
+
+/**
+ * One evaluated trade-off operating point.
+ */
+struct TradeoffPoint
+{
+    std::string setName;
+    double naturalAccuracy = 0.0;
+    double robustAccuracy = 0.0;
+    /** Average energy per inference, pJ. */
+    double avgEnergyPj = 0.0;
+    /** Energy efficiency normalized to the least efficient point. */
+    double normalizedEfficiency = 1.0;
+};
+
+/**
+ * Evaluate the Fig. 11 trade-off curve on a trained system.
+ *
+ * @param system The deployed 2-in-1 system (its controller's set is
+ *        switched through every condition and restored afterwards).
+ * @param data Evaluation dataset.
+ * @param attack Attack used for robust accuracy.
+ * @param rng Randomness for attack and samplers.
+ * @return One point per SafetyCondition, in declaration order.
+ */
+std::vector<TradeoffPoint>
+evaluateTradeoffCurve(TwoInOneSystem &system, const Dataset &data,
+                      Attack &attack, Rng &rng);
+
+} // namespace twoinone
+
+#endif // TWOINONE_CORE_TRADEOFF_HH

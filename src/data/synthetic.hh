@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Procedurally generated image-classification datasets.
+ *
+ * The paper evaluates on CIFAR-10/100, SVHN and ImageNet; those are
+ * unavailable offline, so each is replaced by a synthetic dataset in
+ * the same input domain ([0,1] RGB images) whose classes are defined
+ * by smooth per-class template images plus per-sample structured
+ * nuisances (global gain/offset, spatial jitter, Gaussian pixel
+ * noise). The tasks are easy enough to learn in seconds yet hard
+ * enough that gradient-based adversarial attacks succeed against
+ * naturally trained models — which is the property the RPS
+ * experiments need (see DESIGN.md §1).
+ */
+
+#ifndef TWOINONE_DATA_SYNTHETIC_HH
+#define TWOINONE_DATA_SYNTHETIC_HH
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "tensor/tensor.hh"
+
+namespace twoinone {
+
+/**
+ * An in-memory labelled image dataset.
+ */
+struct Dataset
+{
+    /** Images, [N, C, H, W], values in [0, 1]. */
+    Tensor images;
+    /** N labels in [0, numClasses). */
+    std::vector<int> labels;
+    /** Class count. */
+    int numClasses = 0;
+    /** Dataset name for reports. */
+    std::string name;
+
+    int size() const { return images.empty() ? 0 : images.dim(0); }
+
+    /** Copy a contiguous batch [start, start+len). */
+    Dataset batch(int start, int len) const;
+};
+
+/**
+ * Configuration of the synthetic generator.
+ */
+struct SyntheticConfig
+{
+    int numClasses = 10;
+    int channels = 3;
+    int height = 8;
+    int width = 8;
+    int trainSize = 1024;
+    int testSize = 512;
+    /** Template smoothness: higher = lower-frequency class patterns. */
+    int templateWaves = 2;
+    /** Per-pixel Gaussian noise stddev. */
+    float noiseStd = 0.10f;
+    /** Max absolute global brightness offset. */
+    float brightnessJitter = 0.08f;
+    /** Max spatial shift of the template in pixels. */
+    int shiftJitter = 1;
+    uint64_t seed = 7;
+};
+
+/**
+ * Train/test pair produced by the generator.
+ */
+struct DatasetPair
+{
+    Dataset train;
+    Dataset test;
+};
+
+/** Generate a dataset pair from an explicit configuration. */
+DatasetPair makeSynthetic(const SyntheticConfig &cfg,
+                          const std::string &name);
+
+/** @name Stand-ins for the paper's four evaluation datasets
+ * (DESIGN.md §1). Scale factor multiplies train/test sizes. */
+/** @{ */
+DatasetPair makeCifar10Like(double scale = 1.0, uint64_t seed = 11);
+DatasetPair makeCifar100Like(double scale = 1.0, uint64_t seed = 13);
+DatasetPair makeSvhnLike(double scale = 1.0, uint64_t seed = 17);
+DatasetPair makeImageNetLike(double scale = 1.0, uint64_t seed = 19);
+/** @} */
+
+} // namespace twoinone
+
+#endif // TWOINONE_DATA_SYNTHETIC_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Activation layer implementations.
+ */
+
+#include "nn/activation.hh"
+
+#include "tensor/ops.hh"
+
+namespace twoinone {
+
+Tensor
+ReLU::forward(const Tensor &x, bool train)
+{
+    (void)train;
+    cachedMask_ = Tensor(x.shape());
+    Tensor out(x.shape());
+    for (size_t i = 0; i < x.size(); ++i) {
+        bool pos = x[i] > 0.0f;
+        cachedMask_[i] = pos ? 1.0f : 0.0f;
+        out[i] = pos ? x[i] : 0.0f;
+    }
+    return out;
+}
+
+Tensor
+ReLU::backward(const Tensor &grad_out)
+{
+    TWOINONE_ASSERT(!cachedMask_.empty(), "ReLU backward before forward");
+    return ops::mul(grad_out, cachedMask_);
+}
+
+Tensor
+ActQuant::forward(const Tensor &x, bool train)
+{
+    (void)train;
+    QuantResult r = LinearQuantizer::fakeQuantUnsigned(x, quant_.actBits);
+    cachedMask_ = r.steMask;
+    return r.values;
+}
+
+Tensor
+ActQuant::backward(const Tensor &grad_out)
+{
+    TWOINONE_ASSERT(!cachedMask_.empty(), "ActQuant backward before forward");
+    return ops::mul(grad_out, cachedMask_);
+}
+
+} // namespace twoinone

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Activation layers: ReLU and the activation fake-quantizer (ActQuant).
+ *
+ * ActQuant is the in-network hook for RPS activation quantization: it
+ * applies unsigned linear fake quantization at QuantState::actBits and
+ * passes gradients through the straight-through estimator.
+ */
+
+#ifndef TWOINONE_NN_ACTIVATION_HH
+#define TWOINONE_NN_ACTIVATION_HH
+
+#include "nn/layer.hh"
+
+namespace twoinone {
+
+/**
+ * Elementwise rectified linear unit.
+ */
+class ReLU : public Layer
+{
+  public:
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::string describe() const override { return "ReLU"; }
+
+  private:
+    Tensor cachedMask_;
+};
+
+/**
+ * Activation fake quantization with STE backward.
+ *
+ * Identity when the active QuantState::actBits is zero.
+ */
+class ActQuant : public Layer
+{
+  public:
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::string describe() const override { return "ActQuant"; }
+
+  private:
+    Tensor cachedMask_;
+};
+
+} // namespace twoinone
+
+#endif // TWOINONE_NN_ACTIVATION_HH

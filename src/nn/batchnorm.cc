@@ -1,0 +1,202 @@
+/**
+ * @file
+ * SwitchableBatchNorm2d implementation.
+ */
+
+#include "nn/batchnorm.hh"
+
+#include <cmath>
+#include <sstream>
+
+namespace twoinone {
+
+SwitchableBatchNorm2d::SwitchableBatchNorm2d(int channels, int num_banks,
+                                             float momentum, float eps)
+    : channels_(channels), momentum_(momentum), eps_(eps)
+{
+    TWOINONE_ASSERT(channels > 0 && num_banks > 0, "bad SBN geometry");
+    banks_.reserve(static_cast<size_t>(num_banks));
+    for (int i = 0; i < num_banks; ++i)
+        banks_.emplace_back(channels);
+    bankTrained_.assign(static_cast<size_t>(num_banks), 0);
+}
+
+int
+SwitchableBatchNorm2d::activeBankIndex() const
+{
+    int idx = quant_.bnIndex;
+    TWOINONE_ASSERT(idx >= 0 && idx < numBanks(), "SBN bank ", idx,
+                    " out of ", numBanks());
+    return idx;
+}
+
+SwitchableBatchNorm2d::Bank &
+SwitchableBatchNorm2d::activeBank()
+{
+    return banks_[static_cast<size_t>(activeBankIndex())];
+}
+
+Tensor
+SwitchableBatchNorm2d::forward(const Tensor &x, bool train)
+{
+    TWOINONE_ASSERT(x.ndim() == 4 && x.dim(1) == channels_,
+                    "SBN input shape mismatch");
+    // Post-training-quantization semantics: a bank no training pass
+    // has ever touched aliases the full-precision bank 0. Training a
+    // bank claims it.
+    int requested = activeBankIndex();
+    int use = (train || bankTrained_[static_cast<size_t>(requested)])
+                  ? requested
+                  : 0;
+    if (train)
+        bankTrained_[static_cast<size_t>(use)] = 1;
+    Bank &bank = banks_[static_cast<size_t>(use)];
+    int n = x.dim(0), c = channels_, h = x.dim(2), w = x.dim(3);
+    size_t m = static_cast<size_t>(n) * h * w;
+    TWOINONE_ASSERT(m > 0, "SBN over empty spatial extent");
+
+    cachedInput_ = x;
+    cachedTrain_ = train;
+    cachedBank_ = use;
+    cachedMean_.assign(static_cast<size_t>(c), 0.0f);
+    cachedInvStd_.assign(static_cast<size_t>(c), 0.0f);
+
+    Tensor out(x.shape());
+    cachedXhat_ = Tensor(x.shape());
+
+    for (int ci = 0; ci < c; ++ci) {
+        float mean, var;
+        if (train) {
+            double s = 0.0;
+            for (int ni = 0; ni < n; ++ni)
+                for (int y = 0; y < h; ++y)
+                    for (int xx = 0; xx < w; ++xx)
+                        s += x.at4(ni, ci, y, xx);
+            mean = static_cast<float>(s / static_cast<double>(m));
+            double v = 0.0;
+            for (int ni = 0; ni < n; ++ni) {
+                for (int y = 0; y < h; ++y) {
+                    for (int xx = 0; xx < w; ++xx) {
+                        double d = x.at4(ni, ci, y, xx) - mean;
+                        v += d * d;
+                    }
+                }
+            }
+            var = static_cast<float>(v / static_cast<double>(m));
+            // Update the active bank's running statistics only.
+            size_t cs = static_cast<size_t>(ci);
+            bank.runningMean[cs] =
+                (1.0f - momentum_) * bank.runningMean[cs] + momentum_ * mean;
+            bank.runningVar[cs] =
+                (1.0f - momentum_) * bank.runningVar[cs] + momentum_ * var;
+        } else {
+            mean = bank.runningMean[static_cast<size_t>(ci)];
+            var = bank.runningVar[static_cast<size_t>(ci)];
+        }
+
+        float inv_std = 1.0f / std::sqrt(var + eps_);
+        cachedMean_[static_cast<size_t>(ci)] = mean;
+        cachedInvStd_[static_cast<size_t>(ci)] = inv_std;
+        float g = bank.gamma.value[static_cast<size_t>(ci)];
+        float b = bank.beta.value[static_cast<size_t>(ci)];
+        for (int ni = 0; ni < n; ++ni) {
+            for (int y = 0; y < h; ++y) {
+                for (int xx = 0; xx < w; ++xx) {
+                    float xhat = (x.at4(ni, ci, y, xx) - mean) * inv_std;
+                    cachedXhat_.at4(ni, ci, y, xx) = xhat;
+                    out.at4(ni, ci, y, xx) = g * xhat + b;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+SwitchableBatchNorm2d::backward(const Tensor &grad_out)
+{
+    TWOINONE_ASSERT(!cachedInput_.empty(), "SBN backward before forward");
+    TWOINONE_ASSERT(grad_out.sameShape(cachedInput_),
+                    "SBN grad shape mismatch");
+    Bank &bank = banks_[static_cast<size_t>(cachedBank_)];
+    int n = grad_out.dim(0), c = channels_, h = grad_out.dim(2),
+        w = grad_out.dim(3);
+    double m = static_cast<double>(n) * h * w;
+
+    Tensor grad_in(grad_out.shape());
+    for (int ci = 0; ci < c; ++ci) {
+        size_t cs = static_cast<size_t>(ci);
+        float g = bank.gamma.value[cs];
+        float inv_std = cachedInvStd_[cs];
+
+        double dgamma = 0.0, dbeta = 0.0;
+        for (int ni = 0; ni < n; ++ni) {
+            for (int y = 0; y < h; ++y) {
+                for (int xx = 0; xx < w; ++xx) {
+                    float go = grad_out.at4(ni, ci, y, xx);
+                    dgamma += go * cachedXhat_.at4(ni, ci, y, xx);
+                    dbeta += go;
+                }
+            }
+        }
+        bank.gamma.grad[cs] += static_cast<float>(dgamma);
+        bank.beta.grad[cs] += static_cast<float>(dbeta);
+
+        if (!cachedTrain_) {
+            // Eval mode: statistics are constants.
+            for (int ni = 0; ni < n; ++ni)
+                for (int y = 0; y < h; ++y)
+                    for (int xx = 0; xx < w; ++xx)
+                        grad_in.at4(ni, ci, y, xx) =
+                            grad_out.at4(ni, ci, y, xx) * g * inv_std;
+            continue;
+        }
+
+        // Training mode: batch statistics depend on the input.
+        for (int ni = 0; ni < n; ++ni) {
+            for (int y = 0; y < h; ++y) {
+                for (int xx = 0; xx < w; ++xx) {
+                    float go = grad_out.at4(ni, ci, y, xx);
+                    float xhat = cachedXhat_.at4(ni, ci, y, xx);
+                    double term = m * go - dbeta - xhat * dgamma;
+                    grad_in.at4(ni, ci, y, xx) = static_cast<float>(
+                        (g * inv_std / m) * term);
+                }
+            }
+        }
+    }
+    return grad_in;
+}
+
+void
+SwitchableBatchNorm2d::collectParameters(std::vector<Parameter *> &out)
+{
+    for (Bank &b : banks_) {
+        out.push_back(&b.gamma);
+        out.push_back(&b.beta);
+    }
+}
+
+const Tensor &
+SwitchableBatchNorm2d::runningMean(int bank) const
+{
+    TWOINONE_ASSERT(bank >= 0 && bank < numBanks(), "bad SBN bank");
+    return banks_[static_cast<size_t>(bank)].runningMean;
+}
+
+const Tensor &
+SwitchableBatchNorm2d::runningVar(int bank) const
+{
+    TWOINONE_ASSERT(bank >= 0 && bank < numBanks(), "bad SBN bank");
+    return banks_[static_cast<size_t>(bank)].runningVar;
+}
+
+std::string
+SwitchableBatchNorm2d::describe() const
+{
+    std::ostringstream oss;
+    oss << "SBN(" << channels_ << ", banks=" << numBanks() << ")";
+    return oss.str();
+}
+
+} // namespace twoinone

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Switchable batch normalization (SBN).
+ *
+ * The paper equips RPS-trained models with switchable BN [25, 35]: one
+ * independent bank of (gamma, beta, running mean, running var) per
+ * candidate precision, so each precision sees statistics that match
+ * its own quantization noise. A plain BatchNorm2d is the special case
+ * of a single bank. The active bank is selected through
+ * QuantState::bnIndex.
+ *
+ * At inference the BN multiply/add folds into the linear quantizer's
+ * scale and the model bias (paper Sec. 2.4), so SBN adds no module to
+ * the accelerator; here we keep it explicit for training fidelity.
+ */
+
+#ifndef TWOINONE_NN_BATCHNORM_HH
+#define TWOINONE_NN_BATCHNORM_HH
+
+#include "nn/layer.hh"
+
+namespace twoinone {
+
+/**
+ * SwitchableBatchNorm2d over NCHW activations.
+ */
+class SwitchableBatchNorm2d : public Layer
+{
+  public:
+    /**
+     * @param channels Channel count C.
+     * @param num_banks Number of independent statistics banks
+     *                  (1 = plain BN).
+     * @param momentum Running-statistics update rate.
+     * @param eps Variance floor.
+     */
+    SwitchableBatchNorm2d(int channels, int num_banks,
+                          float momentum = 0.1f, float eps = 1e-5f);
+
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &grad_out) override;
+    void collectParameters(std::vector<Parameter *> &out) override;
+    std::string describe() const override;
+
+    int numBanks() const { return static_cast<int>(banks_.size()); }
+    int channels() const { return channels_; }
+
+    /** Running mean of a bank (test access). */
+    const Tensor &runningMean(int bank) const;
+    /** Running variance of a bank (test access). */
+    const Tensor &runningVar(int bank) const;
+
+  private:
+    /** One per-precision statistics bank. */
+    struct Bank
+    {
+        Parameter gamma;
+        Parameter beta;
+        Tensor runningMean;
+        Tensor runningVar;
+
+        explicit Bank(int channels)
+            : gamma(Tensor::ones({channels})),
+              beta(Tensor::zeros({channels})),
+              runningMean(Tensor::zeros({channels})),
+              runningVar(Tensor::ones({channels}))
+        {
+        }
+    };
+
+    int channels_;
+    float momentum_;
+    float eps_;
+    std::vector<Bank> banks_;
+    /** Whether a bank has ever been trained. Untrained banks alias
+     * bank 0 (post-training quantization reuses the full-precision
+     * statistics, the paper's Fig. 1 (a)-(c) protocol); banks become
+     * independent once RPS training touches them. */
+    std::vector<char> bankTrained_;
+
+    // Forward caches.
+    Tensor cachedInput_;
+    Tensor cachedXhat_;
+    std::vector<float> cachedInvStd_;
+    std::vector<float> cachedMean_;
+    bool cachedTrain_ = false;
+    int cachedBank_ = 0;
+
+    Bank &activeBank();
+    int activeBankIndex() const;
+};
+
+} // namespace twoinone
+
+#endif // TWOINONE_NN_BATCHNORM_HH

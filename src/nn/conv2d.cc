@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Conv2d implementation (im2col + GEMM, explicit gradients).
+ */
+
+#include "nn/conv2d.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "tensor/ops.hh"
+
+namespace twoinone {
+
+Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int stride,
+               int padding, bool bias, Rng &rng)
+    : inChannels_(in_channels), outChannels_(out_channels), kernel_(kernel),
+      stride_(stride), padding_(padding), hasBias_(bias),
+      weight_(Tensor::randn(
+          {out_channels, in_channels, kernel, kernel}, rng,
+          static_cast<float>(
+              std::sqrt(2.0 / (in_channels * kernel * kernel))))),
+      bias_(bias ? Tensor::zeros({out_channels}) : Tensor())
+{
+    TWOINONE_ASSERT(in_channels > 0 && out_channels > 0 && kernel > 0 &&
+                        stride > 0 && padding >= 0,
+                    "bad Conv2d geometry");
+}
+
+int
+Conv2d::outSize(int in_size) const
+{
+    return (in_size + 2 * padding_ - kernel_) / stride_ + 1;
+}
+
+Tensor
+Conv2d::im2col(const Tensor &x, int oh, int ow) const
+{
+    int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+    int patch = c * kernel_ * kernel_;
+    Tensor cols({n * oh * ow, patch});
+    float *out = cols.data();
+    const float *in = x.data();
+    for (int ni = 0; ni < n; ++ni) {
+        for (int oy = 0; oy < oh; ++oy) {
+            for (int ox = 0; ox < ow; ++ox) {
+                float *dst = out +
+                             (static_cast<size_t>(ni) * oh * ow +
+                              static_cast<size_t>(oy) * ow + ox) *
+                                 patch;
+                int iy0 = oy * stride_ - padding_;
+                int ix0 = ox * stride_ - padding_;
+                for (int ci = 0; ci < c; ++ci) {
+                    const float *src =
+                        in + (static_cast<size_t>(ni) * c + ci) * h * w;
+                    for (int ky = 0; ky < kernel_; ++ky) {
+                        int iy = iy0 + ky;
+                        for (int kx = 0; kx < kernel_; ++kx) {
+                            int ix = ix0 + kx;
+                            float v = 0.0f;
+                            if (iy >= 0 && iy < h && ix >= 0 && ix < w)
+                                v = src[static_cast<size_t>(iy) * w + ix];
+                            *dst++ = v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return cols;
+}
+
+Tensor
+Conv2d::col2im(const Tensor &cols, const std::vector<int> &in_shape, int oh,
+               int ow) const
+{
+    int n = in_shape[0], c = in_shape[1], h = in_shape[2], w = in_shape[3];
+    int patch = c * kernel_ * kernel_;
+    Tensor x(in_shape);
+    float *out = x.data();
+    const float *in = cols.data();
+    for (int ni = 0; ni < n; ++ni) {
+        for (int oy = 0; oy < oh; ++oy) {
+            for (int ox = 0; ox < ow; ++ox) {
+                const float *src = in +
+                                   (static_cast<size_t>(ni) * oh * ow +
+                                    static_cast<size_t>(oy) * ow + ox) *
+                                       patch;
+                int iy0 = oy * stride_ - padding_;
+                int ix0 = ox * stride_ - padding_;
+                for (int ci = 0; ci < c; ++ci) {
+                    float *dst =
+                        out + (static_cast<size_t>(ni) * c + ci) * h * w;
+                    for (int ky = 0; ky < kernel_; ++ky) {
+                        int iy = iy0 + ky;
+                        for (int kx = 0; kx < kernel_; ++kx) {
+                            int ix = ix0 + kx;
+                            float v = *src++;
+                            if (iy >= 0 && iy < h && ix >= 0 && ix < w)
+                                dst[static_cast<size_t>(iy) * w + ix] += v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return x;
+}
+
+Tensor
+Conv2d::forward(const Tensor &x, bool train)
+{
+    (void)train;
+    TWOINONE_ASSERT(x.ndim() == 4 && x.dim(1) == inChannels_,
+                    "Conv2d input shape mismatch");
+    int n = x.dim(0);
+    int oh = outSize(x.dim(2));
+    int ow = outSize(x.dim(3));
+    TWOINONE_ASSERT(oh > 0 && ow > 0, "Conv2d output collapsed to zero");
+
+    // Fake-quantize the master weights when a precision is active.
+    QuantResult wq =
+        LinearQuantizer::fakeQuantSymmetric(weight_.value, quant_.weightBits);
+    cachedSteMask_ = wq.steMask;
+
+    cachedCols_ = im2col(x, oh, ow);
+    cachedInShape_ = x.shape();
+    cachedOh_ = oh;
+    cachedOw_ = ow;
+
+    int patch = inChannels_ * kernel_ * kernel_;
+    Tensor w2d = wq.values.reshape({outChannels_, patch});
+    // [N*OH*OW, patch] x [K, patch]^T -> [N*OH*OW, K]
+    Tensor out2d = ops::matmulTransposeB(cachedCols_, w2d);
+
+    Tensor out({n, outChannels_, oh, ow});
+    for (int ni = 0; ni < n; ++ni) {
+        for (int oy = 0; oy < oh; ++oy) {
+            for (int ox = 0; ox < ow; ++ox) {
+                int row = (ni * oh + oy) * ow + ox;
+                for (int k = 0; k < outChannels_; ++k) {
+                    float v = out2d.at2(row, k);
+                    if (hasBias_)
+                        v += bias_.value[static_cast<size_t>(k)];
+                    out.at4(ni, k, oy, ox) = v;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+Conv2d::backward(const Tensor &grad_out)
+{
+    TWOINONE_ASSERT(!cachedCols_.empty(), "Conv2d backward before forward");
+    int n = grad_out.dim(0);
+    int oh = cachedOh_, ow = cachedOw_;
+    TWOINONE_ASSERT(grad_out.dim(1) == outChannels_ && grad_out.dim(2) == oh &&
+                        grad_out.dim(3) == ow,
+                    "Conv2d grad_out shape mismatch");
+    int patch = inChannels_ * kernel_ * kernel_;
+
+    // Reorder grad_out into [N*OH*OW, K].
+    Tensor g2d({n * oh * ow, outChannels_});
+    for (int ni = 0; ni < n; ++ni) {
+        for (int oy = 0; oy < oh; ++oy) {
+            for (int ox = 0; ox < ow; ++ox) {
+                int row = (ni * oh + oy) * ow + ox;
+                for (int k = 0; k < outChannels_; ++k)
+                    g2d.at2(row, k) = grad_out.at4(ni, k, oy, ox);
+            }
+        }
+    }
+
+    // Weight gradient: dW[k, patch] = g2d^T x cols.
+    Tensor dw2d = ops::matmulTransposeA(g2d, cachedCols_);
+    // STE: gradients flow to master weights where quantization did not
+    // clip.
+    for (int k = 0; k < outChannels_; ++k) {
+        for (int p = 0; p < patch; ++p) {
+            size_t idx = static_cast<size_t>(k) * patch + p;
+            weight_.grad[idx] += dw2d.at2(k, p) * cachedSteMask_[idx];
+        }
+    }
+
+    if (hasBias_) {
+        for (int k = 0; k < outChannels_; ++k) {
+            double s = 0.0;
+            for (int r = 0; r < n * oh * ow; ++r)
+                s += g2d.at2(r, k);
+            bias_.grad[static_cast<size_t>(k)] += static_cast<float>(s);
+        }
+    }
+
+    // Input gradient: dCols = g2d x Wq; then col2im.
+    QuantResult wq =
+        LinearQuantizer::fakeQuantSymmetric(weight_.value, quant_.weightBits);
+    Tensor w2d = wq.values.reshape({outChannels_, patch});
+    Tensor dcols = ops::matmul(g2d, w2d);
+    return col2im(dcols, cachedInShape_, oh, ow);
+}
+
+void
+Conv2d::collectParameters(std::vector<Parameter *> &out)
+{
+    out.push_back(&weight_);
+    if (hasBias_)
+        out.push_back(&bias_);
+}
+
+std::string
+Conv2d::describe() const
+{
+    std::ostringstream oss;
+    oss << "Conv2d(" << inChannels_ << "->" << outChannels_ << ", k="
+        << kernel_ << ", s=" << stride_ << ", p=" << padding_ << ")";
+    return oss.str();
+}
+
+} // namespace twoinone

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * 2-D convolution layer with im2col forward and explicit backward.
+ *
+ * Master weights stay full precision; when QuantState::weightBits > 0
+ * the forward pass runs on fake-quantized weights and the backward pass
+ * routes the weight gradient through the straight-through estimator
+ * back onto the master weights (standard quantization-aware training,
+ * as used by the paper's linear quantizer [34]).
+ */
+
+#ifndef TWOINONE_NN_CONV2D_HH
+#define TWOINONE_NN_CONV2D_HH
+
+#include "nn/layer.hh"
+
+namespace twoinone {
+
+/**
+ * Conv2d: NCHW convolution, square kernel, zero padding, no dilation.
+ */
+class Conv2d : public Layer
+{
+  public:
+    /**
+     * @param in_channels Input channel count C.
+     * @param out_channels Output channel count K.
+     * @param kernel Kernel side length (R = S = kernel).
+     * @param stride Stride in both spatial dims.
+     * @param padding Zero padding in both spatial dims.
+     * @param bias Whether to learn a per-output-channel bias.
+     * @param rng Weight initialization stream (He normal).
+     */
+    Conv2d(int in_channels, int out_channels, int kernel, int stride,
+           int padding, bool bias, Rng &rng);
+
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &grad_out) override;
+    void collectParameters(std::vector<Parameter *> &out) override;
+    std::string describe() const override;
+
+    /** Weight tensor shape [K, C, R, S]. */
+    Parameter &weight() { return weight_; }
+    /** Bias tensor shape [K] (empty when bias disabled). */
+    Parameter &bias() { return bias_; }
+
+    int inChannels() const { return inChannels_; }
+    int outChannels() const { return outChannels_; }
+    int kernel() const { return kernel_; }
+    int stride() const { return stride_; }
+    int padding() const { return padding_; }
+
+    /** Output spatial size for a given input size. */
+    int outSize(int in_size) const;
+
+  private:
+    int inChannels_;
+    int outChannels_;
+    int kernel_;
+    int stride_;
+    int padding_;
+    bool hasBias_;
+
+    Parameter weight_;
+    Parameter bias_;
+
+    // Forward caches for backward.
+    Tensor cachedCols_;    // im2col matrix [N*OH*OW, C*R*S]
+    Tensor cachedSteMask_; // STE mask of the quantized weights
+    std::vector<int> cachedInShape_;
+    int cachedOh_ = 0;
+    int cachedOw_ = 0;
+
+    /** im2col: [N,C,H,W] -> [N*OH*OW, C*R*S]. */
+    Tensor im2col(const Tensor &x, int oh, int ow) const;
+
+    /** col2im: [N*OH*OW, C*R*S] -> [N,C,H,W] (accumulating). */
+    Tensor col2im(const Tensor &cols, const std::vector<int> &in_shape,
+                  int oh, int ow) const;
+};
+
+} // namespace twoinone
+
+#endif // TWOINONE_NN_CONV2D_HH

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Layer base-class shared behaviour.
+ */
+
+#include "nn/layer.hh"
+
+namespace twoinone {
+
+void
+Layer::collectParameters(std::vector<Parameter *> &out)
+{
+    (void)out; // parameter-free layer
+}
+
+void
+Layer::zeroGrad()
+{
+    std::vector<Parameter *> params;
+    collectParameters(params);
+    for (Parameter *p : params)
+        p->grad.fill(0.0f);
+}
+
+} // namespace twoinone

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Layer abstraction for the DNN substrate.
+ *
+ * Every layer implements an explicit forward pass (caching whatever it
+ * needs) and an explicit backward pass returning the gradient with
+ * respect to its input while accumulating parameter gradients. Both
+ * adversarial attacks (input gradients) and training (parameter
+ * gradients) are served by the same backward path.
+ *
+ * Quantization is threaded through layers via QuantState: layers that
+ * hold weights fake-quantize them in forward when weightBits > 0, and
+ * ActQuant layers fake-quantize activations when actBits > 0. SBN
+ * layers switch their statistics bank on QuantState::bnIndex.
+ */
+
+#ifndef TWOINONE_NN_LAYER_HH
+#define TWOINONE_NN_LAYER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "quant/linear_quantizer.hh"
+#include "tensor/tensor.hh"
+
+namespace twoinone {
+
+/**
+ * The active quantization configuration of a network.
+ */
+struct QuantState
+{
+    /** Weight precision; 0 disables weight quantization. */
+    int weightBits = 0;
+    /** Activation precision; 0 disables activation quantization. */
+    int actBits = 0;
+    /** Which switchable-BN statistics bank is active. */
+    int bnIndex = 0;
+};
+
+/**
+ * A learnable parameter: master value plus accumulated gradient.
+ */
+struct Parameter
+{
+    Tensor value;
+    Tensor grad;
+
+    explicit Parameter(Tensor v)
+        : value(std::move(v)), grad(Tensor::zeros(value.shape()))
+    {
+    }
+};
+
+/**
+ * Abstract base class of all layers.
+ */
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    /**
+     * Run the layer forward.
+     *
+     * @param x Input activations.
+     * @param train Training mode (affects BN statistics and caching).
+     * @return Output activations.
+     */
+    virtual Tensor forward(const Tensor &x, bool train) = 0;
+
+    /**
+     * Run the layer backward.
+     *
+     * @param grad_out Gradient of the loss wrt this layer's output.
+     * @return Gradient of the loss wrt this layer's input.
+     *
+     * Parameter gradients are *accumulated* into Parameter::grad.
+     */
+    virtual Tensor backward(const Tensor &grad_out) = 0;
+
+    /** Collect pointers to all learnable parameters (default: none). */
+    virtual void collectParameters(std::vector<Parameter *> &out);
+
+    /** Zero all accumulated parameter gradients. */
+    void zeroGrad();
+
+    /** Propagate the active quantization state (default: store it). */
+    virtual void setQuantState(const QuantState &qs) { quant_ = qs; }
+
+    /** The layer's current quantization state. */
+    const QuantState &quantState() const { return quant_; }
+
+    /** Short human-readable description for debugging. */
+    virtual std::string describe() const = 0;
+
+  protected:
+    QuantState quant_;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+} // namespace twoinone
+
+#endif // TWOINONE_NN_LAYER_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Linear layer implementation.
+ */
+
+#include "nn/linear.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "tensor/ops.hh"
+
+namespace twoinone {
+
+Linear::Linear(int in_features, int out_features, bool bias, Rng &rng)
+    : inFeatures_(in_features), outFeatures_(out_features), hasBias_(bias),
+      weight_(Tensor::randn({out_features, in_features}, rng,
+                            static_cast<float>(std::sqrt(2.0 / in_features)))),
+      bias_(bias ? Tensor::zeros({out_features}) : Tensor())
+{
+    TWOINONE_ASSERT(in_features > 0 && out_features > 0,
+                    "bad Linear geometry");
+}
+
+Tensor
+Linear::forward(const Tensor &x, bool train)
+{
+    (void)train;
+    TWOINONE_ASSERT(x.ndim() == 2 && x.dim(1) == inFeatures_,
+                    "Linear input shape mismatch");
+    QuantResult wq =
+        LinearQuantizer::fakeQuantSymmetric(weight_.value, quant_.weightBits);
+    cachedSteMask_ = wq.steMask;
+    cachedInput_ = x;
+
+    Tensor out = ops::matmulTransposeB(x, wq.values);
+    if (hasBias_) {
+        int n = out.dim(0);
+        for (int i = 0; i < n; ++i) {
+            for (int j = 0; j < outFeatures_; ++j)
+                out.at2(i, j) += bias_.value[static_cast<size_t>(j)];
+        }
+    }
+    return out;
+}
+
+Tensor
+Linear::backward(const Tensor &grad_out)
+{
+    TWOINONE_ASSERT(!cachedInput_.empty(), "Linear backward before forward");
+    TWOINONE_ASSERT(grad_out.ndim() == 2 && grad_out.dim(1) == outFeatures_,
+                    "Linear grad_out shape mismatch");
+
+    // dW = grad_out^T x input, masked by the STE.
+    Tensor dw = ops::matmulTransposeA(grad_out, cachedInput_);
+    for (size_t i = 0; i < weight_.grad.size(); ++i)
+        weight_.grad[i] += dw[i] * cachedSteMask_[i];
+
+    if (hasBias_) {
+        int n = grad_out.dim(0);
+        for (int j = 0; j < outFeatures_; ++j) {
+            double s = 0.0;
+            for (int i = 0; i < n; ++i)
+                s += grad_out.at2(i, j);
+            bias_.grad[static_cast<size_t>(j)] += static_cast<float>(s);
+        }
+    }
+
+    QuantResult wq =
+        LinearQuantizer::fakeQuantSymmetric(weight_.value, quant_.weightBits);
+    return ops::matmul(grad_out, wq.values);
+}
+
+void
+Linear::collectParameters(std::vector<Parameter *> &out)
+{
+    out.push_back(&weight_);
+    if (hasBias_)
+        out.push_back(&bias_);
+}
+
+std::string
+Linear::describe() const
+{
+    std::ostringstream oss;
+    oss << "Linear(" << inFeatures_ << "->" << outFeatures_ << ")";
+    return oss.str();
+}
+
+} // namespace twoinone

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fully connected layer with quantization-aware forward/backward.
+ */
+
+#ifndef TWOINONE_NN_LINEAR_HH
+#define TWOINONE_NN_LINEAR_HH
+
+#include "nn/layer.hh"
+
+namespace twoinone {
+
+/**
+ * Linear: y = x W^T + b over rank-2 inputs [N, in].
+ */
+class Linear : public Layer
+{
+  public:
+    /**
+     * @param in_features Input feature count.
+     * @param out_features Output feature count.
+     * @param bias Whether to learn a bias.
+     * @param rng Initialization stream (He normal).
+     */
+    Linear(int in_features, int out_features, bool bias, Rng &rng);
+
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &grad_out) override;
+    void collectParameters(std::vector<Parameter *> &out) override;
+    std::string describe() const override;
+
+    Parameter &weight() { return weight_; }
+    Parameter &bias() { return bias_; }
+
+    int inFeatures() const { return inFeatures_; }
+    int outFeatures() const { return outFeatures_; }
+
+  private:
+    int inFeatures_;
+    int outFeatures_;
+    bool hasBias_;
+    Parameter weight_; // [out, in]
+    Parameter bias_;   // [out]
+
+    Tensor cachedInput_;
+    Tensor cachedSteMask_;
+};
+
+} // namespace twoinone
+
+#endif // TWOINONE_NN_LINEAR_HH

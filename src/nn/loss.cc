@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Loss implementations.
+ */
+
+#include "nn/loss.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace twoinone {
+
+Tensor
+softmax(const Tensor &logits)
+{
+    TWOINONE_ASSERT(logits.ndim() == 2, "softmax expects rank-2 logits");
+    int n = logits.dim(0), k = logits.dim(1);
+    Tensor out(logits.shape());
+    for (int i = 0; i < n; ++i) {
+        float mx = logits.at2(i, 0);
+        for (int j = 1; j < k; ++j)
+            mx = std::max(mx, logits.at2(i, j));
+        double denom = 0.0;
+        for (int j = 0; j < k; ++j)
+            denom += std::exp(static_cast<double>(logits.at2(i, j) - mx));
+        for (int j = 0; j < k; ++j) {
+            out.at2(i, j) = static_cast<float>(
+                std::exp(static_cast<double>(logits.at2(i, j) - mx)) /
+                denom);
+        }
+    }
+    return out;
+}
+
+float
+SoftmaxCrossEntropy::forward(const Tensor &logits,
+                             const std::vector<int> &labels)
+{
+    TWOINONE_ASSERT(logits.ndim() == 2, "SCE expects rank-2 logits");
+    TWOINONE_ASSERT(static_cast<int>(labels.size()) == logits.dim(0),
+                    "SCE labels/batch mismatch");
+    probs_ = softmax(logits);
+    labels_ = labels;
+    int n = logits.dim(0);
+    double loss = 0.0;
+    for (int i = 0; i < n; ++i) {
+        int y = labels[static_cast<size_t>(i)];
+        TWOINONE_ASSERT(y >= 0 && y < logits.dim(1), "label out of range");
+        loss -= std::log(
+            std::max(1e-12, static_cast<double>(probs_.at2(i, y))));
+    }
+    return static_cast<float>(loss / n);
+}
+
+Tensor
+SoftmaxCrossEntropy::backward() const
+{
+    TWOINONE_ASSERT(!probs_.empty(), "SCE backward before forward");
+    int n = probs_.dim(0), k = probs_.dim(1);
+    Tensor grad = probs_;
+    float inv_n = 1.0f / static_cast<float>(n);
+    for (int i = 0; i < n; ++i) {
+        grad.at2(i, labels_[static_cast<size_t>(i)]) -= 1.0f;
+        for (int j = 0; j < k; ++j)
+            grad.at2(i, j) *= inv_n;
+    }
+    return grad;
+}
+
+float
+CwMarginLoss::forward(const Tensor &logits, const std::vector<int> &labels)
+{
+    TWOINONE_ASSERT(logits.ndim() == 2, "CW expects rank-2 logits");
+    TWOINONE_ASSERT(static_cast<int>(labels.size()) == logits.dim(0),
+                    "CW labels/batch mismatch");
+    logits_ = logits;
+    labels_ = labels;
+    int n = logits.dim(0), k = logits.dim(1);
+    runnerUp_.assign(static_cast<size_t>(n), 0);
+    active_.assign(static_cast<size_t>(n), false);
+
+    double loss = 0.0;
+    for (int i = 0; i < n; ++i) {
+        int y = labels[static_cast<size_t>(i)];
+        float best_other = -1e30f;
+        int best_j = -1;
+        for (int j = 0; j < k; ++j) {
+            if (j == y)
+                continue;
+            if (logits.at2(i, j) > best_other) {
+                best_other = logits.at2(i, j);
+                best_j = j;
+            }
+        }
+        runnerUp_[static_cast<size_t>(i)] = best_j;
+        float margin = logits.at2(i, y) - best_other;
+        if (margin > -kappa_) {
+            active_[static_cast<size_t>(i)] = true;
+            loss += -margin; // maximizing -> shrink the margin
+        } else {
+            loss += kappa_;
+        }
+    }
+    return static_cast<float>(loss / n);
+}
+
+Tensor
+CwMarginLoss::backward() const
+{
+    TWOINONE_ASSERT(!logits_.empty(), "CW backward before forward");
+    int n = logits_.dim(0);
+    Tensor grad(logits_.shape());
+    float inv_n = 1.0f / static_cast<float>(n);
+    for (int i = 0; i < n; ++i) {
+        if (!active_[static_cast<size_t>(i)])
+            continue;
+        int y = labels_[static_cast<size_t>(i)];
+        int r = runnerUp_[static_cast<size_t>(i)];
+        grad.at2(i, y) -= inv_n;
+        grad.at2(i, r) += inv_n;
+    }
+    return grad;
+}
+
+} // namespace twoinone

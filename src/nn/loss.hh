@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Loss functions: softmax cross-entropy (training and PGD/FGSM
+ * objectives) and the Carlini-Wagner margin loss (CW-Inf attack).
+ */
+
+#ifndef TWOINONE_NN_LOSS_HH
+#define TWOINONE_NN_LOSS_HH
+
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace twoinone {
+
+/**
+ * Mean softmax cross-entropy over a batch.
+ */
+class SoftmaxCrossEntropy
+{
+  public:
+    /**
+     * Compute the mean loss.
+     *
+     * @param logits [N, K] class scores.
+     * @param labels N ground-truth class indices.
+     */
+    float forward(const Tensor &logits, const std::vector<int> &labels);
+
+    /** Gradient of the mean loss wrt the logits: [N, K]. */
+    Tensor backward() const;
+
+    /** Per-row softmax probabilities from the last forward. */
+    const Tensor &probs() const { return probs_; }
+
+  private:
+    Tensor probs_;
+    std::vector<int> labels_;
+};
+
+/**
+ * Carlini-Wagner margin loss: mean over the batch of
+ * max(z_y - max_{j != y} z_j, -kappa); its maximization drives the
+ * CW-Inf attack.
+ */
+class CwMarginLoss
+{
+  public:
+    explicit CwMarginLoss(float kappa = 0.0f) : kappa_(kappa) {}
+
+    /** Negative mean margin (so that *maximizing* it untargets y). */
+    float forward(const Tensor &logits, const std::vector<int> &labels);
+
+    /** Gradient wrt logits of the value returned by forward(). */
+    Tensor backward() const;
+
+  private:
+    float kappa_;
+    Tensor logits_;
+    std::vector<int> labels_;
+    std::vector<int> runnerUp_;
+    std::vector<bool> active_;
+};
+
+/** Row-wise softmax of logits [N, K]. */
+Tensor softmax(const Tensor &logits);
+
+} // namespace twoinone
+
+#endif // TWOINONE_NN_LOSS_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Model zoo builders.
+ */
+
+#include "nn/model_zoo.hh"
+
+#include "nn/activation.hh"
+#include "nn/batchnorm.hh"
+#include "nn/conv2d.hh"
+#include "nn/linear.hh"
+#include "nn/pooling.hh"
+#include "nn/residual.hh"
+
+namespace twoinone {
+
+namespace {
+
+/**
+ * Shared residual-network skeleton:
+ * stem conv -> stages of PreActBlocks (stride 2 between stages) ->
+ * final SBN+ReLU -> global average pool -> linear classifier.
+ */
+Network
+buildResidualNet(const ModelConfig &cfg, int base_width, int stages,
+                 int blocks_per_stage, Rng &rng)
+{
+    Network net(cfg.precisions);
+    int banks = net.bnBanks();
+
+    net.add(std::make_unique<Conv2d>(cfg.inChannels, base_width, 3, 1, 1,
+                                     false, rng));
+    int in_ch = base_width;
+    for (int s = 0; s < stages; ++s) {
+        int out_ch = base_width << s;
+        for (int b = 0; b < blocks_per_stage; ++b) {
+            int stride = (s > 0 && b == 0) ? 2 : 1;
+            net.add(std::make_unique<PreActBlock>(in_ch, out_ch, stride,
+                                                  banks, rng));
+            in_ch = out_ch;
+        }
+    }
+    net.add(std::make_unique<SwitchableBatchNorm2d>(in_ch, banks));
+    net.add(std::make_unique<ReLU>());
+    net.add(std::make_unique<ActQuant>());
+    net.add(std::make_unique<GlobalAvgPool>());
+    net.add(std::make_unique<Linear>(in_ch, cfg.numClasses, true, rng));
+    return net;
+}
+
+} // namespace
+
+Network
+preActResNetMini(const ModelConfig &cfg, Rng &rng)
+{
+    return buildResidualNet(cfg, cfg.baseWidth, cfg.numStages,
+                            cfg.blocksPerStage, rng);
+}
+
+Network
+wideResNetMini(const ModelConfig &cfg, Rng &rng)
+{
+    return buildResidualNet(cfg, cfg.baseWidth * 2, cfg.numStages,
+                            cfg.blocksPerStage, rng);
+}
+
+Network
+resNetMini(const ModelConfig &cfg, Rng &rng)
+{
+    // Deeper stand-in: one extra stage, 1.5x stem width.
+    ModelConfig deep = cfg;
+    return buildResidualNet(deep, (cfg.baseWidth * 3) / 2,
+                            cfg.numStages + 1, cfg.blocksPerStage, rng);
+}
+
+Network
+convNetTiny(const ModelConfig &cfg, Rng &rng)
+{
+    Network net(cfg.precisions);
+    int banks = net.bnBanks();
+    int w = cfg.baseWidth;
+
+    net.add(std::make_unique<Conv2d>(cfg.inChannels, w, 3, 1, 1, false,
+                                     rng));
+    net.add(std::make_unique<SwitchableBatchNorm2d>(w, banks));
+    net.add(std::make_unique<ReLU>());
+    net.add(std::make_unique<ActQuant>());
+    net.add(std::make_unique<Conv2d>(w, 2 * w, 3, 2, 1, false, rng));
+    net.add(std::make_unique<SwitchableBatchNorm2d>(2 * w, banks));
+    net.add(std::make_unique<ReLU>());
+    net.add(std::make_unique<ActQuant>());
+    net.add(std::make_unique<GlobalAvgPool>());
+    net.add(std::make_unique<Linear>(2 * w, cfg.numClasses, true, rng));
+    return net;
+}
+
+} // namespace twoinone

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Model zoo: laptop-scale stand-ins for the paper's evaluation
+ * networks, preserving the architecture family (pre-activation
+ * residual networks, widened variants) at a trainable size.
+ *
+ * The substitutions are recorded in DESIGN.md §1:
+ *  - PreActResNet-18  -> preActResNetMini  (3 stages of PreActBlocks)
+ *  - WideResNet-32    -> wideResNetMini    (same, widened channels)
+ *  - ResNet-50        -> resNetMini        (deeper stem for the
+ *                                           ImageNet-like dataset)
+ * convNetTiny is a plain conv net for quickstart/unit tests.
+ */
+
+#ifndef TWOINONE_NN_MODEL_ZOO_HH
+#define TWOINONE_NN_MODEL_ZOO_HH
+
+#include "nn/network.hh"
+
+namespace twoinone {
+
+/**
+ * Construction parameters shared by the zoo builders.
+ */
+struct ModelConfig
+{
+    /** Input channels (3 for all synthetic datasets). */
+    int inChannels = 3;
+    /** Number of classes. */
+    int numClasses = 10;
+    /** Base channel width of the first stage. */
+    int baseWidth = 8;
+    /** Residual blocks per stage. */
+    int blocksPerStage = 1;
+    /** Number of stages (each after the first downsamples 2x). */
+    int numStages = 3;
+    /** Candidate precisions the model must support. */
+    PrecisionSet precisions = PrecisionSet::rps4to16();
+};
+
+/** Pre-activation residual network (PreActResNet-18 stand-in). */
+Network preActResNetMini(const ModelConfig &cfg, Rng &rng);
+
+/** Widened pre-activation residual network (WideResNet-32 stand-in:
+ * 2x the base width of preActResNetMini). */
+Network wideResNetMini(const ModelConfig &cfg, Rng &rng);
+
+/** Deeper residual network for the ImageNet-like dataset (ResNet-50
+ * stand-in: extra stage and wider stem). */
+Network resNetMini(const ModelConfig &cfg, Rng &rng);
+
+/** Small plain conv net (quickstart and fast unit tests). */
+Network convNetTiny(const ModelConfig &cfg, Rng &rng);
+
+} // namespace twoinone
+
+#endif // TWOINONE_NN_MODEL_ZOO_HH

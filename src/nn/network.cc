@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Network implementation.
+ */
+
+#include "nn/network.hh"
+
+#include "tensor/ops.hh"
+
+namespace twoinone {
+
+void
+Network::add(LayerPtr layer)
+{
+    TWOINONE_ASSERT(layer != nullptr, "adding null layer");
+    layers_.push_back(std::move(layer));
+}
+
+Layer &
+Network::layer(size_t i)
+{
+    TWOINONE_ASSERT(i < layers_.size(), "layer index out of range");
+    return *layers_[i];
+}
+
+Tensor
+Network::forward(const Tensor &x, bool train)
+{
+    TWOINONE_ASSERT(!layers_.empty(), "forward through empty network");
+    Tensor h = x;
+    for (auto &l : layers_)
+        h = l->forward(h, train);
+    return h;
+}
+
+Tensor
+Network::backward(const Tensor &grad_out)
+{
+    TWOINONE_ASSERT(!layers_.empty(), "backward through empty network");
+    Tensor g = grad_out;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+        g = (*it)->backward(g);
+    return g;
+}
+
+std::vector<Parameter *>
+Network::parameters()
+{
+    std::vector<Parameter *> out;
+    for (auto &l : layers_)
+        l->collectParameters(out);
+    return out;
+}
+
+void
+Network::zeroGrad()
+{
+    for (auto &l : layers_)
+        l->zeroGrad();
+}
+
+size_t
+Network::parameterCount()
+{
+    size_t n = 0;
+    for (Parameter *p : parameters())
+        n += p->value.size();
+    return n;
+}
+
+int
+Network::bnBanks() const
+{
+    return static_cast<int>(precisionSet_.size()) + 1;
+}
+
+void
+Network::setPrecision(int bits)
+{
+    QuantState qs;
+    if (bits == 0) {
+        qs.weightBits = 0;
+        qs.actBits = 0;
+        qs.bnIndex = 0;
+    } else {
+        TWOINONE_ASSERT(precisionSet_.contains(bits), "precision ", bits,
+                        " not in bound set ", precisionSet_.name());
+        qs.weightBits = bits;
+        qs.actBits = bits;
+        qs.bnIndex = 1 + precisionSet_.indexOf(bits);
+    }
+    activeBits_ = bits;
+    for (auto &l : layers_)
+        l->setQuantState(qs);
+}
+
+std::vector<int>
+Network::predict(const Tensor &x)
+{
+    Tensor logits = forward(x, /*train=*/false);
+    std::vector<int> preds(static_cast<size_t>(logits.dim(0)));
+    for (int i = 0; i < logits.dim(0); ++i)
+        preds[static_cast<size_t>(i)] = ops::argmaxRow(logits, i);
+    return preds;
+}
+
+} // namespace twoinone

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Network: an ordered stack of layers plus the precision-switch
+ * machinery that RPS relies on.
+ *
+ * A Network is bound to a PrecisionSet. setPrecision(q) fake-quantizes
+ * all weights/activations at q bits and selects the SBN bank for q;
+ * setPrecision(0) restores full precision (bank 0). Networks therefore
+ * hold set.size()+1 SBN banks: bank 0 for full precision, banks 1..n
+ * for each candidate precision.
+ */
+
+#ifndef TWOINONE_NN_NETWORK_HH
+#define TWOINONE_NN_NETWORK_HH
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.hh"
+#include "quant/precision.hh"
+
+namespace twoinone {
+
+/**
+ * Sequential network with precision switching.
+ */
+class Network
+{
+  public:
+    Network() = default;
+
+    /** Bind the candidate precision set (defines SBN bank mapping). */
+    explicit Network(PrecisionSet set) : precisionSet_(std::move(set)) {}
+
+    Network(Network &&) = default;
+    Network &operator=(Network &&) = default;
+
+    /** Append a layer (takes ownership). */
+    void add(LayerPtr layer);
+
+    /** Number of layers. */
+    size_t numLayers() const { return layers_.size(); }
+
+    /** Access layer i. */
+    Layer &layer(size_t i);
+
+    /** Full forward pass. */
+    Tensor forward(const Tensor &x, bool train);
+
+    /** Full backward pass; returns gradient wrt the network input. */
+    Tensor backward(const Tensor &grad_out);
+
+    /** All learnable parameters. */
+    std::vector<Parameter *> parameters();
+
+    /** Zero all parameter gradients. */
+    void zeroGrad();
+
+    /** Number of learnable scalars. */
+    size_t parameterCount();
+
+    /** The bound candidate set. */
+    const PrecisionSet &precisionSet() const { return precisionSet_; }
+
+    /** Number of SBN banks networks built against this set need. */
+    int bnBanks() const;
+
+    /**
+     * Switch the active precision.
+     *
+     * @param bits Candidate precision (must be in the bound set) or 0
+     *             for full precision.
+     */
+    void setPrecision(int bits);
+
+    /** Currently active precision (0 = full). */
+    int activePrecision() const { return activeBits_; }
+
+    /** Predicted class per row for a batch. */
+    std::vector<int> predict(const Tensor &x);
+
+  private:
+    PrecisionSet precisionSet_;
+    std::vector<LayerPtr> layers_;
+    int activeBits_ = 0;
+};
+
+} // namespace twoinone
+
+#endif // TWOINONE_NN_NETWORK_HH

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Pooling layer implementations.
+ */
+
+#include "nn/pooling.hh"
+
+namespace twoinone {
+
+Tensor
+GlobalAvgPool::forward(const Tensor &x, bool train)
+{
+    (void)train;
+    TWOINONE_ASSERT(x.ndim() == 4, "GlobalAvgPool expects NCHW");
+    cachedInShape_ = x.shape();
+    int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+    float inv = 1.0f / static_cast<float>(h * w);
+    Tensor out({n, c});
+    for (int ni = 0; ni < n; ++ni) {
+        for (int ci = 0; ci < c; ++ci) {
+            double s = 0.0;
+            for (int y = 0; y < h; ++y)
+                for (int xx = 0; xx < w; ++xx)
+                    s += x.at4(ni, ci, y, xx);
+            out.at2(ni, ci) = static_cast<float>(s) * inv;
+        }
+    }
+    return out;
+}
+
+Tensor
+GlobalAvgPool::backward(const Tensor &grad_out)
+{
+    TWOINONE_ASSERT(!cachedInShape_.empty(),
+                    "GlobalAvgPool backward before forward");
+    int n = cachedInShape_[0], c = cachedInShape_[1], h = cachedInShape_[2],
+        w = cachedInShape_[3];
+    float inv = 1.0f / static_cast<float>(h * w);
+    Tensor grad_in(cachedInShape_);
+    for (int ni = 0; ni < n; ++ni) {
+        for (int ci = 0; ci < c; ++ci) {
+            float g = grad_out.at2(ni, ci) * inv;
+            for (int y = 0; y < h; ++y)
+                for (int xx = 0; xx < w; ++xx)
+                    grad_in.at4(ni, ci, y, xx) = g;
+        }
+    }
+    return grad_in;
+}
+
+Tensor
+AvgPool2x2::forward(const Tensor &x, bool train)
+{
+    (void)train;
+    TWOINONE_ASSERT(x.ndim() == 4, "AvgPool2x2 expects NCHW");
+    TWOINONE_ASSERT(x.dim(2) % 2 == 0 && x.dim(3) % 2 == 0,
+                    "AvgPool2x2 needs even spatial dims");
+    cachedInShape_ = x.shape();
+    int n = x.dim(0), c = x.dim(1), h = x.dim(2) / 2, w = x.dim(3) / 2;
+    Tensor out({n, c, h, w});
+    for (int ni = 0; ni < n; ++ni) {
+        for (int ci = 0; ci < c; ++ci) {
+            for (int y = 0; y < h; ++y) {
+                for (int xx = 0; xx < w; ++xx) {
+                    float s = x.at4(ni, ci, 2 * y, 2 * xx) +
+                              x.at4(ni, ci, 2 * y, 2 * xx + 1) +
+                              x.at4(ni, ci, 2 * y + 1, 2 * xx) +
+                              x.at4(ni, ci, 2 * y + 1, 2 * xx + 1);
+                    out.at4(ni, ci, y, xx) = 0.25f * s;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+AvgPool2x2::backward(const Tensor &grad_out)
+{
+    TWOINONE_ASSERT(!cachedInShape_.empty(),
+                    "AvgPool2x2 backward before forward");
+    Tensor grad_in(cachedInShape_);
+    int n = grad_out.dim(0), c = grad_out.dim(1), h = grad_out.dim(2),
+        w = grad_out.dim(3);
+    for (int ni = 0; ni < n; ++ni) {
+        for (int ci = 0; ci < c; ++ci) {
+            for (int y = 0; y < h; ++y) {
+                for (int xx = 0; xx < w; ++xx) {
+                    float g = 0.25f * grad_out.at4(ni, ci, y, xx);
+                    grad_in.at4(ni, ci, 2 * y, 2 * xx) = g;
+                    grad_in.at4(ni, ci, 2 * y, 2 * xx + 1) = g;
+                    grad_in.at4(ni, ci, 2 * y + 1, 2 * xx) = g;
+                    grad_in.at4(ni, ci, 2 * y + 1, 2 * xx + 1) = g;
+                }
+            }
+        }
+    }
+    return grad_in;
+}
+
+Tensor
+Flatten::forward(const Tensor &x, bool train)
+{
+    (void)train;
+    TWOINONE_ASSERT(x.ndim() >= 2, "Flatten expects rank >= 2");
+    cachedInShape_ = x.shape();
+    int n = x.dim(0);
+    int rest = static_cast<int>(x.size()) / n;
+    return x.reshape({n, rest});
+}
+
+Tensor
+Flatten::backward(const Tensor &grad_out)
+{
+    TWOINONE_ASSERT(!cachedInShape_.empty(),
+                    "Flatten backward before forward");
+    return grad_out.reshape(cachedInShape_);
+}
+
+} // namespace twoinone

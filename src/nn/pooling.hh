@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Pooling and shape-adapter layers.
+ */
+
+#ifndef TWOINONE_NN_POOLING_HH
+#define TWOINONE_NN_POOLING_HH
+
+#include "nn/layer.hh"
+
+namespace twoinone {
+
+/**
+ * Global average pooling: [N,C,H,W] -> [N,C].
+ */
+class GlobalAvgPool : public Layer
+{
+  public:
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::string describe() const override { return "GlobalAvgPool"; }
+
+  private:
+    std::vector<int> cachedInShape_;
+};
+
+/**
+ * Non-overlapping 2x2 average pooling: [N,C,H,W] -> [N,C,H/2,W/2].
+ */
+class AvgPool2x2 : public Layer
+{
+  public:
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::string describe() const override { return "AvgPool2x2"; }
+
+  private:
+    std::vector<int> cachedInShape_;
+};
+
+/**
+ * Flatten: [N, ...] -> [N, prod(...)].
+ */
+class Flatten : public Layer
+{
+  public:
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::string describe() const override { return "Flatten"; }
+
+  private:
+    std::vector<int> cachedInShape_;
+};
+
+} // namespace twoinone
+
+#endif // TWOINONE_NN_POOLING_HH

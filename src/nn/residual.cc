@@ -1,0 +1,95 @@
+/**
+ * @file
+ * PreActBlock implementation with hand-written two-branch backward.
+ */
+
+#include "nn/residual.hh"
+
+#include <sstream>
+
+#include "tensor/ops.hh"
+
+namespace twoinone {
+
+PreActBlock::PreActBlock(int in_channels, int out_channels, int stride,
+                         int bn_banks, Rng &rng)
+    : bn1_(in_channels, bn_banks),
+      conv1_(in_channels, out_channels, 3, stride, 1, false, rng),
+      bn2_(out_channels, bn_banks),
+      conv2_(out_channels, out_channels, 3, 1, 1, false, rng),
+      inChannels_(in_channels), outChannels_(out_channels), stride_(stride)
+{
+    if (stride != 1 || in_channels != out_channels) {
+        convSc_ = std::make_unique<Conv2d>(in_channels, out_channels, 1,
+                                           stride, 0, false, rng);
+    }
+}
+
+Tensor
+PreActBlock::forward(const Tensor &x, bool train)
+{
+    Tensor h = q1_.forward(relu1_.forward(bn1_.forward(x, train), train),
+                           train);
+    Tensor sc = convSc_ ? convSc_->forward(h, train) : x;
+    Tensor y = conv1_.forward(h, train);
+    y = q2_.forward(relu2_.forward(bn2_.forward(y, train), train), train);
+    y = conv2_.forward(y, train);
+    return ops::add(y, sc);
+}
+
+Tensor
+PreActBlock::backward(const Tensor &grad_out)
+{
+    // Main branch: conv2 <- q2 <- relu2 <- bn2 <- conv1.
+    Tensor g = conv2_.backward(grad_out);
+    g = bn2_.backward(relu2_.backward(q2_.backward(g)));
+    Tensor gh = conv1_.backward(g);
+
+    // Shortcut branch joins at h (projection) or at x (identity).
+    if (convSc_) {
+        Tensor gh_sc = convSc_->backward(grad_out);
+        ops::addInPlace(gh, gh_sc);
+        return bn1_.backward(relu1_.backward(q1_.backward(gh)));
+    }
+    Tensor gx = bn1_.backward(relu1_.backward(q1_.backward(gh)));
+    ops::addInPlace(gx, grad_out);
+    return gx;
+}
+
+void
+PreActBlock::collectParameters(std::vector<Parameter *> &out)
+{
+    bn1_.collectParameters(out);
+    conv1_.collectParameters(out);
+    bn2_.collectParameters(out);
+    conv2_.collectParameters(out);
+    if (convSc_)
+        convSc_->collectParameters(out);
+}
+
+void
+PreActBlock::setQuantState(const QuantState &qs)
+{
+    Layer::setQuantState(qs);
+    bn1_.setQuantState(qs);
+    relu1_.setQuantState(qs);
+    q1_.setQuantState(qs);
+    conv1_.setQuantState(qs);
+    bn2_.setQuantState(qs);
+    relu2_.setQuantState(qs);
+    q2_.setQuantState(qs);
+    conv2_.setQuantState(qs);
+    if (convSc_)
+        convSc_->setQuantState(qs);
+}
+
+std::string
+PreActBlock::describe() const
+{
+    std::ostringstream oss;
+    oss << "PreActBlock(" << inChannels_ << "->" << outChannels_
+        << ", s=" << stride_ << (convSc_ ? ", proj" : "") << ")";
+    return oss.str();
+}
+
+} // namespace twoinone

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * SGD implementation.
+ */
+
+#include "nn/sgd.hh"
+
+namespace twoinone {
+
+Sgd::Sgd(float lr, float momentum, float weight_decay)
+    : lr_(lr), momentum_(momentum), weightDecay_(weight_decay)
+{
+}
+
+void
+Sgd::step(const std::vector<Parameter *> &params)
+{
+    for (Parameter *p : params) {
+        auto it = velocity_.find(p);
+        if (it == velocity_.end()) {
+            it = velocity_.emplace(p, Tensor::zeros(p->value.shape()))
+                     .first;
+        }
+        Tensor &v = it->second;
+        for (size_t i = 0; i < p->value.size(); ++i) {
+            float g = p->grad[i] + weightDecay_ * p->value[i];
+            v[i] = momentum_ * v[i] + g;
+            p->value[i] -= lr_ * v[i];
+        }
+    }
+}
+
+} // namespace twoinone

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * SGD with momentum and weight decay — the optimizer used by every
+ * adversarial training method in the paper's training setup [48, 65].
+ */
+
+#ifndef TWOINONE_NN_SGD_HH
+#define TWOINONE_NN_SGD_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "nn/layer.hh"
+
+namespace twoinone {
+
+/**
+ * Stochastic gradient descent with classical momentum.
+ */
+class Sgd
+{
+  public:
+    /**
+     * @param lr Learning rate.
+     * @param momentum Momentum coefficient (0 disables).
+     * @param weight_decay L2 penalty coefficient (0 disables).
+     */
+    explicit Sgd(float lr, float momentum = 0.9f,
+                 float weight_decay = 5e-4f);
+
+    /** Apply one update to every parameter; gradients are consumed
+     * (not zeroed — call zeroGrad on the network afterwards). */
+    void step(const std::vector<Parameter *> &params);
+
+    float lr() const { return lr_; }
+    void setLr(float lr) { lr_ = lr; }
+
+  private:
+    float lr_;
+    float momentum_;
+    float weightDecay_;
+    std::unordered_map<Parameter *, Tensor> velocity_;
+};
+
+} // namespace twoinone
+
+#endif // TWOINONE_NN_SGD_HH

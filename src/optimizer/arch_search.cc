@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Micro-architecture search implementation.
+ */
+
+#include "optimizer/arch_search.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace twoinone {
+
+ArchSearchSpace
+ArchSearchSpace::makeDefault(double total_area_budget)
+{
+    ArchSearchSpace s;
+    s.totalAreaBudget = total_area_budget;
+    double base = total_area_budget * 0.7;
+    s.macArrayAreas = {base * 0.5, base * 0.75, base};
+    double kb = 1024.0 * 8.0;
+    s.gbCapacitiesBits = {256.0 * kb, 512.0 * kb, 1024.0 * kb};
+    return s;
+}
+
+std::vector<ArchCandidate>
+ArchSearchSpace::candidates() const
+{
+    std::vector<ArchCandidate> out;
+    for (double area : macArrayAreas) {
+        for (double gb : gbCapacitiesBits) {
+            double total = area + gb * sramAreaPerBit;
+            if (totalAreaBudget > 0.0 && total > totalAreaBudget)
+                continue;
+            out.push_back({area, gb});
+        }
+    }
+    return out;
+}
+
+ArchSearchResult
+searchMicroArchitecture(AcceleratorKind kind, const ArchSearchSpace &space,
+                        const NetworkWorkload &net,
+                        const PrecisionSet &precisions,
+                        const EvoConfig &evo_cfg, const TechModel &tech)
+{
+    ArchSearchResult result;
+    result.bestCost = std::numeric_limits<double>::infinity();
+
+    for (const ArchCandidate &cand : space.candidates()) {
+        Accelerator accel(kind, cand.macArrayArea, tech);
+
+        // Apply the candidate's buffer size.
+        MemoryHierarchy hierarchy =
+            MemoryHierarchy::makeDefault(tech, accel.numUnits());
+        hierarchy.level(Level::Gb).capacityBits = cand.gbCapacityBits;
+        PerformancePredictor predictor(accel.mac(), hierarchy, tech,
+                                       accel.numUnits());
+        EvolutionarySearch search(predictor, evo_cfg);
+
+        SearchConstraints constraints;
+        constraints.freedom = DataflowFreedom::Full;
+        constraints.numUnits = accel.numUnits();
+
+        // Average optimized cost across precisions and layers.
+        double total_cost = 0.0;
+        bool ok = true;
+        for (const ConvShape &layer : net.layers) {
+            SearchResult r = search.searchLayerMultiPrecision(
+                layer, precisions, constraints);
+            if (!r.found) {
+                ok = false;
+                break;
+            }
+            total_cost += r.bestCost;
+        }
+        if (!ok)
+            continue;
+
+        result.evaluated.push_back({cand, total_cost});
+        if (total_cost < result.bestCost) {
+            result.bestCost = total_cost;
+            result.best = cand;
+            result.found = true;
+        }
+    }
+    return result;
+}
+
+} // namespace twoinone

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Joint dataflow + micro-architecture search — the second mode of the
+ * paper's automated optimizer (Sec. 3.3): a predefined design space
+ * of MAC-array sizes and buffer sizes is explored under an area
+ * budget, where each micro-architecture candidate is scored by its
+ * average efficiency across the precision set after optimizing its
+ * dataflow with Alg. 2.
+ */
+
+#ifndef TWOINONE_OPTIMIZER_ARCH_SEARCH_HH
+#define TWOINONE_OPTIMIZER_ARCH_SEARCH_HH
+
+#include "optimizer/evolutionary.hh"
+
+namespace twoinone {
+
+/**
+ * One micro-architecture candidate.
+ */
+struct ArchCandidate
+{
+    /** MAC-array area in normalized units. */
+    double macArrayArea = 0.0;
+    /** Global-buffer capacity in bits. */
+    double gbCapacityBits = 0.0;
+};
+
+/**
+ * Design space: the cross product of array-area and buffer-size
+ * choices whose estimated total area fits the budget.
+ */
+struct ArchSearchSpace
+{
+    std::vector<double> macArrayAreas;
+    std::vector<double> gbCapacitiesBits;
+    /** Total area budget; GB area is modeled as area-per-bit. */
+    double totalAreaBudget = 0.0;
+    /** SRAM density: normalized area units per bit. */
+    double sramAreaPerBit = 4e-5;
+
+    /** Default 3x3 grid around the bench configuration. */
+    static ArchSearchSpace makeDefault(double total_area_budget);
+
+    /** All candidates that fit the budget. */
+    std::vector<ArchCandidate> candidates() const;
+};
+
+/**
+ * Result of the joint search.
+ */
+struct ArchSearchResult
+{
+    ArchCandidate best;
+    double bestCost = 0.0;
+    /** Cost of every evaluated candidate (for reports). */
+    std::vector<std::pair<ArchCandidate, double>> evaluated;
+    bool found = false;
+};
+
+/**
+ * Search micro-architectures for one accelerator kind over a
+ * workload, scoring each candidate by the average optimized-dataflow
+ * cost over the precision set.
+ */
+ArchSearchResult
+searchMicroArchitecture(AcceleratorKind kind, const ArchSearchSpace &space,
+                        const NetworkWorkload &net,
+                        const PrecisionSet &precisions,
+                        const EvoConfig &evo_cfg, const TechModel &tech);
+
+} // namespace twoinone
+
+#endif // TWOINONE_OPTIMIZER_ARCH_SEARCH_HH

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * EvolutionarySearch implementation (paper Alg. 2).
+ */
+
+#include "optimizer/evolutionary.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace twoinone {
+
+const char *
+objectiveName(Objective o)
+{
+    switch (o) {
+      case Objective::Latency: return "latency";
+      case Objective::Energy: return "energy";
+      case Objective::EnergyDelay: return "EDP";
+    }
+    TWOINONE_PANIC("unknown Objective");
+}
+
+EvolutionarySearch::EvolutionarySearch(
+    const PerformancePredictor &predictor, EvoConfig cfg)
+    : predictor_(predictor), cfg_(cfg)
+{
+    TWOINONE_ASSERT(cfg_.populationSize >= 4, "population too small");
+    TWOINONE_ASSERT(cfg_.eliteFraction > 0.0 && cfg_.eliteFraction < 1.0,
+                    "bad elite fraction");
+}
+
+double
+EvolutionarySearch::cost(const ConvShape &shape, int w_bits, int a_bits,
+                         const Dataflow &df) const
+{
+    LayerPrediction p = predictor_.predictLayer(shape, w_bits, a_bits, df);
+    if (!p.valid)
+        return std::numeric_limits<double>::infinity();
+    switch (cfg_.objective) {
+      case Objective::Latency:
+        return p.totalCycles;
+      case Objective::Energy:
+        return p.totalEnergyPj();
+      case Objective::EnergyDelay:
+        return p.totalCycles * p.totalEnergyPj();
+    }
+    TWOINONE_PANIC("unknown Objective");
+}
+
+template <typename CostFn>
+SearchResult
+EvolutionarySearch::run(const DataflowSpace &space, CostFn &&fn) const
+{
+    Rng rng(cfg_.seed);
+    struct Scored
+    {
+        Dataflow df;
+        double cost;
+    };
+    std::vector<Scored> population;
+    population.reserve(static_cast<size_t>(cfg_.populationSize));
+
+    // Seed with the greedy default so the search never loses to the
+    // baseline heuristic mapping.
+    {
+        Dataflow seed = space.defaultDataflow();
+        double c = fn(seed);
+        if (std::isfinite(c))
+            population.push_back({std::move(seed), c});
+    }
+
+    // Initial population: keep drawing until enough valid designs
+    // exist (bounded attempts, as random draws may overflow buffers).
+    int attempts = 0;
+    while (static_cast<int>(population.size()) < cfg_.populationSize &&
+           attempts < cfg_.populationSize * 40) {
+        ++attempts;
+        Dataflow df = space.random(rng);
+        double c = fn(df);
+        if (std::isfinite(c))
+            population.push_back({std::move(df), c});
+    }
+
+    SearchResult result;
+    if (population.empty())
+        return result; // no valid design found
+
+    auto by_cost = [](const Scored &a, const Scored &b) {
+        return a.cost < b.cost;
+    };
+
+    for (int cycle = 0; cycle < cfg_.totalCycles; ++cycle) {
+        std::sort(population.begin(), population.end(), by_cost);
+        result.costHistory.push_back(population.front().cost);
+
+        // Top 30% survive (Alg. 2 line 3).
+        size_t elite = std::max<size_t>(
+            2, static_cast<size_t>(cfg_.eliteFraction *
+                                   population.size()));
+        elite = std::min(elite, population.size());
+        population.resize(elite);
+
+        // Refill with crossover + mutation children (lines 4-7).
+        int guard = 0;
+        while (static_cast<int>(population.size()) <
+                   cfg_.populationSize &&
+               guard < cfg_.populationSize * 40) {
+            ++guard;
+            const Dataflow &pa =
+                population[static_cast<size_t>(rng.uniformInt(
+                               0, static_cast<int>(elite) - 1))]
+                    .df;
+            const Dataflow &pb =
+                population[static_cast<size_t>(rng.uniformInt(
+                               0, static_cast<int>(elite) - 1))]
+                    .df;
+            Dataflow child = rng.bernoulli(0.5)
+                                 ? space.crossover(pa, pb, rng)
+                                 : space.mutate(pa, rng);
+            double c = fn(child);
+            if (std::isfinite(c))
+                population.push_back({std::move(child), c});
+        }
+    }
+
+    std::sort(population.begin(), population.end(), by_cost);
+    result.best = population.front().df;
+    result.bestCost = population.front().cost;
+    result.costHistory.push_back(result.bestCost);
+    result.found = true;
+    return result;
+}
+
+SearchResult
+EvolutionarySearch::searchLayer(
+    const ConvShape &shape, int w_bits, int a_bits,
+    const SearchConstraints &constraints) const
+{
+    DataflowSpace space(shape, constraints);
+    return run(space, [&](const Dataflow &df) {
+        return cost(shape, w_bits, a_bits, df);
+    });
+}
+
+SearchResult
+EvolutionarySearch::searchLayerMultiPrecision(
+    const ConvShape &shape, const PrecisionSet &set,
+    const SearchConstraints &constraints) const
+{
+    TWOINONE_ASSERT(!set.empty(), "empty precision set");
+    DataflowSpace space(shape, constraints);
+    return run(space, [&](const Dataflow &df) {
+        double sum = 0.0;
+        for (int q : set.bits()) {
+            double c = cost(shape, q, q, df);
+            if (!std::isfinite(c))
+                return c;
+            sum += c;
+        }
+        return sum / static_cast<double>(set.size());
+    });
+}
+
+std::vector<Dataflow>
+optimizeNetworkDataflows(const Accelerator &accel,
+                         const NetworkWorkload &net, int w_bits,
+                         int a_bits, const EvoConfig &cfg)
+{
+    EvolutionarySearch search(accel.predictor(), cfg);
+    SearchConstraints constraints;
+    constraints.freedom = accel.freedom();
+    constraints.numUnits = accel.numUnits();
+
+    std::vector<Dataflow> out;
+    out.reserve(net.layers.size());
+    for (const ConvShape &layer : net.layers) {
+        SearchResult r =
+            search.searchLayer(layer, w_bits, a_bits, constraints);
+        if (r.found) {
+            out.push_back(r.best);
+        } else {
+            // Fall back to the greedy default mapping.
+            out.push_back(
+                Dataflow::greedyDefault(layer, accel.numUnits()));
+        }
+    }
+    return out;
+}
+
+} // namespace twoinone

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Evolutionary dataflow search — paper Alg. 2.
+ *
+ * Population of random dataflows; each cycle keeps the top 30% by
+ * predicted efficiency, then refills the population with crossover
+ * and mutation children (invalid children — buffer overflow or
+ * spatial misfit — are discarded), for a fixed number of cycles.
+ */
+
+#ifndef TWOINONE_OPTIMIZER_EVOLUTIONARY_HH
+#define TWOINONE_OPTIMIZER_EVOLUTIONARY_HH
+
+#include "optimizer/search_space.hh"
+#include "quant/precision.hh"
+
+namespace twoinone {
+
+/** Optimization objective (lower cost = better). */
+enum class Objective
+{
+    Latency,    ///< Total cycles.
+    Energy,     ///< Total energy.
+    EnergyDelay ///< Energy-delay product.
+};
+
+/** Objective name for reports. */
+const char *objectiveName(Objective o);
+
+/**
+ * Alg. 2 hyper-parameters.
+ */
+struct EvoConfig
+{
+    int populationSize = 36;
+    int totalCycles = 12;
+    double eliteFraction = 0.3;
+    Objective objective = Objective::EnergyDelay;
+    uint64_t seed = 123;
+};
+
+/**
+ * Result of one search: the best dataflow, its cost, and the
+ * best-cost trace per cycle (for convergence plots).
+ */
+struct SearchResult
+{
+    Dataflow best;
+    double bestCost = 0.0;
+    std::vector<double> costHistory;
+    bool found = false;
+};
+
+/**
+ * The evolutionary search engine.
+ */
+class EvolutionarySearch
+{
+  public:
+    /**
+     * @param predictor Efficiency oracle (paper: DNN-Chip Predictor).
+     * @param cfg Alg. 2 parameters.
+     */
+    EvolutionarySearch(const PerformancePredictor &predictor,
+                       EvoConfig cfg);
+
+    /** Search the dataflow for one layer at one precision. */
+    SearchResult searchLayer(const ConvShape &shape, int w_bits,
+                             int a_bits,
+                             const SearchConstraints &constraints) const;
+
+    /**
+     * Search one dataflow that is best *on average across a precision
+     * set* — the variable-precision objective RPS workloads need
+     * (paper Sec. 3.1.3).
+     */
+    SearchResult
+    searchLayerMultiPrecision(const ConvShape &shape,
+                              const PrecisionSet &set,
+                              const SearchConstraints &constraints) const;
+
+    /** Cost of a dataflow under the configured objective; +inf when
+     * invalid. */
+    double cost(const ConvShape &shape, int w_bits, int a_bits,
+                const Dataflow &df) const;
+
+  private:
+    const PerformancePredictor &predictor_;
+    EvoConfig cfg_;
+
+    /** Generic search over an arbitrary cost functor. */
+    template <typename CostFn>
+    SearchResult run(const DataflowSpace &space, CostFn &&fn) const;
+};
+
+/**
+ * Optimize every layer of a network under an accelerator's dataflow
+ * freedom; returns per-layer dataflows.
+ */
+std::vector<Dataflow>
+optimizeNetworkDataflows(const Accelerator &accel,
+                         const NetworkWorkload &net, int w_bits,
+                         int a_bits, const EvoConfig &cfg);
+
+} // namespace twoinone
+
+#endif // TWOINONE_OPTIMIZER_EVOLUTIONARY_HH

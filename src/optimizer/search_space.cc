@@ -1,0 +1,180 @@
+/**
+ * @file
+ * DataflowSpace implementation.
+ */
+
+#include "optimizer/search_space.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace twoinone {
+
+namespace {
+
+int
+ceilDiv(int a, int b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Random trip count in [1, min(limit, extent)]. */
+int
+randomTrip(Rng &rng, int extent, int limit)
+{
+    int hi = std::max(1, std::min(extent, limit));
+    return rng.uniformInt(1, hi);
+}
+
+} // namespace
+
+DataflowSpace::DataflowSpace(const ConvShape &shape,
+                             SearchConstraints constraints)
+    : shape_(shape), constraints_(constraints)
+{
+    TWOINONE_ASSERT(constraints_.numUnits >= 1, "bad unit budget");
+}
+
+void
+DataflowSpace::randomizeDimTiling(Dataflow &df, Dim d, Rng &rng) const
+{
+    int extent = Dataflow::shapeExtent(shape_, d);
+    int t_rf = randomTrip(rng, extent, constraints_.maxTripRf);
+    int rem = ceilDiv(extent, t_rf);
+    int t_noc = randomTrip(rng, rem, constraints_.maxTripNoc);
+    rem = ceilDiv(rem, t_noc);
+    int t_gb = randomTrip(rng, rem, constraints_.maxTripGb);
+
+    df.trips(Level::Rf, d) = t_rf;
+    df.trips(Level::Noc, d) = t_noc;
+    df.trips(Level::Gb, d) = t_gb;
+    // DRAM trips are fixed by repair().
+}
+
+void
+DataflowSpace::repair(Dataflow &df) const
+{
+    // Shrink the spatial mapping until it fits the array, pushing the
+    // removed factors up into the GB level.
+    while (df.spatialUnits() > constraints_.numUnits) {
+        // Halve the largest NoC trip.
+        Dim largest = Dim::N;
+        int largest_trip = 1;
+        for (int d = 0; d < kNumDims; ++d) {
+            Dim dim = static_cast<Dim>(d);
+            if (df.trips(Level::Noc, dim) > largest_trip) {
+                largest_trip = df.trips(Level::Noc, dim);
+                largest = dim;
+            }
+        }
+        TWOINONE_ASSERT(largest_trip > 1, "cannot shrink NoC mapping");
+        int halved = ceilDiv(largest_trip, 2);
+        df.trips(Level::Noc, largest) = halved;
+        df.trips(Level::Gb, largest) *= 2;
+    }
+
+    // Cover every dimension with DRAM trips.
+    for (int d = 0; d < kNumDims; ++d) {
+        Dim dim = static_cast<Dim>(d);
+        int extent = Dataflow::shapeExtent(shape_, dim);
+        int inner = static_cast<int>(df.tileExtent(dim, Level::Gb));
+        df.trips(Level::Dram, dim) = std::max(1, ceilDiv(extent, inner));
+    }
+}
+
+Dataflow
+DataflowSpace::defaultDataflow() const
+{
+    if (constraints_.freedom == DataflowFreedom::GbOrderOnly)
+        return Dataflow::bitFusionFixed(shape_, constraints_.numUnits);
+    return Dataflow::greedyDefault(shape_, constraints_.numUnits);
+}
+
+Dataflow
+DataflowSpace::random(Rng &rng) const
+{
+    if (constraints_.freedom == DataflowFreedom::GbOrderOnly) {
+        // Fixed tiling (the design's native mapping); only the GB
+        // loop order is searchable.
+        Dataflow df = Dataflow::bitFusionFixed(shape_,
+                                               constraints_.numUnits);
+        auto &gb_order = df.order[static_cast<size_t>(Level::Gb)];
+        std::vector<Dim> dims(gb_order.begin(), gb_order.end());
+        rng.shuffle(dims);
+        std::copy(dims.begin(), dims.end(), gb_order.begin());
+        return df;
+    }
+
+    Dataflow df;
+    for (int d = 0; d < kNumDims; ++d)
+        randomizeDimTiling(df, static_cast<Dim>(d), rng);
+    for (Level lv : {Level::Rf, Level::Gb, Level::Dram}) {
+        auto &order = df.order[static_cast<size_t>(lv)];
+        std::vector<Dim> dims(order.begin(), order.end());
+        rng.shuffle(dims);
+        std::copy(dims.begin(), dims.end(), order.begin());
+    }
+    repair(df);
+    return df;
+}
+
+Dataflow
+DataflowSpace::crossover(const Dataflow &a, const Dataflow &b,
+                         Rng &rng) const
+{
+    Dataflow child = a;
+    if (constraints_.freedom == DataflowFreedom::GbOrderOnly) {
+        child.order[static_cast<size_t>(Level::Gb)] =
+            b.order[static_cast<size_t>(Level::Gb)];
+        return child;
+    }
+
+    if (rng.bernoulli(0.5)) {
+        // Splice one level's loop order from b.
+        Level lv = rng.bernoulli(0.5) ? Level::Gb : Level::Dram;
+        child.order[static_cast<size_t>(lv)] =
+            b.order[static_cast<size_t>(lv)];
+    } else {
+        // Splice one dimension's tiling factors from b.
+        Dim d = static_cast<Dim>(rng.uniformInt(0, kNumDims - 1));
+        for (int lv = 0; lv < kNumLevels; ++lv) {
+            child.tiling[static_cast<size_t>(lv)][static_cast<size_t>(
+                d)] = b.trips(static_cast<Level>(lv), d);
+        }
+    }
+    repair(child);
+    return child;
+}
+
+Dataflow
+DataflowSpace::mutate(const Dataflow &a, Rng &rng) const
+{
+    Dataflow child = a;
+    if (constraints_.freedom == DataflowFreedom::GbOrderOnly) {
+        auto &order = child.order[static_cast<size_t>(Level::Gb)];
+        int i = rng.uniformInt(0, kNumDims - 1);
+        int j = rng.uniformInt(0, kNumDims - 1);
+        std::swap(order[static_cast<size_t>(i)],
+                  order[static_cast<size_t>(j)]);
+        return child;
+    }
+
+    if (rng.bernoulli(0.5)) {
+        // Permute one level's loop order.
+        Level lv = rng.bernoulli(0.5) ? Level::Gb : Level::Dram;
+        auto &order = child.order[static_cast<size_t>(lv)];
+        int i = rng.uniformInt(0, kNumDims - 1);
+        int j = rng.uniformInt(0, kNumDims - 1);
+        std::swap(order[static_cast<size_t>(i)],
+                  order[static_cast<size_t>(j)]);
+    } else {
+        // Re-randomize one dimension's tiling.
+        Dim d = static_cast<Dim>(rng.uniformInt(0, kNumDims - 1));
+        randomizeDimTiling(child, d, rng);
+    }
+    repair(child);
+    return child;
+}
+
+} // namespace twoinone

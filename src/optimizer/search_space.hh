@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Dataflow search space: random generation, crossover and mutation of
+ * Dataflow genomes, exactly the operator set of paper Alg. 2 —
+ * crossover splices one level's loop order or one dimension's tiling
+ * factors between two designs; mutation re-randomizes one of them.
+ */
+
+#ifndef TWOINONE_OPTIMIZER_SEARCH_SPACE_HH
+#define TWOINONE_OPTIMIZER_SEARCH_SPACE_HH
+
+#include "accel/accelerator.hh"
+#include "common/rng.hh"
+
+namespace twoinone {
+
+/** What the mapper is allowed to change (paper Sec. 3.1.3). */
+struct SearchConstraints
+{
+    DataflowFreedom freedom = DataflowFreedom::Full;
+    int numUnits = 256;
+    /** Maximum trip count considered per level per dim. */
+    int maxTripRf = 8;
+    int maxTripNoc = 64;
+    int maxTripGb = 16;
+};
+
+/**
+ * Dataflow genome operations.
+ */
+class DataflowSpace
+{
+  public:
+    DataflowSpace(const ConvShape &shape, SearchConstraints constraints);
+
+    /** A uniformly random valid-shaped dataflow (coverage + spatial
+     * budget guaranteed; buffer fit is checked by the predictor). */
+    Dataflow random(Rng &rng) const;
+
+    /** The greedy default mapping (used to seed the population so the
+     * search never regresses below the baseline heuristic). */
+    Dataflow defaultDataflow() const;
+
+    /** Alg. 2 crossover: splice an order or a tiling column of b
+     * into a copy of a. */
+    Dataflow crossover(const Dataflow &a, const Dataflow &b,
+                       Rng &rng) const;
+
+    /** Alg. 2 mutation: re-randomize one order or one tiling column
+     * of a copy of a. */
+    Dataflow mutate(const Dataflow &a, Rng &rng) const;
+
+    const ConvShape &shape() const { return shape_; }
+    const SearchConstraints &constraints() const { return constraints_; }
+
+  private:
+    ConvShape shape_;
+    SearchConstraints constraints_;
+
+    /** Re-randomize the tiling of one dimension in place. */
+    void randomizeDimTiling(Dataflow &df, Dim d, Rng &rng) const;
+
+    /** Recompute DRAM trips so every dim is covered, and shrink the
+     * NoC tiling until it fits the unit budget. */
+    void repair(Dataflow &df) const;
+};
+
+} // namespace twoinone
+
+#endif // TWOINONE_OPTIMIZER_SEARCH_SPACE_HH

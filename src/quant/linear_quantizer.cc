@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Implementation of the linear quantizer.
+ */
+
+#include "quant/linear_quantizer.hh"
+
+#include <cmath>
+
+#include "tensor/ops.hh"
+
+namespace twoinone {
+
+int
+LinearQuantizer::signedQmax(int bits)
+{
+    TWOINONE_ASSERT(bits >= 1 && bits <= 31, "signedQmax bits=", bits);
+    if (bits == 1)
+        return 1; // binary {-1, +1} grid
+    return (1 << (bits - 1)) - 1;
+}
+
+int
+LinearQuantizer::unsignedQmax(int bits)
+{
+    TWOINONE_ASSERT(bits >= 1 && bits <= 31, "unsignedQmax bits=", bits);
+    return (1 << bits) - 1;
+}
+
+QuantResult
+LinearQuantizer::fakeQuantSymmetric(const Tensor &x, int bits)
+{
+    QuantResult r;
+    if (bits <= 0) {
+        r.values = x;
+        r.steMask = Tensor::ones(x.shape());
+        r.scale = 1.0f;
+        return r;
+    }
+
+    float max_abs = ops::maxAbs(x);
+    r.values = Tensor(x.shape());
+    r.steMask = Tensor::ones(x.shape());
+    if (max_abs == 0.0f) {
+        r.scale = 0.0f;
+        return r;
+    }
+
+    int qmax = signedQmax(bits);
+    float scale = max_abs / static_cast<float>(qmax);
+    r.scale = scale;
+    for (size_t i = 0; i < x.size(); ++i) {
+        float q = std::nearbyint(x[i] / scale);
+        if (q > qmax) {
+            q = static_cast<float>(qmax);
+            r.steMask[i] = 0.0f;
+        } else if (q < -qmax) {
+            q = static_cast<float>(-qmax);
+            r.steMask[i] = 0.0f;
+        }
+        r.values[i] = q * scale;
+    }
+    return r;
+}
+
+QuantResult
+LinearQuantizer::fakeQuantUnsigned(const Tensor &x, int bits)
+{
+    QuantResult r;
+    if (bits <= 0) {
+        r.values = x;
+        r.steMask = Tensor::ones(x.shape());
+        r.scale = 1.0f;
+        return r;
+    }
+
+    float max_v = 0.0f;
+    for (size_t i = 0; i < x.size(); ++i)
+        max_v = std::max(max_v, x[i]);
+
+    r.values = Tensor(x.shape());
+    r.steMask = Tensor::ones(x.shape());
+    if (max_v <= 0.0f) {
+        r.scale = 0.0f;
+        // Entirely non-positive input: everything clips to zero.
+        for (size_t i = 0; i < x.size(); ++i)
+            r.steMask[i] = (x[i] == 0.0f) ? 1.0f : 0.0f;
+        return r;
+    }
+
+    int qmax = unsignedQmax(bits);
+    float scale = max_v / static_cast<float>(qmax);
+    r.scale = scale;
+    for (size_t i = 0; i < x.size(); ++i) {
+        float q = std::nearbyint(x[i] / scale);
+        if (q < 0.0f) {
+            q = 0.0f;
+            r.steMask[i] = 0.0f;
+        } else if (q > qmax) {
+            q = static_cast<float>(qmax);
+            r.steMask[i] = 0.0f;
+        }
+        r.values[i] = q * scale;
+    }
+    return r;
+}
+
+std::vector<int32_t>
+LinearQuantizer::quantizeToIntSymmetric(const Tensor &x, int bits,
+                                        float *scale_out)
+{
+    std::vector<int32_t> codes(x.size(), 0);
+    float max_abs = ops::maxAbs(x);
+    int qmax = signedQmax(bits);
+    float scale = (max_abs == 0.0f)
+                      ? 0.0f
+                      : max_abs / static_cast<float>(qmax);
+    if (scale_out)
+        *scale_out = scale;
+    if (scale == 0.0f)
+        return codes;
+    for (size_t i = 0; i < x.size(); ++i) {
+        float q = std::nearbyint(x[i] / scale);
+        q = std::min(static_cast<float>(qmax),
+                     std::max(static_cast<float>(-qmax), q));
+        codes[i] = static_cast<int32_t>(q);
+    }
+    return codes;
+}
+
+} // namespace twoinone

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Linear (uniform) quantizer in the style of Jacob et al. 2018, the
+ * quantizer the paper uses for both weights and activations ([34]).
+ *
+ * Two flavours:
+ *  - symmetric signed quantization (weights): scale = max|x| / qmax,
+ *    grid { -qmax..qmax } with qmax = 2^(bits-1) - 1;
+ *  - affine unsigned quantization (post-ReLU activations):
+ *    scale = max(x) / (2^bits - 1), grid { 0..2^bits-1 }.
+ *
+ * fakeQuant* return the dequantized ("fake quantized") values plus the
+ * straight-through-estimator pass mask: gradients flow where the input
+ * fell inside the representable range and are cut where it clipped.
+ */
+
+#ifndef TWOINONE_QUANT_LINEAR_QUANTIZER_HH
+#define TWOINONE_QUANT_LINEAR_QUANTIZER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace twoinone {
+
+/**
+ * Result of a fake-quantization pass.
+ */
+struct QuantResult
+{
+    /** Dequantized values on the quantization grid. */
+    Tensor values;
+    /** STE mask: 1 where the gradient passes, 0 where input clipped. */
+    Tensor steMask;
+    /** The scale used (0 when the input was identically zero). */
+    float scale = 0.0f;
+    /** The zero point (always 0 for symmetric mode). */
+    float zeroPoint = 0.0f;
+};
+
+/**
+ * Stateless uniform quantizer.
+ *
+ * All methods are static; the dynamic range is taken from the tensor
+ * itself (per-tensor dynamic quantization), matching the in-situ
+ * precision switching of RPS where no per-precision calibration pass
+ * is available.
+ */
+class LinearQuantizer
+{
+  public:
+    /** Number of positive levels of a signed symmetric grid. */
+    static int signedQmax(int bits);
+
+    /** Number of levels minus one of an unsigned grid. */
+    static int unsignedQmax(int bits);
+
+    /**
+     * Symmetric signed fake quantization (weights).
+     *
+     * @param x Input tensor.
+     * @param bits Precision; bits <= 0 returns x unchanged
+     *             (full precision) with an all-ones mask.
+     */
+    static QuantResult fakeQuantSymmetric(const Tensor &x, int bits);
+
+    /**
+     * Affine unsigned fake quantization (activations, assumed >= 0).
+     * Negative inputs clip to zero (and their gradient is cut).
+     */
+    static QuantResult fakeQuantUnsigned(const Tensor &x, int bits);
+
+    /**
+     * Integer codes of the symmetric grid, for feeding the bit-true
+     * accelerator datapath. Values lie in [-qmax, qmax].
+     */
+    static std::vector<int32_t> quantizeToIntSymmetric(const Tensor &x,
+                                                       int bits,
+                                                       float *scale_out);
+};
+
+} // namespace twoinone
+
+#endif // TWOINONE_QUANT_LINEAR_QUANTIZER_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Implementation of PrecisionSet.
+ */
+
+#include "quant/precision.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace twoinone {
+
+PrecisionSet::PrecisionSet(std::vector<int> bits) : bits_(std::move(bits))
+{
+    TWOINONE_ASSERT(!bits_.empty(), "empty precision set");
+    TWOINONE_ASSERT(std::is_sorted(bits_.begin(), bits_.end()),
+                    "precision set must be sorted");
+    for (size_t i = 0; i < bits_.size(); ++i) {
+        TWOINONE_ASSERT(bits_[i] >= 1 && bits_[i] <= 16,
+                        "precision out of [1,16]: ", bits_[i]);
+        if (i > 0) {
+            TWOINONE_ASSERT(bits_[i] != bits_[i - 1],
+                            "duplicate precision ", bits_[i]);
+        }
+    }
+}
+
+PrecisionSet
+PrecisionSet::rps4to16()
+{
+    return PrecisionSet({4, 5, 6, 8, 12, 16});
+}
+
+PrecisionSet
+PrecisionSet::rps4to12()
+{
+    return PrecisionSet({4, 5, 6, 8, 12});
+}
+
+PrecisionSet
+PrecisionSet::rps4to8()
+{
+    return PrecisionSet({4, 5, 6, 8});
+}
+
+PrecisionSet
+PrecisionSet::static4()
+{
+    return PrecisionSet({4});
+}
+
+PrecisionSet
+PrecisionSet::range(int lo, int hi)
+{
+    TWOINONE_ASSERT(lo >= 1 && hi >= lo, "bad precision range [", lo, ",",
+                    hi, "]");
+    std::vector<int> b;
+    for (int q = lo; q <= hi; ++q)
+        b.push_back(q);
+    return PrecisionSet(std::move(b));
+}
+
+bool
+PrecisionSet::contains(int q) const
+{
+    return std::find(bits_.begin(), bits_.end(), q) != bits_.end();
+}
+
+int
+PrecisionSet::indexOf(int q) const
+{
+    auto it = std::find(bits_.begin(), bits_.end(), q);
+    TWOINONE_ASSERT(it != bits_.end(), "precision ", q, " not in set ",
+                    name());
+    return static_cast<int>(it - bits_.begin());
+}
+
+int
+PrecisionSet::sample(Rng &rng) const
+{
+    TWOINONE_ASSERT(!bits_.empty(), "sampling from empty precision set");
+    return rng.pick(bits_);
+}
+
+int
+PrecisionSet::minBits() const
+{
+    TWOINONE_ASSERT(!bits_.empty(), "minBits of empty set");
+    return bits_.front();
+}
+
+int
+PrecisionSet::maxBits() const
+{
+    TWOINONE_ASSERT(!bits_.empty(), "maxBits of empty set");
+    return bits_.back();
+}
+
+std::string
+PrecisionSet::name() const
+{
+    std::ostringstream oss;
+    oss << "{";
+    for (size_t i = 0; i < bits_.size(); ++i) {
+        if (i)
+            oss << ",";
+        oss << bits_[i];
+    }
+    oss << "}";
+    return oss.str();
+}
+
+} // namespace twoinone

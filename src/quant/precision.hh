@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Precision sets and the random precision sampler at the heart of RPS.
+ *
+ * A PrecisionSet is the candidate set Set_Q of Alg. 1: the precisions a
+ * model may be quantized to during RPS training and inference. The
+ * paper's default is 4~16-bit; the instant-trade-off experiments
+ * (Fig. 11) also use 4~12, 4~8 and static 4-bit sets.
+ */
+
+#ifndef TWOINONE_QUANT_PRECISION_HH
+#define TWOINONE_QUANT_PRECISION_HH
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace twoinone {
+
+/**
+ * An ordered set of candidate bit-widths for weights/activations.
+ */
+class PrecisionSet
+{
+  public:
+    /** Empty set (full precision only). */
+    PrecisionSet() = default;
+
+    /** Construct from explicit candidate bit-widths (must be sorted,
+     * unique, each in [1, 16]). */
+    explicit PrecisionSet(std::vector<int> bits);
+
+    /** The paper's default RPS set: {4,5,6,8,12,16}. */
+    static PrecisionSet rps4to16();
+
+    /** Fig. 11 variants. */
+    static PrecisionSet rps4to12();
+    static PrecisionSet rps4to8();
+    static PrecisionSet static4();
+
+    /** Contiguous range [lo, hi] (each integer precision). */
+    static PrecisionSet range(int lo, int hi);
+
+    /** Candidate bit-widths. */
+    const std::vector<int> &bits() const { return bits_; }
+
+    /** Number of candidates. */
+    size_t size() const { return bits_.size(); }
+
+    bool empty() const { return bits_.empty(); }
+
+    /** Whether q is a member. */
+    bool contains(int q) const;
+
+    /** Index of q within the set (panics when absent). */
+    int indexOf(int q) const;
+
+    /** Draw a candidate uniformly at random (Alg. 1 line 5 / 16). */
+    int sample(Rng &rng) const;
+
+    /** Lowest / highest candidate. */
+    int minBits() const;
+    int maxBits() const;
+
+    /** Human-readable name, e.g. "{4,5,6,8,12,16}". */
+    std::string name() const;
+
+  private:
+    std::vector<int> bits_;
+};
+
+} // namespace twoinone
+
+#endif // TWOINONE_QUANT_PRECISION_HH

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Implementation of tensor operations.
+ */
+
+#include "tensor/ops.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace twoinone {
+namespace ops {
+
+namespace {
+
+void
+checkSameShape(const Tensor &a, const Tensor &b, const char *what)
+{
+    TWOINONE_ASSERT(a.sameShape(b), what, ": shape mismatch");
+}
+
+} // namespace
+
+Tensor
+add(const Tensor &a, const Tensor &b)
+{
+    checkSameShape(a, b, "add");
+    Tensor out(a.shape());
+    for (size_t i = 0; i < a.size(); ++i)
+        out[i] = a[i] + b[i];
+    return out;
+}
+
+Tensor
+sub(const Tensor &a, const Tensor &b)
+{
+    checkSameShape(a, b, "sub");
+    Tensor out(a.shape());
+    for (size_t i = 0; i < a.size(); ++i)
+        out[i] = a[i] - b[i];
+    return out;
+}
+
+Tensor
+mul(const Tensor &a, const Tensor &b)
+{
+    checkSameShape(a, b, "mul");
+    Tensor out(a.shape());
+    for (size_t i = 0; i < a.size(); ++i)
+        out[i] = a[i] * b[i];
+    return out;
+}
+
+Tensor
+addScalar(const Tensor &a, float s)
+{
+    Tensor out(a.shape());
+    for (size_t i = 0; i < a.size(); ++i)
+        out[i] = a[i] + s;
+    return out;
+}
+
+Tensor
+mulScalar(const Tensor &a, float s)
+{
+    Tensor out(a.shape());
+    for (size_t i = 0; i < a.size(); ++i)
+        out[i] = a[i] * s;
+    return out;
+}
+
+Tensor &
+addInPlace(Tensor &a, const Tensor &b)
+{
+    checkSameShape(a, b, "addInPlace");
+    for (size_t i = 0; i < a.size(); ++i)
+        a[i] += b[i];
+    return a;
+}
+
+Tensor &
+subInPlace(Tensor &a, const Tensor &b)
+{
+    checkSameShape(a, b, "subInPlace");
+    for (size_t i = 0; i < a.size(); ++i)
+        a[i] -= b[i];
+    return a;
+}
+
+Tensor &
+axpyInPlace(Tensor &a, float s, const Tensor &b)
+{
+    checkSameShape(a, b, "axpyInPlace");
+    for (size_t i = 0; i < a.size(); ++i)
+        a[i] += s * b[i];
+    return a;
+}
+
+Tensor &
+mulScalarInPlace(Tensor &a, float s)
+{
+    for (size_t i = 0; i < a.size(); ++i)
+        a[i] *= s;
+    return a;
+}
+
+Tensor &
+clampInPlace(Tensor &a, float lo, float hi)
+{
+    for (size_t i = 0; i < a.size(); ++i)
+        a[i] = std::min(hi, std::max(lo, a[i]));
+    return a;
+}
+
+Tensor
+sign(const Tensor &a)
+{
+    Tensor out(a.shape());
+    for (size_t i = 0; i < a.size(); ++i)
+        out[i] = (a[i] > 0.0f) ? 1.0f : (a[i] < 0.0f ? -1.0f : 0.0f);
+    return out;
+}
+
+Tensor
+abs(const Tensor &a)
+{
+    Tensor out(a.shape());
+    for (size_t i = 0; i < a.size(); ++i)
+        out[i] = std::fabs(a[i]);
+    return out;
+}
+
+Tensor
+clamp(const Tensor &a, float lo, float hi)
+{
+    Tensor out = a;
+    clampInPlace(out, lo, hi);
+    return out;
+}
+
+float
+sum(const Tensor &a)
+{
+    double s = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        s += a[i];
+    return static_cast<float>(s);
+}
+
+float
+mean(const Tensor &a)
+{
+    if (a.size() == 0)
+        return 0.0f;
+    return sum(a) / static_cast<float>(a.size());
+}
+
+float
+maxAbs(const Tensor &a)
+{
+    float m = 0.0f;
+    for (size_t i = 0; i < a.size(); ++i)
+        m = std::max(m, std::fabs(a[i]));
+    return m;
+}
+
+int
+argmaxRow(const Tensor &logits, int row)
+{
+    TWOINONE_ASSERT(logits.ndim() == 2, "argmaxRow expects rank-2 logits");
+    int cols = logits.dim(1);
+    int best = 0;
+    float best_v = logits.at2(row, 0);
+    for (int j = 1; j < cols; ++j) {
+        float v = logits.at2(row, j);
+        if (v > best_v) {
+            best_v = v;
+            best = j;
+        }
+    }
+    return best;
+}
+
+float
+linfDistance(const Tensor &a, const Tensor &b)
+{
+    TWOINONE_ASSERT(a.sameShape(b), "linfDistance shape mismatch");
+    float m = 0.0f;
+    for (size_t i = 0; i < a.size(); ++i)
+        m = std::max(m, std::fabs(a[i] - b[i]));
+    return m;
+}
+
+float
+l2Norm(const Tensor &a)
+{
+    double s = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        s += static_cast<double>(a[i]) * a[i];
+    return static_cast<float>(std::sqrt(s));
+}
+
+Tensor
+matmul(const Tensor &a, const Tensor &b)
+{
+    TWOINONE_ASSERT(a.ndim() == 2 && b.ndim() == 2, "matmul rank");
+    TWOINONE_ASSERT(a.dim(1) == b.dim(0), "matmul inner-dim mismatch");
+    int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+    Tensor c({m, n});
+    for (int i = 0; i < m; ++i) {
+        for (int p = 0; p < k; ++p) {
+            float av = a.at2(i, p);
+            if (av == 0.0f)
+                continue;
+            const float *brow = b.data() + static_cast<size_t>(p) * n;
+            float *crow = c.data() + static_cast<size_t>(i) * n;
+            for (int j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor
+matmulTransposeB(const Tensor &a, const Tensor &b)
+{
+    TWOINONE_ASSERT(a.ndim() == 2 && b.ndim() == 2, "matmulTB rank");
+    TWOINONE_ASSERT(a.dim(1) == b.dim(1), "matmulTB inner-dim mismatch");
+    int m = a.dim(0), k = a.dim(1), n = b.dim(0);
+    Tensor c({m, n});
+    for (int i = 0; i < m; ++i) {
+        const float *arow = a.data() + static_cast<size_t>(i) * k;
+        for (int j = 0; j < n; ++j) {
+            const float *brow = b.data() + static_cast<size_t>(j) * k;
+            double s = 0.0;
+            for (int p = 0; p < k; ++p)
+                s += static_cast<double>(arow[p]) * brow[p];
+            c.at2(i, j) = static_cast<float>(s);
+        }
+    }
+    return c;
+}
+
+Tensor
+matmulTransposeA(const Tensor &a, const Tensor &b)
+{
+    TWOINONE_ASSERT(a.ndim() == 2 && b.ndim() == 2, "matmulTA rank");
+    TWOINONE_ASSERT(a.dim(0) == b.dim(0), "matmulTA inner-dim mismatch");
+    int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+    Tensor c({k, n});
+    for (int i = 0; i < m; ++i) {
+        const float *arow = a.data() + static_cast<size_t>(i) * k;
+        const float *brow = b.data() + static_cast<size_t>(i) * n;
+        for (int p = 0; p < k; ++p) {
+            float av = arow[p];
+            if (av == 0.0f)
+                continue;
+            float *crow = c.data() + static_cast<size_t>(p) * n;
+            for (int j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+void
+projectLinf(const Tensor &center, float eps, Tensor &x)
+{
+    TWOINONE_ASSERT(center.sameShape(x), "projectLinf shape mismatch");
+    for (size_t i = 0; i < x.size(); ++i) {
+        float lo = center[i] - eps;
+        float hi = center[i] + eps;
+        x[i] = std::min(hi, std::max(lo, x[i]));
+    }
+}
+
+} // namespace ops
+} // namespace twoinone

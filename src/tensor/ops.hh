@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Elementwise / reduction / linear-algebra operations on Tensor.
+ *
+ * All functions are shape-checked (panic on mismatch) and allocate
+ * fresh outputs except the *InPlace variants used on hot paths of the
+ * training loop and the attacks.
+ */
+
+#ifndef TWOINONE_TENSOR_OPS_HH
+#define TWOINONE_TENSOR_OPS_HH
+
+#include "tensor/tensor.hh"
+
+namespace twoinone {
+namespace ops {
+
+/** @name Elementwise binary ops (shapes must match) */
+/** @{ */
+Tensor add(const Tensor &a, const Tensor &b);
+Tensor sub(const Tensor &a, const Tensor &b);
+Tensor mul(const Tensor &a, const Tensor &b);
+/** @} */
+
+/** @name Elementwise scalar ops */
+/** @{ */
+Tensor addScalar(const Tensor &a, float s);
+Tensor mulScalar(const Tensor &a, float s);
+/** @} */
+
+/** @name In-place updates (a is mutated and returned by reference) */
+/** @{ */
+Tensor &addInPlace(Tensor &a, const Tensor &b);
+Tensor &subInPlace(Tensor &a, const Tensor &b);
+/** a += s * b  (axpy). */
+Tensor &axpyInPlace(Tensor &a, float s, const Tensor &b);
+Tensor &mulScalarInPlace(Tensor &a, float s);
+/** Clamp every element into [lo, hi]. */
+Tensor &clampInPlace(Tensor &a, float lo, float hi);
+/** @} */
+
+/** Elementwise sign: -1 / 0 / +1. */
+Tensor sign(const Tensor &a);
+
+/** Elementwise absolute value. */
+Tensor abs(const Tensor &a);
+
+/** Clamp copy. */
+Tensor clamp(const Tensor &a, float lo, float hi);
+
+/** @name Reductions */
+/** @{ */
+float sum(const Tensor &a);
+float mean(const Tensor &a);
+float maxAbs(const Tensor &a);
+/** Index of the maximum element of a rank-1 tensor or a row. */
+int argmaxRow(const Tensor &logits, int row);
+/** L-infinity distance between two same-shape tensors. */
+float linfDistance(const Tensor &a, const Tensor &b);
+/** L2 norm of all elements. */
+float l2Norm(const Tensor &a);
+/** @} */
+
+/**
+ * Row-major matrix multiply: C[m,n] = A[m,k] * B[k,n].
+ */
+Tensor matmul(const Tensor &a, const Tensor &b);
+
+/**
+ * Matrix multiply with transposed second operand:
+ * C[m,n] = A[m,k] * B[n,k]^T. Used by Linear backward.
+ */
+Tensor matmulTransposeB(const Tensor &a, const Tensor &b);
+
+/**
+ * Matrix multiply with transposed first operand:
+ * C[k,n] = A[m,k]^T * B[m,n]. Used by Linear weight gradients.
+ */
+Tensor matmulTransposeA(const Tensor &a, const Tensor &b);
+
+/**
+ * Project b onto the L-infinity ball of radius eps centered at a,
+ * in place on b (the PGD projection step).
+ */
+void projectLinf(const Tensor &center, float eps, Tensor &x);
+
+} // namespace ops
+} // namespace twoinone
+
+#endif // TWOINONE_TENSOR_OPS_HH

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Implementation of the dense Tensor class.
+ */
+
+#include "tensor/tensor.hh"
+
+#include <numeric>
+
+namespace twoinone {
+
+size_t
+Tensor::numel(const std::vector<int> &shape)
+{
+    size_t n = 1;
+    for (int d : shape) {
+        TWOINONE_ASSERT(d >= 0, "negative tensor dimension ", d);
+        n *= static_cast<size_t>(d);
+    }
+    return shape.empty() ? 0 : n;
+}
+
+Tensor::Tensor(std::vector<int> shape)
+    : shape_(std::move(shape)), data_(numel(shape_), 0.0f)
+{
+}
+
+Tensor::Tensor(std::vector<int> shape, float fill)
+    : shape_(std::move(shape)), data_(numel(shape_), fill)
+{
+}
+
+Tensor
+Tensor::zeros(std::vector<int> shape)
+{
+    return Tensor(std::move(shape));
+}
+
+Tensor
+Tensor::ones(std::vector<int> shape)
+{
+    return Tensor(std::move(shape), 1.0f);
+}
+
+Tensor
+Tensor::full(std::vector<int> shape, float value)
+{
+    return Tensor(std::move(shape), value);
+}
+
+Tensor
+Tensor::randn(std::vector<int> shape, Rng &rng, float stddev)
+{
+    Tensor t(std::move(shape));
+    for (size_t i = 0; i < t.size(); ++i)
+        t[i] = static_cast<float>(rng.normal(0.0, stddev));
+    return t;
+}
+
+Tensor
+Tensor::uniform(std::vector<int> shape, Rng &rng, float lo, float hi)
+{
+    Tensor t(std::move(shape));
+    for (size_t i = 0; i < t.size(); ++i)
+        t[i] = static_cast<float>(rng.uniform(lo, hi));
+    return t;
+}
+
+int
+Tensor::dim(int i) const
+{
+    TWOINONE_ASSERT(i >= 0 && i < ndim(), "dim index ", i, " out of rank ",
+                    ndim());
+    return shape_[static_cast<size_t>(i)];
+}
+
+bool
+Tensor::sameShape(const Tensor &other) const
+{
+    return shape_ == other.shape_;
+}
+
+float &
+Tensor::at2(int i, int j)
+{
+    TWOINONE_ASSERT(ndim() == 2, "at2 on rank-", ndim(), " tensor");
+    return data_[static_cast<size_t>(i) * shape_[1] + j];
+}
+
+float
+Tensor::at2(int i, int j) const
+{
+    TWOINONE_ASSERT(ndim() == 2, "at2 on rank-", ndim(), " tensor");
+    return data_[static_cast<size_t>(i) * shape_[1] + j];
+}
+
+float &
+Tensor::at4(int n, int c, int h, int w)
+{
+    TWOINONE_ASSERT(ndim() == 4, "at4 on rank-", ndim(), " tensor");
+    return data_[((static_cast<size_t>(n) * shape_[1] + c) * shape_[2] + h) *
+                     shape_[3] +
+                 w];
+}
+
+float
+Tensor::at4(int n, int c, int h, int w) const
+{
+    TWOINONE_ASSERT(ndim() == 4, "at4 on rank-", ndim(), " tensor");
+    return data_[((static_cast<size_t>(n) * shape_[1] + c) * shape_[2] + h) *
+                     shape_[3] +
+                 w];
+}
+
+void
+Tensor::fill(float value)
+{
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+Tensor
+Tensor::reshape(std::vector<int> new_shape) const
+{
+    TWOINONE_ASSERT(numel(new_shape) == size(),
+                    "reshape element-count mismatch");
+    Tensor t;
+    t.shape_ = std::move(new_shape);
+    t.data_ = data_;
+    return t;
+}
+
+Tensor
+Tensor::slice0(int start, int len) const
+{
+    TWOINONE_ASSERT(ndim() >= 1, "slice0 on rank-0 tensor");
+    TWOINONE_ASSERT(start >= 0 && start + len <= dim(0),
+                    "slice0 range [", start, ",", start + len,
+                    ") out of dim0=", dim(0));
+    size_t stride = size() / static_cast<size_t>(dim(0));
+    std::vector<int> out_shape = shape_;
+    out_shape[0] = len;
+    Tensor out(out_shape);
+    std::copy(data_.begin() + static_cast<long>(start * stride),
+              data_.begin() + static_cast<long>((start + len) * stride),
+              out.data_.begin());
+    return out;
+}
+
+void
+Tensor::setSlice0(int start, const Tensor &src)
+{
+    TWOINONE_ASSERT(ndim() >= 1 && src.ndim() == ndim(),
+                    "setSlice0 rank mismatch");
+    for (int i = 1; i < ndim(); ++i) {
+        TWOINONE_ASSERT(dim(i) == src.dim(i),
+                        "setSlice0 trailing-shape mismatch at dim ", i);
+    }
+    TWOINONE_ASSERT(start >= 0 && start + src.dim(0) <= dim(0),
+                    "setSlice0 range out of bounds");
+    size_t stride = size() / static_cast<size_t>(dim(0));
+    std::copy(src.data_.begin(), src.data_.end(),
+              data_.begin() + static_cast<long>(start * stride));
+}
+
+} // namespace twoinone

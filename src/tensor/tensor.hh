@@ -1,0 +1,111 @@
+/**
+ * @file
+ * A minimal dense float tensor used by the DNN substrate.
+ *
+ * Tensors are contiguous row-major (NCHW for 4-D activations) float32
+ * buffers with a dynamic shape of up to four dimensions. The library
+ * deliberately avoids views/strides: every operation produces or
+ * mutates a contiguous buffer, which keeps the manual backward passes
+ * in src/nn easy to audit.
+ */
+
+#ifndef TWOINONE_TENSOR_TENSOR_HH
+#define TWOINONE_TENSOR_TENSOR_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace twoinone {
+
+/**
+ * Dense, contiguous, row-major float tensor.
+ */
+class Tensor
+{
+  public:
+    /** Empty tensor (rank 0, no elements). */
+    Tensor() = default;
+
+    /** Zero-filled tensor of the given shape. */
+    explicit Tensor(std::vector<int> shape);
+
+    /** Tensor of the given shape filled with a constant. */
+    Tensor(std::vector<int> shape, float fill);
+
+    /** @name Factory helpers */
+    /** @{ */
+    static Tensor zeros(std::vector<int> shape);
+    static Tensor ones(std::vector<int> shape);
+    static Tensor full(std::vector<int> shape, float value);
+    /** I.i.d. normal entries: mean 0, given stddev. */
+    static Tensor randn(std::vector<int> shape, Rng &rng,
+                        float stddev = 1.0f);
+    /** I.i.d. uniform entries in [lo, hi). */
+    static Tensor uniform(std::vector<int> shape, Rng &rng, float lo,
+                          float hi);
+    /** @} */
+
+    /** Number of dimensions. */
+    int ndim() const { return static_cast<int>(shape_.size()); }
+
+    /** Size along dimension i (panics when out of range). */
+    int dim(int i) const;
+
+    /** Total number of elements. */
+    size_t size() const { return data_.size(); }
+
+    /** Whether the tensor holds no elements. */
+    bool empty() const { return data_.empty(); }
+
+    /** The full shape vector. */
+    const std::vector<int> &shape() const { return shape_; }
+
+    /** True when both tensors have identical shape vectors. */
+    bool sameShape(const Tensor &other) const;
+
+    /** @name Element access */
+    /** @{ */
+    float &operator[](size_t i) { return data_[i]; }
+    float operator[](size_t i) const { return data_[i]; }
+
+    /** 2-D indexed access (panics unless ndim()==2). */
+    float &at2(int i, int j);
+    float at2(int i, int j) const;
+
+    /** 4-D indexed access (panics unless ndim()==4). */
+    float &at4(int n, int c, int h, int w);
+    float at4(int n, int c, int h, int w) const;
+    /** @} */
+
+    /** Raw data pointers. */
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    /** Set every element to a constant. */
+    void fill(float value);
+
+    /** Reinterpret as a new shape with the same element count. */
+    Tensor reshape(std::vector<int> new_shape) const;
+
+    /**
+     * Slice along dim 0: elements [start, start+len) of the leading
+     * dimension, copied into a new tensor.
+     */
+    Tensor slice0(int start, int len) const;
+
+    /** Copy @p src into rows [start, start+src.dim(0)) along dim 0. */
+    void setSlice0(int start, const Tensor &src);
+
+  private:
+    std::vector<int> shape_;
+    std::vector<float> data_;
+
+    static size_t numel(const std::vector<int> &shape);
+};
+
+} // namespace twoinone
+
+#endif // TWOINONE_TENSOR_TENSOR_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * ConvShape implementation.
+ */
+
+#include "workloads/layer_shape.hh"
+
+namespace twoinone {
+
+uint64_t
+ConvShape::macs() const
+{
+    return static_cast<uint64_t>(n) * k * c * oy * ox * r * s;
+}
+
+uint64_t
+ConvShape::weightCount() const
+{
+    return static_cast<uint64_t>(k) * c * r * s;
+}
+
+uint64_t
+ConvShape::inputCount() const
+{
+    return static_cast<uint64_t>(n) * c * inY() * inX();
+}
+
+uint64_t
+ConvShape::outputCount() const
+{
+    return static_cast<uint64_t>(n) * k * oy * ox;
+}
+
+int
+ConvShape::inY() const
+{
+    return oy * stride + r - stride;
+}
+
+int
+ConvShape::inX() const
+{
+    return ox * stride + s - stride;
+}
+
+ConvShape
+ConvShape::fullyConnected(const std::string &name, int in, int out,
+                          int batch)
+{
+    ConvShape fc;
+    fc.name = name;
+    fc.n = batch;
+    fc.k = out;
+    fc.c = in;
+    return fc;
+}
+
+uint64_t
+NetworkWorkload::totalMacs() const
+{
+    uint64_t total = 0;
+    for (const ConvShape &l : layers)
+        total += l.macs();
+    return total;
+}
+
+} // namespace twoinone

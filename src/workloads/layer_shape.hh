@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Layer-shape descriptors for the accelerator simulator.
+ *
+ * A ConvShape captures the seven-dimensional loop nest of a
+ * convolutional (or, with R=S=OY=OX=1, fully connected) layer:
+ * N (batch), K (output channels), C (input channels), OY/OX (output
+ * spatial), R/S (kernel spatial), plus stride. These are the
+ * dimensions every dataflow in src/accel tiles.
+ */
+
+#ifndef TWOINONE_WORKLOADS_LAYER_SHAPE_HH
+#define TWOINONE_WORKLOADS_LAYER_SHAPE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace twoinone {
+
+/**
+ * Seven-dimensional convolution layer shape.
+ */
+struct ConvShape
+{
+    std::string name;
+    int n = 1;      ///< Batch size.
+    int k = 1;      ///< Output channels.
+    int c = 1;      ///< Input channels.
+    int oy = 1;     ///< Output rows.
+    int ox = 1;     ///< Output columns.
+    int r = 1;      ///< Kernel rows.
+    int s = 1;      ///< Kernel columns.
+    int stride = 1; ///< Spatial stride.
+
+    /** Total multiply-accumulate count of the layer. */
+    uint64_t macs() const;
+
+    /** Weight element count (K*C*R*S). */
+    uint64_t weightCount() const;
+
+    /** Input element count including the halo (N*C*IY*IX). */
+    uint64_t inputCount() const;
+
+    /** Output element count (N*K*OY*OX). */
+    uint64_t outputCount() const;
+
+    /** Input rows consumed (OY*stride + R - stride). */
+    int inY() const;
+
+    /** Input columns consumed. */
+    int inX() const;
+
+    /** Make a fully connected layer shape. */
+    static ConvShape fullyConnected(const std::string &name, int in,
+                                    int out, int batch = 1);
+};
+
+/**
+ * A full-network workload: ordered layer shapes plus a display name.
+ */
+struct NetworkWorkload
+{
+    std::string name;
+    std::vector<ConvShape> layers;
+
+    /** Total MACs over all layers. */
+    uint64_t totalMacs() const;
+};
+
+} // namespace twoinone
+
+#endif // TWOINONE_WORKLOADS_LAYER_SHAPE_HH

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Layer-shape definitions of the evaluation networks.
+ *
+ * Shapes follow the original architectures (AlexNet: Krizhevsky'12
+ * single-tower variant; VGG-16: Simonyan'14 configuration D;
+ * ResNets: He'15; WideResNet: Zagoruyko'16 with widen factor 10).
+ */
+
+#include "workloads/model_library.hh"
+
+#include "common/logging.hh"
+
+namespace twoinone {
+namespace workloads {
+
+namespace {
+
+/** Convenience conv-shape constructor. */
+ConvShape
+conv(const std::string &name, int batch, int k, int c, int out_hw, int r,
+     int stride = 1)
+{
+    ConvShape s;
+    s.name = name;
+    s.n = batch;
+    s.k = k;
+    s.c = c;
+    s.oy = out_hw;
+    s.ox = out_hw;
+    s.r = r;
+    s.s = r;
+    s.stride = stride;
+    return s;
+}
+
+/** Basic-block residual stage (two 3x3 convs per block). */
+void
+basicStage(std::vector<ConvShape> &layers, const std::string &prefix,
+           int batch, int blocks, int k, int c_in, int hw, bool downsample)
+{
+    for (int b = 0; b < blocks; ++b) {
+        int c = (b == 0) ? c_in : k;
+        int stride = (b == 0 && downsample) ? 2 : 1;
+        layers.push_back(conv(prefix + "_b" + std::to_string(b) + "_conv1",
+                              batch, k, c, hw, 3, stride));
+        layers.push_back(conv(prefix + "_b" + std::to_string(b) + "_conv2",
+                              batch, k, k, hw, 3, 1));
+        if (b == 0 && (downsample || c_in != k)) {
+            layers.push_back(conv(prefix + "_proj", batch, k, c_in, hw, 1,
+                                  stride));
+        }
+    }
+}
+
+/** Bottleneck residual stage (1x1 -> 3x3 -> 1x1 per block). */
+void
+bottleneckStage(std::vector<ConvShape> &layers, const std::string &prefix,
+                int batch, int blocks, int mid, int c_in, int hw,
+                bool downsample)
+{
+    int out = mid * 4;
+    for (int b = 0; b < blocks; ++b) {
+        int c = (b == 0) ? c_in : out;
+        int stride = (b == 0 && downsample) ? 2 : 1;
+        std::string base = prefix + "_b" + std::to_string(b);
+        layers.push_back(conv(base + "_conv1", batch, mid, c, hw, 1,
+                              stride));
+        layers.push_back(conv(base + "_conv2", batch, mid, mid, hw, 3, 1));
+        layers.push_back(conv(base + "_conv3", batch, out, mid, hw, 1, 1));
+        if (b == 0) {
+            layers.push_back(conv(prefix + "_proj", batch, out, c_in, hw,
+                                  1, stride));
+        }
+    }
+}
+
+} // namespace
+
+NetworkWorkload
+alexNet(int batch)
+{
+    NetworkWorkload w;
+    w.name = "AlexNet";
+    // conv2/4/5 are 2-way grouped in the original two-tower AlexNet;
+    // the halved input-channel counts reflect that.
+    w.layers.push_back(conv("conv1", batch, 96, 3, 55, 11, 4));
+    w.layers.push_back(conv("conv2", batch, 256, 48, 27, 5, 1));
+    w.layers.push_back(conv("conv3", batch, 384, 256, 13, 3, 1));
+    w.layers.push_back(conv("conv4", batch, 384, 192, 13, 3, 1));
+    w.layers.push_back(conv("conv5", batch, 256, 192, 13, 3, 1));
+    w.layers.push_back(ConvShape::fullyConnected("fc6", 256 * 6 * 6, 4096,
+                                                 batch));
+    w.layers.push_back(ConvShape::fullyConnected("fc7", 4096, 4096, batch));
+    w.layers.push_back(ConvShape::fullyConnected("fc8", 4096, 1000, batch));
+    return w;
+}
+
+NetworkWorkload
+vgg16(int batch)
+{
+    NetworkWorkload w;
+    w.name = "VGG-16";
+    w.layers.push_back(conv("conv1_1", batch, 64, 3, 224, 3));
+    w.layers.push_back(conv("conv1_2", batch, 64, 64, 224, 3));
+    w.layers.push_back(conv("conv2_1", batch, 128, 64, 112, 3));
+    w.layers.push_back(conv("conv2_2", batch, 128, 128, 112, 3));
+    w.layers.push_back(conv("conv3_1", batch, 256, 128, 56, 3));
+    w.layers.push_back(conv("conv3_2", batch, 256, 256, 56, 3));
+    w.layers.push_back(conv("conv3_3", batch, 256, 256, 56, 3));
+    w.layers.push_back(conv("conv4_1", batch, 512, 256, 28, 3));
+    w.layers.push_back(conv("conv4_2", batch, 512, 512, 28, 3));
+    w.layers.push_back(conv("conv4_3", batch, 512, 512, 28, 3));
+    w.layers.push_back(conv("conv5_1", batch, 512, 512, 14, 3));
+    w.layers.push_back(conv("conv5_2", batch, 512, 512, 14, 3));
+    w.layers.push_back(conv("conv5_3", batch, 512, 512, 14, 3));
+    w.layers.push_back(ConvShape::fullyConnected("fc6", 512 * 7 * 7, 4096,
+                                                 batch));
+    w.layers.push_back(ConvShape::fullyConnected("fc7", 4096, 4096, batch));
+    w.layers.push_back(ConvShape::fullyConnected("fc8", 4096, 1000, batch));
+    return w;
+}
+
+NetworkWorkload
+resNet18ImageNet(int batch)
+{
+    NetworkWorkload w;
+    w.name = "ResNet-18";
+    w.layers.push_back(conv("conv1", batch, 64, 3, 112, 7, 2));
+    basicStage(w.layers, "stage1", batch, 2, 64, 64, 56, false);
+    basicStage(w.layers, "stage2", batch, 2, 128, 64, 28, true);
+    basicStage(w.layers, "stage3", batch, 2, 256, 128, 14, true);
+    basicStage(w.layers, "stage4", batch, 2, 512, 256, 7, true);
+    w.layers.push_back(ConvShape::fullyConnected("fc", 512, 1000, batch));
+    return w;
+}
+
+NetworkWorkload
+resNet50(int batch)
+{
+    NetworkWorkload w;
+    w.name = "ResNet-50";
+    w.layers.push_back(conv("conv1", batch, 64, 3, 112, 7, 2));
+    bottleneckStage(w.layers, "stage1", batch, 3, 64, 64, 56, false);
+    bottleneckStage(w.layers, "stage2", batch, 4, 128, 256, 28, true);
+    bottleneckStage(w.layers, "stage3", batch, 6, 256, 512, 14, true);
+    bottleneckStage(w.layers, "stage4", batch, 3, 512, 1024, 7, true);
+    w.layers.push_back(ConvShape::fullyConnected("fc", 2048, 1000, batch));
+    return w;
+}
+
+NetworkWorkload
+resNet18Cifar(int batch)
+{
+    NetworkWorkload w;
+    w.name = "ResNet-18(CIFAR)";
+    w.layers.push_back(conv("conv1", batch, 64, 3, 32, 3, 1));
+    basicStage(w.layers, "stage1", batch, 2, 64, 64, 32, false);
+    basicStage(w.layers, "stage2", batch, 2, 128, 64, 16, true);
+    basicStage(w.layers, "stage3", batch, 2, 256, 128, 8, true);
+    basicStage(w.layers, "stage4", batch, 2, 512, 256, 4, true);
+    w.layers.push_back(ConvShape::fullyConnected("fc", 512, 10, batch));
+    return w;
+}
+
+NetworkWorkload
+wideResNet32Cifar(int batch)
+{
+    // Depth 32 = 6n+2 with n = 5 blocks per stage, widen factor 10.
+    NetworkWorkload w;
+    w.name = "WideResNet-32";
+    w.layers.push_back(conv("conv1", batch, 16, 3, 32, 3, 1));
+    basicStage(w.layers, "stage1", batch, 5, 160, 16, 32, false);
+    basicStage(w.layers, "stage2", batch, 5, 320, 160, 16, true);
+    basicStage(w.layers, "stage3", batch, 5, 640, 320, 8, true);
+    w.layers.push_back(ConvShape::fullyConnected("fc", 640, 10, batch));
+    return w;
+}
+
+NetworkWorkload
+preActResNet18Cifar(int batch)
+{
+    NetworkWorkload w = resNet18Cifar(batch);
+    w.name = "PreActResNet-18";
+    return w;
+}
+
+std::vector<NetworkWorkload>
+benchmarkSuite(int batch)
+{
+    return {
+        resNet18Cifar(batch), wideResNet32Cifar(batch),
+        resNet18ImageNet(batch), resNet50(batch), vgg16(batch),
+        alexNet(batch),
+    };
+}
+
+} // namespace workloads
+} // namespace twoinone

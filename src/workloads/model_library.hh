@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The six evaluation networks of the paper's accelerator benchmarks
+ * (Sec. 4.1.2): WideResNet-32 / ResNet-18 on CIFAR (32x32 inputs) and
+ * AlexNet / VGG-16 / ResNet-18 / ResNet-50 on ImageNet (224x224
+ * inputs), expressed as layer-shape workloads for the simulator.
+ */
+
+#ifndef TWOINONE_WORKLOADS_MODEL_LIBRARY_HH
+#define TWOINONE_WORKLOADS_MODEL_LIBRARY_HH
+
+#include "workloads/layer_shape.hh"
+
+namespace twoinone {
+namespace workloads {
+
+/** AlexNet on 224x224 ImageNet inputs (5 conv + 3 FC). */
+NetworkWorkload alexNet(int batch = 1);
+
+/** VGG-16 on 224x224 ImageNet inputs (13 conv + 3 FC). */
+NetworkWorkload vgg16(int batch = 1);
+
+/** ResNet-18 on 224x224 ImageNet inputs (incl. projection convs). */
+NetworkWorkload resNet18ImageNet(int batch = 1);
+
+/** ResNet-50 on 224x224 ImageNet inputs (bottleneck blocks). */
+NetworkWorkload resNet50(int batch = 1);
+
+/** ResNet-18 on 32x32 CIFAR inputs. */
+NetworkWorkload resNet18Cifar(int batch = 1);
+
+/** WideResNet-32 (widen factor 10) on 32x32 CIFAR inputs. */
+NetworkWorkload wideResNet32Cifar(int batch = 1);
+
+/** PreActResNet-18 on 32x32 CIFAR inputs (RPS algorithm workload). */
+NetworkWorkload preActResNet18Cifar(int batch = 1);
+
+/** All six accelerator-benchmark networks in the paper's Fig. 7/8
+ * order: ResNet-18 (CIFAR), WideResNet-32 (CIFAR), ResNet-18
+ * (ImageNet), ResNet-50, VGG-16, AlexNet. */
+std::vector<NetworkWorkload> benchmarkSuite(int batch = 1);
+
+} // namespace workloads
+} // namespace twoinone
+
+#endif // TWOINONE_WORKLOADS_MODEL_LIBRARY_HH

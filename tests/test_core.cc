@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the core 2-in-1 integration: the RPS controller, the
+ * system facade with cost accounting, and the instant trade-off
+ * controller.
+ */
+
+#include <gtest/gtest.h>
+
+#include "adversarial/pgd.hh"
+#include "core/system.hh"
+#include "core/tradeoff.hh"
+#include "nn/model_zoo.hh"
+#include "workloads/model_library.hh"
+
+namespace twoinone {
+namespace {
+
+class CoreFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        rng_ = std::make_unique<Rng>(42);
+        ModelConfig mcfg;
+        mcfg.baseWidth = 4;
+        mcfg.precisions = PrecisionSet::rps4to16();
+        net_ = std::make_unique<Network>(convNetTiny(mcfg, *rng_));
+
+        SyntheticConfig dcfg;
+        dcfg.trainSize = 128;
+        dcfg.testSize = 64;
+        data_ = makeSynthetic(dcfg, "core-test");
+    }
+
+    std::unique_ptr<Rng> rng_;
+    std::unique_ptr<Network> net_;
+    DatasetPair data_;
+};
+
+TEST_F(CoreFixture, ControllerSamplesFromSet)
+{
+    RpsController ctl(*net_, PrecisionSet::rps4to16(), 5);
+    for (int i = 0; i < 50; ++i) {
+        int q = ctl.samplePrecision();
+        EXPECT_TRUE(PrecisionSet::rps4to16().contains(q));
+    }
+}
+
+TEST_F(CoreFixture, ClassifySwitchesPrecision)
+{
+    RpsController ctl(*net_, PrecisionSet::rps4to16(), 5);
+    Tensor x = data_.test.images.slice0(0, 4);
+    std::vector<int> seen;
+    for (int i = 0; i < 20; ++i) {
+        ctl.classify(x);
+        seen.push_back(ctl.lastPrecision());
+        EXPECT_EQ(net_->activePrecision(), ctl.lastPrecision());
+    }
+    // Multiple distinct precisions must appear over 20 draws.
+    std::sort(seen.begin(), seen.end());
+    seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+    EXPECT_GT(seen.size(), 1u);
+}
+
+TEST_F(CoreFixture, SubsetSwitchIsAllowed)
+{
+    RpsController ctl(*net_, PrecisionSet::rps4to16(), 5);
+    ctl.setPrecisionSet(PrecisionSet::rps4to8());
+    for (int i = 0; i < 20; ++i)
+        EXPECT_LE(ctl.samplePrecision(), 8);
+}
+
+TEST_F(CoreFixture, RpsTrainHelper)
+{
+    TrainConfig cfg;
+    cfg.method = TrainMethod::Fgsm;
+    cfg.epochs = 1;
+    cfg.batchSize = 32;
+    float loss = rpsTrain(*net_, data_.train, cfg);
+    EXPECT_GT(loss, 0.0f);
+}
+
+TEST_F(CoreFixture, SystemAccountsCycleAndEnergy)
+{
+    TwoInOneSystem system(*net_, workloads::resNet18Cifar(),
+                          PrecisionSet::rps4to16());
+    Tensor x = data_.test.images.slice0(0, 4);
+    InferenceStats stats = system.classify(x);
+    EXPECT_EQ(stats.predictions.size(), 4u);
+    EXPECT_GT(stats.cycles, 0.0);
+    EXPECT_GT(stats.energyPj, 0.0);
+    EXPECT_TRUE(PrecisionSet::rps4to16().contains(stats.precision));
+}
+
+TEST_F(CoreFixture, LowerPrecisionSetsAreCheaper)
+{
+    TwoInOneSystem system(*net_, workloads::resNet18Cifar(),
+                          PrecisionSet::rps4to16());
+    double e_full = system.avgEnergyPjPerInference();
+    system.controller().setPrecisionSet(PrecisionSet::rps4to8());
+    double e_low = system.avgEnergyPjPerInference();
+    system.controller().setPrecisionSet(PrecisionSet::static4());
+    double e_static = system.avgEnergyPjPerInference();
+    EXPECT_LT(e_low, e_full);
+    EXPECT_LT(e_static, e_low);
+}
+
+TEST_F(CoreFixture, EnergyAtIsMonotoneInPrecision)
+{
+    TwoInOneSystem system(*net_, workloads::resNet18Cifar(),
+                          PrecisionSet::rps4to16());
+    EXPECT_LT(system.energyPjAt(4), system.energyPjAt(8));
+    EXPECT_LT(system.energyPjAt(8), system.energyPjAt(16));
+    EXPECT_LT(system.cyclesAt(4), system.cyclesAt(16));
+}
+
+TEST(Tradeoff, ConditionToSetMapping)
+{
+    EXPECT_EQ(precisionSetFor(SafetyCondition::Hostile).maxBits(), 16);
+    EXPECT_EQ(precisionSetFor(SafetyCondition::Elevated).maxBits(), 12);
+    EXPECT_EQ(precisionSetFor(SafetyCondition::Normal).maxBits(), 8);
+    EXPECT_EQ(precisionSetFor(SafetyCondition::Safe).size(), 1u);
+    EXPECT_STREQ(safetyConditionName(SafetyCondition::Hostile),
+                 "hostile");
+}
+
+TEST(Tradeoff, CurveIsEfficiencyOrdered)
+{
+    Rng rng(77);
+    ModelConfig mcfg;
+    mcfg.baseWidth = 4;
+    mcfg.precisions = PrecisionSet::rps4to16();
+    Network net = convNetTiny(mcfg, rng);
+
+    SyntheticConfig dcfg;
+    dcfg.trainSize = 64;
+    dcfg.testSize = 48;
+    DatasetPair data = makeSynthetic(dcfg, "tradeoff");
+
+    TwoInOneSystem system(net, workloads::resNet18Cifar(),
+                          PrecisionSet::rps4to16());
+    AttackConfig acfg = AttackConfig::fromEps255(8.0f, 2.0f, 2);
+    PgdAttack attack(acfg);
+
+    auto points = evaluateTradeoffCurve(system, data.test, attack, rng);
+    ASSERT_EQ(points.size(), 4u);
+    // Efficiency strictly improves from hostile -> safe.
+    for (size_t i = 1; i < points.size(); ++i)
+        EXPECT_GT(points[i].normalizedEfficiency,
+                  points[i - 1].normalizedEfficiency);
+    // The hostile point is the reference (1.0x).
+    EXPECT_NEAR(points[0].normalizedEfficiency, 1.0, 1e-9);
+    // The controller's set is restored.
+    EXPECT_EQ(system.controller().precisionSet().name(),
+              PrecisionSet::rps4to16().name());
+}
+
+} // namespace
+} // namespace twoinone

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests for the three MAC-unit performance/area/energy models: the
+ * paper's Fig. 3 area breakdowns, the Sec. 3.2.3 synthesized ratios,
+ * and the qualitative throughput orderings of Sec. 3.1.1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/spatial_mac.hh"
+#include "accel/spatial_temporal_mac.hh"
+#include "accel/temporal_mac.hh"
+
+namespace twoinone {
+namespace {
+
+TEST(MacArea, Fig3BreakdownFractions)
+{
+    TemporalMacModel temporal;
+    SpatialMacModel spatial;
+    SpatialTemporalMacModel ours;
+    // Paper Fig. 3: shift-add fractions 60.9% / 67.0% / 39.7%.
+    EXPECT_NEAR(temporal.area().shiftAddFraction(), 0.609, 1e-3);
+    EXPECT_NEAR(spatial.area().shiftAddFraction(), 0.670, 1e-3);
+    EXPECT_NEAR(ours.area().shiftAddFraction(), 0.397, 1e-3);
+}
+
+TEST(MacArea, OursReducesShiftAddShare)
+{
+    TemporalMacModel temporal;
+    SpatialMacModel spatial;
+    SpatialTemporalMacModel ours;
+    EXPECT_LT(ours.area().shiftAddFraction(),
+              temporal.area().shiftAddFraction());
+    EXPECT_LT(ours.area().shiftAddFraction(),
+              spatial.area().shiftAddFraction());
+}
+
+TEST(MacRatios, Sec323ThroughputPerArea)
+{
+    SpatialMacModel bf;
+    SpatialTemporalMacModel ours;
+    // 2.3x throughput/area over Bit Fusion at 8-bit x 8-bit.
+    double ratio = ours.macsPerCyclePerArea(8, 8) /
+                   bf.macsPerCyclePerArea(8, 8);
+    EXPECT_NEAR(ratio, 2.3, 0.1);
+}
+
+TEST(MacRatios, Sec323EnergyPerOp)
+{
+    SpatialMacModel bf;
+    SpatialTemporalMacModel ours;
+    const TechModel &tech = TechModel::defaults();
+    // 4.88x energy-efficiency/operation over Bit Fusion at 8-bit.
+    double ratio =
+        bf.energyPerMac(8, 8, tech) / ours.energyPerMac(8, 8, tech);
+    EXPECT_NEAR(ratio, 4.88, 0.35);
+}
+
+TEST(Temporal, CyclesScaleWithSerialPrecision)
+{
+    TemporalMacModel m;
+    EXPECT_DOUBLE_EQ(m.cyclesPerPass(8, 8), 8.0);
+    EXPECT_DOUBLE_EQ(m.cyclesPerPass(8, 3), 3.0);
+    EXPECT_DOUBLE_EQ(m.cyclesPerPass(16, 16), 16.0);
+    // Throughput improves monotonically as precision drops (the
+    // Stripes property in Fig. 2).
+    double prev = 0.0;
+    for (int q = 16; q >= 1; --q) {
+        double t = m.macsPerCycle(q, q);
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+}
+
+TEST(Spatial, SupportedPrecisionRounding)
+{
+    SpatialMacModel m;
+    EXPECT_EQ(m.effectivePrecision(2), 2);
+    EXPECT_EQ(m.effectivePrecision(3), 4);
+    EXPECT_EQ(m.effectivePrecision(5), 8);
+    EXPECT_EQ(m.effectivePrecision(8), 8);
+    EXPECT_EQ(m.effectivePrecision(9), 16);
+}
+
+TEST(Spatial, UnsupportedPrecisionWastesThroughput)
+{
+    SpatialMacModel m;
+    // 3-bit executes as 4-bit; 5/6/7-bit as 8-bit (Fig. 2 staircase).
+    EXPECT_DOUBLE_EQ(m.macsPerCycle(3, 3), m.macsPerCycle(4, 4));
+    EXPECT_DOUBLE_EQ(m.macsPerCycle(5, 5), m.macsPerCycle(8, 8));
+    EXPECT_DOUBLE_EQ(m.macsPerCycle(6, 6), m.macsPerCycle(8, 8));
+}
+
+TEST(Spatial, SixteenBitNeedsFourPasses)
+{
+    SpatialMacModel m;
+    EXPECT_DOUBLE_EQ(m.cyclesPerPass(16, 16), 4.0);
+    EXPECT_DOUBLE_EQ(m.productsPerPass(16, 16), 1.0);
+}
+
+TEST(Spatial, BrickComposition)
+{
+    SpatialMacModel m;
+    // 2-bit: 16 independent bricks; 4-bit: 4 products; 8-bit: 1.
+    EXPECT_DOUBLE_EQ(m.productsPerPass(2, 2), 16.0);
+    EXPECT_DOUBLE_EQ(m.productsPerPass(4, 4), 4.0);
+    EXPECT_DOUBLE_EQ(m.productsPerPass(8, 8), 1.0);
+}
+
+TEST(SpatialTemporal, ScheduleThroughput)
+{
+    SpatialTemporalMacModel m(4);
+    // <=4-bit: 16 independent units.
+    EXPECT_DOUBLE_EQ(m.productsPerPass(4, 4), 16.0);
+    EXPECT_DOUBLE_EQ(m.cyclesPerPass(4, 4), 4.0);
+    // 8-bit: 4 products per 4 cycles.
+    EXPECT_DOUBLE_EQ(m.productsPerPass(8, 8), 4.0);
+    EXPECT_DOUBLE_EQ(m.cyclesPerPass(8, 8), 4.0);
+    // 6-bit: 4 products per 3 cycles — precisions Bit Fusion cannot
+    // run natively (Sec. 3.2.1 flexibility claim).
+    EXPECT_DOUBLE_EQ(m.productsPerPass(6, 6), 4.0);
+    EXPECT_DOUBLE_EQ(m.cyclesPerPass(6, 6), 3.0);
+}
+
+TEST(SpatialTemporal, ThroughputMonotoneInPrecision)
+{
+    SpatialTemporalMacModel m;
+    double prev = 0.0;
+    for (int q = 16; q >= 1; --q) {
+        double t = m.macsPerCycle(q, q);
+        EXPECT_GE(t, prev) << "q=" << q;
+        prev = t;
+    }
+}
+
+TEST(SpatialTemporal, WinsAtEveryPrecisionPerArea)
+{
+    // Fig. 10: ours outperforms both baselines at every precision
+    // under iso-area at the MAC level or ties within the dataflow
+    // margin.
+    TemporalMacModel stripes;
+    SpatialMacModel bf;
+    SpatialTemporalMacModel ours;
+    for (int q = 1; q <= 16; ++q) {
+        double o = ours.macsPerCyclePerArea(q, q);
+        double s = stripes.macsPerCyclePerArea(q, q);
+        double b = bf.macsPerCyclePerArea(q, q);
+        EXPECT_GE(o, s) << "q=" << q;
+        EXPECT_GE(o, b * 0.99) << "q=" << q;
+    }
+}
+
+TEST(SpatialTemporal, CrossoverBitFusionVsStripes)
+{
+    // Fig. 2: Bit Fusion wins below 8-bit, Stripes wins above 8-bit
+    // (per area).
+    TemporalMacModel stripes;
+    SpatialMacModel bf;
+    EXPECT_GT(bf.macsPerCyclePerArea(4, 4),
+              stripes.macsPerCyclePerArea(4, 4));
+    EXPECT_GT(bf.macsPerCyclePerArea(8, 8),
+              stripes.macsPerCyclePerArea(8, 8));
+    EXPECT_GT(stripes.macsPerCyclePerArea(16, 16),
+              bf.macsPerCyclePerArea(16, 16));
+}
+
+TEST(SpatialTemporal, ReductionWaysMatchesProducts)
+{
+    SpatialTemporalMacModel m(4);
+    EXPECT_DOUBLE_EQ(m.reductionWays(4, 4), 16.0);
+    EXPECT_DOUBLE_EQ(m.reductionWays(8, 8), 4.0);
+    // Baselines parallelize outputs, not reductions.
+    TemporalMacModel stripes;
+    EXPECT_DOUBLE_EQ(stripes.reductionWays(8, 8), 1.0);
+}
+
+TEST(MacEnergy, OursBeatsBaselinesAcrossPrecisions)
+{
+    TemporalMacModel stripes;
+    SpatialMacModel bf;
+    SpatialTemporalMacModel ours;
+    const TechModel &tech = TechModel::defaults();
+    for (int q : {2, 4, 8, 16}) {
+        double o = ours.energyPerMac(q, q, tech);
+        EXPECT_LT(o, bf.energyPerMac(q, q, tech)) << "q=" << q;
+        EXPECT_LT(o, stripes.energyPerMac(q, q, tech)) << "q=" << q;
+    }
+}
+
+} // namespace
+} // namespace twoinone

@@ -1,0 +1,643 @@
+/**
+ * @file
+ * Unit tests for the nn substrate: forward shapes, numerical gradient
+ * checks for every layer, SBN bank behaviour, losses, SGD, and the
+ * network precision switch.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/activation.hh"
+#include "nn/batchnorm.hh"
+#include "nn/conv2d.hh"
+#include "nn/linear.hh"
+#include "nn/loss.hh"
+#include "nn/model_zoo.hh"
+#include "nn/pooling.hh"
+#include "nn/residual.hh"
+#include "nn/sgd.hh"
+#include "tensor/ops.hh"
+#include "test_util.hh"
+
+namespace twoinone {
+namespace {
+
+using testutil::numericalGradient;
+using testutil::relativeMaxError;
+
+/** Sum-of-outputs scalar head used by input-gradient checks. */
+float
+sumForward(Layer &layer, const Tensor &x, bool train)
+{
+    Tensor y = layer.forward(x, train);
+    return ops::sum(y);
+}
+
+/** Analytic input gradient of the sum-of-outputs objective. */
+Tensor
+analyticInputGrad(Layer &layer, const Tensor &x, bool train)
+{
+    Tensor y = layer.forward(x, train);
+    Tensor g = Tensor::ones(y.shape());
+    return layer.backward(g);
+}
+
+TEST(Conv2d, OutputShape)
+{
+    Rng rng(1);
+    Conv2d conv(3, 8, 3, 1, 1, false, rng);
+    Tensor x = Tensor::randn({2, 3, 8, 8}, rng);
+    Tensor y = conv.forward(x, false);
+    EXPECT_EQ(y.dim(0), 2);
+    EXPECT_EQ(y.dim(1), 8);
+    EXPECT_EQ(y.dim(2), 8);
+    EXPECT_EQ(y.dim(3), 8);
+}
+
+TEST(Conv2d, StridedOutputShape)
+{
+    Rng rng(1);
+    Conv2d conv(4, 6, 3, 2, 1, false, rng);
+    Tensor x = Tensor::randn({1, 4, 8, 8}, rng);
+    Tensor y = conv.forward(x, false);
+    EXPECT_EQ(y.dim(2), 4);
+    EXPECT_EQ(y.dim(3), 4);
+}
+
+TEST(Conv2d, IdentityKernelReproducesInput)
+{
+    Rng rng(1);
+    Conv2d conv(1, 1, 1, 1, 0, false, rng);
+    conv.weight().value[0] = 1.0f;
+    Tensor x = Tensor::randn({1, 1, 4, 4}, rng);
+    Tensor y = conv.forward(x, false);
+    for (size_t i = 0; i < x.size(); ++i)
+        EXPECT_NEAR(y[i], x[i], 1e-6f);
+}
+
+TEST(Conv2d, InputGradientMatchesNumerical)
+{
+    Rng rng(2);
+    Conv2d conv(2, 3, 3, 1, 1, true, rng);
+    Tensor x = Tensor::randn({1, 2, 4, 4}, rng);
+
+    Tensor analytic = analyticInputGrad(conv, x, false);
+    Tensor numeric = numericalGradient(
+        [&](const Tensor &xv) { return sumForward(conv, xv, false); }, x);
+    EXPECT_LT(relativeMaxError(analytic, numeric), 2e-2f);
+}
+
+TEST(Conv2d, WeightGradientMatchesNumerical)
+{
+    Rng rng(3);
+    Conv2d conv(2, 2, 3, 1, 1, false, rng);
+    Tensor x = Tensor::randn({1, 2, 4, 4}, rng);
+
+    conv.zeroGrad();
+    Tensor y = conv.forward(x, false);
+    conv.backward(Tensor::ones(y.shape()));
+    Tensor analytic = conv.weight().grad;
+
+    Tensor w0 = conv.weight().value;
+    Tensor numeric = numericalGradient(
+        [&](const Tensor &wv) {
+            conv.weight().value = wv;
+            float v = sumForward(conv, x, false);
+            conv.weight().value = w0;
+            return v;
+        },
+        w0);
+    EXPECT_LT(relativeMaxError(analytic, numeric), 2e-2f);
+}
+
+TEST(Conv2d, BiasGradientIsOutputCount)
+{
+    Rng rng(4);
+    Conv2d conv(1, 2, 3, 1, 1, true, rng);
+    Tensor x = Tensor::randn({2, 1, 4, 4}, rng);
+    conv.zeroGrad();
+    Tensor y = conv.forward(x, false);
+    conv.backward(Tensor::ones(y.shape()));
+    // d(sum)/d(bias_k) = N * OH * OW = 2*4*4.
+    EXPECT_NEAR(conv.bias().grad[0], 32.0f, 1e-4f);
+    EXPECT_NEAR(conv.bias().grad[1], 32.0f, 1e-4f);
+}
+
+TEST(Conv2d, QuantizedForwardUsesGridWeights)
+{
+    Rng rng(5);
+    Conv2d conv(1, 1, 1, 1, 0, false, rng);
+    conv.weight().value[0] = 0.777f;
+    QuantState qs;
+    qs.weightBits = 2; // grid {-0.777, 0, 0.777}
+    conv.setQuantState(qs);
+    Tensor x = Tensor::ones({1, 1, 2, 2});
+    Tensor y = conv.forward(x, false);
+    EXPECT_NEAR(y[0], 0.777f, 1e-6f);
+}
+
+TEST(Linear, ForwardMatchesHandComputed)
+{
+    Rng rng(6);
+    Linear lin(2, 2, true, rng);
+    lin.weight().value.at2(0, 0) = 1.0f;
+    lin.weight().value.at2(0, 1) = 2.0f;
+    lin.weight().value.at2(1, 0) = -1.0f;
+    lin.weight().value.at2(1, 1) = 0.5f;
+    lin.bias().value[0] = 0.1f;
+    lin.bias().value[1] = -0.2f;
+    Tensor x({1, 2});
+    x.at2(0, 0) = 3.0f;
+    x.at2(0, 1) = 4.0f;
+    Tensor y = lin.forward(x, false);
+    EXPECT_NEAR(y.at2(0, 0), 11.1f, 1e-5f);
+    EXPECT_NEAR(y.at2(0, 1), -1.2f, 1e-5f);
+}
+
+TEST(Linear, GradientsMatchNumerical)
+{
+    Rng rng(7);
+    Linear lin(3, 4, true, rng);
+    Tensor x = Tensor::randn({2, 3}, rng);
+
+    Tensor analytic_in = analyticInputGrad(lin, x, false);
+    Tensor numeric_in = numericalGradient(
+        [&](const Tensor &xv) { return sumForward(lin, xv, false); }, x);
+    EXPECT_LT(relativeMaxError(analytic_in, numeric_in), 2e-2f);
+
+    lin.zeroGrad();
+    Tensor y = lin.forward(x, false);
+    lin.backward(Tensor::ones(y.shape()));
+    Tensor w0 = lin.weight().value;
+    Tensor numeric_w = numericalGradient(
+        [&](const Tensor &wv) {
+            lin.weight().value = wv;
+            float v = sumForward(lin, x, false);
+            lin.weight().value = w0;
+            return v;
+        },
+        w0);
+    EXPECT_LT(relativeMaxError(lin.weight().grad, numeric_w), 2e-2f);
+}
+
+TEST(ReLU, ForwardAndMask)
+{
+    ReLU relu;
+    Tensor x({4});
+    x[0] = -1.0f; x[1] = 0.0f; x[2] = 2.0f; x[3] = -0.5f;
+    Tensor y = relu.forward(x, false);
+    EXPECT_EQ(y[0], 0.0f);
+    EXPECT_EQ(y[2], 2.0f);
+    Tensor g = relu.backward(Tensor::ones(x.shape()));
+    EXPECT_EQ(g[0], 0.0f);
+    EXPECT_EQ(g[2], 1.0f);
+}
+
+TEST(ActQuant, IdentityAtFullPrecision)
+{
+    ActQuant q;
+    Rng rng(8);
+    Tensor x = Tensor::randn({16}, rng);
+    Tensor y = q.forward(x, false);
+    for (size_t i = 0; i < x.size(); ++i)
+        EXPECT_EQ(y[i], x[i]);
+}
+
+TEST(ActQuant, QuantizesAtLowPrecision)
+{
+    ActQuant q;
+    QuantState qs;
+    qs.actBits = 2;
+    q.setQuantState(qs);
+    Tensor x({4});
+    x[0] = 0.0f; x[1] = 0.3f; x[2] = 0.6f; x[3] = 0.9f;
+    Tensor y = q.forward(x, false);
+    // 2-bit unsigned grid over [0, 0.9]: step 0.3.
+    EXPECT_NEAR(y[1], 0.3f, 1e-6f);
+    EXPECT_NEAR(y[3], 0.9f, 1e-6f);
+}
+
+TEST(BatchNorm, TrainNormalizesBatch)
+{
+    SwitchableBatchNorm2d bn(2, 1);
+    Rng rng(9);
+    Tensor x = Tensor::randn({4, 2, 3, 3}, rng, 2.0f);
+    Tensor y = bn.forward(x, true);
+    // Per-channel mean ~0, var ~1.
+    for (int c = 0; c < 2; ++c) {
+        double s = 0.0, s2 = 0.0;
+        int m = 4 * 3 * 3;
+        for (int n = 0; n < 4; ++n)
+            for (int h = 0; h < 3; ++h)
+                for (int w = 0; w < 3; ++w) {
+                    double v = y.at4(n, c, h, w);
+                    s += v;
+                    s2 += v * v;
+                }
+        EXPECT_NEAR(s / m, 0.0, 1e-4);
+        EXPECT_NEAR(s2 / m, 1.0, 1e-2);
+    }
+}
+
+TEST(BatchNorm, EvalUsesRunningStats)
+{
+    SwitchableBatchNorm2d bn(1, 1);
+    Rng rng(10);
+    // Train a few times to move the running stats.
+    for (int i = 0; i < 20; ++i) {
+        Tensor x = Tensor::randn({8, 1, 2, 2}, rng);
+        ops::addScalar(x, 3.0f);
+        bn.forward(ops::addScalar(x, 3.0f), true);
+    }
+    // In eval, a constant input maps deterministically.
+    Tensor x0 = Tensor::full({1, 1, 2, 2}, 3.0f);
+    Tensor y1 = bn.forward(x0, false);
+    Tensor y2 = bn.forward(x0, false);
+    for (size_t i = 0; i < y1.size(); ++i)
+        EXPECT_EQ(y1[i], y2[i]);
+}
+
+TEST(BatchNorm, TrainInputGradientMatchesNumerical)
+{
+    // NOTE: a plain sum of BN outputs is constant wrt the input (the
+    // normalized activations sum to zero per channel), so the test
+    // uses a fixed random weighting as a non-degenerate objective.
+    SwitchableBatchNorm2d bn(2, 1);
+    Rng rng(11);
+    Tensor x = Tensor::randn({3, 2, 2, 2}, rng);
+    Tensor w = Tensor::randn({3, 2, 2, 2}, rng);
+
+    // Randomize gamma/beta so the test is not trivial.
+    std::vector<Parameter *> ps;
+    bn.collectParameters(ps);
+    for (Parameter *p : ps)
+        for (size_t i = 0; i < p->value.size(); ++i)
+            p->value[i] = static_cast<float>(rng.uniform(0.5, 1.5));
+
+    bn.forward(x, true);
+    Tensor analytic = bn.backward(w);
+    Tensor numeric = numericalGradient(
+        [&](const Tensor &xv) {
+            Tensor y = bn.forward(xv, true);
+            return ops::sum(ops::mul(y, w));
+        },
+        x, 1e-2f);
+    EXPECT_LT(relativeMaxError(analytic, numeric), 5e-2f);
+}
+
+TEST(BatchNorm, EvalInputGradientMatchesNumerical)
+{
+    SwitchableBatchNorm2d bn(2, 1);
+    Rng rng(12);
+    // Seed running stats.
+    for (int i = 0; i < 5; ++i)
+        bn.forward(Tensor::randn({4, 2, 2, 2}, rng), true);
+
+    Tensor x = Tensor::randn({2, 2, 2, 2}, rng);
+    Tensor analytic = analyticInputGrad(bn, x, false);
+    Tensor numeric = numericalGradient(
+        [&](const Tensor &xv) { return sumForward(bn, xv, false); }, x);
+    EXPECT_LT(relativeMaxError(analytic, numeric), 2e-2f);
+}
+
+TEST(BatchNorm, SbnBanksAreIndependent)
+{
+    SwitchableBatchNorm2d bn(1, 3);
+    Rng rng(13);
+
+    QuantState qs;
+    qs.bnIndex = 1;
+    bn.setQuantState(qs);
+    for (int i = 0; i < 10; ++i)
+        bn.forward(ops::addScalar(Tensor::randn({8, 1, 2, 2}, rng), 5.0f),
+                   true);
+
+    // Bank 1 moved toward mean 5; banks 0 and 2 untouched.
+    EXPECT_GT(bn.runningMean(1)[0], 1.0f);
+    EXPECT_EQ(bn.runningMean(0)[0], 0.0f);
+    EXPECT_EQ(bn.runningMean(2)[0], 0.0f);
+}
+
+TEST(Pooling, GlobalAvgPoolForwardBackward)
+{
+    GlobalAvgPool pool;
+    Tensor x({1, 2, 2, 2});
+    for (size_t i = 0; i < x.size(); ++i)
+        x[i] = static_cast<float>(i);
+    Tensor y = pool.forward(x, false);
+    EXPECT_EQ(y.ndim(), 2);
+    EXPECT_NEAR(y.at2(0, 0), 1.5f, 1e-6f); // mean of 0..3
+    EXPECT_NEAR(y.at2(0, 1), 5.5f, 1e-6f); // mean of 4..7
+
+    Tensor g = pool.backward(Tensor::ones({1, 2}));
+    for (size_t i = 0; i < g.size(); ++i)
+        EXPECT_NEAR(g[i], 0.25f, 1e-6f);
+}
+
+TEST(Pooling, AvgPool2x2)
+{
+    AvgPool2x2 pool;
+    Tensor x({1, 1, 2, 2});
+    x[0] = 1.0f; x[1] = 2.0f; x[2] = 3.0f; x[3] = 4.0f;
+    Tensor y = pool.forward(x, false);
+    EXPECT_NEAR(y[0], 2.5f, 1e-6f);
+    Tensor g = pool.backward(Tensor::ones(y.shape()));
+    for (size_t i = 0; i < g.size(); ++i)
+        EXPECT_NEAR(g[i], 0.25f, 1e-6f);
+}
+
+TEST(Pooling, FlattenRoundTrip)
+{
+    Flatten fl;
+    Rng rng(14);
+    Tensor x = Tensor::randn({2, 3, 2, 2}, rng);
+    Tensor y = fl.forward(x, false);
+    EXPECT_EQ(y.dim(0), 2);
+    EXPECT_EQ(y.dim(1), 12);
+    Tensor g = fl.backward(y);
+    EXPECT_TRUE(g.sameShape(x));
+}
+
+TEST(PreActBlock, IdentityShapePreserved)
+{
+    Rng rng(15);
+    PreActBlock block(4, 4, 1, 1, rng);
+    EXPECT_FALSE(block.hasProjection());
+    Tensor x = Tensor::randn({2, 4, 4, 4}, rng);
+    Tensor y = block.forward(x, false);
+    EXPECT_TRUE(y.sameShape(x));
+}
+
+TEST(PreActBlock, ProjectionOnDownsample)
+{
+    Rng rng(16);
+    PreActBlock block(4, 8, 2, 1, rng);
+    EXPECT_TRUE(block.hasProjection());
+    Tensor x = Tensor::randn({2, 4, 4, 4}, rng);
+    Tensor y = block.forward(x, false);
+    EXPECT_EQ(y.dim(1), 8);
+    EXPECT_EQ(y.dim(2), 2);
+}
+
+TEST(PreActBlock, InputGradientMatchesNumericalIdentity)
+{
+    Rng rng(17);
+    PreActBlock block(2, 2, 1, 1, rng);
+    // Seed BN running stats, then check in eval mode (deterministic).
+    for (int i = 0; i < 5; ++i)
+        block.forward(Tensor::randn({4, 2, 4, 4}, rng), true);
+    Tensor x = Tensor::randn({1, 2, 4, 4}, rng);
+    Tensor analytic = analyticInputGrad(block, x, false);
+    Tensor numeric = numericalGradient(
+        [&](const Tensor &xv) { return sumForward(block, xv, false); }, x,
+        1e-2f);
+    EXPECT_LT(relativeMaxError(analytic, numeric), 5e-2f);
+}
+
+TEST(PreActBlock, InputGradientMatchesNumericalProjection)
+{
+    Rng rng(18);
+    PreActBlock block(2, 4, 2, 1, rng);
+    for (int i = 0; i < 5; ++i)
+        block.forward(Tensor::randn({4, 2, 4, 4}, rng), true);
+    Tensor x = Tensor::randn({1, 2, 4, 4}, rng);
+    Tensor analytic = analyticInputGrad(block, x, false);
+    Tensor numeric = numericalGradient(
+        [&](const Tensor &xv) { return sumForward(block, xv, false); }, x,
+        1e-2f);
+    EXPECT_LT(relativeMaxError(analytic, numeric), 5e-2f);
+}
+
+TEST(Loss, SoftmaxRowsSumToOne)
+{
+    Rng rng(19);
+    Tensor logits = Tensor::randn({3, 5}, rng, 3.0f);
+    Tensor p = softmax(logits);
+    for (int i = 0; i < 3; ++i) {
+        double s = 0.0;
+        for (int j = 0; j < 5; ++j)
+            s += p.at2(i, j);
+        EXPECT_NEAR(s, 1.0, 1e-5);
+    }
+}
+
+TEST(Loss, CrossEntropyOfPerfectPredictionIsSmall)
+{
+    Tensor logits({1, 3});
+    logits.at2(0, 1) = 20.0f;
+    SoftmaxCrossEntropy loss;
+    EXPECT_LT(loss.forward(logits, {1}), 1e-4f);
+}
+
+TEST(Loss, CrossEntropyGradientMatchesNumerical)
+{
+    Rng rng(20);
+    Tensor logits = Tensor::randn({2, 4}, rng);
+    std::vector<int> labels = {1, 3};
+    SoftmaxCrossEntropy loss;
+    loss.forward(logits, labels);
+    Tensor analytic = loss.backward();
+    Tensor numeric = numericalGradient(
+        [&](const Tensor &lv) {
+            SoftmaxCrossEntropy l2;
+            return l2.forward(lv, labels);
+        },
+        logits);
+    EXPECT_LT(relativeMaxError(analytic, numeric), 2e-2f);
+}
+
+TEST(Loss, CwMarginGradientMatchesNumerical)
+{
+    Rng rng(21);
+    Tensor logits = Tensor::randn({3, 4}, rng);
+    std::vector<int> labels = {0, 2, 1};
+    CwMarginLoss loss(0.0f);
+    loss.forward(logits, labels);
+    Tensor analytic = loss.backward();
+    Tensor numeric = numericalGradient(
+        [&](const Tensor &lv) {
+            CwMarginLoss l2(0.0f);
+            return l2.forward(lv, labels);
+        },
+        logits);
+    EXPECT_LT(relativeMaxError(analytic, numeric), 2e-2f);
+}
+
+TEST(Sgd, SingleStepWithoutMomentum)
+{
+    Parameter p(Tensor::full({2}, 1.0f));
+    p.grad.fill(0.5f);
+    Sgd sgd(0.1f, 0.0f, 0.0f);
+    sgd.step({&p});
+    EXPECT_NEAR(p.value[0], 0.95f, 1e-6f);
+}
+
+TEST(Sgd, MomentumAccumulates)
+{
+    Parameter p(Tensor::full({1}, 0.0f));
+    Sgd sgd(1.0f, 0.5f, 0.0f);
+    p.grad.fill(1.0f);
+    sgd.step({&p}); // v=1, p=-1
+    p.grad.fill(1.0f);
+    sgd.step({&p}); // v=1.5, p=-2.5
+    EXPECT_NEAR(p.value[0], -2.5f, 1e-6f);
+}
+
+TEST(Sgd, WeightDecayPullsTowardZero)
+{
+    Parameter p(Tensor::full({1}, 2.0f));
+    p.grad.fill(0.0f);
+    Sgd sgd(0.1f, 0.0f, 0.5f);
+    sgd.step({&p});
+    EXPECT_LT(p.value[0], 2.0f);
+}
+
+TEST(Network, ForwardShapeAndPredict)
+{
+    Rng rng(22);
+    ModelConfig cfg;
+    cfg.baseWidth = 4;
+    Network net = convNetTiny(cfg, rng);
+    Tensor x = Tensor::randn({3, 3, 8, 8}, rng);
+    Tensor y = net.forward(x, false);
+    EXPECT_EQ(y.dim(0), 3);
+    EXPECT_EQ(y.dim(1), 10);
+    std::vector<int> pred = net.predict(x);
+    EXPECT_EQ(pred.size(), 3u);
+}
+
+TEST(Network, PrecisionSwitchChangesOutputs)
+{
+    Rng rng(23);
+    ModelConfig cfg;
+    cfg.baseWidth = 4;
+    Network net = convNetTiny(cfg, rng);
+    Tensor x = Tensor::randn({1, 3, 8, 8}, rng);
+
+    net.setPrecision(0);
+    Tensor y_fp = net.forward(x, false);
+    net.setPrecision(4);
+    Tensor y_q4 = net.forward(x, false);
+    EXPECT_GT(ops::linfDistance(y_fp, y_q4), 0.0f);
+}
+
+TEST(Network, PrecisionZeroRestoresFullPrecision)
+{
+    Rng rng(24);
+    ModelConfig cfg;
+    cfg.baseWidth = 4;
+    Network net = convNetTiny(cfg, rng);
+    Tensor x = Tensor::randn({1, 3, 8, 8}, rng);
+
+    Tensor y1 = net.forward(x, false);
+    net.setPrecision(8);
+    net.forward(x, false);
+    net.setPrecision(0);
+    Tensor y2 = net.forward(x, false);
+    EXPECT_NEAR(ops::linfDistance(y1, y2), 0.0f, 1e-6f);
+}
+
+TEST(Network, BnBanksCountsPrecisionsPlusFp)
+{
+    Rng rng(25);
+    ModelConfig cfg;
+    cfg.precisions = PrecisionSet({4, 8});
+    Network net = convNetTiny(cfg, rng);
+    EXPECT_EQ(net.bnBanks(), 3);
+}
+
+TEST(Network, EndToEndInputGradient)
+{
+    Rng rng(26);
+    ModelConfig cfg;
+    cfg.baseWidth = 2;
+    cfg.numClasses = 3;
+    Network net = convNetTiny(cfg, rng);
+    // Seed BN stats for a deterministic eval-mode check.
+    for (int i = 0; i < 5; ++i)
+        net.forward(Tensor::randn({4, 3, 8, 8}, rng), true);
+
+    Tensor x = Tensor::randn({1, 3, 8, 8}, rng);
+    std::vector<int> labels = {1};
+
+    Tensor logits = net.forward(x, false);
+    SoftmaxCrossEntropy loss;
+    loss.forward(logits, labels);
+    Tensor analytic = net.backward(loss.backward());
+
+    Tensor numeric = numericalGradient(
+        [&](const Tensor &xv) {
+            Tensor l = net.forward(xv, false);
+            SoftmaxCrossEntropy sl;
+            return sl.forward(l, labels);
+        },
+        x, 1e-2f);
+    // End-to-end float32 error accumulates across ~10 layers; the
+    // per-layer checks above are the tight ones.
+    EXPECT_LT(relativeMaxError(analytic, numeric), 1e-1f);
+}
+
+TEST(ModelZoo, ParameterCountsOrdering)
+{
+    Rng rng(27);
+    ModelConfig cfg;
+    cfg.baseWidth = 4;
+    Network tiny = convNetTiny(cfg, rng);
+    Network pre = preActResNetMini(cfg, rng);
+    Network wide = wideResNetMini(cfg, rng);
+    EXPECT_LT(tiny.parameterCount(), pre.parameterCount());
+    EXPECT_LT(pre.parameterCount(), wide.parameterCount());
+}
+
+TEST(ModelZoo, ResNetMiniHandlesImageNetLikeInput)
+{
+    Rng rng(28);
+    ModelConfig cfg;
+    cfg.baseWidth = 4;
+    cfg.numClasses = 16;
+    Network net = resNetMini(cfg, rng);
+    Tensor x = Tensor::randn({2, 3, 12, 12}, rng);
+    Tensor y = net.forward(x, false);
+    EXPECT_EQ(y.dim(1), 16);
+}
+
+TEST(ModelZoo, TrainingReducesLoss)
+{
+    Rng rng(29);
+    ModelConfig cfg;
+    cfg.baseWidth = 4;
+    cfg.numClasses = 2;
+    Network net = convNetTiny(cfg, rng);
+
+    // Two linearly separable blobs rendered as images.
+    Tensor x({16, 3, 8, 8});
+    std::vector<int> y(16);
+    for (int i = 0; i < 16; ++i) {
+        float base = (i % 2 == 0) ? 0.2f : 0.8f;
+        y[static_cast<size_t>(i)] = i % 2;
+        for (int c = 0; c < 3; ++c)
+            for (int h = 0; h < 8; ++h)
+                for (int w = 0; w < 8; ++w)
+                    x.at4(i, c, h, w) =
+                        base + static_cast<float>(rng.normal(0.0, 0.05));
+    }
+
+    Sgd sgd(0.1f, 0.9f, 0.0f);
+    SoftmaxCrossEntropy loss;
+    float first = 0.0f, last = 0.0f;
+    for (int it = 0; it < 30; ++it) {
+        Tensor logits = net.forward(x, true);
+        float l = loss.forward(logits, y);
+        if (it == 0)
+            first = l;
+        last = l;
+        net.zeroGrad();
+        net.backward(loss.backward());
+        sgd.step(net.parameters());
+        net.zeroGrad();
+    }
+    EXPECT_LT(last, first * 0.5f);
+}
+
+} // namespace
+} // namespace twoinone

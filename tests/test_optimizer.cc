@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Tests for the evolutionary dataflow optimizer (Alg. 2) and the
+ * joint micro-architecture search mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/spatial_temporal_mac.hh"
+#include "optimizer/arch_search.hh"
+#include "optimizer/evolutionary.hh"
+#include "workloads/model_library.hh"
+
+namespace twoinone {
+namespace {
+
+class OptimizerFixture : public ::testing::Test
+{
+  protected:
+    OptimizerFixture()
+        : mac_(), hierarchy_(MemoryHierarchy::makeDefault(
+                      TechModel::defaults(), 256)),
+          predictor_(mac_, hierarchy_, TechModel::defaults(), 256)
+    {
+        shape_.name = "res5";
+        shape_.k = 128;
+        shape_.c = 64;
+        shape_.oy = shape_.ox = 14;
+        shape_.r = shape_.s = 3;
+        constraints_.numUnits = 256;
+    }
+
+    SpatialTemporalMacModel mac_;
+    MemoryHierarchy hierarchy_;
+    PerformancePredictor predictor_;
+    ConvShape shape_;
+    SearchConstraints constraints_;
+};
+
+TEST_F(OptimizerFixture, RandomDataflowsAreWellFormed)
+{
+    DataflowSpace space(shape_, constraints_);
+    Rng rng(7);
+    for (int i = 0; i < 50; ++i) {
+        Dataflow df = space.random(rng);
+        EXPECT_TRUE(df.covers(shape_));
+        EXPECT_LE(df.spatialUnits(), constraints_.numUnits);
+    }
+}
+
+TEST_F(OptimizerFixture, CrossoverAndMutationPreserveValidityShape)
+{
+    DataflowSpace space(shape_, constraints_);
+    Rng rng(8);
+    Dataflow a = space.random(rng);
+    Dataflow b = space.random(rng);
+    for (int i = 0; i < 30; ++i) {
+        Dataflow c = space.crossover(a, b, rng);
+        Dataflow m = space.mutate(a, rng);
+        EXPECT_TRUE(c.covers(shape_));
+        EXPECT_TRUE(m.covers(shape_));
+        EXPECT_LE(c.spatialUnits(), constraints_.numUnits);
+        EXPECT_LE(m.spatialUnits(), constraints_.numUnits);
+    }
+}
+
+TEST_F(OptimizerFixture, GbOrderOnlyKeepsTilingFixed)
+{
+    SearchConstraints c = constraints_;
+    c.freedom = DataflowFreedom::GbOrderOnly;
+    DataflowSpace space(shape_, c);
+    Rng rng(9);
+    Dataflow ref = Dataflow::bitFusionFixed(shape_, c.numUnits);
+    for (int i = 0; i < 10; ++i) {
+        Dataflow df = space.random(rng);
+        for (int l = 0; l < kNumLevels; ++l) {
+            for (int d = 0; d < kNumDims; ++d) {
+                EXPECT_EQ(df.trips(static_cast<Level>(l),
+                                   static_cast<Dim>(d)),
+                          ref.trips(static_cast<Level>(l),
+                                    static_cast<Dim>(d)));
+            }
+        }
+    }
+}
+
+TEST_F(OptimizerFixture, SearchFindsValidDesign)
+{
+    EvoConfig cfg;
+    cfg.populationSize = 16;
+    cfg.totalCycles = 5;
+    EvolutionarySearch search(predictor_, cfg);
+    SearchResult r = search.searchLayer(shape_, 8, 8, constraints_);
+    ASSERT_TRUE(r.found);
+    EXPECT_TRUE(std::isfinite(r.bestCost));
+    EXPECT_TRUE(r.best.covers(shape_));
+}
+
+TEST_F(OptimizerFixture, SearchBeatsGreedyDefault)
+{
+    EvoConfig cfg;
+    cfg.populationSize = 24;
+    cfg.totalCycles = 8;
+    cfg.objective = Objective::EnergyDelay;
+    EvolutionarySearch search(predictor_, cfg);
+    SearchResult r = search.searchLayer(shape_, 4, 4, constraints_);
+    ASSERT_TRUE(r.found);
+
+    Dataflow greedy = Dataflow::greedyDefault(shape_, 256);
+    double greedy_cost = search.cost(shape_, 4, 4, greedy);
+    EXPECT_LE(r.bestCost, greedy_cost);
+}
+
+TEST_F(OptimizerFixture, ConvergenceIsMonotone)
+{
+    EvoConfig cfg;
+    cfg.populationSize = 16;
+    cfg.totalCycles = 8;
+    EvolutionarySearch search(predictor_, cfg);
+    SearchResult r = search.searchLayer(shape_, 8, 8, constraints_);
+    ASSERT_TRUE(r.found);
+    for (size_t i = 1; i < r.costHistory.size(); ++i)
+        EXPECT_LE(r.costHistory[i], r.costHistory[i - 1] + 1e-9);
+}
+
+TEST_F(OptimizerFixture, MultiPrecisionSearchWorks)
+{
+    EvoConfig cfg;
+    cfg.populationSize = 12;
+    cfg.totalCycles = 4;
+    EvolutionarySearch search(predictor_, cfg);
+    SearchResult r = search.searchLayerMultiPrecision(
+        shape_, PrecisionSet({4, 8, 16}), constraints_);
+    ASSERT_TRUE(r.found);
+    EXPECT_TRUE(std::isfinite(r.bestCost));
+}
+
+TEST_F(OptimizerFixture, ObjectivesChangeTheWinner)
+{
+    EvoConfig lat_cfg;
+    lat_cfg.populationSize = 16;
+    lat_cfg.totalCycles = 5;
+    lat_cfg.objective = Objective::Latency;
+    EvoConfig en_cfg = lat_cfg;
+    en_cfg.objective = Objective::Energy;
+
+    EvolutionarySearch lat(predictor_, lat_cfg);
+    EvolutionarySearch en(predictor_, en_cfg);
+    SearchResult rl = lat.searchLayer(shape_, 8, 8, constraints_);
+    SearchResult re = en.searchLayer(shape_, 8, 8, constraints_);
+    ASSERT_TRUE(rl.found && re.found);
+    // The latency-optimal design is at least as fast as the
+    // energy-optimal one in cycles.
+    LayerPrediction pl =
+        predictor_.predictLayer(shape_, 8, 8, rl.best);
+    LayerPrediction pe =
+        predictor_.predictLayer(shape_, 8, 8, re.best);
+    EXPECT_LE(pl.totalCycles, pe.totalCycles * 1.05);
+    // And vice versa for energy.
+    EXPECT_LE(pe.totalEnergyPj(), pl.totalEnergyPj() * 1.05);
+}
+
+TEST(OptimizeNetwork, PerLayerDataflows)
+{
+    const TechModel &tech = TechModel::defaults();
+    Accelerator accel(AcceleratorKind::TwoInOne,
+                      Accelerator::defaultAreaBudget(), tech);
+    NetworkWorkload net = workloads::alexNet();
+    EvoConfig cfg;
+    cfg.populationSize = 8;
+    cfg.totalCycles = 2;
+    cfg.objective = Objective::Latency; // compared on cycles below
+    std::vector<Dataflow> dfs =
+        optimizeNetworkDataflows(accel, net, 8, 8, cfg);
+    ASSERT_EQ(dfs.size(), net.layers.size());
+    NetworkPrediction np =
+        accel.predictor().predictNetwork(net, 8, 8, dfs);
+    EXPECT_EQ(np.invalidLayers, 0);
+    // Optimized is no worse than greedy defaults.
+    NetworkPrediction greedy = accel.run(net, 8, 8);
+    EXPECT_LE(np.totalCycles, greedy.totalCycles * 1.01);
+}
+
+TEST(ArchSearch, DefaultSpaceRespectsBudget)
+{
+    ArchSearchSpace space = ArchSearchSpace::makeDefault(600.0);
+    auto cands = space.candidates();
+    ASSERT_FALSE(cands.empty());
+    for (const auto &c : cands) {
+        EXPECT_LE(c.macArrayArea + c.gbCapacityBits * space.sramAreaPerBit,
+                  600.0 + 1e-9);
+    }
+}
+
+TEST(ArchSearch, FindsACandidate)
+{
+    ArchSearchSpace space = ArchSearchSpace::makeDefault(600.0);
+    // Single-layer "network" keeps this quick.
+    NetworkWorkload net;
+    net.name = "single";
+    ConvShape s;
+    s.name = "conv";
+    s.k = 64;
+    s.c = 32;
+    s.oy = s.ox = 14;
+    s.r = s.s = 3;
+    net.layers.push_back(s);
+
+    EvoConfig cfg;
+    cfg.populationSize = 8;
+    cfg.totalCycles = 2;
+    ArchSearchResult r = searchMicroArchitecture(
+        AcceleratorKind::TwoInOne, space, net, PrecisionSet({4, 8}), cfg,
+        TechModel::defaults());
+    ASSERT_TRUE(r.found);
+    EXPECT_GT(r.evaluated.size(), 1u);
+    for (const auto &[cand, cost] : r.evaluated)
+        EXPECT_GE(cost, r.bestCost);
+}
+
+} // namespace
+} // namespace twoinone

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Tests for workloads, dataflows, the memory hierarchy and the
+ * performance predictor: shape arithmetic, coverage/validity rules,
+ * traffic sanity, roofline behaviour, and qualitative monotonicity
+ * properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/accelerator.hh"
+#include "accel/dnnguard.hh"
+#include "accel/spatial_temporal_mac.hh"
+#include "workloads/model_library.hh"
+
+namespace twoinone {
+namespace {
+
+TEST(ConvShape, MacCounting)
+{
+    ConvShape s;
+    s.k = 8;
+    s.c = 4;
+    s.oy = s.ox = 6;
+    s.r = s.s = 3;
+    EXPECT_EQ(s.macs(), 8ull * 4 * 6 * 6 * 3 * 3);
+    EXPECT_EQ(s.weightCount(), 8ull * 4 * 3 * 3);
+    EXPECT_EQ(s.outputCount(), 8ull * 6 * 6);
+}
+
+TEST(ConvShape, InputHalo)
+{
+    ConvShape s;
+    s.oy = s.ox = 8;
+    s.r = s.s = 3;
+    s.stride = 2;
+    EXPECT_EQ(s.inY(), 8 * 2 + 3 - 2);
+}
+
+TEST(ConvShape, FullyConnected)
+{
+    ConvShape fc = ConvShape::fullyConnected("fc", 512, 10);
+    EXPECT_EQ(fc.macs(), 5120ull);
+    EXPECT_EQ(fc.oy, 1);
+    EXPECT_EQ(fc.r, 1);
+}
+
+TEST(Workloads, KnownMacTotals)
+{
+    // Sanity-check against the published MAC counts (+-15%:
+    // projection convs and FC handling vary between papers).
+    double alex = static_cast<double>(workloads::alexNet().totalMacs());
+    EXPECT_NEAR(alex / 1e9, 0.72, 0.72 * 0.25);
+
+    double vgg = static_cast<double>(workloads::vgg16().totalMacs());
+    EXPECT_NEAR(vgg / 1e9, 15.5, 15.5 * 0.15);
+
+    double r50 = static_cast<double>(workloads::resNet50().totalMacs());
+    EXPECT_NEAR(r50 / 1e9, 4.1, 4.1 * 0.15);
+
+    double r18 =
+        static_cast<double>(workloads::resNet18ImageNet().totalMacs());
+    EXPECT_NEAR(r18 / 1e9, 1.8, 1.8 * 0.15);
+}
+
+TEST(Workloads, BenchmarkSuiteHasSixNetworks)
+{
+    auto suite = workloads::benchmarkSuite();
+    EXPECT_EQ(suite.size(), 6u);
+    for (const auto &net : suite) {
+        EXPECT_FALSE(net.layers.empty()) << net.name;
+        EXPECT_GT(net.totalMacs(), 0u) << net.name;
+    }
+}
+
+TEST(Workloads, WideResNetIsWider)
+{
+    EXPECT_GT(workloads::wideResNet32Cifar().totalMacs(),
+              workloads::resNet18Cifar().totalMacs());
+}
+
+TEST(Dataflow, DefaultIsAllOnes)
+{
+    Dataflow df;
+    for (int l = 0; l < kNumLevels; ++l)
+        for (int d = 0; d < kNumDims; ++d)
+            EXPECT_EQ(df.trips(static_cast<Level>(l),
+                               static_cast<Dim>(d)),
+                      1);
+    EXPECT_EQ(df.spatialUnits(), 1);
+}
+
+TEST(Dataflow, TileExtentAccumulates)
+{
+    Dataflow df;
+    df.trips(Level::Rf, Dim::C) = 2;
+    df.trips(Level::Gb, Dim::C) = 3;
+    df.trips(Level::Dram, Dim::C) = 5;
+    EXPECT_EQ(df.tileExtent(Dim::C, Level::Rf), 2);
+    EXPECT_EQ(df.tileExtent(Dim::C, Level::Gb), 6);
+    EXPECT_EQ(df.paddedExtent(Dim::C), 30);
+}
+
+TEST(Dataflow, GreedyDefaultCoversEveryLayer)
+{
+    for (const auto &net : workloads::benchmarkSuite()) {
+        for (const ConvShape &layer : net.layers) {
+            Dataflow df = Dataflow::greedyDefault(layer, 256);
+            EXPECT_TRUE(df.covers(layer)) << net.name << "/" << layer.name;
+            EXPECT_LE(df.spatialUnits(), 256) << layer.name;
+            EXPECT_GE(df.paddingFactor(layer), 1.0);
+        }
+    }
+}
+
+TEST(Dataflow, DescribeMentionsActiveLoops)
+{
+    ConvShape s;
+    s.k = 64;
+    s.c = 32;
+    s.oy = s.ox = 14;
+    s.r = s.s = 3;
+    Dataflow df = Dataflow::greedyDefault(s, 64);
+    std::string text = df.describe();
+    EXPECT_NE(text.find("DRAM"), std::string::npos);
+    EXPECT_NE(text.find("NoC"), std::string::npos);
+}
+
+class PredictorFixture : public ::testing::Test
+{
+  protected:
+    PredictorFixture()
+        : mac_(), hierarchy_(MemoryHierarchy::makeDefault(
+                      TechModel::defaults(), 256)),
+          predictor_(mac_, hierarchy_, TechModel::defaults(), 256)
+    {
+        shape_.name = "test";
+        shape_.k = 64;
+        shape_.c = 32;
+        shape_.oy = shape_.ox = 14;
+        shape_.r = shape_.s = 3;
+    }
+
+    SpatialTemporalMacModel mac_;
+    MemoryHierarchy hierarchy_;
+    PerformancePredictor predictor_;
+    ConvShape shape_;
+};
+
+TEST_F(PredictorFixture, ValidDefaultPrediction)
+{
+    Dataflow df = Dataflow::greedyDefault(shape_, 256);
+    LayerPrediction p = predictor_.predictLayer(shape_, 8, 8, df);
+    ASSERT_TRUE(p.valid) << p.invalidReason;
+    EXPECT_GT(p.totalCycles, 0.0);
+    EXPECT_GT(p.totalEnergyPj(), 0.0);
+    EXPECT_GT(p.spatialUtilization, 0.0);
+    EXPECT_LE(p.spatialUtilization, 1.0);
+}
+
+TEST_F(PredictorFixture, TotalAtLeastCompute)
+{
+    Dataflow df = Dataflow::greedyDefault(shape_, 256);
+    LayerPrediction p = predictor_.predictLayer(shape_, 8, 8, df);
+    ASSERT_TRUE(p.valid);
+    EXPECT_GE(p.totalCycles, p.computeCycles);
+    EXPECT_GE(p.stallCycles, 0.0);
+}
+
+TEST_F(PredictorFixture, LowerPrecisionIsFasterAndCheaper)
+{
+    Dataflow df = Dataflow::greedyDefault(shape_, 256);
+    LayerPrediction p4 = predictor_.predictLayer(shape_, 4, 4, df);
+    LayerPrediction p8 = predictor_.predictLayer(shape_, 8, 8, df);
+    LayerPrediction p16 = predictor_.predictLayer(shape_, 16, 16, df);
+    ASSERT_TRUE(p4.valid && p8.valid && p16.valid);
+    EXPECT_LT(p4.totalCycles, p8.totalCycles);
+    EXPECT_LT(p8.totalCycles, p16.totalCycles);
+    EXPECT_LT(p4.totalEnergyPj(), p8.totalEnergyPj());
+    EXPECT_LT(p8.totalEnergyPj(), p16.totalEnergyPj());
+}
+
+TEST_F(PredictorFixture, DramTrafficAtLeastCompulsory)
+{
+    Dataflow df = Dataflow::greedyDefault(shape_, 256);
+    LayerPrediction p = predictor_.predictLayer(shape_, 8, 8, df);
+    ASSERT_TRUE(p.valid);
+    // Compulsory DRAM traffic: every weight + input in, output out.
+    double compulsory =
+        static_cast<double>(shape_.weightCount()) * 8 +
+        static_cast<double>(shape_.inputCount()) * 8 +
+        static_cast<double>(shape_.outputCount()) * 16;
+    EXPECT_GE(p.trafficBits[static_cast<size_t>(Level::Dram)],
+              compulsory * 0.9);
+}
+
+TEST_F(PredictorFixture, SpatialOverflowIsInvalid)
+{
+    Dataflow df = Dataflow::greedyDefault(shape_, 256);
+    df.trips(Level::Noc, Dim::K) = 1024; // way over 256 units
+    LayerPrediction p = predictor_.predictLayer(shape_, 8, 8, df);
+    EXPECT_FALSE(p.valid);
+}
+
+TEST_F(PredictorFixture, BufferOverflowIsInvalid)
+{
+    // A GB tile holding the whole layer overflows the 512 KB buffer.
+    Dataflow df;
+    df.trips(Level::Gb, Dim::K) = shape_.k;
+    df.trips(Level::Gb, Dim::C) = shape_.c;
+    df.trips(Level::Gb, Dim::OY) = shape_.oy;
+    df.trips(Level::Gb, Dim::OX) = shape_.ox;
+    df.trips(Level::Gb, Dim::R) = shape_.r;
+    df.trips(Level::Gb, Dim::S) = shape_.s;
+    // Make the buffer tiny to force the overflow deterministically.
+    MemoryHierarchy small = hierarchy_;
+    small.level(Level::Gb).capacityBits = 1024.0;
+    PerformancePredictor tight(mac_, small, TechModel::defaults(), 256);
+    LayerPrediction p = tight.predictLayer(shape_, 8, 8, df);
+    EXPECT_FALSE(p.valid);
+    EXPECT_NE(p.invalidReason.find("buffer"), std::string::npos);
+}
+
+TEST_F(PredictorFixture, NonCoveringDataflowIsInvalid)
+{
+    Dataflow df; // all ones: cannot cover k=64
+    LayerPrediction p = predictor_.predictLayer(shape_, 8, 8, df);
+    EXPECT_FALSE(p.valid);
+}
+
+TEST_F(PredictorFixture, MoreUnitsNeverSlower)
+{
+    PerformancePredictor small(
+        mac_, MemoryHierarchy::makeDefault(TechModel::defaults(), 64),
+        TechModel::defaults(), 64);
+    Dataflow df_small = Dataflow::greedyDefault(shape_, 64);
+    Dataflow df_big = Dataflow::greedyDefault(shape_, 256);
+    LayerPrediction ps = small.predictLayer(shape_, 8, 8, df_small);
+    LayerPrediction pb = predictor_.predictLayer(shape_, 8, 8, df_big);
+    ASSERT_TRUE(ps.valid && pb.valid);
+    EXPECT_LE(pb.totalCycles, ps.totalCycles * 1.01);
+}
+
+TEST_F(PredictorFixture, NetworkPredictionAggregates)
+{
+    NetworkWorkload net = workloads::alexNet();
+    NetworkPrediction np = predictor_.predictNetworkDefault(net, 8, 8);
+    EXPECT_EQ(np.invalidLayers, 0);
+    EXPECT_GT(np.totalCycles, 0.0);
+    EXPECT_GT(np.fps(1.0, 1), 0.0);
+    EXPECT_GT(np.inferencesPerJoule(1), 0.0);
+}
+
+TEST(Accelerator, IsoAreaUnitCounts)
+{
+    const TechModel &tech = TechModel::defaults();
+    double budget = Accelerator::defaultAreaBudget();
+    Accelerator ours(AcceleratorKind::TwoInOne, budget, tech);
+    Accelerator stripes(AcceleratorKind::Stripes, budget, tech);
+    Accelerator bf(AcceleratorKind::BitFusion, budget, tech);
+    // Same budget, different per-unit areas -> ordered unit counts.
+    EXPECT_EQ(bf.numUnits(), 256);
+    EXPECT_GT(ours.numUnits(), bf.numUnits());
+    EXPECT_GT(stripes.numUnits(), ours.numUnits());
+}
+
+TEST(Accelerator, FreedomFollowsPaper)
+{
+    const TechModel &tech = TechModel::defaults();
+    double budget = Accelerator::defaultAreaBudget();
+    EXPECT_EQ(Accelerator(AcceleratorKind::BitFusion, budget, tech)
+                  .freedom(),
+              DataflowFreedom::GbOrderOnly);
+    EXPECT_EQ(Accelerator(AcceleratorKind::TwoInOne, budget, tech)
+                  .freedom(),
+              DataflowFreedom::Full);
+}
+
+TEST(Accelerator, OursBeatsBaselinesAt4Bit)
+{
+    const TechModel &tech = TechModel::defaults();
+    double budget = Accelerator::defaultAreaBudget();
+    Accelerator ours(AcceleratorKind::TwoInOne, budget, tech);
+    Accelerator stripes(AcceleratorKind::Stripes, budget, tech);
+    Accelerator bf(AcceleratorKind::BitFusion, budget, tech);
+    NetworkWorkload net = workloads::resNet50();
+
+    double c_ours = ours.run(net, 4, 4).totalCycles;
+    double c_stripes = stripes.run(net, 4, 4).totalCycles;
+    double c_bf = bf.run(net, 4, 4).totalCycles;
+    EXPECT_LT(c_ours, c_stripes);
+    EXPECT_LT(c_ours, c_bf);
+}
+
+TEST(DnnGuard, DetectorCostsThroughput)
+{
+    const TechModel &tech = TechModel::defaults();
+    double budget = Accelerator::defaultAreaBudget();
+    DnnGuardModel guard(budget, tech, workloads::resNet18ImageNet());
+    DnnGuardModel no_detect(budget, tech, NetworkWorkload{"none", {}});
+
+    NetworkWorkload target = workloads::alexNet();
+    EXPECT_LT(guard.fps(target, 1.0), no_detect.fps(target, 1.0));
+}
+
+TEST(DnnGuard, SmallTargetsPayProportionallyMore)
+{
+    const TechModel &tech = TechModel::defaults();
+    double budget = Accelerator::defaultAreaBudget();
+    DnnGuardModel guard(budget, tech, workloads::resNet18ImageNet());
+    // AlexNet (small) loses a larger fraction than VGG-16 (large).
+    DnnGuardModel no_detect(budget, tech, NetworkWorkload{"none", {}});
+    double alex_frac = guard.fps(workloads::alexNet(), 1.0) /
+                       no_detect.fps(workloads::alexNet(), 1.0);
+    double vgg_frac = guard.fps(workloads::vgg16(), 1.0) /
+                      no_detect.fps(workloads::vgg16(), 1.0);
+    EXPECT_LT(alex_frac, vgg_frac);
+}
+
+} // namespace
+} // namespace twoinone

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Unit and property tests for the quantization library.
+ */
+
+#include <gtest/gtest.h>
+
+#include "quant/linear_quantizer.hh"
+#include "quant/precision.hh"
+#include "tensor/ops.hh"
+
+namespace twoinone {
+namespace {
+
+TEST(LinearQuantizer, QmaxValues)
+{
+    EXPECT_EQ(LinearQuantizer::signedQmax(8), 127);
+    EXPECT_EQ(LinearQuantizer::signedQmax(4), 7);
+    EXPECT_EQ(LinearQuantizer::signedQmax(2), 1);
+    EXPECT_EQ(LinearQuantizer::signedQmax(1), 1);
+    EXPECT_EQ(LinearQuantizer::unsignedQmax(8), 255);
+    EXPECT_EQ(LinearQuantizer::unsignedQmax(1), 1);
+}
+
+TEST(LinearQuantizer, FullPrecisionPassThrough)
+{
+    Rng rng(1);
+    Tensor x = Tensor::randn({16}, rng);
+    QuantResult r = LinearQuantizer::fakeQuantSymmetric(x, 0);
+    for (size_t i = 0; i < x.size(); ++i) {
+        EXPECT_EQ(r.values[i], x[i]);
+        EXPECT_EQ(r.steMask[i], 1.0f);
+    }
+}
+
+TEST(LinearQuantizer, ZeroInputGivesZeroOutput)
+{
+    Tensor x({8}, 0.0f);
+    QuantResult r = LinearQuantizer::fakeQuantSymmetric(x, 8);
+    EXPECT_EQ(r.scale, 0.0f);
+    for (size_t i = 0; i < x.size(); ++i)
+        EXPECT_EQ(r.values[i], 0.0f);
+}
+
+TEST(LinearQuantizer, SymmetricPreservesSignAndZero)
+{
+    Tensor x({3});
+    x[0] = -0.7f; x[1] = 0.0f; x[2] = 0.9f;
+    QuantResult r = LinearQuantizer::fakeQuantSymmetric(x, 6);
+    EXPECT_LT(r.values[0], 0.0f);
+    EXPECT_EQ(r.values[1], 0.0f);
+    EXPECT_GT(r.values[2], 0.0f);
+}
+
+TEST(LinearQuantizer, MaxMagnitudeIsExactlyRepresentable)
+{
+    Tensor x({4});
+    x[0] = 0.1f; x[1] = -1.5f; x[2] = 0.4f; x[3] = 0.9f;
+    QuantResult r = LinearQuantizer::fakeQuantSymmetric(x, 8);
+    EXPECT_NEAR(r.values[1], -1.5f, 1e-6f);
+}
+
+TEST(LinearQuantizer, UnsignedClipsNegativeToZeroAndCutsGradient)
+{
+    Tensor x({3});
+    x[0] = -0.5f; x[1] = 0.25f; x[2] = 1.0f;
+    QuantResult r = LinearQuantizer::fakeQuantUnsigned(x, 4);
+    EXPECT_EQ(r.values[0], 0.0f);
+    EXPECT_EQ(r.steMask[0], 0.0f);
+    EXPECT_EQ(r.steMask[1], 1.0f);
+}
+
+TEST(LinearQuantizer, AllNegativeUnsignedInputIsAllZero)
+{
+    Tensor x({4}, -1.0f);
+    QuantResult r = LinearQuantizer::fakeQuantUnsigned(x, 4);
+    for (size_t i = 0; i < x.size(); ++i) {
+        EXPECT_EQ(r.values[i], 0.0f);
+        EXPECT_EQ(r.steMask[i], 0.0f);
+    }
+}
+
+TEST(LinearQuantizer, IntCodesMatchFakeQuant)
+{
+    Rng rng(3);
+    Tensor x = Tensor::randn({64}, rng);
+    float scale = 0.0f;
+    std::vector<int32_t> codes =
+        LinearQuantizer::quantizeToIntSymmetric(x, 8, &scale);
+    QuantResult r = LinearQuantizer::fakeQuantSymmetric(x, 8);
+    for (size_t i = 0; i < x.size(); ++i)
+        EXPECT_NEAR(static_cast<float>(codes[i]) * scale, r.values[i],
+                    1e-5f);
+}
+
+/** Property sweep: quantization error is bounded by scale/2 and
+ * shrinks monotonically in representable levels. */
+class QuantErrorSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(QuantErrorSweep, ErrorBoundedByHalfScale)
+{
+    int bits = GetParam();
+    Rng rng(100 + static_cast<uint64_t>(bits));
+    Tensor x = Tensor::randn({256}, rng);
+    QuantResult r = LinearQuantizer::fakeQuantSymmetric(x, bits);
+    for (size_t i = 0; i < x.size(); ++i) {
+        // In-range elements round to the nearest grid point.
+        if (r.steMask[i] == 1.0f)
+            EXPECT_LE(std::fabs(r.values[i] - x[i]),
+                      0.5f * r.scale + 1e-6f);
+    }
+}
+
+TEST_P(QuantErrorSweep, ValuesLieOnGrid)
+{
+    int bits = GetParam();
+    Rng rng(200 + static_cast<uint64_t>(bits));
+    Tensor x = Tensor::randn({128}, rng);
+    QuantResult r = LinearQuantizer::fakeQuantSymmetric(x, bits);
+    if (r.scale == 0.0f)
+        return;
+    // float32 can only resolve the grid up to ~qmax * eps_f32, so the
+    // tolerance scales with the level count.
+    float qmax = static_cast<float>(LinearQuantizer::signedQmax(bits));
+    float tol = 1e-3f + qmax * 1e-5f;
+    for (size_t i = 0; i < x.size(); ++i) {
+        float code = r.values[i] / r.scale;
+        EXPECT_NEAR(code, std::nearbyint(code), tol);
+        EXPECT_LE(std::fabs(code), qmax + tol);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBits, QuantErrorSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 10, 12,
+                                           16));
+
+/** Higher precision gives no larger mean quantization error. */
+TEST(LinearQuantizer, ErrorDecreasesWithPrecision)
+{
+    Rng rng(17);
+    Tensor x = Tensor::randn({1024}, rng);
+    double prev_err = 1e30;
+    for (int bits : {2, 4, 6, 8, 12}) {
+        QuantResult r = LinearQuantizer::fakeQuantSymmetric(x, bits);
+        double err = 0.0;
+        for (size_t i = 0; i < x.size(); ++i)
+            err += std::fabs(r.values[i] - x[i]);
+        err /= static_cast<double>(x.size());
+        EXPECT_LT(err, prev_err);
+        prev_err = err;
+    }
+}
+
+TEST(PrecisionSet, DefaultPaperSet)
+{
+    PrecisionSet s = PrecisionSet::rps4to16();
+    EXPECT_EQ(s.size(), 6u);
+    EXPECT_EQ(s.minBits(), 4);
+    EXPECT_EQ(s.maxBits(), 16);
+    EXPECT_TRUE(s.contains(8));
+    EXPECT_FALSE(s.contains(7));
+}
+
+TEST(PrecisionSet, IndexOf)
+{
+    PrecisionSet s({2, 4, 8});
+    EXPECT_EQ(s.indexOf(2), 0);
+    EXPECT_EQ(s.indexOf(8), 2);
+}
+
+TEST(PrecisionSet, RangeConstruction)
+{
+    PrecisionSet s = PrecisionSet::range(3, 6);
+    EXPECT_EQ(s.size(), 4u);
+    EXPECT_TRUE(s.contains(5));
+}
+
+TEST(PrecisionSet, SampleOnlyReturnsMembers)
+{
+    PrecisionSet s({4, 8, 12});
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(s.contains(s.sample(rng)));
+}
+
+TEST(PrecisionSet, SampleHitsAllMembers)
+{
+    PrecisionSet s({4, 8});
+    Rng rng(6);
+    bool saw4 = false, saw8 = false;
+    for (int i = 0; i < 100; ++i) {
+        int q = s.sample(rng);
+        saw4 |= (q == 4);
+        saw8 |= (q == 8);
+    }
+    EXPECT_TRUE(saw4);
+    EXPECT_TRUE(saw8);
+}
+
+TEST(PrecisionSet, Name)
+{
+    EXPECT_EQ(PrecisionSet({4, 8}).name(), "{4,8}");
+}
+
+TEST(PrecisionSet, Fig11Variants)
+{
+    EXPECT_EQ(PrecisionSet::rps4to12().maxBits(), 12);
+    EXPECT_EQ(PrecisionSet::rps4to8().maxBits(), 8);
+    EXPECT_EQ(PrecisionSet::static4().size(), 1u);
+}
+
+} // namespace
+} // namespace twoinone

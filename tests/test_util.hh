@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared helpers for the test suite: numerical gradient checking and
+ * tiny-model factories.
+ */
+
+#ifndef TWOINONE_TESTS_TEST_UTIL_HH
+#define TWOINONE_TESTS_TEST_UTIL_HH
+
+#include <functional>
+
+#include "nn/network.hh"
+#include "tensor/tensor.hh"
+
+namespace twoinone {
+namespace testutil {
+
+/**
+ * Central-difference numerical gradient of a scalar function wrt a
+ * tensor, evaluated element by element.
+ */
+inline Tensor
+numericalGradient(const std::function<float(const Tensor &)> &f, Tensor x,
+                  float h = 1e-3f)
+{
+    Tensor grad(x.shape());
+    for (size_t i = 0; i < x.size(); ++i) {
+        float orig = x[i];
+        x[i] = orig + h;
+        float fp = f(x);
+        x[i] = orig - h;
+        float fm = f(x);
+        x[i] = orig;
+        grad[i] = (fp - fm) / (2.0f * h);
+    }
+    return grad;
+}
+
+/**
+ * Max absolute difference between two tensors, normalized by the max
+ * magnitude (so the tolerance is scale-free).
+ */
+inline float
+relativeMaxError(const Tensor &a, const Tensor &b)
+{
+    float max_err = 0.0f, max_mag = 1e-8f;
+    for (size_t i = 0; i < a.size(); ++i) {
+        max_err = std::max(max_err, std::fabs(a[i] - b[i]));
+        max_mag = std::max({max_mag, std::fabs(a[i]), std::fabs(b[i])});
+    }
+    return max_err / max_mag;
+}
+
+} // namespace testutil
+} // namespace twoinone
+
+#endif // TWOINONE_TESTS_TEST_UTIL_HH
