@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Kernel microbenchmark harness for the compute backend (ISSUE 1).
+ *
+ * Times the GEMM kernels on square shapes plus per-image GEMM shapes
+ * drawn from the model-zoo layer library (m = K output channels,
+ * n = OY*OX, k = C*R*S), Conv2d forward/backward at bench scale, and
+ * end-to-end PGD attack steps — each under both the retained naive
+ * reference backend and the blocked/parallel backend — and writes
+ * BENCH_kernels.json into the working directory so the performance
+ * trajectory is tracked from this PR onward.
+ *
+ * JSON schema (all times are mean wall ns per operation):
+ *   meta: { threads, default_backend, fast }
+ *   gemm: [ { name, m, n, k, naive_ns, blocked_ns,
+ *             naive_gflops, blocked_gflops, speedup } ]
+ *   conv: [ { name, batch, fwd_naive_ns, fwd_blocked_ns, fwd_speedup,
+ *             bwd_naive_ns, bwd_blocked_ns, bwd_speedup } ]
+ *   pgd:  [ { name, batch, steps, step_naive_ns, step_blocked_ns,
+ *             speedup } ]
+ *
+ * TWOINONE_BENCH_FAST=1 shrinks shapes and timing budgets for CI
+ * smoke runs. Not a google-benchmark binary on purpose: the harness
+ * needs to flip the backend per measurement and emit machine-readable
+ * JSON.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "adversarial/pgd.hh"
+#include "bench_util.hh"
+#include "common/thread_pool.hh"
+#include "data/synthetic.hh"
+#include "nn/conv2d.hh"
+#include "nn/model_zoo.hh"
+#include "tensor/gemm.hh"
+#include "tensor/tensor.hh"
+#include "workloads/model_library.hh"
+
+namespace {
+
+using namespace twoinone;
+using Clock = std::chrono::steady_clock;
+
+/** Mean wall ns/op of fn, run repeatedly for a minimum budget. */
+double
+timeNs(const std::function<void()> &fn, double min_seconds)
+{
+    fn(); // warm-up (thread-local pack buffers, page faults)
+    int64_t reps = 0;
+    auto start = Clock::now();
+    double elapsed = 0.0;
+    do {
+        fn();
+        ++reps;
+        elapsed = std::chrono::duration<double>(Clock::now() - start)
+                      .count();
+    } while (elapsed < min_seconds || reps < 3);
+    return elapsed * 1e9 / static_cast<double>(reps);
+}
+
+struct GemmRow
+{
+    std::string name;
+    int m, n, k;
+    double naive_ns, blocked_ns;
+    double gflops(double ns) const
+    {
+        return 2.0 * m * n * k / ns; // flops/ns == GFLOP/s
+    }
+};
+
+struct ConvRow
+{
+    std::string name;
+    int batch;
+    double fwd_naive_ns, fwd_blocked_ns;
+    double bwd_naive_ns, bwd_blocked_ns;
+};
+
+struct PgdRow
+{
+    std::string name;
+    int batch, steps;
+    double naive_ns, blocked_ns;
+};
+
+GemmRow
+benchGemmShape(const std::string &name, int m, int n, int k,
+               double min_seconds, Rng &rng)
+{
+    Tensor a = Tensor::randn({m, k}, rng);
+    Tensor b = Tensor::randn({k, n}, rng);
+    Tensor c({m, n});
+    GemmRow row{name, m, n, k, 0.0, 0.0, };
+    row.naive_ns = timeNs(
+        [&] {
+            gemm::sgemm(gemm::Backend::Naive, false, false, m, n, k,
+                        a.data(), k, b.data(), n, c.data(), n);
+        },
+        min_seconds);
+    row.blocked_ns = timeNs(
+        [&] {
+            gemm::sgemm(gemm::Backend::Blocked, false, false, m, n, k,
+                        a.data(), k, b.data(), n, c.data(), n);
+        },
+        min_seconds);
+    return row;
+}
+
+/** Conv layer geometry for the conv/bench rows. */
+struct ConvCase
+{
+    std::string name;
+    int batch, c, kout, hw, kernel, stride, padding;
+};
+
+ConvRow
+benchConv(const ConvCase &cc, double min_seconds, Rng &rng)
+{
+    Conv2d layer(cc.c, cc.kout, cc.kernel, cc.stride, cc.padding,
+                 /*bias=*/true, rng);
+    Tensor x = Tensor::uniform({cc.batch, cc.c, cc.hw, cc.hw}, rng, 0.0f,
+                               1.0f);
+    int oh = layer.outSize(cc.hw);
+    Tensor grad = Tensor::randn({cc.batch, cc.kout, oh, oh}, rng, 0.1f);
+
+    ConvRow row{cc.name, cc.batch, 0.0, 0.0, 0.0, 0.0};
+    for (auto backend : {gemm::Backend::Naive, gemm::Backend::Blocked}) {
+        gemm::setActiveBackend(backend);
+        double fwd = timeNs([&] { layer.forward(x, false); }, min_seconds);
+        // Backward requires a fresh forward each iteration; report
+        // the backward cost as (fwd+bwd) - fwd.
+        double both = timeNs(
+            [&] {
+                layer.forward(x, false);
+                layer.backward(grad);
+            },
+            min_seconds);
+        double bwd = both > fwd ? both - fwd : 0.0;
+        if (backend == gemm::Backend::Naive) {
+            row.fwd_naive_ns = fwd;
+            row.bwd_naive_ns = bwd;
+        } else {
+            row.fwd_blocked_ns = fwd;
+            row.bwd_blocked_ns = bwd;
+        }
+    }
+    return row;
+}
+
+PgdRow
+benchPgd(double min_seconds, bool fast, Rng &rng)
+{
+    ModelConfig mcfg;
+    mcfg.baseWidth = 4;
+    mcfg.numClasses = 10;
+    Network net = preActResNetMini(mcfg, rng);
+
+    SyntheticConfig scfg;
+    scfg.trainSize = 64;
+    scfg.testSize = 64;
+    DatasetPair data = makeSynthetic(scfg, "kernel-bench");
+    int batch = fast ? 8 : 16;
+    Dataset eval = data.test.batch(0, batch);
+
+    AttackConfig acfg;
+    acfg.steps = fast ? 3 : 5;
+    acfg.restarts = 1;
+    PgdAttack attack(acfg);
+
+    PgdRow row{"pgd_preact_mini", batch, acfg.steps, 0.0, 0.0};
+    for (auto backend : {gemm::Backend::Naive, gemm::Backend::Blocked}) {
+        gemm::setActiveBackend(backend);
+        double total = timeNs(
+            [&] {
+                Rng attack_rng(77);
+                attack.perturb(net, eval.images, eval.labels, attack_rng);
+            },
+            min_seconds);
+        double per_step = total / acfg.steps;
+        if (backend == gemm::Backend::Naive)
+            row.naive_ns = per_step;
+        else
+            row.blocked_ns = per_step;
+    }
+    return row;
+}
+
+/** Per-image GEMM shapes (m=K, n=OY*OX, k=C*R*S) from the model zoo. */
+std::vector<GemmRow>
+modelZooGemmShapes(double min_seconds, bool fast, Rng &rng)
+{
+    std::vector<GemmRow> rows;
+    std::set<std::tuple<int, int, int>> seen;
+    NetworkWorkload net = workloads::resNet18Cifar(1);
+    int budget = fast ? 3 : 6;
+    for (const ConvShape &l : net.layers) {
+        int m = l.k;
+        int n = l.oy * l.ox;
+        int kk = l.c * l.r * l.s;
+        if (!seen.insert({m, n, kk}).second)
+            continue;
+        if (static_cast<int64_t>(m) * n * kk < 1 << 18)
+            continue; // skip shapes too small to time meaningfully
+        rows.push_back(benchGemmShape("resnet18c_" + l.name, m, n, kk,
+                                      min_seconds, rng));
+        if (static_cast<int>(rows.size()) >= budget)
+            break;
+    }
+    return rows;
+}
+
+std::string
+jsonNum(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f", v);
+    return buf;
+}
+
+void
+writeJson(const std::string &path, const std::vector<GemmRow> &gemms,
+          const std::vector<ConvRow> &convs, const std::vector<PgdRow> &pgds,
+          bool fast)
+{
+    std::ofstream out(path);
+    out << "{\n  \"meta\": {\"threads\": "
+        << ThreadPool::global().threads() << ", \"default_backend\": \""
+        << gemm::backendName(gemm::activeBackend()) << "\", \"fast\": "
+        << (fast ? "true" : "false") << "},\n";
+
+    out << "  \"gemm\": [\n";
+    for (size_t i = 0; i < gemms.size(); ++i) {
+        const GemmRow &r = gemms[i];
+        out << "    {\"name\": \"" << r.name << "\", \"m\": " << r.m
+            << ", \"n\": " << r.n << ", \"k\": " << r.k
+            << ", \"naive_ns\": " << jsonNum(r.naive_ns)
+            << ", \"blocked_ns\": " << jsonNum(r.blocked_ns)
+            << ", \"naive_gflops\": " << jsonNum(r.gflops(r.naive_ns))
+            << ", \"blocked_gflops\": " << jsonNum(r.gflops(r.blocked_ns))
+            << ", \"speedup\": " << jsonNum(r.naive_ns / r.blocked_ns)
+            << "}" << (i + 1 < gemms.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"conv\": [\n";
+    for (size_t i = 0; i < convs.size(); ++i) {
+        const ConvRow &r = convs[i];
+        out << "    {\"name\": \"" << r.name << "\", \"batch\": "
+            << r.batch << ", \"fwd_naive_ns\": " << jsonNum(r.fwd_naive_ns)
+            << ", \"fwd_blocked_ns\": " << jsonNum(r.fwd_blocked_ns)
+            << ", \"fwd_speedup\": "
+            << jsonNum(r.fwd_naive_ns / r.fwd_blocked_ns)
+            << ", \"bwd_naive_ns\": " << jsonNum(r.bwd_naive_ns)
+            << ", \"bwd_blocked_ns\": " << jsonNum(r.bwd_blocked_ns)
+            << ", \"bwd_speedup\": "
+            << jsonNum(r.bwd_naive_ns / r.bwd_blocked_ns) << "}"
+            << (i + 1 < convs.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"pgd\": [\n";
+    for (size_t i = 0; i < pgds.size(); ++i) {
+        const PgdRow &r = pgds[i];
+        out << "    {\"name\": \"" << r.name << "\", \"batch\": "
+            << r.batch << ", \"steps\": " << r.steps
+            << ", \"step_naive_ns\": " << jsonNum(r.naive_ns)
+            << ", \"step_blocked_ns\": " << jsonNum(r.blocked_ns)
+            << ", \"speedup\": " << jsonNum(r.naive_ns / r.blocked_ns)
+            << "}" << (i + 1 < pgds.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    bool fast = bench::fastMode();
+    double min_seconds = fast ? 0.05 : 0.25;
+    Rng rng(99);
+    gemm::Backend default_backend = gemm::activeBackend();
+
+    bench::banner("Kernel microbenchmarks (naive vs blocked backend)");
+    std::cout << "threads=" << ThreadPool::global().threads()
+              << " default_backend="
+              << gemm::backendName(default_backend)
+              << (fast ? " (fast mode)" : "") << "\n\n";
+
+    std::vector<GemmRow> gemms;
+    std::vector<int> squares = fast ? std::vector<int>{64, 128, 256}
+                                    : std::vector<int>{64, 128, 256, 384};
+    for (int s : squares)
+        gemms.push_back(benchGemmShape(
+            "square" + std::to_string(s), s, s, s, min_seconds, rng));
+    for (GemmRow &r : modelZooGemmShapes(min_seconds, fast, rng))
+        gemms.push_back(r);
+
+    std::printf("%-28s %5s %5s %5s %12s %12s %8s %8s %8s\n", "gemm", "m",
+                "n", "k", "naive_ns", "blocked_ns", "naiveGF", "blockGF",
+                "speedup");
+    for (const GemmRow &r : gemms)
+        std::printf("%-28s %5d %5d %5d %12.0f %12.0f %8.2f %8.2f %8.2fx\n",
+                    r.name.c_str(), r.m, r.n, r.k, r.naive_ns,
+                    r.blocked_ns, r.gflops(r.naive_ns),
+                    r.gflops(r.blocked_ns), r.naive_ns / r.blocked_ns);
+
+    std::vector<ConvCase> conv_cases = {
+        {"conv16x16x32", fast ? 4 : 8, 16, 16, 32, 3, 1, 1},
+        {"conv32x32x16", fast ? 4 : 8, 32, 32, 16, 3, 1, 1},
+        {"conv64x64x8", fast ? 4 : 8, 64, 64, 8, 3, 1, 1},
+    };
+    std::vector<ConvRow> convs;
+    for (const ConvCase &cc : conv_cases)
+        convs.push_back(benchConv(cc, min_seconds, rng));
+
+    std::printf("\n%-16s %6s %14s %14s %8s %14s %14s %8s\n", "conv",
+                "batch", "fwd_naive", "fwd_blocked", "speedup",
+                "bwd_naive", "bwd_blocked", "speedup");
+    for (const ConvRow &r : convs)
+        std::printf("%-16s %6d %14.0f %14.0f %7.2fx %14.0f %14.0f %7.2fx\n",
+                    r.name.c_str(), r.batch, r.fwd_naive_ns,
+                    r.fwd_blocked_ns, r.fwd_naive_ns / r.fwd_blocked_ns,
+                    r.bwd_naive_ns, r.bwd_blocked_ns,
+                    r.bwd_naive_ns / r.bwd_blocked_ns);
+
+    std::vector<PgdRow> pgds;
+    pgds.push_back(benchPgd(min_seconds, fast, rng));
+    std::printf("\n%-20s %6s %6s %14s %14s %8s\n", "pgd", "batch", "steps",
+                "step_naive", "step_blocked", "speedup");
+    for (const PgdRow &r : pgds)
+        std::printf("%-20s %6d %6d %14.0f %14.0f %7.2fx\n", r.name.c_str(),
+                    r.batch, r.steps, r.naive_ns, r.blocked_ns,
+                    r.naive_ns / r.blocked_ns);
+
+    gemm::setActiveBackend(default_backend);
+    writeJson("BENCH_kernels.json", gemms, convs, pgds, fast);
+    std::cout << "\nwrote BENCH_kernels.json\n";
+    return 0;
+}

@@ -1,6 +1,16 @@
 /**
  * @file
  * Conv2d implementation (im2col + GEMM, explicit gradients).
+ *
+ * The GEMM layout is fused with the NCHW tensor layout: forward runs
+ * one [K, C*R*S] x [OH*OW, C*R*S]^T product per image whose output
+ * lands directly in that image's [K, OH, OW] slab (bias added in the
+ * same pass), and backward reads grad_out's per-image [K, OH*OW]
+ * slabs in place. There is no [N*OH*OW, K] <-> NCHW repack loop
+ * anywhere. Batch images are independent, so im2col / col2im / the
+ * per-image GEMMs parallelize over the batch dimension; the weight
+ * gradient accumulates over images in fixed batch order to keep
+ * results independent of the thread count.
  */
 
 #include "nn/conv2d.hh"
@@ -8,6 +18,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/thread_pool.hh"
+#include "tensor/gemm.hh"
 #include "tensor/ops.hh"
 
 namespace twoinone {
@@ -33,78 +45,82 @@ Conv2d::outSize(int in_size) const
     return (in_size + 2 * padding_ - kernel_) / stride_ + 1;
 }
 
-Tensor
-Conv2d::im2col(const Tensor &x, int oh, int ow) const
+void
+Conv2d::im2colInto(const Tensor &x, int oh, int ow, Tensor &cols) const
 {
     int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
     int patch = c * kernel_ * kernel_;
-    Tensor cols({n * oh * ow, patch});
+    cols.ensure({n * oh * ow, patch});
     float *out = cols.data();
     const float *in = x.data();
-    for (int ni = 0; ni < n; ++ni) {
-        for (int oy = 0; oy < oh; ++oy) {
-            for (int ox = 0; ox < ow; ++ox) {
-                float *dst = out +
-                             (static_cast<size_t>(ni) * oh * ow +
-                              static_cast<size_t>(oy) * ow + ox) *
-                                 patch;
-                int iy0 = oy * stride_ - padding_;
-                int ix0 = ox * stride_ - padding_;
-                for (int ci = 0; ci < c; ++ci) {
-                    const float *src =
-                        in + (static_cast<size_t>(ni) * c + ci) * h * w;
-                    for (int ky = 0; ky < kernel_; ++ky) {
-                        int iy = iy0 + ky;
-                        for (int kx = 0; kx < kernel_; ++kx) {
-                            int ix = ix0 + kx;
-                            float v = 0.0f;
-                            if (iy >= 0 && iy < h && ix >= 0 && ix < w)
-                                v = src[static_cast<size_t>(iy) * w + ix];
-                            *dst++ = v;
+    ThreadPool::global().parallelFor(0, n, 1, [&](int64_t nlo,
+                                                  int64_t nhi) {
+        for (int64_t ni = nlo; ni < nhi; ++ni) {
+            for (int oy = 0; oy < oh; ++oy) {
+                for (int ox = 0; ox < ow; ++ox) {
+                    float *dst = out +
+                                 (static_cast<size_t>(ni) * oh * ow +
+                                  static_cast<size_t>(oy) * ow + ox) *
+                                     patch;
+                    int iy0 = oy * stride_ - padding_;
+                    int ix0 = ox * stride_ - padding_;
+                    for (int ci = 0; ci < c; ++ci) {
+                        const float *src =
+                            in + (static_cast<size_t>(ni) * c + ci) * h * w;
+                        for (int ky = 0; ky < kernel_; ++ky) {
+                            int iy = iy0 + ky;
+                            for (int kx = 0; kx < kernel_; ++kx) {
+                                int ix = ix0 + kx;
+                                float v = 0.0f;
+                                if (iy >= 0 && iy < h && ix >= 0 && ix < w)
+                                    v = src[static_cast<size_t>(iy) * w +
+                                            ix];
+                                *dst++ = v;
+                            }
                         }
                     }
                 }
             }
         }
-    }
-    return cols;
+    });
 }
 
-Tensor
-Conv2d::col2im(const Tensor &cols, const std::vector<int> &in_shape, int oh,
-               int ow) const
+void
+Conv2d::col2imInto(const Tensor &cols, int oh, int ow, Tensor &x) const
 {
-    int n = in_shape[0], c = in_shape[1], h = in_shape[2], w = in_shape[3];
+    int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
     int patch = c * kernel_ * kernel_;
-    Tensor x(in_shape);
     float *out = x.data();
     const float *in = cols.data();
-    for (int ni = 0; ni < n; ++ni) {
-        for (int oy = 0; oy < oh; ++oy) {
-            for (int ox = 0; ox < ow; ++ox) {
-                const float *src = in +
-                                   (static_cast<size_t>(ni) * oh * ow +
-                                    static_cast<size_t>(oy) * ow + ox) *
-                                       patch;
-                int iy0 = oy * stride_ - padding_;
-                int ix0 = ox * stride_ - padding_;
-                for (int ci = 0; ci < c; ++ci) {
-                    float *dst =
-                        out + (static_cast<size_t>(ni) * c + ci) * h * w;
-                    for (int ky = 0; ky < kernel_; ++ky) {
-                        int iy = iy0 + ky;
-                        for (int kx = 0; kx < kernel_; ++kx) {
-                            int ix = ix0 + kx;
-                            float v = *src++;
-                            if (iy >= 0 && iy < h && ix >= 0 && ix < w)
-                                dst[static_cast<size_t>(iy) * w + ix] += v;
+    ThreadPool::global().parallelFor(0, n, 1, [&](int64_t nlo,
+                                                  int64_t nhi) {
+        for (int64_t ni = nlo; ni < nhi; ++ni) {
+            for (int oy = 0; oy < oh; ++oy) {
+                for (int ox = 0; ox < ow; ++ox) {
+                    const float *src = in +
+                                       (static_cast<size_t>(ni) * oh * ow +
+                                        static_cast<size_t>(oy) * ow + ox) *
+                                           patch;
+                    int iy0 = oy * stride_ - padding_;
+                    int ix0 = ox * stride_ - padding_;
+                    for (int ci = 0; ci < c; ++ci) {
+                        float *dst =
+                            out + (static_cast<size_t>(ni) * c + ci) * h * w;
+                        for (int ky = 0; ky < kernel_; ++ky) {
+                            int iy = iy0 + ky;
+                            for (int kx = 0; kx < kernel_; ++kx) {
+                                int ix = ix0 + kx;
+                                float v = *src++;
+                                if (iy >= 0 && iy < h && ix >= 0 && ix < w)
+                                    dst[static_cast<size_t>(iy) * w + ix] +=
+                                        v;
+                            }
                         }
                     }
                 }
             }
         }
-    }
-    return x;
+    });
 }
 
 Tensor
@@ -123,30 +139,31 @@ Conv2d::forward(const Tensor &x, bool train)
         LinearQuantizer::fakeQuantSymmetric(weight_.value, quant_.weightBits);
     cachedSteMask_ = wq.steMask;
 
-    cachedCols_ = im2col(x, oh, ow);
+    im2colInto(x, oh, ow, cachedCols_);
     cachedInShape_ = x.shape();
     cachedOh_ = oh;
     cachedOw_ = ow;
 
     int patch = inChannels_ * kernel_ * kernel_;
+    int ohw = oh * ow;
     Tensor w2d = wq.values.reshape({outChannels_, patch});
-    // [N*OH*OW, patch] x [K, patch]^T -> [N*OH*OW, K]
-    Tensor out2d = ops::matmulTransposeB(cachedCols_, w2d);
+    const float *bias = hasBias_ ? bias_.value.data() : nullptr;
 
+    // Per image: out[K, OH*OW] = W[K, patch] * cols_n[OH*OW, patch]^T,
+    // written straight into the NCHW slab with the bias fused in.
     Tensor out({n, outChannels_, oh, ow});
-    for (int ni = 0; ni < n; ++ni) {
-        for (int oy = 0; oy < oh; ++oy) {
-            for (int ox = 0; ox < ow; ++ox) {
-                int row = (ni * oh + oy) * ow + ox;
-                for (int k = 0; k < outChannels_; ++k) {
-                    float v = out2d.at2(row, k);
-                    if (hasBias_)
-                        v += bias_.value[static_cast<size_t>(k)];
-                    out.at4(ni, k, oy, ox) = v;
-                }
-            }
+    ThreadPool::global().parallelFor(0, n, 1, [&](int64_t nlo,
+                                                  int64_t nhi) {
+        for (int64_t ni = nlo; ni < nhi; ++ni) {
+            const float *cols_n = cachedCols_.data() +
+                                  static_cast<size_t>(ni) * ohw * patch;
+            float *out_n = out.data() +
+                           static_cast<size_t>(ni) * outChannels_ * ohw;
+            gemm::sgemm(false, true, outChannels_, ohw, patch, w2d.data(),
+                        patch, cols_n, patch, out_n, ohw,
+                        /*accumulate=*/false, bias);
         }
-    }
+    });
     return out;
 }
 
@@ -160,45 +177,77 @@ Conv2d::backward(const Tensor &grad_out)
                         grad_out.dim(3) == ow,
                     "Conv2d grad_out shape mismatch");
     int patch = inChannels_ * kernel_ * kernel_;
+    int ohw = oh * ow;
+    const float *g = grad_out.data();
 
-    // Reorder grad_out into [N*OH*OW, K].
-    Tensor g2d({n * oh * ow, outChannels_});
+    // Weight gradient: dW[K, patch] = sum_n grad_n[K, OH*OW] *
+    // cols_n[OH*OW, patch]. Fixed batch order (serial over n, GEMM
+    // parallel inside) keeps the accumulation deterministic.
+    dwBuf_.ensure({outChannels_, patch});
     for (int ni = 0; ni < n; ++ni) {
-        for (int oy = 0; oy < oh; ++oy) {
-            for (int ox = 0; ox < ow; ++ox) {
-                int row = (ni * oh + oy) * ow + ox;
-                for (int k = 0; k < outChannels_; ++k)
-                    g2d.at2(row, k) = grad_out.at4(ni, k, oy, ox);
-            }
-        }
+        const float *grad_n = g + static_cast<size_t>(ni) * outChannels_ *
+                                      ohw;
+        const float *cols_n =
+            cachedCols_.data() + static_cast<size_t>(ni) * ohw * patch;
+        gemm::sgemm(false, false, outChannels_, patch, ohw, grad_n, ohw,
+                    cols_n, patch, dwBuf_.data(), patch,
+                    /*accumulate=*/ni > 0);
     }
-
-    // Weight gradient: dW[k, patch] = g2d^T x cols.
-    Tensor dw2d = ops::matmulTransposeA(g2d, cachedCols_);
     // STE: gradients flow to master weights where quantization did not
     // clip.
-    for (int k = 0; k < outChannels_; ++k) {
-        for (int p = 0; p < patch; ++p) {
-            size_t idx = static_cast<size_t>(k) * patch + p;
-            weight_.grad[idx] += dw2d.at2(k, p) * cachedSteMask_[idx];
-        }
+    {
+        float *wgrad = weight_.grad.data();
+        const float *dw = dwBuf_.data();
+        const float *mask = cachedSteMask_.data();
+        ThreadPool::global().parallelFor(
+            0, static_cast<int64_t>(weight_.grad.size()), 1 << 15,
+            [&](int64_t lo, int64_t hi) {
+                for (int64_t i = lo; i < hi; ++i)
+                    wgrad[i] += dw[i] * mask[i];
+            });
     }
 
     if (hasBias_) {
-        for (int k = 0; k < outChannels_; ++k) {
-            double s = 0.0;
-            for (int r = 0; r < n * oh * ow; ++r)
-                s += g2d.at2(r, k);
-            bias_.grad[static_cast<size_t>(k)] += static_cast<float>(s);
-        }
+        // Per-channel reduction straight off the NCHW slabs; each
+        // channel sums its images in batch order.
+        float *bgrad = bias_.grad.data();
+        ThreadPool::global().parallelFor(0, outChannels_, 1,
+                                         [&](int64_t klo, int64_t khi) {
+            for (int64_t k = klo; k < khi; ++k) {
+                double s = 0.0;
+                for (int ni = 0; ni < n; ++ni) {
+                    const float *p =
+                        g + (static_cast<size_t>(ni) * outChannels_ + k) *
+                                ohw;
+                    for (int t = 0; t < ohw; ++t)
+                        s += p[t];
+                }
+                bgrad[k] += static_cast<float>(s);
+            }
+        });
     }
 
-    // Input gradient: dCols = g2d x Wq; then col2im.
+    // Input gradient: dcols_n[OH*OW, patch] = grad_n[K, OH*OW]^T *
+    // Wq[K, patch]; then col2im. Per-image outputs are disjoint.
     QuantResult wq =
         LinearQuantizer::fakeQuantSymmetric(weight_.value, quant_.weightBits);
     Tensor w2d = wq.values.reshape({outChannels_, patch});
-    Tensor dcols = ops::matmul(g2d, w2d);
-    return col2im(dcols, cachedInShape_, oh, ow);
+    dcolsBuf_.ensure({n * ohw, patch});
+    ThreadPool::global().parallelFor(0, n, 1, [&](int64_t nlo,
+                                                  int64_t nhi) {
+        for (int64_t ni = nlo; ni < nhi; ++ni) {
+            const float *grad_n =
+                g + static_cast<size_t>(ni) * outChannels_ * ohw;
+            float *dcols_n =
+                dcolsBuf_.data() + static_cast<size_t>(ni) * ohw * patch;
+            gemm::sgemm(true, false, ohw, patch, outChannels_, grad_n, ohw,
+                        w2d.data(), patch, dcols_n, patch);
+        }
+    });
+
+    Tensor dx(cachedInShape_);
+    col2imInto(dcolsBuf_, oh, ow, dx);
+    return dx;
 }
 
 void

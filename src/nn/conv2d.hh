@@ -64,19 +64,29 @@ class Conv2d : public Layer
     Parameter weight_;
     Parameter bias_;
 
-    // Forward caches for backward.
+    // Forward caches for backward. cachedCols_/dcolsBuf_/dwBuf_ are
+    // reused across iterations (Tensor::ensure) instead of being
+    // reallocated every step.
     Tensor cachedCols_;    // im2col matrix [N*OH*OW, C*R*S]
     Tensor cachedSteMask_; // STE mask of the quantized weights
+    Tensor dcolsBuf_;      // input-gradient columns [N*OH*OW, C*R*S]
+    Tensor dwBuf_;         // weight-gradient GEMM output [K, C*R*S]
     std::vector<int> cachedInShape_;
     int cachedOh_ = 0;
     int cachedOw_ = 0;
 
-    /** im2col: [N,C,H,W] -> [N*OH*OW, C*R*S]. */
-    Tensor im2col(const Tensor &x, int oh, int ow) const;
+    /**
+     * im2col into the reused cols buffer: [N,C,H,W] ->
+     * [N*OH*OW, C*R*S], parallel over the batch dimension.
+     */
+    void im2colInto(const Tensor &x, int oh, int ow, Tensor &cols) const;
 
-    /** col2im: [N*OH*OW, C*R*S] -> [N,C,H,W] (accumulating). */
-    Tensor col2im(const Tensor &cols, const std::vector<int> &in_shape,
-                  int oh, int ow) const;
+    /**
+     * col2im: scatter-accumulate cols [N*OH*OW, C*R*S] into the
+     * zero-initialized x [N,C,H,W], parallel over the batch dimension
+     * (each image's slab is disjoint).
+     */
+    void col2imInto(const Tensor &cols, int oh, int ow, Tensor &x) const;
 };
 
 } // namespace twoinone

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Single-precision GEMM backends: a cache-blocked, packed, parallel
+ * kernel (default) and a retained naive triple-loop reference.
+ *
+ * The backend is selected once per process from TWOINONE_BACKEND
+ * ("naive" forces the reference path; anything else, or unset, means
+ * blocked) and can be overridden programmatically by benches/tests
+ * via setActiveBackend().
+ *
+ * Determinism contract: for a fixed backend, results are
+ * bit-identical across TWOINONE_THREADS settings. The blocked kernel
+ * accumulates each output element strictly in k order within KC-sized
+ * blocks and parallelizes only over disjoint row blocks of C, so the
+ * summation order never depends on the thread count. The naive and
+ * blocked backends both accumulate in float (no double, no Kahan) but
+ * in different orders, so they agree only to float rounding — the
+ * tests bound this at 1e-4 relative error (see tests/test_gemm.cc).
+ */
+
+#ifndef TWOINONE_TENSOR_GEMM_HH
+#define TWOINONE_TENSOR_GEMM_HH
+
+namespace twoinone {
+namespace gemm {
+
+/** Which GEMM implementation services ops::matmul* and Conv2d. */
+enum class Backend {
+    Naive,   ///< Reference triple loops, always serial.
+    Blocked, ///< Packed MC/KC/NC-tiled kernels, parallel row blocks.
+};
+
+/** Process-wide backend (TWOINONE_BACKEND, read once, overridable). */
+Backend activeBackend();
+
+/** Override the backend (benches/tests; not thread-safe vs running kernels). */
+void setActiveBackend(Backend b);
+
+/** Human-readable backend name ("naive" / "blocked"). */
+const char *backendName(Backend b);
+
+/**
+ * C[m,n] = op(A) * op(B) (+ C when @p accumulate) (+ row bias).
+ *
+ * Row-major storage everywhere.
+ *  - trans_a == false: A is [m,k] with leading dimension @p lda.
+ *    trans_a == true:  A is stored [k,m] (lda >= m) and used as A^T.
+ *  - trans_b == false: B is [k,n] with leading dimension @p ldb.
+ *    trans_b == true:  B is stored [n,k] (ldb >= k) and used as B^T.
+ *  - C is [m,n] with leading dimension @p ldc.
+ *
+ * When @p accumulate is false, C is overwritten; when true, the
+ * product is added to the existing C. @p row_bias, when non-null,
+ * points at m floats and row_bias[i] is added to every element of row
+ * i exactly once — only legal with accumulate == false (the Conv2d
+ * fused bias epilogue).
+ *
+ * Dispatches to the active backend.
+ */
+void sgemm(bool trans_a, bool trans_b, int m, int n, int k, const float *a,
+           int lda, const float *b, int ldb, float *c, int ldc,
+           bool accumulate = false, const float *row_bias = nullptr);
+
+/** Explicit-backend variant of sgemm (benchmark harness). */
+void sgemm(Backend backend, bool trans_a, bool trans_b, int m, int n, int k,
+           const float *a, int lda, const float *b, int ldb, float *c,
+           int ldc, bool accumulate = false,
+           const float *row_bias = nullptr);
+
+} // namespace gemm
+} // namespace twoinone
+
+#endif // TWOINONE_TENSOR_GEMM_HH

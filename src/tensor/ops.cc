@@ -1,12 +1,22 @@
 /**
  * @file
  * Implementation of tensor operations.
+ *
+ * Element-wise ops run through ThreadPool::parallelFor above a size
+ * threshold (disjoint writes, so results are identical for any thread
+ * count); the matmul variants dispatch to the gemm backend (blocked +
+ * parallel by default, TWOINONE_BACKEND=naive for the reference
+ * path). Reductions stay serial: their double accumulators depend on
+ * summation order and they are cheap O(n) passes.
  */
 
 #include "tensor/ops.hh"
 
 #include <algorithm>
 #include <cmath>
+
+#include "common/thread_pool.hh"
+#include "tensor/gemm.hh"
 
 namespace twoinone {
 namespace ops {
@@ -19,6 +29,22 @@ checkSameShape(const Tensor &a, const Tensor &b, const char *what)
     TWOINONE_ASSERT(a.sameShape(b), what, ": shape mismatch");
 }
 
+// Minimum elements per chunk for element-wise parallelism; ranges at
+// or below this run inline (the parallelFor grain cutoff).
+constexpr int64_t kElemGrain = 1 << 15;
+
+/** Run f(lo, hi) over [0, n) chunks, parallel for large tensors. */
+template <typename F>
+void
+parallelElems(size_t n, F &&f)
+{
+    ThreadPool::global().parallelFor(
+        0, static_cast<int64_t>(n), kElemGrain,
+        [&f](int64_t lo, int64_t hi) {
+            f(static_cast<size_t>(lo), static_cast<size_t>(hi));
+        });
+}
+
 } // namespace
 
 Tensor
@@ -26,8 +52,10 @@ add(const Tensor &a, const Tensor &b)
 {
     checkSameShape(a, b, "add");
     Tensor out(a.shape());
-    for (size_t i = 0; i < a.size(); ++i)
-        out[i] = a[i] + b[i];
+    parallelElems(a.size(), [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i)
+            out[i] = a[i] + b[i];
+    });
     return out;
 }
 
@@ -36,8 +64,10 @@ sub(const Tensor &a, const Tensor &b)
 {
     checkSameShape(a, b, "sub");
     Tensor out(a.shape());
-    for (size_t i = 0; i < a.size(); ++i)
-        out[i] = a[i] - b[i];
+    parallelElems(a.size(), [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i)
+            out[i] = a[i] - b[i];
+    });
     return out;
 }
 
@@ -46,8 +76,10 @@ mul(const Tensor &a, const Tensor &b)
 {
     checkSameShape(a, b, "mul");
     Tensor out(a.shape());
-    for (size_t i = 0; i < a.size(); ++i)
-        out[i] = a[i] * b[i];
+    parallelElems(a.size(), [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i)
+            out[i] = a[i] * b[i];
+    });
     return out;
 }
 
@@ -55,8 +87,10 @@ Tensor
 addScalar(const Tensor &a, float s)
 {
     Tensor out(a.shape());
-    for (size_t i = 0; i < a.size(); ++i)
-        out[i] = a[i] + s;
+    parallelElems(a.size(), [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i)
+            out[i] = a[i] + s;
+    });
     return out;
 }
 
@@ -64,8 +98,10 @@ Tensor
 mulScalar(const Tensor &a, float s)
 {
     Tensor out(a.shape());
-    for (size_t i = 0; i < a.size(); ++i)
-        out[i] = a[i] * s;
+    parallelElems(a.size(), [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i)
+            out[i] = a[i] * s;
+    });
     return out;
 }
 
@@ -73,8 +109,10 @@ Tensor &
 addInPlace(Tensor &a, const Tensor &b)
 {
     checkSameShape(a, b, "addInPlace");
-    for (size_t i = 0; i < a.size(); ++i)
-        a[i] += b[i];
+    parallelElems(a.size(), [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i)
+            a[i] += b[i];
+    });
     return a;
 }
 
@@ -82,8 +120,10 @@ Tensor &
 subInPlace(Tensor &a, const Tensor &b)
 {
     checkSameShape(a, b, "subInPlace");
-    for (size_t i = 0; i < a.size(); ++i)
-        a[i] -= b[i];
+    parallelElems(a.size(), [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i)
+            a[i] -= b[i];
+    });
     return a;
 }
 
@@ -91,24 +131,30 @@ Tensor &
 axpyInPlace(Tensor &a, float s, const Tensor &b)
 {
     checkSameShape(a, b, "axpyInPlace");
-    for (size_t i = 0; i < a.size(); ++i)
-        a[i] += s * b[i];
+    parallelElems(a.size(), [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i)
+            a[i] += s * b[i];
+    });
     return a;
 }
 
 Tensor &
 mulScalarInPlace(Tensor &a, float s)
 {
-    for (size_t i = 0; i < a.size(); ++i)
-        a[i] *= s;
+    parallelElems(a.size(), [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i)
+            a[i] *= s;
+    });
     return a;
 }
 
 Tensor &
-clampInPlace(Tensor &a, float lo, float hi)
+clampInPlace(Tensor &a, float lo_v, float hi_v)
 {
-    for (size_t i = 0; i < a.size(); ++i)
-        a[i] = std::min(hi, std::max(lo, a[i]));
+    parallelElems(a.size(), [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i)
+            a[i] = std::min(hi_v, std::max(lo_v, a[i]));
+    });
     return a;
 }
 
@@ -116,8 +162,10 @@ Tensor
 sign(const Tensor &a)
 {
     Tensor out(a.shape());
-    for (size_t i = 0; i < a.size(); ++i)
-        out[i] = (a[i] > 0.0f) ? 1.0f : (a[i] < 0.0f ? -1.0f : 0.0f);
+    parallelElems(a.size(), [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i)
+            out[i] = (a[i] > 0.0f) ? 1.0f : (a[i] < 0.0f ? -1.0f : 0.0f);
+    });
     return out;
 }
 
@@ -125,8 +173,10 @@ Tensor
 abs(const Tensor &a)
 {
     Tensor out(a.shape());
-    for (size_t i = 0; i < a.size(); ++i)
-        out[i] = std::fabs(a[i]);
+    parallelElems(a.size(), [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i)
+            out[i] = std::fabs(a[i]);
+    });
     return out;
 }
 
@@ -207,17 +257,8 @@ matmul(const Tensor &a, const Tensor &b)
     TWOINONE_ASSERT(a.dim(1) == b.dim(0), "matmul inner-dim mismatch");
     int m = a.dim(0), k = a.dim(1), n = b.dim(1);
     Tensor c({m, n});
-    for (int i = 0; i < m; ++i) {
-        for (int p = 0; p < k; ++p) {
-            float av = a.at2(i, p);
-            if (av == 0.0f)
-                continue;
-            const float *brow = b.data() + static_cast<size_t>(p) * n;
-            float *crow = c.data() + static_cast<size_t>(i) * n;
-            for (int j = 0; j < n; ++j)
-                crow[j] += av * brow[j];
-        }
-    }
+    gemm::sgemm(false, false, m, n, k, a.data(), k, b.data(), n, c.data(),
+                n);
     return c;
 }
 
@@ -228,16 +269,8 @@ matmulTransposeB(const Tensor &a, const Tensor &b)
     TWOINONE_ASSERT(a.dim(1) == b.dim(1), "matmulTB inner-dim mismatch");
     int m = a.dim(0), k = a.dim(1), n = b.dim(0);
     Tensor c({m, n});
-    for (int i = 0; i < m; ++i) {
-        const float *arow = a.data() + static_cast<size_t>(i) * k;
-        for (int j = 0; j < n; ++j) {
-            const float *brow = b.data() + static_cast<size_t>(j) * k;
-            double s = 0.0;
-            for (int p = 0; p < k; ++p)
-                s += static_cast<double>(arow[p]) * brow[p];
-            c.at2(i, j) = static_cast<float>(s);
-        }
-    }
+    gemm::sgemm(false, true, m, n, k, a.data(), k, b.data(), k, c.data(),
+                n);
     return c;
 }
 
@@ -248,18 +281,10 @@ matmulTransposeA(const Tensor &a, const Tensor &b)
     TWOINONE_ASSERT(a.dim(0) == b.dim(0), "matmulTA inner-dim mismatch");
     int m = a.dim(0), k = a.dim(1), n = b.dim(1);
     Tensor c({k, n});
-    for (int i = 0; i < m; ++i) {
-        const float *arow = a.data() + static_cast<size_t>(i) * k;
-        const float *brow = b.data() + static_cast<size_t>(i) * n;
-        for (int p = 0; p < k; ++p) {
-            float av = arow[p];
-            if (av == 0.0f)
-                continue;
-            float *crow = c.data() + static_cast<size_t>(p) * n;
-            for (int j = 0; j < n; ++j)
-                crow[j] += av * brow[j];
-        }
-    }
+    // Output is [k, n] = A^T [k, m] * B [m, n]: the reduction runs
+    // over m, and A is stored [m, k] so lda is the output row count.
+    gemm::sgemm(true, false, k, n, m, a.data(), k, b.data(), n, c.data(),
+                n);
     return c;
 }
 
@@ -267,11 +292,13 @@ void
 projectLinf(const Tensor &center, float eps, Tensor &x)
 {
     TWOINONE_ASSERT(center.sameShape(x), "projectLinf shape mismatch");
-    for (size_t i = 0; i < x.size(); ++i) {
-        float lo = center[i] - eps;
-        float hi = center[i] + eps;
-        x[i] = std::min(hi, std::max(lo, x[i]));
-    }
+    parallelElems(x.size(), [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+            float lo_v = center[i] - eps;
+            float hi_v = center[i] + eps;
+            x[i] = std::min(hi_v, std::max(lo_v, x[i]));
+        }
+    });
 }
 
 } // namespace ops

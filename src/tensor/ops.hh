@@ -5,6 +5,11 @@
  * All functions are shape-checked (panic on mismatch) and allocate
  * fresh outputs except the *InPlace variants used on hot paths of the
  * training loop and the attacks.
+ *
+ * The matmul variants dispatch to the gemm backend (blocked/parallel
+ * by default, TWOINONE_BACKEND=naive for the reference path) and the
+ * element-wise ops parallelize across the global ThreadPool above a
+ * size threshold; see tensor/gemm.hh for the determinism contract.
  */
 
 #ifndef TWOINONE_TENSOR_OPS_HH
@@ -69,6 +74,10 @@ Tensor matmul(const Tensor &a, const Tensor &b);
 /**
  * Matrix multiply with transposed second operand:
  * C[m,n] = A[m,k] * B[n,k]^T. Used by Linear backward.
+ *
+ * Accumulates in float like the other two variants (the seed
+ * accumulated this one in double; the backends keep all three
+ * consistent — see tensor/gemm.hh).
  */
 Tensor matmulTransposeB(const Tensor &a, const Tensor &b);
 

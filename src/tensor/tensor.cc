@@ -118,6 +118,17 @@ Tensor::fill(float value)
     std::fill(data_.begin(), data_.end(), value);
 }
 
+void
+Tensor::ensure(const std::vector<int> &shape)
+{
+    if (shape_ == shape)
+        return;
+    size_t n = numel(shape);
+    if (n != data_.size())
+        data_.resize(n);
+    shape_ = shape;
+}
+
 Tensor
 Tensor::reshape(std::vector<int> new_shape) const
 {

@@ -87,6 +87,14 @@ class Tensor
     /** Set every element to a constant. */
     void fill(float value);
 
+    /**
+     * Reshape this tensor in place to @p shape, reallocating only
+     * when the element count changes. Element values are unspecified
+     * afterwards — this is the buffer-reuse primitive for hot-path
+     * scratch tensors (e.g. Conv2d's im2col cache).
+     */
+    void ensure(const std::vector<int> &shape);
+
     /** Reinterpret as a new shape with the same element count. */
     Tensor reshape(std::vector<int> new_shape) const;
 

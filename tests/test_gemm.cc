@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Unit tests for the blocked/parallel GEMM backend against the naive
+ * reference, over a shape grid that covers unit dimensions, tile-size
+ * non-multiples, and zero-size edges.
+ *
+ * Tolerance note: naive and blocked both accumulate in float but in
+ * different orders (blocked sums k in KC-sized register-tile blocks),
+ * so they agree only to float rounding. For k <= 192 and O(1)-scale
+ * operands the observed divergence is < 1e-6 relative; the asserts
+ * use 1e-4 (the same bound test_tensor.cc uses between the matmul
+ * variants) to stay slack-free across -march=native FMA contraction.
+ * Within ONE backend, results must be bit-identical for any thread
+ * count — that is asserted exactly, not with a tolerance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "tensor/gemm.hh"
+#include "tensor/ops.hh"
+#include "tensor/tensor.hh"
+
+namespace twoinone {
+namespace {
+
+float
+relErr(const Tensor &a, const Tensor &b)
+{
+    float max_err = 0.0f, max_mag = 1e-8f;
+    for (size_t i = 0; i < a.size(); ++i) {
+        max_err = std::max(max_err, std::fabs(a[i] - b[i]));
+        max_mag = std::max({max_mag, std::fabs(a[i]), std::fabs(b[i])});
+    }
+    return max_err / max_mag;
+}
+
+/** Run one (trans_a, trans_b) case through both backends and compare. */
+void
+compareBackends(bool ta, bool tb, int m, int n, int k, Rng &rng)
+{
+    // Stored shapes for the given transpose flags.
+    Tensor a = Tensor::randn(ta ? std::vector<int>{k, m}
+                                : std::vector<int>{m, k},
+                             rng);
+    Tensor b = Tensor::randn(tb ? std::vector<int>{n, k}
+                                : std::vector<int>{k, n},
+                             rng);
+    int lda = ta ? m : k;
+    int ldb = tb ? k : n;
+    Tensor c_naive({m, n});
+    Tensor c_blocked({m, n});
+    gemm::sgemm(gemm::Backend::Naive, ta, tb, m, n, k, a.data(), lda,
+                b.data(), ldb, c_naive.data(), n);
+    gemm::sgemm(gemm::Backend::Blocked, ta, tb, m, n, k, a.data(), lda,
+                b.data(), ldb, c_blocked.data(), n);
+    EXPECT_LT(relErr(c_naive, c_blocked), 1e-4f)
+        << "ta=" << ta << " tb=" << tb << " m=" << m << " n=" << n
+        << " k=" << k;
+}
+
+TEST(Gemm, BlockedMatchesNaiveOverShapeGrid)
+{
+    Rng rng(11);
+    // Unit dims, values straddling the MR=6 / NR=16 / MC=96 / KC=256
+    // tile sizes, exact tile multiples, and sizes crossing the MC
+    // row-block seam (m > 96) and the KC accumulate seam (k > 256) —
+    // a boundary bug there would be invisible to the smaller shapes
+    // and to the blocked-vs-blocked determinism test.
+    const std::vector<int> ms = {1, 2, 3, 5, 17, 33, 64, 96, 97, 200};
+    const std::vector<int> ns = {1, 3, 15, 16, 17, 48, 130};
+    const std::vector<int> ks = {1, 2, 31, 64, 192, 300};
+    for (int m : ms)
+        for (int n : ns)
+            for (int k : ks)
+                for (int variant = 0; variant < 3; ++variant) {
+                    bool ta = variant == 1;
+                    bool tb = variant == 2;
+                    compareBackends(ta, tb, m, n, k, rng);
+                }
+}
+
+TEST(Gemm, ColumnBlockSeamBeyondNC)
+{
+    // n > NC = 1024 exercises the outer jc loop with more than one
+    // column block (the shape grid stays below it for runtime).
+    Rng rng(29);
+    compareBackends(false, false, 70, 1100, 80, rng);
+    compareBackends(false, true, 70, 1100, 80, rng);
+}
+
+TEST(Gemm, ZeroSizedDimensions)
+{
+    Rng rng(3);
+    // k == 0: the product is empty, so C must become exactly zero.
+    Tensor a({4, 0}), b({0, 5});
+    Tensor c = ops::matmul(a, b);
+    ASSERT_EQ(c.dim(0), 4);
+    ASSERT_EQ(c.dim(1), 5);
+    for (size_t i = 0; i < c.size(); ++i)
+        EXPECT_EQ(c[i], 0.0f);
+
+    // m == 0 and n == 0: empty outputs, no crash.
+    Tensor c2 = ops::matmul(Tensor({0, 3}), Tensor::randn({3, 4}, rng));
+    EXPECT_EQ(c2.dim(0), 0);
+    EXPECT_EQ(c2.size(), 0u);
+    Tensor c3 = ops::matmul(Tensor::randn({3, 4}, rng), Tensor({4, 0}));
+    EXPECT_EQ(c3.dim(1), 0);
+    EXPECT_EQ(c3.size(), 0u);
+}
+
+TEST(Gemm, AccumulateAddsOntoExistingOutput)
+{
+    Rng rng(5);
+    int m = 33, n = 47, k = 65;
+    Tensor a = Tensor::randn({m, k}, rng);
+    Tensor b = Tensor::randn({k, n}, rng);
+    for (auto backend : {gemm::Backend::Naive, gemm::Backend::Blocked}) {
+        Tensor once({m, n});
+        gemm::sgemm(backend, false, false, m, n, k, a.data(), k, b.data(),
+                    n, once.data(), n, /*accumulate=*/false);
+        Tensor twice = once;
+        gemm::sgemm(backend, false, false, m, n, k, a.data(), k, b.data(),
+                    n, twice.data(), n, /*accumulate=*/true);
+        // The naive path folds each product term directly into C, so
+        // the accumulated result matches 2x only to float rounding.
+        Tensor doubled({m, n});
+        for (size_t i = 0; i < once.size(); ++i)
+            doubled[i] = once[i] + once[i];
+        EXPECT_LT(relErr(twice, doubled), 1e-5f)
+            << gemm::backendName(backend);
+    }
+}
+
+TEST(Gemm, FusedRowBias)
+{
+    Rng rng(7);
+    int m = 19, n = 70, k = 40;
+    Tensor a = Tensor::randn({m, k}, rng);
+    Tensor b = Tensor::randn({n, k}, rng); // used transposed
+    Tensor bias = Tensor::randn({m}, rng);
+    for (auto backend : {gemm::Backend::Naive, gemm::Backend::Blocked}) {
+        Tensor plain({m, n});
+        gemm::sgemm(backend, false, true, m, n, k, a.data(), k, b.data(),
+                    k, plain.data(), n);
+        Tensor biased({m, n});
+        gemm::sgemm(backend, false, true, m, n, k, a.data(), k, b.data(),
+                    k, biased.data(), n, false, bias.data());
+        for (int i = 0; i < m; ++i)
+            for (int j = 0; j < n; ++j)
+                EXPECT_FLOAT_EQ(biased.at2(i, j),
+                                plain.at2(i, j) + bias[static_cast<size_t>(
+                                                      i)])
+                    << gemm::backendName(backend);
+    }
+}
+
+TEST(Gemm, BitIdenticalSerialVsParallel)
+{
+    // The blocked kernel's accumulation order is fixed by the KC loop
+    // structure and parallelism only partitions disjoint row blocks,
+    // so forcing the whole computation onto the calling thread must
+    // reproduce the pooled result exactly — this is what makes
+    // results reproducible across TWOINONE_THREADS settings (this
+    // test also runs under TWOINONE_THREADS=1 and =8 via ctest).
+    Rng rng(13);
+    int m = 200, n = 150, k = 300; // several MC/KC blocks
+    Tensor a = Tensor::randn({m, k}, rng);
+    Tensor b = Tensor::randn({k, n}, rng);
+
+    Tensor c_par({m, n});
+    gemm::sgemm(gemm::Backend::Blocked, false, false, m, n, k, a.data(), k,
+                b.data(), n, c_par.data(), n);
+
+    Tensor c_ser({m, n});
+    {
+        ThreadPool::ScopedSerial serial;
+        gemm::sgemm(gemm::Backend::Blocked, false, false, m, n, k,
+                    a.data(), k, b.data(), n, c_ser.data(), n);
+    }
+    for (size_t i = 0; i < c_par.size(); ++i)
+        ASSERT_EQ(c_par[i], c_ser[i]) << "element " << i;
+}
+
+TEST(Gemm, OpsLayerRoutesThroughActiveBackend)
+{
+    // ops::matmul* must honor setActiveBackend (the bench harness and
+    // the TWOINONE_BACKEND=naive ctest variants rely on it).
+    Rng rng(17);
+    Tensor a = Tensor::randn({40, 50}, rng);
+    Tensor b = Tensor::randn({50, 60}, rng);
+    gemm::Backend saved = gemm::activeBackend();
+    gemm::setActiveBackend(gemm::Backend::Naive);
+    Tensor c_naive = ops::matmul(a, b);
+    gemm::setActiveBackend(gemm::Backend::Blocked);
+    Tensor c_blocked = ops::matmul(a, b);
+    gemm::setActiveBackend(saved);
+    EXPECT_LT(relErr(c_naive, c_blocked), 1e-4f);
+}
+
+TEST(Gemm, TransposeVariantsAgainstEachOther)
+{
+    // ops::matmulTransposeA/B against explicitly transposed matmul,
+    // at sizes large enough to hit the blocked path.
+    Rng rng(19);
+    int m = 70, k = 90, n = 80;
+    Tensor a = Tensor::randn({m, k}, rng);
+    Tensor b = Tensor::randn({k, n}, rng);
+    Tensor c_ref = ops::matmul(a, b);
+
+    Tensor bt({n, k});
+    for (int i = 0; i < k; ++i)
+        for (int j = 0; j < n; ++j)
+            bt.at2(j, i) = b.at2(i, j);
+    EXPECT_LT(relErr(ops::matmulTransposeB(a, bt), c_ref), 1e-4f);
+
+    Tensor at({k, m});
+    for (int i = 0; i < m; ++i)
+        for (int j = 0; j < k; ++j)
+            at.at2(j, i) = a.at2(i, j);
+    EXPECT_LT(relErr(ops::matmulTransposeA(at, b), c_ref), 1e-4f);
+}
+
+} // namespace
+} // namespace twoinone
