@@ -1,0 +1,233 @@
+/**
+ * @file
+ * RPS inference-engine microbenchmark (ISSUE 2).
+ *
+ * Measures the cost of a precision switch with and without the
+ * RpsEngine per-precision weight cache, the cached vs uncached
+ * forward pass, and the accelerator per-layer sweep wall-clock with
+ * and without the thread pool — and verifies that the cached forward
+ * is bit-identical to the from-scratch fake-quant path at every
+ * candidate in rps4to16(). Writes BENCH_rps.json so the trajectory is
+ * tracked per PR.
+ *
+ * JSON schema (times are mean wall ns per operation):
+ *   meta:    { threads, fast, model, precision_set, cache_bytes }
+ *   switch:  { uncached_ns, cached_ns, speedup }   (one full
+ *            precision switch, averaged over the candidate set)
+ *   forward: [ { bits, uncached_ns, cached_ns, speedup } ]
+ *   sweep:   { serial_ns, parallel_ns, speedup }   (accelerator
+ *            layers x precisions sweep, resnet18-cifar x rps4to16)
+ *   bit_identical: true/false
+ *
+ * Exits non-zero when the cached forward is not bit-identical or the
+ * cached switch speedup falls below the 10x acceptance floor.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "accel/accelerator.hh"
+#include "bench_util.hh"
+#include "common/thread_pool.hh"
+#include "quant/rps_engine.hh"
+#include "workloads/model_library.hh"
+
+namespace {
+
+using namespace twoinone;
+using Clock = std::chrono::steady_clock;
+
+/** Mean wall ns/op of fn, run repeatedly for a minimum budget. */
+double
+timeNs(const std::function<void()> &fn, double min_seconds)
+{
+    fn(); // warm-up
+    int64_t reps = 0;
+    auto start = Clock::now();
+    double elapsed = 0.0;
+    do {
+        fn();
+        ++reps;
+        elapsed = std::chrono::duration<double>(Clock::now() - start)
+                      .count();
+    } while (elapsed < min_seconds || reps < 3);
+    return elapsed * 1e9 / static_cast<double>(reps);
+}
+
+struct ForwardRow
+{
+    int bits;
+    double uncached_ns = 0.0;
+    double cached_ns = 0.0;
+};
+
+std::string
+jsonNum(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f", v);
+    return buf;
+}
+
+} // namespace
+
+int
+main()
+{
+    bool fast = bench::fastMode();
+    double min_seconds = fast ? 0.05 : 0.25;
+
+    bench::banner("RPS engine microbenchmarks (cached vs uncached "
+                  "precision switching)");
+    std::cout << "threads=" << ThreadPool::global().threads()
+              << (fast ? " (fast mode)" : "") << "\n\n";
+
+    Rng rng(2024);
+    ModelConfig mcfg;
+    mcfg.baseWidth = fast ? 8 : 16;
+    Network net = preActResNetMini(mcfg, rng);
+    PrecisionSet set = net.precisionSet();
+    Rng data_rng(7);
+    Tensor x = Tensor::uniform({fast ? 4 : 8, 3, 8, 8}, data_rng, 0.0f,
+                               1.0f);
+
+    RpsEngine engine(net);
+    std::vector<WeightQuantizedLayer *> wlayers =
+        net.weightQuantizedLayers();
+    size_t weight_scalars = 0;
+    for (WeightQuantizedLayer *l : wlayers)
+        weight_scalars += l->masterWeight().size();
+    std::cout << "model=preact_mini  quant_layers=" << wlayers.size()
+              << "  weight_scalars=" << weight_scalars
+              << "  cache=" << engine.cacheBytes() << " bytes\n";
+
+    // --- Precision switch: uncached re-quantization vs cache install.
+    // An uncached switch pays one fakeQuantSymmetric pass per weight
+    // tensor (what the next forward would run); a cached switch
+    // installs the pre-quantized entries. Cycle the candidate set so
+    // both paths average over the same precisions.
+    size_t cursor = 0;
+    double uncached_switch_ns = timeNs(
+        [&] {
+            int bits = set.bits()[cursor++ % set.size()];
+            for (WeightQuantizedLayer *l : wlayers) {
+                QuantResult r = LinearQuantizer::fakeQuantSymmetric(
+                    l->masterWeight(), bits);
+                (void)r;
+            }
+        },
+        min_seconds);
+    cursor = 0;
+    double cached_switch_ns = timeNs(
+        [&] { engine.setPrecision(set.bits()[cursor++ % set.size()]); },
+        min_seconds);
+    double switch_speedup = uncached_switch_ns / cached_switch_ns;
+    std::printf("\n%-24s %14s %14s %8s\n", "precision switch",
+                "uncached_ns", "cached_ns", "speedup");
+    std::printf("%-24s %14.0f %14.0f %7.1fx\n", "avg over set",
+                uncached_switch_ns, cached_switch_ns, switch_speedup);
+
+    // --- Forward pass + bit-identity per candidate -----------------
+    bool bit_identical = true;
+    std::vector<ForwardRow> fwd_rows;
+    for (int bits : set.bits()) {
+        ForwardRow row;
+        row.bits = bits;
+
+        engine.detach();
+        net.setPrecision(bits);
+        Tensor y_ref = net.forward(x, false);
+        row.uncached_ns =
+            timeNs([&] { net.forward(x, false); }, min_seconds);
+
+        Tensor y_cached = engine.forwardAt(bits, x);
+        row.cached_ns =
+            timeNs([&] { net.forward(x, false); }, min_seconds);
+
+        if (!y_ref.sameShape(y_cached)) {
+            bit_identical = false;
+        } else {
+            for (size_t i = 0; i < y_ref.size(); ++i) {
+                if (y_ref[i] != y_cached[i]) {
+                    bit_identical = false;
+                    break;
+                }
+            }
+        }
+        fwd_rows.push_back(row);
+    }
+    std::printf("\n%-8s %14s %14s %8s\n", "forward", "uncached_ns",
+                "cached_ns", "speedup");
+    for (const ForwardRow &r : fwd_rows)
+        std::printf("%-8d %14.0f %14.0f %7.2fx\n", r.bits, r.uncached_ns,
+                    r.cached_ns, r.uncached_ns / r.cached_ns);
+    std::cout << "cached forward bit-identical: "
+              << (bit_identical ? "yes" : "NO") << "\n";
+
+    // --- Accelerator sweep wall-clock: serial vs thread pool -------
+    Accelerator ours(AcceleratorKind::TwoInOne,
+                     Accelerator::defaultAreaBudget(),
+                     TechModel::defaults());
+    NetworkWorkload workload = workloads::resNet18Cifar(1);
+    PrecisionSet sweep_set = PrecisionSet::rps4to16();
+    double sweep_serial_ns = timeNs(
+        [&] {
+            ThreadPool::ScopedSerial guard;
+            ours.sweep(workload, sweep_set);
+        },
+        min_seconds);
+    double sweep_parallel_ns =
+        timeNs([&] { ours.sweep(workload, sweep_set); }, min_seconds);
+    std::printf("\n%-24s %14s %14s %8s\n", "accel sweep", "serial_ns",
+                "parallel_ns", "speedup");
+    std::printf("%-24s %14.0f %14.0f %7.2fx\n", "resnet18c x rps4to16",
+                sweep_serial_ns, sweep_parallel_ns,
+                sweep_serial_ns / sweep_parallel_ns);
+
+    // --- JSON -------------------------------------------------------
+    std::ofstream out("BENCH_rps.json");
+    out << "{\n  \"meta\": {\"threads\": "
+        << ThreadPool::global().threads() << ", \"fast\": "
+        << (fast ? "true" : "false")
+        << ", \"model\": \"preact_mini\", \"precision_set\": \""
+        << set.name() << "\", \"cache_bytes\": " << engine.cacheBytes()
+        << "},\n";
+    out << "  \"switch\": {\"uncached_ns\": " << jsonNum(uncached_switch_ns)
+        << ", \"cached_ns\": " << jsonNum(cached_switch_ns)
+        << ", \"speedup\": " << jsonNum(switch_speedup) << "},\n";
+    out << "  \"forward\": [\n";
+    for (size_t i = 0; i < fwd_rows.size(); ++i) {
+        const ForwardRow &r = fwd_rows[i];
+        out << "    {\"bits\": " << r.bits << ", \"uncached_ns\": "
+            << jsonNum(r.uncached_ns) << ", \"cached_ns\": "
+            << jsonNum(r.cached_ns) << ", \"speedup\": "
+            << jsonNum(r.uncached_ns / r.cached_ns) << "}"
+            << (i + 1 < fwd_rows.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n";
+    out << "  \"sweep\": {\"serial_ns\": " << jsonNum(sweep_serial_ns)
+        << ", \"parallel_ns\": " << jsonNum(sweep_parallel_ns)
+        << ", \"speedup\": "
+        << jsonNum(sweep_serial_ns / sweep_parallel_ns) << "},\n";
+    out << "  \"bit_identical\": " << (bit_identical ? "true" : "false")
+        << "\n}\n";
+    out.close();
+    std::cout << "\nwrote BENCH_rps.json\n";
+
+    if (!bit_identical) {
+        std::cerr << "FAIL: cached forward diverged from the uncached "
+                     "fake-quant path\n";
+        return 1;
+    }
+    if (switch_speedup < 10.0) {
+        std::cerr << "FAIL: cached precision switch speedup "
+                  << switch_speedup << "x is below the 10x floor\n";
+        return 1;
+    }
+    return 0;
+}

@@ -9,6 +9,7 @@
 #include "accel/spatial_temporal_mac.hh"
 #include "accel/temporal_mac.hh"
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 
 namespace twoinone {
 
@@ -82,15 +83,51 @@ Accelerator::defaultLayerDataflow(const ConvShape &shape) const
 NetworkPrediction
 Accelerator::run(const NetworkWorkload &net, int w_bits, int a_bits) const
 {
-    std::vector<Dataflow> dfs;
-    dfs.reserve(net.layers.size());
-    for (const ConvShape &l : net.layers) {
-        Dataflow df = defaultLayerDataflow(l);
-        if (!predictor_->predictLayer(l, w_bits, a_bits, df).valid)
-            df = Dataflow::minimalFallback(l);
-        dfs.push_back(std::move(df));
+    // Mapping selection + prediction per layer through the shared
+    // fallback cell, parallel with deterministic per-layer chunking;
+    // serial in-order accumulation.
+    const int64_t n = static_cast<int64_t>(net.layers.size());
+    std::vector<LayerPrediction> preds(net.layers.size());
+    ThreadPool::global().parallelFor(0, n, 1, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+            const ConvShape &l = net.layers[static_cast<size_t>(i)];
+            preds[static_cast<size_t>(i)] =
+                predictor_->predictLayerWithFallback(
+                    l, w_bits, a_bits, defaultLayerDataflow(l));
+        }
+    });
+    return NetworkPrediction::accumulate(preds.data(), preds.size());
+}
+
+std::vector<NetworkPrediction>
+Accelerator::sweep(const NetworkWorkload &net, const PrecisionSet &set) const
+{
+    const int64_t nlayers = static_cast<int64_t>(net.layers.size());
+    const int64_t nprec = static_cast<int64_t>(set.size());
+    // One flat (precision, layer) task grid over the same fallback
+    // cell as run(), fixed grain-1 chunking. The per-precision totals
+    // then accumulate serially in layer order, so
+    // sweep()[i] == run(net, q_i, q_i) exactly.
+    std::vector<LayerPrediction> preds(
+        static_cast<size_t>(nlayers * nprec));
+    ThreadPool::global().parallelFor(
+        0, nlayers * nprec, 1, [&](int64_t lo, int64_t hi) {
+            for (int64_t t = lo; t < hi; ++t) {
+                int bits = set.bits()[static_cast<size_t>(t / nlayers)];
+                const ConvShape &l =
+                    net.layers[static_cast<size_t>(t % nlayers)];
+                preds[static_cast<size_t>(t)] =
+                    predictor_->predictLayerWithFallback(
+                        l, bits, bits, defaultLayerDataflow(l));
+            }
+        });
+
+    std::vector<NetworkPrediction> out(static_cast<size_t>(nprec));
+    for (int64_t p = 0; p < nprec; ++p) {
+        out[static_cast<size_t>(p)] = NetworkPrediction::accumulate(
+            preds.data() + p * nlayers, static_cast<size_t>(nlayers));
     }
-    return predictor_->predictNetwork(net, w_bits, a_bits, dfs);
+    return out;
 }
 
 LayerPrediction

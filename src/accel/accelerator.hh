@@ -19,6 +19,7 @@
 #include <memory>
 
 #include "accel/predictor.hh"
+#include "quant/precision.hh"
 
 namespace twoinone {
 
@@ -78,6 +79,16 @@ class Accelerator
     /** Run one layer under an explicit dataflow. */
     LayerPrediction runLayer(const ConvShape &shape, int w_bits,
                              int a_bits, const Dataflow &df) const;
+
+    /**
+     * Run a network at every candidate precision of @p set (weights
+     * and activations at the same width, the RPS execution model),
+     * parallelized over layers x precisions on the global thread
+     * pool with deterministic chunking. Entry i is the prediction at
+     * set.bits()[i] and is bit-identical to run(net, q, q).
+     */
+    std::vector<NetworkPrediction> sweep(const NetworkWorkload &net,
+                                         const PrecisionSet &set) const;
 
     /** The default area budget shared by all benches: a 256-unit
      * Bit Fusion array (256 x 2.3 normalized units). */

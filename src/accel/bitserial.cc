@@ -188,7 +188,10 @@ GroupedMacDatapath::macReduce(const std::vector<int64_t> &a,
             lh += sign * unit.multiply(al, bh);
             ll += sign * unit.multiply(al, bl);
         }
-        return (hh << (2 * m)) + ((hl + lh) << m) + ll;
+        // Group shifts as multiplications: the sums can be negative,
+        // and left-shifting a negative value is UB in C++17.
+        return hh * (int64_t{1} << (2 * m)) +
+               (hl + lh) * (int64_t{1} << m) + ll;
     }
 
     // bits > 8: temporal chunking of each operand into two halves of
@@ -210,7 +213,8 @@ GroupedMacDatapath::macReduce(const std::vector<int64_t> &a,
         int64_t hl = macReduce({ah}, {bl}, h, nullptr);
         int64_t lh = macReduce({al}, {bh}, h, nullptr);
         int64_t ll = macReduce({al}, {bl}, h, nullptr);
-        total += sign * ((hh << (2 * h)) + ((hl + lh) << h) + ll);
+        total += sign * (hh * (int64_t{1} << (2 * h)) +
+                         (hl + lh) * (int64_t{1} << h) + ll);
     }
     return total;
 }

@@ -9,6 +9,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 
 namespace twoinone {
 
@@ -43,6 +44,27 @@ NetworkPrediction::inferencesPerJoule(int batch) const
     if (totalEnergyPj <= 0.0)
         return 0.0;
     return static_cast<double>(batch) / (totalEnergyPj * 1e-12);
+}
+
+NetworkPrediction
+NetworkPrediction::accumulate(const LayerPrediction *preds, size_t n)
+{
+    NetworkPrediction np;
+    for (size_t i = 0; i < n; ++i) {
+        const LayerPrediction &lp = preds[i];
+        if (!lp.valid) {
+            ++np.invalidLayers;
+            continue;
+        }
+        np.totalCycles += lp.totalCycles;
+        np.totalEnergyPj += lp.totalEnergyPj();
+        np.macEnergyPj += lp.macEnergyPj;
+        for (int lv = 0; lv < kNumLevels; ++lv) {
+            np.memEnergyPj[static_cast<size_t>(lv)] +=
+                lp.memEnergyPj[static_cast<size_t>(lv)];
+        }
+    }
+    return np;
 }
 
 PerformancePredictor::PerformancePredictor(const MacUnitModel &mac,
@@ -316,41 +338,52 @@ PerformancePredictor::predictNetwork(
 {
     TWOINONE_ASSERT(dataflows.size() == net.layers.size(),
                     "one dataflow per layer required");
-    NetworkPrediction np;
-    for (size_t i = 0; i < net.layers.size(); ++i) {
-        LayerPrediction lp =
-            predictLayer(net.layers[i], w_bits, a_bits, dataflows[i]);
-        if (!lp.valid) {
-            ++np.invalidLayers;
-            continue;
+    // Per-layer predictions are independent pure computations, so
+    // they run on the thread pool with deterministic chunking; the
+    // totals then accumulate serially in layer order, keeping the
+    // result bit-identical to the serial path for any thread count.
+    const int64_t n = static_cast<int64_t>(net.layers.size());
+    std::vector<LayerPrediction> preds(net.layers.size());
+    ThreadPool::global().parallelFor(0, n, 1, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+            size_t li = static_cast<size_t>(i);
+            preds[li] = predictLayer(net.layers[li], w_bits, a_bits,
+                                     dataflows[li]);
         }
-        np.totalCycles += lp.totalCycles;
-        np.totalEnergyPj += lp.totalEnergyPj();
-        np.macEnergyPj += lp.macEnergyPj;
-        for (int lv = 0; lv < kNumLevels; ++lv) {
-            np.memEnergyPj[static_cast<size_t>(lv)] +=
-                lp.memEnergyPj[static_cast<size_t>(lv)];
-        }
+    });
+    return NetworkPrediction::accumulate(preds.data(), preds.size());
+}
+
+LayerPrediction
+PerformancePredictor::predictLayerWithFallback(
+    const ConvShape &shape, int w_bits, int a_bits,
+    const Dataflow &candidate) const
+{
+    LayerPrediction lp = predictLayer(shape, w_bits, a_bits, candidate);
+    if (!lp.valid) {
+        lp = predictLayer(shape, w_bits, a_bits,
+                          Dataflow::minimalFallback(shape));
     }
-    return np;
+    return lp;
 }
 
 NetworkPrediction
 PerformancePredictor::predictNetworkDefault(const NetworkWorkload &net,
                                             int w_bits, int a_bits) const
 {
-    std::vector<Dataflow> dfs;
-    dfs.reserve(net.layers.size());
-    for (const ConvShape &l : net.layers) {
-        Dataflow df = Dataflow::greedyDefault(l, numUnits_);
-        // Capacity validity depends on the precision; fall back to
-        // the always-valid streaming mapping rather than dropping the
-        // layer from the totals.
-        if (!predictLayer(l, w_bits, a_bits, df).valid)
-            df = Dataflow::minimalFallback(l);
-        dfs.push_back(std::move(df));
-    }
-    return predictNetwork(net, w_bits, a_bits, dfs);
+    // Greedy selection + fallback prediction per layer, parallel with
+    // deterministic per-layer chunking; serial in-order accumulation.
+    const int64_t n = static_cast<int64_t>(net.layers.size());
+    std::vector<LayerPrediction> preds(net.layers.size());
+    ThreadPool::global().parallelFor(0, n, 1, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+            const ConvShape &l = net.layers[static_cast<size_t>(i)];
+            preds[static_cast<size_t>(i)] = predictLayerWithFallback(
+                l, w_bits, a_bits,
+                Dataflow::greedyDefault(l, numUnits_));
+        }
+    });
+    return NetworkPrediction::accumulate(preds.data(), preds.size());
 }
 
 } // namespace twoinone

@@ -70,6 +70,10 @@ struct LayerPrediction
 
 /**
  * Prediction aggregated over a full network.
+ *
+ * accumulate() folds per-layer predictions serially in layer order —
+ * the one accumulation used by every (possibly parallel) sweep, so
+ * totals are independent of how the per-layer work was chunked.
  */
 struct NetworkPrediction
 {
@@ -83,6 +87,11 @@ struct NetworkPrediction
     double fps(double clock_ghz, int batch) const;
     /** Inferences per Joule. */
     double inferencesPerJoule(int batch) const;
+
+    /** Fold @p n per-layer predictions, in order, into the totals
+     * (invalid layers are counted, not summed). */
+    static NetworkPrediction accumulate(const LayerPrediction *preds,
+                                        size_t n);
 };
 
 /**
@@ -104,6 +113,18 @@ class PerformancePredictor
     /** Predict one layer at a (weight, activation) precision. */
     LayerPrediction predictLayer(const ConvShape &shape, int w_bits,
                                  int a_bits, const Dataflow &df) const;
+
+    /**
+     * Predict one layer under @p candidate, falling back to the
+     * always-valid streaming mapping when the candidate is invalid
+     * at this precision (capacity validity depends on the precision)
+     * — the shared select-probe-fallback cell of every
+     * default-mapping sweep (predictNetworkDefault,
+     * Accelerator::run, Accelerator::sweep).
+     */
+    LayerPrediction predictLayerWithFallback(const ConvShape &shape,
+                                             int w_bits, int a_bits,
+                                             const Dataflow &candidate) const;
 
     /** Predict a network, one dataflow per layer. */
     NetworkPrediction

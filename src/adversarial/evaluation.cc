@@ -6,6 +6,7 @@
 #include "adversarial/evaluation.hh"
 
 #include "common/stats.hh"
+#include "quant/rps_engine.hh"
 
 namespace twoinone {
 
@@ -64,6 +65,10 @@ rpsRobustAccuracy(Network &net, Attack &attack, const Dataset &data,
 {
     TWOINONE_ASSERT(!set.empty(), "RPS evaluation needs a precision set");
     int restore = net.activePrecision();
+    // The engine pre-quantizes the weights at every sampled candidate
+    // once; each switch below is then a cache install, not a
+    // re-quantization pass (outputs are bit-identical either way).
+    RpsEngine engine(net, set);
     Accuracy acc;
     forEachBatch(data, batch_size,
                  [&](const Tensor &x, const std::vector<int> &y) {
@@ -71,13 +76,14 @@ rpsRobustAccuracy(Network &net, Attack &attack, const Dataset &data,
                      // (paper Sec. 4.1.1 threat model).
                      int attack_bits = set.sample(rng);
                      int infer_bits = set.sample(rng);
-                     net.setPrecision(attack_bits);
+                     engine.setPrecision(attack_bits);
                      Tensor x_adv = attack.perturb(net, x, y, rng);
-                     net.setPrecision(infer_bits);
+                     engine.setPrecision(infer_bits);
                      std::vector<int> pred = net.predict(x_adv);
                      for (size_t i = 0; i < y.size(); ++i)
                          acc.add(pred[i] == y[i]);
                  });
+    engine.detach();
     net.setPrecision(restore);
     return acc.percent();
 }
@@ -88,14 +94,16 @@ rpsNaturalAccuracy(Network &net, const Dataset &data,
 {
     TWOINONE_ASSERT(!set.empty(), "RPS evaluation needs a precision set");
     int restore = net.activePrecision();
+    RpsEngine engine(net, set);
     Accuracy acc;
     forEachBatch(data, batch_size,
                  [&](const Tensor &x, const std::vector<int> &y) {
-                     net.setPrecision(set.sample(rng));
+                     engine.setPrecision(set.sample(rng));
                      std::vector<int> pred = net.predict(x);
                      for (size_t i = 0; i < y.size(); ++i)
                          acc.add(pred[i] == y[i]);
                  });
+    engine.detach();
     net.setPrecision(restore);
     return acc.percent();
 }

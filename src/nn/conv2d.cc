@@ -134,10 +134,18 @@ Conv2d::forward(const Tensor &x, bool train)
     int ow = outSize(x.dim(3));
     TWOINONE_ASSERT(oh > 0 && ow > 0, "Conv2d output collapsed to zero");
 
-    // Fake-quantize the master weights when a precision is active.
-    QuantResult wq =
-        LinearQuantizer::fakeQuantSymmetric(weight_.value, quant_.weightBits);
-    cachedSteMask_ = wq.steMask;
+    // Quantized weights: the RpsEngine-installed cache entry when
+    // present, else a fresh fake-quantization of the masters. A cache
+    // hit keeps a pointer into the engine-owned entry (stable while
+    // installed) instead of copying the weight-sized mask.
+    QuantResult wq_local;
+    const QuantResult &wq = quantizedWeight(quant_.weightBits, wq_local);
+    if (&wq == weightCache()) {
+        steMask_ = &wq.steMask;
+    } else {
+        ownedSteMask_ = wq.steMask;
+        steMask_ = &ownedSteMask_;
+    }
 
     im2colInto(x, oh, ow, cachedCols_);
     cachedInShape_ = x.shape();
@@ -146,7 +154,9 @@ Conv2d::forward(const Tensor &x, bool train)
 
     int patch = inChannels_ * kernel_ * kernel_;
     int ohw = oh * ow;
-    Tensor w2d = wq.values.reshape({outChannels_, patch});
+    // [K, C, R, S] is already contiguous [K, patch]: feed the (cached)
+    // quantized buffer to the GEMM directly, no reshape copy.
+    const float *w2d = wq.values.data();
     const float *bias = hasBias_ ? bias_.value.data() : nullptr;
 
     // Per image: out[K, OH*OW] = W[K, patch] * cols_n[OH*OW, patch]^T,
@@ -159,7 +169,7 @@ Conv2d::forward(const Tensor &x, bool train)
                                   static_cast<size_t>(ni) * ohw * patch;
             float *out_n = out.data() +
                            static_cast<size_t>(ni) * outChannels_ * ohw;
-            gemm::sgemm(false, true, outChannels_, ohw, patch, w2d.data(),
+            gemm::sgemm(false, true, outChannels_, ohw, patch, w2d,
                         patch, cols_n, patch, out_n, ohw,
                         /*accumulate=*/false, bias);
         }
@@ -196,9 +206,11 @@ Conv2d::backward(const Tensor &grad_out)
     // STE: gradients flow to master weights where quantization did not
     // clip.
     {
+        TWOINONE_ASSERT(steMask_ != nullptr,
+                        "Conv2d backward before forward");
         float *wgrad = weight_.grad.data();
         const float *dw = dwBuf_.data();
-        const float *mask = cachedSteMask_.data();
+        const float *mask = steMask_->data();
         ThreadPool::global().parallelFor(
             0, static_cast<int64_t>(weight_.grad.size()), 1 << 15,
             [&](int64_t lo, int64_t hi) {
@@ -229,9 +241,9 @@ Conv2d::backward(const Tensor &grad_out)
 
     // Input gradient: dcols_n[OH*OW, patch] = grad_n[K, OH*OW]^T *
     // Wq[K, patch]; then col2im. Per-image outputs are disjoint.
-    QuantResult wq =
-        LinearQuantizer::fakeQuantSymmetric(weight_.value, quant_.weightBits);
-    Tensor w2d = wq.values.reshape({outChannels_, patch});
+    QuantResult wq_local;
+    const QuantResult &wq = quantizedWeight(quant_.weightBits, wq_local);
+    const float *w2d = wq.values.data();
     dcolsBuf_.ensure({n * ohw, patch});
     ThreadPool::global().parallelFor(0, n, 1, [&](int64_t nlo,
                                                   int64_t nhi) {
@@ -241,7 +253,7 @@ Conv2d::backward(const Tensor &grad_out)
             float *dcols_n =
                 dcolsBuf_.data() + static_cast<size_t>(ni) * ohw * patch;
             gemm::sgemm(true, false, ohw, patch, outChannels_, grad_n, ohw,
-                        w2d.data(), patch, dcols_n, patch);
+                        w2d, patch, dcols_n, patch);
         }
     });
 
@@ -256,6 +268,23 @@ Conv2d::collectParameters(std::vector<Parameter *> &out)
     out.push_back(&weight_);
     if (hasBias_)
         out.push_back(&bias_);
+}
+
+void
+Conv2d::collectWeightQuantized(std::vector<WeightQuantizedLayer *> &out)
+{
+    out.push_back(this);
+}
+
+void
+Conv2d::setWeightCache(const QuantResult *cache)
+{
+    // Clearing the cache may precede freeing its storage; drop the
+    // mask pointer into it so a stale backward fails fast instead of
+    // reading freed memory. A mask owned by the layer stays valid.
+    if (cache == nullptr && steMask_ != &ownedSteMask_)
+        steMask_ = nullptr;
+    WeightQuantizedLayer::setWeightCache(cache);
 }
 
 std::string

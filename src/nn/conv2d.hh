@@ -19,7 +19,7 @@ namespace twoinone {
 /**
  * Conv2d: NCHW convolution, square kernel, zero padding, no dilation.
  */
-class Conv2d : public Layer
+class Conv2d : public Layer, public WeightQuantizedLayer
 {
   public:
     /**
@@ -37,7 +37,12 @@ class Conv2d : public Layer
     Tensor forward(const Tensor &x, bool train) override;
     Tensor backward(const Tensor &grad_out) override;
     void collectParameters(std::vector<Parameter *> &out) override;
+    void collectWeightQuantized(
+        std::vector<WeightQuantizedLayer *> &out) override;
     std::string describe() const override;
+
+    const Tensor &masterWeight() const override { return weight_.value; }
+    void setWeightCache(const QuantResult *cache) override;
 
     /** Weight tensor shape [K, C, R, S]. */
     Parameter &weight() { return weight_; }
@@ -66,9 +71,13 @@ class Conv2d : public Layer
 
     // Forward caches for backward. cachedCols_/dcolsBuf_/dwBuf_ are
     // reused across iterations (Tensor::ensure) instead of being
-    // reallocated every step.
+    // reallocated every step. steMask_ points at the engine-owned
+    // cache entry when one is installed (stable while installed) and
+    // at ownedSteMask_ on the uncached path — no weight-sized mask
+    // copy per cached forward.
     Tensor cachedCols_;    // im2col matrix [N*OH*OW, C*R*S]
-    Tensor cachedSteMask_; // STE mask of the quantized weights
+    const Tensor *steMask_ = nullptr; // STE mask of quantized weights
+    Tensor ownedSteMask_;  // mask storage for the uncached path
     Tensor dcolsBuf_;      // input-gradient columns [N*OH*OW, C*R*S]
     Tensor dwBuf_;         // weight-gradient GEMM output [K, C*R*S]
     std::vector<int> cachedInShape_;

@@ -7,10 +7,29 @@
 
 namespace twoinone {
 
+const QuantResult &
+WeightQuantizedLayer::quantizedWeight(int bits, QuantResult &local) const
+{
+    // The installed entry only serves its own precision; a direct
+    // Network::setPrecision to some other width (e.g. EPGD cycling
+    // precisions mid-attack) falls back to re-quantizing the masters,
+    // which is always correct, just uncached.
+    if (weightCache_ && weightCache_->bits == bits)
+        return *weightCache_;
+    local = LinearQuantizer::fakeQuantSymmetric(masterWeight(), bits);
+    return local;
+}
+
 void
 Layer::collectParameters(std::vector<Parameter *> &out)
 {
     (void)out; // parameter-free layer
+}
+
+void
+Layer::collectWeightQuantized(std::vector<WeightQuantizedLayer *> &out)
+{
+    (void)out; // no quantized weights
 }
 
 void

@@ -54,6 +54,53 @@ struct Parameter
 };
 
 /**
+ * Interface of layers that fake-quantize a weight tensor (Conv2d,
+ * Linear). RpsEngine discovers these through
+ * Layer::collectWeightQuantized and installs pre-quantized weights so
+ * a precision switch becomes a cache install instead of a
+ * re-quantization pass over the master weights.
+ */
+class WeightQuantizedLayer
+{
+  public:
+    virtual ~WeightQuantizedLayer() = default;
+
+    /** The master (full-precision) weight tensor. */
+    virtual const Tensor &masterWeight() const = 0;
+
+    /**
+     * Install an externally owned pre-quantized weight entry, or
+     * clear it with nullptr. While installed and matching the
+     * layer's active weightBits, forward/backward use the cached
+     * values/mask instead of re-running fakeQuantSymmetric; at any
+     * other active precision the layer falls back to re-quantizing
+     * the masters. The pointee must stay valid and in sync with the
+     * master weights while installed. Layers override to also drop
+     * state that points into the entry when it is cleared (the
+     * storage may be about to be freed).
+     */
+    virtual void setWeightCache(const QuantResult *cache)
+    {
+        weightCache_ = cache;
+    }
+
+    /** The installed cache entry (nullptr when none). */
+    const QuantResult *weightCache() const { return weightCache_; }
+
+  protected:
+    /**
+     * The quantized weights to run on: the installed cache entry when
+     * present (after checking its precision against @p bits), else a
+     * fresh fake-quantization of the master weights stored in
+     * @p local.
+     */
+    const QuantResult &quantizedWeight(int bits, QuantResult &local) const;
+
+  private:
+    const QuantResult *weightCache_ = nullptr;
+};
+
+/**
  * Abstract base class of all layers.
  */
 class Layer
@@ -82,6 +129,10 @@ class Layer
 
     /** Collect pointers to all learnable parameters (default: none). */
     virtual void collectParameters(std::vector<Parameter *> &out);
+
+    /** Collect the weight-quantizing layers inside this layer
+     * (default: none; composites recurse). */
+    virtual void collectWeightQuantized(std::vector<WeightQuantizedLayer *> &out);
 
     /** Zero all accumulated parameter gradients. */
     void zeroGrad();

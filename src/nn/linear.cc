@@ -5,6 +5,7 @@
 
 #include "nn/linear.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -28,18 +29,31 @@ Linear::forward(const Tensor &x, bool train)
     (void)train;
     TWOINONE_ASSERT(x.ndim() == 2 && x.dim(1) == inFeatures_,
                     "Linear input shape mismatch");
-    QuantResult wq =
-        LinearQuantizer::fakeQuantSymmetric(weight_.value, quant_.weightBits);
-    cachedSteMask_ = wq.steMask;
+    QuantResult wq_local;
+    const QuantResult &wq = quantizedWeight(quant_.weightBits, wq_local);
+    if (&wq == weightCache()) {
+        steMask_ = &wq.steMask;
+    } else {
+        ownedSteMask_ = wq.steMask;
+        steMask_ = &ownedSteMask_;
+    }
     cachedInput_ = x;
 
     Tensor out = ops::matmulTransposeB(x, wq.values);
     if (hasBias_) {
+        // Rows are disjoint, so the bias add parallelizes over the
+        // batch; the naive reference backend keeps it serial.
         int n = out.dim(0);
-        for (int i = 0; i < n; ++i) {
-            for (int j = 0; j < outFeatures_; ++j)
-                out.at2(i, j) += bias_.value[static_cast<size_t>(j)];
-        }
+        float *o = out.data();
+        const float *b = bias_.value.data();
+        int64_t grain_rows = std::max<int64_t>(1, (1 << 15) / outFeatures_);
+        ops::gatedParallelFor(n, grain_rows, [&](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i) {
+                float *row = o + static_cast<size_t>(i) * outFeatures_;
+                for (int j = 0; j < outFeatures_; ++j)
+                    row[j] += b[j];
+            }
+        });
     }
     return out;
 }
@@ -52,9 +66,11 @@ Linear::backward(const Tensor &grad_out)
                     "Linear grad_out shape mismatch");
 
     // dW = grad_out^T x input, masked by the STE.
+    TWOINONE_ASSERT(steMask_ != nullptr, "Linear backward before forward");
+    const Tensor &mask = *steMask_;
     Tensor dw = ops::matmulTransposeA(grad_out, cachedInput_);
     for (size_t i = 0; i < weight_.grad.size(); ++i)
-        weight_.grad[i] += dw[i] * cachedSteMask_[i];
+        weight_.grad[i] += dw[i] * mask[i];
 
     if (hasBias_) {
         int n = grad_out.dim(0);
@@ -66,8 +82,8 @@ Linear::backward(const Tensor &grad_out)
         }
     }
 
-    QuantResult wq =
-        LinearQuantizer::fakeQuantSymmetric(weight_.value, quant_.weightBits);
+    QuantResult wq_local;
+    const QuantResult &wq = quantizedWeight(quant_.weightBits, wq_local);
     return ops::matmul(grad_out, wq.values);
 }
 
@@ -77,6 +93,22 @@ Linear::collectParameters(std::vector<Parameter *> &out)
     out.push_back(&weight_);
     if (hasBias_)
         out.push_back(&bias_);
+}
+
+void
+Linear::collectWeightQuantized(std::vector<WeightQuantizedLayer *> &out)
+{
+    out.push_back(this);
+}
+
+void
+Linear::setWeightCache(const QuantResult *cache)
+{
+    // See Conv2d::setWeightCache: fail fast on a stale backward
+    // instead of dangling into freed cache storage.
+    if (cache == nullptr && steMask_ != &ownedSteMask_)
+        steMask_ = nullptr;
+    WeightQuantizedLayer::setWeightCache(cache);
 }
 
 std::string

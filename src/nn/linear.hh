@@ -13,7 +13,7 @@ namespace twoinone {
 /**
  * Linear: y = x W^T + b over rank-2 inputs [N, in].
  */
-class Linear : public Layer
+class Linear : public Layer, public WeightQuantizedLayer
 {
   public:
     /**
@@ -27,7 +27,12 @@ class Linear : public Layer
     Tensor forward(const Tensor &x, bool train) override;
     Tensor backward(const Tensor &grad_out) override;
     void collectParameters(std::vector<Parameter *> &out) override;
+    void collectWeightQuantized(
+        std::vector<WeightQuantizedLayer *> &out) override;
     std::string describe() const override;
+
+    const Tensor &masterWeight() const override { return weight_.value; }
+    void setWeightCache(const QuantResult *cache) override;
 
     Parameter &weight() { return weight_; }
     Parameter &bias() { return bias_; }
@@ -43,7 +48,10 @@ class Linear : public Layer
     Parameter bias_;   // [out]
 
     Tensor cachedInput_;
-    Tensor cachedSteMask_;
+    // STE mask for backward: points at the engine-owned cache entry
+    // when installed, else at ownedSteMask_ (see Conv2d).
+    const Tensor *steMask_ = nullptr;
+    Tensor ownedSteMask_;
 };
 
 } // namespace twoinone

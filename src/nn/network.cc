@@ -52,6 +52,15 @@ Network::parameters()
     return out;
 }
 
+std::vector<WeightQuantizedLayer *>
+Network::weightQuantizedLayers()
+{
+    std::vector<WeightQuantizedLayer *> out;
+    for (auto &l : layers_)
+        l->collectWeightQuantized(out);
+    return out;
+}
+
 void
 Network::zeroGrad()
 {

@@ -53,6 +53,10 @@ class Network
     /** All learnable parameters. */
     std::vector<Parameter *> parameters();
 
+    /** All weight-quantizing layers (Conv2d/Linear, recursively), in
+     * network order — the cache targets of RpsEngine. */
+    std::vector<WeightQuantizedLayer *> weightQuantizedLayers();
+
     /** Zero all parameter gradients. */
     void zeroGrad();
 

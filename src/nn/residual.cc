@@ -68,6 +68,15 @@ PreActBlock::collectParameters(std::vector<Parameter *> &out)
 }
 
 void
+PreActBlock::collectWeightQuantized(std::vector<WeightQuantizedLayer *> &out)
+{
+    conv1_.collectWeightQuantized(out);
+    conv2_.collectWeightQuantized(out);
+    if (convSc_)
+        convSc_->collectWeightQuantized(out);
+}
+
+void
 PreActBlock::setQuantState(const QuantState &qs)
 {
     Layer::setQuantState(qs);

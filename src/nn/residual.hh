@@ -41,6 +41,8 @@ class PreActBlock : public Layer
     Tensor forward(const Tensor &x, bool train) override;
     Tensor backward(const Tensor &grad_out) override;
     void collectParameters(std::vector<Parameter *> &out) override;
+    void collectWeightQuantized(
+        std::vector<WeightQuantizedLayer *> &out) override;
     void setQuantState(const QuantState &qs) override;
     std::string describe() const override;
 

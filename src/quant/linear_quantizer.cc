@@ -1,15 +1,37 @@
 /**
  * @file
  * Implementation of the linear quantizer.
+ *
+ * The max reductions run through ops::maxAbs / ops::maxVal (chunked
+ * parallel, bit-identical to serial); the grid pass writes disjoint
+ * elements on parallelFor. TWOINONE_BACKEND=naive keeps both passes
+ * serial, mirroring the gemm reference path.
  */
 
 #include "quant/linear_quantizer.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "tensor/ops.hh"
 
 namespace twoinone {
+
+namespace {
+
+// Minimum elements per chunk for the parallel grid pass; matches the
+// element-wise grain in tensor/ops.cc.
+constexpr int64_t kQuantGrain = 1 << 15;
+
+/** The backend-gated grid pass: parallel above the grain cutoff, the
+ * naive reference backend keeps it serial. */
+void
+quantPass(int64_t n, const std::function<void(int64_t, int64_t)> &fn)
+{
+    ops::gatedParallelFor(n, kQuantGrain, fn);
+}
+
+} // namespace
 
 int
 LinearQuantizer::signedQmax(int bits)
@@ -37,6 +59,7 @@ LinearQuantizer::fakeQuantSymmetric(const Tensor &x, int bits)
         r.scale = 1.0f;
         return r;
     }
+    r.bits = bits;
 
     float max_abs = ops::maxAbs(x);
     r.values = Tensor(x.shape());
@@ -49,17 +72,22 @@ LinearQuantizer::fakeQuantSymmetric(const Tensor &x, int bits)
     int qmax = signedQmax(bits);
     float scale = max_abs / static_cast<float>(qmax);
     r.scale = scale;
-    for (size_t i = 0; i < x.size(); ++i) {
-        float q = std::nearbyint(x[i] / scale);
-        if (q > qmax) {
-            q = static_cast<float>(qmax);
-            r.steMask[i] = 0.0f;
-        } else if (q < -qmax) {
-            q = static_cast<float>(-qmax);
-            r.steMask[i] = 0.0f;
+    const float *in = x.data();
+    float *values = r.values.data();
+    float *mask = r.steMask.data();
+    quantPass(static_cast<int64_t>(x.size()), [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+            float q = std::nearbyint(in[i] / scale);
+            if (q > qmax) {
+                q = static_cast<float>(qmax);
+                mask[i] = 0.0f;
+            } else if (q < -qmax) {
+                q = static_cast<float>(-qmax);
+                mask[i] = 0.0f;
+            }
+            values[i] = q * scale;
         }
-        r.values[i] = q * scale;
-    }
+    });
     return r;
 }
 
@@ -73,35 +101,42 @@ LinearQuantizer::fakeQuantUnsigned(const Tensor &x, int bits)
         r.scale = 1.0f;
         return r;
     }
+    r.bits = bits;
 
-    float max_v = 0.0f;
-    for (size_t i = 0; i < x.size(); ++i)
-        max_v = std::max(max_v, x[i]);
+    float max_v = ops::maxVal(x);
 
     r.values = Tensor(x.shape());
     r.steMask = Tensor::ones(x.shape());
+    const float *in = x.data();
+    float *values = r.values.data();
+    float *mask = r.steMask.data();
     if (max_v <= 0.0f) {
         r.scale = 0.0f;
         // Entirely non-positive input: everything clips to zero.
-        for (size_t i = 0; i < x.size(); ++i)
-            r.steMask[i] = (x[i] == 0.0f) ? 1.0f : 0.0f;
+        quantPass(static_cast<int64_t>(x.size()),
+                  [&](int64_t lo, int64_t hi) {
+                      for (int64_t i = lo; i < hi; ++i)
+                          mask[i] = (in[i] == 0.0f) ? 1.0f : 0.0f;
+                  });
         return r;
     }
 
     int qmax = unsignedQmax(bits);
     float scale = max_v / static_cast<float>(qmax);
     r.scale = scale;
-    for (size_t i = 0; i < x.size(); ++i) {
-        float q = std::nearbyint(x[i] / scale);
-        if (q < 0.0f) {
-            q = 0.0f;
-            r.steMask[i] = 0.0f;
-        } else if (q > qmax) {
-            q = static_cast<float>(qmax);
-            r.steMask[i] = 0.0f;
+    quantPass(static_cast<int64_t>(x.size()), [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+            float q = std::nearbyint(in[i] / scale);
+            if (q < 0.0f) {
+                q = 0.0f;
+                mask[i] = 0.0f;
+            } else if (q > qmax) {
+                q = static_cast<float>(qmax);
+                mask[i] = 0.0f;
+            }
+            values[i] = q * scale;
         }
-        r.values[i] = q * scale;
-    }
+    });
     return r;
 }
 
@@ -119,12 +154,15 @@ LinearQuantizer::quantizeToIntSymmetric(const Tensor &x, int bits,
         *scale_out = scale;
     if (scale == 0.0f)
         return codes;
-    for (size_t i = 0; i < x.size(); ++i) {
-        float q = std::nearbyint(x[i] / scale);
-        q = std::min(static_cast<float>(qmax),
-                     std::max(static_cast<float>(-qmax), q));
-        codes[i] = static_cast<int32_t>(q);
-    }
+    const float *in = x.data();
+    quantPass(static_cast<int64_t>(x.size()), [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+            float q = std::nearbyint(in[i] / scale);
+            q = std::min(static_cast<float>(qmax),
+                         std::max(static_cast<float>(-qmax), q));
+            codes[static_cast<size_t>(i)] = static_cast<int32_t>(q);
+        }
+    });
     return codes;
 }
 

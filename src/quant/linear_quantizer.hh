@@ -37,6 +37,8 @@ struct QuantResult
     float scale = 0.0f;
     /** The zero point (always 0 for symmetric mode). */
     float zeroPoint = 0.0f;
+    /** The precision this result was quantized at (0 = full). */
+    int bits = 0;
 };
 
 /**
@@ -46,6 +48,13 @@ struct QuantResult
  * itself (per-tensor dynamic quantization), matching the in-situ
  * precision switching of RPS where no per-precision calibration pass
  * is available.
+ *
+ * The max reduction and the grid pass run on ThreadPool::parallelFor
+ * above a size threshold. Both are exact under any chunking (float
+ * max is order-independent; the grid pass writes disjoint elements),
+ * so results are bit-identical for every TWOINONE_THREADS setting.
+ * TWOINONE_BACKEND=naive keeps both passes serial, mirroring the gemm
+ * reference path.
  */
 class LinearQuantizer
 {

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * RpsEngine implementation.
+ */
+
+#include "quant/rps_engine.hh"
+
+#include "common/thread_pool.hh"
+
+namespace twoinone {
+
+RpsEngine::RpsEngine(Network &net) : RpsEngine(net, net.precisionSet())
+{
+}
+
+RpsEngine::RpsEngine(Network &net, PrecisionSet cache_set)
+    : net_(net), cacheSet_(std::move(cache_set)),
+      layers_(net.weightQuantizedLayers())
+{
+    TWOINONE_ASSERT(!cacheSet_.empty(),
+                    "RpsEngine needs a non-empty precision set");
+    for (int bits : cacheSet_.bits()) {
+        TWOINONE_ASSERT(net_.precisionSet().contains(bits),
+                        "cache precision ", bits,
+                        " not in the network's bound set ",
+                        net_.precisionSet().name());
+    }
+    cache_.resize(layers_.size());
+    for (auto &per_layer : cache_)
+        per_layer.resize(cacheSet_.size());
+    refresh();
+}
+
+RpsEngine::~RpsEngine()
+{
+    detach();
+}
+
+void
+RpsEngine::refresh()
+{
+    const std::vector<int> &bits = cacheSet_.bits();
+    const int64_t nprec = static_cast<int64_t>(bits.size());
+    const int64_t total = static_cast<int64_t>(layers_.size()) * nprec;
+    // (layer, precision) pairs are independent; grain 1 gives
+    // deterministic fixed chunking, and the fake-quant passes inside
+    // run inline (nested parallelFor), so each entry is bit-identical
+    // to a serially built one.
+    ThreadPool::global().parallelFor(
+        0, total, 1, [&](int64_t lo, int64_t hi) {
+            for (int64_t t = lo; t < hi; ++t) {
+                size_t l = static_cast<size_t>(t / nprec);
+                size_t p = static_cast<size_t>(t % nprec);
+                cache_[l][p] = LinearQuantizer::fakeQuantSymmetric(
+                    layers_[l]->masterWeight(),
+                    bits[p]);
+            }
+        });
+}
+
+void
+RpsEngine::setPrecision(int bits)
+{
+    if (bits == 0 || !cacheSet_.contains(bits)) {
+        // Full precision, or a bound-set precision the engine was not
+        // asked to cache: run uncached.
+        for (WeightQuantizedLayer *l : layers_)
+            l->setWeightCache(nullptr);
+        net_.setPrecision(bits);
+        return;
+    }
+    size_t idx = static_cast<size_t>(cacheSet_.indexOf(bits));
+    for (size_t l = 0; l < layers_.size(); ++l)
+        layers_[l]->setWeightCache(&cache_[l][idx]);
+    net_.setPrecision(bits);
+}
+
+Tensor
+RpsEngine::forwardAt(int bits, const Tensor &x)
+{
+    setPrecision(bits);
+    return net_.forward(x, /*train=*/false);
+}
+
+std::vector<int>
+RpsEngine::predictAt(int bits, const Tensor &x)
+{
+    setPrecision(bits);
+    return net_.predict(x);
+}
+
+Tensor
+RpsEngine::forwardRandom(const Tensor &x, Rng &rng, int *bits_out)
+{
+    int bits = samplePrecision(rng);
+    if (bits_out)
+        *bits_out = bits;
+    return forwardAt(bits, x);
+}
+
+void
+RpsEngine::detach()
+{
+    for (WeightQuantizedLayer *l : layers_)
+        l->setWeightCache(nullptr);
+}
+
+size_t
+RpsEngine::cacheBytes() const
+{
+    size_t bytes = 0;
+    for (const auto &per_layer : cache_)
+        for (const QuantResult &r : per_layer)
+            bytes += (r.values.size() + r.steMask.size()) * sizeof(float);
+    return bytes;
+}
+
+} // namespace twoinone

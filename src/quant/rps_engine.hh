@@ -1,0 +1,128 @@
+/**
+ * @file
+ * RpsEngine: the precision-switchable inference engine behind RPS
+ * serving (paper Alg. 1, RPS inference).
+ *
+ * On construction the engine pre-quantizes every weight tensor of the
+ * bound network at every candidate precision of the network's
+ * PrecisionSet, parallelized across layers x precisions on the global
+ * thread pool. A precision switch then installs the cached tensors
+ * into the layers — O(#layers) pointer installs — instead of
+ * re-running fakeQuantSymmetric over all master weights, and the
+ * forward pass is the plain GEMM path on cached weights,
+ * bit-identical to the uncached path (the cache stores exactly what
+ * fakeQuantSymmetric would produce).
+ *
+ * Cache layout: one QuantResult (grid values + STE mask + scale) per
+ * (weight layer, candidate precision) pair, i.e. two float tensors
+ * per weight tensor per candidate — about 8 * |set| bytes per weight
+ * scalar (cacheBytes() reports the exact total). Entries live in
+ * stable storage: refresh() rewrites them in place, so installed
+ * pointers remain valid across refreshes.
+ *
+ * The engine caches *weights only*; activations are quantized on the
+ * fly each forward because their dynamic range depends on the input.
+ * Master weights must not change while caches are installed — call
+ * refresh() after any training step before inferring again. Layers
+ * that ran a cached forward keep a pointer into the entry for their
+ * backward STE mask, so keep the engine alive until the backward
+ * passes that depend on a cached forward have run.
+ */
+
+#ifndef TWOINONE_QUANT_RPS_ENGINE_HH
+#define TWOINONE_QUANT_RPS_ENGINE_HH
+
+#include <vector>
+
+#include "nn/network.hh"
+
+namespace twoinone {
+
+/**
+ * Per-precision quantized-weight cache + switch/forward façade over a
+ * Network. Non-copyable; detaches its caches on destruction.
+ */
+class RpsEngine
+{
+  public:
+    /**
+     * Build the cache for @p net's full bound PrecisionSet (which
+     * must be non-empty); the network's active precision is left
+     * untouched.
+     */
+    explicit RpsEngine(Network &net);
+
+    /**
+     * Build the cache for @p cache_set only — a non-empty subset of
+     * the network's bound set. Evaluations that sample from a
+     * restricted set (e.g. Fig. 11 variants) avoid quantizing and
+     * holding candidates they never draw. Switching to a bound-set
+     * precision outside @p cache_set still works, on the uncached
+     * re-quantization path.
+     */
+    RpsEngine(Network &net, PrecisionSet cache_set);
+
+    ~RpsEngine();
+
+    RpsEngine(const RpsEngine &) = delete;
+    RpsEngine &operator=(const RpsEngine &) = delete;
+
+    /** The cached candidate set. */
+    const PrecisionSet &set() const { return cacheSet_; }
+
+    /** Number of weight-quantizing layers under cache. */
+    size_t numQuantLayers() const { return layers_.size(); }
+
+    /** Total bytes held by the cached tensors. */
+    size_t cacheBytes() const;
+
+    /**
+     * Re-quantize every cache entry from the current master weights
+     * (parallel across layers x precisions). Installed pointers stay
+     * valid. Call after weight updates.
+     */
+    void refresh();
+
+    /**
+     * Switch the active precision: install the cached entries for
+     * @p bits (or clear them for 0 = full precision) and propagate
+     * the quant state through the network. O(#layers). A bound-set
+     * precision outside the cached set switches uncached.
+     */
+    void setPrecision(int bits);
+
+    /** The network's currently active precision (0 = full). */
+    int activePrecision() const { return net_.activePrecision(); }
+
+    /** Switch to @p bits and run an inference forward pass. */
+    Tensor forwardAt(int bits, const Tensor &x);
+
+    /** Switch to @p bits and return per-row argmax predictions. */
+    std::vector<int> predictAt(int bits, const Tensor &x);
+
+    /** Draw a candidate precision uniformly (Alg. 1 line 16). */
+    int samplePrecision(Rng &rng) const { return set().sample(rng); }
+
+    /** Random-precision inference: sample a candidate, switch, run.
+     * The drawn precision is reported through @p bits_out. */
+    Tensor forwardRandom(const Tensor &x, Rng &rng, int *bits_out = nullptr);
+
+    /**
+     * Clear the installed cache pointers from all layers, returning
+     * them to the uncached re-quantization path. The network keeps
+     * its active precision. The cache itself is retained:
+     * setPrecision re-installs it.
+     */
+    void detach();
+
+  private:
+    Network &net_;
+    PrecisionSet cacheSet_;
+    std::vector<WeightQuantizedLayer *> layers_;
+    /** cache_[layer][precision index in cacheSet_]. */
+    std::vector<std::vector<QuantResult>> cache_;
+};
+
+} // namespace twoinone
+
+#endif // TWOINONE_QUANT_RPS_ENGINE_HH

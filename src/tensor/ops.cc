@@ -6,8 +6,11 @@
  * threshold (disjoint writes, so results are identical for any thread
  * count); the matmul variants dispatch to the gemm backend (blocked +
  * parallel by default, TWOINONE_BACKEND=naive for the reference
- * path). Reductions stay serial: their double accumulators depend on
- * summation order and they are cheap O(n) passes.
+ * path). Summing reductions stay serial: their double accumulators
+ * depend on summation order and they are cheap O(n) passes. Max
+ * reductions (maxAbs/maxVal) are exact under any combination order,
+ * so they parallelize over fixed-size chunks whose boundaries do not
+ * depend on the thread count (serial under the naive backend).
  */
 
 #include "tensor/ops.hh"
@@ -45,7 +48,55 @@ parallelElems(size_t n, F &&f)
         });
 }
 
+/**
+ * max over f(a[i]) starting from 0, reduced over fixed
+ * kElemGrain-sized chunks whose boundaries do not depend on the
+ * thread count. Float max is exact under any combination order, so
+ * the result is bit-identical to the serial reference, which the
+ * naive backend keeps.
+ */
+template <typename F>
+float
+maxReduce(const Tensor &a, F &&f)
+{
+    const int64_t n = static_cast<int64_t>(a.size());
+    const float *p = a.data();
+    if (gemm::activeBackend() == gemm::Backend::Naive || n <= kElemGrain) {
+        float m = 0.0f;
+        for (int64_t i = 0; i < n; ++i)
+            m = std::max(m, f(p[i]));
+        return m;
+    }
+    int64_t nchunks = (n + kElemGrain - 1) / kElemGrain;
+    std::vector<float> partial(static_cast<size_t>(nchunks), 0.0f);
+    ThreadPool::global().parallelFor(
+        0, nchunks, 1, [&](int64_t lo, int64_t hi) {
+            for (int64_t c = lo; c < hi; ++c) {
+                int64_t b = c * kElemGrain;
+                int64_t e = std::min(n, b + kElemGrain);
+                float m = 0.0f;
+                for (int64_t i = b; i < e; ++i)
+                    m = std::max(m, f(p[i]));
+                partial[static_cast<size_t>(c)] = m;
+            }
+        });
+    float m = 0.0f;
+    for (float v : partial)
+        m = std::max(m, v);
+    return m;
+}
+
 } // namespace
+
+void
+gatedParallelFor(int64_t n, int64_t grain,
+                 const std::function<void(int64_t, int64_t)> &fn)
+{
+    if (gemm::activeBackend() != gemm::Backend::Naive)
+        ThreadPool::global().parallelFor(0, n, grain, fn);
+    else
+        fn(0, n);
+}
 
 Tensor
 add(const Tensor &a, const Tensor &b)
@@ -208,10 +259,13 @@ mean(const Tensor &a)
 float
 maxAbs(const Tensor &a)
 {
-    float m = 0.0f;
-    for (size_t i = 0; i < a.size(); ++i)
-        m = std::max(m, std::fabs(a[i]));
-    return m;
+    return maxReduce(a, [](float v) { return std::fabs(v); });
+}
+
+float
+maxVal(const Tensor &a)
+{
+    return maxReduce(a, [](float v) { return v; });
 }
 
 int

@@ -15,10 +15,23 @@
 #ifndef TWOINONE_TENSOR_OPS_HH
 #define TWOINONE_TENSOR_OPS_HH
 
+#include <cstdint>
+#include <functional>
+
 #include "tensor/tensor.hh"
 
 namespace twoinone {
 namespace ops {
+
+/**
+ * Run fn(lo, hi) over [0, n) on the global thread pool above
+ * @p grain elements, serial under TWOINONE_BACKEND=naive — the one
+ * backend-gated chunking helper shared by the quantizer passes and
+ * the nn-layer epilogues. Callers must make fn's writes disjoint so
+ * results are identical for any thread count.
+ */
+void gatedParallelFor(int64_t n, int64_t grain,
+                      const std::function<void(int64_t, int64_t)> &fn);
 
 /** @name Elementwise binary ops (shapes must match) */
 /** @{ */
@@ -57,7 +70,14 @@ Tensor clamp(const Tensor &a, float lo, float hi);
 /** @{ */
 float sum(const Tensor &a);
 float mean(const Tensor &a);
+/** Maximum |a[i]| (0 for empty). Parallel over fixed-size chunks —
+ * float max is exact under any combination order, so the result is
+ * bit-identical to the serial reference (which TWOINONE_BACKEND=naive
+ * forces). */
 float maxAbs(const Tensor &a);
+/** Maximum of max(a[i], 0) — the unsigned-quantizer range; same
+ * chunked-parallel reduction as maxAbs. */
+float maxVal(const Tensor &a);
 /** Index of the maximum element of a rank-1 tensor or a row. */
 int argmaxRow(const Tensor &logits, int row);
 /** L-infinity distance between two same-shape tensors. */

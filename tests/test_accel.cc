@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the thread-pooled accelerator sweeps: the parallel
+ * per-layer predictor passes and the layers x precisions sweep must
+ * return results identical to the serial path (per-layer predictions
+ * are pure, and totals accumulate serially in layer order).
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/accelerator.hh"
+#include "common/thread_pool.hh"
+#include "workloads/model_library.hh"
+
+namespace twoinone {
+namespace {
+
+void
+expectIdentical(const NetworkPrediction &a, const NetworkPrediction &b)
+{
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.totalEnergyPj, b.totalEnergyPj);
+    EXPECT_EQ(a.macEnergyPj, b.macEnergyPj);
+    EXPECT_EQ(a.invalidLayers, b.invalidLayers);
+    for (int lv = 0; lv < kNumLevels; ++lv)
+        EXPECT_EQ(a.memEnergyPj[static_cast<size_t>(lv)],
+                  b.memEnergyPj[static_cast<size_t>(lv)]);
+}
+
+TEST(AcceleratorSweep, ParallelRunMatchesSerial)
+{
+    Accelerator ours(AcceleratorKind::TwoInOne,
+                     Accelerator::defaultAreaBudget(),
+                     TechModel::defaults());
+    NetworkWorkload net = workloads::resNet18Cifar(1);
+
+    for (int bits : {4, 8, 16}) {
+        NetworkPrediction serial;
+        {
+            ThreadPool::ScopedSerial guard;
+            serial = ours.run(net, bits, bits);
+        }
+        NetworkPrediction parallel = ours.run(net, bits, bits);
+        expectIdentical(serial, parallel);
+    }
+}
+
+TEST(AcceleratorSweep, ParallelSweepMatchesSerial)
+{
+    Accelerator ours(AcceleratorKind::TwoInOne,
+                     Accelerator::defaultAreaBudget(),
+                     TechModel::defaults());
+    NetworkWorkload net = workloads::resNet18Cifar(1);
+    PrecisionSet set = PrecisionSet::rps4to16();
+
+    std::vector<NetworkPrediction> serial;
+    {
+        ThreadPool::ScopedSerial guard;
+        serial = ours.sweep(net, set);
+    }
+    std::vector<NetworkPrediction> parallel = ours.sweep(net, set);
+
+    ASSERT_EQ(serial.size(), set.size());
+    ASSERT_EQ(parallel.size(), set.size());
+    for (size_t i = 0; i < set.size(); ++i)
+        expectIdentical(serial[i], parallel[i]);
+}
+
+TEST(AcceleratorSweep, SweepEntriesMatchIndividualRuns)
+{
+    Accelerator ours(AcceleratorKind::TwoInOne,
+                     Accelerator::defaultAreaBudget(),
+                     TechModel::defaults());
+    NetworkWorkload net = workloads::alexNet();
+    PrecisionSet set = PrecisionSet::rps4to16();
+
+    std::vector<NetworkPrediction> swept = ours.sweep(net, set);
+    ASSERT_EQ(swept.size(), set.size());
+    for (size_t i = 0; i < set.size(); ++i) {
+        int bits = set.bits()[i];
+        NetworkPrediction single = ours.run(net, bits, bits);
+        expectIdentical(single, swept[i]);
+    }
+}
+
+TEST(AcceleratorSweep, SweepCyclesIncreaseWithPrecision)
+{
+    Accelerator ours(AcceleratorKind::TwoInOne,
+                     Accelerator::defaultAreaBudget(),
+                     TechModel::defaults());
+    NetworkWorkload net = workloads::resNet18Cifar(1);
+    std::vector<NetworkPrediction> swept =
+        ours.sweep(net, PrecisionSet::rps4to16());
+    for (size_t i = 1; i < swept.size(); ++i)
+        EXPECT_LT(swept[i - 1].totalCycles, swept[i].totalCycles) << i;
+}
+
+TEST(AcceleratorSweep, SweepWorksForAllDesigns)
+{
+    const TechModel &tech = TechModel::defaults();
+    double budget = Accelerator::defaultAreaBudget();
+    NetworkWorkload net = workloads::alexNet();
+    PrecisionSet set = PrecisionSet::rps4to8();
+    for (AcceleratorKind kind :
+         {AcceleratorKind::TwoInOne, AcceleratorKind::Stripes,
+          AcceleratorKind::BitFusion}) {
+        Accelerator acc(kind, budget, tech);
+        std::vector<NetworkPrediction> swept = acc.sweep(net, set);
+        ASSERT_EQ(swept.size(), set.size()) << acc.name();
+        for (const NetworkPrediction &np : swept) {
+            EXPECT_EQ(np.invalidLayers, 0) << acc.name();
+            EXPECT_GT(np.totalCycles, 0.0) << acc.name();
+        }
+    }
+}
+
+} // namespace
+} // namespace twoinone

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.hh"
 #include "quant/linear_quantizer.hh"
 #include "quant/precision.hh"
 #include "tensor/ops.hh"
@@ -93,6 +94,153 @@ TEST(LinearQuantizer, IntCodesMatchFakeQuant)
                     1e-5f);
 }
 
+/**
+ * Bit-true/fake-quant consistency: the integer codes, dequantized via
+ * the returned scale, must equal the fake-quant values *elementwise
+ * and exactly* — both paths compute float(code) * scale from the same
+ * maxAbs-derived scale, so the accelerator datapath codes and the
+ * QAT forward see the same grid.
+ */
+class BitTrueConsistency : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BitTrueConsistency, CodesDequantizeExactlyToFakeQuant)
+{
+    int bits = GetParam();
+    Rng rng(300 + static_cast<uint64_t>(bits));
+    Tensor x = Tensor::randn({512}, rng);
+    float scale = 0.0f;
+    std::vector<int32_t> codes =
+        LinearQuantizer::quantizeToIntSymmetric(x, bits, &scale);
+    QuantResult r = LinearQuantizer::fakeQuantSymmetric(x, bits);
+    ASSERT_EQ(scale, r.scale);
+    ASSERT_EQ(r.bits, bits);
+    int qmax = LinearQuantizer::signedQmax(bits);
+    for (size_t i = 0; i < x.size(); ++i) {
+        EXPECT_LE(std::abs(codes[i]), qmax) << i;
+        EXPECT_EQ(static_cast<float>(codes[i]) * scale, r.values[i])
+            << "bits=" << bits << " i=" << i;
+    }
+}
+
+TEST_P(BitTrueConsistency, AllZeroTensor)
+{
+    int bits = GetParam();
+    Tensor x({16}, 0.0f);
+    float scale = -1.0f;
+    std::vector<int32_t> codes =
+        LinearQuantizer::quantizeToIntSymmetric(x, bits, &scale);
+    QuantResult r = LinearQuantizer::fakeQuantSymmetric(x, bits);
+    EXPECT_EQ(scale, 0.0f);
+    EXPECT_EQ(r.scale, 0.0f);
+    for (size_t i = 0; i < x.size(); ++i) {
+        EXPECT_EQ(codes[i], 0);
+        EXPECT_EQ(r.values[i], 0.0f);
+        EXPECT_EQ(r.steMask[i], 1.0f);
+    }
+}
+
+TEST_P(BitTrueConsistency, SingleElement)
+{
+    int bits = GetParam();
+    Tensor x({1});
+    x[0] = -0.37f;
+    float scale = 0.0f;
+    std::vector<int32_t> codes =
+        LinearQuantizer::quantizeToIntSymmetric(x, bits, &scale);
+    QuantResult r = LinearQuantizer::fakeQuantSymmetric(x, bits);
+    // A single element is its own max magnitude: it maps to -qmax and
+    // dequantizes back to itself up to one float rounding.
+    EXPECT_EQ(codes[0], -LinearQuantizer::signedQmax(bits));
+    EXPECT_EQ(static_cast<float>(codes[0]) * scale, r.values[0]);
+    EXPECT_NEAR(r.values[0], x[0], 1e-6f);
+    EXPECT_EQ(r.steMask[0], 1.0f);
+}
+
+TEST_P(BitTrueConsistency, NegativeOnlyInput)
+{
+    int bits = GetParam();
+    Rng rng(400 + static_cast<uint64_t>(bits));
+    Tensor x = Tensor::uniform({64}, rng, -2.0f, -0.1f);
+    float scale = 0.0f;
+    std::vector<int32_t> codes =
+        LinearQuantizer::quantizeToIntSymmetric(x, bits, &scale);
+    QuantResult r = LinearQuantizer::fakeQuantSymmetric(x, bits);
+    ASSERT_GT(scale, 0.0f);
+    for (size_t i = 0; i < x.size(); ++i) {
+        EXPECT_LE(codes[i], 0) << i;
+        EXPECT_LE(r.values[i], 0.0f) << i;
+        EXPECT_EQ(static_cast<float>(codes[i]) * scale, r.values[i]) << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, BitTrueConsistency,
+                         ::testing::Values(2, 4, 8, 16));
+
+/** Golden-value regression for the fakeQuantUnsigned STE mask: inputs
+ * below -scale/2 round to a negative level, clip to zero, and must
+ * cut the gradient; in-range inputs pass it. */
+TEST(LinearQuantizer, UnsignedSteMaskGoldenValues)
+{
+    // bits=4, max = 1.5 -> scale = 0.1.
+    Tensor x({6});
+    x[0] = -2.0f;
+    x[1] = -0.6f;
+    x[2] = 0.0f;
+    x[3] = 0.3f;
+    x[4] = 0.9f;
+    x[5] = 1.5f;
+    QuantResult r = LinearQuantizer::fakeQuantUnsigned(x, 4);
+    EXPECT_NEAR(r.scale, 0.1f, 1e-6f);
+
+    const float expected_mask[6] = {0.0f, 0.0f, 1.0f, 1.0f, 1.0f, 1.0f};
+    const float expected_values[6] = {0.0f, 0.0f, 0.0f, 0.3f, 0.9f, 1.5f};
+    for (size_t i = 0; i < x.size(); ++i) {
+        EXPECT_EQ(r.steMask[i], expected_mask[i]) << i;
+        EXPECT_NEAR(r.values[i], expected_values[i], 1e-6f) << i;
+    }
+}
+
+/** The parallel quantizer passes are bit-identical to the serial
+ * reference (float max is exact under any chunking; the grid pass
+ * writes disjoint elements). */
+TEST(LinearQuantizer, ParallelPassesMatchSerialBitwise)
+{
+    Rng rng(55);
+    // Large enough to clear the parallel grain cutoff.
+    Tensor x = Tensor::randn({300000}, rng);
+
+    for (int bits : {2, 4, 8, 16}) {
+        QuantResult serial_sym, serial_uns;
+        std::vector<int32_t> serial_codes;
+        float serial_scale = 0.0f;
+        {
+            ThreadPool::ScopedSerial guard;
+            serial_sym = LinearQuantizer::fakeQuantSymmetric(x, bits);
+            serial_uns = LinearQuantizer::fakeQuantUnsigned(x, bits);
+            serial_codes = LinearQuantizer::quantizeToIntSymmetric(
+                x, bits, &serial_scale);
+        }
+        QuantResult par_sym = LinearQuantizer::fakeQuantSymmetric(x, bits);
+        QuantResult par_uns = LinearQuantizer::fakeQuantUnsigned(x, bits);
+        float par_scale = 0.0f;
+        std::vector<int32_t> par_codes =
+            LinearQuantizer::quantizeToIntSymmetric(x, bits, &par_scale);
+
+        ASSERT_EQ(serial_sym.scale, par_sym.scale) << bits;
+        ASSERT_EQ(serial_uns.scale, par_uns.scale) << bits;
+        ASSERT_EQ(serial_scale, par_scale) << bits;
+        ASSERT_EQ(serial_codes, par_codes) << bits;
+        for (size_t i = 0; i < x.size(); ++i) {
+            ASSERT_EQ(serial_sym.values[i], par_sym.values[i]) << i;
+            ASSERT_EQ(serial_sym.steMask[i], par_sym.steMask[i]) << i;
+            ASSERT_EQ(serial_uns.values[i], par_uns.values[i]) << i;
+            ASSERT_EQ(serial_uns.steMask[i], par_uns.steMask[i]) << i;
+        }
+    }
+}
+
 /** Property sweep: quantization error is bounded by scale/2 and
  * shrinks monotonically in representable levels. */
 class QuantErrorSweep : public ::testing::TestWithParam<int>
@@ -107,9 +255,10 @@ TEST_P(QuantErrorSweep, ErrorBoundedByHalfScale)
     QuantResult r = LinearQuantizer::fakeQuantSymmetric(x, bits);
     for (size_t i = 0; i < x.size(); ++i) {
         // In-range elements round to the nearest grid point.
-        if (r.steMask[i] == 1.0f)
+        if (r.steMask[i] == 1.0f) {
             EXPECT_LE(std::fabs(r.values[i] - x[i]),
                       0.5f * r.scale + 1e-6f);
+        }
     }
 }
 

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Tests for the RpsEngine precision-switchable inference engine: the
+ * cached forwardAt(bits) path must be bit-identical to a from-scratch
+ * fake-quant forward at every candidate precision, and deterministic
+ * for a fixed RNG seed regardless of the thread count (CMake re-runs
+ * this binary under TWOINONE_THREADS=1 and =4; within one process the
+ * ScopedSerial guard pins the serial-vs-parallel comparison).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/thread_pool.hh"
+#include "nn/model_zoo.hh"
+#include "quant/rps_engine.hh"
+
+namespace twoinone {
+namespace {
+
+Network
+makeResidualNet(uint64_t seed)
+{
+    Rng rng(seed);
+    ModelConfig cfg;
+    cfg.baseWidth = 8;
+    return preActResNetMini(cfg, rng);
+}
+
+Network
+makeTinyNet(uint64_t seed)
+{
+    Rng rng(seed);
+    ModelConfig cfg;
+    cfg.baseWidth = 4;
+    return convNetTiny(cfg, rng);
+}
+
+Tensor
+makeInput(uint64_t seed)
+{
+    Rng rng(seed);
+    return Tensor::uniform({4, 3, 8, 8}, rng, 0.0f, 1.0f);
+}
+
+void
+expectBitIdentical(const Tensor &a, const Tensor &b, int bits)
+{
+    ASSERT_EQ(a.shape(), b.shape()) << "bits=" << bits;
+    for (size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a[i], b[i]) << "bits=" << bits << " i=" << i;
+}
+
+/** Cached forward == uncached fake-quant forward, every candidate. */
+TEST(RpsEngine, CachedForwardBitIdenticalAllPrecisions)
+{
+    Network net = makeResidualNet(42);
+    Tensor x = makeInput(7);
+    RpsEngine engine(net);
+    EXPECT_EQ(engine.set().bits(), PrecisionSet::rps4to16().bits());
+
+    for (int bits : engine.set().bits()) {
+        // Reference: detach the caches and run the re-quantizing path.
+        engine.detach();
+        net.setPrecision(bits);
+        Tensor y_ref = net.forward(x, /*train=*/false);
+
+        Tensor y_cached = engine.forwardAt(bits, x);
+        expectBitIdentical(y_ref, y_cached, bits);
+    }
+}
+
+/** Same property on the Linear-headed tiny net (covers Linear). */
+TEST(RpsEngine, CachedForwardBitIdenticalTinyNet)
+{
+    Network net = makeTinyNet(43);
+    Tensor x = makeInput(8);
+    RpsEngine engine(net);
+
+    for (int bits : engine.set().bits()) {
+        engine.detach();
+        net.setPrecision(bits);
+        Tensor y_ref = net.forward(x, false);
+        Tensor y_cached = engine.forwardAt(bits, x);
+        expectBitIdentical(y_ref, y_cached, bits);
+    }
+}
+
+/** bits = 0 clears the caches and runs the full-precision path. */
+TEST(RpsEngine, FullPrecisionPassThrough)
+{
+    Network net = makeTinyNet(44);
+    Tensor x = makeInput(9);
+    RpsEngine engine(net);
+    engine.forwardAt(4, x); // install some cache first
+
+    Tensor y_fp = engine.forwardAt(0, x);
+    engine.detach();
+    net.setPrecision(0);
+    Tensor y_ref = net.forward(x, false);
+    expectBitIdentical(y_ref, y_fp, 0);
+}
+
+/** A serially built+run engine matches a parallel one bit-for-bit. */
+TEST(RpsEngine, DeterministicAcrossThreadCounts)
+{
+    Tensor x = makeInput(11);
+
+    Network net_serial = makeResidualNet(77);
+    Network net_parallel = makeResidualNet(77);
+    std::unique_ptr<RpsEngine> serial_engine;
+    std::vector<Tensor> serial_out;
+    {
+        ThreadPool::ScopedSerial guard;
+        serial_engine = std::make_unique<RpsEngine>(net_serial);
+        for (int bits : serial_engine->set().bits())
+            serial_out.push_back(serial_engine->forwardAt(bits, x));
+    }
+
+    RpsEngine parallel_engine(net_parallel);
+    const std::vector<int> &bits = parallel_engine.set().bits();
+    for (size_t i = 0; i < bits.size(); ++i) {
+        Tensor y = parallel_engine.forwardAt(bits[i], x);
+        expectBitIdentical(serial_out[i], y, bits[i]);
+    }
+}
+
+/** forwardRandom is reproducible for a fixed RNG seed. */
+TEST(RpsEngine, RandomPrecisionForwardDeterministic)
+{
+    Network net = makeTinyNet(45);
+    Tensor x = makeInput(12);
+    RpsEngine engine(net);
+
+    Rng rng_a(123), rng_b(123);
+    for (int step = 0; step < 8; ++step) {
+        int bits_a = 0, bits_b = 0;
+        Tensor ya = engine.forwardRandom(x, rng_a, &bits_a);
+        Tensor yb = engine.forwardRandom(x, rng_b, &bits_b);
+        ASSERT_EQ(bits_a, bits_b);
+        EXPECT_TRUE(engine.set().contains(bits_a));
+        expectBitIdentical(ya, yb, bits_a);
+    }
+}
+
+/** Switching installs state on the network, and predictAt agrees
+ * with a plain predict at the same precision. */
+TEST(RpsEngine, SwitchTracksNetworkPrecision)
+{
+    Network net = makeTinyNet(46);
+    Tensor x = makeInput(13);
+    RpsEngine engine(net);
+
+    engine.setPrecision(8);
+    EXPECT_EQ(net.activePrecision(), 8);
+    EXPECT_EQ(engine.activePrecision(), 8);
+    std::vector<int> cached = engine.predictAt(4, x);
+
+    engine.detach();
+    net.setPrecision(4);
+    EXPECT_EQ(net.predict(x), cached);
+}
+
+/** refresh() re-syncs the cache after a weight update. */
+TEST(RpsEngine, RefreshTracksWeightUpdates)
+{
+    Network net = makeTinyNet(47);
+    Tensor x = makeInput(14);
+    RpsEngine engine(net);
+
+    // Perturb every weight through the parameter view.
+    for (Parameter *p : net.parameters())
+        for (size_t i = 0; i < p->value.size(); ++i)
+            p->value[i] += 0.01f * static_cast<float>(i % 5);
+    engine.refresh();
+
+    for (int bits : engine.set().bits()) {
+        engine.detach();
+        net.setPrecision(bits);
+        Tensor y_ref = net.forward(x, false);
+        Tensor y_cached = engine.forwardAt(bits, x);
+        expectBitIdentical(y_ref, y_cached, bits);
+    }
+}
+
+/** A subset-cached engine serves cached members from the cache and
+ * the rest of the bound set uncached — all bit-identical. */
+TEST(RpsEngine, SubsetCacheServesAllBoundPrecisions)
+{
+    Network net = makeTinyNet(49);
+    Tensor x = makeInput(15);
+    PrecisionSet subset({4, 8});
+    RpsEngine engine(net, subset);
+    EXPECT_EQ(engine.set().bits(), subset.bits());
+
+    for (int bits : net.precisionSet().bits()) {
+        engine.detach();
+        net.setPrecision(bits);
+        Tensor y_ref = net.forward(x, false);
+        Tensor y = engine.forwardAt(bits, x);
+        expectBitIdentical(y_ref, y, bits);
+    }
+}
+
+/** Cache accounting: every Conv2d/Linear at every candidate, two
+ * float tensors each. */
+TEST(RpsEngine, CacheAccounting)
+{
+    Network net = makeResidualNet(48);
+    RpsEngine engine(net);
+
+    EXPECT_EQ(engine.numQuantLayers(),
+              net.weightQuantizedLayers().size());
+    EXPECT_GT(engine.numQuantLayers(), 0u);
+
+    size_t weight_scalars = 0;
+    for (WeightQuantizedLayer *l : net.weightQuantizedLayers())
+        weight_scalars += l->masterWeight().size();
+    EXPECT_EQ(engine.cacheBytes(),
+              2 * sizeof(float) * weight_scalars * engine.set().size());
+}
+
+} // namespace
+} // namespace twoinone
