@@ -1,15 +1,25 @@
 /**
  * @file
  * google-benchmark microbenchmarks of the simulator's hot paths: the
- * bit-true MAC datapaths (per precision) and the performance
- * predictor (the inner loop of the evolutionary optimizer, queried
- * thousands of times per Alg. 2 search).
+ * bit-true MAC datapaths (per precision), the integer GEMM kernels
+ * and the quantized forward of the int-code execution path, and the
+ * performance predictor (the inner loop of the evolutionary
+ * optimizer, queried thousands of times per Alg. 2 search).
+ *
+ * The machine-readable quantized-forward ns/op and int-GEMM GOPS
+ * live in BENCH_rps.json, written by microbench_rps (the harness
+ * that owns that file and its CI regression gate); the entries here
+ * are the interactive/profiling view of the same paths.
  */
 
 #include <benchmark/benchmark.h>
 
 #include "accel/accelerator.hh"
 #include "accel/bitserial.hh"
+#include "nn/model_zoo.hh"
+#include "quant/calibration.hh"
+#include "quant/rps_engine.hh"
+#include "tensor/gemm.hh"
 #include "workloads/model_library.hh"
 
 namespace {
@@ -55,6 +65,51 @@ BM_GroupedMacReduce(benchmark::State &state)
         benchmark::DoNotOptimize(mac.macReduce(a, b, bits));
 }
 BENCHMARK(BM_GroupedMacReduce)->Arg(4)->Arg(8)->Arg(16);
+
+void
+BM_IntGemm(benchmark::State &state)
+{
+    // The int16 x uint16 code kernel of the quantized forward
+    // (ns/op and items_processed -> GOPS in the counters).
+    int s = static_cast<int>(state.range(0));
+    Rng rng(5);
+    std::vector<int16_t> a(static_cast<size_t>(s) * s);
+    std::vector<uint16_t> b(static_cast<size_t>(s) * s);
+    for (auto &v : a)
+        v = static_cast<int16_t>(rng.uniformInt(-127, 127));
+    for (auto &v : b)
+        v = static_cast<uint16_t>(rng.uniformInt(0, 255));
+    std::vector<int64_t> c(static_cast<size_t>(s) * s);
+    for (auto _ : state) {
+        gemm::igemmTransB(s, s, s, a.data(), s, b.data(), s, c.data(), s,
+                          8, 8);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 *
+                            static_cast<int64_t>(s) * s * s);
+}
+BENCHMARK(BM_IntGemm)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_QuantizedForward(benchmark::State &state)
+{
+    // Cached + calibrated integer forward (the quantized execution
+    // path), per batch. Mirrors the BENCH_rps.json quant_forward rows.
+    int bits = static_cast<int>(state.range(0));
+    Rng rng(2024);
+    ModelConfig mcfg;
+    mcfg.baseWidth = 8;
+    Network net = preActResNetMini(mcfg, rng);
+    Rng data_rng(7);
+    Tensor x = Tensor::uniform({4, 3, 8, 8}, data_rng, 0.0f, 1.0f);
+    Calibrator cal(net);
+    cal.calibrate({x});
+    RpsEngine engine(net);
+    engine.setPrecision(bits);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(net.forwardQuantized(x));
+}
+BENCHMARK(BM_QuantizedForward)->Arg(4)->Arg(8)->Arg(16);
 
 void
 BM_PredictLayer(benchmark::State &state)

@@ -228,10 +228,52 @@ jsonNum(double v)
     return buf;
 }
 
+/** Sub-cutoff GEMM timing: the serial naive loops vs the light
+ * row-parallel path the blocked backend now routes small products
+ * through (ISSUE 3 satellite), with the dispatched path logged. */
+struct SmallGemmRow
+{
+    int m, n, k;
+    double serial_ns = 0.0;
+    double light_ns = 0.0;
+    bool parallel = false;
+};
+
+SmallGemmRow
+benchSmallGemm(double min_seconds, Rng &rng)
+{
+    // A per-layer GEMM shape of the tiny bench models: below the
+    // 16K-MAC packing cutoff, historically serial by design.
+    SmallGemmRow row;
+    row.m = 16;
+    row.n = 64;
+    row.k = 36;
+    Tensor a = Tensor::randn({row.m, row.k}, rng);
+    Tensor b = Tensor::randn({row.k, row.n}, rng);
+    Tensor c({row.m, row.n});
+    row.parallel = gemm::smallGemmRunsParallel(row.m, row.n, row.k);
+    row.serial_ns = timeNs(
+        [&] {
+            ThreadPool::ScopedSerial guard;
+            gemm::sgemm(gemm::Backend::Blocked, false, false, row.m,
+                        row.n, row.k, a.data(), row.k, b.data(), row.n,
+                        c.data(), row.n);
+        },
+        min_seconds);
+    row.light_ns = timeNs(
+        [&] {
+            gemm::sgemm(gemm::Backend::Blocked, false, false, row.m,
+                        row.n, row.k, a.data(), row.k, b.data(), row.n,
+                        c.data(), row.n);
+        },
+        min_seconds);
+    return row;
+}
+
 void
 writeJson(const std::string &path, const std::vector<GemmRow> &gemms,
           const std::vector<ConvRow> &convs, const std::vector<PgdRow> &pgds,
-          bool fast)
+          const SmallGemmRow &small, bool fast)
 {
     std::ofstream out(path);
     out << "{\n  \"meta\": {\"threads\": "
@@ -275,7 +317,13 @@ writeJson(const std::string &path, const std::vector<GemmRow> &gemms,
             << ", \"speedup\": " << jsonNum(r.naive_ns / r.blocked_ns)
             << "}" << (i + 1 < pgds.size() ? "," : "") << "\n";
     }
-    out << "  ]\n}\n";
+    out << "  ],\n  \"small_gemm\": {\"m\": " << small.m << ", \"n\": "
+        << small.n << ", \"k\": " << small.k << ", \"path\": \""
+        << (small.parallel ? "parallel-naive" : "serial-naive")
+        << "\", \"serial_ns\": " << jsonNum(small.serial_ns)
+        << ", \"light_ns\": " << jsonNum(small.light_ns)
+        << ", \"speedup\": " << jsonNum(small.serial_ns / small.light_ns)
+        << "}\n}\n";
 }
 
 } // namespace
@@ -341,7 +389,15 @@ main()
                     r.naive_ns / r.blocked_ns);
 
     gemm::setActiveBackend(default_backend);
-    writeJson("BENCH_kernels.json", gemms, convs, pgds, fast);
+    SmallGemmRow small = benchSmallGemm(min_seconds, rng);
+    std::printf("\n%-20s %5d %5d %5d path=%s serial=%0.f ns light=%0.f ns "
+                "(%.2fx)\n",
+                "small_gemm", small.m, small.n, small.k,
+                small.parallel ? "parallel-naive" : "serial-naive",
+                small.serial_ns, small.light_ns,
+                small.serial_ns / small.light_ns);
+
+    writeJson("BENCH_kernels.json", gemms, convs, pgds, small, fast);
     std::cout << "\nwrote BENCH_kernels.json\n";
     return 0;
 }

@@ -15,12 +15,20 @@
  *   switch:  { uncached_ns, cached_ns, speedup }   (one full
  *            precision switch, averaged over the candidate set)
  *   forward: [ { bits, uncached_ns, cached_ns, speedup } ]
+ *   quant_forward: [ { bits, float_cached_ns, quant_ns, speedup } ]
+ *            (calibrated static-scale integer forward vs the cached
+ *            dynamic float fake-quant forward — ISSUE 3)
+ *   quant_forward_speedup: mean of the per-bits speedups
+ *   int_gemm: { m, n, k, bits, ns, gops, sgemm_ns, sgemm_gflops }
+ *            (the int16 code kernel vs the blocked float kernel)
  *   sweep:   { serial_ns, parallel_ns, speedup }   (accelerator
  *            layers x precisions sweep, resnet18-cifar x rps4to16)
  *   bit_identical: true/false
  *
- * Exits non-zero when the cached forward is not bit-identical or the
- * cached switch speedup falls below the 10x acceptance floor.
+ * Exits non-zero when the cached forward is not bit-identical, the
+ * cached switch speedup falls below the 10x acceptance floor, or the
+ * calibrated quantized forward is not >= 1.3x the cached float
+ * forward (the ISSUE 3 acceptance gate).
  */
 
 #include <chrono>
@@ -34,7 +42,9 @@
 #include "accel/accelerator.hh"
 #include "bench_util.hh"
 #include "common/thread_pool.hh"
+#include "quant/calibration.hh"
 #include "quant/rps_engine.hh"
+#include "tensor/gemm.hh"
 #include "workloads/model_library.hh"
 
 namespace {
@@ -169,6 +179,72 @@ main()
     std::cout << "cached forward bit-identical: "
               << (bit_identical ? "yes" : "NO") << "\n";
 
+    // --- Quantized forward: calibrated static scales + int codes ---
+    // The float rows above are the PR 2 cached path (dynamic
+    // activation fake-quant); the quantized forward runs the same
+    // cached codes through the integer GEMM kernels with calibrated
+    // static activation scales — no range reduction, no fake-quant.
+    Calibrator cal(net);
+    cal.calibrate({x});
+    struct QuantRow
+    {
+        int bits;
+        double float_cached_ns = 0.0;
+        double quant_ns = 0.0;
+    };
+    std::vector<QuantRow> quant_rows;
+    double speedup_sum = 0.0;
+    for (size_t i = 0; i < fwd_rows.size(); ++i) {
+        QuantRow row;
+        row.bits = fwd_rows[i].bits;
+        row.float_cached_ns = fwd_rows[i].cached_ns;
+        engine.setPrecision(row.bits);
+        row.quant_ns =
+            timeNs([&] { net.forwardQuantized(x); }, min_seconds);
+        speedup_sum += row.float_cached_ns / row.quant_ns;
+        quant_rows.push_back(row);
+    }
+    double quant_speedup =
+        speedup_sum / static_cast<double>(quant_rows.size());
+    std::printf("\n%-8s %14s %14s %8s\n", "quantfwd", "float_cached",
+                "quant_ns", "speedup");
+    for (const QuantRow &r : quant_rows)
+        std::printf("%-8d %14.0f %14.0f %7.2fx\n", r.bits,
+                    r.float_cached_ns, r.quant_ns,
+                    r.float_cached_ns / r.quant_ns);
+    std::printf("mean quantized-forward speedup: %.2fx\n", quant_speedup);
+
+    // --- Integer GEMM kernel throughput ----------------------------
+    int gm = fast ? 128 : 256;
+    Rng grng(31);
+    std::vector<int16_t> ia(static_cast<size_t>(gm) * gm);
+    std::vector<uint16_t> ib(static_cast<size_t>(gm) * gm);
+    for (auto &v : ia)
+        v = static_cast<int16_t>(grng.uniformInt(-127, 127));
+    for (auto &v : ib)
+        v = static_cast<uint16_t>(grng.uniformInt(0, 255));
+    std::vector<int64_t> ic(static_cast<size_t>(gm) * gm);
+    double igemm_ns = timeNs(
+        [&] {
+            gemm::igemmTransB(gm, gm, gm, ia.data(), gm, ib.data(), gm,
+                              ic.data(), gm, 8, 8);
+        },
+        min_seconds);
+    double igemm_gops = 2.0 * gm * gm * gm / igemm_ns;
+    Tensor fa = Tensor::randn({gm, gm}, grng);
+    Tensor fb = Tensor::randn({gm, gm}, grng);
+    Tensor fc({gm, gm});
+    double sgemm_ns = timeNs(
+        [&] {
+            gemm::sgemm(gemm::Backend::Blocked, false, true, gm, gm, gm,
+                        fa.data(), gm, fb.data(), gm, fc.data(), gm);
+        },
+        min_seconds);
+    double sgemm_gflops = 2.0 * gm * gm * gm / sgemm_ns;
+    std::printf("\nint16 igemm %dx%dx%d: %.0f ns  %.1f GOPS "
+                "(blocked sgemm: %.1f GFLOP/s)\n",
+                gm, gm, gm, igemm_ns, igemm_gops, sgemm_gflops);
+
     // --- Accelerator sweep wall-clock: serial vs thread pool -------
     Accelerator ours(AcceleratorKind::TwoInOne,
                      Accelerator::defaultAreaBudget(),
@@ -210,6 +286,23 @@ main()
             << (i + 1 < fwd_rows.size() ? "," : "") << "\n";
     }
     out << "  ],\n";
+    out << "  \"quant_forward\": [\n";
+    for (size_t i = 0; i < quant_rows.size(); ++i) {
+        const QuantRow &r = quant_rows[i];
+        out << "    {\"bits\": " << r.bits << ", \"float_cached_ns\": "
+            << jsonNum(r.float_cached_ns) << ", \"quant_ns\": "
+            << jsonNum(r.quant_ns) << ", \"speedup\": "
+            << jsonNum(r.float_cached_ns / r.quant_ns) << "}"
+            << (i + 1 < quant_rows.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n";
+    out << "  \"quant_forward_speedup\": " << jsonNum(quant_speedup)
+        << ",\n";
+    out << "  \"int_gemm\": {\"m\": " << gm << ", \"n\": " << gm
+        << ", \"k\": " << gm << ", \"bits\": 8, \"ns\": "
+        << jsonNum(igemm_ns) << ", \"gops\": " << jsonNum(igemm_gops)
+        << ", \"sgemm_ns\": " << jsonNum(sgemm_ns)
+        << ", \"sgemm_gflops\": " << jsonNum(sgemm_gflops) << "},\n";
     out << "  \"sweep\": {\"serial_ns\": " << jsonNum(sweep_serial_ns)
         << ", \"parallel_ns\": " << jsonNum(sweep_parallel_ns)
         << ", \"speedup\": "
@@ -227,6 +320,12 @@ main()
     if (switch_speedup < 10.0) {
         std::cerr << "FAIL: cached precision switch speedup "
                   << switch_speedup << "x is below the 10x floor\n";
+        return 1;
+    }
+    if (quant_speedup < 1.3) {
+        std::cerr << "FAIL: calibrated quantized forward speedup "
+                  << quant_speedup
+                  << "x is below the 1.3x acceptance floor\n";
         return 1;
     }
     return 0;

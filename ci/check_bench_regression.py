@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Diff bench JSONs against the committed baseline.
+
+Fails (exit 1) when a watched key regresses by more than the tolerance
+(default 20%, ISSUE 3 satellite). Keys are dotted paths into the JSON;
+a path segment of the form ``name=value`` selects the matching element
+of an array of objects (e.g. ``gemm[name=square256].blocked_gflops``).
+Every watched key is higher-is-better (speedups and throughputs);
+latencies are watched through their speedup ratios, which are far more
+stable across machines than raw nanoseconds.
+
+Usage:
+  check_bench_regression.py CURRENT BASELINE KEY [KEY...]
+      [--tolerance 0.2]
+
+The tolerance can also be set via TWOINONE_BENCH_TOLERANCE.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+
+def resolve(doc, path):
+    node = doc
+    for part in path.split("."):
+        m = re.match(r"^(\w+)\[(\w+)=([^\]]+)\]$", part)
+        if m:
+            key, field, value = m.groups()
+            arr = node[key]
+            matches = [e for e in arr if str(e.get(field)) == value]
+            if not matches:
+                raise KeyError(f"no {field}={value} element in {key}")
+            node = matches[0]
+        else:
+            node = node[part]
+    return float(node)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("current")
+    ap.add_argument("baseline")
+    ap.add_argument("keys", nargs="+")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("TWOINONE_BENCH_TOLERANCE", "0.2")),
+        help="allowed fractional regression (default 0.2 = 20%%)",
+    )
+    args = ap.parse_args()
+
+    with open(args.current) as f:
+        current = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    failed = False
+    for key in args.keys:
+        try:
+            cur = resolve(current, key)
+            base = resolve(baseline, key)
+        except KeyError as e:
+            print(f"FAIL  {key}: missing key ({e})")
+            failed = True
+            continue
+        if base <= 0:
+            print(f"skip  {key}: non-positive baseline {base}")
+            continue
+        ratio = cur / base
+        status = "ok  "
+        if ratio < 1.0 - args.tolerance:
+            status = "FAIL"
+            failed = True
+        print(
+            f"{status}  {key}: current={cur:.2f} baseline={base:.2f} "
+            f"ratio={ratio:.2f} (floor {1.0 - args.tolerance:.2f})"
+        )
+
+    if failed:
+        print(
+            f"bench regression beyond {args.tolerance:.0%} tolerance "
+            "(override with TWOINONE_BENCH_TOLERANCE)"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

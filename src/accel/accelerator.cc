@@ -81,7 +81,8 @@ Accelerator::defaultLayerDataflow(const ConvShape &shape) const
 }
 
 NetworkPrediction
-Accelerator::run(const NetworkWorkload &net, int w_bits, int a_bits) const
+Accelerator::run(const NetworkWorkload &net, int w_bits, int a_bits,
+                 ActQuantMode mode) const
 {
     // Mapping selection + prediction per layer through the shared
     // fallback cell, parallel with deterministic per-layer chunking;
@@ -93,14 +94,15 @@ Accelerator::run(const NetworkWorkload &net, int w_bits, int a_bits) const
             const ConvShape &l = net.layers[static_cast<size_t>(i)];
             preds[static_cast<size_t>(i)] =
                 predictor_->predictLayerWithFallback(
-                    l, w_bits, a_bits, defaultLayerDataflow(l));
+                    l, w_bits, a_bits, defaultLayerDataflow(l), mode);
         }
     });
     return NetworkPrediction::accumulate(preds.data(), preds.size());
 }
 
 std::vector<NetworkPrediction>
-Accelerator::sweep(const NetworkWorkload &net, const PrecisionSet &set) const
+Accelerator::sweep(const NetworkWorkload &net, const PrecisionSet &set,
+                   ActQuantMode mode) const
 {
     const int64_t nlayers = static_cast<int64_t>(net.layers.size());
     const int64_t nprec = static_cast<int64_t>(set.size());
@@ -118,7 +120,7 @@ Accelerator::sweep(const NetworkWorkload &net, const PrecisionSet &set) const
                     net.layers[static_cast<size_t>(t % nlayers)];
                 preds[static_cast<size_t>(t)] =
                     predictor_->predictLayerWithFallback(
-                        l, bits, bits, defaultLayerDataflow(l));
+                        l, bits, bits, defaultLayerDataflow(l), mode);
             }
         });
 

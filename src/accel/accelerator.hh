@@ -69,9 +69,12 @@ class Accelerator
 
     /** Run a network with the design's native default dataflows
      * (adaptive greedy for ours/Stripes, the fixed 16x16 NoC mapping
-     * for Bit Fusion). */
-    NetworkPrediction run(const NetworkWorkload &net, int w_bits,
-                          int a_bits) const;
+     * for Bit Fusion). @p mode selects how activation
+     * re-quantization is charged: dynamic fake-quant (default) or
+     * the calibrated static-scale datapath. */
+    NetworkPrediction
+    run(const NetworkWorkload &net, int w_bits, int a_bits,
+        ActQuantMode mode = ActQuantMode::DynamicFakeQuant) const;
 
     /** The design's native default mapping for one layer. */
     Dataflow defaultLayerDataflow(const ConvShape &shape) const;
@@ -85,10 +88,11 @@ class Accelerator
      * and activations at the same width, the RPS execution model),
      * parallelized over layers x precisions on the global thread
      * pool with deterministic chunking. Entry i is the prediction at
-     * set.bits()[i] and is bit-identical to run(net, q, q).
+     * set.bits()[i] and is bit-identical to run(net, q, q, mode).
      */
-    std::vector<NetworkPrediction> sweep(const NetworkWorkload &net,
-                                         const PrecisionSet &set) const;
+    std::vector<NetworkPrediction>
+    sweep(const NetworkWorkload &net, const PrecisionSet &set,
+          ActQuantMode mode = ActQuantMode::DynamicFakeQuant) const;
 
     /** The default area budget shared by all benches: a 256-unit
      * Bit Fusion array (256 x 2.3 normalized units). */

@@ -53,6 +53,27 @@ IntTensor::at(std::initializer_list<int> idx) const
     return const_cast<IntTensor *>(this)->at(idx);
 }
 
+IntTensor
+IntTensor::fromCodes(const QuantTensor &q)
+{
+    TWOINONE_ASSERT(!q.empty(), "empty QuantTensor");
+    IntTensor t;
+    t.shape = q.shape;
+    t.data.assign(q.codes.begin(), q.codes.end());
+    return t;
+}
+
+ArraySimResult
+MacArraySimulator::runConv(const QuantTensor &weights,
+                           const QuantTensor &input, int stride,
+                           int padding) const
+{
+    TWOINONE_ASSERT(weights.isSigned, "weight codes must be symmetric");
+    return runConv(IntTensor::fromCodes(weights),
+                   IntTensor::fromCodes(input), stride, padding,
+                   weights.bits, input.bits);
+}
+
 MacArraySimulator::MacArraySimulator(int num_units, int units_per_group)
     : numUnits_(num_units), unitsPerGroup_(units_per_group),
       datapath_(units_per_group)

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "accel/bitserial.hh"
+#include "quant/quant_tensor.hh"
 #include "workloads/layer_shape.hh"
 
 namespace twoinone {
@@ -37,6 +38,10 @@ struct IntTensor
     size_t size() const { return data.size(); }
 
     static IntTensor zeros(std::vector<int> shape);
+
+    /** Copy a QuantTensor's codes (the canonical quantized form) —
+     * the simulator consumes codes directly, no float re-pass. */
+    static IntTensor fromCodes(const QuantTensor &q);
 };
 
 /**
@@ -80,6 +85,17 @@ class MacArraySimulator
     ArraySimResult runConv(const IntTensor &weights,
                            const IntTensor &input, int stride,
                            int padding, int w_bits, int a_bits) const;
+
+    /**
+     * Execute a conv layer straight from canonical quantized tensors:
+     * the same int codes the nn library's forwardQuantized consumes
+     * (e.g. out of the RpsEngine cache and an ActQuant), with the
+     * precisions taken from the QuantTensors themselves. @p weights
+     * is [K,C,R,S]; @p input is one image [C,IY,IX].
+     */
+    ArraySimResult runConv(const QuantTensor &weights,
+                           const QuantTensor &input, int stride,
+                           int padding) const;
 
     int numUnits() const { return numUnits_; }
 

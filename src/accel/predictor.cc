@@ -23,7 +23,7 @@ tensorName(TensorKind t)
 double
 LayerPrediction::totalEnergyPj() const
 {
-    double e = macEnergyPj;
+    double e = macEnergyPj + actQuantEnergyPj;
     for (double m : memEnergyPj)
         e += m;
     return e;
@@ -176,7 +176,8 @@ PerformancePredictor::refetchFactor(TensorKind t, const Dataflow &df,
 
 LayerPrediction
 PerformancePredictor::predictLayer(const ConvShape &shape, int w_bits,
-                                   int a_bits, const Dataflow &df) const
+                                   int a_bits, const Dataflow &df,
+                                   ActQuantMode mode) const
 {
     LayerPrediction p;
 
@@ -318,6 +319,24 @@ PerformancePredictor::predictLayer(const ConvShape &shape, int w_bits,
     p.totalCycles = bottleneck;
     p.stallCycles = bottleneck - p.computeCycles;
 
+    // --- Activation re-quantization overhead -------------------------
+    // Every output element is brought back onto the a_bits grid at
+    // the global buffer before feeding the next layer. Dynamic range
+    // derivation reads the tensor twice (max reduction + grid pass)
+    // and writes once; a calibrated static scale folds into the BN
+    // multiply and leaves just the grid pass's read + write.
+    {
+        double touches = (mode == ActQuantMode::DynamicFakeQuant) ? 3.0
+                                                                  : 2.0;
+        double rq_bits = touches * static_cast<double>(shape.outputCount()) *
+                         static_cast<double>(a_bits);
+        const MemoryLevelSpec &gb = hierarchy_.level(Level::Gb);
+        if (gb.bandwidthBitsPerCycle > 0.0)
+            p.actQuantCycles = rq_bits / gb.bandwidthBitsPerCycle;
+        p.actQuantEnergyPj = rq_bits * gb.energyPerBit;
+        p.totalCycles += p.actQuantCycles;
+    }
+
     // --- Energy ------------------------------------------------------
     p.macEnergyPj = static_cast<double>(shape.macs()) *
                     mac_.energyPerMac(w_bits, a_bits, tech_);
@@ -334,7 +353,7 @@ PerformancePredictor::predictLayer(const ConvShape &shape, int w_bits,
 NetworkPrediction
 PerformancePredictor::predictNetwork(
     const NetworkWorkload &net, int w_bits, int a_bits,
-    const std::vector<Dataflow> &dataflows) const
+    const std::vector<Dataflow> &dataflows, ActQuantMode mode) const
 {
     TWOINONE_ASSERT(dataflows.size() == net.layers.size(),
                     "one dataflow per layer required");
@@ -348,7 +367,7 @@ PerformancePredictor::predictNetwork(
         for (int64_t i = lo; i < hi; ++i) {
             size_t li = static_cast<size_t>(i);
             preds[li] = predictLayer(net.layers[li], w_bits, a_bits,
-                                     dataflows[li]);
+                                     dataflows[li], mode);
         }
     });
     return NetworkPrediction::accumulate(preds.data(), preds.size());
@@ -357,19 +376,21 @@ PerformancePredictor::predictNetwork(
 LayerPrediction
 PerformancePredictor::predictLayerWithFallback(
     const ConvShape &shape, int w_bits, int a_bits,
-    const Dataflow &candidate) const
+    const Dataflow &candidate, ActQuantMode mode) const
 {
-    LayerPrediction lp = predictLayer(shape, w_bits, a_bits, candidate);
+    LayerPrediction lp = predictLayer(shape, w_bits, a_bits, candidate,
+                                      mode);
     if (!lp.valid) {
         lp = predictLayer(shape, w_bits, a_bits,
-                          Dataflow::minimalFallback(shape));
+                          Dataflow::minimalFallback(shape), mode);
     }
     return lp;
 }
 
 NetworkPrediction
 PerformancePredictor::predictNetworkDefault(const NetworkWorkload &net,
-                                            int w_bits, int a_bits) const
+                                            int w_bits, int a_bits,
+                                            ActQuantMode mode) const
 {
     // Greedy selection + fallback prediction per layer, parallel with
     // deterministic per-layer chunking; serial in-order accumulation.
@@ -380,7 +401,7 @@ PerformancePredictor::predictNetworkDefault(const NetworkWorkload &net,
             const ConvShape &l = net.layers[static_cast<size_t>(i)];
             preds[static_cast<size_t>(i)] = predictLayerWithFallback(
                 l, w_bits, a_bits,
-                Dataflow::greedyDefault(l, numUnits_));
+                Dataflow::greedyDefault(l, numUnits_), mode);
         }
     });
     return NetworkPrediction::accumulate(preds.data(), preds.size());

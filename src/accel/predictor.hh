@@ -42,6 +42,26 @@ constexpr int kNumTensors = 3;
 const char *tensorName(TensorKind t);
 
 /**
+ * How the cost model charges per-layer activation re-quantization
+ * (the step that brings a layer's outputs back onto the a_bits grid
+ * before they feed the next layer).
+ *
+ * DynamicFakeQuant is the uncalibrated execution the nn library runs
+ * by default: the range is derived from the tensor itself, so every
+ * output element is read twice (max-reduction pass + grid pass) and
+ * written once at the global buffer. StaticScale models the
+ * calibrated datapath (quant/calibration.hh): the scale is a
+ * constant folded into the BN multiply (paper Sec. 2.4), the
+ * reduction pass disappears, and only the read+write of the grid
+ * pass remains.
+ */
+enum class ActQuantMode
+{
+    DynamicFakeQuant,
+    StaticScale,
+};
+
+/**
  * Prediction for one layer at one precision under one dataflow.
  */
 struct LayerPrediction
@@ -64,6 +84,11 @@ struct LayerPrediction
     double macEnergyPj = 0.0;
     /** Energy per level, pJ. */
     std::array<double, kNumLevels> memEnergyPj{};
+
+    /** Activation re-quantization overhead (per ActQuantMode),
+     * already folded into totalCycles / totalEnergyPj(). */
+    double actQuantCycles = 0.0;
+    double actQuantEnergyPj = 0.0;
 
     double totalEnergyPj() const;
 };
@@ -111,8 +136,10 @@ class PerformancePredictor
                          int num_units);
 
     /** Predict one layer at a (weight, activation) precision. */
-    LayerPrediction predictLayer(const ConvShape &shape, int w_bits,
-                                 int a_bits, const Dataflow &df) const;
+    LayerPrediction
+    predictLayer(const ConvShape &shape, int w_bits, int a_bits,
+                 const Dataflow &df,
+                 ActQuantMode mode = ActQuantMode::DynamicFakeQuant) const;
 
     /**
      * Predict one layer under @p candidate, falling back to the
@@ -122,19 +149,21 @@ class PerformancePredictor
      * default-mapping sweep (predictNetworkDefault,
      * Accelerator::run, Accelerator::sweep).
      */
-    LayerPrediction predictLayerWithFallback(const ConvShape &shape,
-                                             int w_bits, int a_bits,
-                                             const Dataflow &candidate) const;
+    LayerPrediction predictLayerWithFallback(
+        const ConvShape &shape, int w_bits, int a_bits,
+        const Dataflow &candidate,
+        ActQuantMode mode = ActQuantMode::DynamicFakeQuant) const;
 
     /** Predict a network, one dataflow per layer. */
     NetworkPrediction
     predictNetwork(const NetworkWorkload &net, int w_bits, int a_bits,
-                   const std::vector<Dataflow> &dataflows) const;
+                   const std::vector<Dataflow> &dataflows,
+                   ActQuantMode mode = ActQuantMode::DynamicFakeQuant) const;
 
     /** Predict a network with greedy default dataflows. */
-    NetworkPrediction predictNetworkDefault(const NetworkWorkload &net,
-                                            int w_bits,
-                                            int a_bits) const;
+    NetworkPrediction predictNetworkDefault(
+        const NetworkWorkload &net, int w_bits, int a_bits,
+        ActQuantMode mode = ActQuantMode::DynamicFakeQuant) const;
 
     int numUnits() const { return numUnits_; }
     const MacUnitModel &mac() const { return mac_; }

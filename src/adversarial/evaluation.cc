@@ -108,6 +108,27 @@ rpsNaturalAccuracy(Network &net, const Dataset &data,
     return acc.percent();
 }
 
+double
+rpsNaturalAccuracyQuantized(Network &net, const Dataset &data,
+                            const PrecisionSet &set, Rng &rng,
+                            int batch_size)
+{
+    TWOINONE_ASSERT(!set.empty(), "RPS evaluation needs a precision set");
+    int restore = net.activePrecision();
+    RpsEngine engine(net, set);
+    Accuracy acc;
+    forEachBatch(data, batch_size,
+                 [&](const Tensor &x, const std::vector<int> &y) {
+                     std::vector<int> pred = engine.predictQuantizedAt(
+                         set.sample(rng), x);
+                     for (size_t i = 0; i < y.size(); ++i)
+                         acc.add(pred[i] == y[i]);
+                 });
+    engine.detach();
+    net.setPrecision(restore);
+    return acc.percent();
+}
+
 std::vector<std::vector<double>>
 transferMatrix(Network &net, Attack &attack, const Dataset &data,
                const PrecisionSet &set, Rng &rng, int batch_size)

@@ -75,6 +75,18 @@ double rpsNaturalAccuracy(Network &net, const Dataset &data,
                           int batch_size = 16);
 
 /**
+ * RPS natural accuracy served from the integer datapath
+ * (Network::forwardQuantized through the engine's cached int codes) —
+ * what the bit-serial accelerator would actually compute. Matches
+ * rpsNaturalAccuracy up to the documented int-vs-float rounding
+ * tolerance; calibrate the network first (quant/calibration.hh) for
+ * the quantization-free static-scale path.
+ */
+double rpsNaturalAccuracyQuantized(Network &net, const Dataset &data,
+                                   const PrecisionSet &set, Rng &rng,
+                                   int batch_size = 16);
+
+/**
  * The Fig. 1 transferability matrix.
  *
  * entry[i][j] = robust accuracy when attacking at set[i] and

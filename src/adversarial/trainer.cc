@@ -9,6 +9,7 @@
 
 #include "adversarial/fgsm.hh"
 #include "adversarial/pgd.hh"
+#include "quant/rps_engine.hh"
 #include "tensor/ops.hh"
 
 namespace twoinone {
@@ -35,6 +36,8 @@ Trainer::Trainer(Network &net, TrainConfig cfg)
                         "RPS training needs a bound precision set");
     }
 }
+
+Trainer::~Trainer() = default;
 
 Tensor
 Trainer::makeAdversarial(const Tensor &x, const std::vector<int> &y)
@@ -68,6 +71,29 @@ Trainer::makeAdversarial(const Tensor &x, const std::vector<int> &y)
     TWOINONE_PANIC("unknown TrainMethod");
 }
 
+void
+Trainer::switchPrecision(int bits)
+{
+    // Through the engine when one is attached: a cache install
+    // instead of a re-quantization pass, bit-identical either way.
+    if (engine_)
+        engine_->setPrecision(bits);
+    else
+        net_.setPrecision(bits);
+}
+
+void
+Trainer::syncEngine()
+{
+    if (!engine_)
+        return;
+    // The optimizer bumped every touched Parameter's version;
+    // refreshDirty re-quantizes exactly those layers, so the cache
+    // never serves codes from before the step.
+    if (engine_->refreshDirty() == 0)
+        ++cleanRefreshes_;
+}
+
 float
 Trainer::updateStep(const Tensor &x, const std::vector<int> &y)
 {
@@ -78,6 +104,7 @@ Trainer::updateStep(const Tensor &x, const std::vector<int> &y)
     net_.backward(loss.backward());
     sgd_.step(net_.parameters());
     net_.zeroGrad();
+    syncEngine();
     ++steps_;
     return l;
 }
@@ -96,9 +123,9 @@ Trainer::freeEpoch(const Dataset &train, const std::vector<int> &order)
 
     for (int start = 0; start + bs <= n; start += bs) {
         if (cfg_.rps) {
-            net_.setPrecision(net_.precisionSet().sample(rng_));
+            switchPrecision(net_.precisionSet().sample(rng_));
         } else {
-            net_.setPrecision(cfg_.staticPrecision);
+            switchPrecision(cfg_.staticPrecision);
         }
         Tensor x({bs, train.images.dim(1), train.images.dim(2),
                   train.images.dim(3)});
@@ -121,6 +148,7 @@ Trainer::freeEpoch(const Dataset &train, const std::vector<int> &order)
             Tensor input_grad = net_.backward(loss.backward());
             sgd_.step(net_.parameters());
             net_.zeroGrad();
+            syncEngine();
             ++steps_;
             loss_sum += l;
             ++batches;
@@ -148,6 +176,13 @@ Trainer::fit(const Dataset &train)
     std::vector<int> order(static_cast<size_t>(n));
     std::iota(order.begin(), order.end(), 0);
 
+    // Cached RPS training (ISSUE 3 satellite): precision switches
+    // install pre-quantized entries and every optimizer step
+    // dirty-refreshes exactly the touched layers, so the cache never
+    // serves stale codes. The engine lives for this fit only.
+    if (cfg_.rps && cfg_.cachedEngine)
+        engine_ = std::make_unique<RpsEngine>(net_);
+
     float last_epoch_loss = 0.0f;
     for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
         rng_.shuffle(order);
@@ -160,9 +195,9 @@ Trainer::fit(const Dataset &train)
             for (int start = 0; start + bs <= n; start += bs) {
                 // Alg. 1 line 5: sample the iteration's precision.
                 if (cfg_.rps) {
-                    net_.setPrecision(net_.precisionSet().sample(rng_));
+                    switchPrecision(net_.precisionSet().sample(rng_));
                 } else {
-                    net_.setPrecision(cfg_.staticPrecision);
+                    switchPrecision(cfg_.staticPrecision);
                 }
 
                 Tensor x({bs, train.images.dim(1), train.images.dim(2),
@@ -190,6 +225,9 @@ Trainer::fit(const Dataset &train)
                             last_epoch_loss);
         }
     }
+    // Detach and drop the per-fit cache: the masters are
+    // authoritative again for whoever uses the network next.
+    engine_.reset();
     return last_epoch_loss;
 }
 

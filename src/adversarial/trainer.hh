@@ -14,11 +14,15 @@
 #ifndef TWOINONE_ADVERSARIAL_TRAINER_HH
 #define TWOINONE_ADVERSARIAL_TRAINER_HH
 
+#include <memory>
+
 #include "adversarial/attack.hh"
 #include "data/synthetic.hh"
 #include "nn/sgd.hh"
 
 namespace twoinone {
+
+class RpsEngine;
 
 /**
  * The adversarial-training method of the outer loop.
@@ -58,6 +62,15 @@ struct TrainConfig
     bool rps = false;
     /** When RPS is off, train at this precision (0 = full). */
     int staticPrecision = 0;
+    /**
+     * Route RPS precision switches through a per-fit RpsEngine weight
+     * cache, refreshed per optimizer step via per-layer dirty flags
+     * (Parameter::version), so every iteration's switch is a cache
+     * install instead of a re-quantization pass. Bit-identical to the
+     * uncached path — the cache stores exactly what fakeQuantSymmetric
+     * would produce — so training trajectories do not change.
+     */
+    bool cachedEngine = true;
     uint64_t seed = 1;
     /** Print per-epoch progress to stderr. */
     bool verbose = false;
@@ -75,6 +88,7 @@ class Trainer
      * @param cfg Hyper-parameters.
      */
     Trainer(Network &net, TrainConfig cfg);
+    ~Trainer(); // out of line: RpsEngine is incomplete here
 
     /** Train on a dataset; returns the final mean training loss. */
     float fit(const Dataset &train);
@@ -82,12 +96,27 @@ class Trainer
     /** Total optimizer steps taken so far. */
     int stepsTaken() const { return steps_; }
 
+    /** Cache refreshes skipped because no layer was dirty (engine
+     * accounting; 0 when the cached engine is off). */
+    int cleanRefreshes() const { return cleanRefreshes_; }
+
   private:
     Network &net_;
     TrainConfig cfg_;
     Sgd sgd_;
     Rng rng_;
     int steps_ = 0;
+    int cleanRefreshes_ = 0;
+    /** Per-fit weight cache (cfg.rps && cfg.cachedEngine). */
+    std::unique_ptr<RpsEngine> engine_;
+
+    /** Switch the training precision, through the engine when one is
+     * attached. */
+    void switchPrecision(int bits);
+
+    /** Re-sync the engine cache after an optimizer step (dirty
+     * layers only). */
+    void syncEngine();
 
     /** Build the inner-maximization adversarial batch. */
     Tensor makeAdversarial(const Tensor &x, const std::vector<int> &y);

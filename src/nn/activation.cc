@@ -5,6 +5,7 @@
 
 #include "nn/activation.hh"
 
+#include "quant/quant_tensor.hh"
 #include "tensor/ops.hh"
 
 namespace twoinone {
@@ -30,13 +31,109 @@ ReLU::backward(const Tensor &grad_out)
     return ops::mul(grad_out, cachedMask_);
 }
 
+QuantAct
+ReLU::forwardQuantized(QuantAct &x)
+{
+    // Inference datapath: a single rectify pass, no gradient mask.
+    const Tensor &in = x.denseView();
+    Tensor out(in.shape());
+    const float *src = in.data();
+    float *dst = out.data();
+    for (size_t i = 0; i < in.size(); ++i)
+        dst[i] = src[i] > 0.0f ? src[i] : 0.0f;
+    return QuantAct(std::move(out));
+}
+
+void
+ActQuant::setCalibrationBanks(int banks)
+{
+    TWOINONE_ASSERT(banks >= 1, "need at least one range bank");
+    calibMax_.assign(static_cast<size_t>(banks), 0.0f);
+    calibRecorded_.assign(static_cast<size_t>(banks), 0);
+}
+
+void
+ActQuant::beginCalibration()
+{
+    TWOINONE_ASSERT(!calibMax_.empty(),
+                    "setCalibrationBanks before beginCalibration");
+    recording_ = true;
+}
+
+void
+ActQuant::endCalibration()
+{
+    recording_ = false;
+}
+
+bool
+ActQuant::bankCalibrated(int bank) const
+{
+    return bank >= 0 && static_cast<size_t>(bank) < calibRecorded_.size() &&
+           calibRecorded_[static_cast<size_t>(bank)];
+}
+
+float
+ActQuant::staticMaxOrNegative() const
+{
+    if (!staticScale_ || recording_ || !bankCalibrated(quant_.bnIndex))
+        return -1.0f;
+    return calibMax_[static_cast<size_t>(quant_.bnIndex)];
+}
+
 Tensor
 ActQuant::forward(const Tensor &x, bool train)
 {
     (void)train;
-    QuantResult r = LinearQuantizer::fakeQuantUnsigned(x, quant_.actBits);
+    if (quant_.actBits > 0 && recording_) {
+        // Observe the pre-quantization range of the active bank; the
+        // forward itself stays dynamic while recording — the observed
+        // max IS the dynamic range, so one reduction serves both.
+        size_t bank = static_cast<size_t>(quant_.bnIndex);
+        TWOINONE_ASSERT(bank < calibMax_.size(),
+                        "calibration bank out of range");
+        float max_v = ops::maxVal(x);
+        if (!calibRecorded_[bank] || max_v > calibMax_[bank])
+            calibMax_[bank] = max_v;
+        calibRecorded_[bank] = 1;
+        QuantResult r = LinearQuantizer::fakeQuantUnsignedStatic(
+            x, quant_.actBits, max_v);
+        cachedMask_ = r.steMask;
+        return r.values;
+    }
+
+    float static_max = staticMaxOrNegative();
+    QuantResult r =
+        (quant_.actBits > 0 && static_max >= 0.0f)
+            ? LinearQuantizer::fakeQuantUnsignedStatic(x, quant_.actBits,
+                                                       static_max)
+            : LinearQuantizer::fakeQuantUnsigned(x, quant_.actBits);
     cachedMask_ = r.steMask;
     return r.values;
+}
+
+QuantAct
+ActQuant::forwardQuantized(QuantAct &x)
+{
+    if (quant_.actBits <= 0)
+        return QuantAct(x.denseView());
+
+    const Tensor &in = x.denseView();
+    float static_max = staticMaxOrNegative();
+    float max_v = static_max >= 0.0f ? static_max : ops::maxVal(in);
+
+    QuantAct out;
+    out.q = QuantTensor::quantizeUnsigned(in, quant_.actBits, max_v);
+    // The float view stays unmaterialized: integer consumers (Conv2d,
+    // Linear, GlobalAvgPool) take the codes, and anything else
+    // materializes on demand through denseView().
+    return out;
+}
+
+void
+ActQuant::collectActQuant(std::vector<ActQuant *> &out)
+{
+    out.push_back(this);
 }
 
 Tensor

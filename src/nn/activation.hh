@@ -22,6 +22,8 @@ class ReLU : public Layer
   public:
     Tensor forward(const Tensor &x, bool train) override;
     Tensor backward(const Tensor &grad_out) override;
+    /** Inference-only rectify: no backward mask is built. */
+    QuantAct forwardQuantized(QuantAct &x) override;
     std::string describe() const override { return "ReLU"; }
 
   private:
@@ -32,16 +34,57 @@ class ReLU : public Layer
  * Activation fake quantization with STE backward.
  *
  * Identity when the active QuantState::actBits is zero.
+ *
+ * Range modes: by default the quantization range is dynamic — the
+ * scale comes from the input batch's own maximum, one reduction pass
+ * per forward. After a calibration pass (quant/calibration.hh) records
+ * per-precision range maxima into this layer's banks (indexed by
+ * QuantState::bnIndex, mirroring SBN), static-scale mode replaces the
+ * reduction with a table lookup, making the cached forward fully
+ * quantization-free. The static path is bit-identical to the dynamic
+ * one whenever the recorded maximum equals the observed one; with
+ * static mode off (the default), behaviour is exactly the dynamic
+ * path.
  */
 class ActQuant : public Layer
 {
   public:
     Tensor forward(const Tensor &x, bool train) override;
     Tensor backward(const Tensor &grad_out) override;
+    QuantAct forwardQuantized(QuantAct &x) override;
+    void collectActQuant(std::vector<ActQuant *> &out) override;
     std::string describe() const override { return "ActQuant"; }
+
+    /** @name Calibration interface (driven by Calibrator) */
+    /** @{ */
+    /** Size the range banks (bank 0 = full precision, unused). */
+    void setCalibrationBanks(int banks);
+    /** Start recording observed maxima into the active bank; forwards
+     * keep quantizing dynamically while recording. */
+    void beginCalibration();
+    /** Stop recording. */
+    void endCalibration();
+    /** Enable/disable static-scale mode (needs recorded banks). */
+    void setStaticScale(bool on) { staticScale_ = on; }
+    bool staticScale() const { return staticScale_; }
+    /** Recorded per-bank maxima (tests/diagnostics). */
+    const std::vector<float> &calibrationMax() const { return calibMax_; }
+    /** Whether the bank for the active quant state holds a recorded
+     * range. */
+    bool bankCalibrated(int bank) const;
+    /** @} */
 
   private:
     Tensor cachedMask_;
+
+    std::vector<float> calibMax_;
+    std::vector<char> calibRecorded_;
+    bool recording_ = false;
+    bool staticScale_ = false;
+
+    /** The static range for the active state, or a negative value
+     * when the dynamic path must run. */
+    float staticMaxOrNegative() const;
 };
 
 } // namespace twoinone

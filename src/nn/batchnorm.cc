@@ -112,6 +112,45 @@ SwitchableBatchNorm2d::forward(const Tensor &x, bool train)
     return out;
 }
 
+QuantAct
+SwitchableBatchNorm2d::forwardQuantized(QuantAct &xa)
+{
+    const Tensor &x = xa.denseView();
+    TWOINONE_ASSERT(x.ndim() == 4 && x.dim(1) == channels_,
+                    "SBN input shape mismatch");
+    // Same bank-aliasing rule as the eval forward: untrained banks
+    // fall back to the full-precision statistics.
+    int requested = activeBankIndex();
+    int use = bankTrained_[static_cast<size_t>(requested)] ? requested : 0;
+    const Bank &bank = banks_[static_cast<size_t>(use)];
+
+    int n = x.dim(0), c = channels_, h = x.dim(2), w = x.dim(3);
+    size_t plane = static_cast<size_t>(h) * w;
+    Tensor out(x.shape());
+    const float *in = x.data();
+    float *o = out.data();
+    for (int ni = 0; ni < n; ++ni) {
+        for (int ci = 0; ci < c; ++ci) {
+            size_t cs = static_cast<size_t>(ci);
+            // Exactly the eval forward's arithmetic (bit-identical
+            // rounding), minus the xhat/input caches.
+            float mean = bank.runningMean[cs];
+            float inv_std = 1.0f /
+                            std::sqrt(bank.runningVar[cs] + eps_);
+            float g = bank.gamma.value[cs];
+            float b = bank.beta.value[cs];
+            const float *src =
+                in + (static_cast<size_t>(ni) * c + cs) * plane;
+            float *dst = o + (static_cast<size_t>(ni) * c + cs) * plane;
+            for (size_t t = 0; t < plane; ++t) {
+                float xhat = (src[t] - mean) * inv_std;
+                dst[t] = g * xhat + b;
+            }
+        }
+    }
+    return QuantAct(std::move(out));
+}
+
 Tensor
 SwitchableBatchNorm2d::backward(const Tensor &grad_out)
 {

@@ -39,6 +39,12 @@ class SwitchableBatchNorm2d : public Layer
 
     Tensor forward(const Tensor &x, bool train) override;
     Tensor backward(const Tensor &grad_out) override;
+    /** Inference-only normalize: the running-stats affine transform
+     * as one fused per-channel multiply/add, with none of the
+     * backward caches (input copy, xhat) the training forward keeps.
+     * This is the form the accelerator executes — the BN multiply
+     * folds into the quantizer scale (paper Sec. 2.4). */
+    QuantAct forwardQuantized(QuantAct &x) override;
     void collectParameters(std::vector<Parameter *> &out) override;
     std::string describe() const override;
 

@@ -15,7 +15,9 @@
 
 #include "nn/conv2d.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <sstream>
 
 #include "common/thread_pool.hh"
@@ -175,6 +177,148 @@ Conv2d::forward(const Tensor &x, bool train)
         }
     });
     return out;
+}
+
+namespace {
+
+/**
+ * im2col over integer codes: [N,C,H,W] codes -> [N*OH*OW, C*R*S]
+ * packed operand columns (zero padding = code 0), parallel over the
+ * batch like the float im2col.
+ */
+template <typename T>
+void
+im2colCodes(const int32_t *in, int n, int c, int h, int w, int oh, int ow,
+            int kernel, int stride, int padding, T *out)
+{
+    int patch = c * kernel * kernel;
+    ThreadPool::global().parallelFor(0, n, 1, [&](int64_t nlo,
+                                                  int64_t nhi) {
+        for (int64_t ni = nlo; ni < nhi; ++ni) {
+            for (int oy = 0; oy < oh; ++oy) {
+                for (int ox = 0; ox < ow; ++ox) {
+                    T *dst = out +
+                             (static_cast<size_t>(ni) * oh * ow +
+                              static_cast<size_t>(oy) * ow + ox) *
+                                 patch;
+                    int iy0 = oy * stride - padding;
+                    int ix0 = ox * stride - padding;
+                    for (int ci = 0; ci < c; ++ci) {
+                        const int32_t *src =
+                            in + (static_cast<size_t>(ni) * c + ci) * h * w;
+                        for (int ky = 0; ky < kernel; ++ky) {
+                            int iy = iy0 + ky;
+                            for (int kx = 0; kx < kernel; ++kx) {
+                                int ix = ix0 + kx;
+                                int32_t v = 0;
+                                if (iy >= 0 && iy < h && ix >= 0 && ix < w)
+                                    v = src[static_cast<size_t>(iy) * w +
+                                            ix];
+                                *dst++ = static_cast<T>(v);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    });
+}
+
+/** Pack int32 codes into a narrower operand buffer. */
+template <typename T>
+void
+packCodes(const std::vector<int32_t> &src, std::vector<T> &dst)
+{
+    dst.resize(src.size());
+    for (size_t i = 0; i < src.size(); ++i)
+        dst[i] = static_cast<T>(src[i]);
+}
+
+} // namespace
+
+QuantAct
+Conv2d::forwardQuantized(QuantAct &x)
+{
+    int wbits = quant_.weightBits;
+    // The integer path needs weight quantization on and unsigned
+    // activation codes of a width the narrow kernels take; anything
+    // else composes through the float fallback.
+    if (wbits <= 0 || !x.hasCodes() || x.q.isSigned || x.q.bits > 16)
+        return Layer::forwardQuantized(x);
+
+    TWOINONE_ASSERT(x.q.shape.size() == 4 && x.q.shape[1] == inChannels_,
+                    "Conv2d quantized input shape mismatch");
+    int n = x.q.shape[0], h = x.q.shape[2], w = x.q.shape[3];
+    int oh = outSize(h), ow = outSize(w);
+    TWOINONE_ASSERT(oh > 0 && ow > 0, "Conv2d output collapsed to zero");
+
+    QuantTensor wlocal;
+    const QuantTensor &wq = quantizedCodes(wbits, wlocal);
+
+    int patch = inChannels_ * kernel_ * kernel_;
+    int ohw = oh * ow;
+    accBuf_.resize(static_cast<size_t>(n) * outChannels_ * ohw);
+    int64_t *acc = accBuf_.data();
+
+    bool narrow8 = wbits <= 8 && x.q.bits <= 8;
+    if (narrow8) {
+        packCodes(wq.codes, wPack8_);
+        cols8_.resize(static_cast<size_t>(n) * ohw * patch);
+        im2colCodes(x.q.codes.data(), n, inChannels_, h, w, oh, ow,
+                    kernel_, stride_, padding_, cols8_.data());
+    } else {
+        packCodes(wq.codes, wPack16_);
+        cols16_.resize(static_cast<size_t>(n) * ohw * patch);
+        im2colCodes(x.q.codes.data(), n, inChannels_, h, w, oh, ow,
+                    kernel_, stride_, padding_, cols16_.data());
+    }
+
+    // Per image: acc[K, OH*OW] = Wq[K, patch] * cols_n[OH*OW, patch]^T
+    // in exact integer arithmetic (igemm inlines when nested here).
+    ThreadPool::global().parallelFor(0, n, 1, [&](int64_t nlo,
+                                                  int64_t nhi) {
+        for (int64_t ni = nlo; ni < nhi; ++ni) {
+            int64_t *acc_n =
+                acc + static_cast<size_t>(ni) * outChannels_ * ohw;
+            if (narrow8) {
+                const uint8_t *cols_n =
+                    cols8_.data() + static_cast<size_t>(ni) * ohw * patch;
+                gemm::igemmTransB(outChannels_, ohw, patch, wPack8_.data(),
+                                  patch, cols_n, patch, acc_n, ohw,
+                                  wbits, x.q.bits);
+            } else {
+                const uint16_t *cols_n =
+                    cols16_.data() + static_cast<size_t>(ni) * ohw * patch;
+                gemm::igemmTransB(outChannels_, ohw, patch,
+                                  wPack16_.data(), patch, cols_n, patch,
+                                  acc_n, ohw, wbits, x.q.bits);
+            }
+        }
+    });
+
+    // Dequantize: out = acc * (w_scale * a_scale) + bias[k].
+    float dq = wq.scale * x.q.scale;
+    const float *bias = hasBias_ ? bias_.value.data() : nullptr;
+    Tensor out({n, outChannels_, oh, ow});
+    float *o = out.data();
+    int64_t rows = static_cast<int64_t>(n) * outChannels_;
+    int64_t grain_rows = std::max<int64_t>(1, (1 << 15) / ohw);
+    ops::gatedParallelFor(rows, grain_rows, [&](int64_t lo, int64_t hi) {
+        for (int64_t row = lo; row < hi; ++row) {
+            float b = bias ? bias[row % outChannels_] : 0.0f;
+            const int64_t *arow = acc + row * ohw;
+            float *orow = o + row * ohw;
+            for (int t = 0; t < ohw; ++t)
+                orow[t] = static_cast<float>(arow[t]) * dq + b;
+        }
+    });
+
+    if (quantTrace_) {
+        tracedW_ = wq;
+        tracedA_ = x.q;
+        tracedAcc_ = accBuf_;
+    }
+    return QuantAct(std::move(out));
 }
 
 Tensor

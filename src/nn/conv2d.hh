@@ -36,12 +36,28 @@ class Conv2d : public Layer, public WeightQuantizedLayer
 
     Tensor forward(const Tensor &x, bool train) override;
     Tensor backward(const Tensor &grad_out) override;
+
+    /**
+     * Integer-datapath forward: consumes unsigned activation codes
+     * (<= 16 bit) and the installed QuantTensor weight codes, packs
+     * both to the narrowest operand width (int8/uint8 under 8 bits,
+     * int16/uint16 otherwise), accumulates in int32/int64 via
+     * gemm::igemmTransB, and dequantizes the integer outputs with the
+     * combined scale (bias fused). Falls back to the float forward
+     * when the input carries no codes or weight quantization is off.
+     */
+    QuantAct forwardQuantized(QuantAct &x) override;
+
     void collectParameters(std::vector<Parameter *> &out) override;
     void collectWeightQuantized(
         std::vector<WeightQuantizedLayer *> &out) override;
     std::string describe() const override;
 
     const Tensor &masterWeight() const override { return weight_.value; }
+    uint64_t masterWeightVersion() const override
+    {
+        return weight_.version;
+    }
     void setWeightCache(const QuantResult *cache) override;
 
     /** Weight tensor shape [K, C, R, S]. */
@@ -83,6 +99,14 @@ class Conv2d : public Layer, public WeightQuantizedLayer
     std::vector<int> cachedInShape_;
     int cachedOh_ = 0;
     int cachedOw_ = 0;
+
+    // Integer-path scratch, reused across forwards: packed weight
+    // codes, integer im2col columns, and the int accumulators.
+    std::vector<int8_t> wPack8_;
+    std::vector<int16_t> wPack16_;
+    std::vector<uint8_t> cols8_;
+    std::vector<uint16_t> cols16_;
+    std::vector<int64_t> accBuf_;
 
     /**
      * im2col into the reused cols buffer: [N,C,H,W] ->

@@ -14,10 +14,48 @@ WeightQuantizedLayer::quantizedWeight(int bits, QuantResult &local) const
     // Network::setPrecision to some other width (e.g. EPGD cycling
     // precisions mid-attack) falls back to re-quantizing the masters,
     // which is always correct, just uncached.
-    if (weightCache_ && weightCache_->bits == bits)
+    if (weightCache_ && weightCache_->bits == bits) {
+        if (bits > 0)
+            ++cacheHits_;
         return *weightCache_;
+    }
+    if (bits > 0)
+        ++cacheMisses_;
     local = LinearQuantizer::fakeQuantSymmetric(masterWeight(), bits);
     return local;
+}
+
+const QuantTensor &
+WeightQuantizedLayer::quantizedCodes(int bits, QuantTensor &local) const
+{
+    if (weightCodes_ && weightCodes_->bits == bits) {
+        ++cacheHits_;
+        return *weightCodes_;
+    }
+    ++cacheMisses_;
+    local = QuantTensor::quantizeSymmetric(masterWeight(), bits);
+    return local;
+}
+
+void
+WeightQuantizedLayer::setQuantTrace(bool on)
+{
+    quantTrace_ = on;
+    if (!on) {
+        tracedW_ = QuantTensor();
+        tracedA_ = QuantTensor();
+        tracedAcc_.clear();
+        tracedAcc_.shrink_to_fit();
+    }
+}
+
+QuantAct
+Layer::forwardQuantized(QuantAct &x)
+{
+    // Default: materialize the float view and run the ordinary
+    // inference forward. Codes do not propagate through layers
+    // without an integer datapath.
+    return QuantAct(forward(x.denseView(), /*train=*/false));
 }
 
 void
@@ -30,6 +68,12 @@ void
 Layer::collectWeightQuantized(std::vector<WeightQuantizedLayer *> &out)
 {
     (void)out; // no quantized weights
+}
+
+void
+Layer::collectActQuant(std::vector<ActQuant *> &out)
+{
+    (void)out; // no activation quantizer
 }
 
 void

@@ -17,14 +17,18 @@
 #ifndef TWOINONE_NN_LAYER_HH
 #define TWOINONE_NN_LAYER_HH
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "quant/linear_quantizer.hh"
+#include "quant/quant_tensor.hh"
 #include "tensor/tensor.hh"
 
 namespace twoinone {
+
+class ActQuant;
 
 /**
  * The active quantization configuration of a network.
@@ -41,15 +45,55 @@ struct QuantState
 
 /**
  * A learnable parameter: master value plus accumulated gradient.
+ *
+ * version counts committed updates to value: the optimizer bumps it
+ * after every applied step, and caches keyed on the master weights
+ * (RpsEngine) compare it against the version they quantized to skip
+ * re-quantizing untouched layers. Code that mutates value directly
+ * (tests, manual surgery) should call bumpVersion() — or fall back to
+ * a full cache refresh.
  */
 struct Parameter
 {
     Tensor value;
     Tensor grad;
+    uint64_t version = 0;
 
     explicit Parameter(Tensor v)
         : value(std::move(v)), grad(Tensor::zeros(value.shape()))
     {
+    }
+
+    void bumpVersion() { ++version; }
+};
+
+/**
+ * An activation value flowing through Network::forwardQuantized: the
+ * canonical integer codes (when the producing layer emitted them —
+ * ActQuant with a quantized precision active, or an integer-exact
+ * transform like GlobalAvgPool) plus a float view materialized from
+ * the codes only when a float-domain consumer (BN, ReLU, the residual
+ * add) actually needs it.
+ */
+struct QuantAct
+{
+    /** Float view; may be empty while codes are valid. */
+    Tensor dense;
+    /** Integer codes + scale (empty when the value is float-only). */
+    QuantTensor q;
+
+    QuantAct() = default;
+    explicit QuantAct(Tensor d) : dense(std::move(d)) {}
+
+    bool hasCodes() const { return !q.empty(); }
+
+    /** The float view, materialized from the codes on first use. */
+    const Tensor &
+    denseView()
+    {
+        if (dense.empty() && !q.empty())
+            q.dequantizeInto(dense);
+        return dense;
     }
 };
 
@@ -67,6 +111,10 @@ class WeightQuantizedLayer
 
     /** The master (full-precision) weight tensor. */
     virtual const Tensor &masterWeight() const = 0;
+
+    /** Version counter of the master weights (Parameter::version) —
+     * the staleness signal RpsEngine's dirty refresh keys on. */
+    virtual uint64_t masterWeightVersion() const = 0;
 
     /**
      * Install an externally owned pre-quantized weight entry, or
@@ -87,6 +135,45 @@ class WeightQuantizedLayer
     /** The installed cache entry (nullptr when none). */
     const QuantResult *weightCache() const { return weightCache_; }
 
+    /**
+     * Install the canonical integer weight codes alongside the float
+     * entry (or clear with nullptr). forwardQuantized consumes these
+     * directly; the same lifetime/sync contract as setWeightCache
+     * applies.
+     */
+    void setWeightCodes(const QuantTensor *codes) { weightCodes_ = codes; }
+
+    /** The installed integer weight codes (nullptr when none). */
+    const QuantTensor *weightCodes() const { return weightCodes_; }
+
+    /** @name Cache accounting
+     * Counted per quantized-weight lookup (forward and backward, any
+     * path) while the active precision is quantized: a hit used an
+     * installed entry, a miss re-quantized the masters. */
+    /** @{ */
+    uint64_t cacheHits() const { return cacheHits_; }
+    uint64_t cacheMisses() const { return cacheMisses_; }
+    void resetCacheStats() { cacheHits_ = cacheMisses_ = 0; }
+    /** @} */
+
+    /**
+     * Record the integer operands of the next quantized forward
+     * (weights and activations as consumed) for the bit-serial
+     * cross-checks; clearing also drops the recorded copies.
+     */
+    void setQuantTrace(bool on);
+
+    /** Last traced integer operands (valid after a traced
+     * forwardQuantized that took the integer path). */
+    const QuantTensor &tracedWeightCodes() const { return tracedW_; }
+    const QuantTensor &tracedActCodes() const { return tracedA_; }
+    /** Last traced integer accumulator outputs, row-major in the
+     * layer's output shape. */
+    const std::vector<int64_t> &tracedAccumulators() const
+    {
+        return tracedAcc_;
+    }
+
   protected:
     /**
      * The quantized weights to run on: the installed cache entry when
@@ -96,8 +183,23 @@ class WeightQuantizedLayer
      */
     const QuantResult &quantizedWeight(int bits, QuantResult &local) const;
 
+    /**
+     * The integer weight codes to run on: the installed codes when
+     * they match @p bits, else a fresh quantization stored in
+     * @p local. Same hit/miss accounting as quantizedWeight.
+     */
+    const QuantTensor &quantizedCodes(int bits, QuantTensor &local) const;
+
+    bool quantTrace_ = false;
+    QuantTensor tracedW_;
+    QuantTensor tracedA_;
+    std::vector<int64_t> tracedAcc_;
+
   private:
     const QuantResult *weightCache_ = nullptr;
+    const QuantTensor *weightCodes_ = nullptr;
+    mutable uint64_t cacheHits_ = 0;
+    mutable uint64_t cacheMisses_ = 0;
 };
 
 /**
@@ -127,12 +229,27 @@ class Layer
      */
     virtual Tensor backward(const Tensor &grad_out) = 0;
 
+    /**
+     * Inference-only forward on the integer-code representation.
+     *
+     * Layers with an integer datapath (Conv2d/Linear consuming codes,
+     * ActQuant producing them, GlobalAvgPool transforming them
+     * exactly) override this; the default materializes the float view
+     * and runs the ordinary forward, so any layer mix composes. May
+     * materialize @p x's float view in place (hence non-const).
+     */
+    virtual QuantAct forwardQuantized(QuantAct &x);
+
     /** Collect pointers to all learnable parameters (default: none). */
     virtual void collectParameters(std::vector<Parameter *> &out);
 
     /** Collect the weight-quantizing layers inside this layer
      * (default: none; composites recurse). */
     virtual void collectWeightQuantized(std::vector<WeightQuantizedLayer *> &out);
+
+    /** Collect the activation-quantizer layers inside this layer
+     * (default: none; composites recurse) — the calibration targets. */
+    virtual void collectActQuant(std::vector<ActQuant *> &out);
 
     /** Zero all accumulated parameter gradients. */
     void zeroGrad();

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "tensor/gemm.hh"
 #include "tensor/ops.hh"
 
 namespace twoinone {
@@ -56,6 +57,42 @@ Linear::forward(const Tensor &x, bool train)
         });
     }
     return out;
+}
+
+QuantAct
+Linear::forwardQuantized(QuantAct &x)
+{
+    int wbits = quant_.weightBits;
+    if (wbits <= 0 || !x.hasCodes())
+        return Layer::forwardQuantized(x);
+    TWOINONE_ASSERT(x.q.shape.size() == 2 && x.q.shape[1] == inFeatures_,
+                    "Linear quantized input shape mismatch");
+    int n = x.q.shape[0];
+
+    QuantTensor wlocal;
+    const QuantTensor &wq = quantizedCodes(wbits, wlocal);
+
+    // acc[N, out] = Xq[N, in] * Wq[out, in]^T, exact int64.
+    accBuf_.resize(static_cast<size_t>(n) * outFeatures_);
+    gemm::igemmTransB(n, outFeatures_, inFeatures_, x.q.codes.data(),
+                      inFeatures_, wq.codes.data(), inFeatures_,
+                      accBuf_.data(), outFeatures_);
+
+    float dq = wq.scale * x.q.scale;
+    const float *b = hasBias_ ? bias_.value.data() : nullptr;
+    Tensor out({n, outFeatures_});
+    float *o = out.data();
+    for (int64_t i = 0; i < static_cast<int64_t>(n) * outFeatures_; ++i) {
+        o[i] = static_cast<float>(accBuf_[static_cast<size_t>(i)]) * dq +
+               (b ? b[i % outFeatures_] : 0.0f);
+    }
+
+    if (quantTrace_) {
+        tracedW_ = wq;
+        tracedA_ = x.q;
+        tracedAcc_ = accBuf_;
+    }
+    return QuantAct(std::move(out));
 }
 
 Tensor

@@ -26,12 +26,27 @@ class Linear : public Layer, public WeightQuantizedLayer
 
     Tensor forward(const Tensor &x, bool train) override;
     Tensor backward(const Tensor &grad_out) override;
+
+    /**
+     * Integer-datapath forward: consumes activation codes of any
+     * width (the classifier head sits behind GlobalAvgPool, whose
+     * integer partial sums outgrow 16 bits) through the wide
+     * int32 x int32 igemm, dequantizing with the combined scale.
+     * Falls back to the float forward when the input carries no codes
+     * or weight quantization is off.
+     */
+    QuantAct forwardQuantized(QuantAct &x) override;
+
     void collectParameters(std::vector<Parameter *> &out) override;
     void collectWeightQuantized(
         std::vector<WeightQuantizedLayer *> &out) override;
     std::string describe() const override;
 
     const Tensor &masterWeight() const override { return weight_.value; }
+    uint64_t masterWeightVersion() const override
+    {
+        return weight_.version;
+    }
     void setWeightCache(const QuantResult *cache) override;
 
     Parameter &weight() { return weight_; }
@@ -52,6 +67,8 @@ class Linear : public Layer, public WeightQuantizedLayer
     // when installed, else at ownedSteMask_ (see Conv2d).
     const Tensor *steMask_ = nullptr;
     Tensor ownedSteMask_;
+    // Integer-path accumulator scratch.
+    std::vector<int64_t> accBuf_;
 };
 
 } // namespace twoinone

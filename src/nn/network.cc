@@ -34,6 +34,16 @@ Network::forward(const Tensor &x, bool train)
 }
 
 Tensor
+Network::forwardQuantized(const Tensor &x)
+{
+    TWOINONE_ASSERT(!layers_.empty(), "forward through empty network");
+    QuantAct h(x);
+    for (auto &l : layers_)
+        h = l->forwardQuantized(h);
+    return h.denseView();
+}
+
+Tensor
 Network::backward(const Tensor &grad_out)
 {
     TWOINONE_ASSERT(!layers_.empty(), "backward through empty network");
@@ -58,6 +68,15 @@ Network::weightQuantizedLayers()
     std::vector<WeightQuantizedLayer *> out;
     for (auto &l : layers_)
         l->collectWeightQuantized(out);
+    return out;
+}
+
+std::vector<ActQuant *>
+Network::actQuantLayers()
+{
+    std::vector<ActQuant *> out;
+    for (auto &l : layers_)
+        l->collectActQuant(out);
     return out;
 }
 
@@ -107,6 +126,16 @@ std::vector<int>
 Network::predict(const Tensor &x)
 {
     Tensor logits = forward(x, /*train=*/false);
+    std::vector<int> preds(static_cast<size_t>(logits.dim(0)));
+    for (int i = 0; i < logits.dim(0); ++i)
+        preds[static_cast<size_t>(i)] = ops::argmaxRow(logits, i);
+    return preds;
+}
+
+std::vector<int>
+Network::predictQuantized(const Tensor &x)
+{
+    Tensor logits = forwardQuantized(x);
     std::vector<int> preds(static_cast<size_t>(logits.dim(0)));
     for (int i = 0; i < logits.dim(0); ++i)
         preds[static_cast<size_t>(i)] = ops::argmaxRow(logits, i);

@@ -47,6 +47,17 @@ class Network
     /** Full forward pass. */
     Tensor forward(const Tensor &x, bool train);
 
+    /**
+     * Inference forward on the integer-code datapath: ActQuant layers
+     * emit QuantTensor codes (static scales when calibrated), Conv2d /
+     * Linear consume them through the integer GEMM kernels, and
+     * float-domain layers compose through the dense view. Matches
+     * forward() within the rounding tolerance documented in the
+     * README's quantized-execution section; layers without codes
+     * (e.g. the stem conv) run their float path unchanged.
+     */
+    Tensor forwardQuantized(const Tensor &x);
+
     /** Full backward pass; returns gradient wrt the network input. */
     Tensor backward(const Tensor &grad_out);
 
@@ -56,6 +67,10 @@ class Network
     /** All weight-quantizing layers (Conv2d/Linear, recursively), in
      * network order — the cache targets of RpsEngine. */
     std::vector<WeightQuantizedLayer *> weightQuantizedLayers();
+
+    /** All activation quantizers (recursively), in network order —
+     * the calibration targets. */
+    std::vector<ActQuant *> actQuantLayers();
 
     /** Zero all parameter gradients. */
     void zeroGrad();
@@ -82,6 +97,9 @@ class Network
 
     /** Predicted class per row for a batch. */
     std::vector<int> predict(const Tensor &x);
+
+    /** Predicted class per row, via the integer datapath. */
+    std::vector<int> predictQuantized(const Tensor &x);
 
   private:
     PrecisionSet precisionSet_;

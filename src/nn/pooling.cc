@@ -48,6 +48,46 @@ GlobalAvgPool::backward(const Tensor &grad_out)
     return grad_in;
 }
 
+QuantAct
+GlobalAvgPool::forwardQuantized(QuantAct &x)
+{
+    if (!x.hasCodes())
+        return Layer::forwardQuantized(x);
+    TWOINONE_ASSERT(x.q.shape.size() == 4,
+                    "GlobalAvgPool expects NCHW codes");
+    int n = x.q.shape[0], c = x.q.shape[1], h = x.q.shape[2],
+        w = x.q.shape[3];
+    int hw = h * w;
+
+    QuantAct out;
+    out.q.shape = {n, c};
+    out.q.codes.assign(static_cast<size_t>(n) * c, 0);
+    // mean = (sum of codes) * scale / HW: integer partial sums with
+    // the averaging divisor folded into the scale. The summed codes
+    // need ceil(log2(HW)) extra bits.
+    out.q.scale = x.q.scale / static_cast<float>(hw);
+    int extra = 0;
+    while ((1 << extra) < hw)
+        ++extra;
+    out.q.bits = x.q.bits + extra;
+    out.q.isSigned = x.q.isSigned;
+
+    const int32_t *in = x.q.codes.data();
+    int32_t *o = out.q.codes.data();
+    for (int ni = 0; ni < n; ++ni) {
+        for (int ci = 0; ci < c; ++ci) {
+            const int32_t *plane =
+                in + (static_cast<size_t>(ni) * c + ci) * hw;
+            int64_t s = 0;
+            for (int t = 0; t < hw; ++t)
+                s += plane[t];
+            o[static_cast<size_t>(ni) * c + ci] =
+                static_cast<int32_t>(s);
+        }
+    }
+    return out;
+}
+
 Tensor
 AvgPool2x2::forward(const Tensor &x, bool train)
 {

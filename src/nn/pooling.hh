@@ -18,6 +18,16 @@ class GlobalAvgPool : public Layer
   public:
     Tensor forward(const Tensor &x, bool train) override;
     Tensor backward(const Tensor &grad_out) override;
+
+    /**
+     * Integer-exact pooled codes: summing the grid codes and folding
+     * 1/(H*W) into the scale keeps the value on an integer grid
+     * (wider codes, scale / HW), so the classifier head can stay on
+     * the integer datapath. Falls back to the float path when the
+     * input carries no codes.
+     */
+    QuantAct forwardQuantized(QuantAct &x) override;
+
     std::string describe() const override { return "GlobalAvgPool"; }
 
   private:

@@ -37,6 +37,29 @@ PreActBlock::forward(const Tensor &x, bool train)
     return ops::add(y, sc);
 }
 
+QuantAct
+PreActBlock::forwardQuantized(QuantAct &x)
+{
+    // Mirrors forward(): BN / ReLU / the residual add stay in float;
+    // q1/q2 emit integer codes consumed by the convs' int datapath.
+    QuantAct h = bn1_.forwardQuantized(x);
+    h = relu1_.forwardQuantized(h);
+    h = q1_.forwardQuantized(h);
+
+    QuantAct sc;
+    if (convSc_) {
+        sc = convSc_->forwardQuantized(h);
+    } else {
+        sc.dense = x.denseView();
+    }
+    QuantAct y = conv1_.forwardQuantized(h);
+    y = bn2_.forwardQuantized(y);
+    y = relu2_.forwardQuantized(y);
+    y = q2_.forwardQuantized(y);
+    y = conv2_.forwardQuantized(y);
+    return QuantAct(ops::add(y.denseView(), sc.denseView()));
+}
+
 Tensor
 PreActBlock::backward(const Tensor &grad_out)
 {
@@ -74,6 +97,13 @@ PreActBlock::collectWeightQuantized(std::vector<WeightQuantizedLayer *> &out)
     conv2_.collectWeightQuantized(out);
     if (convSc_)
         convSc_->collectWeightQuantized(out);
+}
+
+void
+PreActBlock::collectActQuant(std::vector<ActQuant *> &out)
+{
+    q1_.collectActQuant(out);
+    q2_.collectActQuant(out);
 }
 
 void

@@ -40,9 +40,13 @@ class PreActBlock : public Layer
 
     Tensor forward(const Tensor &x, bool train) override;
     Tensor backward(const Tensor &grad_out) override;
+    /** Quantized-inference forward: SBN/ReLU/residual-add in float,
+     * ActQuant emitting codes, convs on the integer datapath. */
+    QuantAct forwardQuantized(QuantAct &x) override;
     void collectParameters(std::vector<Parameter *> &out) override;
     void collectWeightQuantized(
         std::vector<WeightQuantizedLayer *> &out) override;
+    void collectActQuant(std::vector<ActQuant *> &out) override;
     void setQuantState(const QuantState &qs) override;
     std::string describe() const override;
 

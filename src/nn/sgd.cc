@@ -27,6 +27,9 @@ Sgd::step(const std::vector<Parameter *> &params)
             v[i] = momentum_ * v[i] + g;
             p->value[i] -= lr_ * v[i];
         }
+        // Committed update: advance the version so weight caches
+        // (RpsEngine) can tell this parameter's masters moved.
+        p->bumpVersion();
     }
 }
 

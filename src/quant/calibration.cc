@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Calibrator implementation.
+ */
+
+#include "quant/calibration.hh"
+
+#include "nn/activation.hh"
+
+namespace twoinone {
+
+Calibrator::Calibrator(Network &net)
+    : net_(net), acts_(net.actQuantLayers())
+{
+    TWOINONE_ASSERT(!net_.precisionSet().empty(),
+                    "calibration needs a bound precision set");
+    TWOINONE_ASSERT(!acts_.empty(),
+                    "calibration needs at least one ActQuant layer");
+    for (ActQuant *a : acts_)
+        a->setCalibrationBanks(net_.bnBanks());
+}
+
+void
+Calibrator::calibrate(const std::vector<Tensor> &batches)
+{
+    TWOINONE_ASSERT(!batches.empty(), "calibration needs batches");
+    int restore = net_.activePrecision();
+
+    for (ActQuant *a : acts_)
+        a->beginCalibration();
+    // Ranges depend on the execution precision (quantized weights
+    // change every layer's activations), so each candidate records
+    // into its own bank — the bank QuantState::bnIndex selects at
+    // inference, exactly like SBN statistics.
+    for (int bits : net_.precisionSet().bits()) {
+        net_.setPrecision(bits);
+        for (const Tensor &x : batches)
+            net_.forward(x, /*train=*/false);
+    }
+    for (ActQuant *a : acts_)
+        a->endCalibration();
+
+    setStaticScale(true);
+    calibrated_ = true;
+    net_.setPrecision(restore);
+}
+
+void
+Calibrator::setStaticScale(bool on)
+{
+    for (ActQuant *a : acts_)
+        a->setStaticScale(on);
+}
+
+} // namespace twoinone

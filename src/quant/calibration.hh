@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Activation-range calibration: the pass that turns dynamic per-batch
+ * activation quantization into static-scale quantization.
+ *
+ * The dynamic quantizer re-derives each ActQuant's range from every
+ * input batch — one max-reduction per quantizer per forward. Real
+ * accelerator deployments instead run a handful of calibration batches
+ * once, record each quantizer's observed range per execution
+ * precision, and bake the resulting scale into the datapath (the
+ * paper folds it into the BN multiply, Sec. 2.4). Calibrator does
+ * exactly that: it forwards N batches at every candidate precision of
+ * the bound set, records the per-(quantizer, precision) maxima into
+ * the ActQuant range banks (indexed like the SBN banks), and flips
+ * the network's quantizers to static-scale mode.
+ *
+ * Determinism: recording uses the same bit-exact chunked max
+ * reduction as the dynamic path, so the recorded ranges — and every
+ * forward after calibration — are bit-identical for any
+ * TWOINONE_THREADS setting. With static mode disabled (or no
+ * calibration run), the dynamic path is untouched.
+ */
+
+#ifndef TWOINONE_QUANT_CALIBRATION_HH
+#define TWOINONE_QUANT_CALIBRATION_HH
+
+#include <vector>
+
+#include "nn/network.hh"
+
+namespace twoinone {
+
+/**
+ * Records activation ranges and enables static-scale quantization on
+ * a network. Lightweight: holds only the layer pointers.
+ */
+class Calibrator
+{
+  public:
+    /** Bind to @p net (must have a non-empty precision set and at
+     * least one ActQuant). */
+    explicit Calibrator(Network &net);
+
+    /**
+     * Run the calibration pass over @p batches: forward each batch at
+     * every candidate precision while the quantizers record observed
+     * maxima, then enable static-scale mode. The network's active
+     * precision is restored on return.
+     */
+    void calibrate(const std::vector<Tensor> &batches);
+
+    /** Toggle static-scale mode on every quantizer (calibrate()
+     * enables it; disabling restores the dynamic path). */
+    void setStaticScale(bool on);
+
+    /** Whether calibrate() has run. */
+    bool calibrated() const { return calibrated_; }
+
+    /** The bound quantizers, in network order (test access). */
+    const std::vector<ActQuant *> &quantizers() const { return acts_; }
+
+  private:
+    Network &net_;
+    std::vector<ActQuant *> acts_;
+    bool calibrated_ = false;
+};
+
+} // namespace twoinone
+
+#endif // TWOINONE_QUANT_CALIBRATION_HH

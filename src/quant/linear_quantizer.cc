@@ -94,6 +94,15 @@ LinearQuantizer::fakeQuantSymmetric(const Tensor &x, int bits)
 QuantResult
 LinearQuantizer::fakeQuantUnsigned(const Tensor &x, int bits)
 {
+    if (bits <= 0)
+        return fakeQuantUnsignedStatic(x, bits, 0.0f);
+    return fakeQuantUnsignedStatic(x, bits, ops::maxVal(x));
+}
+
+QuantResult
+LinearQuantizer::fakeQuantUnsignedStatic(const Tensor &x, int bits,
+                                         float max_v)
+{
     QuantResult r;
     if (bits <= 0) {
         r.values = x;
@@ -102,8 +111,6 @@ LinearQuantizer::fakeQuantUnsigned(const Tensor &x, int bits)
         return r;
     }
     r.bits = bits;
-
-    float max_v = ops::maxVal(x);
 
     r.values = Tensor(x.shape());
     r.steMask = Tensor::ones(x.shape());

@@ -81,6 +81,16 @@ class LinearQuantizer
     static QuantResult fakeQuantUnsigned(const Tensor &x, int bits);
 
     /**
+     * Affine unsigned fake quantization with an explicit range
+     * maximum — the static-scale form used after activation
+     * calibration. Bit-identical to fakeQuantUnsigned when
+     * @p max_v == ops::maxVal(x) (both run the same grid pass);
+     * values above @p max_v clip to the top of the grid.
+     */
+    static QuantResult fakeQuantUnsignedStatic(const Tensor &x, int bits,
+                                               float max_v);
+
+    /**
      * Integer codes of the symmetric grid, for feeding the bit-true
      * accelerator datapath. Values lie in [-qmax, qmax].
      */

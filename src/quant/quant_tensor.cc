@@ -1,0 +1,166 @@
+/**
+ * @file
+ * QuantTensor implementation.
+ *
+ * The quantization passes mirror LinearQuantizer's exactly (same
+ * nearbyint grid snap, same clamp, same mask rule) so the code form
+ * and the float fake-quant form can never diverge; the grid passes run
+ * through the same backend-gated chunking (ops::gatedParallelFor) and
+ * are bit-identical for any thread count.
+ */
+
+#include "quant/quant_tensor.hh"
+
+#include <cmath>
+
+#include "quant/linear_quantizer.hh"
+#include "tensor/ops.hh"
+
+namespace twoinone {
+
+namespace {
+
+// Matches the element-wise grain in tensor/ops.cc and the quantizer.
+constexpr int64_t kQuantGrain = 1 << 15;
+
+} // namespace
+
+int
+QuantTensor::qmax() const
+{
+    if (bits <= 0)
+        return 0;
+    return isSigned ? LinearQuantizer::signedQmax(bits)
+                    : LinearQuantizer::unsignedQmax(bits);
+}
+
+QuantTensor
+QuantTensor::quantizeSymmetric(const Tensor &x, int bits,
+                               Tensor *ste_mask_out, Tensor *values_out)
+{
+    TWOINONE_ASSERT(bits >= 1, "quantizeSymmetric bits=", bits);
+    QuantTensor q;
+    q.shape = x.shape();
+    q.codes.assign(x.size(), 0);
+    q.bits = bits;
+    q.isSigned = true;
+
+    if (ste_mask_out)
+        *ste_mask_out = Tensor::ones(x.shape());
+
+    float max_abs = ops::maxAbs(x);
+    if (max_abs == 0.0f) {
+        q.scale = 0.0f;
+        if (values_out)
+            *values_out = Tensor::zeros(x.shape());
+        return q;
+    }
+    int qmax = LinearQuantizer::signedQmax(bits);
+    float scale = max_abs / static_cast<float>(qmax);
+    q.scale = scale;
+
+    if (values_out)
+        values_out->ensure(x.shape());
+    const float *in = x.data();
+    int32_t *codes = q.codes.data();
+    float *mask = ste_mask_out ? ste_mask_out->data() : nullptr;
+    float *values = values_out ? values_out->data() : nullptr;
+    ops::gatedParallelFor(
+        static_cast<int64_t>(x.size()), kQuantGrain,
+        [&](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i) {
+                float g = std::nearbyint(in[i] / scale);
+                if (g > qmax) {
+                    g = static_cast<float>(qmax);
+                    if (mask)
+                        mask[i] = 0.0f;
+                } else if (g < -qmax) {
+                    g = static_cast<float>(-qmax);
+                    if (mask)
+                        mask[i] = 0.0f;
+                }
+                codes[i] = static_cast<int32_t>(g);
+                if (values)
+                    values[i] = g * scale;
+            }
+        });
+    return q;
+}
+
+QuantTensor
+QuantTensor::quantizeUnsigned(const Tensor &x, int bits, float max_v,
+                              Tensor *ste_mask_out)
+{
+    TWOINONE_ASSERT(bits >= 1, "quantizeUnsigned bits=", bits);
+    QuantTensor q;
+    q.shape = x.shape();
+    q.codes.assign(x.size(), 0);
+    q.bits = bits;
+    q.isSigned = false;
+
+    const float *in = x.data();
+    if (ste_mask_out)
+        *ste_mask_out = Tensor::ones(x.shape());
+    if (max_v <= 0.0f) {
+        q.scale = 0.0f;
+        if (ste_mask_out) {
+            float *mask = ste_mask_out->data();
+            ops::gatedParallelFor(
+                static_cast<int64_t>(x.size()), kQuantGrain,
+                [&](int64_t lo, int64_t hi) {
+                    for (int64_t i = lo; i < hi; ++i)
+                        mask[i] = (in[i] == 0.0f) ? 1.0f : 0.0f;
+                });
+        }
+        return q;
+    }
+
+    int qmax = LinearQuantizer::unsignedQmax(bits);
+    float scale = max_v / static_cast<float>(qmax);
+    q.scale = scale;
+    int32_t *codes = q.codes.data();
+    float *mask = ste_mask_out ? ste_mask_out->data() : nullptr;
+    ops::gatedParallelFor(
+        static_cast<int64_t>(x.size()), kQuantGrain,
+        [&](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i) {
+                float g = std::nearbyint(in[i] / scale);
+                if (g < 0.0f) {
+                    g = 0.0f;
+                    if (mask)
+                        mask[i] = 0.0f;
+                } else if (g > qmax) {
+                    g = static_cast<float>(qmax);
+                    if (mask)
+                        mask[i] = 0.0f;
+                }
+                codes[i] = static_cast<int32_t>(g);
+            }
+        });
+    return q;
+}
+
+Tensor
+QuantTensor::dequantize() const
+{
+    Tensor out;
+    dequantizeInto(out);
+    return out;
+}
+
+void
+QuantTensor::dequantizeInto(Tensor &out) const
+{
+    out.ensure(shape);
+    float *dst = out.data();
+    const int32_t *src = codes.data();
+    const float s = scale;
+    ops::gatedParallelFor(
+        static_cast<int64_t>(codes.size()), kQuantGrain,
+        [&](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i)
+                dst[i] = static_cast<float>(src[i]) * s;
+        });
+}
+
+} // namespace twoinone

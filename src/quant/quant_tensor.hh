@@ -1,0 +1,91 @@
+/**
+ * @file
+ * QuantTensor: the canonical quantized-tensor representation — integer
+ * codes on a uniform grid plus the scale that maps them back to reals.
+ *
+ * The float "fake-quantized" values the nn library computes are a
+ * *view* of this representation: value[i] == float(code[i]) * scale,
+ * exactly (codes are small integers, exactly representable in float,
+ * and the product is the same single rounding fakeQuant* performs).
+ * RpsEngine therefore caches QuantTensors as the source of truth and
+ * materializes the float view lazily; the bit-serial datapath
+ * simulator (accel/array_sim) consumes the codes directly, with no
+ * float-to-int re-pass anywhere.
+ *
+ * Two grids, matching LinearQuantizer:
+ *  - symmetric signed (weights): codes in [-qmax, qmax],
+ *    qmax = 2^(bits-1) - 1, scale = max|x| / qmax;
+ *  - affine unsigned (post-ReLU activations): codes in [0, qmax],
+ *    qmax = 2^bits - 1, scale = max / qmax — with the max either
+ *    observed from the tensor (dynamic) or supplied by a calibration
+ *    pass (static scale).
+ */
+
+#ifndef TWOINONE_QUANT_QUANT_TENSOR_HH
+#define TWOINONE_QUANT_QUANT_TENSOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace twoinone {
+
+/**
+ * Integer codes + scale + precision: the canonical quantized tensor.
+ */
+struct QuantTensor
+{
+    /** Row-major shape (mirrors the source Tensor's). */
+    std::vector<int> shape;
+    /** Integer grid codes. Stored as int32 so post-quantization
+     * integer transforms (e.g. average-pool partial sums) fit. */
+    std::vector<int32_t> codes;
+    /** Dequantization scale: real value = code * scale. */
+    float scale = 0.0f;
+    /** Grid precision in bits (0 = empty/unquantized). */
+    int bits = 0;
+    /** Signed symmetric grid (weights) vs unsigned (activations). */
+    bool isSigned = true;
+
+    size_t size() const { return codes.size(); }
+    bool empty() const { return codes.empty(); }
+    /** Bytes held by the code storage. */
+    size_t bytes() const { return codes.size() * sizeof(int32_t); }
+
+    /**
+     * Quantize onto the symmetric signed grid (weights), scale from
+     * the tensor's own max|x|. Codes reproduce
+     * LinearQuantizer::fakeQuantSymmetric exactly: dequantize() is
+     * bit-identical to its values, @p ste_mask_out (when non-null)
+     * receives the identical STE mask, and @p values_out (when
+     * non-null) receives the dequantized grid values fused into the
+     * same pass (what a separate dequantize() would produce).
+     */
+    static QuantTensor quantizeSymmetric(const Tensor &x, int bits,
+                                         Tensor *ste_mask_out = nullptr,
+                                         Tensor *values_out = nullptr);
+
+    /**
+     * Quantize onto the unsigned grid (activations) with an explicit
+     * range maximum @p max_v — the static-scale calibrated form. With
+     * max_v == ops::maxVal(x) this reproduces
+     * LinearQuantizer::fakeQuantUnsigned bit-exactly.
+     */
+    static QuantTensor quantizeUnsigned(const Tensor &x, int bits,
+                                        float max_v,
+                                        Tensor *ste_mask_out = nullptr);
+
+    /** Materialize the float view: out[i] = float(codes[i]) * scale. */
+    Tensor dequantize() const;
+
+    /** Materialize into an existing tensor (reshaped as needed). */
+    void dequantizeInto(Tensor &out) const;
+
+    /** Largest |code| representable on this grid. */
+    int qmax() const;
+};
+
+} // namespace twoinone
+
+#endif // TWOINONE_QUANT_QUANT_TENSOR_HH

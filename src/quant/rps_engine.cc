@@ -28,6 +28,7 @@ RpsEngine::RpsEngine(Network &net, PrecisionSet cache_set)
     cache_.resize(layers_.size());
     for (auto &per_layer : cache_)
         per_layer.resize(cacheSet_.size());
+    builtVersion_.assign(layers_.size(), 0);
     refresh();
 }
 
@@ -37,25 +38,56 @@ RpsEngine::~RpsEngine()
 }
 
 void
-RpsEngine::refresh()
+RpsEngine::rebuildLayers(const std::vector<size_t> &which)
 {
-    const std::vector<int> &bits = cacheSet_.bits();
-    const int64_t nprec = static_cast<int64_t>(bits.size());
-    const int64_t total = static_cast<int64_t>(layers_.size()) * nprec;
+    const int64_t nprec = static_cast<int64_t>(cacheSet_.size());
     // (layer, precision) pairs are independent; grain 1 gives
-    // deterministic fixed chunking, and the fake-quant passes inside
+    // deterministic fixed chunking, and the quantization passes inside
     // run inline (nested parallelFor), so each entry is bit-identical
     // to a serially built one.
     ThreadPool::global().parallelFor(
-        0, total, 1, [&](int64_t lo, int64_t hi) {
+        0, static_cast<int64_t>(which.size()) * nprec, 1,
+        [&](int64_t lo, int64_t hi) {
             for (int64_t t = lo; t < hi; ++t) {
-                size_t l = static_cast<size_t>(t / nprec);
+                size_t l = which[static_cast<size_t>(t / nprec)];
                 size_t p = static_cast<size_t>(t % nprec);
-                cache_[l][p] = LinearQuantizer::fakeQuantSymmetric(
-                    layers_[l]->masterWeight(),
-                    bits[p]);
+                CacheEntry &e = cache_[l][p];
+                // Entries whose float view was already materialized
+                // (installed or previously used) are rebuilt in the
+                // same fused pass so installed pointers stay valid
+                // AND current; never-used views stay lazy.
+                e.codes = QuantTensor::quantizeSymmetric(
+                    layers_[l]->masterWeight(), cacheSet_.bits()[p],
+                    &e.floats.steMask,
+                    e.floatsReady ? &e.floats.values : nullptr);
+                e.floats.scale = e.codes.scale;
+                e.floats.bits = e.codes.bits;
             }
         });
+    for (size_t l : which)
+        builtVersion_[l] = layers_[l]->masterWeightVersion();
+}
+
+void
+RpsEngine::refresh()
+{
+    std::vector<size_t> all(layers_.size());
+    for (size_t l = 0; l < layers_.size(); ++l)
+        all[l] = l;
+    rebuildLayers(all);
+}
+
+size_t
+RpsEngine::refreshDirty()
+{
+    std::vector<size_t> dirty;
+    for (size_t l = 0; l < layers_.size(); ++l) {
+        if (layers_[l]->masterWeightVersion() != builtVersion_[l])
+            dirty.push_back(l);
+    }
+    if (!dirty.empty())
+        rebuildLayers(dirty);
+    return dirty.size();
 }
 
 void
@@ -64,14 +96,32 @@ RpsEngine::setPrecision(int bits)
     if (bits == 0 || !cacheSet_.contains(bits)) {
         // Full precision, or a bound-set precision the engine was not
         // asked to cache: run uncached.
-        for (WeightQuantizedLayer *l : layers_)
+        for (WeightQuantizedLayer *l : layers_) {
             l->setWeightCache(nullptr);
+            l->setWeightCodes(nullptr);
+        }
         net_.setPrecision(bits);
         return;
     }
     size_t idx = static_cast<size_t>(cacheSet_.indexOf(bits));
-    for (size_t l = 0; l < layers_.size(); ++l)
-        layers_[l]->setWeightCache(&cache_[l][idx]);
+    // Materialize the float views of this precision column on first
+    // use since the last refresh (codes are the source of truth;
+    // float(code) * scale is exactly the fake-quant grid value).
+    ThreadPool::global().parallelFor(
+        0, static_cast<int64_t>(layers_.size()), 1,
+        [&](int64_t lo, int64_t hi) {
+            for (int64_t l = lo; l < hi; ++l) {
+                CacheEntry &e = cache_[static_cast<size_t>(l)][idx];
+                if (!e.floatsReady) {
+                    e.codes.dequantizeInto(e.floats.values);
+                    e.floatsReady = true;
+                }
+            }
+        });
+    for (size_t l = 0; l < layers_.size(); ++l) {
+        layers_[l]->setWeightCache(&cache_[l][idx].floats);
+        layers_[l]->setWeightCodes(&cache_[l][idx].codes);
+    }
     net_.setPrecision(bits);
 }
 
@@ -82,11 +132,25 @@ RpsEngine::forwardAt(int bits, const Tensor &x)
     return net_.forward(x, /*train=*/false);
 }
 
+Tensor
+RpsEngine::forwardQuantizedAt(int bits, const Tensor &x)
+{
+    setPrecision(bits);
+    return net_.forwardQuantized(x);
+}
+
 std::vector<int>
 RpsEngine::predictAt(int bits, const Tensor &x)
 {
     setPrecision(bits);
     return net_.predict(x);
+}
+
+std::vector<int>
+RpsEngine::predictQuantizedAt(int bits, const Tensor &x)
+{
+    setPrecision(bits);
+    return net_.predictQuantized(x);
 }
 
 Tensor
@@ -101,17 +165,59 @@ RpsEngine::forwardRandom(const Tensor &x, Rng &rng, int *bits_out)
 void
 RpsEngine::detach()
 {
-    for (WeightQuantizedLayer *l : layers_)
+    for (WeightQuantizedLayer *l : layers_) {
         l->setWeightCache(nullptr);
+        l->setWeightCodes(nullptr);
+    }
+}
+
+const QuantTensor &
+RpsEngine::codesFor(size_t layer, int bits) const
+{
+    TWOINONE_ASSERT(layer < cache_.size(), "layer index out of range");
+    TWOINONE_ASSERT(cacheSet_.contains(bits), "precision ", bits,
+                    " not cached");
+    return cache_[layer][static_cast<size_t>(cacheSet_.indexOf(bits))]
+        .codes;
+}
+
+uint64_t
+RpsEngine::cacheHits() const
+{
+    uint64_t total = 0;
+    for (WeightQuantizedLayer *l : layers_)
+        total += l->cacheHits();
+    return total;
+}
+
+uint64_t
+RpsEngine::cacheMisses() const
+{
+    uint64_t total = 0;
+    for (WeightQuantizedLayer *l : layers_)
+        total += l->cacheMisses();
+    return total;
+}
+
+void
+RpsEngine::resetCacheStats()
+{
+    for (WeightQuantizedLayer *l : layers_)
+        l->resetCacheStats();
 }
 
 size_t
 RpsEngine::cacheBytes() const
 {
     size_t bytes = 0;
-    for (const auto &per_layer : cache_)
-        for (const QuantResult &r : per_layer)
-            bytes += (r.values.size() + r.steMask.size()) * sizeof(float);
+    for (const auto &per_layer : cache_) {
+        for (const CacheEntry &e : per_layer) {
+            bytes += e.codes.bytes();
+            bytes += e.floats.steMask.size() * sizeof(float);
+            if (e.floatsReady)
+                bytes += e.floats.values.size() * sizeof(float);
+        }
+    }
     return bytes;
 }
 

@@ -3,30 +3,37 @@
  * RpsEngine: the precision-switchable inference engine behind RPS
  * serving (paper Alg. 1, RPS inference).
  *
- * On construction the engine pre-quantizes every weight tensor of the
- * bound network at every candidate precision of the network's
- * PrecisionSet, parallelized across layers x precisions on the global
- * thread pool. A precision switch then installs the cached tensors
- * into the layers — O(#layers) pointer installs — instead of
- * re-running fakeQuantSymmetric over all master weights, and the
- * forward pass is the plain GEMM path on cached weights,
- * bit-identical to the uncached path (the cache stores exactly what
- * fakeQuantSymmetric would produce).
+ * The cache is int-code-first: for every (weight layer, candidate
+ * precision) pair the engine stores the canonical QuantTensor —
+ * integer grid codes + scale — plus the STE mask, built in one
+ * quantization pass over the masters (parallel across layers x
+ * precisions on the global thread pool). The float fake-quant view
+ * that the float forward consumes is *materialized lazily* from the
+ * codes, on the first switch to that precision: value[i] =
+ * float(code[i]) * scale, which is bit-identical to what
+ * fakeQuantSymmetric would produce, so the cached float forward is
+ * bit-identical to the uncached re-quantizing path. The same codes
+ * feed the integer forward (Network::forwardQuantized) and the
+ * bit-serial datapath simulator (accel/array_sim) directly — one
+ * switch installs both representations with zero re-quantization.
  *
- * Cache layout: one QuantResult (grid values + STE mask + scale) per
- * (weight layer, candidate precision) pair, i.e. two float tensors
- * per weight tensor per candidate — about 8 * |set| bytes per weight
- * scalar (cacheBytes() reports the exact total). Entries live in
- * stable storage: refresh() rewrites them in place, so installed
- * pointers remain valid across refreshes.
+ * A precision switch is O(#layers): pointer installs of the float
+ * entry and the codes into each layer. Entries live in stable
+ * storage; refresh() rewrites them in place, so installed pointers
+ * remain valid across refreshes. refreshDirty() re-quantizes only
+ * layers whose master-weight version advanced since their entries
+ * were built (Parameter::version, bumped by the optimizer) — the
+ * per-step refresh the trainer hook uses.
  *
- * The engine caches *weights only*; activations are quantized on the
- * fly each forward because their dynamic range depends on the input.
- * Master weights must not change while caches are installed — call
- * refresh() after any training step before inferring again. Layers
- * that ran a cached forward keep a pointer into the entry for their
- * backward STE mask, so keep the engine alive until the backward
- * passes that depend on a cached forward have run.
+ * The engine caches *weights only*; activations are quantized per
+ * forward — dynamically by default, or against calibrated static
+ * scales (quant/calibration.hh), which makes the cached forward fully
+ * quantization-free. Master weights must not change while caches are
+ * installed — call refresh()/refreshDirty() after any training step
+ * before inferring again. Layers that ran a cached forward keep a
+ * pointer into the entry for their backward STE mask, so keep the
+ * engine alive until the backward passes that depend on a cached
+ * forward have run.
  */
 
 #ifndef TWOINONE_QUANT_RPS_ENGINE_HH
@@ -35,6 +42,7 @@
 #include <vector>
 
 #include "nn/network.hh"
+#include "quant/quant_tensor.hh"
 
 namespace twoinone {
 
@@ -73,20 +81,35 @@ class RpsEngine
     /** Number of weight-quantizing layers under cache. */
     size_t numQuantLayers() const { return layers_.size(); }
 
-    /** Total bytes held by the cached tensors. */
+    /** Total bytes held by the cache: int codes + STE masks + any
+     * materialized float views. */
     size_t cacheBytes() const;
 
     /**
      * Re-quantize every cache entry from the current master weights
      * (parallel across layers x precisions). Installed pointers stay
-     * valid. Call after weight updates.
+     * valid; materialized float views are dropped and rebuilt on the
+     * next switch. Call after weight updates.
      */
     void refresh();
 
     /**
-     * Switch the active precision: install the cached entries for
-     * @p bits (or clear them for 0 = full precision) and propagate
-     * the quant state through the network. O(#layers). A bound-set
+     * Re-quantize only the layers whose master-weight version
+     * (Parameter::version) moved since their entries were built — the
+     * per-step hook for cached adversarial training. Layers mutated
+     * without a version bump are NOT picked up; use refresh() for
+     * out-of-band weight surgery.
+     *
+     * @return The number of layers that were dirty and re-quantized.
+     */
+    size_t refreshDirty();
+
+    /**
+     * Switch the active precision: install the cached float entries
+     * and integer codes for @p bits (or clear them for 0 = full
+     * precision) and propagate the quant state through the network.
+     * O(#layers) plus, on first use of a precision since the last
+     * refresh, one code-to-float materialization pass. A bound-set
      * precision outside the cached set switches uncached.
      */
     void setPrecision(int bits);
@@ -97,8 +120,14 @@ class RpsEngine
     /** Switch to @p bits and run an inference forward pass. */
     Tensor forwardAt(int bits, const Tensor &x);
 
+    /** Switch to @p bits and run the integer-datapath forward. */
+    Tensor forwardQuantizedAt(int bits, const Tensor &x);
+
     /** Switch to @p bits and return per-row argmax predictions. */
     std::vector<int> predictAt(int bits, const Tensor &x);
+
+    /** predictAt on the integer datapath. */
+    std::vector<int> predictQuantizedAt(int bits, const Tensor &x);
 
     /** Draw a candidate precision uniformly (Alg. 1 line 16). */
     int samplePrecision(Rng &rng) const { return set().sample(rng); }
@@ -115,12 +144,43 @@ class RpsEngine
      */
     void detach();
 
+    /** The cached integer codes of layer @p layer at @p bits
+     * (test/simulator access; panics when not cached). */
+    const QuantTensor &codesFor(size_t layer, int bits) const;
+
+    /** @name Cache accounting
+     * Quantized-weight lookups across all cached layers since the
+     * last reset: hits used an installed entry, misses re-quantized
+     * the masters (e.g. EPGD switching precisions behind the
+     * engine's back). */
+    /** @{ */
+    uint64_t cacheHits() const;
+    uint64_t cacheMisses() const;
+    void resetCacheStats();
+    /** @} */
+
   private:
+    /** One (layer, precision) cache cell: canonical codes plus the
+     * lazily materialized float fake-quant view. */
+    struct CacheEntry
+    {
+        QuantTensor codes;
+        QuantResult floats; ///< steMask eager, values lazy
+        bool floatsReady = false;
+    };
+
     Network &net_;
     PrecisionSet cacheSet_;
     std::vector<WeightQuantizedLayer *> layers_;
     /** cache_[layer][precision index in cacheSet_]. */
-    std::vector<std::vector<QuantResult>> cache_;
+    std::vector<std::vector<CacheEntry>> cache_;
+    /** Master-weight version each layer's entries were built from. */
+    std::vector<uint64_t> builtVersion_;
+
+    /** Rebuild all cached precisions of the given layers (parallel
+     * over layers x precisions; float views of used precisions are
+     * rebuilt fused, never-used views stay lazy). */
+    void rebuildLayers(const std::vector<size_t> &which);
 };
 
 } // namespace twoinone

@@ -19,14 +19,17 @@
 
 #include "tensor/gemm.hh"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "tensor/ops.hh"
 
 namespace twoinone {
 namespace gemm {
@@ -74,22 +77,31 @@ initOutput(int m, int n, float *c, int ldc, const float *row_bias)
     }
 }
 
+/**
+ * Reference loops restricted to output rows [i0, i1). Every variant
+ * iterates each C element's reduction in ascending p order, so the
+ * per-element accumulation — and therefore the result — is identical
+ * whether the rows run serially ([0, m) in one call) or split across
+ * threads by the light parallel small-product path.
+ */
 void
-sgemmNaive(bool trans_a, bool trans_b, int m, int n, int k, const float *a,
-           int lda, const float *b, int ldb, float *c, int ldc,
-           bool accumulate, const float *row_bias)
+sgemmNaiveRows(bool trans_a, bool trans_b, int i0, int i1, int n, int k,
+               const float *a, int lda, const float *b, int ldb, float *c,
+               int ldc, bool accumulate, const float *row_bias)
 {
-    if (m <= 0 || n <= 0)
+    if (i1 <= i0 || n <= 0)
         return;
-    if (!accumulate)
-        initOutput(m, n, c, ldc, row_bias);
+    if (!accumulate) {
+        initOutput(i1 - i0, n, c + static_cast<size_t>(i0) * ldc, ldc,
+                   row_bias ? row_bias + i0 : nullptr);
+    }
 
     // All variants accumulate in float, matching the blocked kernel's
     // precision (the seed's matmulTransposeB used double — see
     // ISSUE 1 satellite: consistent accumulation across variants).
     if (!trans_a && !trans_b) {
         // C[i,j] += A[i,p] * B[p,j]; saxpy over rows of B.
-        for (int i = 0; i < m; ++i) {
+        for (int i = i0; i < i1; ++i) {
             const float *arow = a + static_cast<size_t>(i) * lda;
             float *crow = c + static_cast<size_t>(i) * ldc;
             for (int p = 0; p < k; ++p) {
@@ -101,7 +113,7 @@ sgemmNaive(bool trans_a, bool trans_b, int m, int n, int k, const float *a,
         }
     } else if (!trans_a && trans_b) {
         // C[i,j] += dot(A row i, B row j).
-        for (int i = 0; i < m; ++i) {
+        for (int i = i0; i < i1; ++i) {
             const float *arow = a + static_cast<size_t>(i) * lda;
             float *crow = c + static_cast<size_t>(i) * ldc;
             for (int j = 0; j < n; ++j) {
@@ -113,20 +125,20 @@ sgemmNaive(bool trans_a, bool trans_b, int m, int n, int k, const float *a,
             }
         }
     } else if (trans_a && !trans_b) {
-        // C[i,j] += A[p,i] * B[p,j]; saxpy over rows of B, outer p.
-        for (int p = 0; p < k; ++p) {
-            const float *arow = a + static_cast<size_t>(p) * lda;
-            const float *brow = b + static_cast<size_t>(p) * ldb;
-            for (int i = 0; i < m; ++i) {
-                float av = arow[i];
-                float *crow = c + static_cast<size_t>(i) * ldc;
+        // C[i,j] += A[p,i] * B[p,j]; saxpy over rows of B per output
+        // row (p ascending per element, same as the old p-outer form).
+        for (int i = i0; i < i1; ++i) {
+            float *crow = c + static_cast<size_t>(i) * ldc;
+            for (int p = 0; p < k; ++p) {
+                float av = a[static_cast<size_t>(p) * lda + i];
+                const float *brow = b + static_cast<size_t>(p) * ldb;
                 for (int j = 0; j < n; ++j)
                     crow[j] += av * brow[j];
             }
         }
     } else {
         // Double transpose (unused by the ops layer, kept complete).
-        for (int i = 0; i < m; ++i) {
+        for (int i = i0; i < i1; ++i) {
             float *crow = c + static_cast<size_t>(i) * ldc;
             for (int j = 0; j < n; ++j) {
                 float s = 0.0f;
@@ -137,6 +149,28 @@ sgemmNaive(bool trans_a, bool trans_b, int m, int n, int k, const float *a,
             }
         }
     }
+}
+
+void
+sgemmNaive(bool trans_a, bool trans_b, int m, int n, int k, const float *a,
+           int lda, const float *b, int ldb, float *c, int ldc,
+           bool accumulate, const float *row_bias)
+{
+    sgemmNaiveRows(trans_a, trans_b, 0, m, n, k, a, lda, b, ldb, c, ldc,
+                   accumulate, row_bias);
+}
+
+/**
+ * Row chunk of the light parallel small-product path: sized so one
+ * chunk carries at least ~8K multiply-adds, keeping dispatch overhead
+ * negligible and letting genuinely tiny products run inline.
+ */
+int64_t
+lightGrainRows(int n, int k)
+{
+    return std::max<int64_t>(
+        1, (int64_t{1} << 13) / std::max<int64_t>(
+               1, 2 * static_cast<int64_t>(n) * k));
 }
 
 /**
@@ -285,8 +319,20 @@ sgemmBlocked(bool trans_a, bool trans_b, int m, int n, int k, const float *a,
         return;
     }
     if (static_cast<int64_t>(m) * n * k <= kSmallProduct) {
-        sgemmNaive(trans_a, trans_b, m, n, k, a, lda, b, ldb, c, ldc,
-                   accumulate, row_bias);
+        // Below the packing cutoff the naive loops win on setup cost,
+        // but they need not run serially: rows of C are disjoint, so
+        // split them across the pool (each chunk >= ~8K MACs; genuinely
+        // tiny products still run inline via the grain rule, and
+        // nested calls — e.g. per-image conv GEMMs inside a
+        // batch-parallel loop — inline as always). Per-element
+        // accumulation order is unchanged, so the result is
+        // bit-identical to the serial reference for any thread count.
+        ThreadPool::global().parallelFor(
+            0, m, lightGrainRows(n, k), [&](int64_t lo, int64_t hi) {
+                sgemmNaiveRows(trans_a, trans_b, static_cast<int>(lo),
+                               static_cast<int>(hi), n, k, a, lda, b,
+                               ldb, c, ldc, accumulate, row_bias);
+            });
         return;
     }
 
@@ -413,6 +459,126 @@ sgemm(bool trans_a, bool trans_b, int m, int n, int k, const float *a,
 {
     sgemm(activeBackend(), trans_a, trans_b, m, n, k, a, lda, b, ldb, c,
           ldc, accumulate, row_bias);
+}
+
+bool
+smallGemmRunsParallel(int m, int n, int k)
+{
+    if (static_cast<int64_t>(m) * n * k > kSmallProduct)
+        return false; // not a small product: blocked path
+    return activeBackend() == Backend::Blocked &&
+           ThreadPool::global().threads() > 1 &&
+           !ThreadPool::inParallelRegion() && m > lightGrainRows(n, k);
+}
+
+// ---------------------------------------------------------------------------
+// Integer GEMM: C[m,n](int64) = A[m,k] * B[n,k]^T over grid codes.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/**
+ * Rows [i0, i1) of the integer product with explicit product and
+ * accumulator types. Narrow (<= 16-bit) operand pairs multiply in
+ * int32 — the worst-case product (2^15-1) * (2^16-1) still fits — so
+ * the compiler can vectorize the multiplies and only the adds widen.
+ * Integer arithmetic is exact, so every (PT, ACC) combination and any
+ * row chunking agree bit-for-bit whenever nothing can overflow.
+ */
+template <typename AT, typename BT, typename PT, typename ACC>
+void
+igemmRowsTransB(int64_t i0, int64_t i1, int n, int k, const AT *a, int lda,
+                const BT *b, int ldb, int64_t *c, int ldc)
+{
+    for (int64_t i = i0; i < i1; ++i) {
+        const AT *arow = a + static_cast<size_t>(i) * lda;
+        int64_t *crow = c + static_cast<size_t>(i) * ldc;
+        for (int j = 0; j < n; ++j) {
+            const BT *brow = b + static_cast<size_t>(j) * ldb;
+            ACC acc = 0;
+            for (int p = 0; p < k; ++p) {
+                acc += static_cast<ACC>(static_cast<PT>(arow[p]) *
+                                        static_cast<PT>(brow[p]));
+            }
+            crow[j] = static_cast<int64_t>(acc);
+        }
+    }
+}
+
+/** Worst-case |accumulator| bound of a w_bits x a_bits reduction of
+ * length k (computed in double: the bound itself may exceed int64 for
+ * absurd inputs, and only the <= INT32_MAX comparison matters).
+ * w_bits == 1 is the binary {-1, +1} grid whose magnitude is 1, not
+ * 2^0 - 1 = 0 (matches LinearQuantizer::signedQmax). */
+inline bool
+int32AccumulationFits(int w_bits, int a_bits, int k)
+{
+    double qw = (w_bits == 1)
+                    ? 1.0
+                    : static_cast<double>((1LL << (w_bits - 1)) - 1);
+    double qa = static_cast<double>((1LL << a_bits) - 1);
+    return qw * qa * static_cast<double>(k) <=
+           static_cast<double>(std::numeric_limits<int32_t>::max());
+}
+
+template <typename AT, typename BT, typename PT>
+void
+igemmDispatch(int m, int n, int k, const AT *a, int lda, const BT *b,
+              int ldb, int64_t *c, int ldc, bool acc32)
+{
+    if (m <= 0 || n <= 0)
+        return;
+    int64_t grain =
+        std::max<int64_t>(1, (int64_t{1} << 15) /
+                                 std::max<int64_t>(
+                                     1, static_cast<int64_t>(n) * k));
+    ops::gatedParallelFor(m, grain, [&](int64_t lo, int64_t hi) {
+        if (acc32) {
+            igemmRowsTransB<AT, BT, PT, int32_t>(lo, hi, n, k, a, lda,
+                                                 b, ldb, c, ldc);
+        } else {
+            igemmRowsTransB<AT, BT, PT, int64_t>(lo, hi, n, k, a, lda,
+                                                 b, ldb, c, ldc);
+        }
+    });
+}
+
+} // namespace
+
+void
+igemmTransB(int m, int n, int k, const int8_t *a, int lda,
+            const uint8_t *b, int ldb, int64_t *c, int ldc, int w_bits,
+            int a_bits)
+{
+    TWOINONE_ASSERT(w_bits >= 1 && w_bits <= 8 && a_bits >= 1 &&
+                        a_bits <= 8,
+                    "int8 igemm needs codes of <= 8 bits");
+    igemmDispatch<int8_t, uint8_t, int32_t>(
+        m, n, k, a, lda, b, ldb, c, ldc,
+        int32AccumulationFits(w_bits, a_bits, k));
+}
+
+void
+igemmTransB(int m, int n, int k, const int16_t *a, int lda,
+            const uint16_t *b, int ldb, int64_t *c, int ldc, int w_bits,
+            int a_bits)
+{
+    TWOINONE_ASSERT(w_bits >= 1 && w_bits <= 16 && a_bits >= 1 &&
+                        a_bits <= 16,
+                    "int16 igemm needs codes of <= 16 bits");
+    igemmDispatch<int16_t, uint16_t, int32_t>(
+        m, n, k, a, lda, b, ldb, c, ldc,
+        int32AccumulationFits(w_bits, a_bits, k));
+}
+
+void
+igemmTransB(int m, int n, int k, const int32_t *a, int lda,
+            const int32_t *b, int ldb, int64_t *c, int ldc)
+{
+    // Wide-code variant (post-quantization integer tensors): 64-bit
+    // products and accumulation throughout.
+    igemmDispatch<int32_t, int32_t, int64_t>(m, n, k, a, lda, b, ldb, c,
+                                             ldc, /*acc32=*/false);
 }
 
 } // namespace gemm

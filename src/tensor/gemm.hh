@@ -21,6 +21,8 @@
 #ifndef TWOINONE_TENSOR_GEMM_HH
 #define TWOINONE_TENSOR_GEMM_HH
 
+#include <cstdint>
+
 namespace twoinone {
 namespace gemm {
 
@@ -66,6 +68,42 @@ void sgemm(Backend backend, bool trans_a, bool trans_b, int m, int n, int k,
            const float *a, int lda, const float *b, int ldb, float *c,
            int ldc, bool accumulate = false,
            const float *row_bias = nullptr);
+
+/**
+ * True when a small product (m*n*k at or below the blocked path's
+ * packing cutoff) dispatches to the light row-parallel naive path
+ * instead of the serial reference loops — decided by the same grain
+ * rule sgemm uses, so benches can report which path a shape takes.
+ */
+bool smallGemmRunsParallel(int m, int n, int k);
+
+/** @name Integer GEMM (the quantized-execution kernels)
+ *
+ * C[m,n] = A[m,k] * B[n,k]^T over integer grid codes — the layout of
+ * Conv2d (weights x im2col columns) and Linear (weights x batch). The
+ * operands are narrow codes: signed weights (int8/int16) against
+ * unsigned activations (uint8/uint16), plus a wide int32 x int32
+ * variant for post-quantization integer tensors whose codes have
+ * outgrown 16 bits (e.g. average-pool partial sums). The output is
+ * always int64.
+ *
+ * Accumulation runs in int32 whenever the worst-case magnitude bound
+ * qmax_w * qmax_a * k fits, and falls back to int64 otherwise — both
+ * exact, so results are bit-identical regardless. Rows of C are
+ * computed thread-pool-parallel above a work grain;
+ * TWOINONE_BACKEND=naive forces the serial reference loops. Integer
+ * addition is associative, so every path agrees bit-for-bit.
+ */
+/** @{ */
+void igemmTransB(int m, int n, int k, const int8_t *a, int lda,
+                 const uint8_t *b, int ldb, int64_t *c, int ldc,
+                 int w_bits, int a_bits);
+void igemmTransB(int m, int n, int k, const int16_t *a, int lda,
+                 const uint16_t *b, int ldb, int64_t *c, int ldc,
+                 int w_bits, int a_bits);
+void igemmTransB(int m, int n, int k, const int32_t *a, int lda,
+                 const int32_t *b, int ldb, int64_t *c, int ldc);
+/** @} */
 
 } // namespace gemm
 } // namespace twoinone

@@ -95,6 +95,69 @@ TEST(AcceleratorSweep, SweepCyclesIncreaseWithPrecision)
         EXPECT_LT(swept[i - 1].totalCycles, swept[i].totalCycles) << i;
 }
 
+/** The static-scale activation-quant mode (calibrated datapath) is
+ * strictly cheaper than dynamic fake-quant — the dropped range
+ * reduction pass — and never touches the MAC-side numbers. */
+TEST(ActQuantCost, StaticScaleCheaperThanDynamic)
+{
+    Accelerator ours(AcceleratorKind::TwoInOne,
+                     Accelerator::defaultAreaBudget(),
+                     TechModel::defaults());
+    NetworkWorkload net = workloads::resNet18Cifar(1);
+
+    for (int bits : {4, 8, 16}) {
+        NetworkPrediction dyn =
+            ours.run(net, bits, bits, ActQuantMode::DynamicFakeQuant);
+        NetworkPrediction stat =
+            ours.run(net, bits, bits, ActQuantMode::StaticScale);
+        EXPECT_LT(stat.totalCycles, dyn.totalCycles) << bits;
+        EXPECT_LT(stat.totalEnergyPj, dyn.totalEnergyPj) << bits;
+        EXPECT_EQ(stat.macEnergyPj, dyn.macEnergyPj) << bits;
+    }
+}
+
+/** The documented 3:2 touch ratio of the requant overhead: per-layer
+ * dynamic act-quant energy is exactly 1.5x the static one. */
+TEST(ActQuantCost, LayerOverheadMatchesTouchModel)
+{
+    Accelerator ours(AcceleratorKind::TwoInOne,
+                     Accelerator::defaultAreaBudget(),
+                     TechModel::defaults());
+    NetworkWorkload net = workloads::resNet18Cifar(1);
+    const ConvShape &layer = net.layers[3];
+    Dataflow df = ours.defaultLayerDataflow(layer);
+
+    LayerPrediction dyn = ours.predictor().predictLayer(
+        layer, 8, 8, df, ActQuantMode::DynamicFakeQuant);
+    LayerPrediction stat = ours.predictor().predictLayer(
+        layer, 8, 8, df, ActQuantMode::StaticScale);
+    ASSERT_TRUE(dyn.valid);
+    ASSERT_TRUE(stat.valid);
+    EXPECT_GT(stat.actQuantEnergyPj, 0.0);
+    EXPECT_DOUBLE_EQ(dyn.actQuantEnergyPj, 1.5 * stat.actQuantEnergyPj);
+    EXPECT_DOUBLE_EQ(dyn.actQuantCycles, 1.5 * stat.actQuantCycles);
+}
+
+/** sweep() under a mode matches run() under the same mode exactly. */
+TEST(AcceleratorSweep, StaticModeSweepMatchesRuns)
+{
+    Accelerator ours(AcceleratorKind::TwoInOne,
+                     Accelerator::defaultAreaBudget(),
+                     TechModel::defaults());
+    NetworkWorkload net = workloads::alexNet();
+    PrecisionSet set = PrecisionSet::rps4to8();
+
+    std::vector<NetworkPrediction> swept =
+        ours.sweep(net, set, ActQuantMode::StaticScale);
+    ASSERT_EQ(swept.size(), set.size());
+    for (size_t i = 0; i < set.size(); ++i) {
+        int bits = set.bits()[i];
+        NetworkPrediction single =
+            ours.run(net, bits, bits, ActQuantMode::StaticScale);
+        expectIdentical(single, swept[i]);
+    }
+}
+
 TEST(AcceleratorSweep, SweepWorksForAllDesigns)
 {
     const TechModel &tech = TechModel::defaults();

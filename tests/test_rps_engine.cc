@@ -12,8 +12,13 @@
 
 #include <memory>
 
+#include "adversarial/epgd.hh"
+#include "adversarial/trainer.hh"
 #include "common/thread_pool.hh"
+#include "data/synthetic.hh"
+#include "nn/conv2d.hh"
 #include "nn/model_zoo.hh"
+#include "nn/sgd.hh"
 #include "quant/rps_engine.hh"
 
 namespace twoinone {
@@ -203,8 +208,9 @@ TEST(RpsEngine, SubsetCacheServesAllBoundPrecisions)
     }
 }
 
-/** Cache accounting: every Conv2d/Linear at every candidate, two
- * float tensors each. */
+/** Cache accounting: every Conv2d/Linear at every candidate holds
+ * int32 codes + a float STE mask; the float view of a precision is
+ * materialized lazily on its first install. */
 TEST(RpsEngine, CacheAccounting)
 {
     Network net = makeResidualNet(48);
@@ -217,8 +223,145 @@ TEST(RpsEngine, CacheAccounting)
     size_t weight_scalars = 0;
     for (WeightQuantizedLayer *l : net.weightQuantizedLayers())
         weight_scalars += l->masterWeight().size();
+    // Codes (4B) + mask (4B) per scalar per candidate; no float view
+    // materialized before the first switch.
+    size_t base =
+        2 * sizeof(float) * weight_scalars * engine.set().size();
+    EXPECT_EQ(engine.cacheBytes(), base);
+
+    // Switching to one candidate materializes exactly that column's
+    // float values (one extra float per scalar).
+    engine.setPrecision(engine.set().bits()[0]);
     EXPECT_EQ(engine.cacheBytes(),
-              2 * sizeof(float) * weight_scalars * engine.set().size());
+              base + sizeof(float) * weight_scalars);
+}
+
+/** EPGD cycling precisions mid-attack behind the engine's back: the
+ * installed precision serves every lookup from the cache, every other
+ * candidate falls back to re-quantization — counted exactly. */
+TEST(RpsEngine, EpgdMidAttackCacheAccounting)
+{
+    Network net = makeTinyNet(50);
+    Tensor x = makeInput(16);
+    std::vector<int> labels(static_cast<size_t>(x.dim(0)), 1);
+    RpsEngine engine(net);
+    const size_t nlayers = engine.numQuantLayers();
+    const size_t nprec = engine.set().size();
+
+    engine.setPrecision(4);
+    engine.resetCacheStats();
+
+    AttackConfig acfg;
+    acfg.steps = 3;
+    EpgdAttack attack(acfg, net.precisionSet());
+    Rng rng(99);
+    attack.perturb(net, x, labels, rng);
+
+    // Per step and per candidate, every weight layer quantizes twice
+    // (forward + backward input-gradient). Only the installed
+    // precision (4) hits the cache.
+    uint64_t per_candidate = static_cast<uint64_t>(acfg.steps) * 2 *
+                             nlayers;
+    EXPECT_EQ(engine.cacheHits(), per_candidate);
+    EXPECT_EQ(engine.cacheMisses(), per_candidate * (nprec - 1));
+
+    engine.resetCacheStats();
+    EXPECT_EQ(engine.cacheHits(), 0u);
+    EXPECT_EQ(engine.cacheMisses(), 0u);
+}
+
+/** refreshDirty() re-quantizes exactly the layers whose
+ * Parameter::version moved, and the refreshed cache is bit-identical
+ * to a full refresh. */
+TEST(RpsEngine, DirtyRefreshTracksVersions)
+{
+    Network net = makeTinyNet(51);
+    Tensor x = makeInput(17);
+    RpsEngine engine(net);
+
+    // Nothing dirty yet.
+    EXPECT_EQ(engine.refreshDirty(), 0u);
+
+    // Touch one layer's weights through the Parameter view with a
+    // version bump: exactly one layer refreshes.
+    std::vector<WeightQuantizedLayer *> wl = net.weightQuantizedLayers();
+    auto *conv = dynamic_cast<Conv2d *>(wl[0]);
+    ASSERT_NE(conv, nullptr);
+    for (size_t i = 0; i < conv->weight().value.size(); ++i)
+        conv->weight().value[i] += 0.01f;
+    conv->weight().bumpVersion();
+    EXPECT_EQ(engine.refreshDirty(), 1u);
+    EXPECT_EQ(engine.refreshDirty(), 0u); // clean again
+
+    // The refreshed cache serves bit-identical forwards.
+    for (int bits : engine.set().bits()) {
+        engine.detach();
+        net.setPrecision(bits);
+        Tensor y_ref = net.forward(x, false);
+        Tensor y = engine.forwardAt(bits, x);
+        expectBitIdentical(y_ref, y, bits);
+    }
+}
+
+/** An SGD step bumps every parameter version, so a subsequent
+ * dirty refresh touches all weight layers. */
+TEST(RpsEngine, SgdStepDirtiesAllLayers)
+{
+    Network net = makeTinyNet(52);
+    Tensor x = makeInput(18);
+    RpsEngine engine(net);
+
+    engine.setPrecision(4);
+    Tensor y = net.forward(x, /*train=*/true);
+    net.zeroGrad();
+    net.backward(Tensor::ones(y.shape()));
+    Sgd sgd(0.01f);
+    sgd.step(net.parameters());
+    net.zeroGrad();
+
+    EXPECT_EQ(engine.refreshDirty(), engine.numQuantLayers());
+}
+
+/** Cached RPS adversarial training (the Trainer engine hook) is
+ * bit-identical to the uncached path: the dirty-refreshed cache never
+ * serves stale codes. */
+TEST(RpsEngine, CachedTrainingMatchesUncached)
+{
+    SyntheticConfig dcfg;
+    dcfg.trainSize = 32;
+    dcfg.testSize = 8;
+    Dataset data = makeSynthetic(dcfg, "rps-engine-test").train;
+
+    TrainConfig base;
+    base.method = TrainMethod::Fgsm;
+    base.rps = true;
+    base.epochs = 1;
+    base.batchSize = 16;
+    base.seed = 7;
+
+    Network cached_net = makeTinyNet(53);
+    Network uncached_net = makeTinyNet(53);
+
+    TrainConfig cached_cfg = base;
+    cached_cfg.cachedEngine = true;
+    TrainConfig uncached_cfg = base;
+    uncached_cfg.cachedEngine = false;
+
+    Trainer cached(cached_net, cached_cfg);
+    float l_cached = cached.fit(data);
+    Trainer uncached(uncached_net, uncached_cfg);
+    float l_uncached = uncached.fit(data);
+
+    EXPECT_EQ(l_cached, l_uncached);
+    std::vector<Parameter *> pa = cached_net.parameters();
+    std::vector<Parameter *> pb = uncached_net.parameters();
+    ASSERT_EQ(pa.size(), pb.size());
+    for (size_t i = 0; i < pa.size(); ++i) {
+        ASSERT_EQ(pa[i]->value.size(), pb[i]->value.size());
+        for (size_t t = 0; t < pa[i]->value.size(); ++t)
+            ASSERT_EQ(pa[i]->value[t], pb[i]->value[t])
+                << "param " << i << " elem " << t;
+    }
 }
 
 } // namespace
