@@ -19,6 +19,13 @@
  *            (calibrated static-scale integer forward vs the cached
  *            dynamic float fake-quant forward — ISSUE 3)
  *   quant_forward_speedup: mean of the per-bits speedups
+ *   plan_forward: [ { bits, legacy_ns, plan_ns, speedup } ]
+ *            (the compiled allocation-free execution plan vs the
+ *            PR 3 per-layer quantized loop — ISSUE 4)
+ *   plan_forward_speedup: mean of the per-bits speedups
+ *   serve_qps: { serial_qps, parallel_qps, scaling, p50_us, p99_us }
+ *            (ServingRuntime batched RPS serving, one thread vs the
+ *            full pool — ISSUE 4)
  *   int_gemm: { m, n, k, bits, ns, gops, sgemm_ns, sgemm_gflops }
  *            (the int16 code kernel vs the blocked float kernel)
  *   sweep:   { serial_ns, parallel_ns, speedup }   (accelerator
@@ -26,9 +33,12 @@
  *   bit_identical: true/false
  *
  * Exits non-zero when the cached forward is not bit-identical, the
- * cached switch speedup falls below the 10x acceptance floor, or the
+ * cached switch speedup falls below the 10x acceptance floor, the
  * calibrated quantized forward is not >= 1.3x the cached float
- * forward (the ISSUE 3 acceptance gate).
+ * forward (ISSUE 3), the plan forward is not >= 1.15x the legacy
+ * quantized forward, or (with >= 4 pool threads on >= 4 hardware
+ * cores) serving throughput does not scale >= 1.5x from one thread to
+ * the pool (ISSUE 4).
  */
 
 #include <chrono>
@@ -36,7 +46,9 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "accel/accelerator.hh"
@@ -44,6 +56,7 @@
 #include "common/thread_pool.hh"
 #include "quant/calibration.hh"
 #include "quant/rps_engine.hh"
+#include "serve/runtime.hh"
 #include "tensor/gemm.hh"
 #include "workloads/model_library.hh"
 
@@ -115,6 +128,15 @@ main()
     std::cout << "model=preact_mini  quant_layers=" << wlayers.size()
               << "  weight_scalars=" << weight_scalars
               << "  cache=" << engine.cacheBytes() << " bytes\n";
+
+    // Shared warm-up: install every candidate once (materializing the
+    // lazily built float views) and touch both forward paths, so no
+    // timed section below pays first-touch cache builds.
+    for (int bits : set.bits()) {
+        engine.setPrecision(bits);
+        net.forward(x, false);
+        net.forwardQuantized(x);
+    }
 
     // --- Precision switch: uncached re-quantization vs cache install.
     // An uncached switch pays one fakeQuantSymmetric pass per weight
@@ -214,6 +236,78 @@ main()
                     r.float_cached_ns / r.quant_ns);
     std::printf("mean quantized-forward speedup: %.2fx\n", quant_speedup);
 
+    // --- Compiled execution plan vs the per-layer quantized loop ---
+    // Same precision state and calibrated scales as the quant rows:
+    // the plan runs the identical kernels through one allocation-free
+    // dispatch loop over the preallocated arena (ISSUE 4 tentpole).
+    std::unique_ptr<serve::ExecutionPlan> qplan =
+        net.compile(set, serve::PlanMode::Quantized, x.shape());
+    struct PlanRow
+    {
+        int bits;
+        double legacy_ns = 0.0;
+        double plan_ns = 0.0;
+    };
+    std::vector<PlanRow> plan_rows;
+    double plan_speedup_sum = 0.0;
+    for (const QuantRow &q : quant_rows) {
+        PlanRow row;
+        row.bits = q.bits;
+        row.legacy_ns = q.quant_ns;
+        engine.setPrecision(row.bits);
+        row.plan_ns = timeNs([&] { qplan->run(x); }, min_seconds);
+        plan_speedup_sum += row.legacy_ns / row.plan_ns;
+        plan_rows.push_back(row);
+    }
+    double plan_speedup =
+        plan_speedup_sum / static_cast<double>(plan_rows.size());
+    std::printf("\n%-8s %14s %14s %8s\n", "planfwd", "legacy_ns",
+                "plan_ns", "speedup");
+    for (const PlanRow &r : plan_rows)
+        std::printf("%-8d %14.0f %14.0f %7.2fx\n", r.bits, r.legacy_ns,
+                    r.plan_ns, r.legacy_ns / r.plan_ns);
+    std::printf("mean plan-forward speedup: %.2fx  (%zu steps, "
+                "%zu KiB arena)\n",
+                plan_speedup, qplan->numSteps(),
+                qplan->arenaBytes() / 1024);
+
+    // --- Batched RPS serving throughput ----------------------------
+    // ServingRuntime packs requests into batches, samples one random
+    // precision per batch from the engine cache, and shards
+    // micro-batches across the pool. Serial (ScopedSerial) vs the
+    // full pool measures thread scaling of the serving datapath.
+    int serve_rows_per_req = fast ? 4 : 8;
+    int serve_requests = fast ? 24 : 48;
+    serve::ServeConfig scfg;
+    scfg.maxBatch = serve_rows_per_req * 4;
+    scfg.microBatch = serve_rows_per_req;
+    auto serve_qps = [&](bool serial) {
+        serve::ServingRuntime srv(net, engine, {3, 8, 8}, scfg);
+        Rng req_rng(17);
+        for (int i = 0; i < serve_requests; ++i) {
+            srv.submit(Tensor::uniform({serve_rows_per_req, 3, 8, 8},
+                                       req_rng, 0.0f, 1.0f));
+        }
+        if (serial) {
+            ThreadPool::ScopedSerial guard;
+            srv.drain();
+        } else {
+            srv.drain();
+        }
+        return srv.stats();
+    };
+    serve::ServeStats serve_serial = serve_qps(true);
+    serve::ServeStats serve_parallel = serve_qps(false);
+    double serve_scaling = serve_serial.qps > 0.0
+                               ? serve_parallel.qps / serve_serial.qps
+                               : 0.0;
+    std::printf("\n%-24s %14s %14s %8s\n", "serving (rows/s)",
+                "serial_qps", "parallel_qps", "scaling");
+    std::printf("%-24s %14.0f %14.0f %7.2fx\n", "rps batches",
+                serve_serial.qps, serve_parallel.qps, serve_scaling);
+    std::printf("parallel latency: p50 %.0f us  p99 %.0f us\n",
+                serve_parallel.p50Us, serve_parallel.p99Us);
+
     // --- Integer GEMM kernel throughput ----------------------------
     int gm = fast ? 128 : 256;
     Rng grng(31);
@@ -298,6 +392,24 @@ main()
     out << "  ],\n";
     out << "  \"quant_forward_speedup\": " << jsonNum(quant_speedup)
         << ",\n";
+    out << "  \"plan_forward\": [\n";
+    for (size_t i = 0; i < plan_rows.size(); ++i) {
+        const PlanRow &r = plan_rows[i];
+        out << "    {\"bits\": " << r.bits << ", \"legacy_ns\": "
+            << jsonNum(r.legacy_ns) << ", \"plan_ns\": "
+            << jsonNum(r.plan_ns) << ", \"speedup\": "
+            << jsonNum(r.legacy_ns / r.plan_ns) << "}"
+            << (i + 1 < plan_rows.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n";
+    out << "  \"plan_forward_speedup\": " << jsonNum(plan_speedup)
+        << ",\n";
+    out << "  \"serve_qps\": {\"serial_qps\": "
+        << jsonNum(serve_serial.qps) << ", \"parallel_qps\": "
+        << jsonNum(serve_parallel.qps) << ", \"scaling\": "
+        << jsonNum(serve_scaling) << ", \"p50_us\": "
+        << jsonNum(serve_parallel.p50Us) << ", \"p99_us\": "
+        << jsonNum(serve_parallel.p99Us) << "},\n";
     out << "  \"int_gemm\": {\"m\": " << gm << ", \"n\": " << gm
         << ", \"k\": " << gm << ", \"bits\": 8, \"ns\": "
         << jsonNum(igemm_ns) << ", \"gops\": " << jsonNum(igemm_gops)
@@ -326,6 +438,23 @@ main()
         std::cerr << "FAIL: calibrated quantized forward speedup "
                   << quant_speedup
                   << "x is below the 1.3x acceptance floor\n";
+        return 1;
+    }
+    if (plan_speedup < 1.15) {
+        std::cerr << "FAIL: compiled plan forward speedup "
+                  << plan_speedup
+                  << "x is below the 1.15x acceptance floor\n";
+        return 1;
+    }
+    // Thread scaling needs real cores behind the pool: a pool
+    // oversubscribed onto fewer physical CPUs cannot express it.
+    unsigned hw = std::thread::hardware_concurrency();
+    if (ThreadPool::global().threads() >= 4 && hw >= 4 &&
+        serve_scaling < 1.5) {
+        std::cerr << "FAIL: serving throughput scaling "
+                  << serve_scaling << "x (1 -> "
+                  << ThreadPool::global().threads()
+                  << " threads) is below the 1.5x acceptance floor\n";
         return 1;
     }
     return 0;

@@ -25,11 +25,55 @@ forEachBatch(const Dataset &data, int batch_size, Fn &&fn)
     }
 }
 
+/**
+ * RAII: route the network's inference entry points through compiled
+ * plans for the duration of an evaluation (predict and
+ * predictQuantized execute the flat allocation-free step list instead
+ * of the per-layer loops — bit-identical outputs), restoring the
+ * previous routing state — including a caller-installed plan shape —
+ * on scope exit. Attack generation inside the scope is unaffected:
+ * forward()/backward() keep the legacy loops. A no-op on an empty
+ * dataset (there is nothing to size a plan for).
+ */
+class ScopedPlanExecution
+{
+  public:
+    ScopedPlanExecution(Network &net, const Dataset &data,
+                        int batch_size)
+        : net_(net), touched_(data.size() > 0),
+          wasEnabled_(net.planExecutionEnabled()),
+          prevShape_(net.planMaxShape())
+    {
+        if (!touched_)
+            return;
+        std::vector<int> shape = data.images.shape();
+        shape[0] = std::min(batch_size, data.size());
+        net_.enablePlanExecution(shape);
+    }
+
+    ~ScopedPlanExecution()
+    {
+        if (!touched_)
+            return;
+        if (wasEnabled_)
+            net_.enablePlanExecution(prevShape_);
+        else
+            net_.disablePlanExecution();
+    }
+
+  private:
+    Network &net_;
+    bool touched_;
+    bool wasEnabled_;
+    std::vector<int> prevShape_;
+};
+
 } // namespace
 
 double
 naturalAccuracy(Network &net, const Dataset &data, int batch_size)
 {
+    ScopedPlanExecution plans(net, data, batch_size);
     Accuracy acc;
     forEachBatch(data, batch_size,
                  [&](const Tensor &x, const std::vector<int> &y) {
@@ -69,6 +113,9 @@ rpsRobustAccuracy(Network &net, Attack &attack, const Dataset &data,
     // once; each switch below is then a cache install, not a
     // re-quantization pass (outputs are bit-identical either way).
     RpsEngine engine(net, set);
+    // Inference predictions run on the compiled plans; the attack's
+    // forward/backward passes keep the legacy loops they need.
+    ScopedPlanExecution plans(net, data, batch_size);
     Accuracy acc;
     forEachBatch(data, batch_size,
                  [&](const Tensor &x, const std::vector<int> &y) {
@@ -95,6 +142,7 @@ rpsNaturalAccuracy(Network &net, const Dataset &data,
     TWOINONE_ASSERT(!set.empty(), "RPS evaluation needs a precision set");
     int restore = net.activePrecision();
     RpsEngine engine(net, set);
+    ScopedPlanExecution plans(net, data, batch_size);
     Accuracy acc;
     forEachBatch(data, batch_size,
                  [&](const Tensor &x, const std::vector<int> &y) {
@@ -116,6 +164,7 @@ rpsNaturalAccuracyQuantized(Network &net, const Dataset &data,
     TWOINONE_ASSERT(!set.empty(), "RPS evaluation needs a precision set");
     int restore = net.activePrecision();
     RpsEngine engine(net, set);
+    ScopedPlanExecution plans(net, data, batch_size);
     Accuracy acc;
     forEachBatch(data, batch_size,
                  [&](const Tensor &x, const std::vector<int> &y) {

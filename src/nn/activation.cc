@@ -5,7 +5,11 @@
 
 #include "nn/activation.hh"
 
+#include <algorithm>
+#include <cmath>
+
 #include "quant/quant_tensor.hh"
+#include "serve/execution_plan.hh"
 #include "tensor/ops.hh"
 
 namespace twoinone {
@@ -35,13 +39,34 @@ QuantAct
 ReLU::forwardQuantized(QuantAct &x)
 {
     // Inference datapath: a single rectify pass, no gradient mask.
-    const Tensor &in = x.denseView();
-    Tensor out(in.shape());
-    const float *src = in.data();
-    float *dst = out.data();
-    for (size_t i = 0; i < in.size(); ++i)
-        dst[i] = src[i] > 0.0f ? src[i] : 0.0f;
+    Tensor out;
+    inferenceInto(x.denseView(), out);
     return QuantAct(std::move(out));
+}
+
+void
+ReLU::inferenceInto(const Tensor &x, Tensor &out) const
+{
+    out.ensure(x.shape());
+    const float *src = x.data();
+    float *dst = out.data();
+    for (size_t i = 0; i < x.size(); ++i)
+        dst[i] = src[i] > 0.0f ? src[i] : 0.0f;
+}
+
+void
+ReLU::emitPlanSteps(serve::PlanBuilder &b)
+{
+    int in = b.top();
+    int out = b.newValue();
+    b.addStep("relu", [this, in, out](serve::ExecutionPlan &p) {
+        serve::Value &vi = p.value(in);
+        serve::Value &vo = p.value(out);
+        vo.reset();
+        inferenceInto(vi.denseView(), vo.dense);
+        vo.denseReady = true;
+    });
+    b.setTop(out);
 }
 
 void
@@ -76,6 +101,8 @@ ActQuant::bankCalibrated(int bank) const
 float
 ActQuant::staticMaxOrNegative() const
 {
+    if (fixedMax_ > 0.0f)
+        return fixedMax_;
     if (!staticScale_ || recording_ || !bankCalibrated(quant_.bnIndex))
         return -1.0f;
     return calibMax_[static_cast<size_t>(quant_.bnIndex)];
@@ -118,16 +145,80 @@ ActQuant::forwardQuantized(QuantAct &x)
     if (quant_.actBits <= 0)
         return QuantAct(x.denseView());
 
-    const Tensor &in = x.denseView();
-    float static_max = staticMaxOrNegative();
-    float max_v = static_max >= 0.0f ? static_max : ops::maxVal(in);
-
     QuantAct out;
-    out.q = QuantTensor::quantizeUnsigned(in, quant_.actBits, max_v);
+    inferQuantInto(x.denseView(), out.q);
     // The float view stays unmaterialized: integer consumers (Conv2d,
     // Linear, GlobalAvgPool) take the codes, and anything else
     // materializes on demand through denseView().
     return out;
+}
+
+void
+ActQuant::inferQuantInto(const Tensor &x, QuantTensor &out_q)
+{
+    float static_max = staticMaxOrNegative();
+    float max_v = static_max >= 0.0f ? static_max : ops::maxVal(x);
+    QuantTensor::quantizeUnsignedInto(x, quant_.actBits, max_v, out_q);
+}
+
+void
+ActQuant::inferFloatInto(const Tensor &x, Tensor &out)
+{
+    int bits = quant_.actBits;
+    float max_v;
+    if (bits > 0 && recording_) {
+        // Mirror forward()'s recording branch: observe the dynamic
+        // range of the active bank, then quantize against it.
+        size_t bank = static_cast<size_t>(quant_.bnIndex);
+        TWOINONE_ASSERT(bank < calibMax_.size(),
+                        "calibration bank out of range");
+        max_v = ops::maxVal(x);
+        if (!calibRecorded_[bank] || max_v > calibMax_[bank])
+            calibMax_[bank] = max_v;
+        calibRecorded_[bank] = 1;
+    } else {
+        float static_max = staticMaxOrNegative();
+        max_v = (bits > 0 && static_max < 0.0f) ? ops::maxVal(x)
+                                                : static_max;
+    }
+    // The shared static grid pass (no STE mask — no inference
+    // consumer reads one), bit-identical to forward(eval)'s values.
+    LinearQuantizer::fakeQuantUnsignedStaticValuesInto(x, bits, max_v,
+                                                       out);
+}
+
+void
+ActQuant::emitPlanSteps(serve::PlanBuilder &b)
+{
+    int in = b.top();
+    int out = b.newValue();
+    if (b.mode() == serve::PlanMode::Quantized) {
+        b.addStep("actquant[codes]",
+                  [this, in, out](serve::ExecutionPlan &p) {
+                      serve::Value &vi = p.value(in);
+                      serve::Value &vo = p.value(out);
+                      vo.reset();
+                      if (quant_.actBits <= 0) {
+                          vo.alias = &vi.denseView();
+                          return;
+                      }
+                      inferQuantInto(vi.denseView(), vo.q);
+                      vo.hasCodes = true;
+                  });
+    } else {
+        b.addStep("actquant", [this, in, out](serve::ExecutionPlan &p) {
+            serve::Value &vi = p.value(in);
+            serve::Value &vo = p.value(out);
+            vo.reset();
+            if (quant_.actBits <= 0) {
+                vo.alias = &vi.denseView();
+                return;
+            }
+            inferFloatInto(vi.denseView(), vo.dense);
+            vo.denseReady = true;
+        });
+    }
+    b.setTop(out);
 }
 
 void

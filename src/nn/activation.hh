@@ -24,7 +24,12 @@ class ReLU : public Layer
     Tensor backward(const Tensor &grad_out) override;
     /** Inference-only rectify: no backward mask is built. */
     QuantAct forwardQuantized(QuantAct &x) override;
+    void emitPlanSteps(serve::PlanBuilder &b) override;
     std::string describe() const override { return "ReLU"; }
+
+    /** Rectify into a caller-owned buffer (the allocation-free plan
+     * form; forwardQuantized wraps it). */
+    void inferenceInto(const Tensor &x, Tensor &out) const;
 
   private:
     Tensor cachedMask_;
@@ -52,8 +57,19 @@ class ActQuant : public Layer
     Tensor forward(const Tensor &x, bool train) override;
     Tensor backward(const Tensor &grad_out) override;
     QuantAct forwardQuantized(QuantAct &x) override;
+    void emitPlanSteps(serve::PlanBuilder &b) override;
     void collectActQuant(std::vector<ActQuant *> &out) override;
     std::string describe() const override { return "ActQuant"; }
+
+    /** @name Allocation-free plan kernels
+     * Both are bit-identical to the legacy paths: inferFloatInto
+     * reproduces forward(eval)'s values (same range selection, same
+     * grid pass, no STE mask), inferQuantInto reproduces
+     * forwardQuantized's codes. */
+    /** @{ */
+    void inferFloatInto(const Tensor &x, Tensor &out);
+    void inferQuantInto(const Tensor &x, QuantTensor &out_q);
+    /** @} */
 
     /** @name Calibration interface (driven by Calibrator) */
     /** @{ */
@@ -67,6 +83,12 @@ class ActQuant : public Layer
     /** Enable/disable static-scale mode (needs recorded banks). */
     void setStaticScale(bool on) { staticScale_ = on; }
     bool staticScale() const { return staticScale_; }
+    /** Pin the quantization range to [0, max_v] permanently,
+     * overriding calibration and dynamic ranges (the network input
+     * quantizer's image-range mode: dataset images live in [0, 1] by
+     * contract, so no per-batch reduction is needed and results do
+     * not depend on batch composition). Pass <= 0 to unpin. */
+    void setFixedRange(float max_v) { fixedMax_ = max_v; }
     /** Recorded per-bank maxima (tests/diagnostics). */
     const std::vector<float> &calibrationMax() const { return calibMax_; }
     /** Whether the bank for the active quant state holds a recorded
@@ -81,6 +103,7 @@ class ActQuant : public Layer
     std::vector<char> calibRecorded_;
     bool recording_ = false;
     bool staticScale_ = false;
+    float fixedMax_ = -1.0f;
 
     /** The static range for the active state, or a negative value
      * when the dynamic path must run. */

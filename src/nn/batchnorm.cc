@@ -8,6 +8,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "serve/execution_plan.hh"
+
 namespace twoinone {
 
 SwitchableBatchNorm2d::SwitchableBatchNorm2d(int channels, int num_banks,
@@ -115,7 +117,15 @@ SwitchableBatchNorm2d::forward(const Tensor &x, bool train)
 QuantAct
 SwitchableBatchNorm2d::forwardQuantized(QuantAct &xa)
 {
-    const Tensor &x = xa.denseView();
+    Tensor out;
+    inferenceInto(xa.denseView(), out, /*fuse_relu=*/false);
+    return QuantAct(std::move(out));
+}
+
+void
+SwitchableBatchNorm2d::inferenceInto(const Tensor &x, Tensor &out,
+                                     bool fuse_relu)
+{
     TWOINONE_ASSERT(x.ndim() == 4 && x.dim(1) == channels_,
                     "SBN input shape mismatch");
     // Same bank-aliasing rule as the eval forward: untrained banks
@@ -126,14 +136,15 @@ SwitchableBatchNorm2d::forwardQuantized(QuantAct &xa)
 
     int n = x.dim(0), c = channels_, h = x.dim(2), w = x.dim(3);
     size_t plane = static_cast<size_t>(h) * w;
-    Tensor out(x.shape());
+    out.ensure(x.shape());
     const float *in = x.data();
     float *o = out.data();
     for (int ni = 0; ni < n; ++ni) {
         for (int ci = 0; ci < c; ++ci) {
             size_t cs = static_cast<size_t>(ci);
             // Exactly the eval forward's arithmetic (bit-identical
-            // rounding), minus the xhat/input caches.
+            // rounding), minus the xhat/input caches. The fused
+            // rectify clamps the identical per-element value.
             float mean = bank.runningMean[cs];
             float inv_std = 1.0f /
                             std::sqrt(bank.runningVar[cs] + eps_);
@@ -142,13 +153,50 @@ SwitchableBatchNorm2d::forwardQuantized(QuantAct &xa)
             const float *src =
                 in + (static_cast<size_t>(ni) * c + cs) * plane;
             float *dst = o + (static_cast<size_t>(ni) * c + cs) * plane;
-            for (size_t t = 0; t < plane; ++t) {
-                float xhat = (src[t] - mean) * inv_std;
-                dst[t] = g * xhat + b;
+            if (fuse_relu) {
+                for (size_t t = 0; t < plane; ++t) {
+                    float xhat = (src[t] - mean) * inv_std;
+                    float v = g * xhat + b;
+                    dst[t] = v > 0.0f ? v : 0.0f;
+                }
+            } else {
+                for (size_t t = 0; t < plane; ++t) {
+                    float xhat = (src[t] - mean) * inv_std;
+                    dst[t] = g * xhat + b;
+                }
             }
         }
     }
-    return QuantAct(std::move(out));
+}
+
+void
+SwitchableBatchNorm2d::emitPlanSteps(serve::PlanBuilder &b)
+{
+    int in = b.top();
+    int out = b.newValue();
+    b.addStep("sbn", [this, in, out](serve::ExecutionPlan &p) {
+        serve::Value &vi = p.value(in);
+        serve::Value &vo = p.value(out);
+        vo.reset();
+        inferenceInto(vi.denseView(), vo.dense, /*fuse_relu=*/false);
+        vo.denseReady = true;
+    });
+    b.setTop(out);
+}
+
+void
+SwitchableBatchNorm2d::emitFusedBnRelu(serve::PlanBuilder &b)
+{
+    int in = b.top();
+    int out = b.newValue();
+    b.addStep("sbn+relu", [this, in, out](serve::ExecutionPlan &p) {
+        serve::Value &vi = p.value(in);
+        serve::Value &vo = p.value(out);
+        vo.reset();
+        inferenceInto(vi.denseView(), vo.dense, /*fuse_relu=*/true);
+        vo.denseReady = true;
+    });
+    b.setTop(out);
 }
 
 Tensor

@@ -45,8 +45,22 @@ class SwitchableBatchNorm2d : public Layer
      * This is the form the accelerator executes — the BN multiply
      * folds into the quantizer scale (paper Sec. 2.4). */
     QuantAct forwardQuantized(QuantAct &x) override;
+    void emitPlanSteps(serve::PlanBuilder &b) override;
     void collectParameters(std::vector<Parameter *> &out) override;
     std::string describe() const override;
+
+    /**
+     * The running-stats affine transform into a caller-owned buffer
+     * (the allocation-free plan form; forwardQuantized wraps it).
+     * With @p fuse_relu the rectify runs in the same pass — the
+     * per-element value is computed identically and then clamped, so
+     * the fused output is bit-identical to SBN-then-ReLU.
+     */
+    void inferenceInto(const Tensor &x, Tensor &out, bool fuse_relu);
+
+    /** Emit one fused SBN+ReLU plan step (the compile peephole for a
+     * BN immediately followed by a ReLU). */
+    void emitFusedBnRelu(serve::PlanBuilder &b);
 
     int numBanks() const { return static_cast<int>(banks_.size()); }
     int channels() const { return channels_; }

@@ -21,6 +21,7 @@
 #include <sstream>
 
 #include "common/thread_pool.hh"
+#include "serve/execution_plan.hh"
 #include "tensor/gemm.hh"
 #include "tensor/ops.hh"
 
@@ -154,20 +155,27 @@ Conv2d::forward(const Tensor &x, bool train)
     cachedOh_ = oh;
     cachedOw_ = ow;
 
-    int patch = inChannels_ * kernel_ * kernel_;
-    int ohw = oh * ow;
     // [K, C, R, S] is already contiguous [K, patch]: feed the (cached)
     // quantized buffer to the GEMM directly, no reshape copy.
-    const float *w2d = wq.values.data();
+    Tensor out({n, outChannels_, oh, ow});
+    runFloatGemm(wq.values.data(), n, oh, ow, cachedCols_, out);
+    return out;
+}
+
+void
+Conv2d::runFloatGemm(const float *w2d, int n, int oh, int ow,
+                     const Tensor &cols, Tensor &out) const
+{
+    int patch = inChannels_ * kernel_ * kernel_;
+    int ohw = oh * ow;
     const float *bias = hasBias_ ? bias_.value.data() : nullptr;
 
     // Per image: out[K, OH*OW] = W[K, patch] * cols_n[OH*OW, patch]^T,
     // written straight into the NCHW slab with the bias fused in.
-    Tensor out({n, outChannels_, oh, ow});
     ThreadPool::global().parallelFor(0, n, 1, [&](int64_t nlo,
                                                   int64_t nhi) {
         for (int64_t ni = nlo; ni < nhi; ++ni) {
-            const float *cols_n = cachedCols_.data() +
+            const float *cols_n = cols.data() +
                                   static_cast<size_t>(ni) * ohw * patch;
             float *out_n = out.data() +
                            static_cast<size_t>(ni) * outChannels_ * ohw;
@@ -176,15 +184,94 @@ Conv2d::forward(const Tensor &x, bool train)
                         /*accumulate=*/false, bias);
         }
     });
-    return out;
+}
+
+void
+Conv2d::inferFloatInto(const Tensor &x, QuantResult &wq_scratch,
+                       Tensor &cols, Tensor &out)
+{
+    TWOINONE_ASSERT(x.ndim() == 4 && x.dim(1) == inChannels_,
+                    "Conv2d input shape mismatch");
+    int n = x.dim(0);
+    int oh = outSize(x.dim(2));
+    int ow = outSize(x.dim(3));
+    TWOINONE_ASSERT(oh > 0 && ow > 0, "Conv2d output collapsed to zero");
+
+    // At full precision the masters feed the GEMM directly (the
+    // fake-quant identity pass would only copy them); at quantized
+    // precisions the same cache/requantize dispatch as forward().
+    const float *w2d;
+    if (quant_.weightBits <= 0) {
+        w2d = weight_.value.data();
+    } else {
+        const QuantResult &wq =
+            quantizedWeight(quant_.weightBits, wq_scratch);
+        w2d = wq.values.data();
+    }
+    im2colInto(x, oh, ow, cols);
+    out.ensure({n, outChannels_, oh, ow});
+    runFloatGemm(w2d, n, oh, ow, cols, out);
 }
 
 namespace {
 
 /**
+ * One image's integer im2col: [C,H,W] codes -> [OH*OW, C*R*S] operand
+ * columns (zero padding = code 0). A standalone function with value
+ * parameters: the hot gather runs free of the batch dispatch's
+ * closure indirection, and the per-(ci, ky) kx runs are branchless —
+ * zero-fill the out-of-image prefix/suffix, cast-copy the interior.
+ */
+template <typename T>
+void
+im2colCodesImage(const int32_t *in, int c, int h, int w, int oh, int ow,
+                 int kernel, int stride, int padding, T *out)
+{
+    for (int oy = 0; oy < oh; ++oy) {
+        int iy0 = oy * stride - padding;
+        for (int ox = 0; ox < ow; ++ox) {
+            int ix0 = ox * stride - padding;
+            // kx bounds shared by every (ci, ky): ix0+kx in [0, w),
+            // clamped to the kernel (padding may exceed it).
+            int kx_lo = ix0 < 0 ? -ix0 : 0;
+            if (kx_lo > kernel)
+                kx_lo = kernel;
+            int kx_hi = kernel < w - ix0 ? kernel : w - ix0;
+            if (kx_hi < kx_lo)
+                kx_hi = kx_lo;
+            T *dst = out + (static_cast<size_t>(oy) * ow + ox) *
+                               (static_cast<size_t>(c) * kernel * kernel);
+            for (int ci = 0; ci < c; ++ci) {
+                const int32_t *plane =
+                    in + static_cast<size_t>(ci) * h * w;
+                for (int ky = 0; ky < kernel; ++ky) {
+                    int iy = iy0 + ky;
+                    T *d = dst +
+                           (static_cast<size_t>(ci) * kernel + ky) *
+                               kernel;
+                    if (iy < 0 || iy >= h) {
+                        for (int kx = 0; kx < kernel; ++kx)
+                            d[kx] = 0;
+                        continue;
+                    }
+                    const int32_t *src =
+                        plane + static_cast<size_t>(iy) * w + ix0;
+                    for (int kx = 0; kx < kx_lo; ++kx)
+                        d[kx] = 0;
+                    for (int kx = kx_lo; kx < kx_hi; ++kx)
+                        d[kx] = static_cast<T>(src[kx]);
+                    for (int kx = kx_hi; kx < kernel; ++kx)
+                        d[kx] = 0;
+                }
+            }
+        }
+    }
+}
+
+/**
  * im2col over integer codes: [N,C,H,W] codes -> [N*OH*OW, C*R*S]
- * packed operand columns (zero padding = code 0), parallel over the
- * batch like the float im2col.
+ * packed operand columns, parallel over the batch like the float
+ * im2col.
  */
 template <typename T>
 void
@@ -192,34 +279,13 @@ im2colCodes(const int32_t *in, int n, int c, int h, int w, int oh, int ow,
             int kernel, int stride, int padding, T *out)
 {
     int patch = c * kernel * kernel;
-    ThreadPool::global().parallelFor(0, n, 1, [&](int64_t nlo,
+    ThreadPool::global().parallelFor(0, n, 1, [=](int64_t nlo,
                                                   int64_t nhi) {
         for (int64_t ni = nlo; ni < nhi; ++ni) {
-            for (int oy = 0; oy < oh; ++oy) {
-                for (int ox = 0; ox < ow; ++ox) {
-                    T *dst = out +
-                             (static_cast<size_t>(ni) * oh * ow +
-                              static_cast<size_t>(oy) * ow + ox) *
-                                 patch;
-                    int iy0 = oy * stride - padding;
-                    int ix0 = ox * stride - padding;
-                    for (int ci = 0; ci < c; ++ci) {
-                        const int32_t *src =
-                            in + (static_cast<size_t>(ni) * c + ci) * h * w;
-                        for (int ky = 0; ky < kernel; ++ky) {
-                            int iy = iy0 + ky;
-                            for (int kx = 0; kx < kernel; ++kx) {
-                                int ix = ix0 + kx;
-                                int32_t v = 0;
-                                if (iy >= 0 && iy < h && ix >= 0 && ix < w)
-                                    v = src[static_cast<size_t>(iy) * w +
-                                            ix];
-                                *dst++ = static_cast<T>(v);
-                            }
-                        }
-                    }
-                }
-            }
+            im2colCodesImage(in + static_cast<size_t>(ni) * c * h * w, c,
+                             h, w, oh, ow, kernel, stride, padding,
+                             out + static_cast<size_t>(ni) * oh * ow *
+                                       patch);
         }
     });
 }
@@ -234,47 +300,150 @@ packCodes(const std::vector<int32_t> &src, std::vector<T> &dst)
         dst[i] = static_cast<T>(src[i]);
 }
 
+/**
+ * Build the per-image im2col gather table: for every [position,
+ * patch] column element the source offset within one [C,H,W] image
+ * (-1 for zero padding). Geometry-only — computed once per compiled
+ * input shape and reused by every serving forward.
+ */
+void
+buildGatherTable(int c, int h, int w, int oh, int ow, int kernel,
+                 int stride, int padding, std::vector<int32_t> &idx)
+{
+    int patch = c * kernel * kernel;
+    idx.resize(static_cast<size_t>(oh) * ow * patch);
+    int32_t *out = idx.data();
+    for (int oy = 0; oy < oh; ++oy) {
+        for (int ox = 0; ox < ow; ++ox) {
+            int iy0 = oy * stride - padding;
+            int ix0 = ox * stride - padding;
+            for (int ci = 0; ci < c; ++ci) {
+                for (int ky = 0; ky < kernel; ++ky) {
+                    int iy = iy0 + ky;
+                    for (int kx = 0; kx < kernel; ++kx) {
+                        int ix = ix0 + kx;
+                        bool in_img = iy >= 0 && iy < h && ix >= 0 &&
+                                      ix < w;
+                        *out++ = in_img
+                                     ? (static_cast<int32_t>(ci) * h +
+                                        iy) * w + ix
+                                     : -1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/**
+ * im2col via the precomputed gather table (serving path): one flat
+ * indexed copy per image, parallel over the batch. Identical output
+ * to im2colCodes — the table encodes the same source elements and
+ * zero padding.
+ */
+template <typename T>
+void
+im2colGather(const int32_t *in, int n, size_t img_elems,
+             const std::vector<int32_t> &idx, T *out)
+{
+    const int32_t *gi = idx.data();
+    const size_t cols = idx.size();
+    ThreadPool::global().parallelFor(0, n, 1, [=](int64_t nlo,
+                                                  int64_t nhi) {
+        for (int64_t ni = nlo; ni < nhi; ++ni) {
+            const int32_t *src = in + static_cast<size_t>(ni) * img_elems;
+            T *dst = out + static_cast<size_t>(ni) * cols;
+            for (size_t t = 0; t < cols; ++t) {
+                int32_t ix = gi[t];
+                dst[t] = static_cast<T>(ix >= 0 ? src[ix] : 0);
+            }
+        }
+    });
+}
+
 } // namespace
+
+bool
+Conv2d::intPathEligible(const QuantTensor &xq) const
+{
+    // The integer path needs weight quantization on and unsigned
+    // activation codes of a width the narrow kernels take; anything
+    // else composes through the float fallback.
+    return quant_.weightBits > 0 && !xq.empty() && !xq.isSigned &&
+           xq.bits <= 16;
+}
 
 QuantAct
 Conv2d::forwardQuantized(QuantAct &x)
 {
-    int wbits = quant_.weightBits;
-    // The integer path needs weight quantization on and unsigned
-    // activation codes of a width the narrow kernels take; anything
-    // else composes through the float fallback.
-    if (wbits <= 0 || !x.hasCodes() || x.q.isSigned || x.q.bits > 16)
+    if (!x.hasCodes() || !intPathEligible(x.q))
         return Layer::forwardQuantized(x);
 
-    TWOINONE_ASSERT(x.q.shape.size() == 4 && x.q.shape[1] == inChannels_,
+    QuantTensor wlocal;
+    const QuantTensor &wq = quantizedCodes(quant_.weightBits, wlocal);
+    Tensor out;
+    inferQuantInto(x.q, wq, iscratch_, out);
+    return QuantAct(std::move(out));
+}
+
+void
+Conv2d::inferQuantInto(const QuantTensor &xq, const QuantTensor &wq,
+                       IntGemmScratch &s, Tensor &out, bool serve)
+{
+    int wbits = wq.bits;
+    TWOINONE_ASSERT(xq.shape.size() == 4 && xq.shape[1] == inChannels_,
                     "Conv2d quantized input shape mismatch");
-    int n = x.q.shape[0], h = x.q.shape[2], w = x.q.shape[3];
+    int n = xq.shape[0], h = xq.shape[2], w = xq.shape[3];
     int oh = outSize(h), ow = outSize(w);
     TWOINONE_ASSERT(oh > 0 && ow > 0, "Conv2d output collapsed to zero");
 
-    QuantTensor wlocal;
-    const QuantTensor &wq = quantizedCodes(wbits, wlocal);
-
     int patch = inChannels_ * kernel_ * kernel_;
     int ohw = oh * ow;
-    accBuf_.resize(static_cast<size_t>(n) * outChannels_ * ohw);
-    int64_t *acc = accBuf_.data();
+    s.acc.resize(static_cast<size_t>(n) * outChannels_ * ohw);
+    int64_t *acc = s.acc.data();
 
-    bool narrow8 = wbits <= 8 && x.q.bits <= 8;
-    if (narrow8) {
-        packCodes(wq.codes, wPack8_);
-        cols8_.resize(static_cast<size_t>(n) * ohw * patch);
-        im2colCodes(x.q.codes.data(), n, inChannels_, h, w, oh, ow,
-                    kernel_, stride_, padding_, cols8_.data());
-    } else {
-        packCodes(wq.codes, wPack16_);
-        cols16_.resize(static_cast<size_t>(n) * ohw * patch);
-        im2colCodes(x.q.codes.data(), n, inChannels_, h, w, oh, ow,
-                    kernel_, stride_, padding_, cols16_.data());
+    bool narrow8 = wbits <= 8 && xq.bits <= 8;
+    bool pack_valid = s.packedFrom == wq.codes.data() &&
+                      s.packedBits == wbits &&
+                      s.packedVersion == masterWeightVersion();
+    if (serve && (s.gatherH != h || s.gatherW != w)) {
+        // Compiled-geometry gather table: built on first touch of
+        // this input shape, then reused by every serving forward.
+        buildGatherTable(inChannels_, h, w, oh, ow, kernel_, stride_,
+                         padding_, s.gatherIdx);
+        s.gatherH = h;
+        s.gatherW = w;
     }
+    size_t img_elems = static_cast<size_t>(inChannels_) * h * w;
+    if (narrow8) {
+        if (!pack_valid || s.w8.size() != wq.codes.size())
+            packCodes(wq.codes, s.w8);
+        s.a8.resize(static_cast<size_t>(n) * ohw * patch);
+        if (serve)
+            im2colGather(xq.codes.data(), n, img_elems, s.gatherIdx,
+                         s.a8.data());
+        else
+            im2colCodes(xq.codes.data(), n, inChannels_, h, w, oh, ow,
+                        kernel_, stride_, padding_, s.a8.data());
+    } else {
+        if (!pack_valid || s.w16.size() != wq.codes.size())
+            packCodes(wq.codes, s.w16);
+        s.a16.resize(static_cast<size_t>(n) * ohw * patch);
+        if (serve)
+            im2colGather(xq.codes.data(), n, img_elems, s.gatherIdx,
+                         s.a16.data());
+        else
+            im2colCodes(xq.codes.data(), n, inChannels_, h, w, oh, ow,
+                        kernel_, stride_, padding_, s.a16.data());
+    }
+    s.packedFrom = wq.codes.data();
+    s.packedBits = wbits;
+    s.packedVersion = masterWeightVersion();
 
     // Per image: acc[K, OH*OW] = Wq[K, patch] * cols_n[OH*OW, patch]^T
     // in exact integer arithmetic (igemm inlines when nested here).
+    // Serving plans take the SIMD kernel on the <= 8-bit path;
+    // results are bit-identical (exact integer accumulation).
     ThreadPool::global().parallelFor(0, n, 1, [&](int64_t nlo,
                                                   int64_t nhi) {
         for (int64_t ni = nlo; ni < nhi; ++ni) {
@@ -282,24 +451,31 @@ Conv2d::forwardQuantized(QuantAct &x)
                 acc + static_cast<size_t>(ni) * outChannels_ * ohw;
             if (narrow8) {
                 const uint8_t *cols_n =
-                    cols8_.data() + static_cast<size_t>(ni) * ohw * patch;
-                gemm::igemmTransB(outChannels_, ohw, patch, wPack8_.data(),
-                                  patch, cols_n, patch, acc_n, ohw,
-                                  wbits, x.q.bits);
+                    s.a8.data() + static_cast<size_t>(ni) * ohw * patch;
+                if (serve) {
+                    gemm::igemmTransB8Serve(outChannels_, ohw, patch,
+                                            s.w8.data(), patch, cols_n,
+                                            patch, acc_n, ohw, wbits,
+                                            xq.bits);
+                } else {
+                    gemm::igemmTransB(outChannels_, ohw, patch,
+                                      s.w8.data(), patch, cols_n, patch,
+                                      acc_n, ohw, wbits, xq.bits);
+                }
             } else {
                 const uint16_t *cols_n =
-                    cols16_.data() + static_cast<size_t>(ni) * ohw * patch;
+                    s.a16.data() + static_cast<size_t>(ni) * ohw * patch;
                 gemm::igemmTransB(outChannels_, ohw, patch,
-                                  wPack16_.data(), patch, cols_n, patch,
-                                  acc_n, ohw, wbits, x.q.bits);
+                                  s.w16.data(), patch, cols_n, patch,
+                                  acc_n, ohw, wbits, xq.bits);
             }
         }
     });
 
     // Dequantize: out = acc * (w_scale * a_scale) + bias[k].
-    float dq = wq.scale * x.q.scale;
+    float dq = wq.scale * xq.scale;
     const float *bias = hasBias_ ? bias_.value.data() : nullptr;
-    Tensor out({n, outChannels_, oh, ow});
+    out.ensure({n, outChannels_, oh, ow});
     float *o = out.data();
     int64_t rows = static_cast<int64_t>(n) * outChannels_;
     int64_t grain_rows = std::max<int64_t>(1, (1 << 15) / ohw);
@@ -315,10 +491,48 @@ Conv2d::forwardQuantized(QuantAct &x)
 
     if (quantTrace_) {
         tracedW_ = wq;
-        tracedA_ = x.q;
-        tracedAcc_ = accBuf_;
+        tracedA_ = xq;
+        tracedAcc_ = s.acc;
     }
-    return QuantAct(std::move(out));
+}
+
+void
+Conv2d::emitPlanSteps(serve::PlanBuilder &b)
+{
+    int in = b.top();
+    int out = b.newValue();
+    int sid = b.newScratch();
+    if (b.mode() == serve::PlanMode::Quantized) {
+        b.addStep("conv[int] " + describe(),
+                  [this, in, out, sid](serve::ExecutionPlan &p) {
+                      serve::Value &vi = p.value(in);
+                      serve::Value &vo = p.value(out);
+                      serve::LayerScratch &ls = p.scratch(sid);
+                      vo.reset();
+                      if (vi.hasCodes && intPathEligible(vi.q)) {
+                          const QuantTensor &wq = quantizedCodes(
+                              quant_.weightBits, ls.wcodes);
+                          inferQuantInto(vi.q, wq, ls.ig, vo.dense,
+                                         /*serve=*/true);
+                      } else {
+                          inferFloatInto(vi.denseView(), ls.wq, ls.t0,
+                                         vo.dense);
+                      }
+                      vo.denseReady = true;
+                  });
+    } else {
+        b.addStep("conv " + describe(),
+                  [this, in, out, sid](serve::ExecutionPlan &p) {
+                      serve::Value &vi = p.value(in);
+                      serve::Value &vo = p.value(out);
+                      serve::LayerScratch &ls = p.scratch(sid);
+                      vo.reset();
+                      inferFloatInto(vi.denseView(), ls.wq, ls.t0,
+                                     vo.dense);
+                      vo.denseReady = true;
+                  });
+    }
+    b.setTop(out);
 }
 
 Tensor

@@ -48,6 +48,38 @@ class Conv2d : public Layer, public WeightQuantizedLayer
      */
     QuantAct forwardQuantized(QuantAct &x) override;
 
+    void emitPlanSteps(serve::PlanBuilder &b) override;
+
+    /** @name Allocation-free plan kernels
+     * Shared with the legacy paths so plan forwards are bit-identical
+     * by construction. */
+    /** @{ */
+    /**
+     * Float inference forward into caller-owned buffers: weights from
+     * the installed cache / a fresh fake-quantization into
+     * @p wq_scratch (the masters directly at full precision), im2col
+     * into @p cols, fused GEMM+bias into @p out.
+     */
+    void inferFloatInto(const Tensor &x, QuantResult &wq_scratch,
+                        Tensor &cols, Tensor &out);
+    /** Whether the integer datapath can consume these input codes at
+     * the active weight precision. */
+    bool intPathEligible(const QuantTensor &xq) const;
+    /**
+     * Integer inference forward: int im2col + igemm + fused
+     * dequant/bias into @p out, packing through @p s (packed weights
+     * are cached in @p s across calls while the weights stand still).
+     * With @p serve the <= 8-bit product dispatches to the serving
+     * SIMD kernel (gemm::igemmTransB8Serve) instead of the reference
+     * loops — bit-identical either way (integer accumulation is
+     * exact); plan steps pass true, the legacy loop keeps the
+     * reference kernel.
+     */
+    void inferQuantInto(const QuantTensor &xq, const QuantTensor &wq,
+                        IntGemmScratch &s, Tensor &out,
+                        bool serve = false);
+    /** @} */
+
     void collectParameters(std::vector<Parameter *> &out) override;
     void collectWeightQuantized(
         std::vector<WeightQuantizedLayer *> &out) override;
@@ -100,13 +132,15 @@ class Conv2d : public Layer, public WeightQuantizedLayer
     int cachedOh_ = 0;
     int cachedOw_ = 0;
 
-    // Integer-path scratch, reused across forwards: packed weight
-    // codes, integer im2col columns, and the int accumulators.
-    std::vector<int8_t> wPack8_;
-    std::vector<int16_t> wPack16_;
-    std::vector<uint8_t> cols8_;
-    std::vector<uint16_t> cols16_;
-    std::vector<int64_t> accBuf_;
+    // Integer-path scratch for the legacy per-layer loop, reused
+    // across forwards (plan steps carry their own IntGemmScratch).
+    IntGemmScratch iscratch_;
+
+    /** The fused per-image GEMM+bias loop shared by forward() and
+     * inferFloatInto(): out[K, OH*OW] slabs from W[K, patch] x
+     * cols[OH*OW, patch]^T. @p out must already have its shape. */
+    void runFloatGemm(const float *w2d, int n, int oh, int ow,
+                      const Tensor &cols, Tensor &out) const;
 
     /**
      * im2col into the reused cols buffer: [N,C,H,W] ->

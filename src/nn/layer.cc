@@ -5,6 +5,8 @@
 
 #include "nn/layer.hh"
 
+#include "serve/execution_plan.hh"
+
 namespace twoinone {
 
 const QuantResult &
@@ -16,11 +18,11 @@ WeightQuantizedLayer::quantizedWeight(int bits, QuantResult &local) const
     // which is always correct, just uncached.
     if (weightCache_ && weightCache_->bits == bits) {
         if (bits > 0)
-            ++cacheHits_;
+            cacheHits_.fetch_add(1, std::memory_order_relaxed);
         return *weightCache_;
     }
     if (bits > 0)
-        ++cacheMisses_;
+        cacheMisses_.fetch_add(1, std::memory_order_relaxed);
     local = LinearQuantizer::fakeQuantSymmetric(masterWeight(), bits);
     return local;
 }
@@ -29,10 +31,10 @@ const QuantTensor &
 WeightQuantizedLayer::quantizedCodes(int bits, QuantTensor &local) const
 {
     if (weightCodes_ && weightCodes_->bits == bits) {
-        ++cacheHits_;
+        cacheHits_.fetch_add(1, std::memory_order_relaxed);
         return *weightCodes_;
     }
-    ++cacheMisses_;
+    cacheMisses_.fetch_add(1, std::memory_order_relaxed);
     local = QuantTensor::quantizeSymmetric(masterWeight(), bits);
     return local;
 }
@@ -56,6 +58,47 @@ Layer::forwardQuantized(QuantAct &x)
     // inference forward. Codes do not propagate through layers
     // without an integer datapath.
     return QuantAct(forward(x.denseView(), /*train=*/false));
+}
+
+void
+Layer::emitPlanSteps(serve::PlanBuilder &b)
+{
+    // Fallback for layers without an allocation-free emitter: run the
+    // legacy layer forward (which allocates its output and mutates
+    // the layer's forward caches) and move the result into the arena.
+    // Correct for any layer, just not zero-allocation — and not safe
+    // to run from concurrent plan replicas, which the fallback mark
+    // tells the serving runtime.
+    b.markFallback();
+    int in = b.top();
+    int out = b.newValue();
+    b.addStep("fallback " + describe(),
+              [this, in, out](serve::ExecutionPlan &p) {
+                  serve::Value &vi = p.value(in);
+                  serve::Value &vo = p.value(out);
+                  vo.reset();
+                  if (p.mode() == serve::PlanMode::Quantized) {
+                      QuantAct xa;
+                      if (vi.hasCodes)
+                          xa.q = vi.q;
+                      else
+                          xa.dense = vi.denseView();
+                      QuantAct ya = forwardQuantized(xa);
+                      if (ya.hasCodes()) {
+                          vo.q = std::move(ya.q);
+                          vo.hasCodes = true;
+                      }
+                      if (!ya.dense.empty()) {
+                          vo.dense = std::move(ya.dense);
+                          vo.denseReady = true;
+                      }
+                  } else {
+                      vo.dense =
+                          forward(vi.denseView(), /*train=*/false);
+                      vo.denseReady = true;
+                  }
+              });
+    b.setTop(out);
 }
 
 void

@@ -17,6 +17,7 @@
 #ifndef TWOINONE_NN_LAYER_HH
 #define TWOINONE_NN_LAYER_HH
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -29,6 +30,50 @@
 namespace twoinone {
 
 class ActQuant;
+
+namespace serve {
+class PlanBuilder;
+}
+
+/**
+ * Reusable integer-datapath scratch: packed narrow operands plus the
+ * wide accumulators. The legacy per-layer loops own one per layer;
+ * compiled plans (serve/execution_plan.hh) own one per emitted step
+ * so plan replicas can run concurrently.
+ */
+struct IntGemmScratch
+{
+    std::vector<int8_t> w8;
+    std::vector<int16_t> w16;
+    std::vector<uint8_t> a8;
+    std::vector<uint16_t> a16;
+    std::vector<int64_t> acc;
+
+    /** @name Weight-pack cache key
+     * Identifies the weight codes w8/w16 were packed from, so
+     * repeated forwards against unchanged weights (the serving steady
+     * state) skip the repack: same source buffer, same precision,
+     * same master-weight version. A re-quantization into the same
+     * buffer at the same (bits, version) reproduces identical codes,
+     * so a pointer match cannot go stale without a version bump. */
+    /** @{ */
+    const void *packedFrom = nullptr;
+    int packedBits = 0;
+    uint64_t packedVersion = 0;
+    /** @} */
+
+    /** @name im2col gather table (serving path)
+     * Per-image source index of every [position, patch] column
+     * element (-1 = zero padding), precomputed once per input
+     * geometry: the serving gather is then one flat indexed copy per
+     * image instead of the reference path's nested address
+     * arithmetic. */
+    /** @{ */
+    std::vector<int32_t> gatherIdx;
+    int gatherH = 0;
+    int gatherW = 0;
+    /** @} */
+};
 
 /**
  * The active quantization configuration of a network.
@@ -149,11 +194,23 @@ class WeightQuantizedLayer
     /** @name Cache accounting
      * Counted per quantized-weight lookup (forward and backward, any
      * path) while the active precision is quantized: a hit used an
-     * installed entry, a miss re-quantized the masters. */
+     * installed entry, a miss re-quantized the masters. Atomic:
+     * serving-plan replicas look weights up concurrently from
+     * multiple pool threads. */
     /** @{ */
-    uint64_t cacheHits() const { return cacheHits_; }
-    uint64_t cacheMisses() const { return cacheMisses_; }
-    void resetCacheStats() { cacheHits_ = cacheMisses_ = 0; }
+    uint64_t cacheHits() const
+    {
+        return cacheHits_.load(std::memory_order_relaxed);
+    }
+    uint64_t cacheMisses() const
+    {
+        return cacheMisses_.load(std::memory_order_relaxed);
+    }
+    void resetCacheStats()
+    {
+        cacheHits_.store(0, std::memory_order_relaxed);
+        cacheMisses_.store(0, std::memory_order_relaxed);
+    }
     /** @} */
 
     /**
@@ -198,8 +255,8 @@ class WeightQuantizedLayer
   private:
     const QuantResult *weightCache_ = nullptr;
     const QuantTensor *weightCodes_ = nullptr;
-    mutable uint64_t cacheHits_ = 0;
-    mutable uint64_t cacheMisses_ = 0;
+    mutable std::atomic<uint64_t> cacheHits_{0};
+    mutable std::atomic<uint64_t> cacheMisses_{0};
 };
 
 /**
@@ -239,6 +296,19 @@ class Layer
      * materialize @p x's float view in place (hence non-const).
      */
     virtual QuantAct forwardQuantized(QuantAct &x);
+
+    /**
+     * Emit this layer's inference steps into a plan under
+     * construction (serve/execution_plan.hh): read the builder's
+     * current value id, append steps computing this layer's output
+     * into arena values, and leave the output id on top. Emitted
+     * steps must be bit-identical to forward(eval) (PlanMode::Float)
+     * or forwardQuantized (PlanMode::Quantized) — layers share their
+     * *Into kernels between both paths to guarantee it. The default
+     * emits a fallback step that runs the legacy (allocating) layer
+     * forward, so any layer mix compiles.
+     */
+    virtual void emitPlanSteps(serve::PlanBuilder &b);
 
     /** Collect pointers to all learnable parameters (default: none). */
     virtual void collectParameters(std::vector<Parameter *> &out);

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "serve/execution_plan.hh"
 #include "tensor/gemm.hh"
 #include "tensor/ops.hh"
 
@@ -41,58 +42,127 @@ Linear::forward(const Tensor &x, bool train)
     cachedInput_ = x;
 
     Tensor out = ops::matmulTransposeB(x, wq.values);
-    if (hasBias_) {
-        // Rows are disjoint, so the bias add parallelizes over the
-        // batch; the naive reference backend keeps it serial.
-        int n = out.dim(0);
-        float *o = out.data();
-        const float *b = bias_.value.data();
-        int64_t grain_rows = std::max<int64_t>(1, (1 << 15) / outFeatures_);
-        ops::gatedParallelFor(n, grain_rows, [&](int64_t lo, int64_t hi) {
-            for (int64_t i = lo; i < hi; ++i) {
-                float *row = o + static_cast<size_t>(i) * outFeatures_;
-                for (int j = 0; j < outFeatures_; ++j)
-                    row[j] += b[j];
-            }
-        });
-    }
+    if (hasBias_)
+        addBiasRows(out);
     return out;
+}
+
+void
+Linear::addBiasRows(Tensor &out) const
+{
+    // Rows are disjoint, so the bias add parallelizes over the
+    // batch; the naive reference backend keeps it serial.
+    int n = out.dim(0);
+    float *o = out.data();
+    const float *b = bias_.value.data();
+    int64_t grain_rows = std::max<int64_t>(1, (1 << 15) / outFeatures_);
+    ops::gatedParallelFor(n, grain_rows, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+            float *row = o + static_cast<size_t>(i) * outFeatures_;
+            for (int j = 0; j < outFeatures_; ++j)
+                row[j] += b[j];
+        }
+    });
+}
+
+void
+Linear::inferFloatInto(const Tensor &x, QuantResult &wq_scratch,
+                       Tensor &out)
+{
+    TWOINONE_ASSERT(x.ndim() == 2 && x.dim(1) == inFeatures_,
+                    "Linear input shape mismatch");
+    // At full precision the masters feed the GEMM directly (see
+    // Conv2d::inferFloatInto); quantized precisions run the same
+    // cache/requantize dispatch as forward().
+    if (quant_.weightBits <= 0) {
+        ops::matmulTransposeBInto(x, weight_.value, out);
+    } else {
+        const QuantResult &wq =
+            quantizedWeight(quant_.weightBits, wq_scratch);
+        ops::matmulTransposeBInto(x, wq.values, out);
+    }
+    if (hasBias_)
+        addBiasRows(out);
 }
 
 QuantAct
 Linear::forwardQuantized(QuantAct &x)
 {
-    int wbits = quant_.weightBits;
-    if (wbits <= 0 || !x.hasCodes())
+    if (quant_.weightBits <= 0 || !x.hasCodes())
         return Layer::forwardQuantized(x);
-    TWOINONE_ASSERT(x.q.shape.size() == 2 && x.q.shape[1] == inFeatures_,
-                    "Linear quantized input shape mismatch");
-    int n = x.q.shape[0];
 
     QuantTensor wlocal;
-    const QuantTensor &wq = quantizedCodes(wbits, wlocal);
+    const QuantTensor &wq = quantizedCodes(quant_.weightBits, wlocal);
+    Tensor out;
+    inferQuantInto(x.q, wq, iscratch_, out);
+    return QuantAct(std::move(out));
+}
+
+void
+Linear::inferQuantInto(const QuantTensor &xq, const QuantTensor &wq,
+                       IntGemmScratch &s, Tensor &out)
+{
+    TWOINONE_ASSERT(xq.shape.size() == 2 && xq.shape[1] == inFeatures_,
+                    "Linear quantized input shape mismatch");
+    int n = xq.shape[0];
 
     // acc[N, out] = Xq[N, in] * Wq[out, in]^T, exact int64.
-    accBuf_.resize(static_cast<size_t>(n) * outFeatures_);
-    gemm::igemmTransB(n, outFeatures_, inFeatures_, x.q.codes.data(),
+    s.acc.resize(static_cast<size_t>(n) * outFeatures_);
+    gemm::igemmTransB(n, outFeatures_, inFeatures_, xq.codes.data(),
                       inFeatures_, wq.codes.data(), inFeatures_,
-                      accBuf_.data(), outFeatures_);
+                      s.acc.data(), outFeatures_);
 
-    float dq = wq.scale * x.q.scale;
+    float dq = wq.scale * xq.scale;
     const float *b = hasBias_ ? bias_.value.data() : nullptr;
-    Tensor out({n, outFeatures_});
+    out.ensure({n, outFeatures_});
     float *o = out.data();
     for (int64_t i = 0; i < static_cast<int64_t>(n) * outFeatures_; ++i) {
-        o[i] = static_cast<float>(accBuf_[static_cast<size_t>(i)]) * dq +
+        o[i] = static_cast<float>(s.acc[static_cast<size_t>(i)]) * dq +
                (b ? b[i % outFeatures_] : 0.0f);
     }
 
     if (quantTrace_) {
         tracedW_ = wq;
-        tracedA_ = x.q;
-        tracedAcc_ = accBuf_;
+        tracedA_ = xq;
+        tracedAcc_ = s.acc;
     }
-    return QuantAct(std::move(out));
+}
+
+void
+Linear::emitPlanSteps(serve::PlanBuilder &b)
+{
+    int in = b.top();
+    int out = b.newValue();
+    int sid = b.newScratch();
+    if (b.mode() == serve::PlanMode::Quantized) {
+        b.addStep("linear[int] " + describe(),
+                  [this, in, out, sid](serve::ExecutionPlan &p) {
+                      serve::Value &vi = p.value(in);
+                      serve::Value &vo = p.value(out);
+                      serve::LayerScratch &ls = p.scratch(sid);
+                      vo.reset();
+                      if (quant_.weightBits > 0 && vi.hasCodes) {
+                          const QuantTensor &wq = quantizedCodes(
+                              quant_.weightBits, ls.wcodes);
+                          inferQuantInto(vi.q, wq, ls.ig, vo.dense);
+                      } else {
+                          inferFloatInto(vi.denseView(), ls.wq,
+                                         vo.dense);
+                      }
+                      vo.denseReady = true;
+                  });
+    } else {
+        b.addStep("linear " + describe(),
+                  [this, in, out, sid](serve::ExecutionPlan &p) {
+                      serve::Value &vi = p.value(in);
+                      serve::Value &vo = p.value(out);
+                      serve::LayerScratch &ls = p.scratch(sid);
+                      vo.reset();
+                      inferFloatInto(vi.denseView(), ls.wq, vo.dense);
+                      vo.denseReady = true;
+                  });
+    }
+    b.setTop(out);
 }
 
 Tensor

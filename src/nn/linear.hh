@@ -37,6 +37,23 @@ class Linear : public Layer, public WeightQuantizedLayer
      */
     QuantAct forwardQuantized(QuantAct &x) override;
 
+    void emitPlanSteps(serve::PlanBuilder &b) override;
+
+    /** @name Allocation-free plan kernels
+     * Shared with the legacy paths so plan forwards are bit-identical
+     * by construction. */
+    /** @{ */
+    /** Float inference forward into a caller-owned buffer (weights
+     * from the installed cache / a fresh fake-quantization into
+     * @p wq_scratch; the masters directly at full precision). */
+    void inferFloatInto(const Tensor &x, QuantResult &wq_scratch,
+                        Tensor &out);
+    /** Wide integer inference forward: int32 igemm + fused
+     * dequant/bias into @p out, accumulating through @p s. */
+    void inferQuantInto(const QuantTensor &xq, const QuantTensor &wq,
+                        IntGemmScratch &s, Tensor &out);
+    /** @} */
+
     void collectParameters(std::vector<Parameter *> &out) override;
     void collectWeightQuantized(
         std::vector<WeightQuantizedLayer *> &out) override;
@@ -67,8 +84,13 @@ class Linear : public Layer, public WeightQuantizedLayer
     // when installed, else at ownedSteMask_ (see Conv2d).
     const Tensor *steMask_ = nullptr;
     Tensor ownedSteMask_;
-    // Integer-path accumulator scratch.
-    std::vector<int64_t> accBuf_;
+    // Integer-path scratch for the legacy loop (plan steps carry
+    // their own IntGemmScratch).
+    IntGemmScratch iscratch_;
+
+    /** The batch-parallel bias add shared by forward() and
+     * inferFloatInto(). */
+    void addBiasRows(Tensor &out) const;
 };
 
 } // namespace twoinone

@@ -16,8 +16,10 @@
 #include <memory>
 #include <vector>
 
+#include "nn/activation.hh"
 #include "nn/layer.hh"
 #include "quant/precision.hh"
+#include "serve/execution_plan.hh"
 
 namespace twoinone {
 
@@ -48,13 +50,16 @@ class Network
     Tensor forward(const Tensor &x, bool train);
 
     /**
-     * Inference forward on the integer-code datapath: ActQuant layers
-     * emit QuantTensor codes (static scales when calibrated), Conv2d /
-     * Linear consume them through the integer GEMM kernels, and
-     * float-domain layers compose through the dense view. Matches
-     * forward() within the rounding tolerance documented in the
-     * README's quantized-execution section; layers without codes
-     * (e.g. the stem conv) run their float path unchanged.
+     * Inference forward on the integer-code datapath: the network
+     * input is quantized first (at max(actBits, 16), so the stem conv
+     * consumes integer codes without measurable input noise),
+     * ActQuant layers emit QuantTensor codes (static scales when
+     * calibrated), Conv2d / Linear consume them through the integer
+     * GEMM kernels, and float-domain layers compose through the dense
+     * view. Matches forward() within the rounding tolerance
+     * documented in the README's quantized-execution section.
+     * Routes through the compiled quantized plan when plan execution
+     * is enabled (bit-identical either way).
      */
     Tensor forwardQuantized(const Tensor &x);
 
@@ -95,16 +100,82 @@ class Network
     /** Currently active precision (0 = full). */
     int activePrecision() const { return activeBits_; }
 
-    /** Predicted class per row for a batch. */
+    /** Predicted class per row for a batch. Routes through the
+     * compiled float plan when plan execution is enabled. */
     std::vector<int> predict(const Tensor &x);
 
     /** Predicted class per row, via the integer datapath. */
     std::vector<int> predictQuantized(const Tensor &x);
 
+    /** The input quantizer feeding the stem conv on the integer
+     * datapath (not part of the layer stack; applied only by
+     * forwardQuantized / the quantized plan). */
+    ActQuant &inputQuant() { return *inputQuant_; }
+
+    /**
+     * Compile this network into an execution plan: one flat,
+     * allocation-free step list over a preallocated arena, executing
+     * at whatever precision is active when run (see
+     * serve/execution_plan.hh). @p precisions are the candidates the
+     * warm-up dry passes size buffers for (must be within the bound
+     * set); @p max_input_shape is the largest [N, C, H, W] batch the
+     * plan will serve.
+     */
+    std::unique_ptr<serve::ExecutionPlan>
+    compile(const PrecisionSet &precisions, serve::PlanMode mode,
+            const std::vector<int> &max_input_shape);
+
+    /**
+     * Route the inference entry points (predict, forwardQuantized,
+     * predictQuantized) through internally compiled plans — one per
+     * mode, compiled lazily on first use for inputs of
+     * @p max_input_shape's trailing dims and batch <= its dim 0
+     * (anything else falls back to the legacy loops, bit-identical).
+     * forward() itself keeps the legacy layer loop: training and the
+     * attacks need the backward caches a plan does not populate.
+     */
+    void enablePlanExecution(const std::vector<int> &max_input_shape);
+
+    /** Drop the compiled plans and return every entry point to the
+     * legacy loops. */
+    void disablePlanExecution();
+
+    /** Whether plan routing is enabled. */
+    bool planExecutionEnabled() const { return planExec_; }
+
+    /** The max input shape plan routing is configured for (empty
+     * when disabled). */
+    const std::vector<int> &planMaxShape() const { return planMaxShape_; }
+
   private:
     PrecisionSet precisionSet_;
     std::vector<LayerPtr> layers_;
     int activeBits_ = 0;
+
+    /** Heap-allocated so compiled plan steps can hold a stable
+     * pointer across Network moves; pinned to the unit image range
+     * (dataset images and the attacks' perturbed inputs live in
+     * [0, 1]), so input quantization needs no per-batch reduction and
+     * is independent of batch composition. */
+    std::unique_ptr<ActQuant> inputQuant_ = makeInputQuant();
+
+    static std::unique_ptr<ActQuant>
+    makeInputQuant()
+    {
+        auto q = std::make_unique<ActQuant>();
+        q->setFixedRange(1.0f);
+        return q;
+    }
+
+    bool planExec_ = false;
+    std::vector<int> planMaxShape_;
+    std::unique_ptr<serve::ExecutionPlan> planFloat_;
+    std::unique_ptr<serve::ExecutionPlan> planQuant_;
+
+    /** The internal plan serving @p x in @p mode, compiled on first
+     * use; nullptr when plan execution is off or @p x does not fit
+     * the compiled shape. */
+    serve::ExecutionPlan *planFor(serve::PlanMode mode, const Tensor &x);
 };
 
 } // namespace twoinone

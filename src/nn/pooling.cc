@@ -5,6 +5,10 @@
 
 #include "nn/pooling.hh"
 
+#include <algorithm>
+
+#include "serve/execution_plan.hh"
+
 namespace twoinone {
 
 Tensor
@@ -13,9 +17,18 @@ GlobalAvgPool::forward(const Tensor &x, bool train)
     (void)train;
     TWOINONE_ASSERT(x.ndim() == 4, "GlobalAvgPool expects NCHW");
     cachedInShape_ = x.shape();
+    Tensor out;
+    inferFloatInto(x, out);
+    return out;
+}
+
+void
+GlobalAvgPool::inferFloatInto(const Tensor &x, Tensor &out) const
+{
+    TWOINONE_ASSERT(x.ndim() == 4, "GlobalAvgPool expects NCHW");
     int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
     float inv = 1.0f / static_cast<float>(h * w);
-    Tensor out({n, c});
+    out.ensure({n, c});
     for (int ni = 0; ni < n; ++ni) {
         for (int ci = 0; ci < c; ++ci) {
             double s = 0.0;
@@ -25,7 +38,6 @@ GlobalAvgPool::forward(const Tensor &x, bool train)
             out.at2(ni, ci) = static_cast<float>(s) * inv;
         }
     }
-    return out;
 }
 
 Tensor
@@ -53,27 +65,35 @@ GlobalAvgPool::forwardQuantized(QuantAct &x)
 {
     if (!x.hasCodes())
         return Layer::forwardQuantized(x);
-    TWOINONE_ASSERT(x.q.shape.size() == 4,
+    QuantAct out;
+    inferQuantInto(x.q, out.q);
+    return out;
+}
+
+void
+GlobalAvgPool::inferQuantInto(const QuantTensor &xq,
+                              QuantTensor &out) const
+{
+    TWOINONE_ASSERT(xq.shape.size() == 4,
                     "GlobalAvgPool expects NCHW codes");
-    int n = x.q.shape[0], c = x.q.shape[1], h = x.q.shape[2],
-        w = x.q.shape[3];
+    int n = xq.shape[0], c = xq.shape[1], h = xq.shape[2],
+        w = xq.shape[3];
     int hw = h * w;
 
-    QuantAct out;
-    out.q.shape = {n, c};
-    out.q.codes.assign(static_cast<size_t>(n) * c, 0);
+    out.shape = {n, c};
+    out.codes.resize(static_cast<size_t>(n) * c);
     // mean = (sum of codes) * scale / HW: integer partial sums with
     // the averaging divisor folded into the scale. The summed codes
     // need ceil(log2(HW)) extra bits.
-    out.q.scale = x.q.scale / static_cast<float>(hw);
+    out.scale = xq.scale / static_cast<float>(hw);
     int extra = 0;
     while ((1 << extra) < hw)
         ++extra;
-    out.q.bits = x.q.bits + extra;
-    out.q.isSigned = x.q.isSigned;
+    out.bits = xq.bits + extra;
+    out.isSigned = xq.isSigned;
 
-    const int32_t *in = x.q.codes.data();
-    int32_t *o = out.q.codes.data();
+    const int32_t *in = xq.codes.data();
+    int32_t *o = out.codes.data();
     for (int ni = 0; ni < n; ++ni) {
         for (int ci = 0; ci < c; ++ci) {
             const int32_t *plane =
@@ -85,7 +105,36 @@ GlobalAvgPool::forwardQuantized(QuantAct &x)
                 static_cast<int32_t>(s);
         }
     }
-    return out;
+}
+
+void
+GlobalAvgPool::emitPlanSteps(serve::PlanBuilder &b)
+{
+    int in = b.top();
+    int out = b.newValue();
+    if (b.mode() == serve::PlanMode::Quantized) {
+        b.addStep("gap[int]", [this, in, out](serve::ExecutionPlan &p) {
+            serve::Value &vi = p.value(in);
+            serve::Value &vo = p.value(out);
+            vo.reset();
+            if (vi.hasCodes) {
+                inferQuantInto(vi.q, vo.q);
+                vo.hasCodes = true;
+            } else {
+                inferFloatInto(vi.denseView(), vo.dense);
+                vo.denseReady = true;
+            }
+        });
+    } else {
+        b.addStep("gap", [this, in, out](serve::ExecutionPlan &p) {
+            serve::Value &vi = p.value(in);
+            serve::Value &vo = p.value(out);
+            vo.reset();
+            inferFloatInto(vi.denseView(), vo.dense);
+            vo.denseReady = true;
+        });
+    }
+    b.setTop(out);
 }
 
 Tensor
@@ -96,8 +145,19 @@ AvgPool2x2::forward(const Tensor &x, bool train)
     TWOINONE_ASSERT(x.dim(2) % 2 == 0 && x.dim(3) % 2 == 0,
                     "AvgPool2x2 needs even spatial dims");
     cachedInShape_ = x.shape();
+    Tensor out;
+    inferFloatInto(x, out);
+    return out;
+}
+
+void
+AvgPool2x2::inferFloatInto(const Tensor &x, Tensor &out) const
+{
+    TWOINONE_ASSERT(x.ndim() == 4, "AvgPool2x2 expects NCHW");
+    TWOINONE_ASSERT(x.dim(2) % 2 == 0 && x.dim(3) % 2 == 0,
+                    "AvgPool2x2 needs even spatial dims");
     int n = x.dim(0), c = x.dim(1), h = x.dim(2) / 2, w = x.dim(3) / 2;
-    Tensor out({n, c, h, w});
+    out.ensure({n, c, h, w});
     for (int ni = 0; ni < n; ++ni) {
         for (int ci = 0; ci < c; ++ci) {
             for (int y = 0; y < h; ++y) {
@@ -111,7 +171,21 @@ AvgPool2x2::forward(const Tensor &x, bool train)
             }
         }
     }
-    return out;
+}
+
+void
+AvgPool2x2::emitPlanSteps(serve::PlanBuilder &b)
+{
+    int in = b.top();
+    int out = b.newValue();
+    b.addStep("avgpool2x2", [this, in, out](serve::ExecutionPlan &p) {
+        serve::Value &vi = p.value(in);
+        serve::Value &vo = p.value(out);
+        vo.reset();
+        inferFloatInto(vi.denseView(), vo.dense);
+        vo.denseReady = true;
+    });
+    b.setTop(out);
 }
 
 Tensor
@@ -147,6 +221,25 @@ Flatten::forward(const Tensor &x, bool train)
     int n = x.dim(0);
     int rest = static_cast<int>(x.size()) / n;
     return x.reshape({n, rest});
+}
+
+void
+Flatten::emitPlanSteps(serve::PlanBuilder &b)
+{
+    int in = b.top();
+    int out = b.newValue();
+    b.addStep("flatten", [in, out](serve::ExecutionPlan &p) {
+        serve::Value &vi = p.value(in);
+        serve::Value &vo = p.value(out);
+        vo.reset();
+        const Tensor &x = vi.denseView();
+        int n = x.dim(0);
+        int rest = static_cast<int>(x.size()) / n;
+        vo.dense.ensure({n, rest});
+        std::copy(x.data(), x.data() + x.size(), vo.dense.data());
+        vo.denseReady = true;
+    });
+    b.setTop(out);
 }
 
 Tensor

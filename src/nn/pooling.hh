@@ -28,6 +28,15 @@ class GlobalAvgPool : public Layer
      */
     QuantAct forwardQuantized(QuantAct &x) override;
 
+    void emitPlanSteps(serve::PlanBuilder &b) override;
+
+    /** @name Allocation-free plan kernels (shared with the legacy
+     * paths) */
+    /** @{ */
+    void inferFloatInto(const Tensor &x, Tensor &out) const;
+    void inferQuantInto(const QuantTensor &xq, QuantTensor &out) const;
+    /** @} */
+
     std::string describe() const override { return "GlobalAvgPool"; }
 
   private:
@@ -42,6 +51,10 @@ class AvgPool2x2 : public Layer
   public:
     Tensor forward(const Tensor &x, bool train) override;
     Tensor backward(const Tensor &grad_out) override;
+    void emitPlanSteps(serve::PlanBuilder &b) override;
+    /** Pool into a caller-owned buffer (the allocation-free plan
+     * form; forward wraps it). */
+    void inferFloatInto(const Tensor &x, Tensor &out) const;
     std::string describe() const override { return "AvgPool2x2"; }
 
   private:
@@ -56,6 +69,7 @@ class Flatten : public Layer
   public:
     Tensor forward(const Tensor &x, bool train) override;
     Tensor backward(const Tensor &grad_out) override;
+    void emitPlanSteps(serve::PlanBuilder &b) override;
     std::string describe() const override { return "Flatten"; }
 
   private:

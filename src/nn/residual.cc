@@ -7,6 +7,7 @@
 
 #include <sstream>
 
+#include "serve/execution_plan.hh"
 #include "tensor/ops.hh"
 
 namespace twoinone {
@@ -58,6 +59,47 @@ PreActBlock::forwardQuantized(QuantAct &x)
     y = q2_.forwardQuantized(y);
     y = conv2_.forwardQuantized(y);
     return QuantAct(ops::add(y.denseView(), sc.denseView()));
+}
+
+void
+PreActBlock::emitPlanSteps(serve::PlanBuilder &b)
+{
+    // Mirrors forwardQuantized()'s composition; SBN+ReLU pairs run
+    // fused (identical per-element values).
+    int x = b.top();
+
+    // h = q1(relu1(bn1(x)))
+    bn1_.emitFusedBnRelu(b);
+    q1_.emitPlanSteps(b);
+    int h = b.top();
+
+    // Shortcut branch: projection conv from h, or the identity x.
+    int sc;
+    if (convSc_) {
+        convSc_->emitPlanSteps(b);
+        sc = b.top();
+        b.setTop(h);
+    } else {
+        sc = x;
+    }
+
+    // Main branch: conv2(q2(relu2(bn2(conv1(h))))).
+    conv1_.emitPlanSteps(b);
+    bn2_.emitFusedBnRelu(b);
+    q2_.emitPlanSteps(b);
+    conv2_.emitPlanSteps(b);
+    int y = b.top();
+
+    int out = b.newValue();
+    b.addStep("residual join", [y, sc, out](serve::ExecutionPlan &p) {
+        serve::Value &vy = p.value(y);
+        serve::Value &vsc = p.value(sc);
+        serve::Value &vo = p.value(out);
+        vo.reset();
+        ops::addInto(vy.denseView(), vsc.denseView(), vo.dense);
+        vo.denseReady = true;
+    });
+    b.setTop(out);
 }
 
 Tensor

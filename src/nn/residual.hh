@@ -43,6 +43,10 @@ class PreActBlock : public Layer
     /** Quantized-inference forward: SBN/ReLU/residual-add in float,
      * ActQuant emitting codes, convs on the integer datapath. */
     QuantAct forwardQuantized(QuantAct &x) override;
+    /** Composite emitter: fused SBN+ReLU steps, ActQuant code
+     * emission, conv steps for both branches, and one residual-join
+     * step adding the branch outputs in the arena. */
+    void emitPlanSteps(serve::PlanBuilder &b) override;
     void collectParameters(std::vector<Parameter *> &out) override;
     void collectWeightQuantized(
         std::vector<WeightQuantizedLayer *> &out) override;

@@ -99,6 +99,38 @@ LinearQuantizer::fakeQuantUnsigned(const Tensor &x, int bits)
     return fakeQuantUnsignedStatic(x, bits, ops::maxVal(x));
 }
 
+namespace {
+
+/**
+ * The shared unsigned grid pass: values (and, when @p mask is
+ * non-null, the STE mask) of the static-range fake quantization.
+ * Both public forms run exactly this, so they can never diverge.
+ */
+void
+unsignedGridPass(const float *in, size_t n, int qmax, float scale,
+                 float *values, float *mask)
+{
+    ops::gatedParallelFor(
+        static_cast<int64_t>(n), kQuantGrain,
+        [&](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i) {
+                float q = std::nearbyint(in[i] / scale);
+                if (q < 0.0f) {
+                    q = 0.0f;
+                    if (mask)
+                        mask[i] = 0.0f;
+                } else if (q > qmax) {
+                    q = static_cast<float>(qmax);
+                    if (mask)
+                        mask[i] = 0.0f;
+                }
+                values[i] = q * scale;
+            }
+        });
+}
+
+} // namespace
+
 QuantResult
 LinearQuantizer::fakeQuantUnsignedStatic(const Tensor &x, int bits,
                                          float max_v)
@@ -115,7 +147,6 @@ LinearQuantizer::fakeQuantUnsignedStatic(const Tensor &x, int bits,
     r.values = Tensor(x.shape());
     r.steMask = Tensor::ones(x.shape());
     const float *in = x.data();
-    float *values = r.values.data();
     float *mask = r.steMask.data();
     if (max_v <= 0.0f) {
         r.scale = 0.0f;
@@ -129,22 +160,29 @@ LinearQuantizer::fakeQuantUnsignedStatic(const Tensor &x, int bits,
     }
 
     int qmax = unsignedQmax(bits);
-    float scale = max_v / static_cast<float>(qmax);
-    r.scale = scale;
-    quantPass(static_cast<int64_t>(x.size()), [&](int64_t lo, int64_t hi) {
-        for (int64_t i = lo; i < hi; ++i) {
-            float q = std::nearbyint(in[i] / scale);
-            if (q < 0.0f) {
-                q = 0.0f;
-                mask[i] = 0.0f;
-            } else if (q > qmax) {
-                q = static_cast<float>(qmax);
-                mask[i] = 0.0f;
-            }
-            values[i] = q * scale;
-        }
-    });
+    r.scale = max_v / static_cast<float>(qmax);
+    unsignedGridPass(in, x.size(), qmax, r.scale, r.values.data(), mask);
     return r;
+}
+
+void
+LinearQuantizer::fakeQuantUnsignedStaticValuesInto(const Tensor &x,
+                                                   int bits, float max_v,
+                                                   Tensor &values_out)
+{
+    values_out.ensure(x.shape());
+    if (bits <= 0) {
+        std::copy(x.data(), x.data() + x.size(), values_out.data());
+        return;
+    }
+    if (max_v <= 0.0f) {
+        values_out.fill(0.0f);
+        return;
+    }
+    int qmax = unsignedQmax(bits);
+    float scale = max_v / static_cast<float>(qmax);
+    unsignedGridPass(x.data(), x.size(), qmax, scale,
+                     values_out.data(), nullptr);
 }
 
 std::vector<int32_t>

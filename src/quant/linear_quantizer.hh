@@ -91,6 +91,17 @@ class LinearQuantizer
                                                float max_v);
 
     /**
+     * Values-only form of fakeQuantUnsignedStatic into a caller-owned
+     * buffer (no STE mask — inference consumers don't read one): the
+     * allocation-free pass the serving plan's ActQuant float step
+     * runs on. Shares the grid pass with the masked form, so the
+     * values are bit-identical.
+     */
+    static void fakeQuantUnsignedStaticValuesInto(const Tensor &x,
+                                                  int bits, float max_v,
+                                                  Tensor &values_out);
+
+    /**
      * Integer codes of the symmetric grid, for feeding the bit-true
      * accelerator datapath. Values lie in [-qmax, qmax].
      */

@@ -11,6 +11,7 @@
 
 #include "quant/quant_tensor.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "quant/linear_quantizer.hh"
@@ -38,22 +39,36 @@ QuantTensor
 QuantTensor::quantizeSymmetric(const Tensor &x, int bits,
                                Tensor *ste_mask_out, Tensor *values_out)
 {
-    TWOINONE_ASSERT(bits >= 1, "quantizeSymmetric bits=", bits);
     QuantTensor q;
+    quantizeSymmetricInto(x, bits, q, ste_mask_out, values_out);
+    return q;
+}
+
+void
+QuantTensor::quantizeSymmetricInto(const Tensor &x, int bits,
+                                   QuantTensor &q, Tensor *ste_mask_out,
+                                   Tensor *values_out)
+{
+    TWOINONE_ASSERT(bits >= 1, "quantizeSymmetric bits=", bits);
     q.shape = x.shape();
-    q.codes.assign(x.size(), 0);
+    q.codes.resize(x.size());
     q.bits = bits;
     q.isSigned = true;
 
-    if (ste_mask_out)
-        *ste_mask_out = Tensor::ones(x.shape());
+    if (ste_mask_out) {
+        ste_mask_out->ensure(x.shape());
+        ste_mask_out->fill(1.0f);
+    }
 
     float max_abs = ops::maxAbs(x);
     if (max_abs == 0.0f) {
         q.scale = 0.0f;
-        if (values_out)
-            *values_out = Tensor::zeros(x.shape());
-        return q;
+        std::fill(q.codes.begin(), q.codes.end(), 0);
+        if (values_out) {
+            values_out->ensure(x.shape());
+            values_out->fill(0.0f);
+        }
+        return;
     }
     int qmax = LinearQuantizer::signedQmax(bits);
     float scale = max_abs / static_cast<float>(qmax);
@@ -84,25 +99,35 @@ QuantTensor::quantizeSymmetric(const Tensor &x, int bits,
                     values[i] = g * scale;
             }
         });
-    return q;
 }
 
 QuantTensor
 QuantTensor::quantizeUnsigned(const Tensor &x, int bits, float max_v,
                               Tensor *ste_mask_out)
 {
-    TWOINONE_ASSERT(bits >= 1, "quantizeUnsigned bits=", bits);
     QuantTensor q;
+    quantizeUnsignedInto(x, bits, max_v, q, ste_mask_out);
+    return q;
+}
+
+void
+QuantTensor::quantizeUnsignedInto(const Tensor &x, int bits, float max_v,
+                                  QuantTensor &q, Tensor *ste_mask_out)
+{
+    TWOINONE_ASSERT(bits >= 1, "quantizeUnsigned bits=", bits);
     q.shape = x.shape();
-    q.codes.assign(x.size(), 0);
+    q.codes.resize(x.size());
     q.bits = bits;
     q.isSigned = false;
 
     const float *in = x.data();
-    if (ste_mask_out)
-        *ste_mask_out = Tensor::ones(x.shape());
+    if (ste_mask_out) {
+        ste_mask_out->ensure(x.shape());
+        ste_mask_out->fill(1.0f);
+    }
     if (max_v <= 0.0f) {
         q.scale = 0.0f;
+        std::fill(q.codes.begin(), q.codes.end(), 0);
         if (ste_mask_out) {
             float *mask = ste_mask_out->data();
             ops::gatedParallelFor(
@@ -112,7 +137,7 @@ QuantTensor::quantizeUnsigned(const Tensor &x, int bits, float max_v,
                         mask[i] = (in[i] == 0.0f) ? 1.0f : 0.0f;
                 });
         }
-        return q;
+        return;
     }
 
     int qmax = LinearQuantizer::unsignedQmax(bits);
@@ -137,7 +162,6 @@ QuantTensor::quantizeUnsigned(const Tensor &x, int bits, float max_v,
                 codes[i] = static_cast<int32_t>(g);
             }
         });
-    return q;
 }
 
 Tensor

@@ -66,6 +66,14 @@ struct QuantTensor
                                          Tensor *ste_mask_out = nullptr,
                                          Tensor *values_out = nullptr);
 
+    /** quantizeSymmetric into a caller-owned QuantTensor, reusing its
+     * code storage — the allocation-free form the RpsEngine cache
+     * rebuilds run on. The allocating overload wraps it. */
+    static void quantizeSymmetricInto(const Tensor &x, int bits,
+                                      QuantTensor &out,
+                                      Tensor *ste_mask_out = nullptr,
+                                      Tensor *values_out = nullptr);
+
     /**
      * Quantize onto the unsigned grid (activations) with an explicit
      * range maximum @p max_v — the static-scale calibrated form. With
@@ -75,6 +83,13 @@ struct QuantTensor
     static QuantTensor quantizeUnsigned(const Tensor &x, int bits,
                                         float max_v,
                                         Tensor *ste_mask_out = nullptr);
+
+    /** quantizeUnsigned into a caller-owned QuantTensor, reusing its
+     * code storage — the allocation-free form the serving plan's
+     * ActQuant steps run on. The allocating overload wraps it. */
+    static void quantizeUnsignedInto(const Tensor &x, int bits,
+                                     float max_v, QuantTensor &out,
+                                     Tensor *ste_mask_out = nullptr);
 
     /** Materialize the float view: out[i] = float(codes[i]) * scale. */
     Tensor dequantize() const;

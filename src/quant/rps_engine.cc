@@ -28,13 +28,40 @@ RpsEngine::RpsEngine(Network &net, PrecisionSet cache_set)
     cache_.resize(layers_.size());
     for (auto &per_layer : cache_)
         per_layer.resize(cacheSet_.size());
-    builtVersion_.assign(layers_.size(), 0);
+    notedVersion_.assign(layers_.size(), 0);
     refresh();
 }
 
 RpsEngine::~RpsEngine()
 {
     detach();
+}
+
+bool
+RpsEngine::cellStale(size_t layer, size_t prec) const
+{
+    const CacheEntry &e = cache_[layer][prec];
+    return !e.built ||
+           e.builtVersion != layers_[layer]->masterWeightVersion();
+}
+
+void
+RpsEngine::rebuildCell(size_t layer, size_t prec, bool want_floats)
+{
+    CacheEntry &e = cache_[layer][prec];
+    // A live (or demanded) float view is rebuilt in the same fused
+    // pass so installed pointers stay valid AND current; never-used
+    // views stay lazy.
+    bool floats = want_floats || e.floatsReady;
+    QuantTensor::quantizeSymmetricInto(
+        layers_[layer]->masterWeight(), cacheSet_.bits()[prec], e.codes,
+        &e.floats.steMask, floats ? &e.floats.values : nullptr);
+    e.floats.scale = e.codes.scale;
+    e.floats.bits = e.codes.bits;
+    e.floatsReady = floats;
+    e.built = true;
+    e.builtVersion = layers_[layer]->masterWeightVersion();
+    columnRebuilds_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void
@@ -51,21 +78,11 @@ RpsEngine::rebuildLayers(const std::vector<size_t> &which)
             for (int64_t t = lo; t < hi; ++t) {
                 size_t l = which[static_cast<size_t>(t / nprec)];
                 size_t p = static_cast<size_t>(t % nprec);
-                CacheEntry &e = cache_[l][p];
-                // Entries whose float view was already materialized
-                // (installed or previously used) are rebuilt in the
-                // same fused pass so installed pointers stay valid
-                // AND current; never-used views stay lazy.
-                e.codes = QuantTensor::quantizeSymmetric(
-                    layers_[l]->masterWeight(), cacheSet_.bits()[p],
-                    &e.floats.steMask,
-                    e.floatsReady ? &e.floats.values : nullptr);
-                e.floats.scale = e.codes.scale;
-                e.floats.bits = e.codes.bits;
+                rebuildCell(l, p, /*want_floats=*/false);
             }
         });
     for (size_t l : which)
-        builtVersion_[l] = layers_[l]->masterWeightVersion();
+        notedVersion_[l] = layers_[l]->masterWeightVersion();
 }
 
 void
@@ -80,14 +97,32 @@ RpsEngine::refresh()
 size_t
 RpsEngine::refreshDirty()
 {
-    std::vector<size_t> dirty;
+    // Note which layers moved; their cells rebuild lazily when
+    // setPrecision next installs a column — except the column that is
+    // installed RIGHT NOW, which forwards may consume before any
+    // switch (e.g. Free training replays several optimizer steps per
+    // precision draw), so it is brought current here.
+    size_t noted = 0;
     for (size_t l = 0; l < layers_.size(); ++l) {
-        if (layers_[l]->masterWeightVersion() != builtVersion_[l])
-            dirty.push_back(l);
+        uint64_t v = layers_[l]->masterWeightVersion();
+        if (v != notedVersion_[l]) {
+            notedVersion_[l] = v;
+            ++noted;
+        }
     }
-    if (!dirty.empty())
-        rebuildLayers(dirty);
-    return dirty.size();
+    if (noted > 0 && installedIdx_ >= 0) {
+        size_t idx = static_cast<size_t>(installedIdx_);
+        ThreadPool::global().parallelFor(
+            0, static_cast<int64_t>(layers_.size()), 1,
+            [&](int64_t lo, int64_t hi) {
+                for (int64_t l = lo; l < hi; ++l) {
+                    size_t ls = static_cast<size_t>(l);
+                    if (cellStale(ls, idx))
+                        rebuildCell(ls, idx, /*want_floats=*/true);
+                }
+            });
+    }
+    return noted;
 }
 
 void
@@ -100,19 +135,25 @@ RpsEngine::setPrecision(int bits)
             l->setWeightCache(nullptr);
             l->setWeightCodes(nullptr);
         }
+        installedIdx_ = -1;
         net_.setPrecision(bits);
         return;
     }
     size_t idx = static_cast<size_t>(cacheSet_.indexOf(bits));
-    // Materialize the float views of this precision column on first
-    // use since the last refresh (codes are the source of truth;
-    // float(code) * scale is exactly the fake-quant grid value).
+    // Bring the installed column current: re-quantize cells whose
+    // master weights moved (the lazy column rebuild — only the column
+    // being consumed pays), and materialize float views on first use
+    // (codes are the source of truth; float(code) * scale is exactly
+    // the fake-quant grid value).
     ThreadPool::global().parallelFor(
         0, static_cast<int64_t>(layers_.size()), 1,
         [&](int64_t lo, int64_t hi) {
             for (int64_t l = lo; l < hi; ++l) {
-                CacheEntry &e = cache_[static_cast<size_t>(l)][idx];
-                if (!e.floatsReady) {
+                size_t ls = static_cast<size_t>(l);
+                CacheEntry &e = cache_[ls][idx];
+                if (cellStale(ls, idx)) {
+                    rebuildCell(ls, idx, /*want_floats=*/true);
+                } else if (!e.floatsReady) {
                     e.codes.dequantizeInto(e.floats.values);
                     e.floatsReady = true;
                 }
@@ -122,6 +163,7 @@ RpsEngine::setPrecision(int bits)
         layers_[l]->setWeightCache(&cache_[l][idx].floats);
         layers_[l]->setWeightCodes(&cache_[l][idx].codes);
     }
+    installedIdx_ = static_cast<int>(idx);
     net_.setPrecision(bits);
 }
 
@@ -169,16 +211,25 @@ RpsEngine::detach()
         l->setWeightCache(nullptr);
         l->setWeightCodes(nullptr);
     }
+    installedIdx_ = -1;
 }
 
 const QuantTensor &
-RpsEngine::codesFor(size_t layer, int bits) const
+RpsEngine::codesFor(size_t layer, int bits)
 {
     TWOINONE_ASSERT(layer < cache_.size(), "layer index out of range");
     TWOINONE_ASSERT(cacheSet_.contains(bits), "precision ", bits,
                     " not cached");
-    return cache_[layer][static_cast<size_t>(cacheSet_.indexOf(bits))]
-        .codes;
+    size_t p = static_cast<size_t>(cacheSet_.indexOf(bits));
+    if (cellStale(layer, p))
+        rebuildCell(layer, p, /*want_floats=*/false);
+    return cache_[layer][p].codes;
+}
+
+uint64_t
+RpsEngine::columnRebuilds() const
+{
+    return columnRebuilds_.load(std::memory_order_relaxed);
 }
 
 uint64_t

@@ -20,10 +20,19 @@
  * A precision switch is O(#layers): pointer installs of the float
  * entry and the codes into each layer. Entries live in stable
  * storage; refresh() rewrites them in place, so installed pointers
- * remain valid across refreshes. refreshDirty() re-quantizes only
- * layers whose master-weight version advanced since their entries
- * were built (Parameter::version, bumped by the optimizer) — the
- * per-step refresh the trainer hook uses.
+ * remain valid across refreshes.
+ *
+ * Staleness is tracked per (layer, precision) cell: every cell
+ * remembers the master-weight version (Parameter::version) it was
+ * quantized from, and setPrecision() re-quantizes exactly the cells
+ * it is about to install whose version fell behind — so a training
+ * step pays for the installed precision column per dirty layer
+ * instead of all |set| of them. refreshDirty() is the per-step hook
+ * the trainer calls after each optimizer step: it notes which layers
+ * moved (returning how many were newly dirty) and brings the
+ * *currently installed* column current — forwards may consume it
+ * before any switch (Free training replays several steps per draw) —
+ * while every other column rebuilds lazily at its next install.
  *
  * The engine caches *weights only*; activations are quantized per
  * forward — dynamically by default, or against calibrated static
@@ -39,6 +48,7 @@
 #ifndef TWOINONE_QUANT_RPS_ENGINE_HH
 #define TWOINONE_QUANT_RPS_ENGINE_HH
 
+#include <atomic>
 #include <vector>
 
 #include "nn/network.hh"
@@ -94,13 +104,18 @@ class RpsEngine
     void refresh();
 
     /**
-     * Re-quantize only the layers whose master-weight version
-     * (Parameter::version) moved since their entries were built — the
-     * per-step hook for cached adversarial training. Layers mutated
-     * without a version bump are NOT picked up; use refresh() for
-     * out-of-band weight surgery.
+     * Note the layers whose master-weight version
+     * (Parameter::version) moved since they were last noted, and
+     * re-quantize the currently installed column's stale cells so the
+     * caches in active use are never stale — the per-step hook for
+     * cached adversarial training. All other precision columns
+     * rebuild lazily when setPrecision() next installs them, cutting
+     * per-step quantization work from |set| columns to the one(s)
+     * actually consumed. Layers mutated without a version bump are
+     * NOT picked up; use refresh() for out-of-band weight surgery.
      *
-     * @return The number of layers that were dirty and re-quantized.
+     * @return The number of layers newly observed dirty (0 on a
+     *         repeat call with no intervening update).
      */
     size_t refreshDirty();
 
@@ -108,9 +123,10 @@ class RpsEngine
      * Switch the active precision: install the cached float entries
      * and integer codes for @p bits (or clear them for 0 = full
      * precision) and propagate the quant state through the network.
-     * O(#layers) plus, on first use of a precision since the last
-     * refresh, one code-to-float materialization pass. A bound-set
-     * precision outside the cached set switches uncached.
+     * O(#layers) plus, per installed cell, a re-quantization when its
+     * master weights moved since it was built (the lazy column
+     * rebuild) or a code-to-float materialization on its first use.
+     * A bound-set precision outside the cached set switches uncached.
      */
     void setPrecision(int bits);
 
@@ -145,8 +161,14 @@ class RpsEngine
     void detach();
 
     /** The cached integer codes of layer @p layer at @p bits
-     * (test/simulator access; panics when not cached). */
-    const QuantTensor &codesFor(size_t layer, int bits) const;
+     * (test/simulator access; panics when not cached). Rebuilds the
+     * cell first when the master weights moved since it was built. */
+    const QuantTensor &codesFor(size_t layer, int bits);
+
+    /** Cells re-quantized since construction (lazy-rebuild
+     * accounting: a full refresh counts #layers x |set|, an install
+     * of a stale column counts one per dirty layer). */
+    uint64_t columnRebuilds() const;
 
     /** @name Cache accounting
      * Quantized-weight lookups across all cached layers since the
@@ -161,12 +183,15 @@ class RpsEngine
 
   private:
     /** One (layer, precision) cache cell: canonical codes plus the
-     * lazily materialized float fake-quant view. */
+     * lazily materialized float fake-quant view, stamped with the
+     * master-weight version it was quantized from. */
     struct CacheEntry
     {
         QuantTensor codes;
         QuantResult floats; ///< steMask eager, values lazy
         bool floatsReady = false;
+        bool built = false;
+        uint64_t builtVersion = 0;
     };
 
     Network &net_;
@@ -174,8 +199,23 @@ class RpsEngine
     std::vector<WeightQuantizedLayer *> layers_;
     /** cache_[layer][precision index in cacheSet_]. */
     std::vector<std::vector<CacheEntry>> cache_;
-    /** Master-weight version each layer's entries were built from. */
-    std::vector<uint64_t> builtVersion_;
+    /** Master-weight version refreshDirty() last noted per layer. */
+    std::vector<uint64_t> notedVersion_;
+    /** Precision column currently installed into the layers (-1 when
+     * detached / uncached) — the one column refreshDirty() keeps
+     * eagerly current. */
+    int installedIdx_ = -1;
+    /** Cells quantized so far (see columnRebuilds()). */
+    std::atomic<uint64_t> columnRebuilds_{0};
+
+    /** Whether the cell's codes predate the layer's current master
+     * weights. */
+    bool cellStale(size_t layer, size_t prec) const;
+
+    /** Re-quantize one cell from the current masters, fusing the
+     * float-view materialization when the view is (or must become)
+     * live. */
+    void rebuildCell(size_t layer, size_t prec, bool want_floats);
 
     /** Rebuild all cached precisions of the given layers (parallel
      * over layers x precisions; float views of used precisions are

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * ServingRuntime implementation.
+ */
+
+#include "serve/runtime.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/thread_pool.hh"
+
+namespace twoinone {
+namespace serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+microseconds(Clock::time_point from, Clock::time_point to)
+{
+    return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+} // namespace
+
+ServingRuntime::ServingRuntime(Network &net, RpsEngine &engine,
+                               const std::vector<int> &input_shape,
+                               ServeConfig cfg)
+    : net_(net), engine_(engine), cfg_(cfg), rng_(cfg.seed)
+{
+    TWOINONE_ASSERT(cfg_.maxBatch > 0 && cfg_.microBatch > 0,
+                    "bad serving batch geometry");
+    TWOINONE_ASSERT(!input_shape.empty(),
+                    "serving needs a per-request image shape");
+    cfg_.microBatch = std::min(cfg_.microBatch, cfg_.maxBatch);
+    rowShape_.push_back(1);
+    rowShape_.insert(rowShape_.end(), input_shape.begin(),
+                     input_shape.end());
+
+    // One plan replica per concurrent shard worker (each runs its
+    // shards on its own arena); sized for one micro-batch. More
+    // replicas than a batch has shards could never execute
+    // concurrently, so the default clamps to the shard count.
+    int max_shards =
+        (cfg_.maxBatch + cfg_.microBatch - 1) / cfg_.microBatch;
+    int replicas =
+        cfg_.replicas > 0
+            ? cfg_.replicas
+            : std::min(ThreadPool::global().threads(), max_shards);
+    replicas = std::max(1, replicas);
+    for (int i = 0; i < replicas; ++i) {
+        std::vector<int> plan_shape = rowShape_;
+        plan_shape[0] = cfg_.microBatch;
+        plans_.push_back(net_.compile(engine_.set(), cfg_.mode,
+                                      plan_shape));
+        if (i == 0 && plans_[0]->hasFallbackSteps()) {
+            // A fallback step runs the stateful legacy layer forward;
+            // replicas of such a plan must not execute concurrently
+            // over the shared layers, so serve single-replica.
+            break;
+        }
+    }
+}
+
+size_t
+ServingRuntime::submit(Tensor x)
+{
+    TWOINONE_ASSERT(x.ndim() == static_cast<int>(rowShape_.size()),
+                    "request rank mismatch");
+    for (size_t i = 1; i < rowShape_.size(); ++i) {
+        TWOINONE_ASSERT(x.dim(static_cast<int>(i)) == rowShape_[i],
+                        "request image shape mismatch at dim ", i);
+    }
+    TWOINONE_ASSERT(x.dim(0) > 0 && x.dim(0) <= cfg_.maxBatch,
+                    "request batch ", x.dim(0),
+                    " exceeds the serving batch capacity ",
+                    cfg_.maxBatch);
+    Request r;
+    r.x = std::move(x);
+    r.enqueued = Clock::now();
+    requests_.push_back(std::move(r));
+    return requests_.size() - 1;
+}
+
+void
+ServingRuntime::serveBatch(size_t first, size_t last, int rows)
+{
+    // One precision draw per serving batch (paper Alg. 1 line 16),
+    // installed from the engine's code cache: O(#layers).
+    int bits = engine_.samplePrecision(rng_);
+    trace_.push_back(bits);
+    engine_.setPrecision(bits);
+
+    // Pack the requests' rows into the batch buffer.
+    std::vector<int> bshape = rowShape_;
+    bshape[0] = rows;
+    batchBuf_.ensure(bshape);
+    size_t stride = batchBuf_.size() / static_cast<size_t>(rows);
+    {
+        size_t row = 0;
+        for (size_t r = first; r < last; ++r) {
+            const Tensor &x = requests_[r].x;
+            std::copy(x.data(), x.data() + x.size(),
+                      batchBuf_.data() + row * stride);
+            row += static_cast<size_t>(x.dim(0));
+        }
+    }
+
+    // Shard across the pool: the shards are dealt to at most
+    // numReplicas() worker groups, each group running its shards on
+    // its own plan replica and writing disjoint logit rows. Shard
+    // boundaries depend only on microBatch, so outputs are identical
+    // for any thread count or replica count.
+    int mb = cfg_.microBatch;
+    int nshards = (rows + mb - 1) / mb;
+    int ngroups = std::min(nshards, numReplicas());
+    const std::vector<int> &oshape = plans_[0]->outputShape();
+    size_t out_cols = 1;
+    for (size_t i = 1; i < oshape.size(); ++i)
+        out_cols *= static_cast<size_t>(oshape[i]);
+    std::vector<int> out_shape = {rows, static_cast<int>(out_cols)};
+    outBuf_.ensure(out_shape);
+
+    std::atomic<int> plan_cursor{0};
+    ThreadPool::global().parallelFor(
+        0, ngroups, 1, [&](int64_t glo, int64_t ghi) {
+            int pid = plan_cursor.fetch_add(1);
+            TWOINONE_ASSERT(pid < static_cast<int>(plans_.size()),
+                            "more worker chunks than plan replicas");
+            ExecutionPlan &plan = *plans_[static_cast<size_t>(pid)];
+            for (int64_t g = glo; g < ghi; ++g) {
+                for (int s = static_cast<int>(g); s < nshards;
+                     s += ngroups) {
+                    int row_lo = s * mb;
+                    int row_hi = std::min(rows, row_lo + mb);
+                    const Tensor &logits =
+                        plan.runRows(batchBuf_, row_lo, row_hi);
+                    std::copy(logits.data(),
+                              logits.data() + logits.size(),
+                              outBuf_.data() +
+                                  static_cast<size_t>(row_lo) *
+                                      out_cols);
+                }
+            }
+        });
+
+    // Scatter logits back to the requests and stamp latencies.
+    Clock::time_point done = Clock::now();
+    size_t row = 0;
+    for (size_t r = first; r < last; ++r) {
+        Request &req = requests_[r];
+        int n = req.x.dim(0);
+        req.y.ensure({n, static_cast<int>(out_cols)});
+        std::copy(outBuf_.data() + row * out_cols,
+                  outBuf_.data() + (row + static_cast<size_t>(n)) *
+                                       out_cols,
+                  req.y.data());
+        req.latencyUs = microseconds(req.enqueued, done);
+        req.done = true;
+        latenciesUs_.push_back(req.latencyUs);
+        row += static_cast<size_t>(n);
+        ++servedRequests_;
+        servedRows_ += static_cast<uint64_t>(n);
+    }
+    ++servedBatches_;
+}
+
+void
+ServingRuntime::drain()
+{
+    Clock::time_point start = Clock::now();
+    while (nextToServe_ < requests_.size()) {
+        // Pack whole requests until the serving batch is full.
+        size_t first = nextToServe_;
+        int rows = 0;
+        size_t last = first;
+        while (last < requests_.size() &&
+               rows + requests_[last].x.dim(0) <= cfg_.maxBatch) {
+            rows += requests_[last].x.dim(0);
+            ++last;
+        }
+        // A single over-sized request cannot occur (submit caps at
+        // maxBatch), so last > first here.
+        serveBatch(first, last, rows);
+        nextToServe_ = last;
+    }
+    wallSeconds_ +=
+        std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+const Tensor &
+ServingRuntime::result(size_t id) const
+{
+    TWOINONE_ASSERT(id < requests_.size(), "unknown request id");
+    TWOINONE_ASSERT(requests_[id].done, "request ", id,
+                    " not served yet — call drain()");
+    TWOINONE_ASSERT(!requests_[id].cleared, "request ", id,
+                    " was released by clearServed()");
+    return requests_[id].y;
+}
+
+void
+ServingRuntime::clearServed()
+{
+    for (size_t i = 0; i < nextToServe_; ++i) {
+        Request &r = requests_[i];
+        if (r.cleared)
+            continue;
+        r.x = Tensor();
+        r.y = Tensor();
+        r.cleared = true;
+    }
+}
+
+ServeStats
+ServingRuntime::stats() const
+{
+    ServeStats s;
+    s.requests = servedRequests_;
+    s.rows = servedRows_;
+    s.batches = servedBatches_;
+    s.wallSeconds = wallSeconds_;
+    s.qps = wallSeconds_ > 0.0
+                ? static_cast<double>(servedRows_) / wallSeconds_
+                : 0.0;
+    if (!latenciesUs_.empty()) {
+        std::vector<double> sorted = latenciesUs_;
+        std::sort(sorted.begin(), sorted.end());
+        auto pick = [&](double q) {
+            size_t idx = static_cast<size_t>(
+                q * static_cast<double>(sorted.size() - 1));
+            return sorted[idx];
+        };
+        s.p50Us = pick(0.5);
+        s.p99Us = pick(0.99);
+    }
+    return s;
+}
+
+void
+ServingRuntime::resetStats()
+{
+    servedRequests_ = 0;
+    servedRows_ = 0;
+    servedBatches_ = 0;
+    wallSeconds_ = 0.0;
+    latenciesUs_.clear();
+}
+
+} // namespace serve
+} // namespace twoinone

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * ServingRuntime: the batched RPS serving loop on top of compiled
+ * execution plans.
+ *
+ * Requests (image batches) enqueue via submit(); drain() packs them
+ * into serving batches, samples one random precision per batch from
+ * the candidate set (the paper's RPS defense — every batch of traffic
+ * sees an unpredictable precision), installs it through the
+ * RpsEngine's code cache in O(#layers), and shards the batch into
+ * micro-batches across the global ThreadPool. Each worker chunk runs
+ * its shards on its own ExecutionPlan replica — the layers are
+ * read-only during a batch, so replicas share the weights and caches
+ * while owning their arenas — and writes disjoint logit rows, so the
+ * served outputs are bit-identical for any TWOINONE_THREADS setting
+ * and the precision trace is a pure function of the seed.
+ *
+ * Stats: rows/s (QPS), per-request p50/p99 latency, batches served,
+ * and the sampled precision trace.
+ */
+
+#ifndef TWOINONE_SERVE_RUNTIME_HH
+#define TWOINONE_SERVE_RUNTIME_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+
+#include "quant/rps_engine.hh"
+#include "serve/execution_plan.hh"
+
+namespace twoinone {
+namespace serve {
+
+/** Serving-loop configuration. */
+struct ServeConfig
+{
+    /** Rows per serving batch (one precision draw each). */
+    int maxBatch = 64;
+    /** Rows per shard dispatched to a worker (also the plan replicas'
+     * compiled batch capacity). */
+    int microBatch = 8;
+    /** Which datapath the plans compile. */
+    PlanMode mode = PlanMode::Quantized;
+    /** Precision-sampling seed (deterministic trace). */
+    uint64_t seed = 2021;
+    /** Plan replicas to compile; 0 = one per concurrent shard worker
+     * (min of the pool thread count and shards per serving batch).
+     * Shards are dealt to at most this many worker groups, so any
+     * positive value is safe — fewer replicas just cap the shard
+     * parallelism. */
+    int replicas = 0;
+};
+
+/** Aggregate serving statistics since the last reset. */
+struct ServeStats
+{
+    uint64_t requests = 0;
+    uint64_t rows = 0;
+    uint64_t batches = 0;
+    double wallSeconds = 0.0;
+    double qps = 0.0;   ///< rows per second of drain() wall time
+    double p50Us = 0.0; ///< median request latency (submit -> done)
+    double p99Us = 0.0;
+};
+
+/**
+ * Synchronous request-queue serving runtime. Not thread-safe itself
+ * (one producer); the parallelism lives inside drain().
+ */
+class ServingRuntime
+{
+  public:
+    /**
+     * @param net Network to serve (plans compile against it).
+     * @param engine Precision-switch cache (must be built on @p net).
+     * @param input_shape Per-request image shape [C, H, W...] (the
+     *        trailing dims of every submitted batch).
+     * @param cfg Serving configuration.
+     */
+    ServingRuntime(Network &net, RpsEngine &engine,
+                   const std::vector<int> &input_shape,
+                   ServeConfig cfg = ServeConfig());
+
+    /** Enqueue a request of x.dim(0) images; returns its id. */
+    size_t submit(Tensor x);
+
+    /** Serve everything queued; blocks until all results are ready. */
+    void drain();
+
+    /** Logits of request @p id (valid after drain(), until
+     * clearServed()). */
+    const Tensor &result(size_t id) const;
+
+    /**
+     * Release the stored input and result tensors of every served
+     * request (ids stay allocated; result() on a cleared id panics).
+     * Long-lived submit/drain loops must call this after consuming
+     * results — served requests are otherwise retained so their
+     * results stay addressable.
+     */
+    void clearServed();
+
+    /** Precisions sampled so far, one per served batch. */
+    const std::vector<int> &precisionTrace() const { return trace_; }
+
+    ServeStats stats() const;
+    void resetStats();
+
+    int numReplicas() const { return static_cast<int>(plans_.size()); }
+    const ExecutionPlan &plan(int i) const { return *plans_[i]; }
+
+  private:
+    struct Request
+    {
+        Tensor x;
+        Tensor y;
+        std::chrono::steady_clock::time_point enqueued;
+        double latencyUs = 0.0;
+        bool done = false;
+        bool cleared = false;
+    };
+
+    Network &net_;
+    RpsEngine &engine_;
+    ServeConfig cfg_;
+    std::vector<int> rowShape_; ///< [1, C, H, W...]: one image
+    std::vector<std::unique_ptr<ExecutionPlan>> plans_;
+    Rng rng_;
+
+    std::vector<Request> requests_;
+    size_t nextToServe_ = 0;
+
+    Tensor batchBuf_; ///< packed serving batch
+    Tensor outBuf_;   ///< packed logits
+    std::vector<int> trace_;
+
+    // Stats.
+    uint64_t servedRequests_ = 0;
+    uint64_t servedRows_ = 0;
+    uint64_t servedBatches_ = 0;
+    double wallSeconds_ = 0.0;
+    std::vector<double> latenciesUs_;
+
+    /** Serve one packed batch of @p rows rows from requests
+     * [first, last). */
+    void serveBatch(size_t first, size_t last, int rows);
+};
+
+} // namespace serve
+} // namespace twoinone
+
+#endif // TWOINONE_SERVE_RUNTIME_HH

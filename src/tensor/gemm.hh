@@ -105,6 +105,19 @@ void igemmTransB(int m, int n, int k, const int32_t *a, int lda,
                  const int32_t *b, int ldb, int64_t *c, int ldc);
 /** @} */
 
+/**
+ * Serving-path int8 GEMM: same contract and bit-identical results as
+ * the int8 igemmTransB (integer accumulation is exact under any
+ * order), implemented with an AVX2 madd microkernel when the build
+ * targets one (j-tiled scalar kernel otherwise). This is the kernel
+ * compiled execution plans dispatch their <= 8-bit convolutions to;
+ * the per-layer reference loops keep igemmTransB so the serving
+ * datapath always has a plain reference to diff against.
+ */
+void igemmTransB8Serve(int m, int n, int k, const int8_t *a, int lda,
+                       const uint8_t *b, int ldb, int64_t *c, int ldc,
+                       int w_bits, int a_bits);
+
 } // namespace gemm
 } // namespace twoinone
 

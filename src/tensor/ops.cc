@@ -101,13 +101,20 @@ gatedParallelFor(int64_t n, int64_t grain,
 Tensor
 add(const Tensor &a, const Tensor &b)
 {
+    Tensor out;
+    addInto(a, b, out);
+    return out;
+}
+
+void
+addInto(const Tensor &a, const Tensor &b, Tensor &out)
+{
     checkSameShape(a, b, "add");
-    Tensor out(a.shape());
+    out.ensure(a.shape());
     parallelElems(a.size(), [&](size_t lo, size_t hi) {
         for (size_t i = lo; i < hi; ++i)
             out[i] = a[i] + b[i];
     });
-    return out;
 }
 
 Tensor
@@ -319,13 +326,20 @@ matmul(const Tensor &a, const Tensor &b)
 Tensor
 matmulTransposeB(const Tensor &a, const Tensor &b)
 {
+    Tensor c;
+    matmulTransposeBInto(a, b, c);
+    return c;
+}
+
+void
+matmulTransposeBInto(const Tensor &a, const Tensor &b, Tensor &c)
+{
     TWOINONE_ASSERT(a.ndim() == 2 && b.ndim() == 2, "matmulTB rank");
     TWOINONE_ASSERT(a.dim(1) == b.dim(1), "matmulTB inner-dim mismatch");
     int m = a.dim(0), k = a.dim(1), n = b.dim(0);
-    Tensor c({m, n});
+    c.ensure({m, n});
     gemm::sgemm(false, true, m, n, k, a.data(), k, b.data(), k, c.data(),
                 n);
-    return c;
 }
 
 Tensor

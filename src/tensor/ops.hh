@@ -36,6 +36,11 @@ void gatedParallelFor(int64_t n, int64_t grain,
 /** @name Elementwise binary ops (shapes must match) */
 /** @{ */
 Tensor add(const Tensor &a, const Tensor &b);
+/** out = a + b into a caller-owned buffer (reshaped as needed) — the
+ * allocation-free form the serving plan's residual join runs on;
+ * add() wraps it, so both are bit-identical. @p out must not alias
+ * the inputs. */
+void addInto(const Tensor &a, const Tensor &b, Tensor &out);
 Tensor sub(const Tensor &a, const Tensor &b);
 Tensor mul(const Tensor &a, const Tensor &b);
 /** @} */
@@ -100,6 +105,11 @@ Tensor matmul(const Tensor &a, const Tensor &b);
  * consistent — see tensor/gemm.hh).
  */
 Tensor matmulTransposeB(const Tensor &a, const Tensor &b);
+
+/** matmulTransposeB into a caller-owned buffer (reshaped as needed) —
+ * the allocation-free form Linear's plan step runs on; the allocating
+ * overload wraps it, so both hit the same backend dispatch. */
+void matmulTransposeBInto(const Tensor &a, const Tensor &b, Tensor &out);
 
 /**
  * Matrix multiply with transposed first operand:

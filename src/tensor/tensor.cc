@@ -5,9 +5,30 @@
 
 #include "tensor/tensor.hh"
 
+#include <atomic>
 #include <numeric>
 
 namespace twoinone {
+
+namespace {
+
+// Buffer allocations since process start (relaxed: the counter is a
+// diagnostic, not a synchronization point).
+std::atomic<uint64_t> g_tensor_allocs{0};
+
+} // namespace
+
+uint64_t
+Tensor::allocationCount()
+{
+    return g_tensor_allocs.load(std::memory_order_relaxed);
+}
+
+void
+Tensor::noteAllocation()
+{
+    g_tensor_allocs.fetch_add(1, std::memory_order_relaxed);
+}
 
 size_t
 Tensor::numel(const std::vector<int> &shape)
@@ -23,11 +44,34 @@ Tensor::numel(const std::vector<int> &shape)
 Tensor::Tensor(std::vector<int> shape)
     : shape_(std::move(shape)), data_(numel(shape_), 0.0f)
 {
+    if (!data_.empty())
+        noteAllocation();
 }
 
 Tensor::Tensor(std::vector<int> shape, float fill)
     : shape_(std::move(shape)), data_(numel(shape_), fill)
 {
+    if (!data_.empty())
+        noteAllocation();
+}
+
+Tensor::Tensor(const Tensor &other)
+    : shape_(other.shape_), data_(other.data_)
+{
+    if (!data_.empty())
+        noteAllocation();
+}
+
+Tensor &
+Tensor::operator=(const Tensor &other)
+{
+    if (this == &other)
+        return *this;
+    if (other.data_.size() > data_.capacity())
+        noteAllocation();
+    shape_ = other.shape_;
+    data_ = other.data_;
+    return *this;
 }
 
 Tensor
@@ -124,8 +168,11 @@ Tensor::ensure(const std::vector<int> &shape)
     if (shape_ == shape)
         return;
     size_t n = numel(shape);
-    if (n != data_.size())
+    if (n != data_.size()) {
+        if (n > data_.capacity())
+            noteAllocation();
         data_.resize(n);
+    }
     shape_ = shape;
 }
 
@@ -137,6 +184,8 @@ Tensor::reshape(std::vector<int> new_shape) const
     Tensor t;
     t.shape_ = std::move(new_shape);
     t.data_ = data_;
+    if (!t.data_.empty())
+        noteAllocation();
     return t;
 }
 

@@ -13,6 +13,7 @@
 #define TWOINONE_TENSOR_TENSOR_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/logging.hh"
@@ -34,6 +35,11 @@ class Tensor
 
     /** Tensor of the given shape filled with a constant. */
     Tensor(std::vector<int> shape, float fill);
+
+    Tensor(const Tensor &other);
+    Tensor &operator=(const Tensor &other);
+    Tensor(Tensor &&) noexcept = default;
+    Tensor &operator=(Tensor &&) = default;
 
     /** @name Factory helpers */
     /** @{ */
@@ -107,11 +113,22 @@ class Tensor
     /** Copy @p src into rows [start, start+src.dim(0)) along dim 0. */
     void setSlice0(int start, const Tensor &src);
 
+    /**
+     * Process-wide count of float-buffer allocations: constructions
+     * and copies with a non-empty payload, plus every ensure()/
+     * reshape() that had to grow past the existing capacity. The
+     * serving plan's zero-allocation contract (serve/execution_plan)
+     * is asserted against the delta of this counter: a warmed plan
+     * forward must leave it unchanged.
+     */
+    static uint64_t allocationCount();
+
   private:
     std::vector<int> shape_;
     std::vector<float> data_;
 
     static size_t numel(const std::vector<int> &shape);
+    static void noteAllocation();
 };
 
 } // namespace twoinone

@@ -425,6 +425,53 @@ TEST(ForwardQuantized, FullPrecisionBitIdentical)
 // Bit-identity with the bit-serial array simulator
 // ---------------------------------------------------------------------------
 
+/** Cross-check one traced conv layer against the bit-serial MAC
+ * array: its weight codes must be the engine's cached ones, and the
+ * array fed the same canonical codes must reproduce the integer
+ * accumulators exactly, image by image. */
+void
+expectConvMatchesBitSerial(RpsEngine &engine, Conv2d *conv,
+                           size_t wq_index, int bits,
+                           MacArraySimulator &sim)
+{
+    // (a) The weight codes the conv consumed ARE the cached ones.
+    const QuantTensor &cached = engine.codesFor(wq_index, bits);
+    const QuantTensor &used = conv->tracedWeightCodes();
+    ASSERT_EQ(used.bits, bits);
+    ASSERT_EQ(used.codes, cached.codes) << "bits=" << bits;
+    ASSERT_EQ(used.scale, cached.scale);
+
+    // (b) The bit-serial array, fed the same canonical codes,
+    // reproduces the integer accumulators bit-exactly.
+    const QuantTensor &acts = conv->tracedActCodes();
+    ASSERT_EQ(acts.shape.size(), 4u);
+    int n = acts.shape[0], c = acts.shape[1], h = acts.shape[2],
+        w = acts.shape[3];
+    int oh = conv->outSize(h), ow = conv->outSize(w);
+    size_t img = static_cast<size_t>(c) * h * w;
+    size_t out_img = static_cast<size_t>(conv->outChannels()) * oh * ow;
+    const std::vector<int64_t> &acc = conv->tracedAccumulators();
+    ASSERT_EQ(acc.size(), out_img * static_cast<size_t>(n));
+
+    for (int ni = 0; ni < n; ++ni) {
+        QuantTensor slice;
+        slice.shape = {c, h, w};
+        slice.codes.assign(acts.codes.begin() + ni * img,
+                           acts.codes.begin() + (ni + 1) * img);
+        slice.scale = acts.scale;
+        slice.bits = acts.bits;
+        slice.isSigned = acts.isSigned;
+
+        ArraySimResult r =
+            sim.runConv(used, slice, conv->stride(), conv->padding());
+        ASSERT_EQ(r.output.size(), out_img);
+        for (size_t i = 0; i < out_img; ++i) {
+            ASSERT_EQ(r.output.data[i], acc[ni * out_img + i])
+                << "bits=" << bits << " image=" << ni << " i=" << i;
+        }
+    }
+}
+
 /** The int codes forwardQuantized consumes are bit-identical to the
  * engine's cached codes, and running those very codes through the
  * cycle-accurate bit-serial MAC array reproduces the layer's integer
@@ -447,45 +494,41 @@ TEST(ForwardQuantized, CodesBitIdenticalToBitSerialDatapath)
     MacArraySimulator sim(8);
     for (int bits : set.bits()) {
         engine.forwardQuantizedAt(bits, x);
+        expectConvMatchesBitSerial(engine, conv, 1, bits, sim);
+    }
+}
 
-        // (a) The weight codes the conv consumed ARE the cached ones.
-        const QuantTensor &cached = engine.codesFor(1, bits);
-        const QuantTensor &used = conv->tracedWeightCodes();
-        ASSERT_EQ(used.bits, bits);
-        ASSERT_EQ(used.codes, cached.codes) << "bits=" << bits;
-        ASSERT_EQ(used.scale, cached.scale);
+/** The stem conv runs the integer datapath too (ISSUE 4: the network
+ * input is quantized), and its accumulators are bit-exact against the
+ * bit-serial array at bits {2,4,8,16} — no float GEMM remains in the
+ * quantized forward at quantized precisions. */
+TEST(ForwardQuantized, StemConvBitIdenticalToBitSerialDatapath)
+{
+    PrecisionSet set({2, 4, 8, 16});
+    Network net = makeTinyNet(45, set);
+    Tensor x = makeInput(46, /*batch=*/2);
+    Calibrator cal(net);
+    cal.calibrate({x});
+    RpsEngine engine(net);
 
-        // (b) The bit-serial array, fed the same canonical codes,
-        // reproduces the integer accumulators bit-exactly, image by
-        // image.
-        const QuantTensor &acts = conv->tracedActCodes();
-        ASSERT_EQ(acts.shape.size(), 4u);
-        int n = acts.shape[0], c = acts.shape[1], h = acts.shape[2],
-            w = acts.shape[3];
-        int oh = conv->outSize(h), ow = conv->outSize(w);
-        size_t img = static_cast<size_t>(c) * h * w;
-        size_t out_img =
-            static_cast<size_t>(conv->outChannels()) * oh * ow;
-        const std::vector<int64_t> &acc = conv->tracedAccumulators();
-        ASSERT_EQ(acc.size(), out_img * static_cast<size_t>(n));
+    // Layer 0 is the stem conv: weight-quantized layer #0, fed by the
+    // network's input quantizer (16-bit floor, unit image range).
+    auto *stem = dynamic_cast<Conv2d *>(&net.layer(0));
+    ASSERT_NE(stem, nullptr);
+    stem->setQuantTrace(true);
 
-        for (int ni = 0; ni < n; ++ni) {
-            QuantTensor slice;
-            slice.shape = {c, h, w};
-            slice.codes.assign(acts.codes.begin() + ni * img,
-                               acts.codes.begin() + (ni + 1) * img);
-            slice.scale = acts.scale;
-            slice.bits = acts.bits;
-            slice.isSigned = acts.isSigned;
+    MacArraySimulator sim(8);
+    for (int bits : set.bits()) {
+        engine.forwardQuantizedAt(bits, x);
 
-            ArraySimResult r = sim.runConv(used, slice, conv->stride(),
-                                           conv->padding());
-            ASSERT_EQ(r.output.size(), out_img);
-            for (size_t i = 0; i < out_img; ++i) {
-                ASSERT_EQ(r.output.data[i], acc[ni * out_img + i])
-                    << "bits=" << bits << " image=" << ni << " i=" << i;
-            }
-        }
+        // The stem consumed the quantized input: unsigned codes at
+        // the image-precision floor.
+        const QuantTensor &acts = stem->tracedActCodes();
+        ASSERT_FALSE(acts.empty()) << "stem fell off the integer path";
+        EXPECT_FALSE(acts.isSigned);
+        EXPECT_EQ(acts.bits, std::max(bits, 16));
+
+        expectConvMatchesBitSerial(engine, stem, 0, bits, sim);
     }
 }
 

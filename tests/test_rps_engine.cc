@@ -270,9 +270,9 @@ TEST(RpsEngine, EpgdMidAttackCacheAccounting)
     EXPECT_EQ(engine.cacheMisses(), 0u);
 }
 
-/** refreshDirty() re-quantizes exactly the layers whose
- * Parameter::version moved, and the refreshed cache is bit-identical
- * to a full refresh. */
+/** refreshDirty() notes exactly the layers whose Parameter::version
+ * moved (without re-quantizing anything), and the lazily rebuilt
+ * cache serves bit-identical forwards. */
 TEST(RpsEngine, DirtyRefreshTracksVersions)
 {
     Network net = makeTinyNet(51);
@@ -283,17 +283,21 @@ TEST(RpsEngine, DirtyRefreshTracksVersions)
     EXPECT_EQ(engine.refreshDirty(), 0u);
 
     // Touch one layer's weights through the Parameter view with a
-    // version bump: exactly one layer refreshes.
+    // version bump: exactly one layer is newly noted. With no column
+    // installed (nothing consumes the cache yet), noting is pure
+    // bookkeeping — no cell re-quantizes until install time.
     std::vector<WeightQuantizedLayer *> wl = net.weightQuantizedLayers();
     auto *conv = dynamic_cast<Conv2d *>(wl[0]);
     ASSERT_NE(conv, nullptr);
     for (size_t i = 0; i < conv->weight().value.size(); ++i)
         conv->weight().value[i] += 0.01f;
     conv->weight().bumpVersion();
+    uint64_t rebuilds_before = engine.columnRebuilds();
     EXPECT_EQ(engine.refreshDirty(), 1u);
-    EXPECT_EQ(engine.refreshDirty(), 0u); // clean again
+    EXPECT_EQ(engine.refreshDirty(), 0u); // noted already
+    EXPECT_EQ(engine.columnRebuilds(), rebuilds_before);
 
-    // The refreshed cache serves bit-identical forwards.
+    // The lazily refreshed cache serves bit-identical forwards.
     for (int bits : engine.set().bits()) {
         engine.detach();
         net.setPrecision(bits);
@@ -301,6 +305,65 @@ TEST(RpsEngine, DirtyRefreshTracksVersions)
         Tensor y = engine.forwardAt(bits, x);
         expectBitIdentical(y_ref, y, bits);
     }
+}
+
+/** The lazy column rebuild: a stale layer re-quantizes one cell for
+ * the installed column (kept current by refreshDirty) and one per
+ * newly installed precision — never the whole |set| column fan — and
+ * a clean install rebuilds nothing. */
+TEST(RpsEngine, LazyColumnRebuildOnInstall)
+{
+    Network net = makeTinyNet(54);
+    RpsEngine engine(net);
+    const size_t nlayers = engine.numQuantLayers();
+    const size_t nprec = engine.set().size();
+
+    // Construction built every cell once.
+    EXPECT_EQ(engine.columnRebuilds(), nlayers * nprec);
+
+    // Clean installs rebuild nothing.
+    uint64_t base = engine.columnRebuilds();
+    for (int bits : engine.set().bits())
+        engine.setPrecision(bits);
+    EXPECT_EQ(engine.columnRebuilds(), base);
+
+    // Dirty one layer with precision 4 installed: refreshDirty keeps
+    // exactly the installed column current (one cell — forwards may
+    // consume it before any switch), the rest stays lazy.
+    engine.setPrecision(4);
+    std::vector<WeightQuantizedLayer *> wl = net.weightQuantizedLayers();
+    auto *conv = dynamic_cast<Conv2d *>(wl[0]);
+    ASSERT_NE(conv, nullptr);
+    conv->weight().value[0] += 0.5f;
+    conv->weight().bumpVersion();
+    EXPECT_EQ(engine.refreshDirty(), 1u);
+    EXPECT_EQ(engine.columnRebuilds(), base + 1);
+    // Re-installing the current precision stays clean...
+    engine.setPrecision(4);
+    EXPECT_EQ(engine.columnRebuilds(), base + 1);
+    // ...every other precision pays its one cell on first install.
+    engine.setPrecision(8);
+    engine.setPrecision(8);
+    EXPECT_EQ(engine.columnRebuilds(), base + 2);
+
+    // An SGD-style full dirtying rebuilds one cell per layer for the
+    // installed column plus one per layer at the next switch — not
+    // nlayers x |set| up front.
+    for (Parameter *p : net.parameters())
+        p->bumpVersion();
+    base = engine.columnRebuilds();
+    EXPECT_EQ(engine.refreshDirty(), nlayers);
+    EXPECT_EQ(engine.columnRebuilds(), base + nlayers); // column 8
+    engine.setPrecision(6);
+    EXPECT_EQ(engine.columnRebuilds(), base + 2 * nlayers);
+
+    // Detached, refreshDirty is bookkeeping only.
+    engine.detach();
+    for (Parameter *p : net.parameters())
+        p->bumpVersion();
+    base = engine.columnRebuilds();
+    EXPECT_EQ(engine.refreshDirty(), nlayers);
+    EXPECT_EQ(engine.columnRebuilds(), base);
 }
 
 /** An SGD step bumps every parameter version, so a subsequent
@@ -320,6 +383,50 @@ TEST(RpsEngine, SgdStepDirtiesAllLayers)
     net.zeroGrad();
 
     EXPECT_EQ(engine.refreshDirty(), engine.numQuantLayers());
+}
+
+/** Free adversarial training replays several optimizer steps per
+ * precision draw, so the installed column is consumed between steps
+ * without a switch — refreshDirty() must keep it current. Cached
+ * trajectories stay bit-identical to uncached ones. */
+TEST(RpsEngine, CachedFreeTrainingMatchesUncached)
+{
+    SyntheticConfig dcfg;
+    dcfg.trainSize = 32;
+    dcfg.testSize = 8;
+    Dataset data = makeSynthetic(dcfg, "rps-engine-free-test").train;
+
+    TrainConfig base;
+    base.method = TrainMethod::Free;
+    base.rps = true;
+    base.epochs = 1;
+    base.batchSize = 16;
+    base.freeReplays = 3;
+    base.seed = 11;
+
+    Network cached_net = makeTinyNet(55);
+    Network uncached_net = makeTinyNet(55);
+
+    TrainConfig cached_cfg = base;
+    cached_cfg.cachedEngine = true;
+    TrainConfig uncached_cfg = base;
+    uncached_cfg.cachedEngine = false;
+
+    Trainer cached(cached_net, cached_cfg);
+    float l_cached = cached.fit(data);
+    Trainer uncached(uncached_net, uncached_cfg);
+    float l_uncached = uncached.fit(data);
+
+    EXPECT_EQ(l_cached, l_uncached);
+    std::vector<Parameter *> pa = cached_net.parameters();
+    std::vector<Parameter *> pb = uncached_net.parameters();
+    ASSERT_EQ(pa.size(), pb.size());
+    for (size_t i = 0; i < pa.size(); ++i) {
+        ASSERT_EQ(pa[i]->value.size(), pb[i]->value.size());
+        for (size_t t = 0; t < pa[i]->value.size(); ++t)
+            ASSERT_EQ(pa[i]->value[t], pb[i]->value[t])
+                << "param " << i << " elem " << t;
+    }
 }
 
 /** Cached RPS adversarial training (the Trainer engine hook) is

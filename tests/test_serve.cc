@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Tests for the compiled execution plans and the batched RPS serving
+ * runtime (ISSUE 4): plan forwards must be bit-identical to the
+ * legacy per-layer loops at every candidate precision (cached,
+ * uncached, calibrated, full precision), allocate zero tensors after
+ * compile, reuse the arena safely across batch sizes, and the
+ * serving runtime must sample precisions deterministically from its
+ * seed with outputs independent of the thread count (CMake re-runs
+ * this binary under TWOINONE_THREADS=1/4 and TWOINONE_BACKEND=naive).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/thread_pool.hh"
+#include "nn/model_zoo.hh"
+#include "quant/calibration.hh"
+#include "quant/rps_engine.hh"
+#include "serve/runtime.hh"
+
+namespace twoinone {
+namespace {
+
+Network
+makeResidualNet(uint64_t seed)
+{
+    Rng rng(seed);
+    ModelConfig cfg;
+    cfg.baseWidth = 8;
+    return preActResNetMini(cfg, rng);
+}
+
+Network
+makeTinyNet(uint64_t seed)
+{
+    Rng rng(seed);
+    ModelConfig cfg;
+    cfg.baseWidth = 4;
+    return convNetTiny(cfg, rng);
+}
+
+Tensor
+makeInput(uint64_t seed, int batch = 4)
+{
+    Rng rng(seed);
+    return Tensor::uniform({batch, 3, 8, 8}, rng, 0.0f, 1.0f);
+}
+
+void
+expectBitIdentical(const Tensor &a, const Tensor &b, int bits)
+{
+    ASSERT_EQ(a.shape(), b.shape()) << "bits=" << bits;
+    for (size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a[i], b[i]) << "bits=" << bits << " i=" << i;
+}
+
+/** Float-mode plans reproduce the legacy eval forward bit-for-bit at
+ * every candidate (cached and uncached) and at full precision. */
+TEST(ExecutionPlan, FloatBitIdenticalToLegacyAllPrecisions)
+{
+    Network net = makeResidualNet(42);
+    Tensor x = makeInput(7);
+    RpsEngine engine(net);
+    std::unique_ptr<serve::ExecutionPlan> plan = net.compile(
+        net.precisionSet(), serve::PlanMode::Float, x.shape());
+
+    for (int bits : net.precisionSet().bits()) {
+        // Cached path (engine-installed weights).
+        engine.setPrecision(bits);
+        Tensor y_ref = net.forward(x, /*train=*/false);
+        expectBitIdentical(y_ref, plan->run(x), bits);
+
+        // Uncached path (per-forward re-quantization).
+        engine.detach();
+        net.setPrecision(bits);
+        Tensor y_unc = net.forward(x, /*train=*/false);
+        expectBitIdentical(y_unc, plan->run(x), bits);
+    }
+    engine.setPrecision(0);
+    Tensor y_fp = net.forward(x, /*train=*/false);
+    expectBitIdentical(y_fp, plan->run(x), 0);
+}
+
+/** Quantized-mode plans reproduce the legacy integer forward
+ * bit-for-bit — dynamic activation ranges and calibrated static
+ * scales, every candidate, plus the full-precision passthrough. */
+TEST(ExecutionPlan, QuantizedBitIdenticalToLegacyAllPrecisions)
+{
+    Network net = makeResidualNet(43);
+    Tensor x = makeInput(8);
+    RpsEngine engine(net);
+    std::unique_ptr<serve::ExecutionPlan> plan = net.compile(
+        net.precisionSet(), serve::PlanMode::Quantized, x.shape());
+
+    // Dynamic ranges first.
+    for (int bits : net.precisionSet().bits()) {
+        engine.setPrecision(bits);
+        Tensor y_ref = net.forwardQuantized(x);
+        expectBitIdentical(y_ref, plan->run(x), bits);
+    }
+
+    // Calibrated static scales.
+    Calibrator cal(net);
+    cal.calibrate({x});
+    for (int bits : net.precisionSet().bits()) {
+        engine.setPrecision(bits);
+        Tensor y_ref = net.forwardQuantized(x);
+        expectBitIdentical(y_ref, plan->run(x), bits);
+    }
+
+    engine.setPrecision(0);
+    Tensor y_fp = net.forwardQuantized(x);
+    expectBitIdentical(y_fp, plan->run(x), 0);
+}
+
+/** Same property on the Linear-headed tiny net (covers Linear and
+ * GlobalAvgPool emitters). */
+TEST(ExecutionPlan, QuantizedBitIdenticalTinyNet)
+{
+    Network net = makeTinyNet(44);
+    Tensor x = makeInput(9);
+    Calibrator cal(net);
+    cal.calibrate({x});
+    RpsEngine engine(net);
+    std::unique_ptr<serve::ExecutionPlan> plan = net.compile(
+        net.precisionSet(), serve::PlanMode::Quantized, x.shape());
+
+    for (int bits : net.precisionSet().bits()) {
+        engine.setPrecision(bits);
+        Tensor y_ref = net.forwardQuantized(x);
+        expectBitIdentical(y_ref, plan->run(x), bits);
+    }
+}
+
+/** The arena contract: once compiled (and with the engine cache
+ * installed), plan forwards perform zero tensor allocations. */
+TEST(ExecutionPlan, ZeroTensorAllocationsAfterCompile)
+{
+    Network net = makeResidualNet(45);
+    Tensor x = makeInput(10);
+    Calibrator cal(net);
+    cal.calibrate({x});
+    RpsEngine engine(net);
+    std::unique_ptr<serve::ExecutionPlan> qplan = net.compile(
+        net.precisionSet(), serve::PlanMode::Quantized, x.shape());
+    std::unique_ptr<serve::ExecutionPlan> fplan = net.compile(
+        net.precisionSet(), serve::PlanMode::Float, x.shape());
+
+    // One pass over every precision so engine-side float views and
+    // plan buffers are at their high-water marks.
+    for (int bits : net.precisionSet().bits()) {
+        engine.setPrecision(bits);
+        qplan->run(x);
+        fplan->run(x);
+    }
+
+    uint64_t before = Tensor::allocationCount();
+    for (int rep = 0; rep < 3; ++rep) {
+        for (int bits : net.precisionSet().bits()) {
+            engine.setPrecision(bits);
+            qplan->run(x);
+            fplan->run(x);
+        }
+    }
+    EXPECT_EQ(Tensor::allocationCount(), before)
+        << "plan forwards allocated tensors after warm-up";
+}
+
+/** Arena reuse across batch sizes: smaller batches run correctly in
+ * the max-sized arena, and returning to the larger batch is still
+ * allocation-free and bit-identical. */
+TEST(ExecutionPlan, ArenaReuseAcrossBatchSizes)
+{
+    Network net = makeTinyNet(46);
+    Tensor x4 = makeInput(11, 4);
+    Tensor x2 = x4.slice0(0, 2);
+    RpsEngine engine(net);
+    std::unique_ptr<serve::ExecutionPlan> plan = net.compile(
+        net.precisionSet(), serve::PlanMode::Quantized, x4.shape());
+
+    engine.setPrecision(8);
+    Tensor ref4 = net.forwardQuantized(x4);
+    Tensor ref2 = net.forwardQuantized(x2);
+
+    expectBitIdentical(ref4, plan->run(x4), 8);
+    expectBitIdentical(ref2, plan->run(x2), 8);
+    uint64_t before = Tensor::allocationCount();
+    expectBitIdentical(ref4, plan->run(x4), 8);
+    expectBitIdentical(ref2, plan->run(x2), 8);
+    EXPECT_EQ(Tensor::allocationCount(), before);
+
+    // runRows serves row windows of a larger batch bit-identically.
+    expectBitIdentical(ref2, plan->runRows(x4, 0, 2), 8);
+}
+
+/** Serial and pooled executions of the same plan agree bit-for-bit
+ * (the in-process arm of the TWOINONE_THREADS matrix). */
+TEST(ExecutionPlan, DeterministicAcrossThreadCounts)
+{
+    Network net = makeResidualNet(47);
+    Tensor x = makeInput(12);
+    RpsEngine engine(net);
+    std::unique_ptr<serve::ExecutionPlan> plan = net.compile(
+        net.precisionSet(), serve::PlanMode::Quantized, x.shape());
+
+    for (int bits : net.precisionSet().bits()) {
+        engine.setPrecision(bits);
+        Tensor serial;
+        {
+            ThreadPool::ScopedSerial guard;
+            serial = plan->run(x);
+        }
+        expectBitIdentical(serial, plan->run(x), bits);
+    }
+}
+
+/** Network entry points route through the internal plans when
+ * enabled, with identical predictions either way. */
+TEST(ExecutionPlan, EntryPointsRouteThroughPlans)
+{
+    Network net = makeTinyNet(48);
+    Tensor x = makeInput(13);
+    RpsEngine engine(net);
+    engine.setPrecision(6);
+
+    std::vector<int> legacy_f = net.predict(x);
+    std::vector<int> legacy_q = net.predictQuantized(x);
+    Tensor legacy_fq = net.forwardQuantized(x);
+
+    net.enablePlanExecution(x.shape());
+    EXPECT_TRUE(net.planExecutionEnabled());
+    EXPECT_EQ(net.predict(x), legacy_f);
+    EXPECT_EQ(net.predictQuantized(x), legacy_q);
+    expectBitIdentical(legacy_fq, net.forwardQuantized(x), 6);
+
+    // Inputs outside the compiled shape fall back to the legacy loop.
+    Tensor big = makeInput(14, 8);
+    std::vector<int> pred_big = net.predict(big);
+    net.disablePlanExecution();
+    EXPECT_FALSE(net.planExecutionEnabled());
+    EXPECT_EQ(net.predict(big), pred_big);
+}
+
+/** Precision sampling in the serving runtime is a pure function of
+ * the seed, and the served logits are bit-identical run to run. */
+TEST(ServingRuntime, DeterministicPrecisionSampling)
+{
+    Network net = makeTinyNet(49);
+    RpsEngine engine(net);
+    serve::ServeConfig cfg;
+    cfg.maxBatch = 8;
+    cfg.microBatch = 4;
+    cfg.seed = 1234;
+
+    auto run_once = [&](bool serial) {
+        serve::ServingRuntime srv(net, engine, {3, 8, 8}, cfg);
+        Rng req_rng(5);
+        for (int i = 0; i < 6; ++i)
+            srv.submit(Tensor::uniform({4, 3, 8, 8}, req_rng, 0.0f,
+                                       1.0f));
+        if (serial) {
+            ThreadPool::ScopedSerial guard;
+            srv.drain();
+        } else {
+            srv.drain();
+        }
+        std::pair<std::vector<int>, std::vector<Tensor>> out;
+        out.first = srv.precisionTrace();
+        for (size_t i = 0; i < 6; ++i)
+            out.second.push_back(srv.result(i));
+        return out;
+    };
+
+    auto a = run_once(false);
+    auto b = run_once(false);
+    auto c = run_once(true); // serial drain: same results, same trace
+
+    EXPECT_EQ(a.first, b.first);
+    EXPECT_EQ(a.first, c.first);
+    ASSERT_FALSE(a.first.empty());
+    for (int bits : a.first)
+        EXPECT_TRUE(engine.set().contains(bits));
+    for (size_t i = 0; i < a.second.size(); ++i) {
+        expectBitIdentical(a.second[i], b.second[i], a.first[0]);
+        expectBitIdentical(a.second[i], c.second[i], a.first[0]);
+    }
+}
+
+/** Served logits equal a direct engine forward at the precision the
+ * runtime sampled for that batch. Calibrated static scales make the
+ * result independent of the micro-batch sharding (dynamic ranges are
+ * per-shard by construction — see serve/runtime.hh). */
+TEST(ServingRuntime, ResultsMatchEngineForward)
+{
+    Network net = makeTinyNet(50);
+    {
+        Rng cal_rng(60);
+        Calibrator cal(net);
+        cal.calibrate(
+            {Tensor::uniform({8, 3, 8, 8}, cal_rng, 0.0f, 1.0f)});
+    }
+    RpsEngine engine(net);
+    serve::ServeConfig cfg;
+    cfg.maxBatch = 4; // one request per serving batch
+    cfg.microBatch = 2;
+    cfg.seed = 99;
+    serve::ServingRuntime srv(net, engine, {3, 8, 8}, cfg);
+
+    Rng req_rng(6);
+    std::vector<Tensor> xs;
+    for (int i = 0; i < 5; ++i) {
+        xs.push_back(Tensor::uniform({4, 3, 8, 8}, req_rng, 0.0f, 1.0f));
+        srv.submit(xs.back());
+    }
+    srv.drain();
+
+    const std::vector<int> &trace = srv.precisionTrace();
+    ASSERT_EQ(trace.size(), xs.size()); // maxBatch == request rows
+    for (size_t i = 0; i < xs.size(); ++i) {
+        Tensor y_ref = engine.forwardQuantizedAt(trace[i], xs[i]);
+        expectBitIdentical(y_ref, srv.result(i), trace[i]);
+    }
+
+    serve::ServeStats st = srv.stats();
+    EXPECT_EQ(st.requests, xs.size());
+    EXPECT_EQ(st.rows, 4 * xs.size());
+    EXPECT_EQ(st.batches, xs.size());
+    EXPECT_GT(st.qps, 0.0);
+    EXPECT_LE(st.p50Us, st.p99Us);
+
+    // Long-lived loops release served requests; later submissions
+    // keep working and stats keep accumulating.
+    srv.clearServed();
+    size_t id = srv.submit(xs[0]);
+    srv.drain();
+    Tensor y_ref = engine.forwardQuantizedAt(srv.precisionTrace().back(),
+                                             xs[0]);
+    expectBitIdentical(y_ref, srv.result(id),
+                       srv.precisionTrace().back());
+    EXPECT_EQ(srv.stats().requests, xs.size() + 1);
+}
+
+} // namespace
+} // namespace twoinone
