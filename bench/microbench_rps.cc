@@ -24,8 +24,11 @@
  *            PR 3 per-layer quantized loop — ISSUE 4)
  *   plan_forward_speedup: mean of the per-bits speedups
  *   serve_qps: { serial_qps, parallel_qps, scaling, p50_us, p99_us }
- *            (ServingRuntime batched RPS serving, one thread vs the
+ *            (Session-fronted batched RPS serving, one thread vs the
  *            full pool — ISSUE 4)
+ *   session_cold_start: { eager_ns, lazy_ns, speedup }
+ *            (serving-runtime construction with eager per-candidate
+ *            plan warm-up vs lazy compilation — ISSUE 5)
  *   int_gemm: { m, n, k, bits, ns, gops, sgemm_ns, sgemm_gflops }
  *            (the int16 code kernel vs the blocked float kernel)
  *   sweep:   { serial_ns, parallel_ns, speedup }   (accelerator
@@ -57,6 +60,7 @@
 #include "quant/calibration.hh"
 #include "quant/rps_engine.hh"
 #include "serve/runtime.hh"
+#include "serve/session.hh"
 #include "tensor/gemm.hh"
 #include "workloads/model_library.hh"
 
@@ -272,29 +276,36 @@ main()
                 qplan->arenaBytes() / 1024);
 
     // --- Batched RPS serving throughput ----------------------------
-    // ServingRuntime packs requests into batches, samples one random
-    // precision per batch from the engine cache, and shards
-    // micro-batches across the pool. Serial (ScopedSerial) vs the
-    // full pool measures thread scaling of the serving datapath.
+    // The Session facade wires the serving stack (plans + runtime)
+    // around the shared net/engine; requests pack into batches, one
+    // random precision per batch from the engine cache, micro-batches
+    // sharded across the pool. Serial (ScopedSerial) vs the full pool
+    // measures thread scaling of the serving datapath. Eager plan
+    // warm-up: this section measures steady-state throughput, not
+    // cold start (that is session_cold_start below).
     int serve_rows_per_req = fast ? 4 : 8;
     int serve_requests = fast ? 24 : 48;
     serve::ServeConfig scfg;
     scfg.maxBatch = serve_rows_per_req * 4;
     scfg.microBatch = serve_rows_per_req;
     auto serve_qps = [&](bool serial) {
-        serve::ServingRuntime srv(net, engine, {3, 8, 8}, scfg);
+        SessionConfig sess_cfg;
+        sess_cfg.serving = scfg;
+        sess_cfg.serving.lazyPlanWarmup = false;
+        sess_cfg.inputShape = {3, 8, 8};
+        Session sess = Session::attach(net, sess_cfg);
         Rng req_rng(17);
         for (int i = 0; i < serve_requests; ++i) {
-            srv.submit(Tensor::uniform({serve_rows_per_req, 3, 8, 8},
-                                       req_rng, 0.0f, 1.0f));
+            sess.submit(Tensor::uniform({serve_rows_per_req, 3, 8, 8},
+                                        req_rng, 0.0f, 1.0f));
         }
         if (serial) {
             ThreadPool::ScopedSerial guard;
-            srv.drain();
+            sess.drain();
         } else {
-            srv.drain();
+            sess.drain();
         }
-        return srv.stats();
+        return sess.stats();
     };
     serve::ServeStats serve_serial = serve_qps(true);
     serve::ServeStats serve_parallel = serve_qps(false);
@@ -307,6 +318,26 @@ main()
                 serve_serial.qps, serve_parallel.qps, serve_scaling);
     std::printf("parallel latency: p50 %.0f us  p99 %.0f us\n",
                 serve_parallel.p50Us, serve_parallel.p99Us);
+
+    // --- Session cold start: eager vs lazy plan compilation --------
+    // Standing a serving runtime up compiles one plan replica per
+    // worker; eager warm-up dry-runs every candidate per replica,
+    // lazy compilation (SessionConfig default) runs one structural
+    // pass and lets each candidate size its buffers on first serve.
+    auto cold_start = [&](bool lazy) {
+        serve::ServeConfig cs = scfg;
+        cs.lazyPlanWarmup = lazy;
+        serve::ServingRuntime srv(net, engine, {3, 8, 8}, cs);
+        (void)srv;
+    };
+    double cold_eager_ns =
+        timeNs([&] { cold_start(false); }, min_seconds);
+    double cold_lazy_ns = timeNs([&] { cold_start(true); }, min_seconds);
+    double cold_speedup = cold_eager_ns / cold_lazy_ns;
+    std::printf("\n%-24s %14s %14s %8s\n", "session cold start",
+                "eager_ns", "lazy_ns", "speedup");
+    std::printf("%-24s %14.0f %14.0f %7.2fx\n", "runtime construction",
+                cold_eager_ns, cold_lazy_ns, cold_speedup);
 
     // --- Integer GEMM kernel throughput ----------------------------
     int gm = fast ? 128 : 256;
@@ -410,6 +441,10 @@ main()
         << jsonNum(serve_scaling) << ", \"p50_us\": "
         << jsonNum(serve_parallel.p50Us) << ", \"p99_us\": "
         << jsonNum(serve_parallel.p99Us) << "},\n";
+    out << "  \"session_cold_start\": {\"eager_ns\": "
+        << jsonNum(cold_eager_ns) << ", \"lazy_ns\": "
+        << jsonNum(cold_lazy_ns) << ", \"speedup\": "
+        << jsonNum(cold_speedup) << "},\n";
     out << "  \"int_gemm\": {\"m\": " << gm << ", \"n\": " << gm
         << ", \"k\": " << gm << ", \"bits\": 8, \"ns\": "
         << jsonNum(igemm_ns) << ", \"gops\": " << jsonNum(igemm_gops)

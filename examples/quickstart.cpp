@@ -6,7 +6,10 @@
  *  2. adversarially train it with PGD-7 + RPS (paper Alg. 1);
  *  3. evaluate natural and robust accuracy with and without the
  *     random precision switch;
- *  4. deploy it on the 2-in-1 accelerator model and read back
+ *  4. persist the trained model as a versioned checkpoint, reload it
+ *     in a fresh Session, and serve batched traffic at randomly
+ *     drawn precisions;
+ *  5. deploy it on the 2-in-1 accelerator model and read back
  *     latency/energy per inference.
  *
  * Build: cmake --build build --target quickstart
@@ -21,6 +24,7 @@
 #include "core/system.hh"
 #include "data/synthetic.hh"
 #include "nn/model_zoo.hh"
+#include "serve/session.hh"
 #include "workloads/model_library.hh"
 
 using namespace twoinone;
@@ -68,7 +72,31 @@ main()
               << "robust accuracy (static 8b):   " << static_rob
               << "%\n";
 
-    // 4. Deploy on the accelerator model: random precision per
+    // 4. Persist the trained model — weights, SBN banks, calibration
+    //    ranges, and the engine's pre-quantized weight codes — then
+    //    redeploy it from the artifact in a fresh Session and serve
+    //    batched traffic (one random precision per serving batch).
+    {
+        Session trained = Session::attach(model);
+        trained.calibrate({data.test.images.slice0(0, 32)});
+        trained.save("quickstart.ckpt");
+    }
+    Session deployed = Session::fromCheckpoint("quickstart.ckpt");
+    std::vector<Tensor> requests;
+    for (int i = 0; i < 4; ++i)
+        requests.push_back(data.test.images.slice0(i * 8, 8));
+    std::vector<Tensor> logits = deployed.serve(requests);
+    serve::ServeStats sstats = deployed.stats();
+    // stats().qps carries the throughput; the printout sticks to
+    // deterministic fields so runs diff clean across thread counts.
+    std::cout << "served " << sstats.rows << " rows in "
+              << sstats.batches << " batches from the artifact; "
+              << "precisions drawn:";
+    for (int bits : deployed.precisionTrace())
+        std::cout << " " << bits;
+    std::cout << "\n";
+
+    // 5. Deploy on the accelerator model: random precision per
     //    inference, costed as the full-scale PreActResNet-18 workload
     //    on the 2-in-1 accelerator.
     TwoInOneSystem system(model, workloads::preActResNet18Cifar(), set);

@@ -104,56 +104,105 @@ robustAccuracy(Network &net, Attack &attack, const Dataset &data,
 }
 
 double
-rpsRobustAccuracy(Network &net, Attack &attack, const Dataset &data,
-                  const PrecisionSet &set, Rng &rng, int batch_size)
+rpsRobustAccuracy(Session &s, Attack &attack, const Dataset &data,
+                  Rng &rng, int batch_size)
 {
-    TWOINONE_ASSERT(!set.empty(), "RPS evaluation needs a precision set");
-    int restore = net.activePrecision();
-    // The engine pre-quantizes the weights at every sampled candidate
-    // once; each switch below is then a cache install, not a
-    // re-quantization pass (outputs are bit-identical either way).
-    RpsEngine engine(net, set);
-    // Inference predictions run on the compiled plans; the attack's
-    // forward/backward passes keep the legacy loops they need.
-    ScopedPlanExecution plans(net, data, batch_size);
+    // Inference predictions run plan-routed through the session; the
+    // attack's forward/backward passes keep the legacy loops they
+    // need (Session only reroutes the inference entry points).
     Accuracy acc;
+    const PrecisionSet &set = s.candidates();
     forEachBatch(data, batch_size,
                  [&](const Tensor &x, const std::vector<int> &y) {
                      // Adversary and defender sample independently
                      // (paper Sec. 4.1.1 threat model).
                      int attack_bits = set.sample(rng);
                      int infer_bits = set.sample(rng);
-                     engine.setPrecision(attack_bits);
-                     Tensor x_adv = attack.perturb(net, x, y, rng);
-                     engine.setPrecision(infer_bits);
-                     std::vector<int> pred = net.predict(x_adv);
+                     s.switchPrecision(attack_bits);
+                     Tensor x_adv =
+                         attack.perturb(s.network(), x, y, rng);
+                     s.switchPrecision(infer_bits);
+                     std::vector<int> pred = s.predict(x_adv);
                      for (size_t i = 0; i < y.size(); ++i)
                          acc.add(pred[i] == y[i]);
                  });
-    engine.detach();
-    net.setPrecision(restore);
     return acc.percent();
+}
+
+double
+rpsNaturalAccuracy(Session &s, const Dataset &data, Rng &rng,
+                   int batch_size)
+{
+    Accuracy acc;
+    forEachBatch(data, batch_size,
+                 [&](const Tensor &x, const std::vector<int> &y) {
+                     s.switchRandom(rng);
+                     std::vector<int> pred = s.predict(x);
+                     for (size_t i = 0; i < y.size(); ++i)
+                         acc.add(pred[i] == y[i]);
+                 });
+    return acc.percent();
+}
+
+double
+rpsNaturalAccuracyQuantized(Session &s, const Dataset &data, Rng &rng,
+                            int batch_size)
+{
+    Accuracy acc;
+    forEachBatch(data, batch_size,
+                 [&](const Tensor &x, const std::vector<int> &y) {
+                     s.switchRandom(rng);
+                     std::vector<int> pred = s.predictQuantized(x);
+                     for (size_t i = 0; i < y.size(); ++i)
+                         acc.add(pred[i] == y[i]);
+                 });
+    return acc.percent();
+}
+
+namespace {
+
+/**
+ * The shared shape of the Network-level conveniences: wire a
+ * temporary attached Session (engine cache on @p set, plan-routed
+ * predictions), run @p fn against it, then restore the network's
+ * precision; the Session destructor restores the plan routing. The
+ * old five-step wiring, now an internal detail.
+ */
+template <typename Fn>
+double
+withSession(Network &net, const PrecisionSet &set, Fn &&fn)
+{
+    TWOINONE_ASSERT(!set.empty(), "RPS evaluation needs a precision set");
+    int restore = net.activePrecision();
+    double out;
+    {
+        SessionConfig cfg;
+        cfg.cacheSet = set;
+        Session s = Session::attach(net, cfg);
+        out = fn(s);
+    }
+    net.setPrecision(restore);
+    return out;
+}
+
+} // namespace
+
+double
+rpsRobustAccuracy(Network &net, Attack &attack, const Dataset &data,
+                  const PrecisionSet &set, Rng &rng, int batch_size)
+{
+    return withSession(net, set, [&](Session &s) {
+        return rpsRobustAccuracy(s, attack, data, rng, batch_size);
+    });
 }
 
 double
 rpsNaturalAccuracy(Network &net, const Dataset &data,
                    const PrecisionSet &set, Rng &rng, int batch_size)
 {
-    TWOINONE_ASSERT(!set.empty(), "RPS evaluation needs a precision set");
-    int restore = net.activePrecision();
-    RpsEngine engine(net, set);
-    ScopedPlanExecution plans(net, data, batch_size);
-    Accuracy acc;
-    forEachBatch(data, batch_size,
-                 [&](const Tensor &x, const std::vector<int> &y) {
-                     engine.setPrecision(set.sample(rng));
-                     std::vector<int> pred = net.predict(x);
-                     for (size_t i = 0; i < y.size(); ++i)
-                         acc.add(pred[i] == y[i]);
-                 });
-    engine.detach();
-    net.setPrecision(restore);
-    return acc.percent();
+    return withSession(net, set, [&](Session &s) {
+        return rpsNaturalAccuracy(s, data, rng, batch_size);
+    });
 }
 
 double
@@ -161,21 +210,9 @@ rpsNaturalAccuracyQuantized(Network &net, const Dataset &data,
                             const PrecisionSet &set, Rng &rng,
                             int batch_size)
 {
-    TWOINONE_ASSERT(!set.empty(), "RPS evaluation needs a precision set");
-    int restore = net.activePrecision();
-    RpsEngine engine(net, set);
-    ScopedPlanExecution plans(net, data, batch_size);
-    Accuracy acc;
-    forEachBatch(data, batch_size,
-                 [&](const Tensor &x, const std::vector<int> &y) {
-                     std::vector<int> pred = engine.predictQuantizedAt(
-                         set.sample(rng), x);
-                     for (size_t i = 0; i < y.size(); ++i)
-                         acc.add(pred[i] == y[i]);
-                 });
-    engine.detach();
-    net.setPrecision(restore);
-    return acc.percent();
+    return withSession(net, set, [&](Session &s) {
+        return rpsNaturalAccuracyQuantized(s, data, rng, batch_size);
+    });
 }
 
 std::vector<std::vector<double>>

@@ -11,6 +11,7 @@
 
 #include "adversarial/attack.hh"
 #include "data/synthetic.hh"
+#include "serve/session.hh"
 
 namespace twoinone {
 
@@ -51,16 +52,25 @@ double robustAccuracy(Network &net, Attack &attack, const Dataset &data,
  *
  * Per batch, the adversary samples an attack precision and the
  * defender independently samples an inference precision, both
- * uniformly from @p set — the paper's default threat model where the
- * adversary knows and uses the same candidate set (Sec. 4.1.1).
+ * uniformly from the session's candidate set — the paper's default
+ * threat model where the adversary knows and uses the same candidate
+ * set (Sec. 4.1.1). Precision switches run through the session's
+ * engine cache; predictions run plan-routed.
  *
- * @param net Network under test.
+ * @param s Deployed model under test.
  * @param attack Attack to run.
  * @param data Evaluation dataset.
- * @param set Candidate precision set for both parties.
  * @param rng Randomness for both samplers.
  * @param batch_size Evaluation batch size (one precision draw each).
  * @return Robust accuracy percentage.
+ */
+double rpsRobustAccuracy(Session &s, Attack &attack, const Dataset &data,
+                         Rng &rng, int batch_size = 16);
+
+/**
+ * Network-level convenience: wires a temporary Session (engine cache
+ * on @p set, plan-routed predictions) around @p net, runs the Session
+ * overload, and restores the network's precision and plan routing.
  */
 double rpsRobustAccuracy(Network &net, Attack &attack, const Dataset &data,
                          const PrecisionSet &set, Rng &rng,
@@ -70,6 +80,10 @@ double rpsRobustAccuracy(Network &net, Attack &attack, const Dataset &data,
  * RPS natural accuracy: random inference precision per batch, clean
  * inputs.
  */
+double rpsNaturalAccuracy(Session &s, const Dataset &data, Rng &rng,
+                          int batch_size = 16);
+
+/** Network-level convenience (see rpsRobustAccuracy). */
 double rpsNaturalAccuracy(Network &net, const Dataset &data,
                           const PrecisionSet &set, Rng &rng,
                           int batch_size = 16);
@@ -79,9 +93,13 @@ double rpsNaturalAccuracy(Network &net, const Dataset &data,
  * (Network::forwardQuantized through the engine's cached int codes) —
  * what the bit-serial accelerator would actually compute. Matches
  * rpsNaturalAccuracy up to the documented int-vs-float rounding
- * tolerance; calibrate the network first (quant/calibration.hh) for
- * the quantization-free static-scale path.
+ * tolerance; calibrate the session first for the quantization-free
+ * static-scale path.
  */
+double rpsNaturalAccuracyQuantized(Session &s, const Dataset &data,
+                                   Rng &rng, int batch_size = 16);
+
+/** Network-level convenience (see rpsRobustAccuracy). */
 double rpsNaturalAccuracyQuantized(Network &net, const Dataset &data,
                                    const PrecisionSet &set, Rng &rng,
                                    int batch_size = 16);

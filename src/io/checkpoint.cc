@@ -1,0 +1,384 @@
+/**
+ * @file
+ * Checkpoint format implementation.
+ */
+
+#include "io/checkpoint.hh"
+
+#include <cstring>
+
+#include "nn/model_zoo.hh"
+
+namespace twoinone {
+namespace checkpoint {
+
+namespace {
+
+const char kMagic[8] = {'2', 'I', 'N', '1', 'C', 'K', 'P', 'T'};
+constexpr uint32_t kFlagEngineCache = 1u << 0;
+
+/** Pack a 0/1 float mask into bits (8 elements per byte). */
+std::vector<char>
+packMask(const Tensor &mask)
+{
+    std::vector<char> out((mask.size() + 7) / 8, 0);
+    for (size_t i = 0; i < mask.size(); ++i) {
+        if (mask[i] != 0.0f)
+            out[i >> 3] |= static_cast<char>(1 << (i & 7));
+    }
+    return out;
+}
+
+/** Unpack a bit mask into a 0/1 float tensor of @p shape. */
+Tensor
+unpackMask(const std::vector<char> &bytes, const std::vector<int> &shape,
+           size_t count)
+{
+    if (bytes.size() != (count + 7) / 8)
+        throw io::CheckpointError(
+            "corrupt checkpoint: STE mask size mismatch");
+    Tensor mask(shape);
+    for (size_t i = 0; i < count; ++i)
+        mask[i] = (bytes[i >> 3] >> (i & 7)) & 1 ? 1.0f : 0.0f;
+    return mask;
+}
+
+void
+writeStateEntry(io::Writer &w, const StateEntry &e)
+{
+    w.str(e.name);
+    if (e.tensor) {
+        w.u8(0);
+        w.tensor(*e.tensor);
+    } else if (e.floats) {
+        w.u8(1);
+        w.f32Vec(e.floats->data(), e.floats->size());
+    } else if (e.flags) {
+        w.u8(2);
+        w.u8Vec(e.flags->data(), e.flags->size());
+    } else if (e.flag) {
+        w.u8(3);
+        w.u8(*e.flag ? 1 : 0);
+    } else {
+        TWOINONE_PANIC("state entry \"", e.name, "\" has no payload");
+    }
+}
+
+void
+writeCodes(io::Writer &w, const QuantTensor &q)
+{
+    w.intVec(q.shape);
+    w.f32(q.scale);
+    w.i32(q.bits);
+    w.u8(q.isSigned ? 1 : 0);
+    w.i32Vec(q.codes.data(), q.codes.size());
+}
+
+QuantTensor
+readCodes(io::Reader &r)
+{
+    QuantTensor q;
+    q.shape = r.intVec();
+    q.scale = r.f32();
+    q.bits = r.i32();
+    q.isSigned = r.u8() != 0;
+    q.codes = r.i32Vec();
+    // Rank-0 shapes hold zero elements — seed the product like
+    // Reader::tensor does, or a crafted one-code cell would pass
+    // validation and overflow the unpacked mask tensor.
+    size_t expect = q.shape.empty() ? 0 : 1;
+    for (int d : q.shape) {
+        if (d <= 0)
+            throw io::CheckpointError(
+                "corrupt checkpoint: non-positive code-tensor dim");
+        expect *= static_cast<size_t>(d);
+    }
+    if (q.codes.size() != expect)
+        throw io::CheckpointError("corrupt checkpoint: code payload "
+                                  "does not match its shape");
+    return q;
+}
+
+} // namespace
+
+void
+save(const std::string &path, Network &net, RpsEngine *engine,
+     const SaveOptions &opts)
+{
+    bool with_cache = engine != nullptr && opts.includeEngineCache;
+
+    io::Writer payload;
+
+    // ARCH ----------------------------------------------------------
+    NetworkSpec spec = net.spec();
+    payload.intVec(spec.precisions);
+    payload.u32(static_cast<uint32_t>(spec.layers.size()));
+    for (const LayerSpec &ls : spec.layers) {
+        payload.str(ls.kind);
+        payload.intVec(ls.args);
+    }
+
+    // STATE ---------------------------------------------------------
+    StateDict dict;
+    net.collectState(dict);
+    payload.u32(static_cast<uint32_t>(dict.size()));
+    for (const StateEntry &e : dict)
+        writeStateEntry(payload, e);
+
+    // CACHE ---------------------------------------------------------
+    if (with_cache) {
+        const std::vector<int> &bits = engine->set().bits();
+        payload.intVec(bits);
+        payload.u32(static_cast<uint32_t>(engine->numQuantLayers()));
+        for (size_t l = 0; l < engine->numQuantLayers(); ++l) {
+            for (int b : bits) {
+                // codesFor/steMaskFor bring a stale cell current
+                // first, so the exported cache always matches the
+                // exported master weights.
+                const QuantTensor &codes = engine->codesFor(l, b);
+                writeCodes(payload, codes);
+                std::vector<char> packed =
+                    packMask(engine->steMaskFor(l, b));
+                payload.u8Vec(packed.data(), packed.size());
+            }
+        }
+    }
+
+    // Assemble: header | payload | checksum. The checksum covers the
+    // header as well — a flipped flags word must read as corruption,
+    // not as a silently different (e.g. cache-less) artifact.
+    io::Writer file;
+    for (char c : kMagic)
+        file.u8(static_cast<uint8_t>(c));
+    file.u32(kFormatVersion);
+    file.u32(with_cache ? kFlagEngineCache : 0);
+    std::vector<uint8_t> bytes = file.bytes();
+    bytes.insert(bytes.end(), payload.bytes().begin(),
+                 payload.bytes().end());
+    uint64_t hash = io::fnv1a(bytes.data(), bytes.size());
+    io::Writer trailer;
+    trailer.u64(hash);
+    bytes.insert(bytes.end(), trailer.bytes().begin(),
+                 trailer.bytes().end());
+    io::writeFile(path, bytes);
+}
+
+Checkpoint
+Checkpoint::read(const std::string &path)
+{
+    std::vector<uint8_t> bytes = io::readFile(path);
+    constexpr size_t header = sizeof(kMagic) + 2 * sizeof(uint32_t);
+    constexpr size_t trailer = sizeof(uint64_t);
+    if (bytes.size() < header + trailer)
+        throw io::CheckpointError(path + " is not a checkpoint "
+                                         "(too small)");
+    if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
+        throw io::CheckpointError(path + " is not a checkpoint "
+                                         "(bad magic)");
+    uint32_t version, flags;
+    std::memcpy(&version, bytes.data() + sizeof(kMagic),
+                sizeof(version));
+    std::memcpy(&flags, bytes.data() + sizeof(kMagic) + sizeof(version),
+                sizeof(flags));
+    if (version != kFormatVersion)
+        throw io::CheckpointError(
+            "unsupported checkpoint format version " +
+            std::to_string(version) + " (this build reads version " +
+            std::to_string(kFormatVersion) + ")");
+
+    const uint8_t *payload = bytes.data() + header;
+    size_t payload_size = bytes.size() - header - trailer;
+    uint64_t stored_hash;
+    std::memcpy(&stored_hash, bytes.data() + header + payload_size,
+                sizeof(stored_hash));
+    if (io::fnv1a(bytes.data(), header + payload_size) != stored_hash)
+        throw io::CheckpointError(path +
+                                  ": payload corrupted "
+                                  "(checksum mismatch)");
+
+    io::Reader r(payload, payload_size);
+    Checkpoint ckpt;
+
+    // Struct counts come from the file; before sizing containers by
+    // them, require that the remaining payload could plausibly hold
+    // that many records (>= @p min_bytes each) — a crafted count must
+    // throw, not commit gigabytes. (Reader::count applies the same
+    // guard to element vectors.)
+    auto checkedCount = [&r](uint32_t n, size_t min_bytes,
+                             const char *what) {
+        if (static_cast<size_t>(n) > r.remaining() / min_bytes)
+            throw io::CheckpointError(
+                "corrupt checkpoint: " + std::string(what) +
+                " count " + std::to_string(n) +
+                " exceeds the remaining payload");
+        return n;
+    };
+
+    // ARCH ----------------------------------------------------------
+    ckpt.spec_.precisions = r.intVec();
+    // A layer spec is at least an empty kind string + empty args
+    // vector (two u32 counts).
+    uint32_t nlayers = checkedCount(r.u32(), 8, "layer spec");
+    ckpt.spec_.layers.reserve(nlayers);
+    for (uint32_t i = 0; i < nlayers; ++i) {
+        LayerSpec ls;
+        ls.kind = r.str();
+        ls.args = r.intVec();
+        ckpt.spec_.layers.push_back(std::move(ls));
+    }
+
+    // STATE ---------------------------------------------------------
+    uint32_t nentries = r.u32();
+    for (uint32_t i = 0; i < nentries; ++i) {
+        std::string name = r.str();
+        Blob blob;
+        blob.dtype = r.u8();
+        switch (blob.dtype) {
+        case 0:
+            blob.tensor = r.tensor();
+            break;
+        case 1:
+            blob.floats = r.f32Vec();
+            break;
+        case 2:
+            blob.flags = r.u8Vec();
+            break;
+        case 3:
+            blob.flag = r.u8() != 0;
+            break;
+        default:
+            throw io::CheckpointError(
+                "corrupt checkpoint: unknown state dtype " +
+                std::to_string(blob.dtype) + " for \"" + name + "\"");
+        }
+        ckpt.blobs_.emplace(std::move(name), std::move(blob));
+    }
+
+    // CACHE ---------------------------------------------------------
+    if (flags & kFlagEngineCache) {
+        ckpt.cacheBits_ = r.intVec();
+        // Each cached layer carries >= one cell: shape vec + scale +
+        // bits + signedness + two payload counts.
+        uint32_t ncache_layers =
+            checkedCount(r.u32(), 29, "cache layer");
+        ckpt.cells_.resize(ncache_layers);
+        for (uint32_t l = 0; l < ncache_layers; ++l) {
+            ckpt.cells_[l].reserve(ckpt.cacheBits_.size());
+            for (size_t p = 0; p < ckpt.cacheBits_.size(); ++p) {
+                CacheCell cell;
+                cell.codes = readCodes(r);
+                cell.maskBytes = r.u8Vec();
+                ckpt.cells_[l].push_back(std::move(cell));
+            }
+        }
+    }
+    if (!r.atEnd())
+        throw io::CheckpointError(
+            path + ": " + std::to_string(r.remaining()) +
+            " unparsed trailing payload bytes (corrupt or "
+            "mis-framed artifact)");
+    return ckpt;
+}
+
+Network
+Checkpoint::instantiate() const
+{
+    Network net = buildFromSpec(spec_);
+    StateDict dict;
+    net.collectState(dict);
+    for (const StateEntry &e : dict) {
+        auto it = blobs_.find(e.name);
+        if (it == blobs_.end())
+            throw io::CheckpointError("checkpoint is missing state \"" +
+                                      e.name + "\"");
+        const Blob &b = it->second;
+        if (e.tensor) {
+            if (b.dtype != 0 || b.tensor.shape() != e.tensor->shape())
+                throw io::CheckpointError("checkpoint state \"" +
+                                          e.name +
+                                          "\" does not match the "
+                                          "rebuilt layer");
+            *e.tensor = b.tensor;
+        } else if (e.floats) {
+            if (b.dtype != 1)
+                throw io::CheckpointError("checkpoint state \"" +
+                                          e.name + "\" has wrong type");
+            *e.floats = b.floats;
+        } else if (e.flags) {
+            if (b.dtype != 2)
+                throw io::CheckpointError("checkpoint state \"" +
+                                          e.name + "\" has wrong type");
+            *e.flags = b.flags;
+        } else if (e.flag) {
+            if (b.dtype != 3)
+                throw io::CheckpointError("checkpoint state \"" +
+                                          e.name + "\" has wrong type");
+            *e.flag = b.flag;
+        }
+    }
+    // Vector/flag blobs were restored at whatever length the artifact
+    // carried; a checksum-valid but internally inconsistent artifact
+    // must fail here, not read out of bounds at inference.
+    std::string err = net.checkState();
+    if (!err.empty())
+        throw io::CheckpointError("checkpoint state invalid: " + err);
+    return net;
+}
+
+std::unique_ptr<RpsEngine>
+Checkpoint::restoreEngine(Network &net) const &
+{
+    // consume = false leaves the cells untouched, so the cast does
+    // not break the const contract.
+    return const_cast<Checkpoint *>(this)->restoreEngineImpl(
+        net, /*consume=*/false);
+}
+
+std::unique_ptr<RpsEngine>
+Checkpoint::restoreEngine(Network &net) &&
+{
+    return restoreEngineImpl(net, /*consume=*/true);
+}
+
+std::unique_ptr<RpsEngine>
+Checkpoint::restoreEngineImpl(Network &net, bool consume)
+{
+    if (!hasEngineCache())
+        return nullptr;
+    PrecisionSet cache_set = precisionSetFromSpec(cacheBits_);
+    for (int b : cacheBits_) {
+        if (!net.precisionSet().contains(b))
+            throw io::CheckpointError(
+                "checkpoint cache precision " + std::to_string(b) +
+                " is not in the network's bound set");
+    }
+    auto engine = std::make_unique<RpsEngine>(
+        net, std::move(cache_set), RpsEngine::DeferBuild{});
+    if (engine->numQuantLayers() != cells_.size())
+        throw io::CheckpointError(
+            "checkpoint cache covers " + std::to_string(cells_.size()) +
+            " weight layers, network has " +
+            std::to_string(engine->numQuantLayers()));
+    std::vector<WeightQuantizedLayer *> wlayers =
+        net.weightQuantizedLayers();
+    for (size_t l = 0; l < cells_.size(); ++l) {
+        for (size_t p = 0; p < cacheBits_.size(); ++p) {
+            CacheCell &cell = cells_[l][p];
+            if (cell.codes.size() != wlayers[l]->masterWeight().size() ||
+                cell.codes.bits != cacheBits_[p])
+                throw io::CheckpointError(
+                    "checkpoint cache cell does not match layer " +
+                    std::to_string(l));
+            Tensor mask = unpackMask(cell.maskBytes, cell.codes.shape,
+                                     cell.codes.size());
+            engine->importCell(l, p,
+                               consume ? std::move(cell.codes)
+                                       : cell.codes,
+                               std::move(mask));
+        }
+    }
+    return engine;
+}
+
+} // namespace checkpoint
+} // namespace twoinone

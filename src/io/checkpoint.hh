@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Versioned model artifacts: the single-file binary format that makes
+ * a trained RPS model leave the process.
+ *
+ * A checkpoint is the unit of deployment for the paper's serving
+ * story: a network trained once under random precision switch, then
+ * shipped to an accelerator that serves it at randomly drawn
+ * precisions. One file carries everything a fresh process needs to
+ * reproduce the training process's inference bit-for-bit:
+ *
+ *   - the architecture spec (NetworkSpec: candidate precisions +
+ *     per-layer construction specs), so the network is rebuilt from
+ *     data, not C++ code;
+ *   - every named state blob (master weights, SBN banks with their
+ *     running statistics and trained flags, per-(ActQuant, precision)
+ *     calibration range banks and the static-scale mode);
+ *   - optionally the RpsEngine weight-code cache (integer codes +
+ *     bit-packed STE masks per layer x candidate), so a loaded model
+ *     warm-starts its engine without a single quantization pass.
+ *
+ * Layout (little-endian):
+ *
+ *   magic "2IN1CKPT" (8) | format version u32 | flags u32
+ *   payload:
+ *     ARCH   precisions intVec; layer count u32;
+ *            per layer: kind str, args intVec
+ *     STATE  entry count u32; per entry: name str, dtype u8, payload
+ *            (dtype 0 = f32 tensor, 1 = f32 vec, 2 = u8 vec,
+ *             3 = bool)
+ *     CACHE  (flags bit 0) cached precisions intVec; layer count u32;
+ *            per (layer, precision): codes (shape intVec, scale f32,
+ *            bits i32, signed u8, codes i32Vec), STE mask bit-packed
+ *            u8Vec
+ *   fnv1a64(header + payload) u64
+ *
+ * Malformed input (missing file, truncation, checksum mismatch,
+ * unsupported version, incompatible spec) throws io::CheckpointError —
+ * it is a recoverable caller-facing condition, not a library bug.
+ */
+
+#ifndef TWOINONE_IO_CHECKPOINT_HH
+#define TWOINONE_IO_CHECKPOINT_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/serialize.hh"
+#include "nn/network.hh"
+#include "quant/rps_engine.hh"
+
+namespace twoinone {
+namespace checkpoint {
+
+/** Current checkpoint format version. */
+constexpr uint32_t kFormatVersion = 1;
+
+/** Save-time options. */
+struct SaveOptions
+{
+    /** Serialize the engine's weight-code cache (when an engine is
+     * passed): bigger file, zero-quantization warm start on load. */
+    bool includeEngineCache = true;
+};
+
+/**
+ * Write @p net (arch spec + full state) to @p path, optionally with
+ * @p engine's weight-code cache. Non-const: state collection reads
+ * through live member pointers and the engine brings stale cells
+ * current before export. Throws io::CheckpointError on I/O failure.
+ */
+void save(const std::string &path, Network &net,
+          RpsEngine *engine = nullptr,
+          const SaveOptions &opts = SaveOptions());
+
+/**
+ * A parsed model artifact. read() validates framing and the payload
+ * checksum; instantiate()/restoreEngine() then rebuild the live
+ * objects. Keeping the parsed form separate from the live objects
+ * lets one read serve both the network and its engine without
+ * touching the file twice.
+ */
+class Checkpoint
+{
+  public:
+    /** Parse @p path (throws io::CheckpointError on any malformation:
+     * missing file, truncation, bad magic, unsupported version,
+     * checksum mismatch). */
+    static Checkpoint read(const std::string &path);
+
+    /** The architecture spec the artifact was saved from. */
+    const NetworkSpec &spec() const { return spec_; }
+
+    /**
+     * Build a fresh Network from the spec and restore every state
+     * blob into it. The result reproduces the saved model's inference
+     * bit-for-bit. Throws io::CheckpointError when the artifact is
+     * missing state the rebuilt network needs or shapes disagree.
+     */
+    Network instantiate() const;
+
+    /** Whether the artifact carries a serialized engine cache. */
+    bool hasEngineCache() const { return !cacheBits_.empty(); }
+
+    /**
+     * Build an RpsEngine on @p net warm-started from the serialized
+     * code cache: no quantization pass runs — every cell is imported
+     * as built (columnRebuilds() == 0, and the first switch serves
+     * with cacheMisses() == 0). Returns nullptr when the artifact has
+     * no cache section. @p net must be the instantiate()d network (or
+     * one of identical architecture); mismatches throw. The lvalue
+     * overload copies the cells (the Checkpoint stays reusable); the
+     * rvalue overload moves them into the engine — the multi-megabyte
+     * code cache is not duplicated on the one-shot load path.
+     */
+    std::unique_ptr<RpsEngine> restoreEngine(Network &net) const &;
+    std::unique_ptr<RpsEngine> restoreEngine(Network &net) &&;
+
+  private:
+    /** One named state blob (see StateEntry for the dtype mapping). */
+    struct Blob
+    {
+        uint8_t dtype = 0;
+        Tensor tensor;
+        std::vector<float> floats;
+        std::vector<char> flags;
+        bool flag = false;
+    };
+
+    /** One serialized engine cache cell. */
+    struct CacheCell
+    {
+        QuantTensor codes;
+        std::vector<char> maskBytes; ///< STE mask, bit-packed
+    };
+
+    /** Shared restoreEngine body; @p consume moves the cell codes
+     * out (rvalue overload) instead of copying them. */
+    std::unique_ptr<RpsEngine> restoreEngineImpl(Network &net,
+                                                 bool consume);
+
+    NetworkSpec spec_;
+    std::map<std::string, Blob> blobs_;
+    std::vector<int> cacheBits_;
+    /** cells_[layer][precision index in cacheBits_]. */
+    std::vector<std::vector<CacheCell>> cells_;
+};
+
+} // namespace checkpoint
+} // namespace twoinone
+
+#endif // TWOINONE_IO_CHECKPOINT_HH

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Binary serialization primitives implementation.
+ */
+
+#include "io/serialize.hh"
+
+#include <cstring>
+#include <fstream>
+
+namespace twoinone {
+namespace io {
+
+void
+Writer::raw(const void *p, size_t n)
+{
+    if (n == 0)
+        return; // empty payloads may come with a null pointer
+    const uint8_t *b = static_cast<const uint8_t *>(p);
+    buf_.insert(buf_.end(), b, b + n);
+}
+
+void
+Writer::str(const std::string &s)
+{
+    u32(static_cast<uint32_t>(s.size()));
+    raw(s.data(), s.size());
+}
+
+void
+Writer::intVec(const std::vector<int> &v)
+{
+    u32(static_cast<uint32_t>(v.size()));
+    for (int x : v)
+        i32(x);
+}
+
+void
+Writer::f32Vec(const float *data, size_t count)
+{
+    u64(count);
+    raw(data, count * sizeof(float));
+}
+
+void
+Writer::i32Vec(const int32_t *data, size_t count)
+{
+    u64(count);
+    raw(data, count * sizeof(int32_t));
+}
+
+void
+Writer::u8Vec(const char *data, size_t count)
+{
+    u64(count);
+    raw(data, count);
+}
+
+void
+Writer::tensor(const Tensor &t)
+{
+    intVec(t.shape());
+    f32Vec(t.data(), t.size());
+}
+
+const uint8_t *
+Reader::take(size_t n)
+{
+    if (n > size_ - off_)
+        throw CheckpointError("truncated checkpoint: wanted " +
+                              std::to_string(n) + " bytes at offset " +
+                              std::to_string(off_) + ", have " +
+                              std::to_string(size_ - off_));
+    const uint8_t *p = data_ + off_;
+    off_ += n;
+    return p;
+}
+
+size_t
+Reader::count(size_t elem_size)
+{
+    uint64_t n = u64();
+    // An absurd count (corruption) must not turn into a huge
+    // allocation: the payload bytes have to actually be present.
+    if (elem_size > 0 && n > (size_ - off_) / elem_size)
+        throw CheckpointError("corrupt checkpoint: element count " +
+                              std::to_string(n) +
+                              " exceeds the remaining payload");
+    return static_cast<size_t>(n);
+}
+
+uint8_t
+Reader::u8()
+{
+    return *take(1);
+}
+
+uint32_t
+Reader::u32()
+{
+    uint32_t v;
+    std::memcpy(&v, take(sizeof(v)), sizeof(v));
+    return v;
+}
+
+uint64_t
+Reader::u64()
+{
+    uint64_t v;
+    std::memcpy(&v, take(sizeof(v)), sizeof(v));
+    return v;
+}
+
+int32_t
+Reader::i32()
+{
+    int32_t v;
+    std::memcpy(&v, take(sizeof(v)), sizeof(v));
+    return v;
+}
+
+float
+Reader::f32()
+{
+    float v;
+    std::memcpy(&v, take(sizeof(v)), sizeof(v));
+    return v;
+}
+
+std::string
+Reader::str()
+{
+    uint32_t n = u32();
+    if (n > size_ - off_)
+        throw CheckpointError("corrupt checkpoint: string length " +
+                              std::to_string(n) +
+                              " exceeds the remaining payload");
+    const uint8_t *p = take(n);
+    return std::string(reinterpret_cast<const char *>(p), n);
+}
+
+std::vector<int>
+Reader::intVec()
+{
+    uint32_t n = u32();
+    if (static_cast<size_t>(n) > (size_ - off_) / sizeof(int32_t))
+        throw CheckpointError("corrupt checkpoint: int vector length " +
+                              std::to_string(n) +
+                              " exceeds the remaining payload");
+    std::vector<int> v(n);
+    for (uint32_t i = 0; i < n; ++i)
+        v[i] = i32();
+    return v;
+}
+
+std::vector<float>
+Reader::f32Vec()
+{
+    size_t n = count(sizeof(float));
+    std::vector<float> v(n);
+    if (n > 0)
+        std::memcpy(v.data(), take(n * sizeof(float)),
+                    n * sizeof(float));
+    return v;
+}
+
+std::vector<int32_t>
+Reader::i32Vec()
+{
+    size_t n = count(sizeof(int32_t));
+    std::vector<int32_t> v(n);
+    if (n > 0)
+        std::memcpy(v.data(), take(n * sizeof(int32_t)),
+                    n * sizeof(int32_t));
+    return v;
+}
+
+std::vector<char>
+Reader::u8Vec()
+{
+    size_t n = count(1);
+    std::vector<char> v(n);
+    if (n > 0)
+        std::memcpy(v.data(), take(n), n);
+    return v;
+}
+
+Tensor
+Reader::tensor()
+{
+    std::vector<int> shape = intVec();
+    // A rank-0 shape holds zero elements (Tensor::numel) — starting
+    // the product at 1 would let a crafted one-element payload write
+    // past an empty buffer.
+    size_t expect = shape.empty() ? 0 : 1;
+    for (int d : shape) {
+        if (d <= 0)
+            throw CheckpointError(
+                "corrupt checkpoint: non-positive tensor dim");
+        expect *= static_cast<size_t>(d);
+    }
+    size_t n = count(sizeof(float));
+    if (n != expect)
+        throw CheckpointError("corrupt checkpoint: tensor payload " +
+                              std::to_string(n) +
+                              " elements does not match its shape");
+    Tensor t(shape);
+    if (n > 0)
+        std::memcpy(t.data(), take(n * sizeof(float)),
+                    n * sizeof(float));
+    return t;
+}
+
+uint64_t
+fnv1a(const uint8_t *data, size_t size)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (size_t i = 0; i < size; ++i) {
+        h ^= data[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+void
+writeFile(const std::string &path, const std::vector<uint8_t> &bytes)
+{
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    if (!f)
+        throw CheckpointError("cannot open " + path + " for writing");
+    f.write(reinterpret_cast<const char *>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+    if (!f)
+        throw CheckpointError("short write to " + path);
+}
+
+std::vector<uint8_t>
+readFile(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary | std::ios::ate);
+    if (!f)
+        throw CheckpointError("cannot open " + path);
+    std::streamsize size = f.tellg();
+    f.seekg(0);
+    std::vector<uint8_t> bytes(static_cast<size_t>(size));
+    f.read(reinterpret_cast<char *>(bytes.data()), size);
+    if (!f)
+        throw CheckpointError("short read from " + path);
+    return bytes;
+}
+
+} // namespace io
+} // namespace twoinone

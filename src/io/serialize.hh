@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Binary (de)serialization primitives for model artifacts.
+ *
+ * Writer accumulates a little-endian byte buffer; Reader walks one
+ * with bounds-checked reads. Unlike the rest of the library — where a
+ * violated invariant is a bug and panics — a malformed artifact is a
+ * *recoverable caller-facing* condition (truncated download, corrupt
+ * disk, a checkpoint from a newer format), so the io layer reports it
+ * by throwing CheckpointError and leaves the process healthy.
+ *
+ * Scope: both ends run on little-endian hosts (the x86/ARM targets
+ * this repo builds for); values are memcpy'd, not byte-swapped.
+ */
+
+#ifndef TWOINONE_IO_SERIALIZE_HH
+#define TWOINONE_IO_SERIALIZE_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace twoinone {
+namespace io {
+
+/**
+ * A model artifact could not be written or read back: missing file,
+ * truncation, payload corruption, or an unsupported format version.
+ */
+class CheckpointError : public std::runtime_error
+{
+  public:
+    explicit CheckpointError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/**
+ * Append-only little-endian byte sink.
+ */
+class Writer
+{
+  public:
+    void u8(uint8_t v) { buf_.push_back(v); }
+    void u32(uint32_t v) { raw(&v, sizeof(v)); }
+    void u64(uint64_t v) { raw(&v, sizeof(v)); }
+    void i32(int32_t v) { raw(&v, sizeof(v)); }
+    void f32(float v) { raw(&v, sizeof(v)); }
+
+    /** Length-prefixed UTF-8 string. */
+    void str(const std::string &s);
+
+    /** Count-prefixed int vector (shapes, precision sets). */
+    void intVec(const std::vector<int> &v);
+
+    /** Count-prefixed payload vectors. */
+    void f32Vec(const float *data, size_t count);
+    void i32Vec(const int32_t *data, size_t count);
+    void u8Vec(const char *data, size_t count);
+
+    /** Shape + raw float payload of a tensor. */
+    void tensor(const Tensor &t);
+
+    const std::vector<uint8_t> &bytes() const { return buf_; }
+    size_t size() const { return buf_.size(); }
+
+  private:
+    std::vector<uint8_t> buf_;
+
+    void raw(const void *p, size_t n);
+};
+
+/**
+ * Bounds-checked cursor over an in-memory byte buffer (non-owning).
+ * Every read past the end throws CheckpointError — a truncated
+ * artifact fails loudly at the first missing byte.
+ */
+class Reader
+{
+  public:
+    Reader(const uint8_t *data, size_t size) : data_(data), size_(size) {}
+
+    uint8_t u8();
+    uint32_t u32();
+    uint64_t u64();
+    int32_t i32();
+    float f32();
+
+    std::string str();
+    std::vector<int> intVec();
+    std::vector<float> f32Vec();
+    std::vector<int32_t> i32Vec();
+    std::vector<char> u8Vec();
+    Tensor tensor();
+
+    size_t offset() const { return off_; }
+    size_t remaining() const { return size_ - off_; }
+    bool atEnd() const { return off_ == size_; }
+
+  private:
+    const uint8_t *data_;
+    size_t size_;
+    size_t off_ = 0;
+
+    const uint8_t *take(size_t n);
+    /** Element count guarded against the bytes actually left. */
+    size_t count(size_t elem_size);
+};
+
+/** FNV-1a 64-bit hash — the checkpoint payload integrity check. */
+uint64_t fnv1a(const uint8_t *data, size_t size);
+
+/** Write a byte buffer to @p path (throws CheckpointError on I/O
+ * failure). */
+void writeFile(const std::string &path, const std::vector<uint8_t> &bytes);
+
+/** Read a whole file (throws CheckpointError when absent/unreadable). */
+std::vector<uint8_t> readFile(const std::string &path);
+
+} // namespace io
+} // namespace twoinone
+
+#endif // TWOINONE_IO_SERIALIZE_HH

@@ -227,6 +227,39 @@ ActQuant::collectActQuant(std::vector<ActQuant *> &out)
     out.push_back(this);
 }
 
+void
+ActQuant::collectState(const std::string &prefix, StateDict &out)
+{
+    out.push_back({prefix + ".calib_max", nullptr, &calibMax_, nullptr,
+                   nullptr});
+    out.push_back({prefix + ".calib_recorded", nullptr, nullptr,
+                   &calibRecorded_, nullptr});
+    out.push_back({prefix + ".static_scale", nullptr, nullptr, nullptr,
+                   &staticScale_});
+}
+
+std::string
+ActQuant::checkState(int required_banks) const
+{
+    // staticMaxOrNegative reads calibMax_[bank] behind a bound check
+    // on calibRecorded_ — the two banks must stay the same length.
+    if (calibMax_.size() != calibRecorded_.size())
+        return "ActQuant calibration banks inconsistent (" +
+               std::to_string(calibMax_.size()) + " maxima vs " +
+               std::to_string(calibRecorded_.size()) + " flags)";
+    // Calibration is all-or-nothing per quantizer: empty banks mean
+    // never calibrated (dynamic ranges), but sized banks must cover
+    // every bank the candidate set can select — a short vector would
+    // silently degrade some candidates to dynamic scale, breaking the
+    // bit-for-bit reproduction a checkpoint promises.
+    if (!calibMax_.empty() &&
+        calibMax_.size() < static_cast<size_t>(required_banks))
+        return "ActQuant calibration banks cover " +
+               std::to_string(calibMax_.size()) + " of " +
+               std::to_string(required_banks) + " required banks";
+    return std::string();
+}
+
 Tensor
 ActQuant::backward(const Tensor &grad_out)
 {

@@ -26,6 +26,7 @@ class ReLU : public Layer
     QuantAct forwardQuantized(QuantAct &x) override;
     void emitPlanSteps(serve::PlanBuilder &b) override;
     std::string describe() const override { return "ReLU"; }
+    LayerSpec spec() const override { return {"relu", {}}; }
 
     /** Rectify into a caller-owned buffer (the allocation-free plan
      * form; forwardQuantized wraps it). */
@@ -60,6 +61,12 @@ class ActQuant : public Layer
     void emitPlanSteps(serve::PlanBuilder &b) override;
     void collectActQuant(std::vector<ActQuant *> &out) override;
     std::string describe() const override { return "ActQuant"; }
+    LayerSpec spec() const override { return {"actquant", {}}; }
+    /** Calibration range banks + recorded flags + static-scale mode —
+     * persisting them is what lets a reloaded model serve on the
+     * quantization-free static-scale path without re-calibrating. */
+    void collectState(const std::string &prefix, StateDict &out) override;
+    std::string checkState(int required_banks) const override;
 
     /** @name Allocation-free plan kernels
      * Both are bit-identical to the legacy paths: inferFloatInto

@@ -286,4 +286,52 @@ SwitchableBatchNorm2d::describe() const
     return oss.str();
 }
 
+LayerSpec
+SwitchableBatchNorm2d::spec() const
+{
+    // momentum/eps stay at their construction defaults throughout the
+    // model zoo and only shape training, not a restored inference
+    // state, so the spec carries the geometry only.
+    return {"sbn", {channels_, numBanks()}};
+}
+
+void
+SwitchableBatchNorm2d::collectState(const std::string &prefix,
+                                    StateDict &out)
+{
+    for (int i = 0; i < numBanks(); ++i) {
+        Bank &b = banks_[static_cast<size_t>(i)];
+        std::string bank = prefix + ".bank" + std::to_string(i);
+        out.push_back({bank + ".gamma", &b.gamma.value, nullptr, nullptr,
+                       nullptr});
+        out.push_back({bank + ".beta", &b.beta.value, nullptr, nullptr,
+                       nullptr});
+        out.push_back({bank + ".running_mean", &b.runningMean, nullptr,
+                       nullptr, nullptr});
+        out.push_back({bank + ".running_var", &b.runningVar, nullptr,
+                       nullptr, nullptr});
+    }
+    out.push_back({prefix + ".trained", nullptr, nullptr, &bankTrained_,
+                   nullptr});
+}
+
+std::string
+SwitchableBatchNorm2d::checkState(int required_banks) const
+{
+    // forward/inferenceInto index bankTrained_ by the active bank —
+    // a flag vector of any other length reads out of bounds.
+    if (bankTrained_.size() != banks_.size())
+        return "SBN trained flags inconsistent (" +
+               std::to_string(bankTrained_.size()) + " flags vs " +
+               std::to_string(banks_.size()) + " banks)";
+    // Switching to any candidate selects bank 1 + indexOf(bits):
+    // fewer banks than the candidate set demands would abort inside
+    // activeBankIndex at inference time — reject at load instead.
+    if (numBanks() < required_banks)
+        return "SBN holds " + std::to_string(numBanks()) + " banks, " +
+               "the candidate set requires " +
+               std::to_string(required_banks);
+    return std::string();
+}
+
 } // namespace twoinone

@@ -48,6 +48,12 @@ class SwitchableBatchNorm2d : public Layer
     void emitPlanSteps(serve::PlanBuilder &b) override;
     void collectParameters(std::vector<Parameter *> &out) override;
     std::string describe() const override;
+    LayerSpec spec() const override;
+    /** Banks in full: gamma/beta/running stats per bank plus the
+     * trained flags — the flags drive the untrained-bank aliasing, so
+     * a reloaded model reproduces inference bit-exactly. */
+    void collectState(const std::string &prefix, StateDict &out) override;
+    std::string checkState(int required_banks) const override;
 
     /**
      * The running-stats affine transform into a caller-owned buffer

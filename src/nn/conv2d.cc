@@ -16,8 +16,11 @@
 #include "nn/conv2d.hh"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <sstream>
 
 #include "common/thread_pool.hh"
@@ -336,6 +339,46 @@ buildGatherTable(int c, int h, int w, int oh, int ow, int kernel,
 }
 
 /**
+ * The process-wide gather-table registry: tables are a pure function
+ * of the conv/input geometry, so every scratch block (plan replicas,
+ * per-layer legacy scratch) of the same geometry shares one
+ * heap-allocated table instead of building its own copy — the big
+ * per-worker arena saving for multi-replica serving. Entries are held
+ * weakly: tables die with their last consumer instead of accumulating
+ * for the life of the process. Mutex-guarded — first touch can come
+ * from concurrent serving workers.
+ */
+std::shared_ptr<const std::vector<int32_t>>
+sharedGatherTable(int c, int h, int w, int oh, int ow, int kernel,
+                  int stride, int padding)
+{
+    using Key = std::array<int, 8>;
+    static std::mutex mu;
+    static std::map<Key, std::weak_ptr<const std::vector<int32_t>>> reg;
+
+    Key key = {c, h, w, oh, ow, kernel, stride, padding};
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = reg.find(key);
+    if (it != reg.end()) {
+        if (auto table = it->second.lock())
+            return table;
+    }
+    // Miss: before building, sweep out map nodes whose tables died —
+    // builds are rare, and without the sweep a long-lived process
+    // would accumulate one dead node per geometry ever served.
+    for (auto iter = reg.begin(); iter != reg.end();) {
+        if (iter->second.expired())
+            iter = reg.erase(iter);
+        else
+            ++iter;
+    }
+    auto table = std::make_shared<std::vector<int32_t>>();
+    buildGatherTable(c, h, w, oh, ow, kernel, stride, padding, *table);
+    reg[key] = table;
+    return table;
+}
+
+/**
  * im2col via the precomputed gather table (serving path): one flat
  * indexed copy per image, parallel over the batch. Identical output
  * to im2colCodes — the table encodes the same source elements and
@@ -406,11 +449,13 @@ Conv2d::inferQuantInto(const QuantTensor &xq, const QuantTensor &wq,
     bool pack_valid = s.packedFrom == wq.codes.data() &&
                       s.packedBits == wbits &&
                       s.packedVersion == masterWeightVersion();
-    if (serve && (s.gatherH != h || s.gatherW != w)) {
-        // Compiled-geometry gather table: built on first touch of
-        // this input shape, then reused by every serving forward.
-        buildGatherTable(inChannels_, h, w, oh, ow, kernel_, stride_,
-                         padding_, s.gatherIdx);
+    if (serve && (s.gatherH != h || s.gatherW != w || !s.gather)) {
+        // Compiled-geometry gather table, shared across every scratch
+        // block (plan replica) of this geometry: fetched from the
+        // registry on first touch of this input shape, then reused by
+        // every serving forward.
+        s.gather = sharedGatherTable(inChannels_, h, w, oh, ow, kernel_,
+                                     stride_, padding_);
         s.gatherH = h;
         s.gatherW = w;
     }
@@ -420,7 +465,7 @@ Conv2d::inferQuantInto(const QuantTensor &xq, const QuantTensor &wq,
             packCodes(wq.codes, s.w8);
         s.a8.resize(static_cast<size_t>(n) * ohw * patch);
         if (serve)
-            im2colGather(xq.codes.data(), n, img_elems, s.gatherIdx,
+            im2colGather(xq.codes.data(), n, img_elems, *s.gather,
                          s.a8.data());
         else
             im2colCodes(xq.codes.data(), n, inChannels_, h, w, oh, ow,
@@ -430,7 +475,7 @@ Conv2d::inferQuantInto(const QuantTensor &xq, const QuantTensor &wq,
             packCodes(wq.codes, s.w16);
         s.a16.resize(static_cast<size_t>(n) * ohw * patch);
         if (serve)
-            im2colGather(xq.codes.data(), n, img_elems, s.gatherIdx,
+            im2colGather(xq.codes.data(), n, img_elems, *s.gather,
                          s.a16.data());
         else
             im2colCodes(xq.codes.data(), n, inChannels_, h, w, oh, ow,
@@ -652,6 +697,24 @@ Conv2d::describe() const
     oss << "Conv2d(" << inChannels_ << "->" << outChannels_ << ", k="
         << kernel_ << ", s=" << stride_ << ", p=" << padding_ << ")";
     return oss.str();
+}
+
+LayerSpec
+Conv2d::spec() const
+{
+    return {"conv2d",
+            {inChannels_, outChannels_, kernel_, stride_, padding_,
+             hasBias_ ? 1 : 0}};
+}
+
+void
+Conv2d::collectState(const std::string &prefix, StateDict &out)
+{
+    out.push_back({prefix + ".weight", &weight_.value, nullptr, nullptr,
+                   nullptr});
+    if (hasBias_)
+        out.push_back({prefix + ".bias", &bias_.value, nullptr, nullptr,
+                       nullptr});
 }
 
 } // namespace twoinone

@@ -102,6 +102,13 @@ Layer::emitPlanSteps(serve::PlanBuilder &b)
 }
 
 void
+Layer::collectState(const std::string &prefix, StateDict &out)
+{
+    (void)prefix;
+    (void)out; // stateless layer
+}
+
+void
 Layer::collectParameters(std::vector<Parameter *> &out)
 {
     (void)out; // parameter-free layer

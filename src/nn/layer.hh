@@ -67,13 +67,52 @@ struct IntGemmScratch
      * element (-1 = zero padding), precomputed once per input
      * geometry: the serving gather is then one flat indexed copy per
      * image instead of the reference path's nested address
-     * arithmetic. */
+     * arithmetic. Tables are geometry-pure, so they are *shared*
+     * through a process-wide registry (see conv2d.cc): every plan
+     * replica of the same conv geometry points at one table instead
+     * of building its own copy, shrinking the per-worker arena. */
     /** @{ */
-    std::vector<int32_t> gatherIdx;
+    std::shared_ptr<const std::vector<int32_t>> gather;
     int gatherH = 0;
     int gatherW = 0;
     /** @} */
 };
+
+/**
+ * Machine-readable construction spec of a layer: a kind tag plus the
+ * integer constructor arguments. The serializable counterpart of
+ * describe() — model_zoo's buildLayerFromSpec() reconstructs the layer
+ * from it (fresh weights; checkpoint loading then restores the state),
+ * so a persisted network round-trips without C++ code changes.
+ */
+struct LayerSpec
+{
+    std::string kind;
+    std::vector<int> args;
+};
+
+/**
+ * One serializable piece of layer state, referenced *in place*: the
+ * checkpoint writer reads through the pointer and the loader writes
+ * back through the same pointer on a freshly built layer, so one
+ * collection pass serves both directions. Exactly one payload pointer
+ * is set per entry. Names are stable ("layers.3.bn1.bank2.gamma") —
+ * they are the checkpoint's lookup keys across sessions.
+ */
+struct StateEntry
+{
+    std::string name;
+    /** f32 tensor payload (weights, BN statistics). */
+    Tensor *tensor = nullptr;
+    /** f32 vector payload (calibration range maxima). */
+    std::vector<float> *floats = nullptr;
+    /** u8 vector payload (per-bank trained/recorded flags). */
+    std::vector<char> *flags = nullptr;
+    /** Single-bool payload (mode switches, e.g. static scale). */
+    bool *flag = nullptr;
+};
+
+using StateDict = std::vector<StateEntry>;
 
 /**
  * The active quantization configuration of a network.
@@ -309,6 +348,46 @@ class Layer
      * forward, so any layer mix compiles.
      */
     virtual void emitPlanSteps(serve::PlanBuilder &b);
+
+    /**
+     * The layer's construction spec (see LayerSpec): enough to
+     * rebuild an identically shaped layer through model_zoo's
+     * buildLayerFromSpec. Composites return one spec for the whole
+     * block.
+     */
+    virtual LayerSpec spec() const = 0;
+
+    /**
+     * Collect this layer's serializable state under @p prefix (see
+     * StateEntry): master weights, BN banks + trained flags,
+     * calibration range banks. Default: stateless. Entries reference
+     * the live members, so the same pass serves checkpoint save (read
+     * through the pointers) and load (write through them). Loading
+     * writes parameters in place without bumping Parameter::version —
+     * restore state before attaching an RpsEngine, or refresh() after.
+     */
+    virtual void collectState(const std::string &prefix, StateDict &out);
+
+    /**
+     * Post-restore invariant check: returns an empty string when the
+     * layer's state is consistent, else a description of the
+     * violation. The checkpoint loader runs this after writing
+     * restored blobs through collectState's pointers — tensor blobs
+     * are shape-checked at restore, but vector/flag blobs take
+     * whatever length the artifact carried, and a checksum-valid yet
+     * inconsistent artifact must fail the load, not abort (or read
+     * out of bounds) at inference. @p required_banks is the bank
+     * count the network's candidate set demands (Network::bnBanks):
+     * switching to any candidate indexes SBN statistics and
+     * calibration banks up to that bound. Default: no vector state,
+     * always consistent.
+     */
+    virtual std::string
+    checkState(int required_banks) const
+    {
+        (void)required_banks;
+        return std::string();
+    }
 
     /** Collect pointers to all learnable parameters (default: none). */
     virtual void collectParameters(std::vector<Parameter *> &out);

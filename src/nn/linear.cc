@@ -226,4 +226,20 @@ Linear::describe() const
     return oss.str();
 }
 
+LayerSpec
+Linear::spec() const
+{
+    return {"linear", {inFeatures_, outFeatures_, hasBias_ ? 1 : 0}};
+}
+
+void
+Linear::collectState(const std::string &prefix, StateDict &out)
+{
+    out.push_back({prefix + ".weight", &weight_.value, nullptr, nullptr,
+                   nullptr});
+    if (hasBias_)
+        out.push_back({prefix + ".bias", &bias_.value, nullptr, nullptr,
+                       nullptr});
+}
+
 } // namespace twoinone

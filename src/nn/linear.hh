@@ -58,6 +58,8 @@ class Linear : public Layer, public WeightQuantizedLayer
     void collectWeightQuantized(
         std::vector<WeightQuantizedLayer *> &out) override;
     std::string describe() const override;
+    LayerSpec spec() const override;
+    void collectState(const std::string &prefix, StateDict &out) override;
 
     const Tensor &masterWeight() const override { return weight_.value; }
     uint64_t masterWeightVersion() const override

@@ -5,6 +5,7 @@
 
 #include "nn/model_zoo.hh"
 
+#include "io/serialize.hh"
 #include "nn/activation.hh"
 #include "nn/batchnorm.hh"
 #include "nn/conv2d.hh"
@@ -71,6 +72,109 @@ resNetMini(const ModelConfig &cfg, Rng &rng)
     ModelConfig deep = cfg;
     return buildResidualNet(deep, (cfg.baseWidth * 3) / 2,
                             cfg.numStages + 1, cfg.blocksPerStage, rng);
+}
+
+namespace {
+
+/** The spec argument at @p i, or a CheckpointError when absent. */
+int
+specArg(const LayerSpec &spec, size_t i)
+{
+    if (i >= spec.args.size())
+        throw io::CheckpointError("layer spec \"" + spec.kind +
+                                  "\" is missing argument " +
+                                  std::to_string(i));
+    return spec.args[i];
+}
+
+/** specArg constrained to a strictly positive geometry value — layer
+ * constructors assert (and abort) on non-positive geometry, but a
+ * bad value in an artifact is the caller's recoverable problem. */
+int
+specArgPos(const LayerSpec &spec, size_t i)
+{
+    int v = specArg(spec, i);
+    if (v <= 0)
+        throw io::CheckpointError(
+            "layer spec \"" + spec.kind + "\" argument " +
+            std::to_string(i) + " must be positive, got " +
+            std::to_string(v));
+    return v;
+}
+
+} // namespace
+
+LayerPtr
+buildLayerFromSpec(const LayerSpec &spec, Rng &rng)
+{
+    const std::string &k = spec.kind;
+    if (k == "conv2d") {
+        int padding = specArg(spec, 4);
+        if (padding < 0)
+            throw io::CheckpointError(
+                "conv2d spec has negative padding");
+        return std::make_unique<Conv2d>(
+            specArgPos(spec, 0), specArgPos(spec, 1),
+            specArgPos(spec, 2), specArgPos(spec, 3), padding,
+            specArg(spec, 5) != 0, rng);
+    }
+    if (k == "linear") {
+        return std::make_unique<Linear>(specArgPos(spec, 0),
+                                        specArgPos(spec, 1),
+                                        specArg(spec, 2) != 0, rng);
+    }
+    if (k == "sbn") {
+        return std::make_unique<SwitchableBatchNorm2d>(
+            specArgPos(spec, 0), specArgPos(spec, 1));
+    }
+    if (k == "preact") {
+        return std::make_unique<PreActBlock>(
+            specArgPos(spec, 0), specArgPos(spec, 1),
+            specArgPos(spec, 2), specArgPos(spec, 3), rng);
+    }
+    if (k == "relu")
+        return std::make_unique<ReLU>();
+    if (k == "actquant")
+        return std::make_unique<ActQuant>();
+    if (k == "gap")
+        return std::make_unique<GlobalAvgPool>();
+    if (k == "avgpool2x2")
+        return std::make_unique<AvgPool2x2>();
+    if (k == "flatten")
+        return std::make_unique<Flatten>();
+    throw io::CheckpointError("unknown layer kind \"" + k +
+                              "\" in network spec (artifact from an "
+                              "incompatible library version?)");
+}
+
+PrecisionSet
+precisionSetFromSpec(const std::vector<int> &bits)
+{
+    if (bits.empty())
+        return PrecisionSet();
+    for (size_t i = 0; i < bits.size(); ++i) {
+        if (bits[i] < 1 || bits[i] > 16)
+            throw io::CheckpointError(
+                "artifact precision " + std::to_string(bits[i]) +
+                " outside [1, 16]");
+        if (i > 0 && bits[i] <= bits[i - 1])
+            throw io::CheckpointError(
+                "artifact precision set is not strictly increasing");
+    }
+    return PrecisionSet(bits);
+}
+
+Network
+buildFromSpec(const NetworkSpec &spec)
+{
+    // The weight init stream is irrelevant: spec-built networks exist
+    // to receive persisted state, which overwrites every tensor the
+    // initializer touched.
+    Rng rng(1);
+    Network net(precisionSetFromSpec(spec.precisions));
+    for (const LayerSpec &ls : spec.layers)
+        net.add(buildLayerFromSpec(ls, rng));
+    return net;
 }
 
 Network

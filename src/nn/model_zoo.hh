@@ -52,6 +52,31 @@ Network resNetMini(const ModelConfig &cfg, Rng &rng);
 /** Small plain conv net (quickstart and fast unit tests). */
 Network convNetTiny(const ModelConfig &cfg, Rng &rng);
 
+/**
+ * Reconstruct one layer from its serialized spec (the inverse of
+ * Layer::spec). Weights are freshly initialized from @p rng — the
+ * checkpoint loader overwrites them with the persisted state. Throws
+ * io::CheckpointError on an unknown kind or a malformed argument list
+ * (an artifact from an incompatible library version).
+ */
+LayerPtr buildLayerFromSpec(const LayerSpec &spec, Rng &rng);
+
+/**
+ * Validate candidate bit-widths from a serialized artifact and build
+ * the PrecisionSet: the set's constructor treats bad input as a
+ * library bug (panic), but artifact contents are caller data — this
+ * throws io::CheckpointError instead.
+ */
+PrecisionSet precisionSetFromSpec(const std::vector<int> &bits);
+
+/**
+ * Reconstruct a whole network from its serialized spec: bind the
+ * candidate precision set and rebuild every layer in order. The
+ * resulting network is architecturally identical to the one the spec
+ * was taken from; checkpoint loading then restores its state.
+ */
+Network buildFromSpec(const NetworkSpec &spec);
+
 } // namespace twoinone
 
 #endif // TWOINONE_NN_MODEL_ZOO_HH

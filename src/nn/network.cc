@@ -88,6 +88,35 @@ Network::actQuantLayers()
     return out;
 }
 
+NetworkSpec
+Network::spec() const
+{
+    NetworkSpec s;
+    s.precisions = precisionSet_.bits();
+    s.layers.reserve(layers_.size());
+    for (const auto &l : layers_)
+        s.layers.push_back(l->spec());
+    return s;
+}
+
+void
+Network::collectState(StateDict &out)
+{
+    for (size_t i = 0; i < layers_.size(); ++i)
+        layers_[i]->collectState("layers." + std::to_string(i), out);
+}
+
+std::string
+Network::checkState() const
+{
+    for (size_t i = 0; i < layers_.size(); ++i) {
+        std::string err = layers_[i]->checkState(bnBanks());
+        if (!err.empty())
+            return "layers." + std::to_string(i) + ": " + err;
+    }
+    return std::string();
+}
+
 void
 Network::zeroGrad()
 {
@@ -170,10 +199,10 @@ Network::predictQuantized(const Tensor &x)
 
 std::unique_ptr<serve::ExecutionPlan>
 Network::compile(const PrecisionSet &precisions, serve::PlanMode mode,
-                 const std::vector<int> &max_input_shape)
+                 const std::vector<int> &max_input_shape, bool warm_all)
 {
     return serve::ExecutionPlan::compile(*this, precisions, mode,
-                                         max_input_shape);
+                                         max_input_shape, warm_all);
 }
 
 void

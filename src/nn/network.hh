@@ -24,6 +24,19 @@
 namespace twoinone {
 
 /**
+ * Machine-readable construction spec of a whole network: the bound
+ * candidate precisions plus each layer's LayerSpec, in network order.
+ * The serialized architecture section of a model checkpoint —
+ * model_zoo's buildFromSpec() reconstructs an identically shaped
+ * Network from it without C++ code changes.
+ */
+struct NetworkSpec
+{
+    std::vector<int> precisions;
+    std::vector<LayerSpec> layers;
+};
+
+/**
  * Sequential network with precision switching.
  */
 class Network
@@ -77,6 +90,19 @@ class Network
      * the calibration targets. */
     std::vector<ActQuant *> actQuantLayers();
 
+    /** The network's construction spec (precisions + layer specs). */
+    NetworkSpec spec() const;
+
+    /** Collect every layer's serializable state, named
+     * "layers.<i>.<...>" in network order — the checkpoint writer's
+     * and loader's shared view of the model (see StateEntry). */
+    void collectState(StateDict &out);
+
+    /** Every layer's post-restore invariant check (Layer::checkState):
+     * empty when consistent, else the first violation found, prefixed
+     * with the offending layer's index. */
+    std::string checkState() const;
+
     /** Zero all parameter gradients. */
     void zeroGrad();
 
@@ -119,11 +145,14 @@ class Network
      * serve/execution_plan.hh). @p precisions are the candidates the
      * warm-up dry passes size buffers for (must be within the bound
      * set); @p max_input_shape is the largest [N, C, H, W] batch the
-     * plan will serve.
+     * plan will serve. @p warm_all = false defers each candidate's
+     * warm-up to its first real run (lazy compilation — see
+     * ExecutionPlan::compile).
      */
     std::unique_ptr<serve::ExecutionPlan>
     compile(const PrecisionSet &precisions, serve::PlanMode mode,
-            const std::vector<int> &max_input_shape);
+            const std::vector<int> &max_input_shape,
+            bool warm_all = true);
 
     /**
      * Route the inference entry points (predict, forwardQuantized,

@@ -38,6 +38,7 @@ class GlobalAvgPool : public Layer
     /** @} */
 
     std::string describe() const override { return "GlobalAvgPool"; }
+    LayerSpec spec() const override { return {"gap", {}}; }
 
   private:
     std::vector<int> cachedInShape_;
@@ -56,6 +57,7 @@ class AvgPool2x2 : public Layer
      * form; forward wraps it). */
     void inferFloatInto(const Tensor &x, Tensor &out) const;
     std::string describe() const override { return "AvgPool2x2"; }
+    LayerSpec spec() const override { return {"avgpool2x2", {}}; }
 
   private:
     std::vector<int> cachedInShape_;
@@ -71,6 +73,7 @@ class Flatten : public Layer
     Tensor backward(const Tensor &grad_out) override;
     void emitPlanSteps(serve::PlanBuilder &b) override;
     std::string describe() const override { return "Flatten"; }
+    LayerSpec spec() const override { return {"flatten", {}}; }
 
   private:
     std::vector<int> cachedInShape_;

@@ -173,4 +173,41 @@ PreActBlock::describe() const
     return oss.str();
 }
 
+LayerSpec
+PreActBlock::spec() const
+{
+    // The projection shortcut is derived (stride/channel change), so
+    // the constructor arguments fully determine the block.
+    return {"preact",
+            {inChannels_, outChannels_, stride_, bn1_.numBanks()}};
+}
+
+void
+PreActBlock::collectState(const std::string &prefix, StateDict &out)
+{
+    bn1_.collectState(prefix + ".bn1", out);
+    q1_.collectState(prefix + ".q1", out);
+    conv1_.collectState(prefix + ".conv1", out);
+    bn2_.collectState(prefix + ".bn2", out);
+    q2_.collectState(prefix + ".q2", out);
+    conv2_.collectState(prefix + ".conv2", out);
+    if (convSc_)
+        convSc_->collectState(prefix + ".conv_sc", out);
+}
+
+std::string
+PreActBlock::checkState(int required_banks) const
+{
+    for (const Layer *l :
+         {static_cast<const Layer *>(&bn1_),
+          static_cast<const Layer *>(&q1_),
+          static_cast<const Layer *>(&bn2_),
+          static_cast<const Layer *>(&q2_)}) {
+        std::string err = l->checkState(required_banks);
+        if (!err.empty())
+            return err;
+    }
+    return std::string();
+}
+
 } // namespace twoinone

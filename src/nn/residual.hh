@@ -53,6 +53,9 @@ class PreActBlock : public Layer
     void collectActQuant(std::vector<ActQuant *> &out) override;
     void setQuantState(const QuantState &qs) override;
     std::string describe() const override;
+    LayerSpec spec() const override;
+    void collectState(const std::string &prefix, StateDict &out) override;
+    std::string checkState(int required_banks) const override;
 
     bool hasProjection() const { return static_cast<bool>(convSc_); }
 

@@ -14,6 +14,12 @@ RpsEngine::RpsEngine(Network &net) : RpsEngine(net, net.precisionSet())
 }
 
 RpsEngine::RpsEngine(Network &net, PrecisionSet cache_set)
+    : RpsEngine(net, std::move(cache_set), DeferBuild{})
+{
+    refresh();
+}
+
+RpsEngine::RpsEngine(Network &net, PrecisionSet cache_set, DeferBuild)
     : net_(net), cacheSet_(std::move(cache_set)),
       layers_(net.weightQuantizedLayers())
 {
@@ -29,7 +35,6 @@ RpsEngine::RpsEngine(Network &net, PrecisionSet cache_set)
     for (auto &per_layer : cache_)
         per_layer.resize(cacheSet_.size());
     notedVersion_.assign(layers_.size(), 0);
-    refresh();
 }
 
 RpsEngine::~RpsEngine()
@@ -224,6 +229,39 @@ RpsEngine::codesFor(size_t layer, int bits)
     if (cellStale(layer, p))
         rebuildCell(layer, p, /*want_floats=*/false);
     return cache_[layer][p].codes;
+}
+
+const Tensor &
+RpsEngine::steMaskFor(size_t layer, int bits)
+{
+    TWOINONE_ASSERT(layer < cache_.size(), "layer index out of range");
+    TWOINONE_ASSERT(cacheSet_.contains(bits), "precision ", bits,
+                    " not cached");
+    size_t p = static_cast<size_t>(cacheSet_.indexOf(bits));
+    if (cellStale(layer, p))
+        rebuildCell(layer, p, /*want_floats=*/false);
+    return cache_[layer][p].floats.steMask;
+}
+
+void
+RpsEngine::importCell(size_t layer, size_t prec, QuantTensor codes,
+                      Tensor ste_mask)
+{
+    TWOINONE_ASSERT(layer < cache_.size() && prec < cacheSet_.size(),
+                    "cache cell out of range");
+    TWOINONE_ASSERT(codes.bits == cacheSet_.bits()[prec],
+                    "imported cell precision mismatch");
+    TWOINONE_ASSERT(codes.size() == layers_[layer]->masterWeight().size(),
+                    "imported cell size mismatch");
+    CacheEntry &e = cache_[layer][prec];
+    e.codes = std::move(codes);
+    e.floats.steMask = std::move(ste_mask);
+    e.floats.values = Tensor();
+    e.floats.scale = e.codes.scale;
+    e.floats.bits = e.codes.bits;
+    e.floatsReady = false;
+    e.built = true;
+    e.builtVersion = layers_[layer]->masterWeightVersion();
 }
 
 uint64_t

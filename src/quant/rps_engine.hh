@@ -80,6 +80,20 @@ class RpsEngine
      */
     RpsEngine(Network &net, PrecisionSet cache_set);
 
+    /** Tag selecting the deferred-build constructor. */
+    struct DeferBuild
+    {
+    };
+
+    /**
+     * Construct with an *empty* cache: no quantization pass runs.
+     * Cells are expected to arrive through importCell() (checkpoint
+     * warm start); any cell never imported rebuilds lazily on its
+     * first install, so a partial import degrades gracefully to the
+     * ordinary lazy path.
+     */
+    RpsEngine(Network &net, PrecisionSet cache_set, DeferBuild);
+
     ~RpsEngine();
 
     RpsEngine(const RpsEngine &) = delete;
@@ -164,6 +178,22 @@ class RpsEngine
      * (test/simulator access; panics when not cached). Rebuilds the
      * cell first when the master weights moved since it was built. */
     const QuantTensor &codesFor(size_t layer, int bits);
+
+    /** The cached STE mask of layer @p layer at @p bits (checkpoint
+     * writer access; same lazy-rebuild contract as codesFor). */
+    const Tensor &steMaskFor(size_t layer, int bits);
+
+    /**
+     * Install one externally restored cache cell (checkpoint warm
+     * start): the canonical codes plus the STE mask, both quantized
+     * from the layer's *current* master weights by the producer. The
+     * cell is marked built at the layer's current weight version; the
+     * float view stays lazy (materialized on first install, as after
+     * an ordinary build). Shape/precision must match the layer and
+     * the cached set — the checkpoint loader validates before calling.
+     */
+    void importCell(size_t layer, size_t prec, QuantTensor codes,
+                    Tensor ste_mask);
 
     /** Cells re-quantized since construction (lazy-rebuild
      * accounting: a full refresh counts #layers x |set|, an install

@@ -69,10 +69,20 @@ ExecutionPlan::scratch(int id)
     return scratch_[static_cast<size_t>(id)];
 }
 
+const LayerScratch &
+ExecutionPlan::scratchAt(int id) const
+{
+    TWOINONE_ASSERT(id >= 0 &&
+                        static_cast<size_t>(id) < scratch_.size(),
+                    "plan scratch id out of range");
+    return scratch_[static_cast<size_t>(id)];
+}
+
 std::unique_ptr<ExecutionPlan>
 ExecutionPlan::compile(Network &net, const PrecisionSet &precisions,
                        PlanMode mode,
-                       const std::vector<int> &max_input_shape)
+                       const std::vector<int> &max_input_shape,
+                       bool warm_all)
 {
     TWOINONE_ASSERT(net.numLayers() > 0, "compiling an empty network");
     TWOINONE_ASSERT(!max_input_shape.empty() && max_input_shape[0] > 0,
@@ -116,13 +126,18 @@ ExecutionPlan::compile(Network &net, const PrecisionSet &precisions,
     // sizes each arena buffer to its high-water mark, so real
     // forwards allocate nothing. The dry input is all zeros (buffer
     // shapes are data-independent); the active precision is restored.
+    // Lazy mode (!warm_all) keeps only the full-precision structural
+    // pass — candidates size their buffers on first serve instead,
+    // trading first-run allocations for cold-start latency.
     int restore = net.activePrecision();
     Tensor dummy(max_input_shape);
     net.setPrecision(0);
     plan->run(dummy);
-    for (int bits : precisions.bits()) {
-        net.setPrecision(bits);
-        plan->run(dummy);
+    if (warm_all) {
+        for (int bits : precisions.bits()) {
+            net.setPrecision(bits);
+            plan->run(dummy);
+        }
     }
     net.setPrecision(restore);
     plan->outShape_ = plan->value(plan->outputId_).denseView().shape();
@@ -155,6 +170,27 @@ ExecutionPlan::run(const Tensor &x)
     input_ = &x;
     execute();
     return values_[static_cast<size_t>(outputId_)].denseView();
+}
+
+const Tensor &
+ExecutionPlan::runStaged(const float *const *rows, int nrows,
+                         size_t row_elems)
+{
+    TWOINONE_ASSERT(nrows > 0 && nrows <= maxShape_[0],
+                    "staged batch ", nrows, " exceeds compiled max ",
+                    maxShape_[0]);
+    size_t expect = 1;
+    for (size_t i = 1; i < maxShape_.size(); ++i)
+        expect *= static_cast<size_t>(maxShape_[i]);
+    TWOINONE_ASSERT(row_elems == expect,
+                    "staged row size mismatches the compiled shape");
+    std::vector<int> shape = maxShape_;
+    shape[0] = nrows;
+    stage_.ensure(shape);
+    for (int t = 0; t < nrows; ++t)
+        std::copy(rows[t], rows[t] + row_elems,
+                  stage_.data() + static_cast<size_t>(t) * row_elems);
+    return run(stage_);
 }
 
 const Tensor &

@@ -158,14 +158,21 @@ class ExecutionPlan
 
     /**
      * Compile @p net for @p mode with buffers sized for
-     * @p max_input_shape ([N, C, H, W] of the largest batch). Runs
-     * one warm-up dry pass per candidate in @p precisions (plus full
-     * precision) so every arena buffer reaches its high-water size;
-     * the network's active precision is restored on return.
+     * @p max_input_shape ([N, C, H, W] of the largest batch). With
+     * @p warm_all (the default), runs one warm-up dry pass per
+     * candidate in @p precisions (plus full precision) so every arena
+     * buffer reaches its high-water size before the first real
+     * forward; with it off, only the full-precision structural pass
+     * runs (shape discovery) and each candidate's buffers grow on its
+     * first real run instead — the lazy-compilation mode that cuts
+     * cold-start latency for large candidate sets (the zero-allocation
+     * steady state is reached per precision after its first serve).
+     * The network's active precision is restored on return.
      */
     static std::unique_ptr<ExecutionPlan>
     compile(Network &net, const PrecisionSet &precisions, PlanMode mode,
-            const std::vector<int> &max_input_shape);
+            const std::vector<int> &max_input_shape,
+            bool warm_all = true);
 
     /**
      * Execute the plan on @p x (x.dim(0) <= maxBatch(), trailing dims
@@ -176,8 +183,17 @@ class ExecutionPlan
     const Tensor &run(const Tensor &x);
 
     /** Execute on rows [row_lo, row_hi) of @p batch (staged into the
-     * arena) — the serving runtime's micro-batch entry point. */
+     * arena) — the micro-batch entry point over one packed tensor. */
     const Tensor &runRows(const Tensor &batch, int row_lo, int row_hi);
+
+    /**
+     * Execute on @p nrows rows gathered straight from caller-owned
+     * row pointers (each @p row_elems floats) — the serving runtime's
+     * zero-intermediate entry point: request tensors stage directly
+     * into the plan arena with no packed batch buffer in between.
+     */
+    const Tensor &runStaged(const float *const *rows, int nrows,
+                            size_t row_elems);
 
     PlanMode mode() const { return mode_; }
     int maxBatch() const { return maxShape_[0]; }
@@ -206,6 +222,12 @@ class ExecutionPlan
     /** @{ */
     Value &value(int id);
     LayerScratch &scratch(int id);
+    /** @} */
+
+    /** @name Arena introspection (tests/diagnostics) */
+    /** @{ */
+    size_t numScratch() const { return scratch_.size(); }
+    const LayerScratch &scratchAt(int id) const;
     /** @} */
 
   private:

@@ -54,7 +54,8 @@ ServingRuntime::ServingRuntime(Network &net, RpsEngine &engine,
         std::vector<int> plan_shape = rowShape_;
         plan_shape[0] = cfg_.microBatch;
         plans_.push_back(net_.compile(engine_.set(), cfg_.mode,
-                                      plan_shape));
+                                      plan_shape,
+                                      !cfg_.lazyPlanWarmup));
         if (i == 0 && plans_[0]->hasFallbackSteps()) {
             // A fallback step runs the stateful legacy layer forward;
             // replicas of such a plan must not execute concurrently
@@ -93,18 +94,34 @@ ServingRuntime::serveBatch(size_t first, size_t last, int rows)
     trace_.push_back(bits);
     engine_.setPrecision(bits);
 
-    // Pack the requests' rows into the batch buffer.
-    std::vector<int> bshape = rowShape_;
-    bshape[0] = rows;
-    batchBuf_.ensure(bshape);
-    size_t stride = batchBuf_.size() / static_cast<size_t>(rows);
+    // Per-row staging/scatter tables pointing straight at the request
+    // tensors: shards gather their input rows from these pointers
+    // into the plan arena, and scatter their logit rows directly into
+    // the pre-sized request results — one copy per side, with no
+    // packed batch or logit buffer in between.
+    size_t row_elems = 1;
+    for (size_t i = 1; i < rowShape_.size(); ++i)
+        row_elems *= static_cast<size_t>(rowShape_[i]);
+    const std::vector<int> &oshape = plans_[0]->outputShape();
+    size_t out_cols = 1;
+    for (size_t i = 1; i < oshape.size(); ++i)
+        out_cols *= static_cast<size_t>(oshape[i]);
+
+    rowSrc_.resize(static_cast<size_t>(rows));
+    rowDst_.resize(static_cast<size_t>(rows));
     {
         size_t row = 0;
         for (size_t r = first; r < last; ++r) {
-            const Tensor &x = requests_[r].x;
-            std::copy(x.data(), x.data() + x.size(),
-                      batchBuf_.data() + row * stride);
-            row += static_cast<size_t>(x.dim(0));
+            Request &req = requests_[r];
+            int n = req.x.dim(0);
+            req.y.ensure({n, static_cast<int>(out_cols)});
+            for (int i = 0; i < n; ++i) {
+                rowSrc_[row] = req.x.data() +
+                               static_cast<size_t>(i) * row_elems;
+                rowDst_[row] = req.y.data() +
+                               static_cast<size_t>(i) * out_cols;
+                ++row;
+            }
         }
     }
 
@@ -116,12 +133,6 @@ ServingRuntime::serveBatch(size_t first, size_t last, int rows)
     int mb = cfg_.microBatch;
     int nshards = (rows + mb - 1) / mb;
     int ngroups = std::min(nshards, numReplicas());
-    const std::vector<int> &oshape = plans_[0]->outputShape();
-    size_t out_cols = 1;
-    for (size_t i = 1; i < oshape.size(); ++i)
-        out_cols *= static_cast<size_t>(oshape[i]);
-    std::vector<int> out_shape = {rows, static_cast<int>(out_cols)};
-    outBuf_.ensure(out_shape);
 
     std::atomic<int> plan_cursor{0};
     ThreadPool::global().parallelFor(
@@ -135,34 +146,30 @@ ServingRuntime::serveBatch(size_t first, size_t last, int rows)
                      s += ngroups) {
                     int row_lo = s * mb;
                     int row_hi = std::min(rows, row_lo + mb);
-                    const Tensor &logits =
-                        plan.runRows(batchBuf_, row_lo, row_hi);
-                    std::copy(logits.data(),
-                              logits.data() + logits.size(),
-                              outBuf_.data() +
-                                  static_cast<size_t>(row_lo) *
-                                      out_cols);
+                    const Tensor &logits = plan.runStaged(
+                        &rowSrc_[static_cast<size_t>(row_lo)],
+                        row_hi - row_lo, row_elems);
+                    for (int t = 0; t < row_hi - row_lo; ++t) {
+                        const float *src =
+                            logits.data() +
+                            static_cast<size_t>(t) * out_cols;
+                        std::copy(
+                            src, src + out_cols,
+                            rowDst_[static_cast<size_t>(row_lo + t)]);
+                    }
                 }
             }
         });
 
-    // Scatter logits back to the requests and stamp latencies.
+    // Stamp latencies and serving stats.
     Clock::time_point done = Clock::now();
-    size_t row = 0;
     for (size_t r = first; r < last; ++r) {
         Request &req = requests_[r];
-        int n = req.x.dim(0);
-        req.y.ensure({n, static_cast<int>(out_cols)});
-        std::copy(outBuf_.data() + row * out_cols,
-                  outBuf_.data() + (row + static_cast<size_t>(n)) *
-                                       out_cols,
-                  req.y.data());
         req.latencyUs = microseconds(req.enqueued, done);
         req.done = true;
         latenciesUs_.push_back(req.latencyUs);
-        row += static_cast<size_t>(n);
         ++servedRequests_;
-        servedRows_ += static_cast<uint64_t>(n);
+        servedRows_ += static_cast<uint64_t>(req.x.dim(0));
     }
     ++servedBatches_;
 }

@@ -54,6 +54,13 @@ struct ServeConfig
      * positive value is safe — fewer replicas just cap the shard
      * parallelism. */
     int replicas = 0;
+    /** Compile plans lazily: skip the per-candidate warm-up dry
+     * passes at construction, letting each candidate size its arena
+     * buffers on its first served batch instead. Cuts cold-start
+     * latency roughly by the candidate-set size (reported as
+     * session_cold_start by microbench_rps); served outputs are
+     * bit-identical either way. */
+    bool lazyPlanWarmup = false;
 };
 
 /** Aggregate serving statistics since the last reset. */
@@ -135,8 +142,12 @@ class ServingRuntime
     std::vector<Request> requests_;
     size_t nextToServe_ = 0;
 
-    Tensor batchBuf_; ///< packed serving batch
-    Tensor outBuf_;   ///< packed logits
+    /** Per-row staging/scatter pointer tables: shards stage straight
+     * from the request tensors and logits scatter straight back into
+     * the request results — no packed batch or logit buffer between
+     * (one copy per side instead of two). */
+    std::vector<const float *> rowSrc_;
+    std::vector<float *> rowDst_;
     std::vector<int> trace_;
 
     // Stats.

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Session implementation.
+ */
+
+#include "serve/session.hh"
+
+#include <new>
+
+#include "io/checkpoint.hh"
+#include "quant/calibration.hh"
+
+namespace twoinone {
+
+namespace {
+
+/** The engine cache set a session config asks for: the explicit
+ * subset when given, else the network's full bound set. */
+PrecisionSet
+engineSet(const SessionConfig &cfg, const Network &net)
+{
+    return cfg.cacheSet.empty() ? net.precisionSet() : cfg.cacheSet;
+}
+
+} // namespace
+
+Session::Session(std::unique_ptr<Network> owned, Network *net,
+                 SessionConfig cfg, std::unique_ptr<RpsEngine> engine)
+    : cfg_(std::move(cfg)), owned_(std::move(owned)), net_(net),
+      engine_(std::move(engine))
+{
+    TWOINONE_ASSERT(net_ != nullptr, "session needs a network");
+    TWOINONE_ASSERT(!net_->precisionSet().empty(),
+                    "session needs an RPS-capable network "
+                    "(non-empty precision set)");
+    if (!engine_)
+        engine_ = std::make_unique<RpsEngine>(*net_,
+                                              engineSet(cfg_, *net_));
+    if (owned_ == nullptr) {
+        restorePlanState_ = true;
+        prevPlanExec_ = net_->planExecutionEnabled();
+        prevPlanShape_ = net_->planMaxShape();
+    }
+}
+
+Session::~Session()
+{
+    if (net_ != nullptr && restorePlanState_) {
+        // Engine caches detach through engine_'s destructor; routing
+        // goes back to whatever the owner had configured.
+        if (prevPlanExec_)
+            net_->enablePlanExecution(prevPlanShape_);
+        else
+            net_->disablePlanExecution();
+    }
+}
+
+Session::Session(Session &&other) noexcept
+    : cfg_(std::move(other.cfg_)), owned_(std::move(other.owned_)),
+      net_(other.net_), engine_(std::move(other.engine_)),
+      runtime_(std::move(other.runtime_)),
+      restorePlanState_(other.restorePlanState_),
+      prevPlanExec_(other.prevPlanExec_),
+      prevPlanShape_(std::move(other.prevPlanShape_))
+{
+    // The moved-from session must not restore the attached network's
+    // routing when it dies — that duty moved here.
+    other.net_ = nullptr;
+    other.restorePlanState_ = false;
+}
+
+Session &
+Session::operator=(Session &&other) noexcept
+{
+    if (this != &other) {
+        this->~Session();
+        new (this) Session(std::move(other));
+    }
+    return *this;
+}
+
+Session
+Session::fromCheckpoint(const std::string &path, SessionConfig cfg)
+{
+    checkpoint::Checkpoint ckpt = checkpoint::Checkpoint::read(path);
+    // Sessions require an RPS-capable model; the constructor treats a
+    // precision-less network as a caller bug (panic), but here the
+    // network comes from the artifact — recoverable input.
+    if (ckpt.spec().precisions.empty())
+        throw io::CheckpointError(
+            path + " holds a model with no candidate precision set — "
+                   "not servable through a Session");
+    auto net = std::make_unique<Network>(ckpt.instantiate());
+    std::unique_ptr<RpsEngine> engine;
+    // A serialized code cache warm-starts the engine — unless the
+    // caller asked for a different candidate subset, which the
+    // artifact's full-set cache does not represent. The checkpoint is
+    // local and dies here, so the cells move instead of copying.
+    if (cfg.restoreEngineCache && cfg.cacheSet.empty())
+        engine = std::move(ckpt).restoreEngine(*net);
+    Network *raw = net.get();
+    return Session(std::move(net), raw, std::move(cfg),
+                   std::move(engine));
+}
+
+Session
+Session::fromNetwork(Network net, SessionConfig cfg)
+{
+    auto owned = std::make_unique<Network>(std::move(net));
+    Network *raw = owned.get();
+    return Session(std::move(owned), raw, std::move(cfg), nullptr);
+}
+
+Session
+Session::attach(Network &net, SessionConfig cfg)
+{
+    return Session(nullptr, &net, std::move(cfg), nullptr);
+}
+
+void
+Session::switchPrecision(int bits)
+{
+    engine_->setPrecision(bits);
+}
+
+int
+Session::switchRandom(Rng &rng)
+{
+    int bits = engine_->samplePrecision(rng);
+    switchPrecision(bits);
+    return bits;
+}
+
+int
+Session::activePrecision() const
+{
+    return engine_->activePrecision();
+}
+
+void
+Session::ensurePlans(const Tensor &x)
+{
+    if (!cfg_.planExecution || net_->planExecutionEnabled())
+        return;
+    net_->enablePlanExecution(x.shape());
+}
+
+Tensor
+Session::forward(const Tensor &x)
+{
+    ensurePlans(x);
+    return net_->forward(x, /*train=*/false);
+}
+
+Tensor
+Session::forwardQuantized(const Tensor &x)
+{
+    ensurePlans(x);
+    return net_->forwardQuantized(x);
+}
+
+std::vector<int>
+Session::predict(const Tensor &x)
+{
+    ensurePlans(x);
+    return net_->predict(x);
+}
+
+std::vector<int>
+Session::predictQuantized(const Tensor &x)
+{
+    ensurePlans(x);
+    return net_->predictQuantized(x);
+}
+
+serve::ServingRuntime &
+Session::runtime(const Tensor *first)
+{
+    if (!runtime_) {
+        std::vector<int> shape = cfg_.inputShape;
+        if (shape.empty()) {
+            TWOINONE_ASSERT(first != nullptr && first->ndim() > 1,
+                            "session needs a request image shape "
+                            "(SessionConfig::inputShape or a first "
+                            "submitted batch)");
+            for (int i = 1; i < first->ndim(); ++i)
+                shape.push_back(first->dim(i));
+        }
+        runtime_ = std::make_unique<serve::ServingRuntime>(
+            *net_, *engine_, shape, cfg_.serving);
+    }
+    return *runtime_;
+}
+
+size_t
+Session::submit(Tensor x)
+{
+    return runtime(&x).submit(std::move(x));
+}
+
+void
+Session::drain()
+{
+    TWOINONE_ASSERT(runtime_ != nullptr,
+                    "drain() before any submit()");
+    runtime_->drain();
+}
+
+const Tensor &
+Session::result(size_t id) const
+{
+    TWOINONE_ASSERT(runtime_ != nullptr,
+                    "result() before any submit()");
+    return runtime_->result(id);
+}
+
+void
+Session::clearServed()
+{
+    if (runtime_)
+        runtime_->clearServed();
+}
+
+std::vector<Tensor>
+Session::serve(const std::vector<Tensor> &requests)
+{
+    if (requests.empty())
+        return {}; // nothing submitted — there may be no runtime yet
+    std::vector<size_t> ids;
+    ids.reserve(requests.size());
+    for (const Tensor &x : requests)
+        ids.push_back(submit(x));
+    drain();
+    std::vector<Tensor> out;
+    out.reserve(ids.size());
+    for (size_t id : ids)
+        out.push_back(runtime_->result(id));
+    runtime_->clearServed();
+    return out;
+}
+
+const std::vector<int> &
+Session::precisionTrace() const
+{
+    static const std::vector<int> empty;
+    return runtime_ ? runtime_->precisionTrace() : empty;
+}
+
+serve::ServeStats
+Session::stats() const
+{
+    return runtime_ ? runtime_->stats() : serve::ServeStats();
+}
+
+void
+Session::calibrate(const std::vector<Tensor> &batches)
+{
+    Calibrator cal(*net_);
+    cal.calibrate(batches);
+}
+
+void
+Session::save(const std::string &path, bool include_engine_cache)
+{
+    checkpoint::SaveOptions opts;
+    opts.includeEngineCache = include_engine_cache;
+    checkpoint::save(path, *net_, engine_.get(), opts);
+}
+
+} // namespace twoinone

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * twoinone::Session — the user-facing deployment facade.
+ *
+ * Before sessions, standing a trained RPS model up for serving took a
+ * five-step caller ritual: construct the model, attach an RpsEngine,
+ * run the Calibrator, compile plans / enablePlanExecution, wrap the
+ * lot in a ServingRuntime. A Session is that wiring behind one
+ * object:
+ *
+ *   auto s = Session::fromCheckpoint("model.ckpt");
+ *   s.serve(requests);            // batched RPS serving
+ *   s.predict(x);                 // plan-routed predictions
+ *   s.switchPrecision(8);         // explicit precision control
+ *   s.stats(); s.precisionTrace();
+ *
+ * Construction paths:
+ *  - fromCheckpoint(path): rebuild the network from its persisted
+ *    spec + state; when the artifact carries a serialized weight-code
+ *    cache, the engine warm-starts from it — zero quantization passes
+ *    before the first served batch.
+ *  - fromNetwork(net): take ownership of an in-process model (e.g.
+ *    fresh out of the Trainer) and wire the same stack.
+ *  - attach(net): non-owning variant for callers that keep driving
+ *    the network directly (the evaluation harness); the network's
+ *    plan-execution routing is restored when the session dies.
+ *
+ * The underlying pieces stay reachable (network()/engine()) — the
+ * facade narrows the default path, it does not wall off the internals.
+ */
+
+#ifndef TWOINONE_SERVE_SESSION_HH
+#define TWOINONE_SERVE_SESSION_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/network.hh"
+#include "quant/rps_engine.hh"
+#include "serve/runtime.hh"
+
+namespace twoinone {
+
+/**
+ * Session construction options.
+ */
+struct SessionConfig
+{
+    /** Serving-loop configuration (batch geometry, datapath mode,
+     * sampling seed, replicas). lazyPlanWarmup defaults on for
+     * sessions: cold start pays one structural pass instead of one
+     * dry pass per candidate. */
+    serve::ServeConfig serving = defaultServing();
+
+    /** Per-request image shape [C, H, W...]; empty = derived from the
+     * first submitted request. */
+    std::vector<int> inputShape;
+
+    /** Engine cache candidates; empty = the network's full bound
+     * set. A non-empty set overrides a serialized code cache (the
+     * cache is built fresh for the requested subset). */
+    PrecisionSet cacheSet;
+
+    /** Route predict()/forwardQuantized() through internally compiled
+     * plans (bit-identical to the legacy loops). */
+    bool planExecution = true;
+
+    /** Warm-start the engine from a serialized code cache when the
+     * checkpoint carries one. */
+    bool restoreEngineCache = true;
+
+    static serve::ServeConfig
+    defaultServing()
+    {
+        serve::ServeConfig c;
+        c.lazyPlanWarmup = true;
+        return c;
+    }
+};
+
+/**
+ * A deployed RPS model: network + precision-switch engine + batched
+ * serving runtime behind one facade. Movable, non-copyable.
+ */
+class Session
+{
+  public:
+    /** Load a model artifact and wire the serving stack around it
+     * (throws io::CheckpointError on a malformed artifact). */
+    static Session fromCheckpoint(const std::string &path,
+                                  SessionConfig cfg = SessionConfig());
+
+    /** Take ownership of @p net and wire the serving stack. */
+    static Session fromNetwork(Network net,
+                               SessionConfig cfg = SessionConfig());
+
+    /** Wire the serving stack around a caller-owned network. The
+     * network's plan-execution routing is restored on session
+     * destruction; its active precision is left wherever the last
+     * switch put it. */
+    static Session attach(Network &net,
+                          SessionConfig cfg = SessionConfig());
+
+    ~Session();
+    Session(Session &&) noexcept;
+    Session &operator=(Session &&) noexcept;
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    /** @name Precision control */
+    /** @{ */
+    /** Switch the active precision through the engine cache
+     * (O(#layers)); 0 = full precision. */
+    void switchPrecision(int bits);
+    /** Sample a candidate uniformly, switch to it, return it. */
+    int switchRandom(Rng &rng);
+    int activePrecision() const;
+    /** The engine's candidate set. */
+    const PrecisionSet &candidates() const { return engine_->set(); }
+    /** @} */
+
+    /** @name Direct inference (active precision, plan-routed) */
+    /** @{ */
+    /** Logits on the float fake-quant datapath. */
+    Tensor forward(const Tensor &x);
+    /** Logits on the integer-code datapath. */
+    Tensor forwardQuantized(const Tensor &x);
+    std::vector<int> predict(const Tensor &x);
+    std::vector<int> predictQuantized(const Tensor &x);
+    /** @} */
+
+    /** @name Batched RPS serving */
+    /** @{ */
+    /** Serve a burst of requests: submit all, drain, return each
+     * request's logits in order. One random precision per serving
+     * batch, drawn from the engine's candidate set. */
+    std::vector<Tensor> serve(const std::vector<Tensor> &requests);
+    /** Streaming variants (see serve::ServingRuntime). */
+    size_t submit(Tensor x);
+    void drain();
+    const Tensor &result(size_t id) const;
+    void clearServed();
+    /** Precisions sampled so far, one per served batch (empty before
+     * the first drain). */
+    const std::vector<int> &precisionTrace() const;
+    serve::ServeStats stats() const;
+    /** @} */
+
+    /** @name Calibration & persistence */
+    /** @{ */
+    /** Record activation ranges over @p batches and flip the model to
+     * static-scale quantization (persisted by save()). */
+    void calibrate(const std::vector<Tensor> &batches);
+    /** Write the model artifact: arch spec, weights, BN banks,
+     * calibration banks, and (by default) the engine code cache. */
+    void save(const std::string &path,
+              bool include_engine_cache = true);
+    /** @} */
+
+    /** @name Escape hatches */
+    /** @{ */
+    Network &network() { return *net_; }
+    RpsEngine &engine() { return *engine_; }
+    /** Whether the serving runtime has been instantiated (it builds
+     * lazily on first serve). */
+    bool servingStarted() const { return runtime_ != nullptr; }
+    /** @} */
+
+  private:
+    Session(std::unique_ptr<Network> owned, Network *net,
+            SessionConfig cfg, std::unique_ptr<RpsEngine> engine);
+
+    /** The serving runtime, built on first use (derives the request
+     * shape from @p first when the config left it empty). */
+    serve::ServingRuntime &runtime(const Tensor *first);
+
+    /** Route the network's entry points through plans sized for
+     * @p x (first call only; later shapes fall back gracefully). */
+    void ensurePlans(const Tensor &x);
+
+    SessionConfig cfg_;
+    std::unique_ptr<Network> owned_; ///< null for attach()
+    Network *net_ = nullptr;
+    std::unique_ptr<RpsEngine> engine_;
+    std::unique_ptr<serve::ServingRuntime> runtime_;
+
+    /** attach(): the network's plan-routing state to restore. */
+    bool restorePlanState_ = false;
+    bool prevPlanExec_ = false;
+    std::vector<int> prevPlanShape_;
+};
+
+} // namespace twoinone
+
+#endif // TWOINONE_SERVE_SESSION_HH

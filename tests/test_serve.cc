@@ -243,6 +243,45 @@ TEST(ExecutionPlan, EntryPointsRouteThroughPlans)
     EXPECT_EQ(net.predict(big), pred_big);
 }
 
+/** im2col gather tables are geometry-pure and come from a shared
+ * registry: plan replicas of the same geometry hold pointers to the
+ * SAME table instead of private copies (PR 4 follow-up — shrinks the
+ * per-worker serving arena). */
+TEST(ExecutionPlan, GatherTablesSharedAcrossReplicas)
+{
+    Network net = makeResidualNet(52);
+    Tensor x = makeInput(15);
+    RpsEngine engine(net);
+    std::unique_ptr<serve::ExecutionPlan> a = net.compile(
+        net.precisionSet(), serve::PlanMode::Quantized, x.shape());
+    std::unique_ptr<serve::ExecutionPlan> b = net.compile(
+        net.precisionSet(), serve::PlanMode::Quantized, x.shape());
+
+    // Run both replicas at a quantized precision so every conv step
+    // has touched its gather table.
+    engine.setPrecision(8);
+    a->run(x);
+    b->run(x);
+
+    auto tables = [](const serve::ExecutionPlan &p) {
+        std::vector<const void *> out;
+        for (size_t i = 0; i < p.numScratch(); ++i) {
+            const IntGemmScratch &ig =
+                p.scratchAt(static_cast<int>(i)).ig;
+            if (ig.gather)
+                out.push_back(ig.gather.get());
+        }
+        return out;
+    };
+    std::vector<const void *> ta = tables(*a);
+    std::vector<const void *> tb = tables(*b);
+    ASSERT_FALSE(ta.empty()) << "no conv step built a gather table";
+    ASSERT_EQ(ta.size(), tb.size());
+    // Same geometry, same scratch order: replica B's conv steps must
+    // point at replica A's tables, not private copies.
+    EXPECT_EQ(ta, tb);
+}
+
 /** Precision sampling in the serving runtime is a pure function of
  * the seed, and the served logits are bit-identical run to run. */
 TEST(ServingRuntime, DeterministicPrecisionSampling)
