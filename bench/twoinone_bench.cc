@@ -1,0 +1,295 @@
+/**
+ * @file
+ * twoinone-bench: the scenario-harness driver.
+ *
+ * Runs declared JSON scenario specs against the serving stack and
+ * manages their committed baselines:
+ *
+ *   twoinone-bench run <scenario.json> [--out DIR] [--check-determinism]
+ *   twoinone-bench validate <scenario.json>
+ *   twoinone-bench baseline capture <scenario.json> [--out DIR] [--baseline FILE]
+ *   twoinone-bench baseline compare <scenario.json> [--out DIR] [--baseline FILE]
+ *
+ * Exit codes are a stable contract (CI keys off them):
+ *   0  run / validate / compare passed
+ *   1  internal error (harness bug or unexpected I/O failure)
+ *   2  scenario spec invalid (message names the JSON path)
+ *   3  baseline compare failed (every violated rule printed)
+ *   4  an injected fault was not recovered
+ *   5  determinism violation (same-seed rerun diverged)
+ *
+ * --check-determinism runs the scenario twice (second bundle under
+ * <out>/recheck/) and compares the events and precision-trace
+ * digests — the byte-identical-rerun contract, checked on one
+ * machine so float differences across hosts cannot alias into it.
+ *
+ * The default baseline path is scenarios/baselines/<name>.json,
+ * matching the committed layout.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "harness/baseline.hh"
+#include "harness/runner.hh"
+#include "harness/scenario.hh"
+#include "io/serialize.hh"
+
+namespace {
+
+using namespace twoinone;
+using namespace twoinone::harness;
+
+constexpr int kExitOk = 0;
+constexpr int kExitInternal = 1;
+constexpr int kExitSpecInvalid = 2;
+constexpr int kExitCompareFailed = 3;
+constexpr int kExitFaultUnrecovered = 4;
+constexpr int kExitNondeterministic = 5;
+
+void
+usage()
+{
+    std::cerr
+        << "usage:\n"
+        << "  twoinone-bench run <scenario.json> [--out DIR]"
+           " [--check-determinism]\n"
+        << "  twoinone-bench validate <scenario.json>\n"
+        << "  twoinone-bench baseline capture <scenario.json>"
+           " [--out DIR] [--baseline FILE]\n"
+        << "  twoinone-bench baseline compare <scenario.json>"
+           " [--out DIR] [--baseline FILE]\n";
+}
+
+struct Options
+{
+    std::string command;    ///< run | validate | capture | compare
+    std::string scenario;   ///< scenario spec path
+    std::string out = "harness-out";
+    std::string baseline;   ///< empty = scenarios/baselines/<name>.json
+    bool checkDeterminism = false;
+};
+
+bool
+parseArgs(int argc, char **argv, Options &opts)
+{
+    int i = 1;
+    if (i >= argc)
+        return false;
+    opts.command = argv[i++];
+    if (opts.command == "baseline") {
+        if (i >= argc)
+            return false;
+        opts.command = argv[i++];
+        if (opts.command != "capture" && opts.command != "compare")
+            return false;
+    } else if (opts.command != "run" && opts.command != "validate") {
+        return false;
+    }
+    if (i >= argc)
+        return false;
+    opts.scenario = argv[i++];
+    for (; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--out" && i + 1 < argc) {
+            opts.out = argv[++i];
+        } else if (arg == "--baseline" && i + 1 < argc) {
+            opts.baseline = argv[++i];
+        } else if (arg == "--check-determinism") {
+            opts.checkDeterminism = true;
+        } else {
+            std::cerr << "unknown argument: " << arg << "\n";
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string
+metricString(const Json &metrics, const std::string &outer,
+             const std::string &inner)
+{
+    const Json *o = metrics.find(outer);
+    if (o == nullptr || !o->isObject())
+        return "";
+    const Json *v = o->find(inner);
+    return v != nullptr && v->isString() ? v->asString() : "";
+}
+
+void
+printSummary(const RunResult &res)
+{
+    const Json *counts = res.metrics.find("counts");
+    std::cout << "bundle: " << res.bundleDir << "\n";
+    if (counts != nullptr && counts->isObject()) {
+        for (const auto &kv : counts->members())
+            std::cout << "  counts." << kv.first << " = "
+                      << kv.second.dump() << "\n";
+    }
+    std::cout << "  digests.events = "
+              << metricString(res.metrics, "digests", "events") << "\n"
+              << "  digests.precision_trace = "
+              << metricString(res.metrics, "digests",
+                              "precision_trace")
+              << "\n";
+}
+
+/** Run + fault-recovery gate; returns the exit code and the result. */
+int
+runScenario(const ScenarioSpec &spec, const std::string &out,
+            RunResult &res)
+{
+    ScenarioRunner runner(spec, out);
+    res = runner.run();
+    if (!res.faultsRecovered) {
+        std::cerr << "FAULT UNRECOVERED: an injected fault was not "
+                     "survived (see "
+                  << res.bundleDir << "/events.jsonl)\n";
+        return kExitFaultUnrecovered;
+    }
+    return kExitOk;
+}
+
+int
+cmdRun(const Options &opts, const ScenarioSpec &spec)
+{
+    RunResult res;
+    int rc = runScenario(spec, opts.out, res);
+    printSummary(res);
+    if (rc != kExitOk)
+        return rc;
+
+    if (opts.checkDeterminism) {
+        RunResult rerun;
+        rc = runScenario(spec, opts.out + "/recheck", rerun);
+        if (rc != kExitOk)
+            return rc;
+        std::string e1 = metricString(res.metrics, "digests", "events");
+        std::string e2 =
+            metricString(rerun.metrics, "digests", "events");
+        std::string t1 =
+            metricString(res.metrics, "digests", "precision_trace");
+        std::string t2 =
+            metricString(rerun.metrics, "digests", "precision_trace");
+        if (e1 != e2 || t1 != t2) {
+            std::cerr << "DETERMINISM VIOLATION: same-seed rerun "
+                         "diverged (events "
+                      << e1 << " vs " << e2 << ", trace " << t1
+                      << " vs " << t2 << ")\n";
+            return kExitNondeterministic;
+        }
+        std::cout << "determinism check passed: rerun digests match\n";
+    }
+    std::cout << "scenario '" << spec.name << "' passed\n";
+    return kExitOk;
+}
+
+std::string
+baselinePath(const Options &opts, const ScenarioSpec &spec)
+{
+    return opts.baseline.empty()
+               ? "scenarios/baselines/" + spec.name + ".json"
+               : opts.baseline;
+}
+
+int
+cmdCapture(const Options &opts, const ScenarioSpec &spec)
+{
+    RunResult res;
+    int rc = runScenario(spec, opts.out, res);
+    printSummary(res);
+    if (rc != kExitOk)
+        return rc;
+    std::string path = baselinePath(opts, spec);
+    size_t slash = path.rfind('/');
+    if (slash != std::string::npos)
+        ensureDir(path.substr(0, slash));
+    writeTextFile(path, res.metrics.dump(2) + "\n");
+    std::cout << "baseline captured: " << path << "\n";
+    return kExitOk;
+}
+
+int
+cmdCompare(const Options &opts, const ScenarioSpec &spec)
+{
+    std::string path = baselinePath(opts, spec);
+    Json baseline;
+    try {
+        std::vector<uint8_t> bytes = io::readFile(path);
+        baseline = Json::parse(std::string(bytes.begin(), bytes.end()));
+    } catch (const std::exception &e) {
+        std::cerr << "cannot load baseline " << path << ": "
+                  << e.what() << "\n";
+        return kExitInternal;
+    }
+
+    RunResult res;
+    int rc = runScenario(spec, opts.out, res);
+    printSummary(res);
+    if (rc != kExitOk)
+        return rc;
+
+    CompareResult cmp =
+        compareBaseline(baseline, res.metrics, spec.compare);
+    if (!cmp.ok) {
+        std::cerr << "BASELINE COMPARE FAILED against " << path
+                  << " (" << cmp.failures.size() << " rule"
+                  << (cmp.failures.size() == 1 ? "" : "s")
+                  << " violated):\n";
+        for (const auto &f : cmp.failures)
+            std::cerr << "  " << f.message << "\n";
+        return kExitCompareFailed;
+    }
+    std::cout << "baseline compare passed against " << path << "\n";
+    return kExitOk;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    if (!parseArgs(argc, argv, opts)) {
+        usage();
+        return kExitInternal;
+    }
+
+    ScenarioSpec spec;
+    try {
+        spec = loadScenario(opts.scenario);
+    } catch (const SpecError &e) {
+        std::cerr << "invalid scenario " << opts.scenario << ": "
+                  << e.what() << "\n";
+        return kExitSpecInvalid;
+    } catch (const JsonError &e) {
+        std::cerr << "invalid scenario " << opts.scenario << ": "
+                  << e.what() << "\n";
+        return kExitSpecInvalid;
+    } catch (const std::exception &e) {
+        std::cerr << "cannot load scenario " << opts.scenario << ": "
+                  << e.what() << "\n";
+        return kExitInternal;
+    }
+
+    if (opts.command == "validate") {
+        std::cout << "scenario '" << spec.name << "' is valid ("
+                  << spec.phases.size() << " phase"
+                  << (spec.phases.size() == 1 ? "" : "s") << ", "
+                  << spec.faults.size() << " fault"
+                  << (spec.faults.size() == 1 ? "" : "s") << ")\n";
+        return kExitOk;
+    }
+
+    try {
+        if (opts.command == "run")
+            return cmdRun(opts, spec);
+        if (opts.command == "capture")
+            return cmdCapture(opts, spec);
+        return cmdCompare(opts, spec);
+    } catch (const std::exception &e) {
+        std::cerr << "internal error: " << e.what() << "\n";
+        return kExitInternal;
+    }
+}

@@ -9,6 +9,12 @@ Every watched key is higher-is-better (speedups and throughputs);
 latencies are watched through their speedup ratios, which are far more
 stable across machines than raw nanoseconds.
 
+A key missing on either side is reported with the exact path segment
+that failed to resolve and the keys that *are* present at that node,
+plus which side (current run vs committed baseline) is at fault and
+what to do about it — never a KeyError stack trace. Unreadable or
+malformed input files exit 2 with the filename and parse position.
+
 Usage:
   check_bench_regression.py CURRENT BASELINE KEY [KEY...]
       [--tolerance 0.2]
@@ -23,20 +29,75 @@ import re
 import sys
 
 
+class ResolveError(Exception):
+    """A dotted key failed to resolve; message says where and why."""
+
+
+def available(node):
+    if isinstance(node, dict):
+        keys = ", ".join(sorted(node.keys())) or "<empty object>"
+        return f"available keys: {keys}"
+    if isinstance(node, list):
+        return f"node is an array of {len(node)} elements"
+    return f"node is a {type(node).__name__} leaf"
+
+
 def resolve(doc, path):
     node = doc
+    walked = []
     for part in path.split("."):
+        here = ".".join(walked) or "<root>"
         m = re.match(r"^(\w+)\[(\w+)=([^\]]+)\]$", part)
         if m:
             key, field, value = m.groups()
+            if not isinstance(node, dict) or key not in node:
+                raise ResolveError(
+                    f"no key '{key}' at '{here}' ({available(node)})"
+                )
             arr = node[key]
+            if not isinstance(arr, list):
+                raise ResolveError(
+                    f"'{key}' at '{here}' is not an array "
+                    f"({available(arr)})"
+                )
             matches = [e for e in arr if str(e.get(field)) == value]
             if not matches:
-                raise KeyError(f"no {field}={value} element in {key}")
+                seen = ", ".join(
+                    sorted(str(e.get(field)) for e in arr)
+                ) or "<none>"
+                raise ResolveError(
+                    f"no {field}={value} element in '{key}' at "
+                    f"'{here}' (present: {seen})"
+                )
             node = matches[0]
         else:
+            if not isinstance(node, dict) or part not in node:
+                raise ResolveError(
+                    f"no key '{part}' at '{here}' ({available(node)})"
+                )
             node = node[part]
-    return float(node)
+        walked.append(part)
+    try:
+        return float(node)
+    except (TypeError, ValueError):
+        raise ResolveError(
+            f"'{path}' is not a number ({available(node)})"
+        )
+
+
+def load_json(path, role):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        print(f"error: cannot read {role} file {path}: {e.strerror}")
+        sys.exit(2)
+    except json.JSONDecodeError as e:
+        print(
+            f"error: {role} file {path} is not valid JSON: "
+            f"{e.msg} at line {e.lineno}, column {e.colno}"
+        )
+        sys.exit(2)
 
 
 def main():
@@ -52,18 +113,29 @@ def main():
     )
     args = ap.parse_args()
 
-    with open(args.current) as f:
-        current = json.load(f)
-    with open(args.baseline) as f:
-        baseline = json.load(f)
+    current = load_json(args.current, "current bench")
+    baseline = load_json(args.baseline, "baseline")
 
     failed = False
     for key in args.keys:
         try:
             cur = resolve(current, key)
+        except ResolveError as e:
+            print(
+                f"FAIL  {key}: missing from current bench output "
+                f"({args.current}): {e} — the bench stopped emitting "
+                "this key; fix the bench or drop it from the watch list"
+            )
+            failed = True
+            continue
+        try:
             base = resolve(baseline, key)
-        except KeyError as e:
-            print(f"FAIL  {key}: missing key ({e})")
+        except ResolveError as e:
+            print(
+                f"FAIL  {key}: missing from committed baseline "
+                f"({args.baseline}): {e} — re-run the bench full-mode "
+                "and commit the refreshed JSON to pick up the new key"
+            )
             failed = True
             continue
         if base <= 0:

@@ -38,6 +38,67 @@ RunningStat::stddev() const
     return std::sqrt(variance());
 }
 
+QuantileSketch::QuantileSketch(double relError, double minValue,
+                               double maxValue)
+    : minValue_(minValue), logBase_(std::log1p(2.0 * relError))
+{
+    // Bucket count covering [minValue, maxValue] at the requested
+    // resolution, plus one overflow bucket for clamped-down values.
+    size_t n = static_cast<size_t>(
+                   std::ceil(std::log(maxValue / minValue) / logBase_)) +
+               2;
+    counts_.assign(n, 0);
+}
+
+size_t
+QuantileSketch::bucketOf(double v) const
+{
+    if (!(v > minValue_)) // NaN and sub-minimum both clamp to 0
+        return 0;
+    size_t idx =
+        static_cast<size_t>(std::log(v / minValue_) / logBase_) + 1;
+    return std::min(idx, counts_.size() - 1);
+}
+
+void
+QuantileSketch::add(double v)
+{
+    ++counts_[bucketOf(v)];
+    ++count_;
+}
+
+double
+QuantileSketch::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    q = std::min(1.0, std::max(0.0, q));
+    // Rank of the order statistic an exact sorted vector would pick.
+    uint64_t rank = static_cast<uint64_t>(
+        q * static_cast<double>(count_ - 1));
+    uint64_t seen = 0;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        seen += counts_[i];
+        if (seen > rank) {
+            if (i == 0)
+                return minValue_;
+            // Geometric midpoint of the bucket's bounds.
+            double lo = minValue_ *
+                        std::exp(static_cast<double>(i - 1) * logBase_);
+            return lo * std::exp(0.5 * logBase_);
+        }
+    }
+    return minValue_ *
+           std::exp(static_cast<double>(counts_.size() - 1) * logBase_);
+}
+
+void
+QuantileSketch::clear()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    count_ = 0;
+}
+
 void
 Accuracy::add(bool correct)
 {

@@ -9,6 +9,7 @@
 #define TWOINONE_COMMON_STATS_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,58 @@ class RunningStat
     double m2_ = 0.0;
     double min_ = 1e300;
     double max_ = -1e300;
+};
+
+/**
+ * Bounded-memory quantile estimator over positive values: a
+ * geometrically bucketed histogram whose bucket width bounds the
+ * relative error of every reported quantile.
+ *
+ * Soak-length serving runs feed one latency per request into the
+ * sketch; memory stays fixed at the bucket array (a few hundred
+ * uint64 counters for the default range) no matter how many samples
+ * arrive, while an exact sorted-vector quantile would grow one double
+ * per request forever. Values are clamped into [minValue, maxValue];
+ * quantile() returns the geometric midpoint of the bucket holding the
+ * requested rank, so the result is within a factor of (1 + relError)
+ * of the exact order statistic. Deterministic: the sketch is a pure
+ * function of the multiset of added values.
+ */
+class QuantileSketch
+{
+  public:
+    /**
+     * @param relError Relative-error bound per quantile (bucket
+     *        growth factor is 1 + 2 * relError).
+     * @param minValue Smallest resolvable value (smaller clamps up).
+     * @param maxValue Largest resolvable value (larger clamps down).
+     */
+    explicit QuantileSketch(double relError = 0.05,
+                            double minValue = 1e-2,
+                            double maxValue = 1e10);
+
+    /** Fold one observation into the sketch. */
+    void add(double v);
+
+    /** Observations so far. */
+    uint64_t count() const { return count_; }
+
+    /** Estimated q-quantile (q in [0, 1]); 0 when empty. */
+    double quantile(double q) const;
+
+    /** Drop all observations (bucket array is retained). */
+    void clear();
+
+    /** Fixed bucket-array length — the memory bound. */
+    size_t buckets() const { return counts_.size(); }
+
+  private:
+    double minValue_;
+    double logBase_; ///< log(1 + 2 * relError)
+    std::vector<uint64_t> counts_;
+    uint64_t count_ = 0;
+
+    size_t bucketOf(double v) const;
 };
 
 /**

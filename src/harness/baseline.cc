@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Baseline diffing implementation.
+ */
+
+#include "harness/baseline.hh"
+
+#include <cmath>
+
+namespace twoinone {
+namespace harness {
+
+namespace {
+
+void
+flattenInto(const Json &node, const std::string &prefix,
+            std::vector<std::pair<std::string, Json>> &out)
+{
+    switch (node.type()) {
+    case Json::Type::Object:
+        for (const auto &kv : node.members())
+            flattenInto(kv.second,
+                        prefix.empty() ? kv.first
+                                       : prefix + "." + kv.first,
+                        out);
+        break;
+    case Json::Type::Array: {
+        const auto &items = node.items();
+        for (size_t i = 0; i < items.size(); ++i)
+            flattenInto(items[i],
+                        prefix + "[" + std::to_string(i) + "]", out);
+        break;
+    }
+    default:
+        out.emplace_back(prefix, node);
+    }
+}
+
+const Json *
+lookup(const std::vector<std::pair<std::string, Json>> &flat,
+       const std::string &path)
+{
+    for (const auto &kv : flat) {
+        if (kv.first == path)
+            return &kv.second;
+    }
+    return nullptr;
+}
+
+bool
+matchesAny(const std::vector<std::string> &rules,
+           const std::string &path)
+{
+    for (const auto &r : rules) {
+        if (pathMatches(r, path))
+            return true;
+    }
+    return false;
+}
+
+/** Render a leaf for a diff message. */
+std::string
+show(const Json &v)
+{
+    return v.dump();
+}
+
+bool
+exactEqual(const Json &a, const Json &b)
+{
+    return a.type() == b.type() && a.dump() == b.dump();
+}
+
+} // namespace
+
+bool
+pathMatches(const std::string &rule, const std::string &path)
+{
+    if (rule == path)
+        return true;
+    if (path.size() <= rule.size() ||
+        path.compare(0, rule.size(), rule) != 0)
+        return false;
+    char next = path[rule.size()];
+    return next == '.' || next == '[';
+}
+
+std::vector<std::pair<std::string, Json>>
+flattenMetrics(const Json &doc)
+{
+    std::vector<std::pair<std::string, Json>> out;
+    flattenInto(doc, "", out);
+    return out;
+}
+
+CompareResult
+compareBaseline(const Json &baseline, const Json &current,
+                const CompareSpec &rules)
+{
+    CompareResult res;
+    auto fail = [&](const std::string &path, const std::string &msg) {
+        res.ok = false;
+        res.failures.push_back({path, msg});
+    };
+
+    auto base = flattenMetrics(baseline);
+    auto cur = flattenMetrics(current);
+
+    // Key-set equality (key order follows the documents).
+    for (const auto &kv : base) {
+        if (matchesAny(rules.ignore, kv.first))
+            continue;
+        if (lookup(cur, kv.first) == nullptr)
+            fail(kv.first, "missing from current run: " + kv.first +
+                               " (baseline has " + show(kv.second) +
+                               ")");
+    }
+    for (const auto &kv : cur) {
+        if (matchesAny(rules.ignore, kv.first))
+            continue;
+        if (lookup(base, kv.first) == nullptr)
+            fail(kv.first,
+                 "extra key not in baseline: " + kv.first +
+                     " = " + show(kv.second) +
+                     " (re-capture the baseline if this is intended)");
+    }
+
+    // Value rules on the shared keys.
+    for (const auto &kv : base) {
+        const std::string &path = kv.first;
+        if (matchesAny(rules.ignore, path))
+            continue;
+        const Json *cv = lookup(cur, path);
+        if (cv == nullptr)
+            continue; // already reported as missing
+
+        // Tolerance rules apply to numeric leaves not forced exact.
+        bool forcedExact = matchesAny(rules.exact, path);
+        const double *absTol = nullptr;
+        const double *relTol = nullptr;
+        if (!forcedExact) {
+            for (const auto &rule : rules.absTol) {
+                if (pathMatches(rule.first, path))
+                    absTol = &rule.second;
+            }
+            for (const auto &rule : rules.relTol) {
+                if (pathMatches(rule.first, path))
+                    relTol = &rule.second;
+            }
+        }
+
+        if ((absTol != nullptr || relTol != nullptr) &&
+            kv.second.isNumber() && cv->isNumber()) {
+            double b = kv.second.asNumber();
+            double c = cv->asNumber();
+            double diff = std::fabs(c - b);
+            if (absTol != nullptr && diff <= *absTol)
+                continue;
+            if (relTol != nullptr &&
+                diff <= *relTol * std::fabs(b))
+                continue;
+            std::string bound =
+                absTol != nullptr
+                    ? "abs_tol " + formatJsonNumber(*absTol)
+                    : "rel_tol " + formatJsonNumber(*relTol);
+            fail(path, path + ": " + formatJsonNumber(c) +
+                           " differs from baseline " +
+                           formatJsonNumber(b) + " by " +
+                           formatJsonNumber(diff) + " (allowed " +
+                           bound + ")");
+            continue;
+        }
+
+        if (!exactEqual(kv.second, *cv))
+            fail(path, path + ": " + show(*cv) +
+                           " != baseline " + show(kv.second) +
+                           " (exact match required)");
+    }
+
+    return res;
+}
+
+} // namespace harness
+} // namespace twoinone

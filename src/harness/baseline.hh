@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Baseline capture / compare for scenario evidence bundles.
+ *
+ * A baseline is simply a committed copy of a run's metrics.json. The
+ * compare step flattens both documents to dotted leaf paths
+ * ("counts.batches", "accuracy.natural_pct", "phases[2].rows") and
+ * walks the union of keys under the scenario's CompareSpec rules:
+ *
+ *  - Keys matching an `ignore` prefix are skipped entirely — timing
+ *    metrics live here, they are honest wall-clock noise.
+ *  - Key-set equality is enforced on everything else: a key present
+ *    on one side only is a failure *naming the key* ("missing from
+ *    current run: counts.faults_injected"), because a silently
+ *    dropped metric is how regressions hide.
+ *  - Matching keys compare exactly by default (the harness's counts
+ *    and digests are seed-deterministic, so exact is the right
+ *    default), unless an `abs_tol` / `rel_tol` rule covers the key —
+ *    accuracies go there, since float results legitimately differ
+ *    across -march=native hosts. `exact` rules win over tolerances.
+ *
+ * Every violated rule becomes one human-readable line; the driver
+ * prints them all and maps any failure to its compare-failed exit
+ * code, so CI output says *what* drifted, not just "differs".
+ */
+
+#ifndef TWOINONE_HARNESS_BASELINE_HH
+#define TWOINONE_HARNESS_BASELINE_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/json.hh"
+#include "harness/scenario.hh"
+
+namespace twoinone {
+namespace harness {
+
+/** One violated compare rule. */
+struct BaselineDiff
+{
+    std::string path;    ///< dotted metric path
+    std::string message; ///< full human-readable line
+};
+
+struct CompareResult
+{
+    bool ok = true;
+    std::vector<BaselineDiff> failures;
+};
+
+/**
+ * Flatten a metrics document into (dotted path, leaf value) pairs in
+ * document order. Objects nest with '.', arrays with "[i]"; only
+ * leaves (null/bool/number/string) are emitted.
+ */
+std::vector<std::pair<std::string, Json>>
+flattenMetrics(const Json &doc);
+
+/** Compare @p current against @p baseline under @p rules. */
+CompareResult compareBaseline(const Json &baseline, const Json &current,
+                              const CompareSpec &rules);
+
+/** Whether @p path equals @p rule or sits under it ("counts" covers
+ * "counts.rows" and "counts[0]"). */
+bool pathMatches(const std::string &rule, const std::string &path);
+
+} // namespace harness
+} // namespace twoinone
+
+#endif // TWOINONE_HARNESS_BASELINE_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Event journal implementation.
+ */
+
+#include "harness/event_journal.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace twoinone {
+namespace harness {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+uint64_t
+fnv1aFold(uint64_t h, const std::string &bytes)
+{
+    for (char c : bytes) {
+        h ^= static_cast<uint8_t>(c);
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+} // namespace
+
+EventJournal::EventJournal(const std::string &path)
+    : path_(path),
+      out_(path, std::ios::binary | std::ios::trunc),
+      digest_(kFnvOffset)
+{
+    if (!out_)
+        TWOINONE_PANIC("cannot open event journal for writing: ",
+                       path);
+}
+
+EventJournal::~EventJournal() { close(); }
+
+void
+EventJournal::emit(const std::string &type, Json detail)
+{
+    TWOINONE_ASSERT(detail.isObject() || detail.isNull(),
+                    "event detail must be an object or null");
+    Json line = Json::object();
+    line.set("seq", Json(seq_));
+    line.set("type", Json(type));
+    if (detail.isObject()) {
+        for (const auto &kv : detail.members())
+            line.set(kv.first, kv.second);
+    }
+    std::string text = line.dump();
+    text.push_back('\n');
+    digest_ = fnv1aFold(digest_, text);
+    out_ << text;
+    out_.flush();
+    ++seq_;
+}
+
+std::string
+EventJournal::digestHex() const
+{
+    return digestToHex(digest_);
+}
+
+void
+EventJournal::close()
+{
+    if (out_.is_open()) {
+        out_.flush();
+        out_.close();
+    }
+}
+
+std::string
+digestToHex(uint64_t digest)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(digest));
+    return buf;
+}
+
+} // namespace harness
+} // namespace twoinone

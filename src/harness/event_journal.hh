@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Deterministic JSONL event journal — the evidence spine of a
+ * scenario run.
+ *
+ * Every interesting thing a run does (phase transitions, served
+ * batches with their sampled precisions, fault injections and how
+ * they resolved, checkpoint saves/loads, request rejections) is
+ * appended as one JSON object per line to events.jsonl. The journal
+ * is *seed-deterministic by construction*: events carry a monotonic
+ * sequence number and semantic payload only — no wall-clock
+ * timestamps, no pointers, no latencies — so re-running the same
+ * scenario with the same seed produces a byte-identical file. The
+ * FNV-1a digest over the bytes (digest()) is the cheap equality
+ * witness: the driver's --check-determinism mode runs a scenario
+ * twice and compares digests, and baseline bundles record it so a
+ * reviewer can tell two runs apart at a glance.
+ *
+ * Lines are written eagerly (a crashed run leaves a journal up to
+ * the failure point) and folded into the running digest as they go.
+ */
+
+#ifndef TWOINONE_HARNESS_EVENT_JOURNAL_HH
+#define TWOINONE_HARNESS_EVENT_JOURNAL_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "harness/json.hh"
+
+namespace twoinone {
+namespace harness {
+
+class EventJournal
+{
+  public:
+    /** Open (truncate) @p path for appending events. */
+    explicit EventJournal(const std::string &path);
+
+    ~EventJournal();
+
+    EventJournal(const EventJournal &) = delete;
+    EventJournal &operator=(const EventJournal &) = delete;
+
+    /**
+     * Append one event: {"seq": N, "type": type, ...detail members}.
+     * @p detail must be an object (or null for no payload).
+     */
+    void emit(const std::string &type, Json detail = Json());
+
+    /** Events appended so far. */
+    uint64_t count() const { return seq_; }
+
+    /** Running FNV-1a digest over every byte written so far. */
+    uint64_t digest() const { return digest_; }
+
+    /** Digest as a fixed-width hex string (metrics/baseline field). */
+    std::string digestHex() const;
+
+    /** Flush and close the file (destructor does this too). */
+    void close();
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::ofstream out_;
+    uint64_t seq_ = 0;
+    uint64_t digest_;
+};
+
+/** Fixed-width hex formatting shared by the trace digest. */
+std::string digestToHex(uint64_t digest);
+
+} // namespace harness
+} // namespace twoinone
+
+#endif // TWOINONE_HARNESS_EVENT_JOURNAL_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Deterministic fault injection for scenario runs.
+ *
+ * The injector owns the scenario's fault schedule and the mechanics
+ * of making each fault happen at exactly the declared (phase, point)
+ * coordinate, with corruption content derived from the scenario seed
+ * — the same spec + seed always injects the same bytes, which is what
+ * lets a baseline pin down "3 faults injected, 3 recovered" as an
+ * exact-compare metric.
+ *
+ * Checkpoint faults go through the io::FaultHooks seam
+ * (src/io/serialize.hh): armCorruptRead() installs a read hook that
+ * flips bits in / truncates the artifact bytes the next time the
+ * target path is read (every time, for persistent faults);
+ * armTornWrite() installs a write hook that cuts the next write of
+ * the target path at half its bytes, which together with the atomic
+ * temp-file+rename save protocol must leave the previous artifact
+ * intact. The runner arms before the save/load it wants to poison and
+ * disarms right after — the hooks are process-global, so exactly one
+ * site holds them at a time.
+ *
+ * Bookkeeping: injected() counts faults that actually fired,
+ * recovered() counts the ones the serving stack survived (retry
+ * succeeded, degradation path held, rejection was clean). A run with
+ * injected() != recovered() is the harness's "fault unrecovered"
+ * outcome — distinct exit code, CI-visible.
+ */
+
+#ifndef TWOINONE_HARNESS_FAULT_INJECTOR_HH
+#define TWOINONE_HARNESS_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/scenario.hh"
+
+namespace twoinone {
+namespace harness {
+
+class FaultInjector
+{
+  public:
+    FaultInjector(std::vector<FaultSpec> faults, uint64_t seed);
+
+    /** Clears any armed io hooks. */
+    ~FaultInjector();
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    /** Faults scheduled at (phase, point), in declaration order. */
+    std::vector<const FaultSpec *> at(int phase, int point) const;
+
+    /** Whether any fault in the schedule targets @p phase. */
+    bool anyInPhase(int phase) const;
+
+    /**
+     * Arm a read-corruption hook for @p fault against artifact
+     * @p path: the next read of that path has its bytes corrupted
+     * (bitflip or truncate per the spec); persistent faults corrupt
+     * every subsequent read until disarm(). Counts one injection per
+     * corrupted read, at most one per arming.
+     */
+    void armCorruptRead(const FaultSpec &fault, const std::string &path);
+
+    /**
+     * Arm a torn-write hook for @p fault against artifact @p path:
+     * the next write of that path stops after half its bytes and
+     * surfaces io::CheckpointError to the writer.
+     */
+    void armTornWrite(const FaultSpec &fault, const std::string &path);
+
+    /** Remove any armed io hooks (idempotent). */
+    void disarm();
+
+    /** Faults that actually fired. */
+    uint64_t injected() const { return *injected_; }
+    /** Count a fault that fired outside the io-hook path (cache
+     * storms, starvation, malformed requests). */
+    void noteInjected() { ++*injected_; }
+
+    /** Faults the stack survived. */
+    uint64_t recovered() const { return recovered_; }
+    void noteRecovered() { ++recovered_; }
+
+  private:
+    std::vector<FaultSpec> faults_;
+    uint64_t seed_;
+    /** Shared with the armed hook closures: a hook can fire while the
+     * runner is mid-load, and the count must land here. */
+    std::shared_ptr<uint64_t> injected_;
+    uint64_t recovered_ = 0;
+    bool armed_ = false;
+};
+
+/** Corrupt @p bytes in place per the fault spec: flip `flips` bits at
+ * seed-deterministic positions, or truncate to half. Exposed for
+ * tests. */
+void corruptBytes(std::vector<uint8_t> &bytes, const FaultSpec &fault,
+                  uint64_t seed);
+
+} // namespace harness
+} // namespace twoinone
+
+#endif // TWOINONE_HARNESS_FAULT_INJECTOR_HH

@@ -1,0 +1,548 @@
+/**
+ * @file
+ * JSON parser / writer implementation.
+ */
+
+#include "harness/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace twoinone {
+namespace harness {
+
+namespace {
+
+/** Recursive-descent parser over a text buffer with line:column
+ * error reporting. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    Json
+    parse()
+    {
+        Json v = value();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters after the top-level value");
+        return v;
+    }
+
+  private:
+    const std::string &text_;
+    size_t pos_ = 0;
+
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        size_t line = 1, col = 1;
+        for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+            if (text_[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+        throw JsonError(msg + " (line " + std::to_string(line) +
+                        ", column " + std::to_string(col) + ")");
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "', found '" +
+                 text_[pos_] + "'");
+        ++pos_;
+    }
+
+    bool
+    consumeLiteral(const char *lit)
+    {
+        size_t n = 0;
+        while (lit[n] != '\0')
+            ++n;
+        if (text_.compare(pos_, n, lit) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    Json
+    value()
+    {
+        skipWs();
+        char c = peek();
+        switch (c) {
+        case '{':
+            return object();
+        case '[':
+            return array();
+        case '"':
+            return Json(string());
+        case 't':
+            if (!consumeLiteral("true"))
+                fail("malformed literal");
+            return Json(true);
+        case 'f':
+            if (!consumeLiteral("false"))
+                fail("malformed literal");
+            return Json(false);
+        case 'n':
+            if (!consumeLiteral("null"))
+                fail("malformed literal");
+            return Json();
+        default:
+            return number();
+        }
+    }
+
+    Json
+    object()
+    {
+        expect('{');
+        Json obj = Json::object();
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return obj;
+        }
+        for (;;) {
+            skipWs();
+            if (peek() != '"')
+                fail("expected a string object key");
+            std::string key = string();
+            if (obj.find(key) != nullptr)
+                fail("duplicate object key \"" + key + "\"");
+            skipWs();
+            expect(':');
+            obj.set(std::move(key), value());
+            skipWs();
+            char c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            if (c == '}') {
+                ++pos_;
+                return obj;
+            }
+            fail("expected ',' or '}' in object");
+        }
+    }
+
+    Json
+    array()
+    {
+        expect('[');
+        Json arr = Json::array();
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return arr;
+        }
+        for (;;) {
+            arr.push(value());
+            skipWs();
+            char c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            if (c == ']') {
+                ++pos_;
+                return arr;
+            }
+            fail("expected ',' or ']' in array");
+        }
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("raw control character in string");
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+            case '"':
+                out.push_back('"');
+                break;
+            case '\\':
+                out.push_back('\\');
+                break;
+            case '/':
+                out.push_back('/');
+                break;
+            case 'b':
+                out.push_back('\b');
+                break;
+            case 'f':
+                out.push_back('\f');
+                break;
+            case 'n':
+                out.push_back('\n');
+                break;
+            case 'r':
+                out.push_back('\r');
+                break;
+            case 't':
+                out.push_back('\t');
+                break;
+            case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad hex digit in \\u escape");
+                }
+                // UTF-8 encode the BMP code point (surrogate halves
+                // are passed through as-is; specs never carry them).
+                if (cp < 0x80) {
+                    out.push_back(static_cast<char>(cp));
+                } else if (cp < 0x800) {
+                    out.push_back(
+                        static_cast<char>(0xC0 | (cp >> 6)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (cp & 0x3F)));
+                } else {
+                    out.push_back(
+                        static_cast<char>(0xE0 | (cp >> 12)));
+                    out.push_back(static_cast<char>(
+                        0x80 | ((cp >> 6) & 0x3F)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (cp & 0x3F)));
+                }
+                break;
+            }
+            default:
+                fail("unknown escape character");
+            }
+        }
+    }
+
+    Json
+    number()
+    {
+        size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        bool digits = false;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+            digits = true;
+        }
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (!digits)
+            fail("malformed number");
+        try {
+            return Json(std::stod(text_.substr(start, pos_ - start)));
+        } catch (const std::exception &) {
+            fail("number out of range");
+        }
+    }
+};
+
+} // namespace
+
+Json
+Json::array()
+{
+    Json j;
+    j.type_ = Type::Array;
+    return j;
+}
+
+Json
+Json::object()
+{
+    Json j;
+    j.type_ = Type::Object;
+    return j;
+}
+
+Json
+Json::parse(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+bool
+Json::asBool() const
+{
+    if (type_ != Type::Bool)
+        throw JsonError("value is not a bool");
+    return bool_;
+}
+
+double
+Json::asNumber() const
+{
+    if (type_ != Type::Number)
+        throw JsonError("value is not a number");
+    return num_;
+}
+
+const std::string &
+Json::asString() const
+{
+    if (type_ != Type::String)
+        throw JsonError("value is not a string");
+    return str_;
+}
+
+const std::vector<Json> &
+Json::items() const
+{
+    if (type_ != Type::Array)
+        throw JsonError("value is not an array");
+    return arr_;
+}
+
+void
+Json::push(Json v)
+{
+    if (type_ != Type::Array)
+        throw JsonError("push() on a non-array");
+    arr_.push_back(std::move(v));
+}
+
+const std::vector<std::pair<std::string, Json>> &
+Json::members() const
+{
+    if (type_ != Type::Object)
+        throw JsonError("value is not an object");
+    return obj_;
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        throw JsonError("find() on a non-object");
+    for (const auto &kv : obj_) {
+        if (kv.first == key)
+            return &kv.second;
+    }
+    return nullptr;
+}
+
+void
+Json::set(const std::string &key, Json v)
+{
+    if (type_ != Type::Object)
+        throw JsonError("set() on a non-object");
+    for (auto &kv : obj_) {
+        if (kv.first == key) {
+            kv.second = std::move(v);
+            return;
+        }
+    }
+    obj_.emplace_back(key, std::move(v));
+}
+
+size_t
+Json::size() const
+{
+    switch (type_) {
+    case Type::Array:
+        return arr_.size();
+    case Type::Object:
+        return obj_.size();
+    case Type::String:
+        return str_.size();
+    default:
+        return 0;
+    }
+}
+
+std::string
+formatJsonNumber(double v)
+{
+    if (std::isnan(v) || std::isinf(v))
+        return "null"; // JSON has no NaN/Inf; null keeps output parsable
+    double rounded = std::nearbyint(v);
+    if (rounded == v && std::fabs(v) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+        return buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.*g",
+                  std::numeric_limits<double>::max_digits10, v);
+    return buf;
+}
+
+std::string
+quoteJsonString(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\b':
+            out += "\\b";
+            break;
+        case '\f':
+            out += "\\f";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned char>(c));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    auto newline = [&](int d) {
+        if (indent >= 0) {
+            out.push_back('\n');
+            out.append(static_cast<size_t>(indent * d), ' ');
+        }
+    };
+    switch (type_) {
+    case Type::Null:
+        out += "null";
+        break;
+    case Type::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+    case Type::Number:
+        out += formatJsonNumber(num_);
+        break;
+    case Type::String:
+        out += quoteJsonString(str_);
+        break;
+    case Type::Array:
+        if (arr_.empty()) {
+            out += "[]";
+            break;
+        }
+        out.push_back('[');
+        for (size_t i = 0; i < arr_.size(); ++i) {
+            if (i)
+                out.push_back(',');
+            newline(depth + 1);
+            arr_[i].dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out.push_back(']');
+        break;
+    case Type::Object:
+        if (obj_.empty()) {
+            out += "{}";
+            break;
+        }
+        out.push_back('{');
+        for (size_t i = 0; i < obj_.size(); ++i) {
+            if (i)
+                out.push_back(',');
+            newline(depth + 1);
+            out += quoteJsonString(obj_[i].first);
+            out.push_back(':');
+            if (indent >= 0)
+                out.push_back(' ');
+            obj_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out.push_back('}');
+        break;
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+} // namespace harness
+} // namespace twoinone

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Minimal JSON value, parser and writer for the scenario harness.
+ *
+ * The harness lives and dies by reproducible artifacts: scenario
+ * specs are declared as JSON, evidence bundles (run.json,
+ * events.jsonl, metrics.json) are emitted as JSON, and baseline
+ * diffing parses both sides back. The toolchain here is deliberately
+ * dependency-free and deterministic:
+ *
+ *  - Objects preserve *insertion order* (a vector of pairs, not a
+ *    map), so dump() of the same value is byte-stable and spec echoes
+ *    keep the author's key order.
+ *  - Numbers round-trip: integral values print without a decimal
+ *    point, others via max_digits10 shortest-exact formatting.
+ *  - Parse errors throw JsonError carrying line:column, so a broken
+ *    scenario file points at the offending byte, not a stack trace.
+ *
+ * Scope: strict JSON (RFC 8259) minus \u surrogate pairs (kept as
+ * two escaped code units) — scenario specs and metric bundles never
+ * need them.
+ */
+
+#ifndef TWOINONE_HARNESS_JSON_HH
+#define TWOINONE_HARNESS_JSON_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace twoinone {
+namespace harness {
+
+/** Malformed JSON text: message carries "line L, column C". */
+class JsonError : public std::runtime_error
+{
+  public:
+    explicit JsonError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/**
+ * A JSON value. Cheap to copy at harness scales; objects keep
+ * insertion order.
+ */
+class Json
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Json() : type_(Type::Null) {}
+    Json(bool b) : type_(Type::Bool), bool_(b) {}
+    Json(double v) : type_(Type::Number), num_(v) {}
+    Json(int v) : type_(Type::Number), num_(v) {}
+    Json(int64_t v)
+        : type_(Type::Number), num_(static_cast<double>(v))
+    {
+    }
+    Json(uint64_t v)
+        : type_(Type::Number), num_(static_cast<double>(v))
+    {
+    }
+    Json(const char *s) : type_(Type::String), str_(s) {}
+    Json(std::string s) : type_(Type::String), str_(std::move(s)) {}
+
+    /** Empty array / object factories. */
+    static Json array();
+    static Json object();
+
+    /** Parse @p text (throws JsonError with line:column). */
+    static Json parse(const std::string &text);
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    /** Typed accessors (throw JsonError on a type mismatch). */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+
+    /** Array access. */
+    const std::vector<Json> &items() const;
+    void push(Json v);
+
+    /** Object access: members in insertion order. */
+    const std::vector<std::pair<std::string, Json>> &members() const;
+    /** Pointer to the member value, or nullptr when absent. */
+    const Json *find(const std::string &key) const;
+    /** Insert or overwrite a member (insertion order preserved). */
+    void set(const std::string &key, Json v);
+
+    size_t size() const;
+
+    /**
+     * Serialize. indent < 0 = compact single line; indent >= 0 =
+     * pretty-printed with that many spaces per level. Output is a
+     * pure function of the value (stable member order, round-trip
+     * number formatting) — evidence-bundle digests depend on this.
+     */
+    std::string dump(int indent = -1) const;
+
+  private:
+    Type type_;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<Json> arr_;
+    std::vector<std::pair<std::string, Json>> obj_;
+
+    void dumpTo(std::string &out, int indent, int depth) const;
+};
+
+/** Round-trip number formatting shared with the journal: integral
+ * values print as integers, others shortest-exact. */
+std::string formatJsonNumber(double v);
+
+/** JSON string escaping (quotes included). */
+std::string quoteJsonString(const std::string &s);
+
+} // namespace harness
+} // namespace twoinone
+
+#endif // TWOINONE_HARNESS_JSON_HH

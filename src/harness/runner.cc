@@ -1,0 +1,766 @@
+/**
+ * @file
+ * Scenario runner implementation.
+ */
+
+#include "harness/runner.hh"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "adversarial/epgd.hh"
+#include "adversarial/fgsm.hh"
+#include "adversarial/pgd.hh"
+#include "adversarial/trainer.hh"
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "io/checkpoint.hh"
+#include "io/serialize.hh"
+#include "nn/model_zoo.hh"
+
+namespace twoinone {
+namespace harness {
+
+namespace {
+
+TrainMethod
+trainMethodFromName(const std::string &name)
+{
+    if (name == "natural")
+        return TrainMethod::Natural;
+    if (name == "fgsm")
+        return TrainMethod::Fgsm;
+    if (name == "pgd7")
+        return TrainMethod::Pgd7;
+    if (name == "free")
+        return TrainMethod::Free;
+    TWOINONE_PANIC("unvalidated train method reached the runner: ",
+                   name);
+}
+
+Network
+buildModel(const ScenarioSpec &spec, Rng &rng)
+{
+    ModelConfig mc;
+    mc.numClasses = spec.data.classes;
+    mc.baseWidth = spec.model.baseWidth;
+    if (!spec.model.precisions.empty())
+        mc.precisions = PrecisionSet(spec.model.precisions);
+    if (spec.model.arch == "preact_mini")
+        return preActResNetMini(mc, rng);
+    if (spec.model.arch == "wide_mini")
+        return wideResNetMini(mc, rng);
+    return convNetTiny(mc, rng);
+}
+
+std::unique_ptr<Attack>
+buildAttack(const AttackSpec &as, const PrecisionSet &candidates)
+{
+    AttackConfig cfg = AttackConfig::fromEps255(
+        static_cast<float>(as.eps255),
+        static_cast<float>(as.alpha255), as.steps);
+    if (as.kind == "epgd")
+        return std::make_unique<EpgdAttack>(cfg, candidates);
+    if (as.kind == "fgsm")
+        return std::make_unique<FgsmAttack>(cfg);
+    return std::make_unique<PgdAttack>(cfg);
+}
+
+/** argmax per logit row. */
+std::vector<int>
+argmaxRows(const Tensor &logits)
+{
+    int n = logits.dim(0);
+    int stride = n > 0 ? static_cast<int>(logits.size()) / n : 0;
+    std::vector<int> out(static_cast<size_t>(n));
+    const float *p = logits.data();
+    for (int i = 0; i < n; ++i) {
+        const float *row = p + static_cast<size_t>(i) * stride;
+        int best = 0;
+        for (int j = 1; j < stride; ++j) {
+            if (row[j] > row[best])
+                best = j;
+        }
+        out[static_cast<size_t>(i)] = best;
+    }
+    return out;
+}
+
+/** Copy rows [start, start+len) of a [N, ...] tensor. */
+Tensor
+sliceRows(const Tensor &src, int start, int len)
+{
+    std::vector<int> shape = src.shape();
+    shape[0] = len;
+    Tensor out(shape);
+    size_t rowElems = src.size() / static_cast<size_t>(src.dim(0));
+    std::memcpy(out.data(),
+                src.data() + static_cast<size_t>(start) * rowElems,
+                static_cast<size_t>(len) * rowElems * sizeof(float));
+    return out;
+}
+
+} // namespace
+
+namespace {
+
+/** Journaled error strings must not depend on where the bundle lives
+ * (same-seed runs into different --out dirs are digest-identical), so
+ * every occurrence of the bundle path becomes a placeholder. */
+std::string
+scrubBundlePath(std::string s, const std::string &bundle)
+{
+    for (size_t pos = s.find(bundle); pos != std::string::npos;
+         pos = s.find(bundle, pos)) {
+        s.replace(pos, bundle.size(), "<bundle>");
+        pos += std::strlen("<bundle>");
+    }
+    return s;
+}
+
+} // namespace
+
+void
+ensureDir(const std::string &path)
+{
+    std::string cur;
+    for (size_t i = 0; i <= path.size(); ++i) {
+        if (i < path.size() && path[i] != '/') {
+            cur.push_back(path[i]);
+            continue;
+        }
+        if (i < path.size())
+            cur.push_back('/');
+        if (cur.empty() || cur == "/")
+            continue;
+        if (::mkdir(cur.c_str(), 0755) != 0 && errno != EEXIST)
+            TWOINONE_PANIC("cannot create directory ", cur, ": ",
+                           std::strerror(errno));
+    }
+}
+
+void
+writeTextFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        TWOINONE_PANIC("cannot open ", path, " for writing");
+    out << text;
+    out.flush();
+    TWOINONE_ASSERT(static_cast<bool>(out), "short write to ", path);
+}
+
+ScenarioRunner::ScenarioRunner(ScenarioSpec spec, std::string outDir)
+    : spec_(std::move(spec)), outDir_(std::move(outDir)),
+      attackRng_(spec_.seed ^ 0xADF0ULL)
+{
+    bundle_ = outDir_ + "/" + spec_.name;
+    ckptPath_ = bundle_ + "/model.ckpt";
+}
+
+RunResult
+ScenarioRunner::run()
+{
+    setUp();
+    deploySession();
+    for (size_t i = 0; i < spec_.phases.size(); ++i)
+        runPhase(static_cast<int>(i));
+    foldSession();
+    journal_->emit("run_complete",
+                   [&] {
+                       Json d = Json::object();
+                       d.set("phases",
+                             Json(static_cast<uint64_t>(
+                                 spec_.phases.size())));
+                       d.set("faults_injected",
+                             Json(injector_->injected()));
+                       d.set("faults_recovered",
+                             Json(injector_->recovered()));
+                       return d;
+                   }());
+    journal_->close();
+
+    RunResult res;
+    res.metrics = buildMetrics();
+    res.bundleDir = bundle_;
+    res.metricsPath = bundle_ + "/metrics.json";
+    res.faultsRecovered =
+        injector_->injected() == injector_->recovered();
+    writeTextFile(res.metricsPath, res.metrics.dump(2) + "\n");
+    return res;
+}
+
+void
+ScenarioRunner::setUp()
+{
+    ensureDir(bundle_);
+
+    Json run = Json::object();
+    run.set("harness_format", Json(1));
+    run.set("name", Json(spec_.name));
+    run.set("seed", Json(spec_.seed));
+    run.set("spec", spec_.echo);
+    writeTextFile(bundle_ + "/run.json", run.dump(2) + "\n");
+
+    journal_ =
+        std::make_unique<EventJournal>(bundle_ + "/events.jsonl");
+    injector_ =
+        std::make_unique<FaultInjector>(spec_.faults, spec_.seed);
+
+    SyntheticConfig dc;
+    dc.numClasses = spec_.data.classes;
+    dc.height = spec_.data.size;
+    dc.width = spec_.data.size;
+    dc.trainSize = spec_.data.train;
+    dc.testSize = spec_.data.test;
+    dc.seed = spec_.seed ^ 0xDA7AULL;
+    data_ = makeSynthetic(dc, spec_.name + "-data");
+
+    Json d = Json::object();
+    d.set("classes", Json(spec_.data.classes));
+    d.set("train", Json(spec_.data.train));
+    d.set("test", Json(spec_.data.test));
+    journal_->emit("dataset", std::move(d));
+}
+
+void
+ScenarioRunner::deploySession()
+{
+    Rng mrng(spec_.seed ^ 0x30DE1ULL);
+    Network net = buildModel(spec_, mrng);
+    {
+        Json d = Json::object();
+        d.set("arch", Json(spec_.model.arch));
+        d.set("precisions", Json(net.precisionSet().name()));
+        journal_->emit("model", std::move(d));
+    }
+
+    if (spec_.model.trainEpochs > 0) {
+        TrainConfig tc;
+        tc.method = trainMethodFromName(spec_.model.trainMethod);
+        tc.epochs = spec_.model.trainEpochs;
+        tc.batchSize = 32;
+        tc.rps = true;
+        tc.seed = spec_.seed ^ 0x7EA1ULL;
+        Trainer trainer(net, tc);
+        trainer.fit(data_.train);
+        Json d = Json::object();
+        d.set("method", Json(spec_.model.trainMethod));
+        d.set("epochs", Json(spec_.model.trainEpochs));
+        d.set("steps", Json(trainer.stepsTaken()));
+        journal_->emit("train", std::move(d));
+    }
+
+    // Persist through a temporary owning session so deployment takes
+    // the same artifact-load path production does.
+    {
+        Session staging = Session::fromNetwork(std::move(net));
+        if (spec_.model.calibrateBatches > 0) {
+            std::vector<Tensor> batches;
+            int rows = std::min(16, data_.train.size());
+            int span = std::max(1, data_.train.size() - rows + 1);
+            for (int i = 0; i < spec_.model.calibrateBatches; ++i) {
+                int start = (i * rows) % span;
+                batches.push_back(
+                    data_.train.batch(start, rows).images);
+            }
+            staging.calibrate(batches);
+            Json d = Json::object();
+            d.set("batches", Json(spec_.model.calibrateBatches));
+            journal_->emit("calibrate", std::move(d));
+        }
+        staging.save(ckptPath_);
+        ++ckptSaves_;
+        journal_->emit("checkpoint_save", [&] {
+            Json d = Json::object();
+            d.set("artifact", Json("model.ckpt"));
+            d.set("stage", Json("deploy"));
+            return d;
+        }());
+    }
+
+    session_.emplace(loadSession());
+    ++ckptLoads_;
+    journal_->emit("session_deploy", [&] {
+        Json d = Json::object();
+        d.set("candidates", Json(session_->candidates().name()));
+        d.set("mode", Json(spec_.serving.mode));
+        return d;
+    }());
+}
+
+Session
+ScenarioRunner::loadSession()
+{
+    SessionConfig cfg;
+    cfg.serving.maxBatch = spec_.serving.maxBatch;
+    cfg.serving.microBatch = spec_.serving.microBatch;
+    cfg.serving.mode = spec_.serving.mode == "float"
+                           ? serve::PlanMode::Float
+                           : serve::PlanMode::Quantized;
+    cfg.serving.seed = spec_.seed;
+    cfg.serving.replicas = spec_.serving.replicas;
+    cfg.serving.lazyPlanWarmup = spec_.serving.lazyWarmup;
+    cfg.loadRetries = spec_.session.loadRetries;
+    cfg.loadRetryBackoffMs = spec_.session.retryBackoffMs;
+    cfg.onLoadRetry = [this](int attempt, const std::string &error) {
+        ++loadRetries_;
+        Json d = Json::object();
+        d.set("attempt", Json(attempt));
+        d.set("error", Json(scrubBundlePath(error, bundle_)));
+        journal_->emit("load_retry", std::move(d));
+    };
+    return Session::fromCheckpoint(ckptPath_, std::move(cfg));
+}
+
+Dataset
+ScenarioRunner::takeBatch(int rows)
+{
+    TWOINONE_ASSERT(rows <= data_.test.size(),
+                    "scenario traffic batch exceeds the test set");
+    if (cursor_ + rows > data_.test.size())
+        cursor_ = 0;
+    Dataset b = data_.test.batch(cursor_, rows);
+    cursor_ += rows;
+    return b;
+}
+
+void
+ScenarioRunner::foldSession()
+{
+    if (!session_)
+        return;
+    serve::ServeStats s = session_->stats();
+    accRequests_ += s.requests;
+    accRows_ += s.rows;
+    accBatches_ += s.batches;
+    accRejected_ += s.rejected;
+    accWall_ += s.wallSeconds;
+    accRebuilds_ += session_->engine().columnRebuilds();
+    const std::vector<int> &tr = session_->precisionTrace();
+    trace_.insert(trace_.end(), tr.begin(), tr.end());
+    traceMark_ = 0;
+}
+
+Json
+ScenarioRunner::traceDelta()
+{
+    Json arr = Json::array();
+    const std::vector<int> &tr = session_->precisionTrace();
+    for (size_t i = traceMark_; i < tr.size(); ++i)
+        arr.push(Json(tr[i]));
+    traceMark_ = tr.size();
+    return arr;
+}
+
+void
+ScenarioRunner::runPhase(int index)
+{
+    const PhaseSpec &ps = spec_.phases[static_cast<size_t>(index)];
+    {
+        Json d = Json::object();
+        d.set("phase", Json(index));
+        d.set("kind", Json(ps.type));
+        d.set("points", Json(ps.points()));
+        journal_->emit("phase_start", std::move(d));
+    }
+
+    if (ps.type == "steady") {
+        for (int b = 0; b < ps.batches; ++b) {
+            applyFaults(index, b);
+            steadyPoint(index, b, ps.requestsPerBatch,
+                        ps.rowsPerRequest);
+        }
+    } else if (ps.type == "bursty") {
+        for (int burst = 0; burst < ps.bursts; ++burst) {
+            applyFaults(index, burst);
+            steadyPoint(index, burst, ps.burstRequests,
+                        ps.rowsPerRequest);
+        }
+    } else if (ps.type == "adversarial") {
+        for (int b = 0; b < ps.batches; ++b) {
+            applyFaults(index, b);
+            adversarialPoint(index, b, ps);
+        }
+    } else { // soak
+        for (int cycle = 0; cycle < ps.cycles; ++cycle) {
+            applyFaults(index, cycle);
+            soakCycle(index, cycle, ps);
+        }
+    }
+
+    Json d = Json::object();
+    d.set("phase", Json(index));
+    journal_->emit("phase_end", std::move(d));
+}
+
+void
+ScenarioRunner::steadyPoint(int phase, int point, int nRequests,
+                            int rowsPerRequest)
+{
+    std::vector<size_t> ids;
+    std::vector<std::vector<int>> labels;
+    ids.reserve(static_cast<size_t>(nRequests));
+    for (int r = 0; r < nRequests; ++r) {
+        Dataset b = takeBatch(rowsPerRequest);
+        ids.push_back(session_->submit(b.images));
+        labels.push_back(b.labels);
+    }
+    bool starved = starveNextDrain_;
+    starveNextDrain_ = false;
+    if (starved) {
+        ThreadPool::ScopedSerial serial;
+        session_->drain();
+    } else {
+        session_->drain();
+    }
+    for (size_t r = 0; r < ids.size(); ++r) {
+        std::vector<int> pred =
+            argmaxRows(session_->result(ids[r]));
+        for (size_t i = 0; i < pred.size(); ++i) {
+            ++natTotal_;
+            if (pred[i] == labels[r][i])
+                ++natCorrect_;
+        }
+    }
+    session_->clearServed();
+
+    Json d = Json::object();
+    d.set("phase", Json(phase));
+    d.set("point", Json(point));
+    d.set("requests", Json(nRequests));
+    d.set("rows", Json(nRequests * rowsPerRequest));
+    d.set("precisions", traceDelta());
+    journal_->emit("point", std::move(d));
+
+    if (starved) {
+        // The drain completed inline on the starved pool — the
+        // runtime degraded to serial execution without shedding work.
+        injector_->noteRecovered();
+        Json r = Json::object();
+        r.set("kind", Json("starve_pool"));
+        r.set("phase", Json(phase));
+        r.set("point", Json(point));
+        r.set("via", Json("serial_drain"));
+        journal_->emit("fault_recovered", std::move(r));
+    }
+}
+
+void
+ScenarioRunner::adversarialPoint(int phase, int point,
+                                 const PhaseSpec &ps)
+{
+    int rows = ps.requestsPerBatch * ps.rowsPerRequest;
+    Dataset clean = takeBatch(rows);
+
+    // The adversary samples its own generation precision from the
+    // candidate set (the paper's threat model) and crafts against the
+    // live network; serving then draws independent batch precisions —
+    // the robust-accuracy gap under live switching is the defense.
+    int attackBits = session_->candidates().sample(attackRng_);
+    session_->switchPrecision(attackBits);
+    std::unique_ptr<Attack> attack =
+        buildAttack(ps.attack, session_->candidates());
+    Tensor adv = attack->perturb(session_->network(), clean.images,
+                                 clean.labels, attackRng_);
+
+    std::vector<size_t> ids;
+    ids.reserve(static_cast<size_t>(ps.requestsPerBatch));
+    for (int r = 0; r < ps.requestsPerBatch; ++r)
+        ids.push_back(session_->submit(
+            sliceRows(adv, r * ps.rowsPerRequest,
+                      ps.rowsPerRequest)));
+    session_->drain();
+    uint64_t correct = 0;
+    for (int r = 0; r < ps.requestsPerBatch; ++r) {
+        std::vector<int> pred = argmaxRows(
+            session_->result(ids[static_cast<size_t>(r)]));
+        for (size_t i = 0; i < pred.size(); ++i) {
+            ++robTotal_;
+            size_t idx =
+                static_cast<size_t>(r * ps.rowsPerRequest) + i;
+            if (pred[i] == clean.labels[idx]) {
+                ++robCorrect_;
+                ++correct;
+            }
+        }
+    }
+    session_->clearServed();
+
+    Json d = Json::object();
+    d.set("phase", Json(phase));
+    d.set("point", Json(point));
+    d.set("attack", Json(ps.attack.kind));
+    d.set("attack_bits", Json(attackBits));
+    d.set("rows", Json(rows));
+    d.set("correct", Json(correct));
+    d.set("precisions", traceDelta());
+    journal_->emit("attack_point", std::move(d));
+}
+
+void
+ScenarioRunner::soakCycle(int phase, int cycle, const PhaseSpec &ps)
+{
+    for (int b = 0; b < ps.batchesPerCycle; ++b)
+        steadyPoint(phase, cycle * ps.batchesPerCycle + b,
+                    ps.requestsPerBatch, ps.rowsPerRequest);
+    if ((cycle + 1) % ps.checkpointEvery == 0) {
+        saveCheckpoint(phase, cycle);
+        reloadSession(phase, cycle);
+    }
+}
+
+void
+ScenarioRunner::applyFaults(int phase, int point)
+{
+    for (const FaultSpec *f : injector_->at(phase, point)) {
+        Json d = Json::object();
+        d.set("kind", Json(f->type));
+        d.set("phase", Json(phase));
+        d.set("point", Json(point));
+
+        if (f->type == "cache_storm") {
+            uint64_t before = session_->engine().columnRebuilds();
+            for (int s = 0; s < f->storms; ++s) {
+                session_->engine().detach();
+                session_->engine().refresh();
+            }
+            ++cacheStorms_;
+            injector_->noteInjected();
+            d.set("storms", Json(f->storms));
+            d.set("rebuilds",
+                  Json(session_->engine().columnRebuilds() - before));
+            journal_->emit("fault_injected", std::move(d));
+            // The engine rebuilt its full cache each storm; serving
+            // continues from the refreshed cells.
+            injector_->noteRecovered();
+            Json r = Json::object();
+            r.set("kind", Json("cache_storm"));
+            r.set("via", Json("cache_rebuild"));
+            journal_->emit("fault_recovered", std::move(r));
+        } else if (f->type == "starve_pool") {
+            starveNextDrain_ = true;
+            injector_->noteInjected();
+            journal_->emit("fault_injected", std::move(d));
+            // Recovery is journaled by the starved drain itself.
+        } else if (f->type == "malformed_request") {
+            journal_->emit("fault_injected", std::move(d));
+            injectMalformedRequest(*f, phase, point);
+        } else if (f->type == "torn_save") {
+            pendingTorn_ = f;
+            journal_->emit("fault_armed", std::move(d));
+        } else { // corrupt_checkpoint
+            pendingCorrupt_ = f;
+            journal_->emit("fault_armed", std::move(d));
+        }
+    }
+}
+
+void
+ScenarioRunner::injectMalformedRequest(const FaultSpec &f, int phase,
+                                       int point)
+{
+    injector_->noteInjected();
+    Tensor bad;
+    if (f.kind == "oversized") {
+        Dataset b = takeBatch(1);
+        std::vector<int> shape = b.images.shape();
+        shape[0] = spec_.serving.maxBatch + 1;
+        bad = Tensor(shape, 0.5f);
+    } else if (f.kind == "wrong_shape") {
+        Dataset b = takeBatch(1);
+        std::vector<int> shape = b.images.shape();
+        shape[static_cast<size_t>(shape.size()) - 1] += 1;
+        bad = Tensor(shape, 0.5f);
+    } else { // wrong_rank
+        bad = Tensor({2, 3}, 0.5f);
+    }
+    try {
+        session_->submit(std::move(bad));
+        // A malformed request that the runtime accepted is a real
+        // robustness hole: leave the fault unrecovered.
+        Json d = Json::object();
+        d.set("kind", Json("malformed_request"));
+        d.set("request", Json(f.kind));
+        d.set("accepted", Json(true));
+        journal_->emit("fault_unrecovered", std::move(d));
+    } catch (const serve::ServeError &e) {
+        injector_->noteRecovered();
+        Json d = Json::object();
+        d.set("kind", Json("malformed_request"));
+        d.set("request", Json(f.kind));
+        d.set("phase", Json(phase));
+        d.set("point", Json(point));
+        d.set("error", Json(scrubBundlePath(e.what(), bundle_)));
+        journal_->emit("request_rejected", std::move(d));
+    }
+}
+
+void
+ScenarioRunner::saveCheckpoint(int phase, int point)
+{
+    const FaultSpec *torn = pendingTorn_;
+    pendingTorn_ = nullptr;
+    if (torn != nullptr)
+        injector_->armTornWrite(*torn, ckptPath_);
+    try {
+        session_->save(ckptPath_);
+        injector_->disarm();
+        ++ckptSaves_;
+        Json d = Json::object();
+        d.set("artifact", Json("model.ckpt"));
+        d.set("phase", Json(phase));
+        d.set("point", Json(point));
+        journal_->emit("checkpoint_save", std::move(d));
+    } catch (const io::CheckpointError &e) {
+        injector_->disarm();
+        if (torn == nullptr)
+            throw; // not ours — a genuine save failure
+        Json d = Json::object();
+        d.set("phase", Json(phase));
+        d.set("point", Json(point));
+        d.set("error", Json(scrubBundlePath(e.what(), bundle_)));
+        journal_->emit("save_failed", std::move(d));
+        // The save protocol is temp-file + rename: a torn write must
+        // leave the previous artifact fully readable.
+        bool intact = true;
+        try {
+            checkpoint::Checkpoint::read(ckptPath_);
+        } catch (const io::CheckpointError &) {
+            intact = false;
+        }
+        Json r = Json::object();
+        r.set("kind", Json("torn_save"));
+        r.set("target_intact", Json(intact));
+        if (intact) {
+            injector_->noteRecovered();
+            journal_->emit("fault_recovered", std::move(r));
+        } else {
+            journal_->emit("fault_unrecovered", std::move(r));
+        }
+    }
+}
+
+void
+ScenarioRunner::reloadSession(int phase, int point)
+{
+    const FaultSpec *corrupt = pendingCorrupt_;
+    pendingCorrupt_ = nullptr;
+    if (corrupt != nullptr)
+        injector_->armCorruptRead(*corrupt, ckptPath_);
+    uint64_t retriesBefore = loadRetries_;
+    try {
+        Session next = loadSession();
+        injector_->disarm();
+        foldSession();
+        session_ = std::move(next);
+        ++ckptLoads_;
+        Json d = Json::object();
+        d.set("phase", Json(phase));
+        d.set("point", Json(point));
+        journal_->emit("checkpoint_load", std::move(d));
+        if (corrupt != nullptr) {
+            // The corrupted read was survived via the retry budget.
+            injector_->noteRecovered();
+            Json r = Json::object();
+            r.set("kind", Json("corrupt_checkpoint"));
+            r.set("via", Json("load_retry"));
+            r.set("retries",
+                  Json(loadRetries_ - retriesBefore));
+            journal_->emit("fault_recovered", std::move(r));
+        }
+    } catch (const io::CheckpointError &e) {
+        injector_->disarm();
+        if (corrupt == nullptr)
+            throw; // not ours — a genuine artifact problem
+        // Persistent corruption exhausted the retries: degrade by
+        // keeping the previously deployed session serving.
+        ++degraded_;
+        injector_->noteRecovered();
+        Json d = Json::object();
+        d.set("phase", Json(phase));
+        d.set("point", Json(point));
+        d.set("error", Json(scrubBundlePath(e.what(), bundle_)));
+        journal_->emit("load_failed", std::move(d));
+        Json r = Json::object();
+        r.set("kind", Json("corrupt_checkpoint"));
+        r.set("via", Json("degraded_to_previous_session"));
+        journal_->emit("fault_recovered", std::move(r));
+    }
+}
+
+Json
+ScenarioRunner::buildMetrics()
+{
+    Json counts = Json::object();
+    counts.set("batches", Json(accBatches_));
+    counts.set("rows", Json(accRows_));
+    counts.set("requests", Json(accRequests_));
+    counts.set("rejected_requests", Json(accRejected_));
+    counts.set("events", Json(journal_->count()));
+    counts.set("precision_switches",
+               Json(static_cast<uint64_t>(trace_.size())));
+    counts.set("faults_injected", Json(injector_->injected()));
+    counts.set("faults_recovered", Json(injector_->recovered()));
+    counts.set("degraded", Json(degraded_));
+    counts.set("checkpoint_saves", Json(ckptSaves_));
+    counts.set("checkpoint_loads", Json(ckptLoads_));
+    counts.set("load_retries", Json(loadRetries_));
+    counts.set("cache_storms", Json(cacheStorms_));
+    counts.set("column_rebuilds", Json(accRebuilds_));
+
+    // Precision-trace digest: FNV-1a over the sampled bit-widths as
+    // little-endian u32s — machine-independent (pure RNG), so
+    // baselines may exact-compare it.
+    std::vector<uint8_t> traceBytes;
+    traceBytes.reserve(trace_.size() * 4);
+    for (int p : trace_) {
+        uint32_t u = static_cast<uint32_t>(p);
+        traceBytes.push_back(static_cast<uint8_t>(u & 0xFF));
+        traceBytes.push_back(static_cast<uint8_t>((u >> 8) & 0xFF));
+        traceBytes.push_back(static_cast<uint8_t>((u >> 16) & 0xFF));
+        traceBytes.push_back(static_cast<uint8_t>((u >> 24) & 0xFF));
+    }
+    Json digests = Json::object();
+    digests.set("events", Json(journal_->digestHex()));
+    digests.set("precision_trace",
+                Json(digestToHex(io::fnv1a(
+                    traceBytes.data(), traceBytes.size()))));
+
+    Json accuracy = Json::object();
+    if (natTotal_ > 0)
+        accuracy.set("natural_pct",
+                     Json(100.0 * static_cast<double>(natCorrect_) /
+                          static_cast<double>(natTotal_)));
+    if (robTotal_ > 0)
+        accuracy.set("robust_pct",
+                     Json(100.0 * static_cast<double>(robCorrect_) /
+                          static_cast<double>(robTotal_)));
+
+    serve::ServeStats last = session_ ? session_->stats()
+                                      : serve::ServeStats();
+    Json timing = Json::object();
+    timing.set("wall_seconds", Json(accWall_));
+    timing.set("qps", Json(accWall_ > 0.0
+                               ? static_cast<double>(accRows_) /
+                                     accWall_
+                               : 0.0));
+    timing.set("p50_us", Json(last.p50Us));
+    timing.set("p99_us", Json(last.p99Us));
+
+    Json m = Json::object();
+    m.set("scenario", Json(spec_.name));
+    m.set("seed", Json(spec_.seed));
+    m.set("counts", std::move(counts));
+    m.set("digests", std::move(digests));
+    m.set("accuracy", std::move(accuracy));
+    m.set("timing", std::move(timing));
+    return m;
+}
+
+} // namespace harness
+} // namespace twoinone

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * ScenarioRunner: executes one validated scenario spec end to end and
+ * emits its evidence bundle.
+ *
+ * A run stands up the declared model (build → optional RPS
+ * adversarial training → calibration), persists it, deploys it
+ * through Session::fromCheckpoint (the same artifact-load path
+ * production takes, retry budget included), then drives the declared
+ * traffic phases against the live session while the FaultInjector
+ * fires the scheduled faults. Everything observable lands in the
+ * bundle directory:
+ *
+ *   <out>/<scenario-name>/
+ *     run.json      — harness format version + the spec echo
+ *     events.jsonl  — seq-numbered deterministic event journal
+ *     metrics.json  — counts / digests / accuracy / timing summary
+ *     model.ckpt    — the served artifact (soak cycles re-save it)
+ *
+ * Determinism contract: with a fixed spec + seed, counts, digests and
+ * the precision trace are identical on every rerun, and events.jsonl
+ * is byte-identical on the same machine (accuracy-bearing events
+ * depend on float results, which vary across -march=native hosts —
+ * baselines therefore exact-compare only the machine-independent
+ * keys and tolerance-compare accuracies).
+ *
+ * Graceful-degradation contract: every injected fault must be
+ * survived — a clean rejection, a successful retry, or an explicit
+ * degradation (soak reload fails persistently → the previous session
+ * keeps serving). RunResult::faultsRecovered reports whether that
+ * held; the driver maps a violation to its own exit code.
+ */
+
+#ifndef TWOINONE_HARNESS_RUNNER_HH
+#define TWOINONE_HARNESS_RUNNER_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.hh"
+#include "harness/event_journal.hh"
+#include "harness/fault_injector.hh"
+#include "harness/scenario.hh"
+#include "serve/session.hh"
+
+namespace twoinone {
+namespace harness {
+
+struct RunResult
+{
+    Json metrics;           ///< the metrics.json document
+    std::string bundleDir;  ///< evidence bundle directory
+    std::string metricsPath;///< bundleDir + "/metrics.json"
+    bool faultsRecovered = true; ///< injected == recovered
+};
+
+class ScenarioRunner
+{
+  public:
+    ScenarioRunner(ScenarioSpec spec, std::string outDir);
+
+    /** Execute the scenario and write the evidence bundle. Throws
+     * io::CheckpointError / serve::ServeError only for failures the
+     * harness did not inject (those are run bugs, not scenario
+     * outcomes). */
+    RunResult run();
+
+  private:
+    void setUp();
+    void deploySession();
+    Session loadSession();
+
+    void runPhase(int index);
+    void steadyPoint(int phase, int point, int nRequests,
+                     int rowsPerRequest);
+    void adversarialPoint(int phase, int point, const PhaseSpec &ps);
+    void soakCycle(int phase, int cycle, const PhaseSpec &ps);
+
+    /** Fire the faults scheduled at (phase, point). Checkpoint faults
+     * arm and fire later, at the cycle's save/load. */
+    void applyFaults(int phase, int point);
+    void injectMalformedRequest(const FaultSpec &f, int phase,
+                                int point);
+    void saveCheckpoint(int phase, int point);
+    void reloadSession(int phase, int point);
+
+    /** Next @p rows consecutive test rows (wraps, never straddles). */
+    Dataset takeBatch(int rows);
+    /** Fold the live session's stats + trace into the accumulators
+     * (before replacing or finishing). */
+    void foldSession();
+    /** Precisions sampled since the last journal mark. */
+    Json traceDelta();
+
+    Json buildMetrics();
+
+    ScenarioSpec spec_;
+    std::string outDir_;
+    std::string bundle_;
+    std::string ckptPath_;
+
+    std::unique_ptr<EventJournal> journal_;
+    std::unique_ptr<FaultInjector> injector_;
+    std::optional<Session> session_;
+    DatasetPair data_;
+    Rng attackRng_;
+
+    int cursor_ = 0;       ///< test-set traffic cursor
+    size_t traceMark_ = 0; ///< journaled prefix of the live trace
+
+    // Pending checkpoint faults (armed at the next save / load).
+    const FaultSpec *pendingTorn_ = nullptr;
+    const FaultSpec *pendingCorrupt_ = nullptr;
+    bool starveNextDrain_ = false;
+
+    // Accumulators across session replacements.
+    uint64_t accRequests_ = 0, accRows_ = 0, accBatches_ = 0;
+    uint64_t accRejected_ = 0, accRebuilds_ = 0;
+    double accWall_ = 0.0;
+    std::vector<int> trace_;
+
+    // Run counters.
+    uint64_t ckptSaves_ = 0, ckptLoads_ = 0, loadRetries_ = 0;
+    uint64_t cacheStorms_ = 0, degraded_ = 0;
+    uint64_t natCorrect_ = 0, natTotal_ = 0;
+    uint64_t robCorrect_ = 0, robTotal_ = 0;
+};
+
+/** mkdir -p equivalent (panics on a non-directory collision). */
+void ensureDir(const std::string &path);
+
+/** Write @p text to @p path (plain stream — io fault hooks must not
+ * see bundle artifacts). */
+void writeTextFile(const std::string &path, const std::string &text);
+
+} // namespace harness
+} // namespace twoinone
+
+#endif // TWOINONE_HARNESS_RUNNER_HH

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Declarative scenario specs for the robustness harness.
+ *
+ * A scenario is a JSON document describing one deterministic run
+ * against a deployed twoinone::Session: the model and synthetic
+ * dataset to stand up, the serving configuration, an ordered list of
+ * traffic phases (steady / bursty / adversarial with live EPGD attack
+ * measurement / soak with periodic checkpoint save-reload cycles),
+ * and a list of deterministic fault injections pinned to points
+ * inside those phases. parseScenario() validates the whole document
+ * before anything runs: an unknown key, a missing required field, or
+ * an out-of-range value throws SpecError with the JSON path of the
+ * offending node ("$.phases[2].batches: ...") — one actionable line,
+ * never a stack trace. The driver maps SpecError to its own exit
+ * code so CI can tell "your spec is wrong" from "your run regressed".
+ */
+
+#ifndef TWOINONE_HARNESS_SCENARIO_HH
+#define TWOINONE_HARNESS_SCENARIO_HH
+
+#include <string>
+#include <vector>
+
+#include "harness/json.hh"
+
+namespace twoinone {
+namespace harness {
+
+/** A scenario document failed validation. path() is the JSON path of
+ * the offending node ("$", "$.model.arch", "$.faults[1].at"). */
+class SpecError : public std::runtime_error
+{
+  public:
+    SpecError(std::string path, const std::string &what)
+        : std::runtime_error(path + ": " + what),
+          path_(std::move(path))
+    {
+    }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+/** Model + dataset stood up for the run. */
+struct ModelSpec
+{
+    std::string arch = "convnet_tiny"; ///< convnet_tiny | preact_mini
+                                       ///< | wide_mini
+    int baseWidth = 4;
+    std::vector<int> precisions;  ///< empty = rps4to16
+    int trainEpochs = 0;          ///< quick PGD-free natural epochs
+    std::string trainMethod = "natural"; ///< natural|fgsm|pgd7|free
+    int calibrateBatches = 0;     ///< static-scale calibration batches
+};
+
+struct DataSpec
+{
+    int classes = 10;
+    int size = 8; ///< square image side
+    int train = 128;
+    int test = 64;
+};
+
+struct ServingSpec
+{
+    int maxBatch = 32;
+    int microBatch = 8;
+    std::string mode = "quantized"; ///< quantized | float
+    int replicas = 0;
+    bool lazyWarmup = true;
+};
+
+struct SessionSpec
+{
+    int loadRetries = 1;
+    int retryBackoffMs = 0;
+};
+
+/** One attack block inside an adversarial phase. */
+struct AttackSpec
+{
+    std::string kind = "pgd"; ///< pgd | epgd | fgsm
+    int steps = 5;
+    double eps255 = 8.0;
+    double alpha255 = 2.0;
+};
+
+/** One traffic phase. Which fields apply depends on type. */
+struct PhaseSpec
+{
+    std::string type; ///< steady | bursty | adversarial | soak
+    // steady / adversarial / soak
+    int batches = 4;
+    int requestsPerBatch = 4;
+    int rowsPerRequest = 4;
+    // bursty
+    int bursts = 2;
+    int burstRequests = 8;
+    // adversarial
+    AttackSpec attack;
+    // soak
+    int cycles = 2;
+    int batchesPerCycle = 2;
+    int checkpointEvery = 1;
+
+    /** Points the phase iterates over (batches, bursts or cycles) —
+     * the coordinate faults pin to. */
+    int points() const;
+};
+
+/** One deterministic fault injection, pinned to (phase, at). */
+struct FaultSpec
+{
+    std::string type; ///< corrupt_checkpoint | torn_save |
+                      ///< cache_storm | starve_pool |
+                      ///< malformed_request
+    int phase = 0;    ///< index into ScenarioSpec::phases
+    int at = 0;       ///< point within the phase (batch/burst/cycle)
+    // corrupt_checkpoint
+    std::string mode = "bitflip"; ///< bitflip | truncate
+    int flips = 3;
+    bool persistent = false; ///< survive retries (rejection path)
+    // cache_storm
+    int storms = 3;
+    // malformed_request
+    std::string kind = "oversized"; ///< oversized | wrong_shape |
+                                    ///< wrong_rank
+};
+
+/** Baseline-compare rules (see harness/baseline.hh). */
+struct CompareSpec
+{
+    /** Dotted metric paths that must match the baseline exactly. */
+    std::vector<std::string> exact;
+    /** path -> allowed absolute difference. */
+    std::vector<std::pair<std::string, double>> absTol;
+    /** path -> allowed relative difference (fraction). */
+    std::vector<std::pair<std::string, double>> relTol;
+    /** Metric key prefixes exempt from the key-set equality check
+     * and from default-exact comparison (timing noise). */
+    std::vector<std::string> ignore;
+};
+
+/** A fully validated scenario. */
+struct ScenarioSpec
+{
+    std::string name;
+    uint64_t seed = 2021;
+    ModelSpec model;
+    DataSpec data;
+    ServingSpec serving;
+    SessionSpec session;
+    std::vector<PhaseSpec> phases;
+    std::vector<FaultSpec> faults;
+    CompareSpec compare;
+    /** The parsed source document (echoed into run.json). */
+    Json echo;
+};
+
+/** Validate and bind a parsed scenario document (throws SpecError
+ * with the JSON path on the first violation). */
+ScenarioSpec parseScenario(const Json &doc);
+
+/** Convenience: read + parse + validate a scenario file (throws
+ * SpecError / JsonError / io::CheckpointError for missing files). */
+ScenarioSpec loadScenario(const std::string &path);
+
+} // namespace harness
+} // namespace twoinone
+
+#endif // TWOINONE_HARNESS_SCENARIO_HH

@@ -160,7 +160,10 @@ save(const std::string &path, Network &net, RpsEngine *engine,
     trailer.u64(hash);
     bytes.insert(bytes.end(), trailer.bytes().begin(),
                  trailer.bytes().end());
-    io::writeFile(path, bytes);
+    // Atomic replace: a crash (or injected fault) mid-save must never
+    // leave a torn artifact at the target path — serving fleets reload
+    // checkpoints while the trainer overwrites them.
+    io::writeFileAtomic(path, bytes);
 }
 
 Checkpoint

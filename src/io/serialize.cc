@@ -5,11 +5,37 @@
 
 #include "io/serialize.hh"
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 
 namespace twoinone {
 namespace io {
+
+namespace {
+
+/** Installed fault hooks (empty = pass-through). Process-global, see
+ * the header's thread-safety note. */
+FaultHooks &
+faultHooks()
+{
+    static FaultHooks hooks;
+    return hooks;
+}
+
+} // namespace
+
+void
+setFaultHooks(FaultHooks hooks)
+{
+    faultHooks() = std::move(hooks);
+}
+
+void
+clearFaultHooks()
+{
+    faultHooks() = FaultHooks();
+}
 
 void
 Writer::raw(const void *p, size_t n)
@@ -225,11 +251,29 @@ fnv1a(const uint8_t *data, size_t size)
 void
 writeFile(const std::string &path, const std::vector<uint8_t> &bytes)
 {
+    size_t limit = bytes.size();
+    bool injected = false;
+    if (faultHooks().onWrite) {
+        size_t n = faultHooks().onWrite(path, bytes.size());
+        if (n < bytes.size()) {
+            limit = n;
+            injected = true;
+        }
+    }
     std::ofstream f(path, std::ios::binary | std::ios::trunc);
     if (!f)
         throw CheckpointError("cannot open " + path + " for writing");
     f.write(reinterpret_cast<const char *>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
+            static_cast<std::streamsize>(limit));
+    if (injected) {
+        // Persist the torn prefix (like a crash would) before
+        // reporting the failure.
+        f.flush();
+        throw CheckpointError("injected write fault: " + path +
+                              " torn after " + std::to_string(limit) +
+                              " of " + std::to_string(bytes.size()) +
+                              " bytes");
+    }
     if (!f)
         throw CheckpointError("short write to " + path);
 }
@@ -246,7 +290,26 @@ readFile(const std::string &path)
     f.read(reinterpret_cast<char *>(bytes.data()), size);
     if (!f)
         throw CheckpointError("short read from " + path);
+    if (faultHooks().onRead)
+        faultHooks().onRead(path, bytes);
     return bytes;
+}
+
+void
+writeFileAtomic(const std::string &path,
+                const std::vector<uint8_t> &bytes)
+{
+    std::string tmp = path + ".tmp";
+    try {
+        writeFile(tmp, bytes);
+    } catch (...) {
+        std::remove(tmp.c_str());
+        throw;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw CheckpointError("cannot rename " + tmp + " over " + path);
+    }
 }
 
 } // namespace io

@@ -17,6 +17,7 @@
 #define TWOINONE_IO_SERIALIZE_HH
 
 #include <cstdint>
+#include <functional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -114,12 +115,54 @@ class Reader
 /** FNV-1a 64-bit hash — the checkpoint payload integrity check. */
 uint64_t fnv1a(const uint8_t *data, size_t size);
 
+/**
+ * Deterministic fault-injection seam for the scenario harness and the
+ * robustness tests (src/harness/fault_injector). When installed, the
+ * hooks intercept every readFile/writeFile in this process:
+ *
+ *  - onRead runs after a successful read and may mutate the bytes in
+ *    place (bit flips, truncation) — the caller then parses the
+ *    corrupted view exactly as it would a corrupted disk.
+ *  - onWrite is consulted before writing; returning a value smaller
+ *    than @p size makes writeFile persist only that prefix and then
+ *    throw CheckpointError — a crash mid-write, observable on disk.
+ *    Return SIZE_MAX (or leave the hook empty) for no fault.
+ *
+ * Process-global and not thread-safe: install/clear from the single
+ * harness/test thread only, never while another thread is inside
+ * readFile/writeFile.
+ */
+struct FaultHooks
+{
+    std::function<void(const std::string &path,
+                       std::vector<uint8_t> &bytes)>
+        onRead;
+    std::function<size_t(const std::string &path, size_t size)> onWrite;
+};
+
+/** Install @p hooks (replacing any previous ones). */
+void setFaultHooks(FaultHooks hooks);
+
+/** Remove all installed fault hooks. */
+void clearFaultHooks();
+
 /** Write a byte buffer to @p path (throws CheckpointError on I/O
  * failure). */
 void writeFile(const std::string &path, const std::vector<uint8_t> &bytes);
 
 /** Read a whole file (throws CheckpointError when absent/unreadable). */
 std::vector<uint8_t> readFile(const std::string &path);
+
+/**
+ * Atomically replace @p path with @p bytes: the payload is written to
+ * "<path>.tmp" and renamed over the target, so a crash (or injected
+ * write fault) at any point leaves either the previous artifact or
+ * the new one at @p path — never a torn prefix. The orphaned temp
+ * file is removed best-effort on failure. Throws CheckpointError on
+ * any I/O failure.
+ */
+void writeFileAtomic(const std::string &path,
+                     const std::vector<uint8_t> &bytes);
 
 } // namespace io
 } // namespace twoinone

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/logging.hh"
 #include "common/thread_pool.hh"
 
 namespace twoinone {
@@ -68,16 +69,29 @@ ServingRuntime::ServingRuntime(Network &net, RpsEngine &engine,
 size_t
 ServingRuntime::submit(Tensor x)
 {
-    TWOINONE_ASSERT(x.ndim() == static_cast<int>(rowShape_.size()),
-                    "request rank mismatch");
-    for (size_t i = 1; i < rowShape_.size(); ++i) {
-        TWOINONE_ASSERT(x.dim(static_cast<int>(i)) == rowShape_[i],
-                        "request image shape mismatch at dim ", i);
+    // Request validation failures are caller data, not library bugs:
+    // reject the request, count it, keep serving.
+    if (x.ndim() != static_cast<int>(rowShape_.size())) {
+        ++rejected_;
+        throw ServeError(formatMessage(
+            "rejected request: rank ", x.ndim(), " != expected ",
+            rowShape_.size()));
     }
-    TWOINONE_ASSERT(x.dim(0) > 0 && x.dim(0) <= cfg_.maxBatch,
-                    "request batch ", x.dim(0),
-                    " exceeds the serving batch capacity ",
-                    cfg_.maxBatch);
+    for (size_t i = 1; i < rowShape_.size(); ++i) {
+        if (x.dim(static_cast<int>(i)) != rowShape_[i]) {
+            ++rejected_;
+            throw ServeError(formatMessage(
+                "rejected request: image dim ", i, " is ",
+                x.dim(static_cast<int>(i)), ", expected ",
+                rowShape_[i]));
+        }
+    }
+    if (x.dim(0) <= 0 || x.dim(0) > cfg_.maxBatch) {
+        ++rejected_;
+        throw ServeError(formatMessage(
+            "rejected request: batch ", x.dim(0),
+            " exceeds the serving batch capacity ", cfg_.maxBatch));
+    }
     Request r;
     r.x = std::move(x);
     r.enqueued = Clock::now();
@@ -167,7 +181,7 @@ ServingRuntime::serveBatch(size_t first, size_t last, int rows)
         Request &req = requests_[r];
         req.latencyUs = microseconds(req.enqueued, done);
         req.done = true;
-        latenciesUs_.push_back(req.latencyUs);
+        latencyUs_.add(req.latencyUs);
         ++servedRequests_;
         servedRows_ += static_cast<uint64_t>(req.x.dim(0));
     }
@@ -228,21 +242,13 @@ ServingRuntime::stats() const
     s.requests = servedRequests_;
     s.rows = servedRows_;
     s.batches = servedBatches_;
+    s.rejected = rejected_;
     s.wallSeconds = wallSeconds_;
     s.qps = wallSeconds_ > 0.0
                 ? static_cast<double>(servedRows_) / wallSeconds_
                 : 0.0;
-    if (!latenciesUs_.empty()) {
-        std::vector<double> sorted = latenciesUs_;
-        std::sort(sorted.begin(), sorted.end());
-        auto pick = [&](double q) {
-            size_t idx = static_cast<size_t>(
-                q * static_cast<double>(sorted.size() - 1));
-            return sorted[idx];
-        };
-        s.p50Us = pick(0.5);
-        s.p99Us = pick(0.99);
-    }
+    s.p50Us = latencyUs_.quantile(0.5);
+    s.p99Us = latencyUs_.quantile(0.99);
     return s;
 }
 
@@ -252,8 +258,9 @@ ServingRuntime::resetStats()
     servedRequests_ = 0;
     servedRows_ = 0;
     servedBatches_ = 0;
+    rejected_ = 0;
     wallSeconds_ = 0.0;
-    latenciesUs_.clear();
+    latencyUs_.clear();
 }
 
 } // namespace serve

@@ -26,15 +26,34 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "common/rng.hh"
+#include "common/stats.hh"
 
 #include "quant/rps_engine.hh"
 #include "serve/execution_plan.hh"
 
 namespace twoinone {
 namespace serve {
+
+/**
+ * A serving request (or serving-control call) was rejected: malformed
+ * shape, oversized batch, or a precision outside the model's bound
+ * set. This is a *recoverable caller-facing* condition — production
+ * traffic contains garbage, and one poisoned request must not take
+ * the runtime down — so it throws instead of panicking; the runtime
+ * stays healthy and counts the rejection (ServeStats::rejected).
+ */
+class ServeError : public std::runtime_error
+{
+  public:
+    explicit ServeError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
 
 /** Serving-loop configuration. */
 struct ServeConfig
@@ -69,6 +88,9 @@ struct ServeStats
     uint64_t requests = 0;
     uint64_t rows = 0;
     uint64_t batches = 0;
+    /** Malformed/oversized submissions rejected with ServeError while
+     * the runtime kept serving (graceful-degradation counter). */
+    uint64_t rejected = 0;
     double wallSeconds = 0.0;
     double qps = 0.0;   ///< rows per second of drain() wall time
     double p50Us = 0.0; ///< median request latency (submit -> done)
@@ -93,7 +115,13 @@ class ServingRuntime
                    const std::vector<int> &input_shape,
                    ServeConfig cfg = ServeConfig());
 
-    /** Enqueue a request of x.dim(0) images; returns its id. */
+    /**
+     * Enqueue a request of x.dim(0) images; returns its id. A
+     * malformed request — wrong rank, wrong image shape, empty, or
+     * more rows than the serving-batch capacity — is rejected with
+     * ServeError: nothing is enqueued, the rejection is counted
+     * (ServeStats::rejected), and the runtime keeps serving.
+     */
     size_t submit(Tensor x);
 
     /** Serve everything queued; blocks until all results are ready. */
@@ -154,8 +182,13 @@ class ServingRuntime
     uint64_t servedRequests_ = 0;
     uint64_t servedRows_ = 0;
     uint64_t servedBatches_ = 0;
+    uint64_t rejected_ = 0;
     double wallSeconds_ = 0.0;
-    std::vector<double> latenciesUs_;
+    /** Bounded-memory latency quantiles: soak runs add one sample per
+     * request forever, so an exact sorted vector would grow without
+     * limit; the sketch pins p50/p99 within its relative-error bound
+     * at fixed memory. */
+    QuantileSketch latencyUs_;
 
     /** Serve one packed batch of @p rows rows from requests
      * [first, last). */

@@ -5,7 +5,9 @@
 
 #include "serve/session.hh"
 
+#include <chrono>
 #include <new>
+#include <thread>
 
 #include "io/checkpoint.hh"
 #include "quant/calibration.hh"
@@ -82,7 +84,28 @@ Session::operator=(Session &&other) noexcept
 Session
 Session::fromCheckpoint(const std::string &path, SessionConfig cfg)
 {
-    checkpoint::Checkpoint ckpt = checkpoint::Checkpoint::read(path);
+    // Retry-with-backoff on a malformed read: transient corruption (a
+    // racing writer, flaky storage) often clears on the next attempt;
+    // persistent corruption exhausts the budget and surfaces the last
+    // CheckpointError to the caller — recoverable, never a crash.
+    checkpoint::Checkpoint ckpt = [&] {
+        int attempts = 1 + std::max(0, cfg.loadRetries);
+        for (int a = 1;; ++a) {
+            try {
+                return checkpoint::Checkpoint::read(path);
+            } catch (const io::CheckpointError &e) {
+                if (a >= attempts)
+                    throw;
+                if (cfg.onLoadRetry)
+                    cfg.onLoadRetry(a, e.what());
+                if (cfg.loadRetryBackoffMs > 0) {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(
+                            cfg.loadRetryBackoffMs << (a - 1)));
+                }
+            }
+        }
+    }();
     // Sessions require an RPS-capable model; the constructor treats a
     // precision-less network as a caller bug (panic), but here the
     // network comes from the artifact — recoverable input.
@@ -120,6 +143,15 @@ Session::attach(Network &net, SessionConfig cfg)
 void
 Session::switchPrecision(int bits)
 {
+    // Reject before touching the engine: Network::setPrecision treats
+    // an out-of-set precision as a library bug (panic), but at the
+    // session boundary it is caller data — the installed precision
+    // must keep serving bit-identically after the rejection.
+    if (bits != 0 && !net_->precisionSet().contains(bits))
+        throw serve::ServeError(formatMessage(
+            "rejected precision switch: ", bits,
+            " is not in the model's bound set ",
+            net_->precisionSet().name()));
     engine_->setPrecision(bits);
 }
 

@@ -32,6 +32,7 @@
 #ifndef TWOINONE_SERVE_SESSION_HH
 #define TWOINONE_SERVE_SESSION_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -70,6 +71,23 @@ struct SessionConfig
      * checkpoint carries one. */
     bool restoreEngineCache = true;
 
+    /** @name Artifact-load resilience
+     * fromCheckpoint() retries a failed parse/instantiate up to
+     * loadRetries extra times (a transiently corrupt read — a racing
+     * writer, flaky storage — often succeeds on the next attempt),
+     * sleeping loadRetryBackoffMs doubled per attempt between tries.
+     * Exhaustion rethrows the last io::CheckpointError — a
+     * recoverable condition the caller can degrade on, never a
+     * crash. onLoadRetry (when set) observes each failed attempt
+     * (1-based) and its error before the backoff sleep — the scenario
+     * harness journals these. */
+    /** @{ */
+    int loadRetries = 0;
+    int loadRetryBackoffMs = 0;
+    std::function<void(int attempt, const std::string &error)>
+        onLoadRetry;
+    /** @} */
+
     static serve::ServeConfig
     defaultServing()
     {
@@ -86,8 +104,10 @@ struct SessionConfig
 class Session
 {
   public:
-    /** Load a model artifact and wire the serving stack around it
-     * (throws io::CheckpointError on a malformed artifact). */
+    /** Load a model artifact and wire the serving stack around it,
+     * retrying per SessionConfig::loadRetries (throws
+     * io::CheckpointError once the artifact stays malformed through
+     * every attempt — recoverable, the process stays healthy). */
     static Session fromCheckpoint(const std::string &path,
                                   SessionConfig cfg = SessionConfig());
 
@@ -111,7 +131,11 @@ class Session
     /** @name Precision control */
     /** @{ */
     /** Switch the active precision through the engine cache
-     * (O(#layers)); 0 = full precision. */
+     * (O(#layers)); 0 = full precision. A precision outside the
+     * model's bound set is caller data gone wrong, not a library
+     * bug: the call throws serve::ServeError *before* touching the
+     * engine, so the previously installed precision keeps serving
+     * bit-identically. */
     void switchPrecision(int bits);
     /** Sample a candidate uniformly, switch to it, return it. */
     int switchRandom(Rng &rng);

@@ -397,6 +397,135 @@ TEST(Session, ServeMatchesEngineForward)
     std::remove(path.c_str());
 }
 
+/** A write fault that tears the save mid-stream must surface
+ * CheckpointError AND leave the previous artifact untouched: save()
+ * writes to <path>.tmp and renames only on success, so the torn
+ * bytes never reach the live path. */
+TEST(Checkpoint, TornSaveLeavesPreviousArtifactIntact)
+{
+    Network net = makeTinyNet(60);
+    Tensor x = makeInput(15);
+    std::string path = tmpPath("torn");
+    checkpoint::save(path, net);
+    std::vector<uint8_t> before = io::readFile(path);
+    Tensor y_ref = Session::fromCheckpoint(path).forward(x);
+
+    io::FaultHooks hooks;
+    hooks.onWrite = [](const std::string &, size_t size) {
+        return size / 2; // tear every write at half its bytes
+    };
+    io::setFaultHooks(hooks);
+    Network net2 = makeTinyNet(61); // different weights
+    EXPECT_THROW(checkpoint::save(path, net2), io::CheckpointError);
+    io::clearFaultHooks();
+
+    // The artifact still holds the *previous* model, byte for byte.
+    EXPECT_EQ(io::readFile(path), before);
+    expectBitIdentical(y_ref, Session::fromCheckpoint(path).forward(x),
+                       0);
+    std::remove(path.c_str());
+}
+
+/** A transiently corrupt read (flaky storage, racing writer) is
+ * healed by the retry budget: attempt 1 fails, the retry sees clean
+ * bytes, and the loaded session is bit-identical to a clean load. */
+TEST(Session, TransientCorruptReadRecoversViaRetry)
+{
+    Network net = makeTinyNet(62);
+    Tensor x = makeInput(16);
+    std::string path = tmpPath("transient");
+    checkpoint::save(path, net);
+    Tensor y_ref = Session::fromCheckpoint(path).forward(x);
+
+    auto fired = std::make_shared<bool>(false);
+    io::FaultHooks hooks;
+    hooks.onRead = [fired](const std::string &,
+                           std::vector<uint8_t> &bytes) {
+        if (*fired)
+            return; // transient: only the first read is corrupt
+        *fired = true;
+        bytes[bytes.size() / 2] ^= 0xff;
+    };
+    io::setFaultHooks(hooks);
+
+    SessionConfig cfg;
+    cfg.loadRetries = 1;
+    int attempts = 0;
+    std::string lastError;
+    cfg.onLoadRetry = [&](int attempt, const std::string &error) {
+        attempts = attempt;
+        lastError = error;
+    };
+    Session s = Session::fromCheckpoint(path, cfg);
+    io::clearFaultHooks();
+
+    EXPECT_TRUE(*fired);
+    EXPECT_EQ(attempts, 1);
+    EXPECT_FALSE(lastError.empty());
+    expectBitIdentical(y_ref, s.forward(x), 0);
+    std::remove(path.c_str());
+}
+
+/** When the artifact stays malformed through every retry, the
+ * exhausted load surfaces io::CheckpointError — a recoverable
+ * condition the caller can degrade on, never a crash — after
+ * observing exactly loadRetries failed attempts. */
+TEST(Session, LoadRetryExhaustionIsRecoverable)
+{
+    Network net = makeTinyNet(63);
+    std::string path = tmpPath("exhaust");
+    checkpoint::save(path, net);
+
+    io::FaultHooks hooks;
+    hooks.onRead = [](const std::string &,
+                      std::vector<uint8_t> &bytes) {
+        bytes[bytes.size() / 2] ^= 0xff; // persistent corruption
+    };
+    io::setFaultHooks(hooks);
+
+    SessionConfig cfg;
+    cfg.loadRetries = 2;
+    std::vector<int> attempts;
+    cfg.onLoadRetry = [&](int attempt, const std::string &) {
+        attempts.push_back(attempt);
+    };
+    EXPECT_THROW(Session::fromCheckpoint(path, cfg),
+                 io::CheckpointError);
+    io::clearFaultHooks();
+    EXPECT_EQ(attempts, (std::vector<int>{1, 2}));
+
+    // The process stays healthy: a clean load still works.
+    Tensor x = makeInput(17);
+    Session s = Session::fromCheckpoint(path);
+    s.forward(x);
+    std::remove(path.c_str());
+}
+
+/** A rejected precision switch (bits outside the candidate set)
+ * throws serve::ServeError and leaves the previously active
+ * precision serving bit-identically — the session never lands in a
+ * half-switched state. */
+TEST(Session, FailedSwitchPrecisionKeepsPriorPrecisionServing)
+{
+    Network net = makeTinyNet(64);
+    Tensor x = makeInput(18);
+    {
+        // Static scales: forwards are a pure function of the input.
+        Calibrator cal(net);
+        cal.calibrate({makeInput(19, 8)});
+    }
+    Session s = Session::attach(net);
+    int bits = s.candidates().bits().front();
+    s.switchPrecision(bits);
+    Tensor y_ref = s.forward(x);
+
+    EXPECT_THROW(s.switchPrecision(7), serve::ServeError);
+    EXPECT_THROW(s.switchPrecision(-1), serve::ServeError);
+
+    EXPECT_EQ(s.activePrecision(), bits);
+    expectBitIdentical(y_ref, s.forward(x), bits);
+}
+
 /** attach() leaves the caller's network routing as it found it. */
 TEST(Session, AttachRestoresPlanRouting)
 {

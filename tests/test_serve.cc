@@ -381,5 +381,75 @@ TEST(ServingRuntime, ResultsMatchEngineForward)
     EXPECT_EQ(srv.stats().requests, xs.size() + 1);
 }
 
+/** Malformed submissions — wrong rank, wrong image shape, empty,
+ * oversized — are rejected with ServeError, counted in
+ * ServeStats::rejected, and leave the runtime serving healthy
+ * traffic bit-identically to an undisturbed run. */
+TEST(ServingRuntime, MalformedSubmissionsRejectedWithoutDisruption)
+{
+    Network net = makeTinyNet(51);
+    RpsEngine engine(net);
+    serve::ServeConfig cfg;
+    cfg.maxBatch = 8;
+    cfg.microBatch = 4;
+    cfg.seed = 321;
+
+    Rng req_rng(7);
+    std::vector<Tensor> good;
+    for (int i = 0; i < 4; ++i)
+        good.push_back(Tensor::uniform({4, 3, 8, 8}, req_rng, 0.0f,
+                                       1.0f));
+
+    // Reference: the same healthy traffic with no garbage mixed in.
+    serve::ServingRuntime ref(net, engine, {3, 8, 8}, cfg);
+    for (const Tensor &x : good)
+        ref.submit(x);
+    ref.drain();
+
+    serve::ServingRuntime srv(net, engine, {3, 8, 8}, cfg);
+    Rng junk_rng(8);
+    std::vector<size_t> ids;
+    ids.push_back(srv.submit(good[0]));
+    // Wrong rank: 2-d tensor where [N, C, H, W] is expected.
+    EXPECT_THROW(srv.submit(Tensor::uniform({4, 9}, junk_rng, 0.0f,
+                                            1.0f)),
+                 serve::ServeError);
+    ids.push_back(srv.submit(good[1]));
+    // Wrong image shape: trailing dims disagree with the runtime's.
+    EXPECT_THROW(srv.submit(Tensor::uniform({4, 3, 8, 9}, junk_rng,
+                                            0.0f, 1.0f)),
+                 serve::ServeError);
+    // Oversized: more rows than the serving-batch capacity.
+    EXPECT_THROW(srv.submit(Tensor::uniform({cfg.maxBatch + 1, 3, 8, 8},
+                                            junk_rng, 0.0f, 1.0f)),
+                 serve::ServeError);
+    ids.push_back(srv.submit(good[2]));
+    ids.push_back(srv.submit(good[3]));
+    srv.drain();
+
+    // The rejection messages name the offending dimension.
+    try {
+        srv.submit(Tensor::uniform({cfg.maxBatch + 1, 3, 8, 8},
+                                   junk_rng, 0.0f, 1.0f));
+        FAIL() << "oversized request accepted";
+    } catch (const serve::ServeError &e) {
+        EXPECT_NE(std::string(e.what()).find("batch"),
+                  std::string::npos);
+    }
+
+    serve::ServeStats st = srv.stats();
+    EXPECT_EQ(st.rejected, 4u);
+    EXPECT_EQ(st.requests, good.size());
+    EXPECT_EQ(st.rows, 4 * good.size());
+
+    // Healthy traffic was untouched by the rejections: same sampled
+    // precisions, bit-identical results as the undisturbed run.
+    EXPECT_EQ(srv.precisionTrace(), ref.precisionTrace());
+    for (size_t i = 0; i < good.size(); ++i)
+        expectBitIdentical(ref.result(i), srv.result(ids[i]),
+                           srv.precisionTrace().front());
+    EXPECT_EQ(ref.stats().rejected, 0u);
+}
+
 } // namespace
 } // namespace twoinone
