@@ -1,0 +1,355 @@
+/**
+ * @file
+ * Open-loop load generator for the asynchronous serving front-end
+ * (serve::Server) — the ISSUE 7 tentpole benchmark.
+ *
+ * Measures, against one preact_mini tenant:
+ *
+ *  1. serial_qps — the synchronous ServingRuntime drained under
+ *     ThreadPool::ScopedSerial: the single-thread reference the
+ *     paper-style RPS pipeline had before the event loop.
+ *  2. async_qps — the Server at saturation (a pre-filled backlog,
+ *     flushed): dispatcher thread + pool-sharded micro-batches.
+ *     scaling = async_qps / serial_qps.
+ *  3. An open-loop Poisson sweep: offered rows/s laddered up to and
+ *     past the measured saturation point. Arrivals are scheduled from
+ *     seeded exponential inter-arrival draws and submitted at their
+ *     wall-clock times regardless of completions (open loop — queueing
+ *     delay is allowed to blow up, which is what exposes the knee).
+ *     Each point reports achieved throughput, exact sorted-latency
+ *     p50/p99/p99.9, and the shed rate (admission-control drops plus
+ *     deadline expiries). The knee is the highest offered point that
+ *     still achieves >= 90% of its offered load.
+ *
+ * Results merge into BENCH_rps.json as a "serve_async" section (the
+ * file written by microbench_rps is parsed and re-emitted with the
+ * section replaced), tracked per PR by ci/check_bench_regression.py
+ * via serve_async.scaling.
+ *
+ * JSON schema:
+ *   serve_async: {
+ *     threads, rows_per_request,
+ *     serial_qps, async_qps, scaling, knee_qps,
+ *     sweep: [ { offered_qps, achieved_qps, p50_us, p99_us,
+ *                p999_us, shed_rate } ]
+ *   }
+ *
+ * Exits non-zero when (with >= 4 pool threads on >= 4 hardware cores)
+ * the async server does not scale >= 1.5x over the serial drain, or
+ * when the sweep sheds requests below half the measured saturation
+ * throughput (shedding while underloaded means admission control or
+ * deadlines are misfiring).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/thread_pool.hh"
+#include "harness/json.hh"
+#include "quant/calibration.hh"
+#include "quant/rps_engine.hh"
+#include "serve/server.hh"
+#include "serve/session.hh"
+#include "workloads/model_library.hh"
+
+namespace {
+
+using namespace twoinone;
+using WClock = std::chrono::steady_clock;
+
+struct SweepPoint
+{
+    double offeredQps = 0.0;  ///< offered rows/s
+    double achievedQps = 0.0; ///< served rows/s of the run window
+    double p50Us = 0.0;
+    double p99Us = 0.0;
+    double p999Us = 0.0;
+    double shedRate = 0.0; ///< shed requests / offered requests
+};
+
+/** Exact quantile of an already sorted latency vector. */
+double
+quantile(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    double pos = q * static_cast<double>(sorted.size() - 1);
+    size_t lo = static_cast<size_t>(pos);
+    size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+/** One open-loop Poisson point: schedule arrivals at the offered
+ * rate, submit each at its wall-clock time, then flush and account. */
+SweepPoint
+runPoint(serve::Server &server, serve::Server::TenantId tenant,
+         const std::vector<Tensor> &pool, int n_requests,
+         int rows_per_request, double offered_qps, uint64_t seed)
+{
+    Rng rng(seed);
+    double req_per_s =
+        offered_qps / static_cast<double>(rows_per_request);
+    std::vector<double> arrival_s(static_cast<size_t>(n_requests));
+    double t = 0.0;
+    for (int i = 0; i < n_requests; ++i) {
+        // Inverse-CDF exponential inter-arrival (u in (0,1]).
+        double u = 1.0 - rng.uniform();
+        t += -std::log(u) / req_per_s;
+        arrival_s[static_cast<size_t>(i)] = t;
+    }
+
+    std::vector<std::future<serve::Reply>> futs;
+    futs.reserve(static_cast<size_t>(n_requests));
+    uint64_t admission_shed = 0;
+    WClock::time_point start = WClock::now();
+    for (int i = 0; i < n_requests; ++i) {
+        std::this_thread::sleep_until(
+            start + std::chrono::duration_cast<WClock::duration>(
+                        std::chrono::duration<double>(
+                            arrival_s[static_cast<size_t>(i)])));
+        try {
+            futs.push_back(server.submit(
+                tenant, pool[static_cast<size_t>(i) % pool.size()]));
+        } catch (const serve::ServeError &) {
+            ++admission_shed; // queue full: open loop keeps going
+        }
+    }
+    server.flush();
+    double wall =
+        std::chrono::duration<double>(WClock::now() - start).count();
+
+    std::vector<double> lat;
+    lat.reserve(futs.size());
+    uint64_t served = 0, deadline_shed = 0;
+    for (auto &f : futs) {
+        try {
+            serve::Reply r = f.get();
+            lat.push_back(r.latencyUs);
+            ++served;
+        } catch (const serve::ServeError &) {
+            ++deadline_shed;
+        }
+    }
+    std::sort(lat.begin(), lat.end());
+
+    SweepPoint p;
+    p.offeredQps = offered_qps;
+    p.achievedQps = wall > 0.0
+                        ? static_cast<double>(served) *
+                              rows_per_request / wall
+                        : 0.0;
+    p.p50Us = quantile(lat, 0.50);
+    p.p99Us = quantile(lat, 0.99);
+    p.p999Us = quantile(lat, 0.999);
+    p.shedRate = static_cast<double>(admission_shed + deadline_shed) /
+                 static_cast<double>(n_requests);
+    return p;
+}
+
+harness::Json
+jsonRound(double v)
+{
+    return harness::Json(std::round(v * 10.0) / 10.0);
+}
+
+} // namespace
+
+int
+main()
+{
+    bool fast = bench::fastMode();
+
+    bench::banner("Async serving load generator (open-loop Poisson "
+                  "sweep to the latency knee)");
+    std::cout << "threads=" << ThreadPool::global().threads()
+              << (fast ? " (fast mode)" : "") << "\n\n";
+
+    Rng rng(2025);
+    ModelConfig mcfg;
+    mcfg.baseWidth = fast ? 8 : 16;
+    Network net = preActResNetMini(mcfg, rng);
+    {
+        Rng cal_rng(63);
+        Calibrator cal(net);
+        cal.calibrate(
+            {Tensor::uniform({8, 3, 8, 8}, cal_rng, 0.0f, 1.0f)});
+    }
+    RpsEngine engine(net);
+
+    const int rows_per_request = 4;
+    const int backlog_requests = fast ? 48 : 96;
+    SessionConfig sess_cfg;
+    sess_cfg.serving.maxBatch = rows_per_request * 4;
+    sess_cfg.serving.microBatch = rows_per_request;
+    sess_cfg.serving.mode = serve::PlanMode::Quantized;
+    sess_cfg.serving.seed = 77;
+    sess_cfg.serving.lazyPlanWarmup = false;
+    sess_cfg.inputShape = {3, 8, 8};
+
+    Rng req_rng(19);
+    std::vector<Tensor> pool;
+    for (int i = 0; i < 32; ++i)
+        pool.push_back(Tensor::uniform({rows_per_request, 3, 8, 8},
+                                       req_rng, 0.0f, 1.0f));
+
+    // --- 1. Serial synchronous baseline ----------------------------
+    double serial_qps = 0.0;
+    {
+        Session sess = Session::attach(net, engine, sess_cfg);
+        for (int i = 0; i < backlog_requests; ++i)
+            sess.submit(pool[static_cast<size_t>(i) % pool.size()]);
+        {
+            ThreadPool::ScopedSerial guard;
+            sess.drain();
+        }
+        serial_qps = sess.stats().qps;
+    }
+
+    // --- 2. Async saturation throughput ----------------------------
+    double async_qps = 0.0;
+    {
+        serve::ServerConfig scfg;
+        scfg.queueCapacity = backlog_requests;
+        scfg.maxBatchDelayUs = 200.0;
+        scfg.startPaused = true; // pre-fill, then serve the backlog
+        serve::Server server(scfg);
+        Session sess = Session::attach(net, engine, sess_cfg);
+        serve::Server::TenantId tenant = server.addTenant(sess);
+        std::vector<std::future<serve::Reply>> futs;
+        for (int i = 0; i < backlog_requests; ++i)
+            futs.push_back(server.submit(
+                tenant, pool[static_cast<size_t>(i) % pool.size()]));
+        WClock::time_point t0 = WClock::now();
+        server.resume();
+        server.flush();
+        double wall =
+            std::chrono::duration<double>(WClock::now() - t0).count();
+        for (auto &f : futs)
+            f.get();
+        async_qps = wall > 0.0 ? static_cast<double>(
+                                     backlog_requests) *
+                                     rows_per_request / wall
+                               : 0.0;
+        server.stop();
+    }
+    double scaling = serial_qps > 0.0 ? async_qps / serial_qps : 0.0;
+    std::printf("%-24s %14s %14s %8s\n", "serving (rows/s)",
+                "serial_qps", "async_qps", "scaling");
+    std::printf("%-24s %14.0f %14.0f %7.2fx\n", "sync drain vs server",
+                serial_qps, async_qps, scaling);
+
+    // --- 3. Open-loop Poisson offered-load sweep -------------------
+    // Ladder up to and past saturation; deadlines bound how long a
+    // request may queue once the knee is crossed, so the overloaded
+    // points degrade by shedding instead of queueing without bound.
+    std::vector<double> ladder = {0.25, 0.5, 0.75, 0.9, 1.1, 1.4};
+    int sweep_requests = fast ? 40 : 80;
+    std::vector<SweepPoint> sweep;
+    double knee_qps = 0.0;
+    std::printf("\n%-12s %12s %10s %10s %10s %10s\n", "offered_qps",
+                "achieved", "p50_us", "p99_us", "p999_us", "shed");
+    for (size_t i = 0; i < ladder.size(); ++i) {
+        serve::ServerConfig scfg;
+        scfg.queueCapacity = sweep_requests;
+        scfg.maxBatchDelayUs = 500.0;
+        // Deadline: generous at low load, binding past the knee.
+        scfg.defaultDeadlineUs = 200000;
+        serve::Server server(scfg);
+        Session sess = Session::attach(net, engine, sess_cfg);
+        serve::Server::TenantId tenant = server.addTenant(sess);
+        SweepPoint p = runPoint(server, tenant, pool, sweep_requests,
+                                rows_per_request,
+                                ladder[i] * async_qps,
+                                /*seed=*/9000 + i);
+        server.stop();
+        sweep.push_back(p);
+        if (p.achievedQps >= 0.9 * p.offeredQps)
+            knee_qps = std::max(knee_qps, p.offeredQps);
+        std::printf("%-12.0f %12.0f %10.0f %10.0f %10.0f %9.1f%%\n",
+                    p.offeredQps, p.achievedQps, p.p50Us, p.p99Us,
+                    p.p999Us, 100.0 * p.shedRate);
+    }
+    std::printf("knee: %.0f rows/s\n", knee_qps);
+
+    // --- Merge the serve_async section into BENCH_rps.json ---------
+    harness::Json doc = harness::Json::object();
+    {
+        std::ifstream in("BENCH_rps.json");
+        if (in) {
+            std::stringstream ss;
+            ss << in.rdbuf();
+            try {
+                doc = harness::Json::parse(ss.str());
+            } catch (const harness::JsonError &e) {
+                std::cerr << "warning: BENCH_rps.json unparseable ("
+                          << e.what() << "), starting fresh\n";
+                doc = harness::Json::object();
+            }
+        }
+    }
+    harness::Json section = harness::Json::object();
+    section.set("threads", harness::Json(static_cast<int>(
+                               ThreadPool::global().threads())));
+    section.set("rows_per_request",
+                harness::Json(rows_per_request));
+    section.set("serial_qps", jsonRound(serial_qps));
+    section.set("async_qps", jsonRound(async_qps));
+    section.set("scaling",
+                harness::Json(std::round(scaling * 100.0) / 100.0));
+    section.set("knee_qps", jsonRound(knee_qps));
+    harness::Json points = harness::Json::array();
+    for (const SweepPoint &p : sweep) {
+        harness::Json row = harness::Json::object();
+        row.set("offered_qps", jsonRound(p.offeredQps));
+        row.set("achieved_qps", jsonRound(p.achievedQps));
+        row.set("p50_us", jsonRound(p.p50Us));
+        row.set("p99_us", jsonRound(p.p99Us));
+        row.set("p999_us", jsonRound(p.p999Us));
+        row.set("shed_rate", harness::Json(
+                                 std::round(p.shedRate * 1000.0) /
+                                 1000.0));
+        points.push(std::move(row));
+    }
+    section.set("sweep", std::move(points));
+    doc.set("serve_async", std::move(section));
+    {
+        std::ofstream out("BENCH_rps.json");
+        out << doc.dump(2) << "\n";
+    }
+    std::cout << "\nmerged serve_async into BENCH_rps.json\n";
+
+    // --- Gates -----------------------------------------------------
+    // Underloaded points must not shed: admission control and
+    // deadlines only bite past the knee.
+    for (const SweepPoint &p : sweep) {
+        if (p.offeredQps < 0.5 * async_qps && p.shedRate > 0.0) {
+            std::cerr << "FAIL: shed " << 100.0 * p.shedRate
+                      << "% of requests at " << p.offeredQps
+                      << " rows/s, well under the " << async_qps
+                      << " rows/s saturation point\n";
+            return 1;
+        }
+    }
+    // Thread scaling needs real cores behind the pool (same gate
+    // shape as microbench_rps): a 1-2 core host cannot express it.
+    unsigned hw = std::thread::hardware_concurrency();
+    if (ThreadPool::global().threads() >= 4 && hw >= 4 &&
+        scaling < 1.5) {
+        std::cerr << "FAIL: async serving scaling " << scaling
+                  << "x over the serial drain is below the 1.5x "
+                     "acceptance floor\n";
+        return 1;
+    }
+    return 0;
+}

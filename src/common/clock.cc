@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Clock implementations.
+ */
+
+#include "common/clock.hh"
+
+#include <chrono>
+
+namespace twoinone {
+
+Clock::~Clock() = default;
+
+uint64_t
+SteadyClock::nowNs() const
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+const SteadyClock &
+SteadyClock::instance()
+{
+    static const SteadyClock clock;
+    return clock;
+}
+
+} // namespace twoinone

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Clock abstraction for the serving stack.
+ *
+ * The async serving front-end (serve/server.hh) makes three kinds of
+ * time-driven decisions: closing a micro-batch on age, expiring a
+ * request past its deadline, and stamping per-request latencies. All
+ * three read time exclusively through this interface so the decisions
+ * themselves can be pinned in tests and in the scenario harness: a
+ * ManualClock only moves when the test advances it, which makes batch
+ * composition, shed counts, and precision traces a pure function of
+ * the submitted traffic and the clock script — no wall-clock races in
+ * any asserted quantity. Production uses SteadyClock (monotonic).
+ */
+
+#ifndef TWOINONE_COMMON_CLOCK_HH
+#define TWOINONE_COMMON_CLOCK_HH
+
+#include <atomic>
+#include <cstdint>
+
+namespace twoinone {
+
+/** Monotonic nanosecond time source. Implementations must be safe to
+ * call from any thread. */
+class Clock
+{
+  public:
+    virtual ~Clock();
+
+    /** Nanoseconds since an arbitrary fixed origin (monotonic). */
+    virtual uint64_t nowNs() const = 0;
+};
+
+/** The real monotonic clock (std::chrono::steady_clock). */
+class SteadyClock : public Clock
+{
+  public:
+    uint64_t nowNs() const override;
+
+    /** Process-wide instance (the Server default). */
+    static const SteadyClock &instance();
+};
+
+/**
+ * A clock that only moves when told to. Deterministic serving tests
+ * freeze it (age and deadlines never trigger on their own) and advance
+ * it explicitly to script exactly which batches close on age and which
+ * requests expire.
+ */
+class ManualClock : public Clock
+{
+  public:
+    explicit ManualClock(uint64_t start_ns = 0) : ns_(start_ns) {}
+
+    uint64_t nowNs() const override
+    {
+        return ns_.load(std::memory_order_acquire);
+    }
+
+    void advanceNs(uint64_t delta)
+    {
+        ns_.fetch_add(delta, std::memory_order_acq_rel);
+    }
+
+    void advanceUs(uint64_t delta_us) { advanceNs(delta_us * 1000); }
+
+    void setNs(uint64_t ns) { ns_.store(ns, std::memory_order_release); }
+
+  private:
+    std::atomic<uint64_t> ns_;
+};
+
+} // namespace twoinone
+
+#endif // TWOINONE_COMMON_CLOCK_HH

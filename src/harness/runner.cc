@@ -289,8 +289,56 @@ ScenarioRunner::deploySession()
         Json d = Json::object();
         d.set("candidates", Json(session_->candidates().name()));
         d.set("mode", Json(spec_.serving.mode));
+        d.set("async", Json(spec_.serving.async));
+        if (spec_.serving.async)
+            d.set("sessions", Json(spec_.serving.sessions));
         return d;
     }());
+    if (spec_.serving.async)
+        rebuildServer();
+}
+
+void
+ScenarioRunner::teardownServer()
+{
+    // The Server and the extra tenants hold references into the live
+    // session's network and engine — they must die first.
+    server_.reset();
+    extraTenants_.clear();
+    tenantIds_.clear();
+    tenantTraceMarks_.clear();
+}
+
+void
+ScenarioRunner::rebuildServer()
+{
+    teardownServer();
+
+    serve::ServerConfig sc;
+    sc.clock = &clock_;
+    sc.maxBatchDelayUs = static_cast<double>(spec_.serving.maxDelayUs);
+    sc.defaultDeadlineUs =
+        static_cast<uint64_t>(spec_.serving.deadlineUs);
+    server_ = std::make_unique<serve::Server>(sc);
+
+    // One image of the synthetic set fixes the request geometry.
+    std::vector<int> shape;
+    for (int i = 1; i < data_.test.images.ndim(); ++i)
+        shape.push_back(data_.test.images.dim(i));
+
+    tenantIds_.push_back(server_->addTenant(*session_, shape));
+    for (int i = 1; i < spec_.serving.sessions; ++i) {
+        // Extra tenants share the deployed model and engine but draw
+        // their batch precisions from their own seeded streams.
+        SessionConfig cfg;
+        cfg.serving = session_->config().serving;
+        cfg.serving.seed = spec_.seed + static_cast<uint64_t>(i);
+        extraTenants_.push_back(Session::attach(
+            session_->network(), session_->engine(), std::move(cfg)));
+    }
+    for (Session &t : extraTenants_)
+        tenantIds_.push_back(server_->addTenant(t, shape));
+    tenantTraceMarks_.assign(tenantIds_.size(), 0);
 }
 
 Session
@@ -334,6 +382,25 @@ ScenarioRunner::foldSession()
 {
     if (!session_)
         return;
+    if (server_) {
+        // Async: the Server carries the stats and per-tenant traces;
+        // the deployed session's sync runtime was never built. flush()
+        // has quiesced the dispatcher at every fold point. Traces
+        // concatenate in tenant order — deterministic.
+        serve::ServeStats s = server_->stats();
+        accRequests_ += s.requests;
+        accRows_ += s.rows;
+        accBatches_ += s.batches;
+        accRejected_ += s.rejected;
+        accShed_ += s.shed;
+        accWall_ += s.wallSeconds;
+        accRebuilds_ += session_->engine().columnRebuilds();
+        for (serve::Server::TenantId id : tenantIds_) {
+            const std::vector<int> &tr = server_->precisionTrace(id);
+            trace_.insert(trace_.end(), tr.begin(), tr.end());
+        }
+        return;
+    }
     serve::ServeStats s = session_->stats();
     accRequests_ += s.requests;
     accRows_ += s.rows;
@@ -350,6 +417,19 @@ Json
 ScenarioRunner::traceDelta()
 {
     Json arr = Json::array();
+    if (server_) {
+        // Per-tenant deltas since the last journal mark, flattened in
+        // tenant order (the dispatcher is quiesced by flush() at
+        // every journal point).
+        for (size_t t = 0; t < tenantIds_.size(); ++t) {
+            const std::vector<int> &tr =
+                server_->precisionTrace(tenantIds_[t]);
+            for (size_t i = tenantTraceMarks_[t]; i < tr.size(); ++i)
+                arr.push(Json(tr[i]));
+            tenantTraceMarks_[t] = tr.size();
+        }
+        return arr;
+    }
     const std::vector<int> &tr = session_->precisionTrace();
     for (size_t i = traceMark_; i < tr.size(); ++i)
         arr.push(Json(tr[i]));
@@ -398,36 +478,75 @@ ScenarioRunner::runPhase(int index)
     journal_->emit("phase_end", std::move(d));
 }
 
-void
-ScenarioRunner::steadyPoint(int phase, int point, int nRequests,
-                            int rowsPerRequest)
+std::vector<Tensor>
+ScenarioRunner::serveRequests(std::vector<Tensor> xs, bool starved)
 {
-    std::vector<size_t> ids;
-    std::vector<std::vector<int>> labels;
-    ids.reserve(static_cast<size_t>(nRequests));
-    for (int r = 0; r < nRequests; ++r) {
-        Dataset b = takeBatch(rowsPerRequest);
-        ids.push_back(session_->submit(b.images));
-        labels.push_back(b.labels);
+    std::vector<Tensor> out;
+    out.reserve(xs.size());
+    if (server_) {
+        std::vector<std::future<serve::Reply>> futs;
+        futs.reserve(xs.size());
+        for (size_t i = 0; i < xs.size(); ++i) {
+            // Round-robin the tenants: every session sees traffic and
+            // the dispatcher's fair scheduling is exercised.
+            serve::Server::TenantId tenant =
+                tenantIds_[i % tenantIds_.size()];
+            futs.push_back(
+                server_->submit(tenant, std::move(xs[i])));
+        }
+        server_->flush();
+        for (auto &f : futs) {
+            try {
+                out.push_back(std::move(f.get().y));
+            } catch (const serve::ServeError &) {
+                // Shed (deadline/shutdown) — already counted by the
+                // Server; the caller skips its accuracy rows.
+                out.emplace_back();
+            }
+        }
+        return out;
     }
-    bool starved = starveNextDrain_;
-    starveNextDrain_ = false;
+    std::vector<size_t> ids;
+    ids.reserve(xs.size());
+    for (Tensor &x : xs)
+        ids.push_back(session_->submit(std::move(x)));
     if (starved) {
         ThreadPool::ScopedSerial serial;
         session_->drain();
     } else {
         session_->drain();
     }
-    for (size_t r = 0; r < ids.size(); ++r) {
-        std::vector<int> pred =
-            argmaxRows(session_->result(ids[r]));
+    for (size_t id : ids)
+        out.push_back(session_->result(id));
+    session_->clearServed();
+    return out;
+}
+
+void
+ScenarioRunner::steadyPoint(int phase, int point, int nRequests,
+                            int rowsPerRequest)
+{
+    std::vector<Tensor> xs;
+    std::vector<std::vector<int>> labels;
+    xs.reserve(static_cast<size_t>(nRequests));
+    for (int r = 0; r < nRequests; ++r) {
+        Dataset b = takeBatch(rowsPerRequest);
+        xs.push_back(b.images);
+        labels.push_back(b.labels);
+    }
+    bool starved = starveNextDrain_;
+    starveNextDrain_ = false;
+    std::vector<Tensor> ys = serveRequests(std::move(xs), starved);
+    for (size_t r = 0; r < ys.size(); ++r) {
+        if (ys[r].empty())
+            continue; // shed
+        std::vector<int> pred = argmaxRows(ys[r]);
         for (size_t i = 0; i < pred.size(); ++i) {
             ++natTotal_;
             if (pred[i] == labels[r][i])
                 ++natCorrect_;
         }
     }
-    session_->clearServed();
 
     Json d = Json::object();
     d.set("phase", Json(phase));
@@ -468,17 +587,19 @@ ScenarioRunner::adversarialPoint(int phase, int point,
     Tensor adv = attack->perturb(session_->network(), clean.images,
                                  clean.labels, attackRng_);
 
-    std::vector<size_t> ids;
-    ids.reserve(static_cast<size_t>(ps.requestsPerBatch));
+    std::vector<Tensor> xs;
+    xs.reserve(static_cast<size_t>(ps.requestsPerBatch));
     for (int r = 0; r < ps.requestsPerBatch; ++r)
-        ids.push_back(session_->submit(
-            sliceRows(adv, r * ps.rowsPerRequest,
-                      ps.rowsPerRequest)));
-    session_->drain();
+        xs.push_back(sliceRows(adv, r * ps.rowsPerRequest,
+                               ps.rowsPerRequest));
+    std::vector<Tensor> ys =
+        serveRequests(std::move(xs), /*starved=*/false);
     uint64_t correct = 0;
     for (int r = 0; r < ps.requestsPerBatch; ++r) {
-        std::vector<int> pred = argmaxRows(
-            session_->result(ids[static_cast<size_t>(r)]));
+        const Tensor &logits = ys[static_cast<size_t>(r)];
+        if (logits.empty())
+            continue; // shed
+        std::vector<int> pred = argmaxRows(logits);
         for (size_t i = 0; i < pred.size(); ++i) {
             ++robTotal_;
             size_t idx =
@@ -489,7 +610,6 @@ ScenarioRunner::adversarialPoint(int phase, int point,
             }
         }
     }
-    session_->clearServed();
 
     Json d = Json::object();
     d.set("phase", Json(phase));
@@ -580,7 +700,10 @@ ScenarioRunner::injectMalformedRequest(const FaultSpec &f, int phase,
         bad = Tensor({2, 3}, 0.5f);
     }
     try {
-        session_->submit(std::move(bad));
+        if (server_)
+            server_->submit(tenantIds_[0], std::move(bad));
+        else
+            session_->submit(std::move(bad));
         // A malformed request that the runtime accepted is a real
         // robustness hole: leave the fault unrecovered.
         Json d = Json::object();
@@ -657,7 +780,14 @@ ScenarioRunner::reloadSession(int phase, int point)
         Session next = loadSession();
         injector_->disarm();
         foldSession();
+        // The async server (and its tenant sessions) reference the
+        // outgoing session's network and engine — tear down before
+        // the replacement, rebuild over the new session after.
+        bool async = server_ != nullptr;
+        teardownServer();
         session_ = std::move(next);
+        if (async)
+            rebuildServer();
         ++ckptLoads_;
         Json d = Json::object();
         d.set("phase", Json(phase));
@@ -701,6 +831,7 @@ ScenarioRunner::buildMetrics()
     counts.set("rows", Json(accRows_));
     counts.set("requests", Json(accRequests_));
     counts.set("rejected_requests", Json(accRejected_));
+    counts.set("shed_requests", Json(accShed_));
     counts.set("events", Json(journal_->count()));
     counts.set("precision_switches",
                Json(static_cast<uint64_t>(trace_.size())));
@@ -741,8 +872,9 @@ ScenarioRunner::buildMetrics()
                      Json(100.0 * static_cast<double>(robCorrect_) /
                           static_cast<double>(robTotal_)));
 
-    serve::ServeStats last = session_ ? session_->stats()
-                                      : serve::ServeStats();
+    serve::ServeStats last =
+        server_ ? server_->stats()
+                : (session_ ? session_->stats() : serve::ServeStats());
     Json timing = Json::object();
     timing.set("wall_seconds", Json(accWall_));
     timing.set("qps", Json(accWall_ > 0.0
@@ -751,6 +883,7 @@ ScenarioRunner::buildMetrics()
                                : 0.0));
     timing.set("p50_us", Json(last.p50Us));
     timing.set("p99_us", Json(last.p99Us));
+    timing.set("p999_us", Json(last.p999Us));
 
     Json m = Json::object();
     m.set("scenario", Json(spec_.name));

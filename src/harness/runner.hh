@@ -39,10 +39,12 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.hh"
 #include "data/synthetic.hh"
 #include "harness/event_journal.hh"
 #include "harness/fault_injector.hh"
 #include "harness/scenario.hh"
+#include "serve/server.hh"
 #include "serve/session.hh"
 
 namespace twoinone {
@@ -78,6 +80,24 @@ class ScenarioRunner
     void adversarialPoint(int phase, int point, const PhaseSpec &ps);
     void soakCycle(int phase, int cycle, const PhaseSpec &ps);
 
+    /** Serve @p xs in order and return each request's logits (empty
+     * tensor for a shed request). Routes through the async Server
+     * (round-robin over the tenant sessions, then flush) when the
+     * spec says "async", else through the synchronous drain —
+     * @p starved wraps that drain in ScopedSerial. */
+    std::vector<Tensor> serveRequests(std::vector<Tensor> xs,
+                                      bool starved);
+
+    /** (Re)build the async Server over the live session: tenant 0 is
+     * the deployed session, tenants 1..n-1 attach to its network
+     * sharing its engine. Called at deploy and after a soak reload
+     * replaces the session. */
+    void rebuildServer();
+
+    /** Tear down the Server and its tenant sessions (before the
+     * session they reference is replaced). */
+    void teardownServer();
+
     /** Fire the faults scheduled at (phase, point). Checkpoint faults
      * arm and fire later, at the cycle's save/load. */
     void applyFaults(int phase, int point);
@@ -107,6 +127,21 @@ class ScenarioRunner
     DatasetPair data_;
     Rng attackRng_;
 
+    /** @name Async serving (spec_.serving.async)
+     * The Server's time source is a ManualClock the runner never
+     * advances: age closes and deadline expiries cannot fire on wall
+     * time, so batch composition — and every journaled count and
+     * digest — is a pure function of the spec + seed. */
+    /** @{ */
+    ManualClock clock_;
+    std::vector<Session> extraTenants_; ///< tenants 1..n-1
+    /** Declared after the tenants so the default destructor stops the
+     * Server before any session it references dies. */
+    std::unique_ptr<serve::Server> server_;
+    std::vector<serve::Server::TenantId> tenantIds_;
+    std::vector<size_t> tenantTraceMarks_; ///< journaled trace prefix
+    /** @} */
+
     int cursor_ = 0;       ///< test-set traffic cursor
     size_t traceMark_ = 0; ///< journaled prefix of the live trace
 
@@ -117,7 +152,7 @@ class ScenarioRunner
 
     // Accumulators across session replacements.
     uint64_t accRequests_ = 0, accRows_ = 0, accBatches_ = 0;
-    uint64_t accRejected_ = 0, accRebuilds_ = 0;
+    uint64_t accRejected_ = 0, accShed_ = 0, accRebuilds_ = 0;
     double accWall_ = 0.0;
     std::vector<int> trace_;
 

@@ -147,6 +147,9 @@ class RpsEngine
     /** The network's currently active precision (0 = full). */
     int activePrecision() const { return net_.activePrecision(); }
 
+    /** The network this engine's cache is built on. */
+    Network &network() const { return net_; }
+
     /** Switch to @p bits and run an inference forward pass. */
     Tensor forwardAt(int bits, const Tensor &x);
 

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Sharded MPMC request queue implementation.
+ */
+
+#include "serve/request_queue.hh"
+
+#include <limits>
+
+namespace twoinone {
+namespace serve {
+
+RequestQueue::RequestQueue(int shards, size_t capacity)
+    : capacity_(capacity < 1 ? 1 : capacity)
+{
+    if (shards < 1)
+        shards = 1;
+    shards_.reserve(static_cast<size_t>(shards));
+    for (int i = 0; i < shards; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+}
+
+bool
+RequestQueue::tryPush(AsyncRequest &r)
+{
+    // Reserve a slot first: the atomic size both enforces the
+    // admission bound and lets producers fail fast without touching
+    // any shard lock when the queue is saturated.
+    size_t reserved = size_.fetch_add(1, std::memory_order_acq_rel);
+    if (reserved >= capacity_) {
+        size_.fetch_sub(1, std::memory_order_acq_rel);
+        return false;
+    }
+    r.seq = seq_.fetch_add(1, std::memory_order_acq_rel);
+    size_t shard = ticket_.fetch_add(1, std::memory_order_relaxed) %
+                   shards_.size();
+    Shard &s = *shards_[shard];
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.q.push_back(std::move(r));
+    return true;
+}
+
+bool
+RequestQueue::pop(AsyncRequest &out)
+{
+    std::lock_guard<std::mutex> consumer(popMu_);
+    // Find the shard whose head carries the lowest sequence number.
+    // Only consumers remove elements and consumers are serialized
+    // here, so the chosen head cannot be stolen between the scan and
+    // the pop below.
+    int best = -1;
+    uint64_t best_seq = std::numeric_limits<uint64_t>::max();
+    for (size_t i = 0; i < shards_.size(); ++i) {
+        Shard &s = *shards_[i];
+        std::lock_guard<std::mutex> lk(s.mu);
+        if (!s.q.empty() && s.q.front().seq < best_seq) {
+            best_seq = s.q.front().seq;
+            best = static_cast<int>(i);
+        }
+    }
+    if (best < 0)
+        return false;
+    Shard &s = *shards_[static_cast<size_t>(best)];
+    {
+        std::lock_guard<std::mutex> lk(s.mu);
+        out = std::move(s.q.front());
+        s.q.pop_front();
+    }
+    size_.fetch_sub(1, std::memory_order_acq_rel);
+    return true;
+}
+
+} // namespace serve
+} // namespace twoinone

@@ -1,6 +1,6 @@
 /**
  * @file
- * ServingRuntime implementation.
+ * BatchExecutor + ServingRuntime implementation.
  */
 
 #include "serve/runtime.hh"
@@ -16,20 +16,20 @@ namespace serve {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
+using SClock = std::chrono::steady_clock;
 
 double
-microseconds(Clock::time_point from, Clock::time_point to)
+microseconds(SClock::time_point from, SClock::time_point to)
 {
     return std::chrono::duration<double, std::micro>(to - from).count();
 }
 
 } // namespace
 
-ServingRuntime::ServingRuntime(Network &net, RpsEngine &engine,
-                               const std::vector<int> &input_shape,
-                               ServeConfig cfg)
-    : net_(net), engine_(engine), cfg_(cfg), rng_(cfg.seed)
+BatchExecutor::BatchExecutor(Network &net, RpsEngine &engine,
+                             const std::vector<int> &input_shape,
+                             ServeConfig cfg)
+    : net_(net), engine_(engine), cfg_(cfg)
 {
     TWOINONE_ASSERT(cfg_.maxBatch > 0 && cfg_.microBatch > 0,
                     "bad serving batch geometry");
@@ -39,6 +39,9 @@ ServingRuntime::ServingRuntime(Network &net, RpsEngine &engine,
     rowShape_.push_back(1);
     rowShape_.insert(rowShape_.end(), input_shape.begin(),
                      input_shape.end());
+    rowElems_ = 1;
+    for (size_t i = 1; i < rowShape_.size(); ++i)
+        rowElems_ *= static_cast<size_t>(rowShape_[i]);
 
     // One plan replica per concurrent shard worker (each runs its
     // shards on its own arena); sized for one micro-batch. More
@@ -64,6 +67,86 @@ ServingRuntime::ServingRuntime(Network &net, RpsEngine &engine,
             break;
         }
     }
+
+    const std::vector<int> &oshape = plans_[0]->outputShape();
+    outCols_ = 1;
+    for (size_t i = 1; i < oshape.size(); ++i)
+        outCols_ *= static_cast<size_t>(oshape[i]);
+}
+
+void
+BatchExecutor::validate(const Tensor &x) const
+{
+    if (x.ndim() != static_cast<int>(rowShape_.size()))
+        throw ServeError(formatMessage(
+            "rejected request: rank ", x.ndim(), " != expected ",
+            rowShape_.size()));
+    for (size_t i = 1; i < rowShape_.size(); ++i) {
+        if (x.dim(static_cast<int>(i)) != rowShape_[i]) {
+            throw ServeError(formatMessage(
+                "rejected request: image dim ", i, " is ",
+                x.dim(static_cast<int>(i)), ", expected ",
+                rowShape_[i]));
+        }
+    }
+    if (x.dim(0) <= 0 || x.dim(0) > cfg_.maxBatch)
+        throw ServeError(formatMessage(
+            "rejected request: batch ", x.dim(0),
+            " exceeds the serving batch capacity ", cfg_.maxBatch));
+}
+
+void
+BatchExecutor::execute(const float *const *row_src,
+                       float *const *row_dst, int rows)
+{
+    TWOINONE_ASSERT(rows > 0 && rows <= cfg_.maxBatch,
+                    "batch of ", rows, " rows outside (0, ",
+                    cfg_.maxBatch, "]");
+
+    // Shard across the pool: the shards are dealt to at most
+    // numReplicas() worker groups, each group running its shards on
+    // its own plan replica and writing disjoint logit rows. Shard
+    // boundaries depend only on microBatch, so outputs are identical
+    // for any thread count or replica count.
+    int mb = cfg_.microBatch;
+    int nshards = (rows + mb - 1) / mb;
+    int ngroups = std::min(nshards, numReplicas());
+    size_t out_cols = outCols_;
+    size_t row_elems = rowElems_;
+
+    std::atomic<int> plan_cursor{0};
+    ThreadPool::global().parallelFor(
+        0, ngroups, 1, [&](int64_t glo, int64_t ghi) {
+            int pid = plan_cursor.fetch_add(1);
+            TWOINONE_ASSERT(pid < static_cast<int>(plans_.size()),
+                            "more worker chunks than plan replicas");
+            ExecutionPlan &plan = *plans_[static_cast<size_t>(pid)];
+            for (int64_t g = glo; g < ghi; ++g) {
+                for (int s = static_cast<int>(g); s < nshards;
+                     s += ngroups) {
+                    int row_lo = s * mb;
+                    int row_hi = std::min(rows, row_lo + mb);
+                    const Tensor &logits = plan.runStaged(
+                        &row_src[static_cast<size_t>(row_lo)],
+                        row_hi - row_lo, row_elems);
+                    for (int t = 0; t < row_hi - row_lo; ++t) {
+                        const float *src =
+                            logits.data() +
+                            static_cast<size_t>(t) * out_cols;
+                        std::copy(
+                            src, src + out_cols,
+                            row_dst[static_cast<size_t>(row_lo + t)]);
+                    }
+                }
+            }
+        });
+}
+
+ServingRuntime::ServingRuntime(Network &net, RpsEngine &engine,
+                               const std::vector<int> &input_shape,
+                               ServeConfig cfg)
+    : exec_(net, engine, input_shape, cfg), rng_(cfg.seed)
+{
 }
 
 size_t
@@ -71,30 +154,15 @@ ServingRuntime::submit(Tensor x)
 {
     // Request validation failures are caller data, not library bugs:
     // reject the request, count it, keep serving.
-    if (x.ndim() != static_cast<int>(rowShape_.size())) {
+    try {
+        exec_.validate(x);
+    } catch (const ServeError &) {
         ++rejected_;
-        throw ServeError(formatMessage(
-            "rejected request: rank ", x.ndim(), " != expected ",
-            rowShape_.size()));
-    }
-    for (size_t i = 1; i < rowShape_.size(); ++i) {
-        if (x.dim(static_cast<int>(i)) != rowShape_[i]) {
-            ++rejected_;
-            throw ServeError(formatMessage(
-                "rejected request: image dim ", i, " is ",
-                x.dim(static_cast<int>(i)), ", expected ",
-                rowShape_[i]));
-        }
-    }
-    if (x.dim(0) <= 0 || x.dim(0) > cfg_.maxBatch) {
-        ++rejected_;
-        throw ServeError(formatMessage(
-            "rejected request: batch ", x.dim(0),
-            " exceeds the serving batch capacity ", cfg_.maxBatch));
+        throw;
     }
     Request r;
     r.x = std::move(x);
-    r.enqueued = Clock::now();
+    r.enqueued = SClock::now();
     requests_.push_back(std::move(r));
     return requests_.size() - 1;
 }
@@ -104,23 +172,17 @@ ServingRuntime::serveBatch(size_t first, size_t last, int rows)
 {
     // One precision draw per serving batch (paper Alg. 1 line 16),
     // installed from the engine's code cache: O(#layers).
-    int bits = engine_.samplePrecision(rng_);
+    int bits = exec_.samplePrecision(rng_);
     trace_.push_back(bits);
-    engine_.setPrecision(bits);
+    exec_.installPrecision(bits);
 
     // Per-row staging/scatter tables pointing straight at the request
     // tensors: shards gather their input rows from these pointers
     // into the plan arena, and scatter their logit rows directly into
     // the pre-sized request results — one copy per side, with no
     // packed batch or logit buffer in between.
-    size_t row_elems = 1;
-    for (size_t i = 1; i < rowShape_.size(); ++i)
-        row_elems *= static_cast<size_t>(rowShape_[i]);
-    const std::vector<int> &oshape = plans_[0]->outputShape();
-    size_t out_cols = 1;
-    for (size_t i = 1; i < oshape.size(); ++i)
-        out_cols *= static_cast<size_t>(oshape[i]);
-
+    size_t row_elems = exec_.rowElems();
+    size_t out_cols = exec_.outCols();
     rowSrc_.resize(static_cast<size_t>(rows));
     rowDst_.resize(static_cast<size_t>(rows));
     {
@@ -139,44 +201,10 @@ ServingRuntime::serveBatch(size_t first, size_t last, int rows)
         }
     }
 
-    // Shard across the pool: the shards are dealt to at most
-    // numReplicas() worker groups, each group running its shards on
-    // its own plan replica and writing disjoint logit rows. Shard
-    // boundaries depend only on microBatch, so outputs are identical
-    // for any thread count or replica count.
-    int mb = cfg_.microBatch;
-    int nshards = (rows + mb - 1) / mb;
-    int ngroups = std::min(nshards, numReplicas());
-
-    std::atomic<int> plan_cursor{0};
-    ThreadPool::global().parallelFor(
-        0, ngroups, 1, [&](int64_t glo, int64_t ghi) {
-            int pid = plan_cursor.fetch_add(1);
-            TWOINONE_ASSERT(pid < static_cast<int>(plans_.size()),
-                            "more worker chunks than plan replicas");
-            ExecutionPlan &plan = *plans_[static_cast<size_t>(pid)];
-            for (int64_t g = glo; g < ghi; ++g) {
-                for (int s = static_cast<int>(g); s < nshards;
-                     s += ngroups) {
-                    int row_lo = s * mb;
-                    int row_hi = std::min(rows, row_lo + mb);
-                    const Tensor &logits = plan.runStaged(
-                        &rowSrc_[static_cast<size_t>(row_lo)],
-                        row_hi - row_lo, row_elems);
-                    for (int t = 0; t < row_hi - row_lo; ++t) {
-                        const float *src =
-                            logits.data() +
-                            static_cast<size_t>(t) * out_cols;
-                        std::copy(
-                            src, src + out_cols,
-                            rowDst_[static_cast<size_t>(row_lo + t)]);
-                    }
-                }
-            }
-        });
+    exec_.execute(rowSrc_.data(), rowDst_.data(), rows);
 
     // Stamp latencies and serving stats.
-    Clock::time_point done = Clock::now();
+    SClock::time_point done = SClock::now();
     for (size_t r = first; r < last; ++r) {
         Request &req = requests_[r];
         req.latencyUs = microseconds(req.enqueued, done);
@@ -191,14 +219,14 @@ ServingRuntime::serveBatch(size_t first, size_t last, int rows)
 void
 ServingRuntime::drain()
 {
-    Clock::time_point start = Clock::now();
+    SClock::time_point start = SClock::now();
     while (nextToServe_ < requests_.size()) {
         // Pack whole requests until the serving batch is full.
         size_t first = nextToServe_;
         int rows = 0;
         size_t last = first;
         while (last < requests_.size() &&
-               rows + requests_[last].x.dim(0) <= cfg_.maxBatch) {
+               rows + requests_[last].x.dim(0) <= exec_.maxBatch()) {
             rows += requests_[last].x.dim(0);
             ++last;
         }
@@ -208,7 +236,7 @@ ServingRuntime::drain()
         nextToServe_ = last;
     }
     wallSeconds_ +=
-        std::chrono::duration<double>(Clock::now() - start).count();
+        std::chrono::duration<double>(SClock::now() - start).count();
 }
 
 const Tensor &
@@ -249,6 +277,7 @@ ServingRuntime::stats() const
                 : 0.0;
     s.p50Us = latencyUs_.quantile(0.5);
     s.p99Us = latencyUs_.quantile(0.99);
+    s.p999Us = latencyUs_.quantile(0.999);
     return s;
 }
 

@@ -1,22 +1,30 @@
 /**
  * @file
- * ServingRuntime: the batched RPS serving loop on top of compiled
- * execution plans.
+ * The batched RPS serving core: BatchExecutor (shared by the
+ * synchronous ServingRuntime and the async serve::Server) plus the
+ * synchronous caller-thread runtime.
  *
- * Requests (image batches) enqueue via submit(); drain() packs them
- * into serving batches, samples one random precision per batch from
- * the candidate set (the paper's RPS defense — every batch of traffic
- * sees an unpredictable precision), installs it through the
- * RpsEngine's code cache in O(#layers), and shards the batch into
- * micro-batches across the global ThreadPool. Each worker chunk runs
- * its shards on its own ExecutionPlan replica — the layers are
- * read-only during a batch, so replicas share the weights and caches
- * while owning their arenas — and writes disjoint logit rows, so the
- * served outputs are bit-identical for any TWOINONE_THREADS setting
- * and the precision trace is a pure function of the seed.
+ * BatchExecutor owns the compiled ExecutionPlan replicas for one
+ * (network, engine, request shape) and executes one serving batch at
+ * a time: install a precision through the RpsEngine's code cache
+ * (O(#layers)), gather request rows straight from caller-owned row
+ * pointers into per-replica plan arenas sharded across the global
+ * ThreadPool, and scatter the logits straight back into caller-owned
+ * row pointers. The layers are read-only during a batch, so replicas
+ * share the weights and caches while owning their arenas and write
+ * disjoint logit rows — outputs are bit-identical for any
+ * TWOINONE_THREADS setting, and the precision trace is a pure
+ * function of the caller's sampling seed.
  *
- * Stats: rows/s (QPS), per-request p50/p99 latency, batches served,
- * and the sampled precision trace.
+ * ServingRuntime keeps the original synchronous contract on top:
+ * requests enqueue via submit(), drain() packs them into serving
+ * batches (one random precision draw each — the paper's RPS defense)
+ * and blocks until every result is ready. The asynchronous,
+ * deadline-aware, multi-tenant front-end lives in serve/server.hh and
+ * drives the same executor.
+ *
+ * Stats: rows/s (QPS), per-request p50/p99/p99.9 latency, batches
+ * served, rejections, sheds, and the sampled precision trace.
  */
 
 #ifndef TWOINONE_SERVE_RUNTIME_HH
@@ -39,12 +47,15 @@ namespace twoinone {
 namespace serve {
 
 /**
- * A serving request (or serving-control call) was rejected: malformed
- * shape, oversized batch, or a precision outside the model's bound
- * set. This is a *recoverable caller-facing* condition — production
- * traffic contains garbage, and one poisoned request must not take
- * the runtime down — so it throws instead of panicking; the runtime
- * stays healthy and counts the rejection (ServeStats::rejected).
+ * A serving request (or serving-control call) was rejected or shed:
+ * malformed shape, oversized batch, a precision outside the model's
+ * bound set, a full admission queue, or an expired deadline. This is
+ * a *recoverable caller-facing* condition — production traffic
+ * contains garbage and overload, and one poisoned or late request
+ * must not take the runtime down — so it throws (or is delivered
+ * through the request's future) instead of panicking; the runtime
+ * stays healthy and counts the event (ServeStats::rejected /
+ * ServeStats::shed).
  */
 class ServeError : public std::runtime_error
 {
@@ -91,17 +102,26 @@ struct ServeStats
     /** Malformed/oversized submissions rejected with ServeError while
      * the runtime kept serving (graceful-degradation counter). */
     uint64_t rejected = 0;
+    /** Well-formed requests dropped by load shedding: refused at
+     * admission (full queue), expired past their deadline before
+     * compute, or cancelled by shutdown. Always 0 for the synchronous
+     * ServingRuntime, which has no admission queue or deadlines. */
+    uint64_t shed = 0;
     double wallSeconds = 0.0;
-    double qps = 0.0;   ///< rows per second of drain() wall time
+    double qps = 0.0;   ///< rows per second of serving wall time
     double p50Us = 0.0; ///< median request latency (submit -> done)
     double p99Us = 0.0;
+    double p999Us = 0.0;
 };
 
 /**
- * Synchronous request-queue serving runtime. Not thread-safe itself
- * (one producer); the parallelism lives inside drain().
+ * The shared batch-execution core: compiled plan replicas plus the
+ * gather/compute/scatter of one serving batch. Not thread-safe — one
+ * execute() at a time (the sync runtime calls it from the draining
+ * thread, the async Server from its dispatcher); the parallelism
+ * lives *inside* execute(), across the global ThreadPool.
  */
-class ServingRuntime
+class BatchExecutor
 {
   public:
     /**
@@ -111,6 +131,71 @@ class ServingRuntime
      *        trailing dims of every submitted batch).
      * @param cfg Serving configuration.
      */
+    BatchExecutor(Network &net, RpsEngine &engine,
+                  const std::vector<int> &input_shape,
+                  ServeConfig cfg = ServeConfig());
+
+    /**
+     * Validate a request batch against the compiled geometry: throws
+     * ServeError on wrong rank, wrong image shape, empty, or more
+     * rows than the serving-batch capacity. Does not count anything —
+     * the owning front-end counts rejections.
+     */
+    void validate(const Tensor &x) const;
+
+    /** Sample one precision from the engine's candidate set. */
+    int samplePrecision(Rng &rng) const
+    {
+        return engine_.samplePrecision(rng);
+    }
+
+    /** Install @p bits through the engine code cache (O(#layers)). */
+    void installPrecision(int bits) { engine_.setPrecision(bits); }
+
+    /**
+     * Execute one serving batch of @p rows rows at the currently
+     * installed precision: gather input rows from @p row_src
+     * (rowElems() floats each), shard across the pool on the plan
+     * replicas, scatter logit rows (outCols() floats each) into
+     * @p row_dst. Shard boundaries depend only on microBatch, so
+     * outputs are identical for any thread or replica count.
+     */
+    void execute(const float *const *row_src, float *const *row_dst,
+                 int rows);
+
+    const ServeConfig &config() const { return cfg_; }
+    int maxBatch() const { return cfg_.maxBatch; }
+    /** [1, C, H, W...]: one image. */
+    const std::vector<int> &rowShape() const { return rowShape_; }
+    /** Floats per input row. */
+    size_t rowElems() const { return rowElems_; }
+    /** Floats per logit row. */
+    size_t outCols() const { return outCols_; }
+
+    int numReplicas() const { return static_cast<int>(plans_.size()); }
+    const ExecutionPlan &plan(int i) const { return *plans_[i]; }
+
+    Network &network() { return net_; }
+    RpsEngine &engine() { return engine_; }
+
+  private:
+    Network &net_;
+    RpsEngine &engine_;
+    ServeConfig cfg_;
+    std::vector<int> rowShape_;
+    size_t rowElems_ = 0;
+    size_t outCols_ = 0;
+    std::vector<std::unique_ptr<ExecutionPlan>> plans_;
+};
+
+/**
+ * Synchronous request-queue serving runtime. Not thread-safe itself
+ * (one producer); the parallelism lives inside drain().
+ */
+class ServingRuntime
+{
+  public:
+    /** See BatchExecutor for the parameter contracts. */
     ServingRuntime(Network &net, RpsEngine &engine,
                    const std::vector<int> &input_shape,
                    ServeConfig cfg = ServeConfig());
@@ -146,8 +231,11 @@ class ServingRuntime
     ServeStats stats() const;
     void resetStats();
 
-    int numReplicas() const { return static_cast<int>(plans_.size()); }
-    const ExecutionPlan &plan(int i) const { return *plans_[i]; }
+    int numReplicas() const { return exec_.numReplicas(); }
+    const ExecutionPlan &plan(int i) const { return exec_.plan(i); }
+
+    /** The shared batch-execution core (async front-end plumbing). */
+    BatchExecutor &executor() { return exec_; }
 
   private:
     struct Request
@@ -160,11 +248,7 @@ class ServingRuntime
         bool cleared = false;
     };
 
-    Network &net_;
-    RpsEngine &engine_;
-    ServeConfig cfg_;
-    std::vector<int> rowShape_; ///< [1, C, H, W...]: one image
-    std::vector<std::unique_ptr<ExecutionPlan>> plans_;
+    BatchExecutor exec_;
     Rng rng_;
 
     std::vector<Request> requests_;

@@ -27,15 +27,18 @@ engineSet(const SessionConfig &cfg, const Network &net)
 } // namespace
 
 Session::Session(std::unique_ptr<Network> owned, Network *net,
-                 SessionConfig cfg, std::unique_ptr<RpsEngine> engine)
+                 SessionConfig cfg, std::unique_ptr<RpsEngine> engine,
+                 RpsEngine *shared_engine)
     : cfg_(std::move(cfg)), owned_(std::move(owned)), net_(net),
-      engine_(std::move(engine))
+      engine_(std::move(engine)), extEngine_(shared_engine)
 {
     TWOINONE_ASSERT(net_ != nullptr, "session needs a network");
     TWOINONE_ASSERT(!net_->precisionSet().empty(),
                     "session needs an RPS-capable network "
                     "(non-empty precision set)");
-    if (!engine_)
+    TWOINONE_ASSERT(extEngine_ == nullptr || engine_ == nullptr,
+                    "a session holds one engine: owned or shared");
+    if (!engine_ && extEngine_ == nullptr)
         engine_ = std::make_unique<RpsEngine>(*net_,
                                               engineSet(cfg_, *net_));
     if (owned_ == nullptr) {
@@ -60,6 +63,7 @@ Session::~Session()
 Session::Session(Session &&other) noexcept
     : cfg_(std::move(other.cfg_)), owned_(std::move(other.owned_)),
       net_(other.net_), engine_(std::move(other.engine_)),
+      extEngine_(other.extEngine_),
       runtime_(std::move(other.runtime_)),
       restorePlanState_(other.restorePlanState_),
       prevPlanExec_(other.prevPlanExec_),
@@ -140,6 +144,15 @@ Session::attach(Network &net, SessionConfig cfg)
     return Session(nullptr, &net, std::move(cfg), nullptr);
 }
 
+Session
+Session::attach(Network &net, RpsEngine &engine, SessionConfig cfg)
+{
+    TWOINONE_ASSERT(&engine.network() == &net,
+                    "shared engine must be built on the attached "
+                    "network");
+    return Session(nullptr, &net, std::move(cfg), nullptr, &engine);
+}
+
 void
 Session::switchPrecision(int bits)
 {
@@ -152,13 +165,13 @@ Session::switchPrecision(int bits)
             "rejected precision switch: ", bits,
             " is not in the model's bound set ",
             net_->precisionSet().name()));
-    engine_->setPrecision(bits);
+    eng().setPrecision(bits);
 }
 
 int
 Session::switchRandom(Rng &rng)
 {
-    int bits = engine_->samplePrecision(rng);
+    int bits = eng().samplePrecision(rng);
     switchPrecision(bits);
     return bits;
 }
@@ -166,7 +179,7 @@ Session::switchRandom(Rng &rng)
 int
 Session::activePrecision() const
 {
-    return engine_->activePrecision();
+    return eng().activePrecision();
 }
 
 void
@@ -219,7 +232,7 @@ Session::runtime(const Tensor *first)
                 shape.push_back(first->dim(i));
         }
         runtime_ = std::make_unique<serve::ServingRuntime>(
-            *net_, *engine_, shape, cfg_.serving);
+            *net_, eng(), shape, cfg_.serving);
     }
     return *runtime_;
 }
@@ -296,7 +309,7 @@ Session::save(const std::string &path, bool include_engine_cache)
 {
     checkpoint::SaveOptions opts;
     opts.includeEngineCache = include_engine_cache;
-    checkpoint::save(path, *net_, engine_.get(), opts);
+    checkpoint::save(path, *net_, &eng(), opts);
 }
 
 } // namespace twoinone

@@ -122,6 +122,15 @@ class Session
     static Session attach(Network &net,
                           SessionConfig cfg = SessionConfig());
 
+    /** attach() variant sharing a caller-owned engine instead of
+     * building a fresh one: sessions multiplexed over one model by
+     * serve::Server must share its weight-code cache (quantizing the
+     * same weights once per tenant would duplicate the dominant
+     * cold-start cost and double-install precisions). @p engine must
+     * be built on @p net; it outlives the session. */
+    static Session attach(Network &net, RpsEngine &engine,
+                          SessionConfig cfg = SessionConfig());
+
     ~Session();
     Session(Session &&) noexcept;
     Session &operator=(Session &&) noexcept;
@@ -141,7 +150,7 @@ class Session
     int switchRandom(Rng &rng);
     int activePrecision() const;
     /** The engine's candidate set. */
-    const PrecisionSet &candidates() const { return engine_->set(); }
+    const PrecisionSet &candidates() const { return eng().set(); }
     /** @} */
 
     /** @name Direct inference (active precision, plan-routed) */
@@ -185,7 +194,10 @@ class Session
     /** @name Escape hatches */
     /** @{ */
     Network &network() { return *net_; }
-    RpsEngine &engine() { return *engine_; }
+    RpsEngine &engine() { return eng(); }
+    /** The construction-time configuration (the async Server reads
+     * the serving geometry and input shape of its tenants). */
+    const SessionConfig &config() const { return cfg_; }
     /** Whether the serving runtime has been instantiated (it builds
      * lazily on first serve). */
     bool servingStarted() const { return runtime_ != nullptr; }
@@ -193,7 +205,15 @@ class Session
 
   private:
     Session(std::unique_ptr<Network> owned, Network *net,
-            SessionConfig cfg, std::unique_ptr<RpsEngine> engine);
+            SessionConfig cfg, std::unique_ptr<RpsEngine> engine,
+            RpsEngine *shared_engine = nullptr);
+
+    /** The precision engine in use: the shared caller-owned one when
+     * attached with one, else the session-owned engine. */
+    RpsEngine &eng() const
+    {
+        return extEngine_ != nullptr ? *extEngine_ : *engine_;
+    }
 
     /** The serving runtime, built on first use (derives the request
      * shape from @p first when the config left it empty). */
@@ -207,6 +227,9 @@ class Session
     std::unique_ptr<Network> owned_; ///< null for attach()
     Network *net_ = nullptr;
     std::unique_ptr<RpsEngine> engine_;
+    /** Non-owning shared engine (attach(net, engine)); when set,
+     * engine_ stays null. */
+    RpsEngine *extEngine_ = nullptr;
     std::unique_ptr<serve::ServingRuntime> runtime_;
 
     /** attach(): the network's plan-routing state to restore. */

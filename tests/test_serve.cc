@@ -451,5 +451,29 @@ TEST(ServingRuntime, MalformedSubmissionsRejectedWithoutDisruption)
     EXPECT_EQ(ref.stats().rejected, 0u);
 }
 
+/** Reading a result slot after clearServed() released it is a
+ * use-after-free in waiting: the runtime panics (TWOINONE_ASSERT →
+ * abort) instead of returning a dangling reference. */
+TEST(ServingRuntimeDeathTest, ResultAfterClearServedPanics)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    Network net = makeTinyNet(52);
+    RpsEngine engine(net);
+    serve::ServeConfig cfg;
+    cfg.maxBatch = 8;
+    cfg.microBatch = 4;
+    cfg.seed = 77;
+    serve::ServingRuntime srv(net, engine, {3, 8, 8}, cfg);
+
+    Rng req_rng(9);
+    size_t id =
+        srv.submit(Tensor::uniform({4, 3, 8, 8}, req_rng, 0.0f, 1.0f));
+    srv.drain();
+    (void)srv.result(id); // valid while served and not yet released
+    srv.clearServed();
+    EXPECT_DEATH((void)srv.result(id),
+                 "released by clearServed");
+}
+
 } // namespace
 } // namespace twoinone

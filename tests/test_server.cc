@@ -1,0 +1,475 @@
+/**
+ * @file
+ * Tests for the asynchronous multi-tenant serving front-end
+ * (serve/server.hh): adaptive micro-batch closing (size vs age vs
+ * flush), deadline load shedding before compute, admission control,
+ * fair round-robin scheduling across tenants, bit-identity with the
+ * synchronous drain at every candidate precision, clean shutdown with
+ * in-flight requests, and a multi-producer submit hammer. Every
+ * batching decision runs against an injected ManualClock, so the
+ * asserted quantities are deterministic — including under the
+ * TWOINONE_THREADS=1/4 and TWOINONE_BACKEND=naive ctest matrix and
+ * under TSan.
+ */
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hh"
+#include "nn/model_zoo.hh"
+#include "quant/calibration.hh"
+#include "quant/rps_engine.hh"
+#include "serve/server.hh"
+#include "serve/session.hh"
+
+namespace twoinone {
+namespace {
+
+Network
+makeTinyNet(uint64_t seed)
+{
+    Rng rng(seed);
+    ModelConfig cfg;
+    cfg.baseWidth = 4;
+    return convNetTiny(cfg, rng);
+}
+
+Tensor
+makeInput(uint64_t seed, int batch = 4)
+{
+    Rng rng(seed);
+    return Tensor::uniform({batch, 3, 8, 8}, rng, 0.0f, 1.0f);
+}
+
+void
+expectBitIdentical(const Tensor &a, const Tensor &b,
+                   const std::string &what)
+{
+    ASSERT_EQ(a.shape(), b.shape()) << what;
+    for (size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a[i], b[i]) << what << " i=" << i;
+}
+
+SessionConfig
+tenantConfig(uint64_t seed, int max_batch = 8, int micro_batch = 4)
+{
+    SessionConfig cfg;
+    cfg.serving.maxBatch = max_batch;
+    cfg.serving.microBatch = micro_batch;
+    cfg.serving.seed = seed;
+    cfg.serving.lazyPlanWarmup = true;
+    cfg.inputShape = {3, 8, 8};
+    return cfg;
+}
+
+/** A frozen clock + paused start make batch composition a pure
+ * function of the submission order. */
+serve::ServerConfig
+frozenConfig(const ManualClock &clock, double delay_us = 0.0)
+{
+    serve::ServerConfig sc;
+    sc.clock = &clock;
+    sc.maxBatchDelayUs = delay_us;
+    sc.startPaused = true;
+    return sc;
+}
+
+/** With the clock frozen and age close armed, nothing closes until
+ * the clock moves — and then everything pending serves as ONE batch:
+ * a premature per-request close would show up as extra batches (and
+ * differing per-batch precision draws). */
+TEST(Server, ClosesOnAgeOnlyWhenTheClockSaysSo)
+{
+    Network net = makeTinyNet(11);
+    ManualClock clock;
+    serve::Server server(frozenConfig(clock, /*delay_us=*/100.0));
+    Session session = Session::attach(net, tenantConfig(21));
+    int tenant = server.addTenant(session);
+
+    std::future<serve::Reply> f1 =
+        server.submit(tenant, makeInput(1, 2));
+    std::future<serve::Reply> f2 =
+        server.submit(tenant, makeInput(2, 2));
+
+    // 4 of 8 rows pending: under the frozen clock this batch can only
+    // close on age, and the clock has not moved yet.
+    clock.advanceUs(101);
+    server.resume();
+
+    serve::Reply r1 = f1.get();
+    serve::Reply r2 = f2.get();
+    serve::ServeStats s = server.stats();
+    EXPECT_EQ(s.batches, 1u);
+    EXPECT_EQ(s.rows, 4u);
+    EXPECT_EQ(s.shed, 0u);
+    EXPECT_EQ(r1.precision, r2.precision); // one draw for the batch
+    server.stop();
+}
+
+/** A full batch closes on size with the clock frozen at zero — age
+ * never fires, yet the requests serve. */
+TEST(Server, ClosesOnSizeWithoutAnyClockMovement)
+{
+    Network net = makeTinyNet(12);
+    ManualClock clock;
+    serve::Server server(frozenConfig(clock, /*delay_us=*/1000.0));
+    Session session = Session::attach(net, tenantConfig(22));
+    int tenant = server.addTenant(session);
+
+    std::future<serve::Reply> f1 =
+        server.submit(tenant, makeInput(3, 4));
+    std::future<serve::Reply> f2 =
+        server.submit(tenant, makeInput(4, 4));
+    server.resume();
+
+    f1.get();
+    f2.get();
+    serve::ServeStats s = server.stats();
+    EXPECT_EQ(s.batches, 1u); // 4 + 4 = maxBatch: one size close
+    EXPECT_EQ(s.rows, 8u);
+    server.stop();
+}
+
+/** An expired deadline sheds the request before compute: the future
+ * delivers ServeError, no precision is drawn for it, and the shed is
+ * counted. */
+TEST(Server, DeadlineExpiryShedsBeforeCompute)
+{
+    Network net = makeTinyNet(13);
+    ManualClock clock;
+    serve::Server server(frozenConfig(clock));
+    Session session = Session::attach(net, tenantConfig(23));
+    int tenant = server.addTenant(session);
+
+    std::future<serve::Reply> doomed =
+        server.submit(tenant, makeInput(5, 2), /*deadline_us=*/100);
+    clock.advanceUs(200); // past the deadline before any batch forms
+    server.resume();
+    server.flush();
+
+    EXPECT_THROW(doomed.get(), serve::ServeError);
+    serve::ServeStats s = server.stats();
+    EXPECT_EQ(s.shed, 1u);
+    EXPECT_EQ(s.batches, 0u); // the batch emptied: no compute, no draw
+    EXPECT_TRUE(server.precisionTrace(tenant).empty());
+
+    // The server keeps serving after the shed.
+    std::future<serve::Reply> ok =
+        server.submit(tenant, makeInput(6, 2), /*deadline_us=*/100);
+    server.flush();
+    EXPECT_EQ(ok.get().y.dim(0), 2);
+    server.stop();
+}
+
+/** A full admission queue sheds at submit() with ServeError — counted,
+ * and the queued requests still serve. */
+TEST(Server, AdmissionControlShedsWhenQueueIsFull)
+{
+    Network net = makeTinyNet(14);
+    ManualClock clock;
+    serve::ServerConfig sc = frozenConfig(clock);
+    sc.queueCapacity = 3;
+    serve::Server server(sc);
+    Session session = Session::attach(net, tenantConfig(24));
+    int tenant = server.addTenant(session);
+
+    std::vector<std::future<serve::Reply>> admitted;
+    int sheds = 0;
+    for (int i = 0; i < 5; ++i) {
+        try {
+            admitted.push_back(
+                server.submit(tenant, makeInput(100 + i, 2)));
+        } catch (const serve::ServeError &) {
+            ++sheds;
+        }
+    }
+    EXPECT_EQ(sheds, 2);
+    EXPECT_EQ(server.stats().shed, 2u);
+
+    server.resume();
+    server.flush();
+    for (auto &f : admitted)
+        EXPECT_EQ(f.get().y.dim(0), 2);
+    EXPECT_EQ(server.stats().rows, 6u);
+    server.stop();
+}
+
+/** A malformed request is rejected synchronously at submit, counted,
+ * and does not disturb the well-formed traffic around it. */
+TEST(Server, MalformedRequestsRejectedWithoutDisruption)
+{
+    Network net = makeTinyNet(15);
+    ManualClock clock;
+    serve::Server server(frozenConfig(clock));
+    Session session = Session::attach(net, tenantConfig(25));
+    int tenant = server.addTenant(session);
+
+    std::future<serve::Reply> good =
+        server.submit(tenant, makeInput(7, 2));
+    EXPECT_THROW(server.submit(tenant, Tensor({2, 3}, 0.5f)),
+                 serve::ServeError); // wrong rank
+    EXPECT_THROW(server.submit(tenant, makeInput(8, 9)),
+                 serve::ServeError); // rows > maxBatch
+    server.resume();
+    server.flush();
+    EXPECT_EQ(good.get().y.dim(0), 2);
+    serve::ServeStats s = server.stats();
+    EXPECT_EQ(s.rejected, 2u);
+    EXPECT_EQ(s.shed, 0u);
+    EXPECT_EQ(s.requests, 1u);
+    server.stop();
+}
+
+/** Round-robin fairness: with both tenants backlogged, batch
+ * completions alternate — the heavier tenant cannot starve the
+ * lighter one. */
+TEST(Server, FairSchedulingAcrossTwoTenants)
+{
+    Network net = makeTinyNet(16);
+    ManualClock clock;
+    serve::Server server(frozenConfig(clock));
+
+    // Tenants of one model share its engine.
+    Session a = Session::attach(net, tenantConfig(26));
+    Session b =
+        Session::attach(net, a.engine(), tenantConfig(27));
+    int ta = server.addTenant(a);
+    int tb = server.addTenant(b);
+
+    // Every request fills a whole batch, so each turn serves exactly
+    // one request. A floods; B sends two.
+    for (int i = 0; i < 6; ++i)
+        server.submit(ta, makeInput(200 + i, 8));
+    for (int i = 0; i < 2; ++i)
+        server.submit(tb, makeInput(300 + i, 8));
+    server.resume();
+    server.flush();
+
+    std::vector<int> expected = {ta, tb, ta, tb, ta, ta, ta, ta};
+    EXPECT_EQ(server.batchLog(), expected);
+    EXPECT_EQ(server.tenantStats(ta).batches, 6u);
+    EXPECT_EQ(server.tenantStats(tb).batches, 2u);
+    // Per-tenant precision streams are independent and seeded.
+    EXPECT_EQ(server.precisionTrace(ta).size(), 6u);
+    EXPECT_EQ(server.precisionTrace(tb).size(), 2u);
+    server.stop();
+}
+
+/** The async server reproduces the synchronous drain bit for bit:
+ * same requests, same packing, same precision draws, same logits —
+ * pinned per candidate by serving through single-candidate engines,
+ * and across the full rps4to16 set via the seeded sampler. */
+TEST(Server, BitIdenticalToSynchronousDrainAtEveryCandidate)
+{
+    // Mixed request sizes exercise the whole-request packing rule.
+    const std::vector<int> rows = {4, 3, 8, 2, 5, 1, 6, 7};
+
+    Network net = makeTinyNet(17);
+    for (int bits : net.precisionSet().bits()) {
+        // A single-candidate engine pins every draw to `bits`.
+        RpsEngine engine(net, PrecisionSet({bits}));
+        serve::ServeConfig scfg;
+        scfg.maxBatch = 8;
+        scfg.microBatch = 4;
+        scfg.seed = 99;
+        serve::ServingRuntime sync(net, engine, {3, 8, 8}, scfg);
+        std::vector<size_t> ids;
+        for (size_t i = 0; i < rows.size(); ++i)
+            ids.push_back(sync.submit(
+                makeInput(500 + i, rows[i])));
+        sync.drain();
+
+        ManualClock clock;
+        serve::Server server(frozenConfig(clock));
+        SessionConfig tcfg = tenantConfig(99);
+        Session session = Session::attach(net, engine, tcfg);
+        int tenant = server.addTenant(session);
+        std::vector<std::future<serve::Reply>> futs;
+        for (size_t i = 0; i < rows.size(); ++i)
+            futs.push_back(server.submit(
+                tenant, makeInput(500 + i, rows[i])));
+        server.resume();
+        server.flush();
+
+        for (size_t i = 0; i < rows.size(); ++i) {
+            serve::Reply r = futs[i].get();
+            EXPECT_EQ(r.precision, bits);
+            expectBitIdentical(sync.result(ids[i]), r.y,
+                               "bits=" + std::to_string(bits) +
+                                   " req=" + std::to_string(i));
+        }
+        EXPECT_EQ(server.precisionTrace(tenant),
+                  sync.precisionTrace());
+        server.stop();
+    }
+
+    // Full candidate set: the async tenant's seeded sampler replays
+    // the sync runtime's draws, so packing AND precisions agree.
+    RpsEngine engine(net);
+    serve::ServeConfig scfg;
+    scfg.maxBatch = 8;
+    scfg.microBatch = 4;
+    scfg.seed = 4242;
+    serve::ServingRuntime sync(net, engine, {3, 8, 8}, scfg);
+    std::vector<size_t> ids;
+    for (size_t i = 0; i < rows.size(); ++i)
+        ids.push_back(sync.submit(makeInput(600 + i, rows[i])));
+    sync.drain();
+
+    ManualClock clock;
+    serve::Server server(frozenConfig(clock));
+    Session session = Session::attach(net, engine, tenantConfig(4242));
+    int tenant = server.addTenant(session);
+    std::vector<std::future<serve::Reply>> futs;
+    for (size_t i = 0; i < rows.size(); ++i)
+        futs.push_back(
+            server.submit(tenant, makeInput(600 + i, rows[i])));
+    server.resume();
+    server.flush();
+    for (size_t i = 0; i < rows.size(); ++i)
+        expectBitIdentical(sync.result(ids[i]), futs[i].get().y,
+                           "rps req=" + std::to_string(i));
+    EXPECT_EQ(server.precisionTrace(tenant), sync.precisionTrace());
+    server.stop();
+}
+
+/** Stopping with requests still queued shed them all through their
+ * futures — no hang, no leak (the ASan job runs this binary). */
+TEST(Server, ShutdownShedsInFlightRequests)
+{
+    Network net = makeTinyNet(18);
+    ManualClock clock;
+    serve::Server server(frozenConfig(clock));
+    Session session = Session::attach(net, tenantConfig(28));
+    int tenant = server.addTenant(session);
+
+    std::vector<std::future<serve::Reply>> futs;
+    for (int i = 0; i < 5; ++i)
+        futs.push_back(server.submit(tenant, makeInput(700 + i, 3)));
+    server.stop(); // still paused: nothing was served
+
+    for (auto &f : futs)
+        EXPECT_THROW(f.get(), serve::ServeError);
+    serve::ServeStats s = server.stats();
+    EXPECT_EQ(s.shed, 5u);
+    EXPECT_EQ(s.requests, 0u);
+}
+
+/** Destruction without an explicit stop() sheds the same way. */
+TEST(Server, DestructorShedsWithoutExplicitStop)
+{
+    Network net = makeTinyNet(19);
+    ManualClock clock;
+    std::vector<std::future<serve::Reply>> futs;
+    {
+        serve::Server server(frozenConfig(clock));
+        Session session = Session::attach(net, tenantConfig(29));
+        int tenant = server.addTenant(session);
+        for (int i = 0; i < 3; ++i)
+            futs.push_back(
+                server.submit(tenant, makeInput(800 + i, 2)));
+    }
+    for (auto &f : futs)
+        EXPECT_THROW(f.get(), serve::ServeError);
+}
+
+/** Multi-producer hammer: N threads submit M requests each through
+ * the sharded queue while the dispatcher serves. Every future
+ * completes, nothing is shed or lost, and every reply matches the
+ * engine's reference forward at the reply's own precision — correct
+ * for any interleaving, deterministic in the counted quantities via
+ * the frozen clock. */
+TEST(Server, MultiProducerSubmitHammer)
+{
+    const int kThreads = 4;
+    const int kPerThread = 16;
+
+    Network net = makeTinyNet(20);
+    {
+        // Static activation scales: the per-request reference forward
+        // below must not depend on which batch the request landed in.
+        Rng cal_rng(61);
+        Calibrator cal(net);
+        cal.calibrate(
+            {Tensor::uniform({8, 3, 8, 8}, cal_rng, 0.0f, 1.0f)});
+    }
+    RpsEngine engine(net, net.precisionSet());
+    ManualClock clock;
+    serve::ServerConfig sc;
+    sc.clock = &clock; // frozen: batches close on size/flush only
+    sc.maxBatchDelayUs = 0.0;
+    sc.queueCapacity = kThreads * kPerThread;
+    serve::Server server(sc);
+    Session session = Session::attach(net, engine, tenantConfig(30));
+    int tenant = server.addTenant(session);
+
+    struct Sent
+    {
+        Tensor x;
+        std::future<serve::Reply> fut;
+    };
+    std::vector<std::vector<Sent>> sent(
+        static_cast<size_t>(kThreads));
+    std::vector<std::thread> producers;
+    producers.reserve(static_cast<size_t>(kThreads));
+    for (int p = 0; p < kThreads; ++p) {
+        producers.emplace_back([&, p] {
+            for (int i = 0; i < kPerThread; ++i) {
+                Sent s;
+                s.x = makeInput(
+                    static_cast<uint64_t>(1000 + p * 100 + i), 2);
+                s.fut = server.submit(tenant, s.x);
+                sent[static_cast<size_t>(p)].push_back(std::move(s));
+            }
+        });
+    }
+    for (std::thread &t : producers)
+        t.join();
+    server.flush();
+
+    serve::ServeStats s = server.stats();
+    EXPECT_EQ(s.requests,
+              static_cast<uint64_t>(kThreads * kPerThread));
+    EXPECT_EQ(s.rows,
+              static_cast<uint64_t>(kThreads * kPerThread * 2));
+    EXPECT_EQ(s.shed, 0u);
+    EXPECT_EQ(s.rejected, 0u);
+    EXPECT_EQ(server.precisionTrace(tenant).size(), s.batches);
+
+    // Each reply must equal the reference forward at its own batch's
+    // precision — independent of how the producers interleaved.
+    for (auto &per_thread : sent) {
+        for (Sent &rec : per_thread) {
+            serve::Reply r = rec.fut.get();
+            Tensor ref = engine.forwardQuantizedAt(r.precision, rec.x);
+            expectBitIdentical(ref, r.y, "hammer");
+        }
+    }
+    server.stop();
+}
+
+/** pause() halts batch formation while admission stays open; resume()
+ * serves the accumulated backlog. */
+TEST(Server, PauseHoldsTrafficResumeReleasesIt)
+{
+    Network net = makeTinyNet(31);
+    ManualClock clock;
+    serve::Server server(frozenConfig(clock));
+    Session session = Session::attach(net, tenantConfig(32));
+    int tenant = server.addTenant(session);
+
+    std::future<serve::Reply> f =
+        server.submit(tenant, makeInput(900, 8));
+    EXPECT_EQ(server.queued(tenant), 1u);
+    EXPECT_EQ(server.stats().batches, 0u);
+    server.resume();
+    EXPECT_EQ(f.get().y.dim(0), 8);
+    EXPECT_EQ(server.stats().batches, 1u);
+    server.stop();
+}
+
+} // namespace
+} // namespace twoinone
