@@ -11,9 +11,12 @@
  * trajectory is tracked from this PR onward.
  *
  * JSON schema (all times are mean wall ns per operation):
- *   meta: { threads, default_backend, fast }
+ *   meta: { threads, default_backend, isa_tier, fast }
  *   gemm: [ { name, m, n, k, naive_ns, blocked_ns,
  *             naive_gflops, blocked_gflops, speedup } ]
+ *   int_gemm: [ { name, m, n, k, bits, int_ns, gops, float_ns,
+ *                 speedup_vs_float, isa_tier } ]  (packed kernels,
+ *             per candidate bit width x paper shapes)
  *   conv: [ { name, batch, fwd_naive_ns, fwd_blocked_ns, fwd_speedup,
  *             bwd_naive_ns, bwd_blocked_ns, bwd_speedup } ]
  *   pgd:  [ { name, batch, steps, step_naive_ns, step_blocked_ns,
@@ -115,6 +118,91 @@ benchGemmShape(const std::string &name, int m, int n, int k,
         },
         min_seconds);
     return row;
+}
+
+/** One packed-int-GEMM measurement: a (shape, bit width) cell of the
+ * candidate-precision sweep, timed against the blocked float SGEMM on
+ * the same shape (the number the quantized path must beat). */
+struct IntGemmRow
+{
+    std::string name;
+    int m, n, k, bits;
+    double int_ns = 0.0;
+    double float_ns = 0.0;
+    double gops() const { return 2.0 * m * n * k / int_ns; }
+};
+
+std::vector<IntGemmRow>
+benchIntGemmSweep(double min_seconds, bool fast, Rng &rng)
+{
+    // Paper shapes: the square ResNet bench product plus per-image
+    // conv shapes (m=K, n=OY*OX, k=C*R*S) at ResNet-18/CIFAR scale.
+    struct Shape
+    {
+        std::string name;
+        int m, n, k;
+    };
+    std::vector<Shape> shapes = {{"sq256", 256, 256, 256},
+                                 {"rn18_l1", 64, 1024, 576},
+                                 {"rn18_l3", 256, 64, 2304}};
+    if (fast)
+        shapes.resize(1);
+    std::vector<int> widths = {2, 4, 8, 12, 16};
+
+    std::vector<IntGemmRow> rows;
+    for (const Shape &s : shapes) {
+        // The float yardstick: blocked SGEMM on the same shape.
+        Tensor fa = Tensor::randn({s.m, s.k}, rng);
+        Tensor fb = Tensor::randn({s.k, s.n}, rng);
+        Tensor fc({s.m, s.n});
+        double float_ns = timeNs(
+            [&] {
+                gemm::sgemm(gemm::Backend::Blocked, false, false, s.m,
+                            s.n, s.k, fa.data(), s.k, fb.data(), s.n,
+                            fc.data(), s.n);
+            },
+            min_seconds);
+
+        for (int bits : widths) {
+            int qw = bits <= 1 ? 1 : (1 << (bits - 1)) - 1;
+            uint32_t qa = (uint32_t{1} << bits) - 1;
+            std::vector<int32_t> wcodes(static_cast<size_t>(s.m) * s.k);
+            for (int32_t &v : wcodes)
+                v = rng.uniformInt(-qw, qw);
+            gemm::PackedIntWeights pw;
+            gemm::packWeights(wcodes.data(), s.m, s.k, bits, pw);
+            std::vector<int64_t> c(static_cast<size_t>(s.m) * s.n);
+
+            IntGemmRow row{s.name + "_b" + std::to_string(bits), s.m,
+                           s.n, s.k, bits};
+            row.float_ns = float_ns;
+            if (bits <= 8) {
+                std::vector<uint8_t> b(static_cast<size_t>(s.n) * s.k);
+                for (uint8_t &v : b)
+                    v = static_cast<uint8_t>(
+                        rng.uniformInt(0, static_cast<int>(qa)));
+                row.int_ns = timeNs(
+                    [&] {
+                        gemm::igemmPackedTransB(pw, s.n, b.data(), s.k,
+                                                c.data(), s.n, bits);
+                    },
+                    min_seconds);
+            } else {
+                std::vector<uint16_t> b(static_cast<size_t>(s.n) * s.k);
+                for (uint16_t &v : b)
+                    v = static_cast<uint16_t>(
+                        rng.uniformInt(0, static_cast<int>(qa)));
+                row.int_ns = timeNs(
+                    [&] {
+                        gemm::igemmPackedTransB(pw, s.n, b.data(), s.k,
+                                                c.data(), s.n, bits);
+                    },
+                    min_seconds);
+            }
+            rows.push_back(row);
+        }
+    }
+    return rows;
 }
 
 /** Conv layer geometry for the conv/bench rows. */
@@ -230,12 +318,17 @@ jsonNum(double v)
 
 /** Sub-cutoff GEMM timing: the serial naive loops vs the light
  * row-parallel path the blocked backend now routes small products
- * through (ISSUE 3 satellite), with the dispatched path logged. */
+ * through (ISSUE 3 satellite), with the dispatched path logged. The
+ * quantized twin measures the same shape through the packed integer
+ * kernels vs the serial reference igemm (ISSUE 8 satellite: small
+ * quantized products no longer run serial-naive rows). */
 struct SmallGemmRow
 {
     int m, n, k;
     double serial_ns = 0.0;
     double light_ns = 0.0;
+    double int_serial_ns = 0.0;
+    double int_packed_ns = 0.0;
     bool parallel = false;
 };
 
@@ -267,19 +360,51 @@ benchSmallGemm(double min_seconds, Rng &rng)
                         c.data(), row.n);
         },
         min_seconds);
+
+    // The quantized twin at 8 bits: reference igemm rows (serial)
+    // vs the packed kernel, which parallelizes columns under the
+    // same inline-when-tiny grain contract as the float light path.
+    std::vector<int32_t> wcodes(static_cast<size_t>(row.m) * row.k);
+    std::vector<int8_t> w8(wcodes.size());
+    for (size_t i = 0; i < wcodes.size(); ++i) {
+        wcodes[i] = rng.uniformInt(-127, 127);
+        w8[i] = static_cast<int8_t>(wcodes[i]);
+    }
+    std::vector<uint8_t> acts(static_cast<size_t>(row.n) * row.k);
+    for (uint8_t &v : acts)
+        v = static_cast<uint8_t>(rng.uniformInt(0, 255));
+    gemm::PackedIntWeights pw;
+    gemm::packWeights(wcodes.data(), row.m, row.k, 8, pw);
+    std::vector<int64_t> ci(static_cast<size_t>(row.m) * row.n);
+    row.int_serial_ns = timeNs(
+        [&] {
+            ThreadPool::ScopedSerial guard;
+            gemm::igemmTransB(row.m, row.n, row.k, w8.data(), row.k,
+                              acts.data(), row.k, ci.data(), row.n, 8,
+                              8);
+        },
+        min_seconds);
+    row.int_packed_ns = timeNs(
+        [&] {
+            gemm::igemmPackedTransB(pw, row.n, acts.data(), row.k,
+                                    ci.data(), row.n, 8);
+        },
+        min_seconds);
     return row;
 }
 
 void
 writeJson(const std::string &path, const std::vector<GemmRow> &gemms,
+          const std::vector<IntGemmRow> &igemms,
           const std::vector<ConvRow> &convs, const std::vector<PgdRow> &pgds,
           const SmallGemmRow &small, bool fast)
 {
+    const char *tier = gemm::isaTierName(gemm::activeIsaTier());
     std::ofstream out(path);
     out << "{\n  \"meta\": {\"threads\": "
         << ThreadPool::global().threads() << ", \"default_backend\": \""
-        << gemm::backendName(gemm::activeBackend()) << "\", \"fast\": "
-        << (fast ? "true" : "false") << "},\n";
+        << gemm::backendName(gemm::activeBackend()) << "\", \"isa_tier\": \""
+        << tier << "\", \"fast\": " << (fast ? "true" : "false") << "},\n";
 
     out << "  \"gemm\": [\n";
     for (size_t i = 0; i < gemms.size(); ++i) {
@@ -292,6 +417,20 @@ writeJson(const std::string &path, const std::vector<GemmRow> &gemms,
             << ", \"blocked_gflops\": " << jsonNum(r.gflops(r.blocked_ns))
             << ", \"speedup\": " << jsonNum(r.naive_ns / r.blocked_ns)
             << "}" << (i + 1 < gemms.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"int_gemm\": [\n";
+    for (size_t i = 0; i < igemms.size(); ++i) {
+        const IntGemmRow &r = igemms[i];
+        out << "    {\"name\": \"" << r.name << "\", \"m\": " << r.m
+            << ", \"n\": " << r.n << ", \"k\": " << r.k
+            << ", \"bits\": " << r.bits
+            << ", \"int_ns\": " << jsonNum(r.int_ns)
+            << ", \"gops\": " << jsonNum(r.gops())
+            << ", \"float_ns\": " << jsonNum(r.float_ns)
+            << ", \"speedup_vs_float\": "
+            << jsonNum(r.float_ns / r.int_ns) << ", \"isa_tier\": \""
+            << tier << "\"}" << (i + 1 < igemms.size() ? "," : "")
+            << "\n";
     }
     out << "  ],\n  \"conv\": [\n";
     for (size_t i = 0; i < convs.size(); ++i) {
@@ -323,6 +462,10 @@ writeJson(const std::string &path, const std::vector<GemmRow> &gemms,
         << "\", \"serial_ns\": " << jsonNum(small.serial_ns)
         << ", \"light_ns\": " << jsonNum(small.light_ns)
         << ", \"speedup\": " << jsonNum(small.serial_ns / small.light_ns)
+        << ", \"int_serial_ns\": " << jsonNum(small.int_serial_ns)
+        << ", \"int_packed_ns\": " << jsonNum(small.int_packed_ns)
+        << ", \"int_speedup\": "
+        << jsonNum(small.int_serial_ns / small.int_packed_ns)
         << "}\n}\n";
 }
 
@@ -339,7 +482,8 @@ main()
     bench::banner("Kernel microbenchmarks (naive vs blocked backend)");
     std::cout << "threads=" << ThreadPool::global().threads()
               << " default_backend="
-              << gemm::backendName(default_backend)
+              << gemm::backendName(default_backend) << " isa_tier="
+              << gemm::isaTierName(gemm::activeIsaTier())
               << (fast ? " (fast mode)" : "") << "\n\n";
 
     std::vector<GemmRow> gemms;
@@ -359,6 +503,15 @@ main()
                     r.name.c_str(), r.m, r.n, r.k, r.naive_ns,
                     r.blocked_ns, r.gflops(r.naive_ns),
                     r.gflops(r.blocked_ns), r.naive_ns / r.blocked_ns);
+
+    std::vector<IntGemmRow> igemms =
+        benchIntGemmSweep(min_seconds, fast, rng);
+    std::printf("\n%-16s %5s %5s %5s %4s %12s %8s %8s\n", "int_gemm",
+                "m", "n", "k", "bits", "int_ns", "GOPS", "vs_float");
+    for (const IntGemmRow &r : igemms)
+        std::printf("%-16s %5d %5d %5d %4d %12.0f %8.2f %7.2fx\n",
+                    r.name.c_str(), r.m, r.n, r.k, r.bits, r.int_ns,
+                    r.gops(), r.float_ns / r.int_ns);
 
     std::vector<ConvCase> conv_cases = {
         {"conv16x16x32", fast ? 4 : 8, 16, 16, 32, 3, 1, 1},
@@ -391,13 +544,16 @@ main()
     gemm::setActiveBackend(default_backend);
     SmallGemmRow small = benchSmallGemm(min_seconds, rng);
     std::printf("\n%-20s %5d %5d %5d path=%s serial=%0.f ns light=%0.f ns "
-                "(%.2fx)\n",
+                "(%.2fx) int_serial=%0.f ns int_packed=%0.f ns (%.2fx)\n",
                 "small_gemm", small.m, small.n, small.k,
                 small.parallel ? "parallel-naive" : "serial-naive",
                 small.serial_ns, small.light_ns,
-                small.serial_ns / small.light_ns);
+                small.serial_ns / small.light_ns, small.int_serial_ns,
+                small.int_packed_ns,
+                small.int_serial_ns / small.int_packed_ns);
 
-    writeJson("BENCH_kernels.json", gemms, convs, pgds, small, fast);
+    writeJson("BENCH_kernels.json", gemms, igemms, convs, pgds, small,
+              fast);
     std::cout << "\nwrote BENCH_kernels.json\n";
     return 0;
 }

@@ -29,8 +29,9 @@
  *   session_cold_start: { eager_ns, lazy_ns, speedup }
  *            (serving-runtime construction with eager per-candidate
  *            plan warm-up vs lazy compilation — ISSUE 5)
- *   int_gemm: { m, n, k, bits, ns, gops, sgemm_ns, sgemm_gflops }
- *            (the int16 code kernel vs the blocked float kernel)
+ *   int_gemm: { m, n, k, bits, ns, gops, sgemm_ns, sgemm_gflops,
+ *               isa_tier }
+ *            (the packed 8-bit kernel vs the blocked float kernel)
  *   sweep:   { serial_ns, parallel_ns, speedup }   (accelerator
  *            layers x precisions sweep, resnet18-cifar x rps4to16)
  *   bit_identical: true/false
@@ -39,9 +40,12 @@
  * cached switch speedup falls below the 10x acceptance floor, the
  * calibrated quantized forward is not >= 1.3x the cached float
  * forward (ISSUE 3), the plan forward is not >= 1.15x the legacy
- * quantized forward, or (with >= 4 pool threads on >= 4 hardware
+ * quantized forward, (with >= 4 pool threads on >= 4 hardware
  * cores) serving throughput does not scale >= 1.5x from one thread to
- * the pool (ISSUE 4).
+ * the pool (ISSUE 4), or — on machines whose dispatched ISA tier is
+ * avx512vnni — the packed 8-bit GEMM does not reach the blocked float
+ * GFLOP/s on the same shape (ISSUE 8: the quantized path must win on
+ * compute, not just memory traffic).
  */
 
 #include <chrono>
@@ -340,19 +344,25 @@ main()
                 cold_eager_ns, cold_lazy_ns, cold_speedup);
 
     // --- Integer GEMM kernel throughput ----------------------------
+    // The packed 8-bit kernel (tile-ordered weights + runtime ISA
+    // dispatch) against the blocked float SGEMM on the same shape —
+    // the paper's core claim is that low-precision execution must win
+    // on compute, not just memory traffic (ISSUE 8 tentpole gate).
     int gm = fast ? 128 : 256;
     Rng grng(31);
-    std::vector<int16_t> ia(static_cast<size_t>(gm) * gm);
-    std::vector<uint16_t> ib(static_cast<size_t>(gm) * gm);
-    for (auto &v : ia)
-        v = static_cast<int16_t>(grng.uniformInt(-127, 127));
+    std::vector<int32_t> iw(static_cast<size_t>(gm) * gm);
+    std::vector<uint8_t> ib(static_cast<size_t>(gm) * gm);
+    for (auto &v : iw)
+        v = grng.uniformInt(-127, 127);
     for (auto &v : ib)
-        v = static_cast<uint16_t>(grng.uniformInt(0, 255));
+        v = static_cast<uint8_t>(grng.uniformInt(0, 255));
+    gemm::PackedIntWeights ipw;
+    gemm::packWeights(iw.data(), gm, gm, 8, ipw);
     std::vector<int64_t> ic(static_cast<size_t>(gm) * gm);
     double igemm_ns = timeNs(
         [&] {
-            gemm::igemmTransB(gm, gm, gm, ia.data(), gm, ib.data(), gm,
-                              ic.data(), gm, 8, 8);
+            gemm::igemmPackedTransB(ipw, gm, ib.data(), gm, ic.data(),
+                                    gm, 8);
         },
         min_seconds);
     double igemm_gops = 2.0 * gm * gm * gm / igemm_ns;
@@ -366,9 +376,11 @@ main()
         },
         min_seconds);
     double sgemm_gflops = 2.0 * gm * gm * gm / sgemm_ns;
-    std::printf("\nint16 igemm %dx%dx%d: %.0f ns  %.1f GOPS "
+    const char *isa_tier = gemm::isaTierName(gemm::activeIsaTier());
+    std::printf("\npacked int8 gemm %dx%dx%d [%s]: %.0f ns  %.1f GOPS "
                 "(blocked sgemm: %.1f GFLOP/s)\n",
-                gm, gm, gm, igemm_ns, igemm_gops, sgemm_gflops);
+                gm, gm, gm, isa_tier, igemm_ns, igemm_gops,
+                sgemm_gflops);
 
     // --- Accelerator sweep wall-clock: serial vs thread pool -------
     Accelerator ours(AcceleratorKind::TwoInOne,
@@ -396,8 +408,8 @@ main()
         << ThreadPool::global().threads() << ", \"fast\": "
         << (fast ? "true" : "false")
         << ", \"model\": \"preact_mini\", \"precision_set\": \""
-        << set.name() << "\", \"cache_bytes\": " << engine.cacheBytes()
-        << "},\n";
+        << set.name() << "\", \"isa_tier\": \"" << isa_tier
+        << "\", \"cache_bytes\": " << engine.cacheBytes() << "},\n";
     out << "  \"switch\": {\"uncached_ns\": " << jsonNum(uncached_switch_ns)
         << ", \"cached_ns\": " << jsonNum(cached_switch_ns)
         << ", \"speedup\": " << jsonNum(switch_speedup) << "},\n";
@@ -449,7 +461,8 @@ main()
         << ", \"k\": " << gm << ", \"bits\": 8, \"ns\": "
         << jsonNum(igemm_ns) << ", \"gops\": " << jsonNum(igemm_gops)
         << ", \"sgemm_ns\": " << jsonNum(sgemm_ns)
-        << ", \"sgemm_gflops\": " << jsonNum(sgemm_gflops) << "},\n";
+        << ", \"sgemm_gflops\": " << jsonNum(sgemm_gflops)
+        << ", \"isa_tier\": \"" << isa_tier << "\"},\n";
     out << "  \"sweep\": {\"serial_ns\": " << jsonNum(sweep_serial_ns)
         << ", \"parallel_ns\": " << jsonNum(sweep_parallel_ns)
         << ", \"speedup\": "
@@ -479,6 +492,16 @@ main()
         std::cerr << "FAIL: compiled plan forward speedup "
                   << plan_speedup
                   << "x is below the 1.15x acceptance floor\n";
+        return 1;
+    }
+    // The ALU-throughput inversion gate only binds where the VNNI
+    // tier dispatched: AVX2/scalar machines still run correct packed
+    // kernels but cannot be asked to outrun their own float SGEMM.
+    if (gemm::activeIsaTier() == gemm::IsaTier::Avx512Vnni &&
+        igemm_gops < sgemm_gflops) {
+        std::cerr << "FAIL: packed int8 GEMM " << igemm_gops
+                  << " GOPS is below the blocked float "
+                  << sgemm_gflops << " GFLOP/s on the same shape\n";
         return 1;
     }
     // Thread scaling needs real cores behind the pool: a pool

@@ -21,6 +21,7 @@
 #include "io/checkpoint.hh"
 #include "io/serialize.hh"
 #include "nn/model_zoo.hh"
+#include "tensor/gemm.hh"
 
 namespace twoinone {
 namespace harness {
@@ -203,6 +204,8 @@ ScenarioRunner::setUp()
     run.set("harness_format", Json(1));
     run.set("name", Json(spec_.name));
     run.set("seed", Json(spec_.seed));
+    run.set("isa_tier",
+            Json(gemm::isaTierName(gemm::activeIsaTier())));
     run.set("spec", spec_.echo);
     writeTextFile(bundle_ + "/run.json", run.dump(2) + "\n");
 

@@ -449,6 +449,33 @@ Conv2d::inferQuantInto(const QuantTensor &xq, const QuantTensor &wq,
     bool pack_valid = s.packedFrom == wq.codes.data() &&
                       s.packedBits == wbits &&
                       s.packedVersion == masterWeightVersion();
+    if (!pack_valid)
+        s.packedKinds = 0;
+
+    // Tile-packed fast path: an engine-installed pack when one matches
+    // the codes in play, else a scratch-built pack under the same key.
+    // The reference staging below stays the datapath under the naive
+    // backend and the forced-scalar tier, so the packed kernels always
+    // have an in-tree reference to diff against.
+    const gemm::PackedIntWeights *pack = nullptr;
+    const bool use_packed =
+        gemm::activeBackend() == gemm::Backend::Blocked &&
+        gemm::activeIsaTier() != gemm::IsaTier::Scalar;
+    if (use_packed) {
+        const gemm::PackedIntWeights *inst = weightPacked();
+        if (inst && !inst->empty() && inst->bits == wbits &&
+            inst->m == outChannels_ && inst->k == patch &&
+            weightCodes() == &wq) {
+            pack = inst;
+        } else {
+            if (!(s.packedKinds & IntGemmScratch::kPackTiled)) {
+                gemm::packWeights(wq.codes.data(), outChannels_, patch,
+                                  wbits, s.wpack);
+                s.packedKinds |= IntGemmScratch::kPackTiled;
+            }
+            pack = &s.wpack;
+        }
+    }
     if (serve && (s.gatherH != h || s.gatherW != w || !s.gather)) {
         // Compiled-geometry gather table, shared across every scratch
         // block (plan replica) of this geometry: fetched from the
@@ -461,8 +488,10 @@ Conv2d::inferQuantInto(const QuantTensor &xq, const QuantTensor &wq,
     }
     size_t img_elems = static_cast<size_t>(inChannels_) * h * w;
     if (narrow8) {
-        if (!pack_valid || s.w8.size() != wq.codes.size())
+        if (!pack && !(s.packedKinds & IntGemmScratch::kPackW8)) {
             packCodes(wq.codes, s.w8);
+            s.packedKinds |= IntGemmScratch::kPackW8;
+        }
         s.a8.resize(static_cast<size_t>(n) * ohw * patch);
         if (serve)
             im2colGather(xq.codes.data(), n, img_elems, *s.gather,
@@ -471,8 +500,10 @@ Conv2d::inferQuantInto(const QuantTensor &xq, const QuantTensor &wq,
             im2colCodes(xq.codes.data(), n, inChannels_, h, w, oh, ow,
                         kernel_, stride_, padding_, s.a8.data());
     } else {
-        if (!pack_valid || s.w16.size() != wq.codes.size())
+        if (!pack && !(s.packedKinds & IntGemmScratch::kPackW16)) {
             packCodes(wq.codes, s.w16);
+            s.packedKinds |= IntGemmScratch::kPackW16;
+        }
         s.a16.resize(static_cast<size_t>(n) * ohw * patch);
         if (serve)
             im2colGather(xq.codes.data(), n, img_elems, *s.gather,
@@ -487,7 +518,7 @@ Conv2d::inferQuantInto(const QuantTensor &xq, const QuantTensor &wq,
 
     // Per image: acc[K, OH*OW] = Wq[K, patch] * cols_n[OH*OW, patch]^T
     // in exact integer arithmetic (igemm inlines when nested here).
-    // Serving plans take the SIMD kernel on the <= 8-bit path;
+    // The tile-packed kernels serve every width on the fast path;
     // results are bit-identical (exact integer accumulation).
     ThreadPool::global().parallelFor(0, n, 1, [&](int64_t nlo,
                                                   int64_t nhi) {
@@ -497,7 +528,10 @@ Conv2d::inferQuantInto(const QuantTensor &xq, const QuantTensor &wq,
             if (narrow8) {
                 const uint8_t *cols_n =
                     s.a8.data() + static_cast<size_t>(ni) * ohw * patch;
-                if (serve) {
+                if (pack) {
+                    gemm::igemmPackedTransB(*pack, ohw, cols_n, patch,
+                                            acc_n, ohw, xq.bits);
+                } else if (serve) {
                     gemm::igemmTransB8Serve(outChannels_, ohw, patch,
                                             s.w8.data(), patch, cols_n,
                                             patch, acc_n, ohw, wbits,
@@ -510,9 +544,14 @@ Conv2d::inferQuantInto(const QuantTensor &xq, const QuantTensor &wq,
             } else {
                 const uint16_t *cols_n =
                     s.a16.data() + static_cast<size_t>(ni) * ohw * patch;
-                gemm::igemmTransB(outChannels_, ohw, patch,
-                                  s.w16.data(), patch, cols_n, patch,
-                                  acc_n, ohw, wbits, xq.bits);
+                if (pack) {
+                    gemm::igemmPackedTransB(*pack, ohw, cols_n, patch,
+                                            acc_n, ohw, xq.bits);
+                } else {
+                    gemm::igemmTransB(outChannels_, ohw, patch,
+                                      s.w16.data(), patch, cols_n, patch,
+                                      acc_n, ohw, wbits, xq.bits);
+                }
             }
         }
     });

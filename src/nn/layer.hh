@@ -25,6 +25,7 @@
 
 #include "quant/linear_quantizer.hh"
 #include "quant/quant_tensor.hh"
+#include "tensor/gemm.hh"
 #include "tensor/tensor.hh"
 
 namespace twoinone {
@@ -49,17 +50,33 @@ struct IntGemmScratch
     std::vector<uint16_t> a16;
     std::vector<int64_t> acc;
 
+    /** Locally built tile-packed weights (gemm::packWeights) — the
+     * fallback when no engine-owned pack is installed on the layer
+     * (uncached precisions, detached engines). Keyed by the same
+     * packedFrom/packedBits/packedVersion fields as w8/w16. */
+    gemm::PackedIntWeights wpack;
+    /** Staging buffer of igemmPackedWideTransA's lo/hi activation
+     * split (the Linear wide path); reused across forwards. */
+    std::vector<uint16_t> wide16;
+
+    /** Which staged representations were actually built under the
+     * current pack key (a forward builds only the one its path needs,
+     * so a key match alone does not prove a given buffer is fresh). */
+    enum : int { kPackW8 = 1, kPackW16 = 2, kPackTiled = 4 };
+
     /** @name Weight-pack cache key
-     * Identifies the weight codes w8/w16 were packed from, so
+     * Identifies the weight codes w8/w16/wpack were packed from, so
      * repeated forwards against unchanged weights (the serving steady
      * state) skip the repack: same source buffer, same precision,
      * same master-weight version. A re-quantization into the same
      * buffer at the same (bits, version) reproduces identical codes,
-     * so a pointer match cannot go stale without a version bump. */
+     * so a pointer match cannot go stale without a version bump.
+     * packedKinds marks which of w8/w16/wpack hold that key's codes. */
     /** @{ */
     const void *packedFrom = nullptr;
     int packedBits = 0;
     uint64_t packedVersion = 0;
+    int packedKinds = 0;
     /** @} */
 
     /** @name im2col gather table (serving path)
@@ -230,6 +247,25 @@ class WeightQuantizedLayer
     /** The installed integer weight codes (nullptr when none). */
     const QuantTensor *weightCodes() const { return weightCodes_; }
 
+    /**
+     * Install engine-owned tile-packed weights alongside the codes
+     * (or clear with nullptr). When present and matching the active
+     * precision, the integer forward skips its local scratch repack
+     * and feeds the packed SIMD kernels directly — the pack is built
+     * once per (layer, precision) by RpsEngine. Same lifetime/sync
+     * contract as setWeightCache.
+     */
+    void setWeightPacked(const gemm::PackedIntWeights *packed)
+    {
+        weightPacked_ = packed;
+    }
+
+    /** The installed tile-packed weights (nullptr when none). */
+    const gemm::PackedIntWeights *weightPacked() const
+    {
+        return weightPacked_;
+    }
+
     /** @name Cache accounting
      * Counted per quantized-weight lookup (forward and backward, any
      * path) while the active precision is quantized: a hit used an
@@ -294,6 +330,7 @@ class WeightQuantizedLayer
   private:
     const QuantResult *weightCache_ = nullptr;
     const QuantTensor *weightCodes_ = nullptr;
+    const gemm::PackedIntWeights *weightPacked_ = nullptr;
     mutable std::atomic<uint64_t> cacheHits_{0};
     mutable std::atomic<uint64_t> cacheMisses_{0};
 };

@@ -106,20 +106,61 @@ Linear::inferQuantInto(const QuantTensor &xq, const QuantTensor &wq,
                     "Linear quantized input shape mismatch");
     int n = xq.shape[0];
 
-    // acc[N, out] = Xq[N, in] * Wq[out, in]^T, exact int64.
+    // acc[N, out] = Xq[N, in] * Wq[out, in]^T, exact int64. Fast path:
+    // tile-packed weights through the wide-split int16 kernels — the
+    // classifier head's activation codes arrive from GlobalAvgPool
+    // wider than 16 bits, so they run as lo/hi int16 passes. The
+    // reference rows stay the datapath under the naive backend and the
+    // forced-scalar tier (and for operand widths outside the packed
+    // kernels' range), bit-identical either way.
     s.acc.resize(static_cast<size_t>(n) * outFeatures_);
-    gemm::igemmTransB(n, outFeatures_, inFeatures_, xq.codes.data(),
-                      inFeatures_, wq.codes.data(), inFeatures_,
-                      s.acc.data(), outFeatures_);
+    bool pack_valid = s.packedFrom == wq.codes.data() &&
+                      s.packedBits == wq.bits &&
+                      s.packedVersion == masterWeightVersion();
+    if (!pack_valid)
+        s.packedKinds = 0;
+    const gemm::PackedIntWeights *pack = nullptr;
+    if (gemm::activeBackend() == gemm::Backend::Blocked &&
+        gemm::activeIsaTier() != gemm::IsaTier::Scalar && wq.bits >= 1 &&
+        wq.bits <= 16 && !xq.isSigned && xq.bits >= 1 && xq.bits <= 30) {
+        const gemm::PackedIntWeights *inst = weightPacked();
+        if (inst && !inst->empty() && inst->bits == wq.bits &&
+            inst->m == outFeatures_ && inst->k == inFeatures_ &&
+            weightCodes() == &wq) {
+            pack = inst;
+        } else {
+            if (!(s.packedKinds & IntGemmScratch::kPackTiled)) {
+                gemm::packWeights(wq.codes.data(), outFeatures_,
+                                  inFeatures_, wq.bits, s.wpack);
+                s.packedKinds |= IntGemmScratch::kPackTiled;
+            }
+            pack = &s.wpack;
+        }
+    }
+    s.packedFrom = wq.codes.data();
+    s.packedBits = wq.bits;
+    s.packedVersion = masterWeightVersion();
+    if (pack) {
+        gemm::igemmPackedWideTransA(*pack, n, xq.codes.data(),
+                                    inFeatures_, s.acc.data(),
+                                    outFeatures_, xq.bits, s.wide16);
+    } else {
+        gemm::igemmTransB(n, outFeatures_, inFeatures_, xq.codes.data(),
+                          inFeatures_, wq.codes.data(), inFeatures_,
+                          s.acc.data(), outFeatures_);
+    }
 
     float dq = wq.scale * xq.scale;
     const float *b = hasBias_ ? bias_.value.data() : nullptr;
     out.ensure({n, outFeatures_});
     float *o = out.data();
-    for (int64_t i = 0; i < static_cast<int64_t>(n) * outFeatures_; ++i) {
-        o[i] = static_cast<float>(s.acc[static_cast<size_t>(i)]) * dq +
-               (b ? b[i % outFeatures_] : 0.0f);
-    }
+    int64_t grain_rows =
+        std::max<int64_t>(1, (1 << 15) / std::max(1, outFeatures_));
+    ops::gatedParallelFor(n, grain_rows, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo * outFeatures_; i < hi * outFeatures_; ++i)
+            o[i] = static_cast<float>(s.acc[static_cast<size_t>(i)]) * dq +
+                   (b ? b[i % outFeatures_] : 0.0f);
+    });
 
     if (quantTrace_) {
         tracedW_ = wq;

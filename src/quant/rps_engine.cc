@@ -51,6 +51,18 @@ RpsEngine::cellStale(size_t layer, size_t prec) const
 }
 
 void
+RpsEngine::packEntry(CacheEntry &e)
+{
+    // Weight codes are row-major [rows, reduction] for both kernel
+    // geometries: Conv2d [K, C*k*k] and Linear [out, in].
+    const int m = e.codes.shape.empty() ? 0 : e.codes.shape[0];
+    const int k =
+        m > 0 ? static_cast<int>(e.codes.size()) / m : 0;
+    gemm::packWeights(e.codes.codes.data(), m, k, e.codes.bits, e.packed);
+    e.packedReady = true;
+}
+
+void
 RpsEngine::rebuildCell(size_t layer, size_t prec, bool want_floats)
 {
     CacheEntry &e = cache_[layer][prec];
@@ -64,6 +76,8 @@ RpsEngine::rebuildCell(size_t layer, size_t prec, bool want_floats)
     e.floats.scale = e.codes.scale;
     e.floats.bits = e.codes.bits;
     e.floatsReady = floats;
+    if (e.packedReady)
+        packEntry(e); // keep installed pack pointers current
     e.built = true;
     e.builtVersion = layers_[layer]->masterWeightVersion();
     columnRebuilds_.fetch_add(1, std::memory_order_relaxed);
@@ -139,6 +153,7 @@ RpsEngine::setPrecision(int bits)
         for (WeightQuantizedLayer *l : layers_) {
             l->setWeightCache(nullptr);
             l->setWeightCodes(nullptr);
+            l->setWeightPacked(nullptr);
         }
         installedIdx_ = -1;
         net_.setPrecision(bits);
@@ -162,11 +177,19 @@ RpsEngine::setPrecision(int bits)
                     e.codes.dequantizeInto(e.floats.values);
                     e.floatsReady = true;
                 }
+                // First install of this cell: build the tile-packed
+                // kernel weights (rebuilds keep them current after
+                // this). Packing is a data-layout copy, not a
+                // quantization, so it does not count as a column
+                // rebuild — checkpoint warm starts stay at zero.
+                if (!e.packedReady)
+                    packEntry(e);
             }
         });
     for (size_t l = 0; l < layers_.size(); ++l) {
         layers_[l]->setWeightCache(&cache_[l][idx].floats);
         layers_[l]->setWeightCodes(&cache_[l][idx].codes);
+        layers_[l]->setWeightPacked(&cache_[l][idx].packed);
     }
     installedIdx_ = static_cast<int>(idx);
     net_.setPrecision(bits);
@@ -215,6 +238,7 @@ RpsEngine::detach()
     for (WeightQuantizedLayer *l : layers_) {
         l->setWeightCache(nullptr);
         l->setWeightCodes(nullptr);
+        l->setWeightPacked(nullptr);
     }
     installedIdx_ = -1;
 }
@@ -260,6 +284,8 @@ RpsEngine::importCell(size_t layer, size_t prec, QuantTensor codes,
     e.floats.scale = e.codes.scale;
     e.floats.bits = e.codes.bits;
     e.floatsReady = false;
+    if (e.packedReady)
+        packEntry(e); // keep a live tile pack current
     e.built = true;
     e.builtVersion = layers_[layer]->masterWeightVersion();
 }
@@ -305,6 +331,7 @@ RpsEngine::cacheBytes() const
             bytes += e.floats.steMask.size() * sizeof(float);
             if (e.floatsReady)
                 bytes += e.floats.values.size() * sizeof(float);
+            bytes += e.packed.bytes();
         }
     }
     return bytes;

@@ -53,6 +53,7 @@
 
 #include "nn/network.hh"
 #include "quant/quant_tensor.hh"
+#include "tensor/gemm.hh"
 
 namespace twoinone {
 
@@ -106,7 +107,7 @@ class RpsEngine
     size_t numQuantLayers() const { return layers_.size(); }
 
     /** Total bytes held by the cache: int codes + STE masks + any
-     * materialized float views. */
+     * materialized float views + any tile-packed kernel buffers. */
     size_t cacheBytes() const;
 
     /**
@@ -216,12 +217,20 @@ class RpsEngine
 
   private:
     /** One (layer, precision) cache cell: canonical codes plus the
-     * lazily materialized float fake-quant view, stamped with the
-     * master-weight version it was quantized from. */
+     * lazily materialized float fake-quant view and the lazily built
+     * tile-packed kernel weights, stamped with the master-weight
+     * version it was quantized from. */
     struct CacheEntry
     {
         QuantTensor codes;
         QuantResult floats; ///< steMask eager, values lazy
+        /** Tile-ordered codes for the packed integer kernels
+         * (gemm::igemmPackedTransB*), built on the cell's first
+         * install and then kept current by rebuilds — a precision
+         * switch installs ready-to-run kernel weights, and the
+         * per-forward repack disappears from the serving path. */
+        gemm::PackedIntWeights packed;
+        bool packedReady = false;
         bool floatsReady = false;
         bool built = false;
         uint64_t builtVersion = 0;
@@ -247,8 +256,12 @@ class RpsEngine
 
     /** Re-quantize one cell from the current masters, fusing the
      * float-view materialization when the view is (or must become)
-     * live. */
+     * live; a live tile pack is repacked from the fresh codes so
+     * installed pack pointers stay current. */
     void rebuildCell(size_t layer, size_t prec, bool want_floats);
+
+    /** (Re)build a cell's tile-packed kernel weights from its codes. */
+    static void packEntry(CacheEntry &e);
 
     /** Rebuild all cached precisions of the given layers (parallel
      * over layers x precisions; float views of used precisions are

@@ -264,6 +264,8 @@ ExecutionPlan::arenaBytes() const
                  s.ig.a8.size() * sizeof(uint8_t) +
                  s.ig.a16.size() * sizeof(uint16_t) +
                  s.ig.acc.size() * sizeof(int64_t);
+        bytes += s.ig.wpack.bytes() +
+                 s.ig.wide16.size() * sizeof(uint16_t);
     }
     return bytes;
 }

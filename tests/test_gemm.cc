@@ -17,7 +17,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "common/thread_pool.hh"
@@ -223,6 +225,248 @@ TEST(Gemm, TransposeVariantsAgainstEachOther)
         for (int j = 0; j < k; ++j)
             at.at2(j, i) = a.at2(i, j);
     EXPECT_LT(relErr(ops::matmulTransposeA(at, b), c_ref), 1e-4f);
+}
+
+// ---------------------------------------------------------------------------
+// Packed integer GEMM: every ISA tier the CPU offers must be
+// bit-identical to the unpacked igemmTransB reference at every bit
+// width — integer accumulation is exact in all tiers, so these are
+// ASSERT_EQ, never a tolerance.
+// ---------------------------------------------------------------------------
+
+std::vector<gemm::IsaTier>
+availableTiers()
+{
+    std::vector<gemm::IsaTier> tiers = {gemm::IsaTier::Scalar};
+    if (gemm::detectedIsaTier() >= gemm::IsaTier::Avx2)
+        tiers.push_back(gemm::IsaTier::Avx2);
+    if (gemm::detectedIsaTier() >= gemm::IsaTier::Avx512Vnni)
+        tiers.push_back(gemm::IsaTier::Avx512Vnni);
+    return tiers;
+}
+
+/** RAII guard: tests override the dispatch tier, this puts it back. */
+struct TierRestore
+{
+    gemm::IsaTier saved = gemm::activeIsaTier();
+    ~TierRestore() { gemm::setActiveIsaTier(saved); }
+};
+
+int
+signedQmax(int bits)
+{
+    return bits <= 1 ? 1 : (1 << (bits - 1)) - 1;
+}
+
+std::vector<int32_t>
+randCodes(Rng &rng, size_t n, int lo, int hi)
+{
+    std::vector<int32_t> v(n);
+    for (auto &x : v)
+        x = rng.uniformInt(lo, hi);
+    return v;
+}
+
+/** Packed (all tiers) vs unpacked reference, one (shape, widths) case. */
+void
+comparePackedAllTiers(int m, int n, int k, int w_bits, int a_bits, Rng &rng)
+{
+    const int qw = signedQmax(w_bits);
+    const int qa = static_cast<int>((int64_t{1} << a_bits) - 1);
+    std::vector<int32_t> wcodes =
+        randCodes(rng, static_cast<size_t>(m) * k, -qw, qw);
+    std::vector<int32_t> acodes =
+        randCodes(rng, static_cast<size_t>(n) * k, 0, qa);
+    const bool narrow = w_bits <= 8 && a_bits <= 8;
+    std::vector<int64_t> ref(static_cast<size_t>(m) * n);
+    std::vector<uint8_t> a8;
+    std::vector<uint16_t> a16(acodes.begin(), acodes.end());
+    if (narrow) {
+        a8.assign(acodes.begin(), acodes.end());
+        std::vector<int8_t> w8(wcodes.begin(), wcodes.end());
+        gemm::igemmTransB(m, n, k, w8.data(), k, a8.data(), k, ref.data(),
+                          n, w_bits, a_bits);
+    } else {
+        std::vector<int16_t> w16(wcodes.begin(), wcodes.end());
+        gemm::igemmTransB(m, n, k, w16.data(), k, a16.data(), k, ref.data(),
+                          n, w_bits, a_bits);
+    }
+    gemm::PackedIntWeights pack;
+    gemm::packWeights(wcodes.data(), m, k, w_bits, pack);
+    for (gemm::IsaTier tier : availableTiers()) {
+        gemm::setActiveIsaTier(tier);
+        if (narrow) {
+            std::vector<int64_t> got(static_cast<size_t>(m) * n, -7);
+            gemm::igemmPackedTransB(pack, n, a8.data(), k, got.data(), n,
+                                    a_bits);
+            for (size_t i = 0; i < ref.size(); ++i)
+                ASSERT_EQ(ref[i], got[i])
+                    << "u8 tier=" << gemm::isaTierName(tier) << " m=" << m
+                    << " n=" << n << " k=" << k << " w_bits=" << w_bits
+                    << " a_bits=" << a_bits << " i=" << i;
+        }
+        // The int16-packed overload serves every width (it is also the
+        // fallback the AVX2 tier takes for maddubs-unsafe widths), so
+        // cross-check it on narrow widths too.
+        std::vector<int64_t> got16(static_cast<size_t>(m) * n, -7);
+        gemm::igemmPackedTransB(pack, n, a16.data(), k, got16.data(), n,
+                                a_bits);
+        for (size_t i = 0; i < ref.size(); ++i)
+            ASSERT_EQ(ref[i], got16[i])
+                << "u16 tier=" << gemm::isaTierName(tier) << " m=" << m
+                << " n=" << n << " k=" << k << " w_bits=" << w_bits
+                << " a_bits=" << a_bits << " i=" << i;
+    }
+}
+
+TEST(PackedIgemm, BitIdenticalToReferenceAcrossTiersAndWidths)
+{
+    Rng rng(23);
+    TierRestore restore;
+    // Tail/edge shapes: unit dims, m/n/k off every tile and group
+    // multiple, one exact-tile shape, k crossing several 4-groups.
+    const std::vector<std::array<int, 3>> shapes = {
+        {1, 1, 1},   {3, 5, 7},    {16, 64, 36},
+        {17, 19, 23}, {33, 7, 130}, {64, 16, 64}};
+    for (const auto &s : shapes)
+        for (int bits : {1, 2, 4, 5, 6, 8, 12, 16})
+            comparePackedAllTiers(s[0], s[1], s[2], bits, bits, rng);
+}
+
+TEST(PackedIgemm, MixedWeightActivationWidths)
+{
+    Rng rng(29);
+    TierRestore restore;
+    // Off-diagonal (w_bits, a_bits) combos: maddubs-safe (2w x 8a),
+    // maddubs-unsafe (8w x 8a is in the diagonal test; 8w x 2a safe),
+    // and the 16-bit-activation bias trick against narrow weights.
+    const std::vector<std::array<int, 2>> widths = {
+        {2, 8}, {8, 2}, {5, 3}, {4, 16}, {12, 16}, {16, 12}, {16, 16}};
+    for (const auto &wb : widths) {
+        comparePackedAllTiers(17, 19, 23, wb[0], wb[1], rng);
+        comparePackedAllTiers(33, 7, 130, wb[0], wb[1], rng);
+    }
+}
+
+TEST(PackedIgemm, Int32AccumulationOverflowBoundary)
+{
+    // All-extreme codes at a k chosen so qw * qa * k straddles
+    // INT32_MAX: one below (int32-accumulating SIMD kernels), one
+    // above (the u8 entry must fall back to exact int64). Worst-case
+    // magnitudes make any wrap visible.
+    TierRestore restore;
+    const int m = 17, n = 3;
+    for (int k : {66051, 66053}) { // qw*qa*k around 2^31 for 8w x 8a
+        std::vector<int32_t> wcodes(static_cast<size_t>(m) * k);
+        for (size_t i = 0; i < wcodes.size(); ++i)
+            wcodes[i] = (i % 2) ? 127 : -127;
+        std::vector<int32_t> acodes(static_cast<size_t>(n) * k, 255);
+        std::vector<int8_t> w8(wcodes.begin(), wcodes.end());
+        std::vector<uint8_t> a8(acodes.begin(), acodes.end());
+        std::vector<int64_t> ref(static_cast<size_t>(m) * n);
+        gemm::igemmTransB(m, n, k, w8.data(), k, a8.data(), k, ref.data(),
+                          n, 8, 8);
+        gemm::PackedIntWeights pack;
+        gemm::packWeights(wcodes.data(), m, k, 8, pack);
+        for (gemm::IsaTier tier : availableTiers()) {
+            gemm::setActiveIsaTier(tier);
+            std::vector<int64_t> got(static_cast<size_t>(m) * n, -7);
+            gemm::igemmPackedTransB(pack, n, a8.data(), k, got.data(), n,
+                                    8);
+            for (size_t i = 0; i < ref.size(); ++i)
+                ASSERT_EQ(ref[i], got[i])
+                    << "tier=" << gemm::isaTierName(tier) << " k=" << k
+                    << " i=" << i;
+        }
+    }
+}
+
+TEST(PackedIgemm, WideActivationsMatchInt32Reference)
+{
+    // The Linear classifier-head path: unsigned activation codes that
+    // have outgrown 16 bits (GlobalAvgPool partial sums), split into
+    // lo/hi int16 passes. Reference is the wide int32 igemmTransB.
+    Rng rng(31);
+    TierRestore restore;
+    const std::vector<std::array<int, 3>> shapes = {
+        {10, 3, 64}, {17, 5, 130}, {16, 8, 36}, {1, 1, 1}};
+    for (const auto &s : shapes)
+        for (int w_bits : {4, 8, 12, 16})
+            for (int a_bits : {8, 15, 16, 20, 26, 30}) {
+                const int m = s[0], n = s[1], k = s[2];
+                const int qw = signedQmax(w_bits);
+                const int qa =
+                    static_cast<int>((int64_t{1} << a_bits) - 1);
+                std::vector<int32_t> wcodes =
+                    randCodes(rng, static_cast<size_t>(m) * k, -qw, qw);
+                std::vector<int32_t> acodes =
+                    randCodes(rng, static_cast<size_t>(n) * k, 0, qa);
+                std::vector<int64_t> ref(static_cast<size_t>(n) * m);
+                gemm::igemmTransB(n, m, k, acodes.data(), k, wcodes.data(),
+                                  k, ref.data(), m);
+                gemm::PackedIntWeights pack;
+                gemm::packWeights(wcodes.data(), m, k, w_bits, pack);
+                std::vector<uint16_t> stage;
+                for (gemm::IsaTier tier : availableTiers()) {
+                    gemm::setActiveIsaTier(tier);
+                    std::vector<int64_t> got(static_cast<size_t>(n) * m,
+                                             -7);
+                    gemm::igemmPackedWideTransA(pack, n, acodes.data(), k,
+                                                got.data(), m, a_bits,
+                                                stage);
+                    for (size_t i = 0; i < ref.size(); ++i)
+                        ASSERT_EQ(ref[i], got[i])
+                            << "tier=" << gemm::isaTierName(tier)
+                            << " m=" << m << " n=" << n << " k=" << k
+                            << " w_bits=" << w_bits
+                            << " a_bits=" << a_bits << " i=" << i;
+                }
+            }
+}
+
+TEST(PackedIgemm, PackIsDeterministicAndAccountsBytes)
+{
+    Rng rng(37);
+    std::vector<int32_t> codes = randCodes(rng, 33 * 23, -7, 7);
+    gemm::PackedIntWeights a, b;
+    gemm::packWeights(codes.data(), 33, 23, 4, a);
+    gemm::packWeights(codes.data(), 33, 23, 4, b);
+    EXPECT_EQ(a.p8, b.p8);
+    EXPECT_EQ(a.p16, b.p16);
+    EXPECT_EQ(a.rowSum, b.rowSum);
+    EXPECT_GT(a.bytes(), 0u);
+    // bits > 8 skips the int8 plane entirely.
+    gemm::PackedIntWeights wide;
+    gemm::packWeights(codes.data(), 33, 23, 12, wide);
+    EXPECT_TRUE(wide.p8.empty());
+    EXPECT_FALSE(wide.p16.empty());
+    a.clear();
+    EXPECT_TRUE(a.empty());
+    EXPECT_EQ(a.bytes(), 0u);
+}
+
+TEST(PackedIgemm, SerialMatchesPooled)
+{
+    // Column-parallel dispatch must not change results (it cannot —
+    // disjoint columns — but this pins the contract under
+    // TWOINONE_THREADS variants like the float test above).
+    Rng rng(41);
+    const int m = 48, n = 200, k = 96;
+    std::vector<int32_t> wcodes =
+        randCodes(rng, static_cast<size_t>(m) * k, -127, 127);
+    std::vector<int32_t> acodes =
+        randCodes(rng, static_cast<size_t>(n) * k, 0, 255);
+    std::vector<uint8_t> a8(acodes.begin(), acodes.end());
+    gemm::PackedIntWeights pack;
+    gemm::packWeights(wcodes.data(), m, k, 8, pack);
+    std::vector<int64_t> pooled(static_cast<size_t>(m) * n);
+    gemm::igemmPackedTransB(pack, n, a8.data(), k, pooled.data(), n, 8);
+    std::vector<int64_t> serial(static_cast<size_t>(m) * n, -7);
+    {
+        ThreadPool::ScopedSerial guard;
+        gemm::igemmPackedTransB(pack, n, a8.data(), k, serial.data(), n, 8);
+    }
+    ASSERT_EQ(pooled, serial);
 }
 
 } // namespace

@@ -532,6 +532,79 @@ TEST(ForwardQuantized, StemConvBitIdenticalToBitSerialDatapath)
     }
 }
 
+// ---------------------------------------------------------------------------
+// Packed-kernel ISA tiers: end-to-end bit-identity
+// ---------------------------------------------------------------------------
+
+/** RAII guard: force an ISA tier for one scope, restore on exit. */
+struct TierRestore
+{
+    gemm::IsaTier saved = gemm::activeIsaTier();
+    ~TierRestore() { gemm::setActiveIsaTier(saved); }
+};
+
+/** The full quantized forward — conv stack through the Linear head —
+ * is bit-identical between the dispatched SIMD tier and the forced
+ * scalar reference tier at every rps4to16 candidate. The scalar tier
+ * runs the legacy reference igemm rows (the packed gate turns off),
+ * so this is also the packed-fast-path vs legacy-rows diff for both
+ * Conv2d and the classifier's wide Linear GEMM. */
+TEST(ForwardQuantized, ScalarTierBitIdenticalEndToEnd)
+{
+    Network net = makeTinyNet(61);
+    Tensor x = makeInput(62, /*batch=*/2);
+    Calibrator cal(net);
+    cal.calibrate({x});
+    RpsEngine engine(net);
+
+    for (int bits : net.precisionSet().bits()) {
+        TierRestore guard;
+        gemm::setActiveIsaTier(gemm::IsaTier::Scalar);
+        Tensor y_ref = engine.forwardQuantizedAt(bits, x);
+        gemm::setActiveIsaTier(guard.saved);
+        Tensor y_simd = engine.forwardQuantizedAt(bits, x);
+        ASSERT_EQ(y_ref.shape(), y_simd.shape()) << "bits=" << bits;
+        for (size_t i = 0; i < y_ref.size(); ++i)
+            ASSERT_EQ(y_ref[i], y_simd[i]) << "bits=" << bits
+                                           << " i=" << i;
+    }
+}
+
+/** Same end-to-end diff on the residual model (projection shortcuts,
+ * deeper conv stack), per candidate and per intermediate tier. */
+TEST(ForwardQuantized, ResidualModelTiersBitIdentical)
+{
+    Rng rng(63);
+    ModelConfig cfg;
+    cfg.baseWidth = 8;
+    Network net = preActResNetMini(cfg, rng);
+    Tensor x = makeInput(64, /*batch=*/2);
+    Calibrator cal(net);
+    cal.calibrate({x});
+    RpsEngine engine(net);
+
+    std::vector<gemm::IsaTier> tiers = {gemm::IsaTier::Scalar};
+    if (gemm::detectedIsaTier() >= gemm::IsaTier::Avx2)
+        tiers.push_back(gemm::IsaTier::Avx2);
+    if (gemm::detectedIsaTier() >= gemm::IsaTier::Avx512Vnni)
+        tiers.push_back(gemm::IsaTier::Avx512Vnni);
+
+    for (int bits : net.precisionSet().bits()) {
+        TierRestore guard;
+        gemm::setActiveIsaTier(gemm::IsaTier::Scalar);
+        Tensor y_ref = engine.forwardQuantizedAt(bits, x);
+        for (gemm::IsaTier t : tiers) {
+            gemm::setActiveIsaTier(t);
+            Tensor y = engine.forwardQuantizedAt(bits, x);
+            ASSERT_EQ(y_ref.shape(), y.shape()) << "bits=" << bits;
+            for (size_t i = 0; i < y_ref.size(); ++i)
+                ASSERT_EQ(y_ref[i], y[i])
+                    << "bits=" << bits << " tier="
+                    << gemm::isaTierName(t) << " i=" << i;
+        }
+    }
+}
+
 /** Linear consumes the GlobalAvgPool's integer partial sums: the
  * traced activation codes into the classifier are exact integer sums
  * of the upstream ActQuant codes. */

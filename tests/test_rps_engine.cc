@@ -209,8 +209,9 @@ TEST(RpsEngine, SubsetCacheServesAllBoundPrecisions)
 }
 
 /** Cache accounting: every Conv2d/Linear at every candidate holds
- * int32 codes + a float STE mask; the float view of a precision is
- * materialized lazily on its first install. */
+ * int32 codes + a float STE mask; the float view AND the tile-packed
+ * kernel weights of a precision are materialized lazily on its first
+ * install. */
 TEST(RpsEngine, CacheAccounting)
 {
     Network net = makeResidualNet(48);
@@ -224,16 +225,95 @@ TEST(RpsEngine, CacheAccounting)
     for (WeightQuantizedLayer *l : net.weightQuantizedLayers())
         weight_scalars += l->masterWeight().size();
     // Codes (4B) + mask (4B) per scalar per candidate; no float view
-    // materialized before the first switch.
+    // or tile pack materialized before the first switch.
     size_t base =
         2 * sizeof(float) * weight_scalars * engine.set().size();
     EXPECT_EQ(engine.cacheBytes(), base);
 
     // Switching to one candidate materializes exactly that column's
-    // float values (one extra float per scalar).
-    engine.setPrecision(engine.set().bits()[0]);
+    // float values (one extra float per scalar) and its tile packs —
+    // reproduced independently here from the cached codes.
+    int bits0 = engine.set().bits()[0];
+    engine.setPrecision(bits0);
+    size_t pack_bytes = 0;
+    for (size_t l = 0; l < engine.numQuantLayers(); ++l) {
+        const QuantTensor &codes = engine.codesFor(l, bits0);
+        int m = codes.shape.empty() ? 0 : codes.shape[0];
+        int k = m > 0 ? static_cast<int>(codes.size()) / m : 0;
+        gemm::PackedIntWeights pw;
+        gemm::packWeights(codes.codes.data(), m, k, codes.bits, pw);
+        pack_bytes += pw.bytes();
+    }
+    EXPECT_GT(pack_bytes, 0u);
     EXPECT_EQ(engine.cacheBytes(),
-              base + sizeof(float) * weight_scalars);
+              base + sizeof(float) * weight_scalars + pack_bytes);
+}
+
+/** A precision switch installs ready-to-run tile-packed kernel
+ * weights into every layer; detach and full-precision switches clear
+ * them (the layers fall back to per-forward scratch packing). */
+TEST(RpsEngine, PackedWeightsInstalledAndCleared)
+{
+    Network net = makeResidualNet(52);
+    RpsEngine engine(net);
+    std::vector<WeightQuantizedLayer *> layers =
+        net.weightQuantizedLayers();
+
+    for (int bits : engine.set().bits()) {
+        engine.setPrecision(bits);
+        for (WeightQuantizedLayer *l : layers) {
+            const gemm::PackedIntWeights *p = l->weightPacked();
+            ASSERT_NE(p, nullptr) << "bits=" << bits;
+            EXPECT_FALSE(p->empty()) << "bits=" << bits;
+            EXPECT_EQ(p->bits, bits);
+            EXPECT_EQ(static_cast<size_t>(p->m) * p->k,
+                      l->masterWeight().size());
+        }
+    }
+
+    engine.detach();
+    for (WeightQuantizedLayer *l : layers)
+        EXPECT_EQ(l->weightPacked(), nullptr);
+
+    engine.setPrecision(engine.set().bits()[0]);
+    engine.setPrecision(0); // full precision clears the installs too
+    for (WeightQuantizedLayer *l : layers)
+        EXPECT_EQ(l->weightPacked(), nullptr);
+}
+
+/** After a training step, refreshDirty() keeps the installed column's
+ * live tile packs current: the packed codes must re-agree with the
+ * freshly quantized cell codes. */
+TEST(RpsEngine, RefreshDirtyRepacksInstalledColumn)
+{
+    Network net = makeTinyNet(53);
+    Tensor x = makeInput(18);
+    RpsEngine engine(net);
+    int bits = engine.set().bits()[0];
+    engine.setPrecision(bits);
+
+    // Nudge the masters like an optimizer step would (version bump).
+    for (Parameter *p : net.parameters()) {
+        for (size_t i = 0; i < p->value.size(); ++i)
+            p->value[i] *= 1.5f;
+        p->bumpVersion();
+    }
+    engine.refreshDirty();
+
+    std::vector<WeightQuantizedLayer *> layers =
+        net.weightQuantizedLayers();
+    for (size_t l = 0; l < layers.size(); ++l) {
+        const gemm::PackedIntWeights *inst = layers[l]->weightPacked();
+        ASSERT_NE(inst, nullptr);
+        const QuantTensor &codes = engine.codesFor(l, bits);
+        int m = codes.shape.empty() ? 0 : codes.shape[0];
+        int k = m > 0 ? static_cast<int>(codes.size()) / m : 0;
+        gemm::PackedIntWeights fresh;
+        gemm::packWeights(codes.codes.data(), m, k, codes.bits, fresh);
+        EXPECT_EQ(inst->p8, fresh.p8) << "layer=" << l;
+        EXPECT_EQ(inst->p16, fresh.p16) << "layer=" << l;
+        EXPECT_EQ(inst->rowSum, fresh.rowSum) << "layer=" << l;
+    }
 }
 
 /** EPGD cycling precisions mid-attack behind the engine's back: the
