@@ -7,8 +7,17 @@
  *
  *   twoinone-bench run <scenario.json> [--out DIR] [--check-determinism]
  *   twoinone-bench validate <scenario.json>
+ *   twoinone-bench tune <scenario.json> [--out DIR] [--artifact FILE]
  *   twoinone-bench baseline capture <scenario.json> [--out DIR] [--baseline FILE]
  *   twoinone-bench baseline compare <scenario.json> [--out DIR] [--baseline FILE]
+ *
+ * `tune` stands the scenario's model up and runs the serving
+ * autotuner only (budget from the spec's tuning block, defaults
+ * otherwise), printing the per-candidate predicted-vs-measured error
+ * report and the selected genome; --artifact writes the winner's
+ * serialized TuningArtifact bytes for embedding elsewhere. The
+ * selection is seed-deterministic — rerunning prints the same
+ * `selected:` line.
  *
  * Exit codes are a stable contract (CI keys off them):
  *   0  run / validate / compare passed
@@ -56,6 +65,8 @@ usage()
         << "  twoinone-bench run <scenario.json> [--out DIR]"
            " [--check-determinism]\n"
         << "  twoinone-bench validate <scenario.json>\n"
+        << "  twoinone-bench tune <scenario.json> [--out DIR]"
+           " [--artifact FILE]\n"
         << "  twoinone-bench baseline capture <scenario.json>"
            " [--out DIR] [--baseline FILE]\n"
         << "  twoinone-bench baseline compare <scenario.json>"
@@ -64,10 +75,12 @@ usage()
 
 struct Options
 {
-    std::string command;    ///< run | validate | capture | compare
+    std::string command;    ///< run | validate | tune | capture |
+                            ///< compare
     std::string scenario;   ///< scenario spec path
     std::string out = "harness-out";
     std::string baseline;   ///< empty = scenarios/baselines/<name>.json
+    std::string artifact;   ///< tune: write the TuningArtifact bytes
     bool checkDeterminism = false;
 };
 
@@ -84,7 +97,8 @@ parseArgs(int argc, char **argv, Options &opts)
         opts.command = argv[i++];
         if (opts.command != "capture" && opts.command != "compare")
             return false;
-    } else if (opts.command != "run" && opts.command != "validate") {
+    } else if (opts.command != "run" && opts.command != "validate" &&
+               opts.command != "tune") {
         return false;
     }
     if (i >= argc)
@@ -96,6 +110,8 @@ parseArgs(int argc, char **argv, Options &opts)
             opts.out = argv[++i];
         } else if (arg == "--baseline" && i + 1 < argc) {
             opts.baseline = argv[++i];
+        } else if (arg == "--artifact" && i + 1 < argc) {
+            opts.artifact = argv[++i];
         } else if (arg == "--check-determinism") {
             opts.checkDeterminism = true;
         } else {
@@ -183,6 +199,41 @@ cmdRun(const Options &opts, const ScenarioSpec &spec)
     }
     std::cout << "scenario '" << spec.name << "' passed\n";
     return kExitOk;
+}
+
+int
+cmdTune(const Options &opts, const ScenarioSpec &spec)
+{
+    ScenarioRunner runner(spec, opts.out);
+    tune::TuneResult res = runner.tuneOnly();
+
+    std::cout << "tuning: evaluated " << res.evaluated
+              << " candidates (" << res.candidates.size()
+              << " distinct) over " << res.costHistory.size()
+              << " cycles\n";
+    std::cout << "  candidate predicted-vs-measured error (per-row ns"
+                 " at the dominant precision):\n";
+    for (const tune::CandidateReport &c : res.candidates) {
+        if (c.measuredRowNs <= 0.0)
+            continue;
+        std::cout << "    " << c.genome.describe() << "  predicted="
+                  << c.predictedRowNs << " measured=" << c.measuredRowNs
+                  << " err=" << c.errorPct << "%\n";
+    }
+    std::cout << "  mean error: " << res.meanErrorPct << "%\n";
+    std::cout << "selected: " << res.artifact.genome.describe()
+              << " (predicted cost " << res.artifact.predictedCost
+              << ", seed " << res.artifact.seed << ")\n";
+    std::cout << "bundle: " << runner.bundleDir() << "\n";
+
+    if (!opts.artifact.empty()) {
+        std::vector<uint8_t> bytes = res.artifact.bytes();
+        writeTextFile(opts.artifact,
+                      std::string(bytes.begin(), bytes.end()));
+        std::cout << "artifact: " << opts.artifact << " ("
+                  << bytes.size() << " bytes)\n";
+    }
+    return res.found ? kExitOk : kExitInternal;
 }
 
 std::string
@@ -285,6 +336,8 @@ main(int argc, char **argv)
     try {
         if (opts.command == "run")
             return cmdRun(opts, spec);
+        if (opts.command == "tune")
+            return cmdTune(opts, spec);
         if (opts.command == "capture")
             return cmdCapture(opts, spec);
         return cmdCompare(opts, spec);

@@ -168,6 +168,8 @@ ScenarioRunner::run()
 {
     setUp();
     deploySession();
+    if (spec_.tuning.enabled)
+        runTuning();
     for (size_t i = 0; i < spec_.phases.size(); ++i)
         runPhase(static_cast<int>(i));
     foldSession();
@@ -322,6 +324,9 @@ ScenarioRunner::rebuildServer()
     sc.maxBatchDelayUs = static_cast<double>(spec_.serving.maxDelayUs);
     sc.defaultDeadlineUs =
         static_cast<uint64_t>(spec_.serving.deadlineUs);
+    sc.policy = spec_.serving.policy == "edf"
+                    ? serve::SchedulingPolicy::EarliestDeadlineFirst
+                    : serve::SchedulingPolicy::RoundRobin;
     server_ = std::make_unique<serve::Server>(sc);
 
     // One image of the synthetic set fixes the request geometry.
@@ -344,6 +349,90 @@ ScenarioRunner::rebuildServer()
     tenantTraceMarks_.assign(tenantIds_.size(), 0);
 }
 
+tune::TuneResult
+ScenarioRunner::runTuning()
+{
+    tune::TuneConfig tc;
+    // Derived from the scenario seed, so same spec + seed = same
+    // winning genome and artifact bytes.
+    tc.seed = spec_.seed ^ 0x7C3EULL;
+    tc.population = spec_.tuning.population;
+    tc.cycles = spec_.tuning.cycles;
+    tc.measuredProbes = spec_.tuning.probeRequests > 0;
+    tc.probeRows = std::max(1, spec_.tuning.probeRequests);
+    tune::TuneResult res = tune::autotune(*session_, tc);
+
+    tuned_ = true;
+    tuneCandidates_ = static_cast<uint64_t>(res.candidates.size());
+    tuneEvaluated_ = static_cast<uint64_t>(res.evaluated);
+    tuneMeanErrPct_ = res.meanErrorPct;
+    tunePredictedCost_ =
+        static_cast<double>(res.artifact.predictedCost);
+    tuneSelected_ = res.artifact.genome.describe();
+
+    // Measured probe values never reach the journal: events stay a
+    // pure function of the spec + seed on one machine.
+    Json d = Json::object();
+    d.set("genome", Json(tuneSelected_));
+    d.set("predicted_cost", Json(tunePredictedCost_));
+    d.set("candidates", Json(tuneCandidates_));
+    d.set("evaluated", Json(tuneEvaluated_));
+    d.set("cycles", Json(spec_.tuning.cycles));
+    d.set("population", Json(spec_.tuning.population));
+    d.set("found", Json(res.found));
+    journal_->emit("tuning_selected", std::move(d));
+
+    if (spec_.tuning.apply && res.found) {
+        // Embed the winner and take the production path: re-save the
+        // artifact, reload through Session::fromCheckpoint (which
+        // auto-applies the genome), rebuild the async Server (which
+        // adopts the server-scoped knobs from the tenant's artifact).
+        session_->setTuningArtifact(res.artifact);
+        session_->save(ckptPath_);
+        ++ckptSaves_;
+        journal_->emit("checkpoint_save", [&] {
+            Json sd = Json::object();
+            sd.set("artifact", Json("model.ckpt"));
+            sd.set("stage", Json("tuned"));
+            return sd;
+        }());
+        foldSession();
+        bool async = server_ != nullptr;
+        teardownServer();
+        session_ = loadSession();
+        ++ckptLoads_;
+        if (async)
+            rebuildServer();
+        tuneApplied_ = true;
+        const serve::ServeConfig &applied =
+            session_->config().serving;
+        Json a = Json::object();
+        a.set("max_batch", Json(applied.maxBatch));
+        a.set("micro_batch", Json(applied.microBatch));
+        a.set("replicas", Json(applied.replicas));
+        a.set("policy",
+              Json(res.artifact.genome.policy == 1 ? "edf"
+                                                   : "round_robin"));
+        a.set("max_delay_us", Json(res.artifact.genome.maxDelayUs));
+        journal_->emit("tuning_applied", std::move(a));
+    }
+    return res;
+}
+
+tune::TuneResult
+ScenarioRunner::tuneOnly()
+{
+    setUp();
+    deploySession();
+    spec_.tuning.enabled = true; // the subcommand implies tuning
+    tune::TuneResult res = runTuning();
+    foldSession();
+    journal_->close();
+    writeTextFile(bundle_ + "/metrics.json",
+                  buildMetrics().dump(2) + "\n");
+    return res;
+}
+
 Session
 ScenarioRunner::loadSession()
 {
@@ -356,6 +445,13 @@ ScenarioRunner::loadSession()
     cfg.serving.seed = spec_.seed;
     cfg.serving.replicas = spec_.serving.replicas;
     cfg.serving.lazyPlanWarmup = spec_.serving.lazyWarmup;
+    cfg.serving.drawBits = spec_.serving.drawBits;
+    cfg.serving.drawWeights.assign(spec_.serving.drawWeights.begin(),
+                                   spec_.serving.drawWeights.end());
+    // The request image geometry, for the async Server and the
+    // autotuner's probes/analytical workload.
+    for (int i = 1; i < data_.test.images.ndim(); ++i)
+        cfg.inputShape.push_back(data_.test.images.dim(i));
     cfg.loadRetries = spec_.session.loadRetries;
     cfg.loadRetryBackoffMs = spec_.session.retryBackoffMs;
     cfg.onLoadRetry = [this](int attempt, const std::string &error) {
@@ -895,6 +991,20 @@ ScenarioRunner::buildMetrics()
     m.set("digests", std::move(digests));
     m.set("accuracy", std::move(accuracy));
     m.set("timing", std::move(timing));
+    if (tuned_) {
+        // Candidate counts and the winner ride on float cost ordering
+        // (machine-dependent under -march=native): the section lives
+        // outside "counts" so baselines can ignore it wholesale while
+        // still exact-comparing the traffic counts.
+        Json t = Json::object();
+        t.set("selected", Json(tuneSelected_));
+        t.set("predicted_cost", Json(tunePredictedCost_));
+        t.set("candidates", Json(tuneCandidates_));
+        t.set("evaluated", Json(tuneEvaluated_));
+        t.set("mean_error_pct", Json(tuneMeanErrPct_));
+        t.set("applied", Json(tuneApplied_));
+        m.set("tuning", std::move(t));
+    }
     return m;
 }
 

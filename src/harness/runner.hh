@@ -46,6 +46,7 @@
 #include "harness/scenario.hh"
 #include "serve/server.hh"
 #include "serve/session.hh"
+#include "tune/autotuner.hh"
 
 namespace twoinone {
 namespace harness {
@@ -69,10 +70,26 @@ class ScenarioRunner
      * outcomes). */
     RunResult run();
 
+    /** Stand the scenario's model up (train / calibrate / deploy)
+     * and run the serving autotuner only — no traffic phases. The
+     * spec's tuning block supplies the budget when present (the
+     * defaults otherwise); with apply the bundle's model.ckpt is
+     * re-saved with the winner embedded. Backs the `twoinone-bench
+     * tune` subcommand. */
+    tune::TuneResult tuneOnly();
+
+    /** The evidence-bundle directory this runner writes into. */
+    const std::string &bundleDir() const { return bundle_; }
+
   private:
     void setUp();
     void deploySession();
     Session loadSession();
+
+    /** Run tune::autotune on the deployed session per the spec's
+     * tuning block, journal the selection, and (with apply) re-save +
+     * reload so traffic serves under the winner. */
+    tune::TuneResult runTuning();
 
     void runPhase(int index);
     void steadyPoint(int phase, int point, int nRequests,
@@ -159,6 +176,16 @@ class ScenarioRunner
     // Run counters.
     uint64_t ckptSaves_ = 0, ckptLoads_ = 0, loadRetries_ = 0;
     uint64_t cacheStorms_ = 0, degraded_ = 0;
+    /** @name Autotuner outcome (metrics "tuning" section)
+     * Candidate/evaluation counts and the winner depend on float cost
+     * ordering, so baselines treat the section like timing: present,
+     * never exact-compared across machines. */
+    /** @{ */
+    bool tuned_ = false, tuneApplied_ = false;
+    uint64_t tuneCandidates_ = 0, tuneEvaluated_ = 0;
+    double tuneMeanErrPct_ = 0.0, tunePredictedCost_ = 0.0;
+    std::string tuneSelected_;
+    /** @} */
     uint64_t natCorrect_ = 0, natTotal_ = 0;
     uint64_t robCorrect_ = 0, robTotal_ = 0;
 };

@@ -194,7 +194,8 @@ parseServing(const Json &j, const std::string &path)
     rejectUnknownKeys(obj, path,
                       {"max_batch", "micro_batch", "mode", "replicas",
                        "lazy_warmup", "async", "sessions",
-                       "max_delay_us", "deadline_us"});
+                       "max_delay_us", "deadline_us", "policy",
+                       "draw_bits", "draw_weights"});
     ServingSpec s;
     s.maxBatch = getInt(obj, "max_batch", path, 32, 1, 4096);
     s.microBatch = getInt(obj, "micro_batch", path, 8, 1, 4096);
@@ -211,6 +212,54 @@ parseServing(const Json &j, const std::string &path)
     s.sessions = getInt(obj, "sessions", path, 1, 1, 64);
     s.maxDelayUs = getInt(obj, "max_delay_us", path, 0, 0, 10000000);
     s.deadlineUs = getInt(obj, "deadline_us", path, 0, 0, 10000000);
+    s.policy = getEnum(obj, "policy", path, "round_robin",
+                       {"round_robin", "edf"});
+    if (const Json *db = obj.find("draw_bits")) {
+        std::string dp = path + ".draw_bits";
+        if (!db->isArray() || db->items().empty())
+            throw SpecError(dp, "expected a non-empty array of "
+                                "bit-widths");
+        int prev = 0;
+        for (size_t i = 0; i < db->items().size(); ++i) {
+            const Json &e = db->items()[i];
+            std::string ep = dp + "[" + std::to_string(i) + "]";
+            if (!e.isNumber())
+                throw SpecError(ep, "expected an integer bit-width");
+            int b = static_cast<int>(e.asNumber());
+            if (b < 1 || b > 16)
+                throw SpecError(ep, std::to_string(b) +
+                                        " is out of range [1, 16]");
+            if (b <= prev)
+                throw SpecError(ep, "bit-widths must be strictly "
+                                    "increasing");
+            prev = b;
+            s.drawBits.push_back(b);
+        }
+    }
+    if (const Json *dw = obj.find("draw_weights")) {
+        std::string wp = path + ".draw_weights";
+        if (s.drawBits.empty())
+            throw SpecError(wp, "draw_weights requires draw_bits");
+        if (!dw->isArray() ||
+            dw->items().size() != s.drawBits.size())
+            throw SpecError(wp, "expected one weight per draw_bits "
+                                "entry (" +
+                                    std::to_string(s.drawBits.size()) +
+                                    ")");
+        for (size_t i = 0; i < dw->items().size(); ++i) {
+            const Json &e = dw->items()[i];
+            std::string ep = wp + "[" + std::to_string(i) + "]";
+            if (!e.isNumber() || e.asNumber() <= 0.0)
+                throw SpecError(ep, "expected a positive weight");
+            s.drawWeights.push_back(e.asNumber());
+        }
+    } else if (!s.drawBits.empty()) {
+        s.drawWeights.assign(s.drawBits.size(), 1.0);
+    }
+    if (!s.async && s.policy != "round_robin")
+        throw SpecError(path + ".policy",
+                        "scheduling policy only applies to async "
+                        "serving");
     if (!s.async && s.sessions > 1)
         throw SpecError(path + ".sessions",
                         "multi-session serving requires "
@@ -220,6 +269,24 @@ parseServing(const Json &j, const std::string &path)
                         "max_delay_us / deadline_us only apply to "
                         "async serving");
     return s;
+}
+
+TuningSpec
+parseTuning(const Json &j, const std::string &path)
+{
+    const Json &obj = expectObject(j, path);
+    rejectUnknownKeys(obj, path,
+                      {"cycles", "population", "probe_requests",
+                       "apply"});
+    TuningSpec t;
+    t.enabled = true;
+    t.cycles = getInt(obj, "cycles", path, 3, 1, 64);
+    // The evolutionary loop needs at least 4 genomes per cycle.
+    t.population = getInt(obj, "population", path, 8, 4, 64);
+    t.probeRequests =
+        getInt(obj, "probe_requests", path, 8, 0, 1024);
+    t.apply = getBool(obj, "apply", path, false);
+    return t;
 }
 
 SessionSpec
@@ -407,7 +474,8 @@ parseScenario(const Json &doc)
     const Json &obj = expectObject(doc, "$");
     rejectUnknownKeys(obj, "$",
                       {"name", "seed", "model", "data", "serving",
-                       "session", "phases", "faults", "compare"});
+                       "session", "tuning", "phases", "faults",
+                       "compare"});
 
     ScenarioSpec s;
     s.echo = doc;
@@ -436,6 +504,28 @@ parseScenario(const Json &doc)
         s.serving = parseServing(*v, "$.serving");
     if (const Json *v = obj.find("session"))
         s.session = parseSession(*v, "$.session");
+    if (const Json *v = obj.find("tuning"))
+        s.tuning = parseTuning(*v, "$.tuning");
+
+    // The draw distribution must be a subset of the model's candidate
+    // set (the serving runtime asserts this; a spec violation must be
+    // a SpecError). {4,5,6,8,12,16} is PrecisionSet::rps4to16, the
+    // default when $.model.precisions is absent.
+    if (!s.serving.drawBits.empty()) {
+        std::vector<int> bound = s.model.precisions.empty()
+                                     ? std::vector<int>{4, 5, 6, 8,
+                                                        12, 16}
+                                     : s.model.precisions;
+        for (size_t i = 0; i < s.serving.drawBits.size(); ++i) {
+            int b = s.serving.drawBits[i];
+            if (std::find(bound.begin(), bound.end(), b) ==
+                bound.end())
+                throw SpecError(
+                    "$.serving.draw_bits[" + std::to_string(i) + "]",
+                    std::to_string(b) +
+                        " is not in the model's candidate set");
+        }
+    }
 
     const Json *phases = obj.find("phases");
     if (phases == nullptr)

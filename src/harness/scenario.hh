@@ -83,6 +83,30 @@ struct ServingSpec
     int maxDelayUs = 0;
     /** Per-request deadline (ManualClock microseconds; 0 = none). */
     int deadlineUs = 0;
+    /** Async batch-picking policy across tenants. */
+    std::string policy = "round_robin"; ///< round_robin | edf
+    /** Precision draw distribution for served batches (empty =
+     * uniform over the model's candidate set, bit-identical to specs
+     * predating the keys). */
+    std::vector<int> drawBits;
+    std::vector<double> drawWeights;
+};
+
+/** Serving-autotuner block: when present, the runner tunes the
+ * deployed session (tune::autotune) after deployment and before the
+ * traffic phases, journaling the selected genome. */
+struct TuningSpec
+{
+    bool enabled = false; ///< set by the presence of the block
+    int cycles = 3;
+    int population = 8;
+    /** Rows per measured probe batch (0 = analytical only — no
+     * measured runs, no error report). */
+    int probeRequests = 8;
+    /** Re-save the artifact with the winner embedded and reload the
+     * session through Session::fromCheckpoint, so the traffic phases
+     * serve under the autotuned configuration. */
+    bool apply = false;
 };
 
 struct SessionSpec
@@ -165,6 +189,7 @@ struct ScenarioSpec
     DataSpec data;
     ServingSpec serving;
     SessionSpec session;
+    TuningSpec tuning;
     std::vector<PhaseSpec> phases;
     std::vector<FaultSpec> faults;
     CompareSpec compare;

@@ -16,6 +16,8 @@ namespace {
 
 const char kMagic[8] = {'2', 'I', 'N', '1', 'C', 'K', 'P', 'T'};
 constexpr uint32_t kFlagEngineCache = 1u << 0;
+constexpr uint32_t kFlagTuning = 1u << 1;
+constexpr uint32_t kFlagEnginePacks = 1u << 2;
 
 /** Pack a 0/1 float mask into bits (8 elements per byte). */
 std::vector<char>
@@ -74,6 +76,49 @@ writeCodes(io::Writer &w, const QuantTensor &q)
     w.i32Vec(q.codes.data(), q.codes.size());
 }
 
+void
+writePack(io::Writer &w, const gemm::PackedIntWeights &p)
+{
+    w.i32(p.m);
+    w.i32(p.k);
+    w.i32(p.bits);
+    w.i32(p.tiles);
+    w.i32(p.groups8);
+    w.i32(p.groups16);
+    w.u8Vec(reinterpret_cast<const char *>(p.p8.data()),
+            p.p8.size());
+    w.i16Vec(p.p16.data(), p.p16.size());
+    w.i64Vec(p.rowSum.data(), p.rowSum.size());
+}
+
+gemm::PackedIntWeights
+readPack(io::Reader &r)
+{
+    gemm::PackedIntWeights p;
+    p.m = r.i32();
+    p.k = r.i32();
+    p.bits = r.i32();
+    p.tiles = r.i32();
+    p.groups8 = r.i32();
+    p.groups16 = r.i32();
+    std::vector<char> p8 = r.u8Vec();
+    p.p8.resize(p8.size());
+    if (!p8.empty())
+        std::memcpy(p.p8.data(), p8.data(), p8.size());
+    p.p16 = r.i16Vec();
+    p.rowSum = r.i64Vec();
+    // rowSum is tile-padded: one slot per packed row, not per real
+    // output channel.
+    if (p.m < 0 || p.k < 0 || p.bits < 1 || p.bits > 16 ||
+        p.tiles < 0 || p.groups8 < 0 || p.groups16 < 0 ||
+        p.tiles < (p.m + gemm::kPackTileM - 1) / gemm::kPackTileM ||
+        p.rowSum.size() !=
+            static_cast<size_t>(p.tiles) * gemm::kPackTileM)
+        throw io::CheckpointError(
+            "corrupt checkpoint: invalid tile-pack geometry");
+    return p;
+}
+
 QuantTensor
 readCodes(io::Reader &r)
 {
@@ -106,6 +151,7 @@ save(const std::string &path, Network &net, RpsEngine *engine,
      const SaveOptions &opts)
 {
     bool with_cache = engine != nullptr && opts.includeEngineCache;
+    bool with_packs = with_cache && opts.includeEnginePacks;
 
     io::Writer payload;
 
@@ -144,14 +190,29 @@ save(const std::string &path, Network &net, RpsEngine *engine,
         }
     }
 
+    // PACKS ---------------------------------------------------------
+    if (with_packs) {
+        const std::vector<int> &bits = engine->set().bits();
+        for (size_t l = 0; l < engine->numQuantLayers(); ++l)
+            for (int b : bits)
+                writePack(payload, engine->packedFor(l, b));
+    }
+
+    // TUNING --------------------------------------------------------
+    if (opts.tuning != nullptr)
+        opts.tuning->write(payload);
+
     // Assemble: header | payload | checksum. The checksum covers the
     // header as well — a flipped flags word must read as corruption,
     // not as a silently different (e.g. cache-less) artifact.
+    uint32_t flags = (with_cache ? kFlagEngineCache : 0) |
+                     (with_packs ? kFlagEnginePacks : 0) |
+                     (opts.tuning != nullptr ? kFlagTuning : 0);
     io::Writer file;
     for (char c : kMagic)
         file.u8(static_cast<uint8_t>(c));
     file.u32(kFormatVersion);
-    file.u32(with_cache ? kFlagEngineCache : 0);
+    file.u32(flags);
     std::vector<uint8_t> bytes = file.bytes();
     bytes.insert(bytes.end(), payload.bytes().begin(),
                  payload.bytes().end());
@@ -275,6 +336,32 @@ Checkpoint::read(const std::string &path)
             }
         }
     }
+
+    // PACKS ---------------------------------------------------------
+    if (flags & kFlagEnginePacks) {
+        if (!(flags & kFlagEngineCache))
+            throw io::CheckpointError(
+                "corrupt checkpoint: pack section without a cache "
+                "section");
+        ckpt.packs_.resize(ckpt.cells_.size());
+        for (size_t l = 0; l < ckpt.cells_.size(); ++l) {
+            ckpt.packs_[l].reserve(ckpt.cacheBits_.size());
+            for (size_t p = 0; p < ckpt.cacheBits_.size(); ++p) {
+                gemm::PackedIntWeights pack = readPack(r);
+                if (pack.bits != ckpt.cacheBits_[p])
+                    throw io::CheckpointError(
+                        "corrupt checkpoint: pack precision does not "
+                        "match its cache column");
+                ckpt.packs_[l].push_back(std::move(pack));
+            }
+        }
+    }
+
+    // TUNING --------------------------------------------------------
+    if (flags & kFlagTuning)
+        ckpt.tuning_ = std::make_unique<tune::TuningArtifact>(
+            tune::TuningArtifact::read(r));
+
     if (!r.atEnd())
         throw io::CheckpointError(
             path + ": " + std::to_string(r.remaining()) +
@@ -374,10 +461,29 @@ Checkpoint::restoreEngineImpl(Network &net, bool consume)
                     std::to_string(l));
             Tensor mask = unpackMask(cell.maskBytes, cell.codes.shape,
                                      cell.codes.size());
-            engine->importCell(l, p,
-                               consume ? std::move(cell.codes)
-                                       : cell.codes,
-                               std::move(mask));
+            if (!packs_.empty()) {
+                gemm::PackedIntWeights &pk = packs_[l][p];
+                int m = cell.codes.shape.empty() ? 0
+                                                 : cell.codes.shape[0];
+                int k = m > 0 ? static_cast<int>(cell.codes.size()) / m
+                              : 0;
+                if (pk.m != m || pk.k != k ||
+                    pk.bits != cell.codes.bits)
+                    throw io::CheckpointError(
+                        "checkpoint pack does not match cache cell "
+                        "of layer " +
+                        std::to_string(l));
+                engine->importCell(l, p,
+                                   consume ? std::move(cell.codes)
+                                           : cell.codes,
+                                   std::move(mask),
+                                   consume ? std::move(pk) : pk);
+            } else {
+                engine->importCell(l, p,
+                                   consume ? std::move(cell.codes)
+                                           : cell.codes,
+                                   std::move(mask));
+            }
         }
     }
     return engine;

@@ -32,6 +32,12 @@
  *            per (layer, precision): codes (shape intVec, scale f32,
  *            bits i32, signed u8, codes i32Vec), STE mask bit-packed
  *            u8Vec
+ *     PACKS  (flags bit 2; requires CACHE) per (layer, precision):
+ *            m/k/bits/tiles/groups8/groups16 i32 each, p8 u8Vec,
+ *            p16 i16Vec, rowSum i64Vec — the cell's tile-packed
+ *            kernel weights, so a warm start skips the pack pass
+ *     TUNING (flags bit 1) one tune::TuningArtifact (version u32,
+ *            seed u64, serving genome, predicted cost f32)
  *   fnv1a64(header + payload) u64
  *
  * Malformed input (missing file, truncation, checksum mismatch,
@@ -50,6 +56,7 @@
 #include "io/serialize.hh"
 #include "nn/network.hh"
 #include "quant/rps_engine.hh"
+#include "tune/artifact.hh"
 
 namespace twoinone {
 namespace checkpoint {
@@ -63,6 +70,14 @@ struct SaveOptions
     /** Serialize the engine's weight-code cache (when an engine is
      * passed): bigger file, zero-quantization warm start on load. */
     bool includeEngineCache = true;
+    /** Also serialize each cache cell's tile-packed kernel weights
+     * (requires the cache section): bigger file again, but a warm
+     * start then installs ready-to-run packs — packBuilds() == 0, no
+     * pack pass before the first served batch. */
+    bool includeEnginePacks = false;
+    /** Serving-autotuner artifact to embed as the tuning section
+     * (null = none). Session::fromCheckpoint auto-applies it. */
+    const tune::TuningArtifact *tuning = nullptr;
 };
 
 /**
@@ -103,6 +118,13 @@ class Checkpoint
 
     /** Whether the artifact carries a serialized engine cache. */
     bool hasEngineCache() const { return !cacheBits_.empty(); }
+
+    /** Whether the cache section also carries tile packs. */
+    bool hasEnginePacks() const { return !packs_.empty(); }
+
+    /** The embedded tuning artifact, or null when the checkpoint has
+     * no tuning section. */
+    const tune::TuningArtifact *tuning() const { return tuning_.get(); }
 
     /**
      * Build an RpsEngine on @p net warm-started from the serialized
@@ -146,6 +168,11 @@ class Checkpoint
     std::vector<int> cacheBits_;
     /** cells_[layer][precision index in cacheBits_]. */
     std::vector<std::vector<CacheCell>> cells_;
+    /** packs_[layer][precision index], parallel to cells_; empty when
+     * the artifact carries no pack section. */
+    std::vector<std::vector<gemm::PackedIntWeights>> packs_;
+    /** The tuning section, when present. */
+    std::unique_ptr<tune::TuningArtifact> tuning_;
 };
 
 } // namespace checkpoint

@@ -76,6 +76,20 @@ Writer::i32Vec(const int32_t *data, size_t count)
 }
 
 void
+Writer::i16Vec(const int16_t *data, size_t count)
+{
+    u64(count);
+    raw(data, count * sizeof(int16_t));
+}
+
+void
+Writer::i64Vec(const int64_t *data, size_t count)
+{
+    u64(count);
+    raw(data, count * sizeof(int64_t));
+}
+
+void
 Writer::u8Vec(const char *data, size_t count)
 {
     u64(count);
@@ -198,6 +212,28 @@ Reader::i32Vec()
     if (n > 0)
         std::memcpy(v.data(), take(n * sizeof(int32_t)),
                     n * sizeof(int32_t));
+    return v;
+}
+
+std::vector<int16_t>
+Reader::i16Vec()
+{
+    size_t n = count(sizeof(int16_t));
+    std::vector<int16_t> v(n);
+    if (n > 0)
+        std::memcpy(v.data(), take(n * sizeof(int16_t)),
+                    n * sizeof(int16_t));
+    return v;
+}
+
+std::vector<int64_t>
+Reader::i64Vec()
+{
+    size_t n = count(sizeof(int64_t));
+    std::vector<int64_t> v(n);
+    if (n > 0)
+        std::memcpy(v.data(), take(n * sizeof(int64_t)),
+                    n * sizeof(int64_t));
     return v;
 }
 

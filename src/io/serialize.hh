@@ -61,6 +61,8 @@ class Writer
     /** Count-prefixed payload vectors. */
     void f32Vec(const float *data, size_t count);
     void i32Vec(const int32_t *data, size_t count);
+    void i16Vec(const int16_t *data, size_t count);
+    void i64Vec(const int64_t *data, size_t count);
     void u8Vec(const char *data, size_t count);
 
     /** Shape + raw float payload of a tensor. */
@@ -95,6 +97,8 @@ class Reader
     std::vector<int> intVec();
     std::vector<float> f32Vec();
     std::vector<int32_t> i32Vec();
+    std::vector<int16_t> i16Vec();
+    std::vector<int64_t> i64Vec();
     std::vector<char> u8Vec();
     Tensor tensor();
 

@@ -54,83 +54,16 @@ template <typename CostFn>
 SearchResult
 EvolutionarySearch::run(const DataflowSpace &space, CostFn &&fn) const
 {
-    Rng rng(cfg_.seed);
-    struct Scored
-    {
-        Dataflow df;
-        double cost;
-    };
-    std::vector<Scored> population;
-    population.reserve(static_cast<size_t>(cfg_.populationSize));
-
-    // Seed with the greedy default so the search never loses to the
-    // baseline heuristic mapping.
-    {
-        Dataflow seed = space.defaultDataflow();
-        double c = fn(seed);
-        if (std::isfinite(c))
-            population.push_back({std::move(seed), c});
-    }
-
-    // Initial population: keep drawing until enough valid designs
-    // exist (bounded attempts, as random draws may overflow buffers).
-    int attempts = 0;
-    while (static_cast<int>(population.size()) < cfg_.populationSize &&
-           attempts < cfg_.populationSize * 40) {
-        ++attempts;
-        Dataflow df = space.random(rng);
-        double c = fn(df);
-        if (std::isfinite(c))
-            population.push_back({std::move(df), c});
-    }
-
+    // The generic Alg. 2 loop (evolutionary.hh), seeded with the
+    // greedy default so the search never loses to the baseline
+    // heuristic mapping. Same RNG stream as before the extraction.
+    EvolveOutcome<Dataflow> o = evolveGenome<Dataflow>(
+        space, space.defaultDataflow(), cfg_, std::forward<CostFn>(fn));
     SearchResult result;
-    if (population.empty())
-        return result; // no valid design found
-
-    auto by_cost = [](const Scored &a, const Scored &b) {
-        return a.cost < b.cost;
-    };
-
-    for (int cycle = 0; cycle < cfg_.totalCycles; ++cycle) {
-        std::sort(population.begin(), population.end(), by_cost);
-        result.costHistory.push_back(population.front().cost);
-
-        // Top 30% survive (Alg. 2 line 3).
-        size_t elite = std::max<size_t>(
-            2, static_cast<size_t>(cfg_.eliteFraction *
-                                   population.size()));
-        elite = std::min(elite, population.size());
-        population.resize(elite);
-
-        // Refill with crossover + mutation children (lines 4-7).
-        int guard = 0;
-        while (static_cast<int>(population.size()) <
-                   cfg_.populationSize &&
-               guard < cfg_.populationSize * 40) {
-            ++guard;
-            const Dataflow &pa =
-                population[static_cast<size_t>(rng.uniformInt(
-                               0, static_cast<int>(elite) - 1))]
-                    .df;
-            const Dataflow &pb =
-                population[static_cast<size_t>(rng.uniformInt(
-                               0, static_cast<int>(elite) - 1))]
-                    .df;
-            Dataflow child = rng.bernoulli(0.5)
-                                 ? space.crossover(pa, pb, rng)
-                                 : space.mutate(pa, rng);
-            double c = fn(child);
-            if (std::isfinite(c))
-                population.push_back({std::move(child), c});
-        }
-    }
-
-    std::sort(population.begin(), population.end(), by_cost);
-    result.best = population.front().df;
-    result.bestCost = population.front().cost;
-    result.costHistory.push_back(result.bestCost);
-    result.found = true;
+    result.best = std::move(o.best);
+    result.bestCost = o.bestCost;
+    result.costHistory = std::move(o.costHistory);
+    result.found = o.found;
     return result;
 }
 

@@ -11,6 +11,12 @@
 #ifndef TWOINONE_OPTIMIZER_EVOLUTIONARY_HH
 #define TWOINONE_OPTIMIZER_EVOLUTIONARY_HH
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/logging.hh"
 #include "optimizer/search_space.hh"
 #include "quant/precision.hh"
 
@@ -50,6 +56,121 @@ struct SearchResult
     std::vector<double> costHistory;
     bool found = false;
 };
+
+/** Outcome of the generic evolutionary loop over any genome type. */
+template <typename Genome>
+struct EvolveOutcome
+{
+    Genome best{};
+    double bestCost = 0.0;
+    std::vector<double> costHistory;
+    bool found = false;
+    /** Genomes whose cost functor was evaluated (budget accounting). */
+    size_t evaluated = 0;
+};
+
+/**
+ * The Alg. 2 loop, generalized over the genome. @p Space must provide
+ * the DataflowSpace operators — `Genome random(Rng&)`,
+ * `Genome crossover(const Genome&, const Genome&, Rng&)` and
+ * `Genome mutate(const Genome&, Rng&)` — and @p fn maps a genome to a
+ * cost (lower is better; non-finite = invalid, discarded). The seed
+ * genome joins the initial population first so the search never loses
+ * to the caller's baseline. Deterministic: the RNG stream is a pure
+ * function of cfg.seed and the space's operators, so the same seed
+ * reproduces the same winner. EvolutionarySearch::run delegates here;
+ * the serving autotuner reuses it over a ServingSearchSpace.
+ */
+template <typename Genome, typename Space, typename CostFn>
+EvolveOutcome<Genome>
+evolveGenome(const Space &space, const Genome &seed_genome,
+             const EvoConfig &cfg, CostFn &&fn)
+{
+    TWOINONE_ASSERT(cfg.populationSize >= 4, "population too small");
+    TWOINONE_ASSERT(cfg.eliteFraction > 0.0 && cfg.eliteFraction < 1.0,
+                    "bad elite fraction");
+    Rng rng(cfg.seed);
+    struct Scored
+    {
+        Genome genome;
+        double cost;
+    };
+    std::vector<Scored> population;
+    population.reserve(static_cast<size_t>(cfg.populationSize));
+
+    EvolveOutcome<Genome> result;
+
+    // Seed with the baseline so the search never loses to it.
+    {
+        Genome seed = seed_genome;
+        double c = fn(seed);
+        ++result.evaluated;
+        if (std::isfinite(c))
+            population.push_back({std::move(seed), c});
+    }
+
+    // Initial population: keep drawing until enough valid designs
+    // exist (bounded attempts, as random draws may be invalid).
+    int attempts = 0;
+    while (static_cast<int>(population.size()) < cfg.populationSize &&
+           attempts < cfg.populationSize * 40) {
+        ++attempts;
+        Genome g = space.random(rng);
+        double c = fn(g);
+        ++result.evaluated;
+        if (std::isfinite(c))
+            population.push_back({std::move(g), c});
+    }
+
+    if (population.empty())
+        return result; // no valid design found
+
+    auto by_cost = [](const Scored &a, const Scored &b) {
+        return a.cost < b.cost;
+    };
+
+    for (int cycle = 0; cycle < cfg.totalCycles; ++cycle) {
+        std::sort(population.begin(), population.end(), by_cost);
+        result.costHistory.push_back(population.front().cost);
+
+        // Top eliteFraction survive (Alg. 2 line 3).
+        size_t elite = std::max<size_t>(
+            2, static_cast<size_t>(cfg.eliteFraction *
+                                   population.size()));
+        elite = std::min(elite, population.size());
+        population.resize(elite);
+
+        // Refill with crossover + mutation children (lines 4-7).
+        int guard = 0;
+        while (static_cast<int>(population.size()) <
+                   cfg.populationSize &&
+               guard < cfg.populationSize * 40) {
+            ++guard;
+            const Genome &pa =
+                population[static_cast<size_t>(rng.uniformInt(
+                               0, static_cast<int>(elite) - 1))]
+                    .genome;
+            const Genome &pb =
+                population[static_cast<size_t>(rng.uniformInt(
+                               0, static_cast<int>(elite) - 1))]
+                    .genome;
+            Genome child = rng.bernoulli(0.5)
+                               ? space.crossover(pa, pb, rng)
+                               : space.mutate(pa, rng);
+            double c = fn(child);
+            ++result.evaluated;
+            if (std::isfinite(c))
+                population.push_back({std::move(child), c});
+        }
+    }
+
+    std::sort(population.begin(), population.end(), by_cost);
+    result.best = population.front().genome;
+    result.bestCost = population.front().cost;
+    result.costHistory.push_back(result.bestCost);
+    result.found = true;
+    return result;
+}
 
 /**
  * The evolutionary search engine.

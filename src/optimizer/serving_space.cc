@@ -1,0 +1,178 @@
+/**
+ * @file
+ * ServingSearchSpace implementation.
+ */
+
+#include "optimizer/serving_space.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace twoinone {
+
+bool
+ServingGenome::operator==(const ServingGenome &o) const
+{
+    return maxBatch == o.maxBatch && microBatch == o.microBatch &&
+           maxDelayUs == o.maxDelayUs && replicas == o.replicas &&
+           policy == o.policy && drawBits == o.drawBits &&
+           drawWeights == o.drawWeights;
+}
+
+std::string
+ServingGenome::describe() const
+{
+    std::ostringstream os;
+    os << "maxBatch=" << maxBatch << " microBatch=" << microBatch
+       << " delayUs=" << maxDelayUs << " replicas=" << replicas
+       << " policy=" << (policy == 1 ? "edf" : "rr") << " draw={";
+    for (size_t i = 0; i < drawBits.size(); ++i) {
+        if (i > 0)
+            os << ",";
+        os << drawBits[i] << ":"
+           << (i < drawWeights.size() ? drawWeights[i] : 1);
+    }
+    os << "}";
+    return os.str();
+}
+
+ServingSearchSpace::ServingSearchSpace(std::vector<int> model_bits,
+                                       int max_batch_cap)
+    : modelBits_(std::move(model_bits))
+{
+    TWOINONE_ASSERT(!modelBits_.empty(),
+                    "serving search needs a model precision set");
+    TWOINONE_ASSERT(
+        std::is_sorted(modelBits_.begin(), modelBits_.end()),
+        "model precision set must be ascending");
+    for (int b : {8, 16, 32, 64, 128})
+        if (b <= max_batch_cap)
+            maxBatchGrid_.push_back(b);
+    TWOINONE_ASSERT(!maxBatchGrid_.empty(), "max batch cap below 8");
+    microBatchGrid_ = {1, 2, 4, 8, 16};
+    delayGrid_ = {0.0, 100.0, 250.0, 500.0, 1000.0, 2000.0, 4000.0};
+    replicaGrid_ = {0, 1, 2, 4, 8};
+    weightGrid_ = {1, 2, 3, 4};
+}
+
+void
+ServingSearchSpace::repair(ServingGenome &g) const
+{
+    // microBatch may not exceed maxBatch: clamp to the largest grid
+    // point that fits (grid point 1 always does).
+    if (g.microBatch > g.maxBatch) {
+        int best = microBatchGrid_.front();
+        for (int m : microBatchGrid_)
+            if (m <= g.maxBatch && m > best)
+                best = m;
+        g.microBatch = best;
+    }
+}
+
+void
+ServingSearchSpace::randomDraw(ServingGenome &g, Rng &rng) const
+{
+    int n = static_cast<int>(modelBits_.size());
+    int lo = std::min(2, n);
+    int k = rng.uniformInt(lo, n);
+    std::vector<int> idx(modelBits_.size());
+    for (size_t i = 0; i < idx.size(); ++i)
+        idx[i] = static_cast<int>(i);
+    rng.shuffle(idx);
+    idx.resize(static_cast<size_t>(k));
+    std::sort(idx.begin(), idx.end());
+    g.drawBits.clear();
+    g.drawWeights.clear();
+    for (int i : idx) {
+        g.drawBits.push_back(modelBits_[static_cast<size_t>(i)]);
+        g.drawWeights.push_back(rng.pick(weightGrid_));
+    }
+}
+
+ServingGenome
+ServingSearchSpace::random(Rng &rng) const
+{
+    ServingGenome g;
+    g.maxBatch = rng.pick(maxBatchGrid_);
+    g.microBatch = rng.pick(microBatchGrid_);
+    g.maxDelayUs = rng.pick(delayGrid_);
+    g.replicas = rng.pick(replicaGrid_);
+    g.policy = rng.uniformInt(0, 1);
+    randomDraw(g, rng);
+    repair(g);
+    return g;
+}
+
+ServingGenome
+ServingSearchSpace::crossover(const ServingGenome &a,
+                              const ServingGenome &b, Rng &rng) const
+{
+    ServingGenome c;
+    c.maxBatch = rng.bernoulli(0.5) ? a.maxBatch : b.maxBatch;
+    c.microBatch = rng.bernoulli(0.5) ? a.microBatch : b.microBatch;
+    c.maxDelayUs = rng.bernoulli(0.5) ? a.maxDelayUs : b.maxDelayUs;
+    c.replicas = rng.bernoulli(0.5) ? a.replicas : b.replicas;
+    c.policy = rng.bernoulli(0.5) ? a.policy : b.policy;
+    // The precision distribution moves as one unit: bits and weights
+    // are meaningless apart.
+    if (rng.bernoulli(0.5)) {
+        c.drawBits = a.drawBits;
+        c.drawWeights = a.drawWeights;
+    } else {
+        c.drawBits = b.drawBits;
+        c.drawWeights = b.drawWeights;
+    }
+    repair(c);
+    return c;
+}
+
+ServingGenome
+ServingSearchSpace::mutate(const ServingGenome &a, Rng &rng) const
+{
+    ServingGenome m = a;
+    switch (rng.uniformInt(0, 5)) {
+      case 0: m.maxBatch = rng.pick(maxBatchGrid_); break;
+      case 1: m.microBatch = rng.pick(microBatchGrid_); break;
+      case 2: m.maxDelayUs = rng.pick(delayGrid_); break;
+      case 3: m.replicas = rng.pick(replicaGrid_); break;
+      case 4: m.policy = 1 - m.policy; break;
+      case 5: randomDraw(m, rng); break;
+    }
+    repair(m);
+    return m;
+}
+
+bool
+ServingSearchSpace::valid(const ServingGenome &g) const
+{
+    auto inGrid = [](const auto &grid, auto v) {
+        return std::find(grid.begin(), grid.end(), v) != grid.end();
+    };
+    if (!inGrid(maxBatchGrid_, g.maxBatch) ||
+        !inGrid(microBatchGrid_, g.microBatch) ||
+        !inGrid(delayGrid_, g.maxDelayUs) ||
+        !inGrid(replicaGrid_, g.replicas))
+        return false;
+    if (g.policy != 0 && g.policy != 1)
+        return false;
+    if (g.microBatch > g.maxBatch)
+        return false;
+    if (g.drawBits.empty() ||
+        g.drawWeights.size() != g.drawBits.size())
+        return false;
+    if (!std::is_sorted(g.drawBits.begin(), g.drawBits.end()))
+        return false;
+    for (size_t i = 0; i < g.drawBits.size(); ++i) {
+        if (!inGrid(modelBits_, g.drawBits[i]))
+            return false;
+        if (i > 0 && g.drawBits[i] == g.drawBits[i - 1])
+            return false;
+        if (!inGrid(weightGrid_, g.drawWeights[i]))
+            return false;
+    }
+    return true;
+}
+
+} // namespace twoinone

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Serving-configuration search space: the genome the serving
+ * autotuner (src/tune) evolves with the generic Alg. 2 loop
+ * (evolveGenome), mirroring DataflowSpace's operator set over the
+ * joint serving knobs — batch geometry, age close, plan replicas,
+ * precision-set composition + draw weights, and the tenant
+ * scheduling policy.
+ *
+ * All knobs are drawn from small fixed grids so crossover/mutation
+ * stay closed over valid configurations and the searched space is
+ * enumerable in reports. Draw weights are integer grid points
+ * (1..4), not floats: the genome — and therefore the TuningArtifact
+ * bytes — serializes exactly, keeping the same-seed-same-artifact
+ * acceptance bit-tight.
+ */
+
+#ifndef TWOINONE_OPTIMIZER_SERVING_SPACE_HH
+#define TWOINONE_OPTIMIZER_SERVING_SPACE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace twoinone {
+
+/**
+ * One serving configuration under search. policy is an int (0 =
+ * round-robin, 1 = earliest-deadline-first) rather than the serve
+ * enum so the optimizer layer stays independent of src/serve.
+ */
+struct ServingGenome
+{
+    int maxBatch = 64;
+    int microBatch = 8;
+    /** Age close in microseconds; 0 disables age closing. */
+    double maxDelayUs = 1000.0;
+    /** Plan replicas; 0 = one per concurrent shard worker. */
+    int replicas = 0;
+    /** 0 = round-robin, 1 = earliest-deadline-first. */
+    int policy = 0;
+    /** Precision subset served from (ascending, >= 2 members when the
+     * model set allows). */
+    std::vector<int> drawBits;
+    /** Integer draw weights parallel to drawBits (grid 1..4). */
+    std::vector<int> drawWeights;
+
+    bool operator==(const ServingGenome &o) const;
+    bool operator!=(const ServingGenome &o) const { return !(*this == o); }
+
+    /** Human-readable one-liner for reports/journals. */
+    std::string describe() const;
+};
+
+/**
+ * Genome operations over the serving knobs (the DataflowSpace
+ * contract: random / crossover / mutate, all deterministic functions
+ * of the Rng stream).
+ */
+class ServingSearchSpace
+{
+  public:
+    /**
+     * @param model_bits The model's full candidate precision set
+     *        (ascending); drawBits subsets are drawn from it.
+     * @param max_batch_cap Upper bound on searched maxBatch (admission
+     *        and memory guard; grid points above it are excluded).
+     */
+    explicit ServingSearchSpace(std::vector<int> model_bits,
+                                int max_batch_cap = 128);
+
+    /** A uniformly random valid genome. */
+    ServingGenome random(Rng &rng) const;
+
+    /** Field-wise splice of two parents (drawBits + drawWeights move
+     * as one unit), repaired to keep microBatch <= maxBatch. */
+    ServingGenome crossover(const ServingGenome &a,
+                            const ServingGenome &b, Rng &rng) const;
+
+    /** Re-randomize one knob of a copy of @p a. */
+    ServingGenome mutate(const ServingGenome &a, Rng &rng) const;
+
+    /** Whether @p g is inside this space (grids + subset checks) —
+     * the cost function rejects genomes from a different model set. */
+    bool valid(const ServingGenome &g) const;
+
+    const std::vector<int> &modelBits() const { return modelBits_; }
+    const std::vector<int> &maxBatchGrid() const { return maxBatchGrid_; }
+    const std::vector<int> &microBatchGrid() const
+    {
+        return microBatchGrid_;
+    }
+    const std::vector<double> &delayGrid() const { return delayGrid_; }
+    const std::vector<int> &replicaGrid() const { return replicaGrid_; }
+    const std::vector<int> &weightGrid() const { return weightGrid_; }
+
+  private:
+    std::vector<int> modelBits_;
+    std::vector<int> maxBatchGrid_;
+    std::vector<int> microBatchGrid_;
+    std::vector<double> delayGrid_;
+    std::vector<int> replicaGrid_;
+    std::vector<int> weightGrid_;
+
+    /** Random precision subset (>= 2 members when possible) + weights. */
+    void randomDraw(ServingGenome &g, Rng &rng) const;
+
+    /** Clamp microBatch to the largest grid point <= g.maxBatch. */
+    void repair(ServingGenome &g) const;
+};
+
+} // namespace twoinone
+
+#endif // TWOINONE_OPTIMIZER_SERVING_SPACE_HH

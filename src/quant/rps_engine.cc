@@ -60,6 +60,7 @@ RpsEngine::packEntry(CacheEntry &e)
         m > 0 ? static_cast<int>(e.codes.size()) / m : 0;
     gemm::packWeights(e.codes.codes.data(), m, k, e.codes.bits, e.packed);
     e.packedReady = true;
+    packBuilds_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void
@@ -290,10 +291,48 @@ RpsEngine::importCell(size_t layer, size_t prec, QuantTensor codes,
     e.builtVersion = layers_[layer]->masterWeightVersion();
 }
 
+void
+RpsEngine::importCell(size_t layer, size_t prec, QuantTensor codes,
+                      Tensor ste_mask, gemm::PackedIntWeights packed)
+{
+    TWOINONE_ASSERT(layer < cache_.size() && prec < cacheSet_.size(),
+                    "cache cell out of range");
+    const int m = codes.shape.empty() ? 0 : codes.shape[0];
+    const int k = m > 0 ? static_cast<int>(codes.size()) / m : 0;
+    TWOINONE_ASSERT(packed.m == m && packed.k == k &&
+                        packed.bits == codes.bits,
+                    "imported pack geometry does not match its codes");
+    importCell(layer, prec, std::move(codes), std::move(ste_mask));
+    CacheEntry &e = cache_[layer][prec];
+    e.packed = std::move(packed);
+    e.packedReady = true;
+}
+
+const gemm::PackedIntWeights &
+RpsEngine::packedFor(size_t layer, int bits)
+{
+    TWOINONE_ASSERT(layer < cache_.size(), "layer index out of range");
+    TWOINONE_ASSERT(cacheSet_.contains(bits), "precision ", bits,
+                    " not cached");
+    size_t p = static_cast<size_t>(cacheSet_.indexOf(bits));
+    if (cellStale(layer, p))
+        rebuildCell(layer, p, /*want_floats=*/false);
+    CacheEntry &e = cache_[layer][p];
+    if (!e.packedReady)
+        packEntry(e);
+    return e.packed;
+}
+
 uint64_t
 RpsEngine::columnRebuilds() const
 {
     return columnRebuilds_.load(std::memory_order_relaxed);
+}
+
+uint64_t
+RpsEngine::packBuilds() const
+{
+    return packBuilds_.load(std::memory_order_relaxed);
 }
 
 uint64_t

@@ -199,10 +199,31 @@ class RpsEngine
     void importCell(size_t layer, size_t prec, QuantTensor codes,
                     Tensor ste_mask);
 
+    /**
+     * importCell() variant that also installs a pre-built tile pack
+     * (checkpoint pack persistence): the cell arrives packed-ready,
+     * so the first precision switch skips the pack pass entirely —
+     * packBuilds() stays 0 on a fully pack-warm start. @p packed must
+     * have been produced by gemm::packWeights over exactly @p codes;
+     * geometry mismatches panic.
+     */
+    void importCell(size_t layer, size_t prec, QuantTensor codes,
+                    Tensor ste_mask, gemm::PackedIntWeights packed);
+
+    /** The tile-packed kernel weights of layer @p layer at @p bits
+     * (checkpoint writer access; brings a stale cell current and
+     * packs it on first demand). */
+    const gemm::PackedIntWeights &packedFor(size_t layer, int bits);
+
     /** Cells re-quantized since construction (lazy-rebuild
      * accounting: a full refresh counts #layers x |set|, an install
      * of a stale column counts one per dirty layer). */
     uint64_t columnRebuilds() const;
+
+    /** Tile packs built (or rebuilt) since construction. A warm start
+     * that imported packs serves every cached precision without one
+     * (the pack-persist counterpart of columnRebuilds()). */
+    uint64_t packBuilds() const;
 
     /** @name Cache accounting
      * Quantized-weight lookups across all cached layers since the
@@ -249,6 +270,8 @@ class RpsEngine
     int installedIdx_ = -1;
     /** Cells quantized so far (see columnRebuilds()). */
     std::atomic<uint64_t> columnRebuilds_{0};
+    /** Tile packs built so far (see packBuilds()). */
+    std::atomic<uint64_t> packBuilds_{0};
 
     /** Whether the cell's codes predate the layer's current master
      * weights. */
@@ -261,7 +284,7 @@ class RpsEngine
     void rebuildCell(size_t layer, size_t prec, bool want_floats);
 
     /** (Re)build a cell's tile-packed kernel weights from its codes. */
-    static void packEntry(CacheEntry &e);
+    void packEntry(CacheEntry &e);
 
     /** Rebuild all cached precisions of the given layers (parallel
      * over layers x precisions; float views of used precisions are

@@ -72,6 +72,41 @@ BatchExecutor::BatchExecutor(Network &net, RpsEngine &engine,
     outCols_ = 1;
     for (size_t i = 1; i < oshape.size(); ++i)
         outCols_ *= static_cast<size_t>(oshape[i]);
+
+    // Precision-distribution policy: precompute the cumulative draw
+    // table once so each batch draw is one uniform + one scan.
+    if (!cfg_.drawBits.empty()) {
+        TWOINONE_ASSERT(cfg_.drawWeights.empty() ||
+                            cfg_.drawWeights.size() ==
+                                cfg_.drawBits.size(),
+                        "drawWeights must be empty or parallel to "
+                        "drawBits");
+        double acc = 0.0;
+        for (size_t i = 0; i < cfg_.drawBits.size(); ++i) {
+            TWOINONE_ASSERT(engine_.set().contains(cfg_.drawBits[i]),
+                            "drawBits ", cfg_.drawBits[i],
+                            " is not in the engine's candidate set ",
+                            engine_.set().name());
+            double w = cfg_.drawWeights.empty()
+                           ? 1.0
+                           : static_cast<double>(cfg_.drawWeights[i]);
+            TWOINONE_ASSERT(w > 0.0, "draw weight must be positive");
+            acc += w;
+            drawCum_.push_back(acc);
+        }
+    }
+}
+
+int
+BatchExecutor::samplePrecision(Rng &rng) const
+{
+    if (drawCum_.empty())
+        return engine_.samplePrecision(rng);
+    double u = rng.uniform(0.0, drawCum_.back());
+    size_t i = 0;
+    while (i + 1 < drawCum_.size() && u >= drawCum_[i])
+        ++i;
+    return cfg_.drawBits[i];
 }
 
 void

@@ -91,6 +91,16 @@ struct ServeConfig
      * session_cold_start by microbench_rps); served outputs are
      * bit-identical either way. */
     bool lazyPlanWarmup = false;
+    /** Precision-distribution policy: restrict the per-batch draw to
+     * this subset of the engine's candidate set, weighted by
+     * drawWeights. Empty = the historical uniform draw over the full
+     * engine set (bit-identical traces to servers predating the
+     * knob). Must be a subset of the engine's cached set; validated
+     * at BatchExecutor construction. */
+    std::vector<int> drawBits;
+    /** Relative draw weights, parallel to drawBits (> 0 each). Empty
+     * with a non-empty drawBits = uniform over drawBits. */
+    std::vector<float> drawWeights;
 };
 
 /** Aggregate serving statistics since the last reset. */
@@ -143,11 +153,9 @@ class BatchExecutor
      */
     void validate(const Tensor &x) const;
 
-    /** Sample one precision from the engine's candidate set. */
-    int samplePrecision(Rng &rng) const
-    {
-        return engine_.samplePrecision(rng);
-    }
+    /** Sample one precision: uniform from the engine's candidate set,
+     * or the configured weighted draw over ServeConfig::drawBits. */
+    int samplePrecision(Rng &rng) const;
 
     /** Install @p bits through the engine code cache (O(#layers)). */
     void installPrecision(int bits) { engine_.setPrecision(bits); }
@@ -186,6 +194,9 @@ class BatchExecutor
     size_t rowElems_ = 0;
     size_t outCols_ = 0;
     std::vector<std::unique_ptr<ExecutionPlan>> plans_;
+    /** Cumulative draw weights over cfg_.drawBits (empty = the
+     * uniform engine draw). */
+    std::vector<double> drawCum_;
 };
 
 /**

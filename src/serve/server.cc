@@ -28,6 +28,16 @@ using WClock = std::chrono::steady_clock;
 
 } // namespace
 
+const char *
+schedulingPolicyName(SchedulingPolicy p)
+{
+    switch (p) {
+      case SchedulingPolicy::RoundRobin: return "round_robin";
+      case SchedulingPolicy::EarliestDeadlineFirst: return "edf";
+    }
+    TWOINONE_PANIC("unknown SchedulingPolicy");
+}
+
 Server::Server(ServerConfig cfg)
     : cfg_(cfg), clock_(cfg.clock != nullptr
                             ? cfg.clock
@@ -55,6 +65,19 @@ Server::addTenant(Session &session, const std::vector<int> &input_shape)
                     "addTenant argument)");
 
     std::lock_guard<std::mutex> lk(mu_);
+    // Server-scoped autotuner knobs ride in on the first tenant whose
+    // checkpoint carried a tuning artifact (the session-scoped knobs
+    // were already applied to its ServeConfig at load). Adopted
+    // before any batch forms — later tenants never flip policy
+    // mid-stream.
+    if (cfg_.adoptTuning && tenants_.empty() &&
+        session.tuningArtifact() != nullptr) {
+        const tune::TuningArtifact &a = *session.tuningArtifact();
+        cfg_.maxBatchDelayUs = a.genome.maxDelayUs;
+        cfg_.policy = a.genome.policy == 1
+                          ? SchedulingPolicy::EarliestDeadlineFirst
+                          : SchedulingPolicy::RoundRobin;
+    }
     ModelGroup *group = nullptr;
     for (auto &g : groups_) {
         if (g->net == &session.network()) {
@@ -178,6 +201,16 @@ Server::fillPending(Tenant &t)
     }
 }
 
+uint64_t
+Server::earliestDeadlineNs(const Tenant &t)
+{
+    uint64_t best = UINT64_MAX;
+    for (const AsyncRequest &r : t.pending)
+        if (r.deadlineNs != 0 && r.deadlineNs < best)
+            best = r.deadlineNs;
+    return best;
+}
+
 bool
 Server::closeable(const Tenant &t, uint64_t now_ns) const
 {
@@ -216,17 +249,37 @@ Server::dispatchLoop()
         }
         uint64_t now = clock_->nowNs();
 
-        // Fair scheduling: scan tenants round-robin from the cursor,
-        // serving at most one closed batch per turn so a backlogged
-        // tenant cannot starve the others.
         int picked = -1;
-        for (size_t i = 0; i < tenants_.size(); ++i) {
-            size_t id = (cursor_ + i) % tenants_.size();
-            Tenant &t = *tenants_[id];
-            fillPending(t);
-            if (closeable(t, now)) {
-                picked = static_cast<int>(id);
-                break;
+        if (cfg_.policy == SchedulingPolicy::EarliestDeadlineFirst) {
+            // Deadline scheduling: fill every tenant, then serve the
+            // closeable batch whose most urgent pending request has
+            // the earliest absolute deadline. No deadline sorts last
+            // (UINT64_MAX); ties break to the lowest tenant id, so
+            // the pick order is deterministic under a ManualClock.
+            uint64_t best = UINT64_MAX;
+            for (size_t id = 0; id < tenants_.size(); ++id) {
+                Tenant &t = *tenants_[id];
+                fillPending(t);
+                if (!closeable(t, now))
+                    continue;
+                uint64_t key = earliestDeadlineNs(t);
+                if (picked < 0 || key < best) {
+                    picked = static_cast<int>(id);
+                    best = key;
+                }
+            }
+        } else {
+            // Fair scheduling: scan tenants round-robin from the
+            // cursor, serving at most one closed batch per turn so a
+            // backlogged tenant cannot starve the others.
+            for (size_t i = 0; i < tenants_.size(); ++i) {
+                size_t id = (cursor_ + i) % tenants_.size();
+                Tenant &t = *tenants_[id];
+                fillPending(t);
+                if (closeable(t, now)) {
+                    picked = static_cast<int>(id);
+                    break;
+                }
             }
         }
         if (picked < 0) {
@@ -436,6 +489,13 @@ Server::stop()
     }
     stopped_ = true;
     cv_.notify_all();
+}
+
+ServerConfig
+Server::config() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return cfg_;
 }
 
 ServeStats

@@ -60,6 +60,24 @@ class Session;
 
 namespace serve {
 
+/** How the dispatcher picks the next closed batch among tenants. */
+enum class SchedulingPolicy
+{
+    /** One batch per tenant turn, cursor scan — a backlogged tenant
+     * cannot starve the others. The default; batch composition is
+     * bit-identical to servers predating the policy knob. */
+    RoundRobin,
+    /** Serve the closeable batch whose most urgent pending request
+     * has the earliest absolute deadline (requests without a
+     * deadline sort last; ties go to the lowest tenant id). Trades
+     * strict fairness for tail latency under deadline pressure —
+     * the policy the serving autotuner searches over. */
+    EarliestDeadlineFirst,
+};
+
+/** Policy name for reports/journals. */
+const char *schedulingPolicyName(SchedulingPolicy p);
+
 /** Async front-end configuration (per Server; batch geometry and the
  * precision seed come from each tenant session's ServeConfig). */
 struct ServerConfig
@@ -88,6 +106,13 @@ struct ServerConfig
      * dispatcher takes to *notice* an advanced clock, never what it
      * decides. */
     int idlePollUs = 100;
+    /** Batch-picking policy across tenants. */
+    SchedulingPolicy policy = SchedulingPolicy::RoundRobin;
+    /** Adopt the server-scoped autotuner knobs (maxBatchDelayUs,
+     * policy) from the *first* tenant session carrying a tuning
+     * artifact, before any batch forms. Sessions without an artifact
+     * change nothing either way. */
+    bool adoptTuning = true;
 };
 
 /**
@@ -149,6 +174,10 @@ class Server
      */
     void stop();
 
+    /** The effective configuration (after any tuning adoption at the
+     * first addTenant — see ServerConfig::adoptTuning). */
+    ServerConfig config() const;
+
     /** Aggregate stats over all tenants. */
     ServeStats stats() const;
     /** One tenant's stats. */
@@ -207,6 +236,9 @@ class Server
     void fillPending(Tenant &t);
     /** Whether @p t's forming batch must be served now. */
     bool closeable(const Tenant &t, uint64_t now_ns) const;
+    /** Earliest absolute deadline among @p t's pending requests
+     * (UINT64_MAX when none carries a deadline) — the EDF sort key. */
+    static uint64_t earliestDeadlineNs(const Tenant &t);
     /** Serve one closed batch (called with mu_ *unlocked*). */
     void executeBatch(Tenant &t, int tenant_id,
                       std::vector<AsyncRequest> batch);

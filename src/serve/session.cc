@@ -11,6 +11,7 @@
 
 #include "io/checkpoint.hh"
 #include "quant/calibration.hh"
+#include "tune/autotuner.hh"
 
 namespace twoinone {
 
@@ -65,6 +66,7 @@ Session::Session(Session &&other) noexcept
       net_(other.net_), engine_(std::move(other.engine_)),
       extEngine_(other.extEngine_),
       runtime_(std::move(other.runtime_)),
+      tuning_(std::move(other.tuning_)),
       restorePlanState_(other.restorePlanState_),
       prevPlanExec_(other.prevPlanExec_),
       prevPlanShape_(std::move(other.prevPlanShape_))
@@ -118,6 +120,16 @@ Session::fromCheckpoint(const std::string &path, SessionConfig cfg)
             path + " holds a model with no candidate precision set — "
                    "not servable through a Session");
     auto net = std::make_unique<Network>(ckpt.instantiate());
+    // A tuning section carries the serving autotuner's winner: copy
+    // it out before the checkpoint's cells move into the engine, and
+    // (by default) apply its session-scoped knobs to the serving
+    // config before the runtime ever builds.
+    std::unique_ptr<tune::TuningArtifact> tuning;
+    if (ckpt.tuning() != nullptr) {
+        tuning = std::make_unique<tune::TuningArtifact>(*ckpt.tuning());
+        if (cfg.applyTuning)
+            tune::applyGenome(tuning->genome, cfg.serving);
+    }
     std::unique_ptr<RpsEngine> engine;
     // A serialized code cache warm-starts the engine — unless the
     // caller asked for a different candidate subset, which the
@@ -126,8 +138,10 @@ Session::fromCheckpoint(const std::string &path, SessionConfig cfg)
     if (cfg.restoreEngineCache && cfg.cacheSet.empty())
         engine = std::move(ckpt).restoreEngine(*net);
     Network *raw = net.get();
-    return Session(std::move(net), raw, std::move(cfg),
-                   std::move(engine));
+    Session s(std::move(net), raw, std::move(cfg),
+              std::move(engine));
+    s.tuning_ = std::move(tuning);
+    return s;
 }
 
 Session
@@ -309,7 +323,21 @@ Session::save(const std::string &path, bool include_engine_cache)
 {
     checkpoint::SaveOptions opts;
     opts.includeEngineCache = include_engine_cache;
+    opts.tuning = tuning_.get(); // round-trips survive by default
     checkpoint::save(path, *net_, &eng(), opts);
+}
+
+void
+Session::save(const std::string &path,
+              const checkpoint::SaveOptions &opts)
+{
+    checkpoint::save(path, *net_, &eng(), opts);
+}
+
+void
+Session::setTuningArtifact(const tune::TuningArtifact &artifact)
+{
+    tuning_ = std::make_unique<tune::TuningArtifact>(artifact);
 }
 
 } // namespace twoinone

@@ -37,9 +37,11 @@
 #include <string>
 #include <vector>
 
+#include "io/checkpoint.hh"
 #include "nn/network.hh"
 #include "quant/rps_engine.hh"
 #include "serve/runtime.hh"
+#include "tune/artifact.hh"
 
 namespace twoinone {
 
@@ -70,6 +72,13 @@ struct SessionConfig
     /** Warm-start the engine from a serialized code cache when the
      * checkpoint carries one. */
     bool restoreEngineCache = true;
+
+    /** Auto-apply a checkpoint's tuning section (serving autotuner
+     * winner) to the serving config: batch geometry, replicas,
+     * precision draw distribution. The artifact stays readable via
+     * tuningArtifact() either way (the async Server adopts the
+     * server-scoped knobs — max delay, scheduling policy — from it). */
+    bool applyTuning = true;
 
     /** @name Artifact-load resilience
      * fromCheckpoint() retries a failed parse/instantiate up to
@@ -186,9 +195,15 @@ class Session
      * static-scale quantization (persisted by save()). */
     void calibrate(const std::vector<Tensor> &batches);
     /** Write the model artifact: arch spec, weights, BN banks,
-     * calibration banks, and (by default) the engine code cache. */
+     * calibration banks, and (by default) the engine code cache. When
+     * the session carries a tuning artifact it is embedded too, so
+     * save/load round-trips preserve the autotuned configuration. */
     void save(const std::string &path,
               bool include_engine_cache = true);
+    /** save() variant with full control over the artifact sections
+     * (engine packs, explicit tuning artifact, ...). */
+    void save(const std::string &path,
+              const checkpoint::SaveOptions &opts);
     /** @} */
 
     /** @name Escape hatches */
@@ -201,6 +216,17 @@ class Session
     /** Whether the serving runtime has been instantiated (it builds
      * lazily on first serve). */
     bool servingStarted() const { return runtime_ != nullptr; }
+    /** The tuning artifact this session loaded from its checkpoint
+     * (null when the artifact had no tuning section or the session
+     * was not checkpoint-built). */
+    const tune::TuningArtifact *tuningArtifact() const
+    {
+        return tuning_.get();
+    }
+    /** Attach @p artifact to the session (persisted by save(); the
+     * serving config is NOT re-derived — call tune::applyGenome
+     * before the runtime builds to change live behavior). */
+    void setTuningArtifact(const tune::TuningArtifact &artifact);
     /** @} */
 
   private:
@@ -231,6 +257,8 @@ class Session
      * engine_ stays null. */
     RpsEngine *extEngine_ = nullptr;
     std::unique_ptr<serve::ServingRuntime> runtime_;
+    /** Tuning artifact carried by the loaded checkpoint (if any). */
+    std::unique_ptr<tune::TuningArtifact> tuning_;
 
     /** attach(): the network's plan-routing state to restore. */
     bool restorePlanState_ = false;

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * TuningArtifact serialization.
+ */
+
+#include "tune/artifact.hh"
+
+namespace twoinone {
+namespace tune {
+
+bool
+TuningArtifact::operator==(const TuningArtifact &o) const
+{
+    return version == o.version && seed == o.seed &&
+           genome == o.genome && predictedCost == o.predictedCost;
+}
+
+void
+TuningArtifact::write(io::Writer &w) const
+{
+    w.u32(version);
+    w.u64(seed);
+    w.i32(genome.maxBatch);
+    w.i32(genome.microBatch);
+    w.f32(static_cast<float>(genome.maxDelayUs));
+    w.i32(genome.replicas);
+    w.i32(genome.policy);
+    w.intVec(genome.drawBits);
+    w.intVec(genome.drawWeights);
+    w.f32(predictedCost);
+}
+
+TuningArtifact
+TuningArtifact::read(io::Reader &r)
+{
+    TuningArtifact a;
+    a.version = r.u32();
+    if (a.version != kTuningVersion)
+        throw io::CheckpointError(
+            "unsupported tuning artifact version " +
+            std::to_string(a.version) + " (this build reads version " +
+            std::to_string(kTuningVersion) + ")");
+    a.seed = r.u64();
+    a.genome.maxBatch = r.i32();
+    a.genome.microBatch = r.i32();
+    a.genome.maxDelayUs = static_cast<double>(r.f32());
+    a.genome.replicas = r.i32();
+    a.genome.policy = r.i32();
+    a.genome.drawBits = r.intVec();
+    a.genome.drawWeights = r.intVec();
+    a.predictedCost = r.f32();
+    if (a.genome.maxBatch <= 0 || a.genome.microBatch <= 0 ||
+        a.genome.microBatch > a.genome.maxBatch ||
+        a.genome.maxDelayUs < 0.0 || a.genome.replicas < 0 ||
+        (a.genome.policy != 0 && a.genome.policy != 1) ||
+        a.genome.drawBits.empty() ||
+        a.genome.drawWeights.size() != a.genome.drawBits.size())
+        throw io::CheckpointError(
+            "corrupt tuning artifact: invalid serving genome");
+    return a;
+}
+
+std::vector<uint8_t>
+TuningArtifact::bytes() const
+{
+    io::Writer w;
+    write(w);
+    return w.bytes();
+}
+
+TuningArtifact
+TuningArtifact::fromBytes(const std::vector<uint8_t> &bytes)
+{
+    io::Reader r(bytes.data(), bytes.size());
+    TuningArtifact a = read(r);
+    if (!r.atEnd())
+        throw io::CheckpointError(
+            "corrupt tuning artifact: trailing bytes");
+    return a;
+}
+
+} // namespace tune
+} // namespace twoinone

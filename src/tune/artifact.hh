@@ -1,0 +1,66 @@
+/**
+ * @file
+ * TuningArtifact — the versioned, byte-deterministic record of a
+ * serving-autotuner run: the winning ServingGenome, the seed that
+ * found it, and its predicted (analytical) cost.
+ *
+ * The artifact deliberately carries only *deterministic* values:
+ * measured probe timings never enter it, so the same tuning seed on
+ * the same model reproduces the same artifact bytes on any machine —
+ * the bit-tight acceptance contract of the autotuner. It serializes
+ * through io::Writer/Reader and rides inside a checkpoint as the
+ * tuning section (io/checkpoint kFlagTuning), which
+ * Session::fromCheckpoint and serve::Server auto-apply.
+ */
+
+#ifndef TWOINONE_TUNE_ARTIFACT_HH
+#define TWOINONE_TUNE_ARTIFACT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "io/serialize.hh"
+#include "optimizer/serving_space.hh"
+
+namespace twoinone {
+namespace tune {
+
+/** Current tuning-artifact format version. */
+constexpr uint32_t kTuningVersion = 1;
+
+/**
+ * The persisted outcome of one autotune() run.
+ */
+struct TuningArtifact
+{
+    uint32_t version = kTuningVersion;
+    /** Search seed the winner was found with. */
+    uint64_t seed = 0;
+    /** The winning serving configuration. */
+    ServingGenome genome;
+    /** The winner's analytical objective value (f32 on disk — the
+     * io layer has no f64 primitive). */
+    float predictedCost = 0.0f;
+
+    bool operator==(const TuningArtifact &o) const;
+    bool operator!=(const TuningArtifact &o) const
+    {
+        return !(*this == o);
+    }
+
+    /** Append the artifact to @p w (the checkpoint tuning section). */
+    void write(io::Writer &w) const;
+
+    /** Parse one artifact at @p r's cursor; throws
+     * io::CheckpointError on malformation or a future version. */
+    static TuningArtifact read(io::Reader &r);
+
+    /** Standalone serialized form (tests, the tune CLI --save). */
+    std::vector<uint8_t> bytes() const;
+    static TuningArtifact fromBytes(const std::vector<uint8_t> &bytes);
+};
+
+} // namespace tune
+} // namespace twoinone
+
+#endif // TWOINONE_TUNE_ARTIFACT_HH

@@ -209,6 +209,76 @@ TEST(Checkpoint, EngineCacheWarmStartSkipsRebuild)
     std::remove(path.c_str());
 }
 
+/** Pack persistence (opt-in SaveOptions::includeEnginePacks): the
+ * tile-packed kernel weights ride the artifact, so a warm start
+ * serves every cached precision with zero column rebuilds AND zero
+ * pack builds — and the restored pack bytes equal a freshly built
+ * engine's, tile for tile. */
+TEST(Checkpoint, EnginePacksPersistBehindTheFlag)
+{
+    Network net = makeResidualNet(48);
+    Tensor x = makeInput(11);
+    RpsEngine engine(net);
+    for (int bits : net.precisionSet().bits())
+        for (size_t l = 0; l < engine.numQuantLayers(); ++l)
+            engine.packedFor(l, bits); // build the source packs
+
+    std::string path = tmpPath("packs");
+    checkpoint::SaveOptions opts;
+    opts.includeEnginePacks = true;
+    checkpoint::save(path, net, &engine, opts);
+
+    checkpoint::Checkpoint ckpt = checkpoint::Checkpoint::read(path);
+    ASSERT_TRUE(ckpt.hasEngineCache());
+    ASSERT_TRUE(ckpt.hasEnginePacks());
+
+    Session s = Session::fromCheckpoint(path);
+    for (int bits : net.precisionSet().bits()) {
+        Tensor q_ref = engine.forwardQuantizedAt(bits, x);
+        s.switchPrecision(bits);
+        expectBitIdentical(q_ref, s.forwardQuantized(x), bits);
+    }
+    // Pack bytes equal the source engine's (packedFor on the restored
+    // engine must hit the imported pack, not rebuild one).
+    for (int bits : net.precisionSet().bits())
+        for (size_t l = 0; l < engine.numQuantLayers(); ++l) {
+            const gemm::PackedIntWeights &a = engine.packedFor(l, bits);
+            const gemm::PackedIntWeights &b =
+                s.engine().packedFor(l, bits);
+            EXPECT_EQ(a.m, b.m);
+            EXPECT_EQ(a.k, b.k);
+            EXPECT_EQ(a.bits, b.bits);
+            EXPECT_EQ(a.p8, b.p8);
+            EXPECT_EQ(a.p16, b.p16);
+            EXPECT_EQ(a.rowSum, b.rowSum);
+        }
+    EXPECT_EQ(s.engine().columnRebuilds(), 0u);
+    EXPECT_EQ(s.engine().packBuilds(), 0u);
+
+    // The default save stays pack-free: the flag is opt-in, and
+    // artifacts predating it parse unchanged.
+    std::string plain = tmpPath("packs_plain");
+    checkpoint::save(plain, net, &engine);
+    EXPECT_FALSE(
+        checkpoint::Checkpoint::read(plain).hasEnginePacks());
+
+    // Session::save(path, opts) carries the packs through its own
+    // round trip as well.
+    std::string again = tmpPath("packs_again");
+    s.save(again, opts);
+    Session s2 = Session::fromCheckpoint(again);
+    for (int bits : net.precisionSet().bits()) {
+        Tensor q_ref = engine.forwardQuantizedAt(bits, x);
+        s2.switchPrecision(bits);
+        expectBitIdentical(q_ref, s2.forwardQuantized(x), bits);
+    }
+    EXPECT_EQ(s2.engine().columnRebuilds(), 0u);
+    EXPECT_EQ(s2.engine().packBuilds(), 0u);
+    std::remove(path.c_str());
+    std::remove(plain.c_str());
+    std::remove(again.c_str());
+}
+
 /** A cache-less artifact still loads; the session builds its engine
  * the ordinary (quantizing) way. */
 TEST(Checkpoint, LoadsWithoutEngineCache)

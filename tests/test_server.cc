@@ -451,6 +451,89 @@ TEST(Server, MultiProducerSubmitHammer)
     server.stop();
 }
 
+/** Round-robin stays the default policy: specs and servers predating
+ * the knob keep their batch order bit-identical. */
+TEST(Server, RoundRobinIsTheDefaultPolicy)
+{
+    serve::ServerConfig sc;
+    EXPECT_EQ(sc.policy, serve::SchedulingPolicy::RoundRobin);
+    EXPECT_STREQ(serve::schedulingPolicyName(sc.policy),
+                 "round_robin");
+    EXPECT_STREQ(serve::schedulingPolicyName(
+                     serve::SchedulingPolicy::EarliestDeadlineFirst),
+                 "edf");
+}
+
+/** EDF picks the tenant whose oldest pending request has the nearest
+ * deadline; deadline-free tenants queue behind every deadline-bearing
+ * one. The same submission order under round-robin alternates (the
+ * fairness test above) — the policy genuinely changes the pick. */
+TEST(Server, EdfServesTheDeadlineUrgentTenantFirst)
+{
+    Network net = makeTinyNet(33);
+    ManualClock clock;
+    serve::ServerConfig sc = frozenConfig(clock);
+    sc.policy = serve::SchedulingPolicy::EarliestDeadlineFirst;
+    serve::Server server(sc);
+
+    Session a = Session::attach(net, tenantConfig(34));
+    Session b = Session::attach(net, a.engine(), tenantConfig(35));
+    Session c = Session::attach(net, a.engine(), tenantConfig(36));
+    int ta = server.addTenant(a);
+    int tb = server.addTenant(b);
+    int tc = server.addTenant(c);
+
+    // A floods first, without deadlines; B's deadline is looser than
+    // C's. Every request fills a whole batch (one pick per turn).
+    for (int i = 0; i < 3; ++i)
+        server.submit(ta, makeInput(400 + i, 8));
+    for (int i = 0; i < 2; ++i)
+        server.submit(tb, makeInput(500 + i, 8),
+                      /*deadline_us=*/800000);
+    for (int i = 0; i < 2; ++i)
+        server.submit(tc, makeInput(600 + i, 8),
+                      /*deadline_us=*/400000);
+    server.resume();
+    server.flush();
+
+    std::vector<int> expected = {tc, tc, tb, tb, ta, ta, ta};
+    EXPECT_EQ(server.batchLog(), expected);
+    EXPECT_EQ(server.tenantStats(ta).batches, 3u);
+    EXPECT_EQ(server.tenantStats(tb).batches, 2u);
+    EXPECT_EQ(server.tenantStats(tc).batches, 2u);
+    EXPECT_EQ(server.stats().shed, 0u); // ordered, nothing expired
+    server.stop();
+}
+
+/** With every tenant deadline-free, EDF ties resolve to the lowest
+ * tenant id — deterministic, and a backlogged heavy tenant drains
+ * before a later-registered one (documented starvation trade-off the
+ * scheduling term of the autotuner weighs against round-robin). */
+TEST(Server, EdfTiesResolveToTheLowestTenantId)
+{
+    Network net = makeTinyNet(37);
+    ManualClock clock;
+    serve::ServerConfig sc = frozenConfig(clock);
+    sc.policy = serve::SchedulingPolicy::EarliestDeadlineFirst;
+    serve::Server server(sc);
+
+    Session a = Session::attach(net, tenantConfig(38));
+    Session b = Session::attach(net, a.engine(), tenantConfig(39));
+    int ta = server.addTenant(a);
+    int tb = server.addTenant(b);
+
+    for (int i = 0; i < 2; ++i)
+        server.submit(ta, makeInput(700 + i, 8));
+    for (int i = 0; i < 2; ++i)
+        server.submit(tb, makeInput(800 + i, 8));
+    server.resume();
+    server.flush();
+
+    std::vector<int> expected = {ta, ta, tb, tb};
+    EXPECT_EQ(server.batchLog(), expected);
+    server.stop();
+}
+
 /** pause() halts batch formation while admission stays open; resume()
  * serves the accumulated backlog. */
 TEST(Server, PauseHoldsTrafficResumeReleasesIt)

@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Tests for the serving autotuner (src/tune): seed determinism (same
+ * seed -> same winning genome AND same TuningArtifact bytes, with
+ * probes on or off — measured timings must never leak into the
+ * search), the artifact's serialization round trip and error paths,
+ * the predicted-vs-measured error report (computed, finite, bounded),
+ * and the apply path: a checkpoint carrying the artifact auto-applies
+ * through Session::fromCheckpoint and serve::Server::addTenant, and
+ * the applied session still serves bit-identically. CMake re-runs
+ * this binary under TWOINONE_THREADS=1/4 and TWOINONE_BACKEND=naive —
+ * the tuner's virtual-time objective must not notice.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "common/clock.hh"
+#include "nn/model_zoo.hh"
+#include "optimizer/serving_space.hh"
+#include "quant/calibration.hh"
+#include "quant/rps_engine.hh"
+#include "serve/server.hh"
+#include "serve/session.hh"
+#include "tune/autotuner.hh"
+
+namespace twoinone {
+namespace {
+
+std::string
+tmpPath(const std::string &name)
+{
+    return testing::TempDir() + "twoinone_tune_" +
+           std::to_string(::getpid()) + "_" + name + ".ckpt";
+}
+
+Network
+makeTinyNet(uint64_t seed)
+{
+    Rng rng(seed);
+    ModelConfig cfg;
+    cfg.baseWidth = 4;
+    return convNetTiny(cfg, rng);
+}
+
+SessionConfig
+tunableConfig()
+{
+    SessionConfig cfg;
+    cfg.serving.maxBatch = 16;
+    cfg.serving.microBatch = 4;
+    cfg.serving.seed = 77;
+    cfg.serving.lazyPlanWarmup = true;
+    cfg.inputShape = {3, 8, 8};
+    return cfg;
+}
+
+tune::TuneConfig
+quickBudget(bool probes)
+{
+    tune::TuneConfig tc;
+    tc.seed = 1234;
+    tc.population = 6;
+    tc.cycles = 3;
+    tc.measuredProbes = probes;
+    tc.probeRows = 4;
+    return tc;
+}
+
+/** Same seed, fresh sessions: the winning genome and the artifact
+ * bytes reproduce exactly. Probes on vs off must not change either —
+ * measured timings feed only the reports. */
+TEST(Autotune, SeedDeterministicWinnerAndArtifactBytes)
+{
+    Network net = makeTinyNet(50);
+    Rng cal_rng(7);
+    Calibrator(net).calibrate(
+        {Tensor::uniform({4, 3, 8, 8}, cal_rng, 0.0f, 1.0f)});
+
+    Session a = Session::attach(net, tunableConfig());
+    tune::TuneResult r1 = tune::autotune(a, quickBudget(true));
+    ASSERT_TRUE(r1.found);
+
+    Session b = Session::attach(net, tunableConfig());
+    tune::TuneResult r2 = tune::autotune(b, quickBudget(true));
+    ASSERT_TRUE(r2.found);
+    EXPECT_EQ(r1.artifact.genome, r2.artifact.genome);
+    EXPECT_EQ(r1.artifact.bytes(), r2.artifact.bytes());
+    EXPECT_EQ(r1.bestCost, r2.bestCost);
+    EXPECT_EQ(r1.evaluated, r2.evaluated);
+
+    Session c = Session::attach(net, tunableConfig());
+    tune::TuneResult r3 = tune::autotune(c, quickBudget(false));
+    ASSERT_TRUE(r3.found);
+    EXPECT_EQ(r1.artifact.genome, r3.artifact.genome);
+    EXPECT_EQ(r1.artifact.bytes(), r3.artifact.bytes());
+
+    // A different seed explores a different trajectory (coarse check:
+    // the evaluation trace differs; the winner may coincide).
+    tune::TuneConfig other = quickBudget(false);
+    other.seed = 4321;
+    Session d = Session::attach(net, tunableConfig());
+    tune::TuneResult r4 = tune::autotune(d, other);
+    ASSERT_TRUE(r4.found);
+    EXPECT_EQ(r4.artifact.seed, other.seed);
+}
+
+/** The winner is a valid member of the search space and beats (or
+ * ties) the seed configuration's own objective value. */
+TEST(Autotune, WinnerIsValidAndNoWorseThanTheDefault)
+{
+    Network net = makeTinyNet(51);
+    Session s = Session::attach(net, tunableConfig());
+    tune::TuneResult r = tune::autotune(s, quickBudget(false));
+    ASSERT_TRUE(r.found);
+
+    ServingSearchSpace space(s.engine().set().bits());
+    EXPECT_TRUE(space.valid(r.artifact.genome));
+    ASSERT_FALSE(r.costHistory.empty());
+    // Convergence trace is monotone non-increasing.
+    for (size_t i = 1; i < r.costHistory.size(); ++i)
+        EXPECT_LE(r.costHistory[i], r.costHistory[i - 1]) << i;
+    EXPECT_GT(r.bestCost, 0.0);
+    EXPECT_GE(r.evaluated, r.candidates.size());
+}
+
+/** Probes fill the falsifiability report: every finite candidate gets
+ * a measured and a predicted per-row time, the error is the stated
+ * formula, and the mean is bounded (the tiny test model is timing-
+ * noisy, so the bound is an order-of-magnitude sanity rail, not a
+ * precision claim). */
+TEST(Autotune, PredictedVsMeasuredErrorComputedAndBounded)
+{
+    Network net = makeTinyNet(52);
+    Session s = Session::attach(net, tunableConfig());
+    tune::TuneResult r = tune::autotune(s, quickBudget(true));
+    ASSERT_TRUE(r.found);
+
+    size_t probed = 0;
+    for (const tune::CandidateReport &c : r.candidates) {
+        if (!std::isfinite(c.cost))
+            continue;
+        EXPECT_GT(c.measuredRowNs, 0.0) << c.genome.describe();
+        EXPECT_GT(c.predictedRowNs, 0.0) << c.genome.describe();
+        EXPECT_NEAR(c.errorPct,
+                    std::abs(c.predictedRowNs - c.measuredRowNs) /
+                        c.measuredRowNs * 100.0,
+                    1e-9);
+        ++probed;
+    }
+    EXPECT_GT(probed, 0u);
+    EXPECT_TRUE(std::isfinite(r.meanErrorPct));
+    EXPECT_GT(r.meanErrorPct, 0.0);
+    EXPECT_LT(r.meanErrorPct, 400.0);
+
+    // Probes off: the report stays empty, the mean stays zero.
+    Session s2 = Session::attach(net, tunableConfig());
+    tune::TuneResult r2 = tune::autotune(s2, quickBudget(false));
+    EXPECT_EQ(r2.meanErrorPct, 0.0);
+    for (const tune::CandidateReport &c : r2.candidates)
+        EXPECT_EQ(c.measuredRowNs, 0.0);
+}
+
+/** Artifact serialization: bytes() -> fromBytes() is the identity;
+ * truncated bytes and a future version throw CheckpointError. */
+TEST(TuningArtifact, RoundTripAndErrorPaths)
+{
+    tune::TuningArtifact a;
+    a.seed = 99;
+    a.genome.maxBatch = 32;
+    a.genome.microBatch = 8;
+    a.genome.maxDelayUs = 250.0;
+    a.genome.replicas = 2;
+    a.genome.policy = 1;
+    a.genome.drawBits = {4, 8, 16};
+    a.genome.drawWeights = {3, 1, 2};
+    a.predictedCost = 123.5f;
+
+    std::vector<uint8_t> bytes = a.bytes();
+    tune::TuningArtifact b = tune::TuningArtifact::fromBytes(bytes);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(b.genome.describe(), a.genome.describe());
+
+    std::vector<uint8_t> cut(bytes.begin(),
+                             bytes.begin() + bytes.size() / 2);
+    EXPECT_THROW(tune::TuningArtifact::fromBytes(cut),
+                 io::CheckpointError);
+
+    std::vector<uint8_t> vfuture = bytes;
+    vfuture[0] = 0xFF; // version little-endian low byte
+    EXPECT_THROW(tune::TuningArtifact::fromBytes(vfuture),
+                 io::CheckpointError);
+}
+
+/** The apply path end to end: tune, embed the artifact, save, reload
+ * through Session::fromCheckpoint — the reloaded session carries the
+ * winner's serving config, still serves bit-identically, and the
+ * async Server adopts the server-scoped knobs from its artifact. A
+ * reload with applyTuning=false keeps the caller's config but still
+ * exposes the artifact. */
+TEST(Autotune, CheckpointRoundTripAutoAppliesTheWinner)
+{
+    Network net = makeTinyNet(53);
+    Rng x_rng(9);
+    Tensor x = Tensor::uniform({4, 3, 8, 8}, x_rng, 0.0f, 1.0f);
+    Calibrator(net).calibrate({x});
+
+    std::string path = tmpPath("apply");
+    tune::TuneResult r;
+    {
+        Session s = Session::attach(net, tunableConfig());
+        r = tune::autotune(s, quickBudget(false));
+        ASSERT_TRUE(r.found);
+        s.setTuningArtifact(r.artifact);
+        s.save(path); // default save keeps the embedded artifact
+    }
+    const ServingGenome &g = r.artifact.genome;
+
+    SessionConfig lc;
+    lc.inputShape = {3, 8, 8};
+    Session loaded = Session::fromCheckpoint(path, lc);
+    ASSERT_NE(loaded.tuningArtifact(), nullptr);
+    EXPECT_EQ(*loaded.tuningArtifact(), r.artifact);
+    EXPECT_EQ(loaded.config().serving.maxBatch, g.maxBatch);
+    EXPECT_EQ(loaded.config().serving.microBatch, g.microBatch);
+    EXPECT_EQ(loaded.config().serving.replicas, g.replicas);
+    EXPECT_EQ(loaded.config().serving.drawBits, g.drawBits);
+
+    // Bit-identity survives the applied config: same logits as the
+    // source engine at every precision the winner draws from.
+    RpsEngine ref(net);
+    for (int bits : g.drawBits) {
+        loaded.switchPrecision(bits);
+        Tensor got = loaded.forwardQuantized(x);
+        Tensor want = ref.forwardQuantizedAt(bits, x);
+        ASSERT_EQ(got.shape(), want.shape());
+        for (size_t i = 0; i < got.size(); ++i)
+            ASSERT_EQ(got[i], want[i]) << "bits=" << bits;
+    }
+
+    // The async Server adopts max-delay + policy from the artifact.
+    {
+        ManualClock clock;
+        serve::ServerConfig sc;
+        sc.clock = &clock;
+        sc.startPaused = true;
+        serve::Server server(sc);
+        server.addTenant(loaded);
+        EXPECT_EQ(server.config().maxBatchDelayUs, g.maxDelayUs);
+        EXPECT_EQ(server.config().policy,
+                  g.policy == 1
+                      ? serve::SchedulingPolicy::EarliestDeadlineFirst
+                      : serve::SchedulingPolicy::RoundRobin);
+        server.stop();
+    }
+
+    // Opt-out reload: the artifact is exposed but not applied.
+    SessionConfig keep = tunableConfig();
+    keep.applyTuning = false;
+    Session raw = Session::fromCheckpoint(path, keep);
+    ASSERT_NE(raw.tuningArtifact(), nullptr);
+    EXPECT_EQ(raw.config().serving.maxBatch, 16);
+    EXPECT_EQ(raw.config().serving.microBatch, 4);
+    std::remove(path.c_str());
+}
+
+/** applyGenome maps exactly the session-scoped knobs. */
+TEST(Autotune, ApplyGenomeMapsSessionScopedKnobs)
+{
+    ServingGenome g;
+    g.maxBatch = 32;
+    g.microBatch = 2;
+    g.maxDelayUs = 500.0;
+    g.replicas = 4;
+    g.policy = 1;
+    g.drawBits = {5, 12};
+    g.drawWeights = {2, 3};
+
+    serve::ServeConfig cfg;
+    tune::applyGenome(g, cfg);
+    EXPECT_EQ(cfg.maxBatch, 32);
+    EXPECT_EQ(cfg.microBatch, 2);
+    EXPECT_EQ(cfg.replicas, 4);
+    EXPECT_EQ(cfg.drawBits, g.drawBits);
+    ASSERT_EQ(cfg.drawWeights.size(), 2u);
+    EXPECT_FLOAT_EQ(cfg.drawWeights[0], 2.0f);
+    EXPECT_FLOAT_EQ(cfg.drawWeights[1], 3.0f);
+}
+
+/** The search space's operators stay closed over valid genomes (the
+ * evolutionary loop never needs repair beyond the space's own). */
+TEST(ServingSpace, OperatorsStayClosedOverValidGenomes)
+{
+    ServingSearchSpace space({4, 5, 6, 8, 12, 16}, 128);
+    Rng rng(2021);
+    ServingGenome a = space.random(rng);
+    ServingGenome b = space.random(rng);
+    EXPECT_TRUE(space.valid(a));
+    EXPECT_TRUE(space.valid(b));
+    for (int i = 0; i < 200; ++i) {
+        ServingGenome c = space.crossover(a, b, rng);
+        ServingGenome m = space.mutate(c, rng);
+        ASSERT_TRUE(space.valid(c)) << c.describe();
+        ASSERT_TRUE(space.valid(m)) << m.describe();
+        a = c;
+        b = m;
+    }
+}
+
+} // namespace
+} // namespace twoinone
