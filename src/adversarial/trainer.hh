@@ -100,6 +100,13 @@ class Trainer
      * accounting; 0 when the cached engine is off). */
     int cleanRefreshes() const { return cleanRefreshes_; }
 
+    /** The trainer's optimizer — checkpointing reads its velocity
+     * buffers (SaveOptions::optimizer) and a resumed run restores
+     * them (Checkpoint::restoreOptimizer), so the momentum trajectory
+     * survives the save/load boundary bit-identically. */
+    Sgd &optimizer() { return sgd_; }
+    const Sgd &optimizer() const { return sgd_; }
+
   private:
     Network &net_;
     TrainConfig cfg_;

@@ -21,6 +21,7 @@
 #include "io/checkpoint.hh"
 #include "io/serialize.hh"
 #include "nn/model_zoo.hh"
+#include "quant/rps_engine.hh"
 #include "tensor/gemm.hh"
 
 namespace twoinone {
@@ -295,6 +296,11 @@ ScenarioRunner::deploySession()
         d.set("candidates", Json(session_->candidates().name()));
         d.set("mode", Json(spec_.serving.mode));
         d.set("async", Json(spec_.serving.async));
+        if (spec_.session.stream)
+            d.set("stream", Json(true));
+        if (spec_.session.cacheBudgetPct > 0)
+            d.set("cache_budget_pct",
+                  Json(spec_.session.cacheBudgetPct));
         if (spec_.serving.async)
             d.set("sessions", Json(spec_.serving.sessions));
         return d;
@@ -454,6 +460,8 @@ ScenarioRunner::loadSession()
         cfg.inputShape.push_back(data_.test.images.dim(i));
     cfg.loadRetries = spec_.session.loadRetries;
     cfg.loadRetryBackoffMs = spec_.session.retryBackoffMs;
+    cfg.streamArtifact = spec_.session.stream;
+    cfg.pinnedBits = spec_.session.pinnedBits;
     cfg.onLoadRetry = [this](int attempt, const std::string &error) {
         ++loadRetries_;
         Json d = Json::object();
@@ -461,7 +469,21 @@ ScenarioRunner::loadSession()
         d.set("error", Json(scrubBundlePath(error, bundle_)));
         journal_->emit("load_retry", std::move(d));
     };
-    return Session::fromCheckpoint(ckptPath_, std::move(cfg));
+    Session s = Session::fromCheckpoint(ckptPath_, std::move(cfg));
+    if (spec_.session.cacheBudgetPct > 0) {
+        // The spec budget is a percentage of the fully populated
+        // cache: fill it once to measure, then clamp — serving runs
+        // under LRU eviction from the first batch.
+        RpsEngine &eng = s.engine();
+        for (int bits : s.candidates().bits())
+            eng.setPrecision(bits);
+        EngineCacheConfig ec = eng.cacheConfig();
+        ec.budgetBytes =
+            eng.cacheBytes() *
+            static_cast<size_t>(spec_.session.cacheBudgetPct) / 100;
+        eng.setCacheConfig(std::move(ec));
+    }
+    return s;
 }
 
 Dataset
@@ -494,6 +516,8 @@ ScenarioRunner::foldSession()
         accShed_ += s.shed;
         accWall_ += s.wallSeconds;
         accRebuilds_ += session_->engine().columnRebuilds();
+        accEvictions_ += session_->engine().cacheEvictions();
+        accHydrations_ += session_->engine().cellHydrations();
         for (serve::Server::TenantId id : tenantIds_) {
             const std::vector<int> &tr = server_->precisionTrace(id);
             trace_.insert(trace_.end(), tr.begin(), tr.end());
@@ -507,6 +531,8 @@ ScenarioRunner::foldSession()
     accRejected_ += s.rejected;
     accWall_ += s.wallSeconds;
     accRebuilds_ += session_->engine().columnRebuilds();
+    accEvictions_ += session_->engine().cacheEvictions();
+    accHydrations_ += session_->engine().cellHydrations();
     const std::vector<int> &tr = session_->precisionTrace();
     trace_.insert(trace_.end(), tr.begin(), tr.end());
     traceMark_ = 0;
@@ -761,6 +787,47 @@ ScenarioRunner::applyFaults(int phase, int point)
             r.set("kind", Json("cache_storm"));
             r.set("via", Json("cache_rebuild"));
             journal_->emit("fault_recovered", std::move(r));
+        } else if (f->type == "memory_pressure") {
+            // Lift any active budget, fill the cache to measure its
+            // true full size, clamp it to the fault's budget, then
+            // drive full candidate sweeps through the budgeted cache
+            // — an eviction storm. The budget stays in force
+            // afterwards, so the remaining traffic keeps serving
+            // under memory pressure.
+            RpsEngine &eng = session_->engine();
+            EngineCacheConfig ec = eng.cacheConfig();
+            ec.budgetBytes = 0;
+            eng.setCacheConfig(ec);
+            for (int bits : session_->candidates().bits())
+                eng.setPrecision(bits);
+            ec.budgetBytes =
+                eng.cacheBytes() *
+                static_cast<size_t>(f->budgetPct) / 100;
+            eng.setCacheConfig(ec);
+            for (int s = 0; s < f->storms; ++s) {
+                for (int bits : session_->candidates().bits())
+                    eng.setPrecision(bits);
+            }
+            ++memPressure_;
+            injector_->noteInjected();
+            d.set("budget_pct", Json(f->budgetPct));
+            d.set("storms", Json(f->storms));
+            journal_->emit("fault_injected", std::move(d));
+            // Recovered = the LRU held the byte invariant through
+            // the storm; serving continues inside the budget. (Cell
+            // byte sizes are ISA-tier-dependent, so eviction counts
+            // never reach the journal — only the invariant does.)
+            bool within = eng.cacheBytes() <= ec.budgetBytes;
+            Json r = Json::object();
+            r.set("kind", Json("memory_pressure"));
+            r.set("via", Json("lru_eviction"));
+            r.set("within_budget", Json(within));
+            if (within) {
+                injector_->noteRecovered();
+                journal_->emit("fault_recovered", std::move(r));
+            } else {
+                journal_->emit("fault_unrecovered", std::move(r));
+            }
         } else if (f->type == "starve_pool") {
             starveNextDrain_ = true;
             injector_->noteInjected();
@@ -891,6 +958,8 @@ ScenarioRunner::reloadSession(int phase, int point)
         Json d = Json::object();
         d.set("phase", Json(phase));
         d.set("point", Json(point));
+        if (spec_.session.stream)
+            d.set("stream", Json(true));
         journal_->emit("checkpoint_load", std::move(d));
         if (corrupt != nullptr) {
             // The corrupted read was survived via the retry budget.
@@ -942,6 +1011,14 @@ ScenarioRunner::buildMetrics()
     counts.set("load_retries", Json(loadRetries_));
     counts.set("cache_storms", Json(cacheStorms_));
     counts.set("column_rebuilds", Json(accRebuilds_));
+    // Conditional: scenarios predating the streaming/budget features
+    // keep their baseline key sets byte-for-byte.
+    if (spec_.session.stream || spec_.session.cacheBudgetPct > 0 ||
+        memPressure_ > 0) {
+        counts.set("cache_evictions", Json(accEvictions_));
+        counts.set("cell_hydrations", Json(accHydrations_));
+        counts.set("memory_pressure_faults", Json(memPressure_));
+    }
 
     // Precision-trace digest: FNV-1a over the sampled bit-widths as
     // little-endian u32s — machine-independent (pure RNG), so

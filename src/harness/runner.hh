@@ -176,6 +176,15 @@ class ScenarioRunner
     // Run counters.
     uint64_t ckptSaves_ = 0, ckptLoads_ = 0, loadRetries_ = 0;
     uint64_t cacheStorms_ = 0, degraded_ = 0;
+    /** @name Byte-budgeted cache (session.stream / cache_budget_pct /
+     * memory_pressure faults). Eviction and hydration totals fold
+     * across session replacements like column_rebuilds; the metric
+     * keys appear only when one of those features is active, so
+     * scenarios predating them keep their baseline key sets. */
+    /** @{ */
+    uint64_t memPressure_ = 0;
+    uint64_t accEvictions_ = 0, accHydrations_ = 0;
+    /** @} */
     /** @name Autotuner outcome (metrics "tuning" section)
      * Candidate/evaluation counts and the winner depend on float cost
      * ordering, so baselines treat the section like timing: present,

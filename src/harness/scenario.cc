@@ -293,11 +293,38 @@ SessionSpec
 parseSession(const Json &j, const std::string &path)
 {
     const Json &obj = expectObject(j, path);
-    rejectUnknownKeys(obj, path, {"load_retries", "retry_backoff_ms"});
+    rejectUnknownKeys(obj, path,
+                      {"load_retries", "retry_backoff_ms", "stream",
+                       "cache_budget_pct", "pinned_bits"});
     SessionSpec s;
     s.loadRetries = getInt(obj, "load_retries", path, 1, 0, 16);
     s.retryBackoffMs =
         getInt(obj, "retry_backoff_ms", path, 0, 0, 10000);
+    s.stream = getBool(obj, "stream", path, false);
+    s.cacheBudgetPct =
+        getInt(obj, "cache_budget_pct", path, 0, 0, 100);
+    if (const Json *pb = obj.find("pinned_bits")) {
+        std::string pp = path + ".pinned_bits";
+        if (!pb->isArray() || pb->items().empty())
+            throw SpecError(pp, "expected a non-empty array of "
+                                "bit-widths");
+        int prev = 0;
+        for (size_t i = 0; i < pb->items().size(); ++i) {
+            const Json &e = pb->items()[i];
+            std::string ep = pp + "[" + std::to_string(i) + "]";
+            if (!e.isNumber())
+                throw SpecError(ep, "expected an integer bit-width");
+            int b = static_cast<int>(e.asNumber());
+            if (b < 1 || b > 16)
+                throw SpecError(ep, std::to_string(b) +
+                                        " is out of range [1, 16]");
+            if (b <= prev)
+                throw SpecError(ep, "bit-widths must be strictly "
+                                    "increasing");
+            prev = b;
+            s.pinnedBits.push_back(b);
+        }
+    }
     return s;
 }
 
@@ -374,7 +401,8 @@ parseFault(const Json &j, const std::string &path,
     FaultSpec f;
     f.type = getEnum(obj, "type", path, nullptr,
                      {"corrupt_checkpoint", "torn_save", "cache_storm",
-                      "starve_pool", "malformed_request"});
+                      "starve_pool", "malformed_request",
+                      "memory_pressure"});
     int nphases = static_cast<int>(phases.size());
     f.phase = getInt(obj, "phase", path, 0, 0, nphases - 1);
     const PhaseSpec &ph = phases[static_cast<size_t>(f.phase)];
@@ -392,6 +420,12 @@ parseFault(const Json &j, const std::string &path,
         rejectUnknownKeys(obj, path, {"type", "phase", "at"});
     } else if (f.type == "cache_storm") {
         rejectUnknownKeys(obj, path, {"type", "phase", "at", "storms"});
+        f.storms = getInt(obj, "storms", path, 3, 1, 100);
+    } else if (f.type == "memory_pressure") {
+        rejectUnknownKeys(obj, path,
+                          {"type", "phase", "at", "budget_pct",
+                           "storms"});
+        f.budgetPct = getInt(obj, "budget_pct", path, 40, 1, 100);
         f.storms = getInt(obj, "storms", path, 3, 1, 100);
     } else if (f.type == "starve_pool") {
         rejectUnknownKeys(obj, path, {"type", "phase", "at"});
@@ -522,6 +556,26 @@ parseScenario(const Json &doc)
                 bound.end())
                 throw SpecError(
                     "$.serving.draw_bits[" + std::to_string(i) + "]",
+                    std::to_string(b) +
+                        " is not in the model's candidate set");
+        }
+    }
+
+    // Pinned cache precisions face the same bound: the Session maps
+    // an out-of-set pin to a runtime ServeError, a spec asking for
+    // one must be a SpecError.
+    if (!s.session.pinnedBits.empty()) {
+        std::vector<int> bound = s.model.precisions.empty()
+                                     ? std::vector<int>{4, 5, 6, 8,
+                                                        12, 16}
+                                     : s.model.precisions;
+        for (size_t i = 0; i < s.session.pinnedBits.size(); ++i) {
+            int b = s.session.pinnedBits[i];
+            if (std::find(bound.begin(), bound.end(), b) ==
+                bound.end())
+                throw SpecError(
+                    "$.session.pinned_bits[" + std::to_string(i) +
+                        "]",
                     std::to_string(b) +
                         " is not in the model's candidate set");
         }

@@ -113,6 +113,17 @@ struct SessionSpec
 {
     int loadRetries = 1;
     int retryBackoffMs = 0;
+    /** Route artifact loads through the streaming SectionReader
+     * (lazy per-(layer, precision) hydration) instead of the eager
+     * whole-file reader. */
+    bool stream = false;
+    /** Engine-cache byte budget as a percentage of the fully
+     * populated cache (0 = unlimited). Applied after deployment, so
+     * serving runs under LRU eviction from the first batch. */
+    int cacheBudgetPct = 0;
+    /** Precisions whose cells are exempt from eviction. Must be
+     * members of the model's candidate set. */
+    std::vector<int> pinnedBits;
 };
 
 /** One attack block inside an adversarial phase. */
@@ -152,15 +163,19 @@ struct FaultSpec
 {
     std::string type; ///< corrupt_checkpoint | torn_save |
                       ///< cache_storm | starve_pool |
-                      ///< malformed_request
+                      ///< malformed_request | memory_pressure
     int phase = 0;    ///< index into ScenarioSpec::phases
     int at = 0;       ///< point within the phase (batch/burst/cycle)
     // corrupt_checkpoint
     std::string mode = "bitflip"; ///< bitflip | truncate
     int flips = 3;
     bool persistent = false; ///< survive retries (rejection path)
-    // cache_storm
+    // cache_storm / memory_pressure
     int storms = 3;
+    // memory_pressure: clamp the engine cache to this percentage of
+    // its fully populated size, then drive `storms` full candidate
+    // sweeps through the budgeted cache (an eviction storm).
+    int budgetPct = 40;
     // malformed_request
     std::string kind = "oversized"; ///< oversized | wrong_shape |
                                     ///< wrong_rank

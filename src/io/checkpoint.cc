@@ -1,10 +1,11 @@
 /**
  * @file
- * Checkpoint format implementation.
+ * Checkpoint format implementation (version 2: section directory).
  */
 
 #include "io/checkpoint.hh"
 
+#include <array>
 #include <cstring>
 
 #include "nn/model_zoo.hh"
@@ -18,6 +19,15 @@ const char kMagic[8] = {'2', 'I', 'N', '1', 'C', 'K', 'P', 'T'};
 constexpr uint32_t kFlagEngineCache = 1u << 0;
 constexpr uint32_t kFlagTuning = 1u << 1;
 constexpr uint32_t kFlagEnginePacks = 1u << 2;
+constexpr uint32_t kFlagMomentum = 1u << 3;
+
+constexpr const char *kTagArch = "ARCH";
+constexpr const char *kTagState = "STAT";
+constexpr const char *kTagMomentum = "MOMN";
+constexpr const char *kTagCacheBits = "CBIT";
+constexpr const char *kTagCell = "CELL";
+constexpr const char *kTagPack = "PACK";
+constexpr const char *kTagTuning = "TUNE";
 
 /** Pack a 0/1 float mask into bits (8 elements per byte). */
 std::vector<char>
@@ -144,6 +154,54 @@ readCodes(io::Reader &r)
     return q;
 }
 
+/** One section being assembled by save(). */
+struct SectionBuf
+{
+    std::array<char, 4> tag;
+    int32_t a;
+    int32_t b;
+    io::Writer w;
+};
+
+SectionBuf
+makeSection(const char *tag, int32_t a = -1, int32_t b = -1)
+{
+    SectionBuf s;
+    std::memcpy(s.tag.data(), tag, 4);
+    s.a = a;
+    s.b = b;
+    return s;
+}
+
+/** A parsed section must have been consumed exactly. */
+void
+requireSectionEnd(const io::Reader &r, const char *tag)
+{
+    if (!r.atEnd())
+        throw io::CheckpointError(
+            "corrupt checkpoint: " + std::to_string(r.remaining()) +
+            " trailing bytes in section " + std::string(tag, 4));
+}
+
+/** The directory entry at @p idx, which must carry @p tag (and match
+ * @p a / @p b when >= 0) — the eager reader enforces the canonical
+ * section order so a structurally scrambled artifact fails loudly. */
+const io::SectionInfo &
+expectSection(const io::SectionReader &sr, size_t idx, const char *tag,
+              int32_t a = -1, int32_t b = -1)
+{
+    if (idx >= sr.sections().size())
+        throw io::CheckpointError("corrupt checkpoint: missing " +
+                                  std::string(tag, 4) + " section");
+    const io::SectionInfo &s = sr.sections()[idx];
+    if (!s.is(tag) || (a >= 0 && s.a != a) || (b >= 0 && s.b != b))
+        throw io::CheckpointError(
+            "corrupt checkpoint: unexpected section " +
+            std::string(s.tag, 4) + " at index " + std::to_string(idx) +
+            " (wanted " + std::string(tag, 4) + ")");
+    return s;
+}
+
 } // namespace
 
 void
@@ -152,75 +210,129 @@ save(const std::string &path, Network &net, RpsEngine *engine,
 {
     bool with_cache = engine != nullptr && opts.includeEngineCache;
     bool with_packs = with_cache && opts.includeEnginePacks;
+    bool with_momentum = opts.optimizer != nullptr;
 
-    io::Writer payload;
+    std::vector<SectionBuf> secs;
 
     // ARCH ----------------------------------------------------------
-    NetworkSpec spec = net.spec();
-    payload.intVec(spec.precisions);
-    payload.u32(static_cast<uint32_t>(spec.layers.size()));
-    for (const LayerSpec &ls : spec.layers) {
-        payload.str(ls.kind);
-        payload.intVec(ls.args);
+    {
+        SectionBuf s = makeSection(kTagArch);
+        NetworkSpec spec = net.spec();
+        s.w.intVec(spec.precisions);
+        s.w.u32(static_cast<uint32_t>(spec.layers.size()));
+        for (const LayerSpec &ls : spec.layers) {
+            s.w.str(ls.kind);
+            s.w.intVec(ls.args);
+        }
+        secs.push_back(std::move(s));
     }
 
-    // STATE ---------------------------------------------------------
-    StateDict dict;
-    net.collectState(dict);
-    payload.u32(static_cast<uint32_t>(dict.size()));
-    for (const StateEntry &e : dict)
-        writeStateEntry(payload, e);
+    // STAT ----------------------------------------------------------
+    {
+        SectionBuf s = makeSection(kTagState);
+        StateDict dict;
+        net.collectState(dict);
+        s.w.u32(static_cast<uint32_t>(dict.size()));
+        for (const StateEntry &e : dict)
+            writeStateEntry(s.w, e);
+        secs.push_back(std::move(s));
+    }
 
-    // CACHE ---------------------------------------------------------
+    // MOMN ----------------------------------------------------------
+    if (with_momentum) {
+        SectionBuf s = makeSection(kTagMomentum);
+        std::vector<Parameter *> params = net.parameters();
+        std::vector<Tensor> vel =
+            opts.optimizer->exportVelocity(params);
+        s.w.u32(static_cast<uint32_t>(vel.size()));
+        for (const Tensor &v : vel)
+            s.w.tensor(v);
+        secs.push_back(std::move(s));
+    }
+
+    // CBIT + CELL ---------------------------------------------------
     if (with_cache) {
         const std::vector<int> &bits = engine->set().bits();
-        payload.intVec(bits);
-        payload.u32(static_cast<uint32_t>(engine->numQuantLayers()));
+        {
+            SectionBuf s = makeSection(kTagCacheBits);
+            s.w.intVec(bits);
+            s.w.u32(static_cast<uint32_t>(engine->numQuantLayers()));
+            secs.push_back(std::move(s));
+        }
         for (size_t l = 0; l < engine->numQuantLayers(); ++l) {
             for (int b : bits) {
+                SectionBuf s = makeSection(
+                    kTagCell, static_cast<int32_t>(l), b);
                 // codesFor/steMaskFor bring a stale cell current
                 // first, so the exported cache always matches the
                 // exported master weights.
-                const QuantTensor &codes = engine->codesFor(l, b);
-                writeCodes(payload, codes);
+                writeCodes(s.w, engine->codesFor(l, b));
                 std::vector<char> packed =
                     packMask(engine->steMaskFor(l, b));
-                payload.u8Vec(packed.data(), packed.size());
+                s.w.u8Vec(packed.data(), packed.size());
+                secs.push_back(std::move(s));
             }
         }
     }
 
-    // PACKS ---------------------------------------------------------
+    // PACK ----------------------------------------------------------
     if (with_packs) {
         const std::vector<int> &bits = engine->set().bits();
-        for (size_t l = 0; l < engine->numQuantLayers(); ++l)
-            for (int b : bits)
-                writePack(payload, engine->packedFor(l, b));
+        for (size_t l = 0; l < engine->numQuantLayers(); ++l) {
+            for (int b : bits) {
+                SectionBuf s = makeSection(
+                    kTagPack, static_cast<int32_t>(l), b);
+                writePack(s.w, engine->packedFor(l, b));
+                secs.push_back(std::move(s));
+            }
+        }
     }
 
-    // TUNING --------------------------------------------------------
-    if (opts.tuning != nullptr)
-        opts.tuning->write(payload);
+    // TUNE ----------------------------------------------------------
+    if (opts.tuning != nullptr) {
+        SectionBuf s = makeSection(kTagTuning);
+        opts.tuning->write(s.w);
+        secs.push_back(std::move(s));
+    }
 
-    // Assemble: header | payload | checksum. The checksum covers the
-    // header as well — a flipped flags word must read as corruption,
-    // not as a silently different (e.g. cache-less) artifact.
+    // Assemble: header | directory | directory checksum | sections.
+    // Every byte lands under a checksum: the front matter (including
+    // the flags word) under the directory hash, every payload byte
+    // under its section hash — a flip anywhere reads as corruption.
     uint32_t flags = (with_cache ? kFlagEngineCache : 0) |
                      (with_packs ? kFlagEnginePacks : 0) |
-                     (opts.tuning != nullptr ? kFlagTuning : 0);
-    io::Writer file;
+                     (opts.tuning != nullptr ? kFlagTuning : 0) |
+                     (with_momentum ? kFlagMomentum : 0);
+    io::Writer front;
     for (char c : kMagic)
-        file.u8(static_cast<uint8_t>(c));
-    file.u32(kFormatVersion);
-    file.u32(flags);
-    std::vector<uint8_t> bytes = file.bytes();
-    bytes.insert(bytes.end(), payload.bytes().begin(),
-                 payload.bytes().end());
-    uint64_t hash = io::fnv1a(bytes.data(), bytes.size());
-    io::Writer trailer;
-    trailer.u64(hash);
-    bytes.insert(bytes.end(), trailer.bytes().begin(),
-                 trailer.bytes().end());
+        front.u8(static_cast<uint8_t>(c));
+    front.u32(kFormatVersion);
+    front.u32(flags);
+    front.u32(static_cast<uint32_t>(secs.size()));
+    uint64_t offset = io::kStreamHeaderBytes + sizeof(uint32_t) +
+                      secs.size() * io::kDirEntryBytes +
+                      sizeof(uint64_t);
+    uint64_t total = offset;
+    for (const SectionBuf &s : secs) {
+        for (char c : s.tag)
+            front.u8(static_cast<uint8_t>(c));
+        front.i32(s.a);
+        front.i32(s.b);
+        front.u64(offset);
+        front.u64(s.w.size());
+        front.u64(io::fnv1a(s.w.bytes().data(), s.w.size()));
+        offset += s.w.size();
+        total += s.w.size();
+    }
+    uint64_t dir_hash =
+        io::fnv1a(front.bytes().data(), front.size());
+    front.u64(dir_hash);
+
+    std::vector<uint8_t> bytes = front.bytes();
+    bytes.reserve(total);
+    for (const SectionBuf &s : secs)
+        bytes.insert(bytes.end(), s.w.bytes().begin(),
+                     s.w.bytes().end());
     // Atomic replace: a crash (or injected fault) mid-save must never
     // leave a torn artifact at the target path — serving fleets reload
     // checkpoints while the trainer overwrites them.
@@ -228,127 +340,188 @@ save(const std::string &path, Network &net, RpsEngine *engine,
 }
 
 Checkpoint
-Checkpoint::read(const std::string &path)
+Checkpoint::parseEager(const io::SectionReader &sr)
 {
-    std::vector<uint8_t> bytes = io::readFile(path);
-    constexpr size_t header = sizeof(kMagic) + 2 * sizeof(uint32_t);
-    constexpr size_t trailer = sizeof(uint64_t);
-    if (bytes.size() < header + trailer)
-        throw io::CheckpointError(path + " is not a checkpoint "
-                                         "(too small)");
-    if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
-        throw io::CheckpointError(path + " is not a checkpoint "
-                                         "(bad magic)");
-    uint32_t version, flags;
-    std::memcpy(&version, bytes.data() + sizeof(kMagic),
-                sizeof(version));
-    std::memcpy(&flags, bytes.data() + sizeof(kMagic) + sizeof(version),
-                sizeof(flags));
-    if (version != kFormatVersion)
-        throw io::CheckpointError(
-            "unsupported checkpoint format version " +
-            std::to_string(version) + " (this build reads version " +
-            std::to_string(kFormatVersion) + ")");
-
-    const uint8_t *payload = bytes.data() + header;
-    size_t payload_size = bytes.size() - header - trailer;
-    uint64_t stored_hash;
-    std::memcpy(&stored_hash, bytes.data() + header + payload_size,
-                sizeof(stored_hash));
-    if (io::fnv1a(bytes.data(), header + payload_size) != stored_hash)
-        throw io::CheckpointError(path +
-                                  ": payload corrupted "
-                                  "(checksum mismatch)");
-
-    io::Reader r(payload, payload_size);
     Checkpoint ckpt;
-
-    // Struct counts come from the file; before sizing containers by
-    // them, require that the remaining payload could plausibly hold
-    // that many records (>= @p min_bytes each) — a crafted count must
-    // throw, not commit gigabytes. (Reader::count applies the same
-    // guard to element vectors.)
-    auto checkedCount = [&r](uint32_t n, size_t min_bytes,
-                             const char *what) {
-        if (static_cast<size_t>(n) > r.remaining() / min_bytes)
-            throw io::CheckpointError(
-                "corrupt checkpoint: " + std::string(what) +
-                " count " + std::to_string(n) +
-                " exceeds the remaining payload");
-        return n;
-    };
+    const uint32_t flags = sr.flags();
+    size_t idx = 0;
 
     // ARCH ----------------------------------------------------------
-    ckpt.spec_.precisions = r.intVec();
-    // A layer spec is at least an empty kind string + empty args
-    // vector (two u32 counts).
-    uint32_t nlayers = checkedCount(r.u32(), 8, "layer spec");
-    ckpt.spec_.layers.reserve(nlayers);
-    for (uint32_t i = 0; i < nlayers; ++i) {
-        LayerSpec ls;
-        ls.kind = r.str();
-        ls.args = r.intVec();
-        ckpt.spec_.layers.push_back(std::move(ls));
-    }
-
-    // STATE ---------------------------------------------------------
-    uint32_t nentries = r.u32();
-    for (uint32_t i = 0; i < nentries; ++i) {
-        std::string name = r.str();
-        Blob blob;
-        blob.dtype = r.u8();
-        switch (blob.dtype) {
-        case 0:
-            blob.tensor = r.tensor();
-            break;
-        case 1:
-            blob.floats = r.f32Vec();
-            break;
-        case 2:
-            blob.flags = r.u8Vec();
-            break;
-        case 3:
-            blob.flag = r.u8() != 0;
-            break;
-        default:
+    {
+        std::vector<uint8_t> bytes =
+            sr.read(expectSection(sr, idx++, kTagArch));
+        io::Reader r(bytes.data(), bytes.size());
+        ckpt.spec_.precisions = r.intVec();
+        // A layer spec is at least an empty kind string + empty args
+        // vector (two u32 counts).
+        uint32_t nlayers = r.u32();
+        if (static_cast<size_t>(nlayers) > r.remaining() / 8)
             throw io::CheckpointError(
-                "corrupt checkpoint: unknown state dtype " +
-                std::to_string(blob.dtype) + " for \"" + name + "\"");
+                "corrupt checkpoint: layer spec count " +
+                std::to_string(nlayers) +
+                " exceeds the remaining payload");
+        ckpt.spec_.layers.reserve(nlayers);
+        for (uint32_t i = 0; i < nlayers; ++i) {
+            LayerSpec ls;
+            ls.kind = r.str();
+            ls.args = r.intVec();
+            ckpt.spec_.layers.push_back(std::move(ls));
         }
-        ckpt.blobs_.emplace(std::move(name), std::move(blob));
+        requireSectionEnd(r, kTagArch);
     }
 
-    // CACHE ---------------------------------------------------------
-    if (flags & kFlagEngineCache) {
-        ckpt.cacheBits_ = r.intVec();
-        // Each cached layer carries >= one cell: shape vec + scale +
-        // bits + signedness + two payload counts.
-        uint32_t ncache_layers =
-            checkedCount(r.u32(), 29, "cache layer");
-        ckpt.cells_.resize(ncache_layers);
-        for (uint32_t l = 0; l < ncache_layers; ++l) {
-            ckpt.cells_[l].reserve(ckpt.cacheBits_.size());
-            for (size_t p = 0; p < ckpt.cacheBits_.size(); ++p) {
-                CacheCell cell;
-                cell.codes = readCodes(r);
-                cell.maskBytes = r.u8Vec();
-                ckpt.cells_[l].push_back(std::move(cell));
+    // STAT ----------------------------------------------------------
+    {
+        std::vector<uint8_t> bytes =
+            sr.read(expectSection(sr, idx++, kTagState));
+        io::Reader r(bytes.data(), bytes.size());
+        uint32_t nentries = r.u32();
+        for (uint32_t i = 0; i < nentries; ++i) {
+            std::string name = r.str();
+            Blob blob;
+            blob.dtype = r.u8();
+            switch (blob.dtype) {
+            case 0:
+                blob.tensor = r.tensor();
+                break;
+            case 1:
+                blob.floats = r.f32Vec();
+                break;
+            case 2:
+                blob.flags = r.u8Vec();
+                break;
+            case 3:
+                blob.flag = r.u8() != 0;
+                break;
+            default:
+                throw io::CheckpointError(
+                    "corrupt checkpoint: unknown state dtype " +
+                    std::to_string(blob.dtype) + " for \"" + name +
+                    "\"");
             }
+            ckpt.blobs_.emplace(std::move(name), std::move(blob));
         }
+        requireSectionEnd(r, kTagState);
     }
 
-    // PACKS ---------------------------------------------------------
-    if (flags & kFlagEnginePacks) {
-        if (!(flags & kFlagEngineCache))
+    // MOMN ----------------------------------------------------------
+    if (flags & kFlagMomentum) {
+        std::vector<uint8_t> bytes =
+            sr.read(expectSection(sr, idx++, kTagMomentum));
+        io::Reader r(bytes.data(), bytes.size());
+        // A velocity tensor is at least an empty shape vec (u32) +
+        // an element count (u64).
+        uint32_t count = r.u32();
+        if (static_cast<size_t>(count) > r.remaining() / 12)
             throw io::CheckpointError(
-                "corrupt checkpoint: pack section without a cache "
-                "section");
+                "corrupt checkpoint: velocity count " +
+                std::to_string(count) +
+                " exceeds the remaining payload");
+        ckpt.momentum_.reserve(count);
+        for (uint32_t i = 0; i < count; ++i)
+            ckpt.momentum_.push_back(r.tensor());
+        ckpt.hasMomentum_ = true;
+        requireSectionEnd(r, kTagMomentum);
+    }
+
+    // CBIT (cache metadata; cells stay on disk here) ----------------
+    if (flags & kFlagEngineCache) {
+        std::vector<uint8_t> bytes =
+            sr.read(expectSection(sr, idx++, kTagCacheBits));
+        io::Reader r(bytes.data(), bytes.size());
+        ckpt.cacheBits_ = r.intVec();
+        uint32_t nlayers = r.u32();
+        requireSectionEnd(r, kTagCacheBits);
+        if (ckpt.cacheBits_.empty())
+            throw io::CheckpointError(
+                "corrupt checkpoint: cache section with no "
+                "precisions");
+        // The directory must list exactly one CELL per (layer,
+        // precision) in canonical order — validated structurally
+        // here (cheap), hydrated by the eager reader or the lazy
+        // engine later.
+        if (static_cast<size_t>(nlayers) >
+            sr.sections().size() / ckpt.cacheBits_.size())
+            throw io::CheckpointError(
+                "corrupt checkpoint: cache layer count " +
+                std::to_string(nlayers) +
+                " exceeds the section directory");
+        ckpt.cells_.resize(nlayers);
+        for (uint32_t l = 0; l < nlayers; ++l)
+            for (int b : ckpt.cacheBits_)
+                expectSection(sr, idx++, kTagCell,
+                              static_cast<int32_t>(l), b);
+        if (flags & kFlagEnginePacks) {
+            for (uint32_t l = 0; l < nlayers; ++l)
+                for (int b : ckpt.cacheBits_)
+                    expectSection(sr, idx++, kTagPack,
+                                  static_cast<int32_t>(l), b);
+        }
+    } else if (flags & kFlagEnginePacks) {
+        throw io::CheckpointError(
+            "corrupt checkpoint: pack section without a cache "
+            "section");
+    }
+
+    // TUNE ----------------------------------------------------------
+    if (flags & kFlagTuning) {
+        std::vector<uint8_t> bytes =
+            sr.read(expectSection(sr, idx++, kTagTuning));
+        io::Reader r(bytes.data(), bytes.size());
+        ckpt.tuning_ = std::make_unique<tune::TuningArtifact>(
+            tune::TuningArtifact::read(r));
+        requireSectionEnd(r, kTagTuning);
+    }
+
+    if (idx != sr.sections().size())
+        throw io::CheckpointError(
+            "corrupt checkpoint: " +
+            std::to_string(sr.sections().size() - idx) +
+            " unexpected extra sections");
+    return ckpt;
+}
+
+Checkpoint
+Checkpoint::read(const std::string &path)
+{
+    io::SectionReader sr(path);
+    Checkpoint ckpt = parseEager(sr);
+
+    // Hydrate every cell (and pack) eagerly: after this walk every
+    // section checksum in the file has been verified — the eager
+    // reader keeps format 1's whole-file integrity guarantee.
+    const bool with_packs =
+        (sr.flags() & kFlagEnginePacks) != 0;
+    if (with_packs)
         ckpt.packs_.resize(ckpt.cells_.size());
-        for (size_t l = 0; l < ckpt.cells_.size(); ++l) {
+    for (size_t l = 0; l < ckpt.cells_.size(); ++l) {
+        ckpt.cells_[l].reserve(ckpt.cacheBits_.size());
+        if (with_packs)
             ckpt.packs_[l].reserve(ckpt.cacheBits_.size());
-            for (size_t p = 0; p < ckpt.cacheBits_.size(); ++p) {
-                gemm::PackedIntWeights pack = readPack(r);
-                if (pack.bits != ckpt.cacheBits_[p])
+        for (int b : ckpt.cacheBits_) {
+            const io::SectionInfo *si =
+                sr.find(kTagCell, static_cast<int32_t>(l), b);
+            // parseEager validated the directory structure, so the
+            // section is present.
+            std::vector<uint8_t> bytes = sr.read(*si);
+            io::Reader r(bytes.data(), bytes.size());
+            CacheCell cell;
+            cell.codes = readCodes(r);
+            cell.maskBytes = r.u8Vec();
+            requireSectionEnd(r, kTagCell);
+            if (cell.codes.bits != b)
+                throw io::CheckpointError(
+                    "corrupt checkpoint: cell precision does not "
+                    "match its directory key");
+            ckpt.cells_[l].push_back(std::move(cell));
+            if (with_packs) {
+                const io::SectionInfo *pi =
+                    sr.find(kTagPack, static_cast<int32_t>(l), b);
+                std::vector<uint8_t> pbytes = sr.read(*pi);
+                io::Reader pr(pbytes.data(), pbytes.size());
+                gemm::PackedIntWeights pack = readPack(pr);
+                requireSectionEnd(pr, kTagPack);
+                if (pack.bits != b)
                     throw io::CheckpointError(
                         "corrupt checkpoint: pack precision does not "
                         "match its cache column");
@@ -356,17 +529,6 @@ Checkpoint::read(const std::string &path)
             }
         }
     }
-
-    // TUNING --------------------------------------------------------
-    if (flags & kFlagTuning)
-        ckpt.tuning_ = std::make_unique<tune::TuningArtifact>(
-            tune::TuningArtifact::read(r));
-
-    if (!r.atEnd())
-        throw io::CheckpointError(
-            path + ": " + std::to_string(r.remaining()) +
-            " unparsed trailing payload bytes (corrupt or "
-            "mis-framed artifact)");
     return ckpt;
 }
 
@@ -413,6 +575,29 @@ Checkpoint::instantiate() const
     if (!err.empty())
         throw io::CheckpointError("checkpoint state invalid: " + err);
     return net;
+}
+
+void
+Checkpoint::restoreOptimizer(Sgd &opt, Network &net) const
+{
+    if (!hasMomentum_)
+        throw io::CheckpointError(
+            "checkpoint carries no optimizer state");
+    std::vector<Parameter *> params = net.parameters();
+    if (momentum_.size() != params.size())
+        throw io::CheckpointError(
+            "checkpoint optimizer state covers " +
+            std::to_string(momentum_.size()) +
+            " parameters, network has " +
+            std::to_string(params.size()));
+    for (size_t i = 0; i < params.size(); ++i) {
+        if (momentum_[i].shape() != params[i]->value.shape())
+            throw io::CheckpointError(
+                "checkpoint velocity shape does not match "
+                "parameter " +
+                std::to_string(i));
+    }
+    opt.importVelocity(params, momentum_);
 }
 
 std::unique_ptr<RpsEngine>
@@ -486,6 +671,84 @@ Checkpoint::restoreEngineImpl(Network &net, bool consume)
             }
         }
     }
+    return engine;
+}
+
+StreamingCheckpoint::StreamingCheckpoint(const std::string &path)
+    : reader_(std::make_shared<io::SectionReader>(path)),
+      eager_(Checkpoint::parseEager(*reader_))
+{
+    cacheBits_ = eager_.cacheBits_;
+    cacheLayers_ = eager_.cells_.size();
+    hasPacks_ = (reader_->flags() & kFlagEnginePacks) != 0;
+}
+
+std::unique_ptr<RpsEngine>
+StreamingCheckpoint::restoreEngine(
+    const std::shared_ptr<StreamingCheckpoint> &self, Network &net)
+{
+    if (!self->hasEngineCache())
+        return nullptr;
+    PrecisionSet cache_set = precisionSetFromSpec(self->cacheBits_);
+    for (int b : self->cacheBits_) {
+        if (!net.precisionSet().contains(b))
+            throw io::CheckpointError(
+                "checkpoint cache precision " + std::to_string(b) +
+                " is not in the network's bound set");
+    }
+    auto engine = std::make_unique<RpsEngine>(
+        net, std::move(cache_set), RpsEngine::DeferBuild{});
+    if (engine->numQuantLayers() != self->cacheLayers_)
+        throw io::CheckpointError(
+            "checkpoint cache covers " +
+            std::to_string(self->cacheLayers_) +
+            " weight layers, network has " +
+            std::to_string(engine->numQuantLayers()));
+    // The hydrator owns a reference to this StreamingCheckpoint, so
+    // the open artifact lives exactly as long as the engine may still
+    // fault cells in. Any malformation in a lazily touched cell —
+    // checksum mismatch, bad framing, geometry drift — returns false
+    // and the engine re-quantizes the cell from its master weights,
+    // which reproduces the persisted codes bit-for-bit.
+    std::shared_ptr<StreamingCheckpoint> keep = self;
+    engine->setCellHydrator([keep](size_t layer, int bits,
+                                   RpsEngine::HydratedCell &out) {
+        try {
+            const io::SectionReader &sr = *keep->reader_;
+            const io::SectionInfo *ci = sr.find(
+                kTagCell, static_cast<int32_t>(layer), bits);
+            if (ci == nullptr)
+                return false;
+            std::vector<uint8_t> bytes = sr.read(*ci);
+            io::Reader r(bytes.data(), bytes.size());
+            QuantTensor codes = readCodes(r);
+            std::vector<char> mask_bytes = r.u8Vec();
+            if (!r.atEnd() || codes.bits != bits)
+                return false;
+            out.steMask =
+                unpackMask(mask_bytes, codes.shape, codes.size());
+            if (keep->hasPacks_) {
+                const io::SectionInfo *pi = sr.find(
+                    kTagPack, static_cast<int32_t>(layer), bits);
+                if (pi == nullptr)
+                    return false;
+                std::vector<uint8_t> pbytes = sr.read(*pi);
+                io::Reader pr(pbytes.data(), pbytes.size());
+                gemm::PackedIntWeights pack = readPack(pr);
+                int m = codes.shape.empty() ? 0 : codes.shape[0];
+                int k = m > 0 ? static_cast<int>(codes.size()) / m : 0;
+                if (!pr.atEnd() || pack.m != m || pack.k != k ||
+                    pack.bits != codes.bits)
+                    return false;
+                out.packed = std::move(pack);
+                out.hasPack = true;
+            }
+            out.codes = std::move(codes);
+            return true;
+        } catch (const io::CheckpointError &) {
+            return false;
+        }
+    });
     return engine;
 }
 

@@ -15,30 +15,49 @@
  *   - every named state blob (master weights, SBN banks with their
  *     running statistics and trained flags, per-(ActQuant, precision)
  *     calibration range banks and the static-scale mode);
+ *   - optionally the SGD velocity buffers, so a resumed training run
+ *     continues its momentum trajectory bit-identically;
  *   - optionally the RpsEngine weight-code cache (integer codes +
  *     bit-packed STE masks per layer x candidate), so a loaded model
  *     warm-starts its engine without a single quantization pass.
  *
- * Layout (little-endian):
+ * Format version 2 (little-endian) is *section-directory* framed so
+ * readers can hydrate lazily (io/stream.hh):
  *
  *   magic "2IN1CKPT" (8) | format version u32 | flags u32
- *   payload:
- *     ARCH   precisions intVec; layer count u32;
- *            per layer: kind str, args intVec
- *     STATE  entry count u32; per entry: name str, dtype u8, payload
- *            (dtype 0 = f32 tensor, 1 = f32 vec, 2 = u8 vec,
- *             3 = bool)
- *     CACHE  (flags bit 0) cached precisions intVec; layer count u32;
- *            per (layer, precision): codes (shape intVec, scale f32,
- *            bits i32, signed u8, codes i32Vec), STE mask bit-packed
- *            u8Vec
- *     PACKS  (flags bit 2; requires CACHE) per (layer, precision):
- *            m/k/bits/tiles/groups8/groups16 i32 each, p8 u8Vec,
- *            p16 i16Vec, rowSum i64Vec — the cell's tile-packed
- *            kernel weights, so a warm start skips the pack pass
- *     TUNING (flags bit 1) one tune::TuningArtifact (version u32,
- *            seed u64, serving genome, predicted cost f32)
- *   fnv1a64(header + payload) u64
+ *   section count u32
+ *   per section: tag (4 raw bytes), a i32, b i32, offset u64,
+ *                size u64, fnv1a64(section bytes) u64
+ *   fnv1a64(header + directory) u64
+ *   section payloads, back to back (offsets are absolute; sections
+ *   tile the rest of the file exactly)
+ *
+ * Sections, in file order (a/b are -1 unless noted):
+ *
+ *   ARCH   precisions intVec; layer count u32;
+ *          per layer: kind str, args intVec
+ *   STAT   entry count u32; per entry: name str, dtype u8, payload
+ *          (dtype 0 = f32 tensor, 1 = f32 vec, 2 = u8 vec, 3 = bool)
+ *   MOMN   (flags bit 3) SGD velocity: count u32, then one f32
+ *          tensor per network parameter, in Network::parameters()
+ *          order
+ *   CBIT   (flags bit 0) cached precisions intVec; cached layer
+ *          count u32
+ *   CELL   (flags bit 0; a = layer, b = bits) one engine cache cell:
+ *          codes (shape intVec, scale f32, bits i32, signed u8,
+ *          codes i32Vec), STE mask bit-packed u8Vec
+ *   PACK   (flags bit 2; a = layer, b = bits; requires CBIT) the
+ *          cell's tile-packed kernel weights: m/k/bits/tiles/groups8/
+ *          groups16 i32 each, p8 u8Vec, p16 i16Vec, rowSum i64Vec
+ *   TUNE   (flags bit 1) one tune::TuningArtifact (version u32,
+ *          seed u64, serving genome, predicted cost f32)
+ *
+ * Every file byte is covered by a checksum: header + directory by the
+ * directory hash, payload bytes by their section's hash. The eager
+ * reader (Checkpoint::read) walks and verifies every section — the
+ * whole-file integrity guarantee of format 1 is preserved — while the
+ * streaming reader (StreamingCheckpoint) verifies the directory plus
+ * only the sections it actually touches, each on first hydration.
  *
  * Malformed input (missing file, truncation, checksum mismatch,
  * unsupported version, incompatible spec) throws io::CheckpointError —
@@ -54,15 +73,17 @@
 #include <vector>
 
 #include "io/serialize.hh"
+#include "io/stream.hh"
 #include "nn/network.hh"
+#include "nn/sgd.hh"
 #include "quant/rps_engine.hh"
 #include "tune/artifact.hh"
 
 namespace twoinone {
 namespace checkpoint {
 
-/** Current checkpoint format version. */
-constexpr uint32_t kFormatVersion = 1;
+/** Current checkpoint format version (the v2 section directory). */
+constexpr uint32_t kFormatVersion = io::kStreamFormatVersion;
 
 /** Save-time options. */
 struct SaveOptions
@@ -78,6 +99,10 @@ struct SaveOptions
     /** Serving-autotuner artifact to embed as the tuning section
      * (null = none). Session::fromCheckpoint auto-applies it. */
     const tune::TuningArtifact *tuning = nullptr;
+    /** Optimizer whose velocity buffers to persist (null = none).
+     * restoreOptimizer() puts them back, so a reloaded training run
+     * resumes its momentum trajectory bit-identically. */
+    const Sgd *optimizer = nullptr;
 };
 
 /**
@@ -91,18 +116,19 @@ void save(const std::string &path, Network &net,
           const SaveOptions &opts = SaveOptions());
 
 /**
- * A parsed model artifact. read() validates framing and the payload
- * checksum; instantiate()/restoreEngine() then rebuild the live
- * objects. Keeping the parsed form separate from the live objects
- * lets one read serve both the network and its engine without
+ * A parsed model artifact. read() validates framing and every
+ * section checksum; instantiate()/restoreEngine() then rebuild the
+ * live objects. Keeping the parsed form separate from the live
+ * objects lets one read serve both the network and its engine without
  * touching the file twice.
  */
 class Checkpoint
 {
   public:
-    /** Parse @p path (throws io::CheckpointError on any malformation:
-     * missing file, truncation, bad magic, unsupported version,
-     * checksum mismatch). */
+    /** Parse @p path eagerly — every section is hydrated and
+     * checksum-verified (throws io::CheckpointError on any
+     * malformation: missing file, truncation, bad magic, unsupported
+     * version, checksum mismatch). */
     static Checkpoint read(const std::string &path);
 
     /** The architecture spec the artifact was saved from. */
@@ -121,6 +147,18 @@ class Checkpoint
 
     /** Whether the cache section also carries tile packs. */
     bool hasEnginePacks() const { return !packs_.empty(); }
+
+    /** Whether the artifact carries SGD velocity buffers. */
+    bool hasOptimizerState() const { return hasMomentum_; }
+
+    /**
+     * Restore the persisted velocity buffers into @p opt, keyed by
+     * @p net's parameter order (@p net must be the instantiate()d
+     * network or one of identical architecture). Throws
+     * io::CheckpointError when the artifact has no optimizer state or
+     * the buffers do not match the network's parameters.
+     */
+    void restoreOptimizer(Sgd &opt, Network &net) const;
 
     /** The embedded tuning artifact, or null when the checkpoint has
      * no tuning section. */
@@ -141,6 +179,8 @@ class Checkpoint
     std::unique_ptr<RpsEngine> restoreEngine(Network &net) &&;
 
   private:
+    friend class StreamingCheckpoint;
+
     /** One named state blob (see StateEntry for the dtype mapping). */
     struct Blob
     {
@@ -158,6 +198,12 @@ class Checkpoint
         std::vector<char> maskBytes; ///< STE mask, bit-packed
     };
 
+    /** Parse the always-eager sections (ARCH, STAT, MOMN, TUNE) plus
+     * the cache *metadata* (CBIT) from @p sr. Cell/pack payloads are
+     * left untouched — the eager read() hydrates them next, the
+     * streaming loader never does. */
+    static Checkpoint parseEager(const io::SectionReader &sr);
+
     /** Shared restoreEngine body; @p consume moves the cell codes
      * out (rvalue overload) instead of copying them. */
     std::unique_ptr<RpsEngine> restoreEngineImpl(Network &net,
@@ -165,6 +211,9 @@ class Checkpoint
 
     NetworkSpec spec_;
     std::map<std::string, Blob> blobs_;
+    /** Velocity tensors in Network::parameters() order (MOMN). */
+    std::vector<Tensor> momentum_;
+    bool hasMomentum_ = false;
     std::vector<int> cacheBits_;
     /** cells_[layer][precision index in cacheBits_]. */
     std::vector<std::vector<CacheCell>> cells_;
@@ -173,6 +222,68 @@ class Checkpoint
     std::vector<std::vector<gemm::PackedIntWeights>> packs_;
     /** The tuning section, when present. */
     std::unique_ptr<tune::TuningArtifact> tuning_;
+};
+
+/**
+ * The streaming load path: parse the directory plus the cheap
+ * always-needed sections (arch spec, state blobs, optimizer state,
+ * tuning) eagerly, and leave the dominant payload — the engine code
+ * cells and tile packs — on disk, hydrated per (layer, precision) on
+ * first touch through the RpsEngine's cell hydrator. Peak RSS of a
+ * warm start drops from ~artifact size to ~model state + the cells
+ * actually resident under the engine's byte budget.
+ *
+ * Corruption in a lazily hydrated cell is detected by its section
+ * checksum at first touch; the engine then falls back to re-
+ * quantizing the cell from the master weights, which is bit-identical
+ * to the persisted codes — serving stays correct, the artifact just
+ * loses its warm-start discount for that cell.
+ */
+class StreamingCheckpoint
+{
+  public:
+    /** Open @p path: validate header + directory, hydrate the eager
+     * sections (throws io::CheckpointError on malformation). */
+    explicit StreamingCheckpoint(const std::string &path);
+
+    const NetworkSpec &spec() const { return eager_.spec(); }
+
+    /** Rebuild the network from the eagerly hydrated spec + state. */
+    Network instantiate() const { return eager_.instantiate(); }
+
+    bool hasEngineCache() const { return !cacheBits_.empty(); }
+    bool hasOptimizerState() const { return eager_.hasOptimizerState(); }
+    void restoreOptimizer(Sgd &opt, Network &net) const
+    {
+        eager_.restoreOptimizer(opt, net);
+    }
+    const tune::TuningArtifact *tuning() const { return eager_.tuning(); }
+
+    /** The underlying section reader (hydration accounting:
+     * bytesRead()/sectionsRead() tell how much of the artifact a
+     * streaming warm start actually touched). */
+    const io::SectionReader &reader() const { return *reader_; }
+
+    /**
+     * Build a DeferBuild engine on @p net whose cells hydrate lazily
+     * from the artifact: each (layer, precision) cell is read,
+     * checksum-verified, and imported on its first install — with
+     * packs when the artifact carries them. Returns nullptr when
+     * there is no cache section. Static over a shared_ptr because
+     * the installed hydrator keeps @p self (and the open file) alive
+     * for the engine's lifetime.
+     */
+    static std::unique_ptr<RpsEngine>
+    restoreEngine(const std::shared_ptr<StreamingCheckpoint> &self,
+                  Network &net);
+
+  private:
+    std::shared_ptr<io::SectionReader> reader_;
+    /** The eager sections, parsed once (cells_/packs_ stay empty). */
+    Checkpoint eager_;
+    std::vector<int> cacheBits_;
+    size_t cacheLayers_ = 0;
+    bool hasPacks_ = false;
 };
 
 } // namespace checkpoint

@@ -37,6 +37,12 @@ clearFaultHooks()
     faultHooks() = FaultHooks();
 }
 
+bool
+readFaultHookInstalled()
+{
+    return static_cast<bool>(faultHooks().onRead);
+}
+
 void
 Writer::raw(const void *p, size_t n)
 {

@@ -150,6 +150,14 @@ void setFaultHooks(FaultHooks hooks);
 /** Remove all installed fault hooks. */
 void clearFaultHooks();
 
+/** Whether a read-side fault hook is currently installed. The
+ * streaming SectionReader consults this at open time: positional
+ * reads would bypass the readFile() seam, so under hooks it falls
+ * back to one buffered readFile() pass and serves sections from the
+ * (possibly corrupted) buffer — injected faults stay byte-identical
+ * to the eager reader's view. */
+bool readFaultHookInstalled();
+
 /** Write a byte buffer to @p path (throws CheckpointError on I/O
  * failure). */
 void writeFile(const std::string &path, const std::vector<uint8_t> &bytes);

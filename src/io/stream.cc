@@ -1,0 +1,194 @@
+/**
+ * @file
+ * SectionReader implementation.
+ */
+
+#include "io/stream.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace twoinone {
+namespace io {
+
+namespace {
+
+const char kMagic[8] = {'2', 'I', 'N', '1', 'C', 'K', 'P', 'T'};
+
+} // namespace
+
+SectionReader::SectionReader(const std::string &path) : path_(path)
+{
+    // Under an injected read fault the whole file must pass through
+    // io::readFile once so the hook can corrupt it — positional reads
+    // would dodge the seam and the fault would silently not land.
+    useBuffer_ = readFaultHookInstalled();
+    if (useBuffer_) {
+        buffered_ = readFile(path);
+        fileSize_ = buffered_.size();
+    } else {
+        fd_ = ::open(path.c_str(), O_RDONLY);
+        if (fd_ < 0)
+            throw CheckpointError("cannot open " + path);
+        struct stat st;
+        if (::fstat(fd_, &st) != 0) {
+            ::close(fd_);
+            fd_ = -1;
+            throw CheckpointError("cannot stat " + path);
+        }
+        fileSize_ = static_cast<uint64_t>(st.st_size);
+    }
+
+    try {
+        // Header -----------------------------------------------------
+        // magic (8) | version u32 | flags u32 | dir count u32, then
+        // the entries and the directory checksum.
+        constexpr size_t probe = kStreamHeaderBytes + sizeof(uint32_t);
+        if (fileSize_ < probe + sizeof(uint64_t))
+            throw CheckpointError(path + " is not a checkpoint "
+                                         "(too small)");
+        uint8_t head[probe];
+        readAt(0, probe, head);
+        if (std::memcmp(head, kMagic, sizeof(kMagic)) != 0)
+            throw CheckpointError(path + " is not a checkpoint "
+                                         "(bad magic)");
+        std::memcpy(&version_, head + sizeof(kMagic), sizeof(version_));
+        std::memcpy(&flags_, head + sizeof(kMagic) + sizeof(version_),
+                    sizeof(flags_));
+        // Gate the version before any checksum runs: a version-N
+        // artifact from a newer build must report *version*, not
+        // "corrupted" (its framing may legitimately differ).
+        if (version_ != kStreamFormatVersion)
+            throw CheckpointError(
+                "unsupported checkpoint format version " +
+                std::to_string(version_) + " (this build reads version " +
+                std::to_string(kStreamFormatVersion) + ")");
+
+        // Directory --------------------------------------------------
+        uint32_t count;
+        std::memcpy(&count, head + kStreamHeaderBytes, sizeof(count));
+        // Guard the count against the bytes actually present before
+        // sizing anything by it.
+        if (static_cast<uint64_t>(count) >
+            (fileSize_ - probe) / kDirEntryBytes)
+            throw CheckpointError(
+                "corrupt checkpoint: section count " +
+                std::to_string(count) + " exceeds the file size");
+        const size_t dir_bytes = count * kDirEntryBytes;
+        std::vector<uint8_t> front(probe + dir_bytes + sizeof(uint64_t));
+        readAt(0, front.size(), front.data());
+        uint64_t stored;
+        std::memcpy(&stored, front.data() + probe + dir_bytes,
+                    sizeof(stored));
+        if (fnv1a(front.data(), probe + dir_bytes) != stored)
+            throw CheckpointError(path + ": section directory "
+                                         "corrupted (checksum "
+                                         "mismatch)");
+        dir_.reserve(count);
+        uint64_t expect = front.size();
+        for (uint32_t i = 0; i < count; ++i) {
+            const uint8_t *p = front.data() + probe + i * kDirEntryBytes;
+            SectionInfo s;
+            std::memcpy(s.tag, p, 4);
+            std::memcpy(&s.a, p + 4, 4);
+            std::memcpy(&s.b, p + 8, 4);
+            std::memcpy(&s.offset, p + 12, 8);
+            std::memcpy(&s.size, p + 20, 8);
+            std::memcpy(&s.checksum, p + 28, 8);
+            // Sections must tile the payload exactly — offsets are
+            // derived, so any gap, overlap, or out-of-bounds range is
+            // corruption, and with contiguity every file byte sits
+            // under exactly one checksum.
+            if (s.offset != expect || s.size > fileSize_ - s.offset)
+                throw CheckpointError(
+                    "corrupt checkpoint: section directory is not "
+                    "contiguous at entry " +
+                    std::to_string(i));
+            expect = s.offset + s.size;
+            dir_.push_back(s);
+        }
+        if (expect != fileSize_)
+            throw CheckpointError(
+                path + ": " + std::to_string(fileSize_ - expect) +
+                " bytes past the last section (corrupt or mis-framed "
+                "artifact)");
+    } catch (...) {
+        if (fd_ >= 0) {
+            ::close(fd_);
+            fd_ = -1;
+        }
+        throw;
+    }
+}
+
+SectionReader::~SectionReader()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+SectionReader::readAt(uint64_t offset, size_t n, uint8_t *out) const
+{
+    if (useBuffer_) {
+        if (offset > buffered_.size() || n > buffered_.size() - offset)
+            throw CheckpointError("truncated checkpoint: wanted " +
+                                  std::to_string(n) +
+                                  " bytes at offset " +
+                                  std::to_string(offset));
+        std::memcpy(out, buffered_.data() + offset, n);
+        return;
+    }
+    size_t done = 0;
+    while (done < n) {
+        ssize_t got = ::pread(fd_, out + done, n - done,
+                              static_cast<off_t>(offset + done));
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            throw CheckpointError("read error on " + path_ + ": " +
+                                  std::strerror(errno));
+        }
+        if (got == 0)
+            throw CheckpointError("truncated checkpoint: short read "
+                                  "at offset " +
+                                  std::to_string(offset + done));
+        done += static_cast<size_t>(got);
+    }
+}
+
+const SectionInfo *
+SectionReader::find(const char *tag, int32_t a, int32_t b) const
+{
+    for (const SectionInfo &s : dir_) {
+        if (!s.is(tag))
+            continue;
+        if (a >= 0 && s.a != a)
+            continue;
+        if (b >= 0 && s.b != b)
+            continue;
+        return &s;
+    }
+    return nullptr;
+}
+
+std::vector<uint8_t>
+SectionReader::read(const SectionInfo &s) const
+{
+    std::vector<uint8_t> bytes(s.size);
+    readAt(s.offset, s.size, bytes.data());
+    if (fnv1a(bytes.data(), bytes.size()) != s.checksum)
+        throw CheckpointError(path_ + ": section " +
+                              std::string(s.tag, 4) +
+                              " corrupted (checksum mismatch)");
+    bytesRead_.fetch_add(s.size, std::memory_order_relaxed);
+    sectionsRead_.fetch_add(1, std::memory_order_relaxed);
+    return bytes;
+}
+
+} // namespace io
+} // namespace twoinone

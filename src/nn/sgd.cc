@@ -5,6 +5,9 @@
 
 #include "nn/sgd.hh"
 
+#include <stdexcept>
+#include <string>
+
 namespace twoinone {
 
 Sgd::Sgd(float lr, float momentum, float weight_decay)
@@ -31,6 +34,40 @@ Sgd::step(const std::vector<Parameter *> &params)
         // (RpsEngine) can tell this parameter's masters moved.
         p->bumpVersion();
     }
+}
+
+std::vector<Tensor>
+Sgd::exportVelocity(const std::vector<Parameter *> &params) const
+{
+    std::vector<Tensor> out;
+    out.reserve(params.size());
+    for (Parameter *p : params) {
+        auto it = velocity_.find(p);
+        out.push_back(it != velocity_.end()
+                          ? it->second
+                          : Tensor::zeros(p->value.shape()));
+    }
+    return out;
+}
+
+void
+Sgd::importVelocity(const std::vector<Parameter *> &params,
+                    std::vector<Tensor> velocity)
+{
+    if (velocity.size() != params.size())
+        throw std::invalid_argument(
+            "velocity count " + std::to_string(velocity.size()) +
+            " does not match " + std::to_string(params.size()) +
+            " parameters");
+    for (size_t i = 0; i < params.size(); ++i) {
+        if (velocity[i].shape() != params[i]->value.shape())
+            throw std::invalid_argument(
+                "velocity shape mismatch at parameter " +
+                std::to_string(i));
+    }
+    velocity_.clear();
+    for (size_t i = 0; i < params.size(); ++i)
+        velocity_.emplace(params[i], std::move(velocity[i]));
 }
 
 } // namespace twoinone

@@ -34,6 +34,24 @@ class Sgd
 
     float lr() const { return lr_; }
     void setLr(float lr) { lr_ = lr; }
+    float momentum() const { return momentum_; }
+    float weightDecay() const { return weightDecay_; }
+
+    /** @name Optimizer-state persistence
+     * The velocity buffers in @p params order, so checkpoints can
+     * carry the training trajectory: a reloaded run resumes
+     * bit-identically instead of restarting its momentum from zero.
+     * Parameters never stepped export all-zero velocity (what step()
+     * would have seeded). importVelocity replaces the state wholesale;
+     * a count or shape mismatch against @p params throws
+     * io::CheckpointError via the checkpoint layer — here it is
+     * validated and reported with std::invalid_argument. */
+    /** @{ */
+    std::vector<Tensor>
+    exportVelocity(const std::vector<Parameter *> &params) const;
+    void importVelocity(const std::vector<Parameter *> &params,
+                        std::vector<Tensor> velocity);
+    /** @} */
 
   private:
     float lr_;

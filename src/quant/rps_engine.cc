@@ -35,6 +35,7 @@ RpsEngine::RpsEngine(Network &net, PrecisionSet cache_set, DeferBuild)
     for (auto &per_layer : cache_)
         per_layer.resize(cacheSet_.size());
     notedVersion_.assign(layers_.size(), 0);
+    pinnedIdx_.assign(cacheSet_.size(), false);
 }
 
 RpsEngine::~RpsEngine()
@@ -48,6 +49,55 @@ RpsEngine::cellStale(size_t layer, size_t prec) const
     const CacheEntry &e = cache_[layer][prec];
     return !e.built ||
            e.builtVersion != layers_[layer]->masterWeightVersion();
+}
+
+bool
+RpsEngine::tryHydrate(size_t layer, size_t prec)
+{
+    if (!hydrator_)
+        return false;
+    // The artifact's cells were quantized from the masters as saved;
+    // once a layer trains past that version its persisted codes are
+    // wrong — rebuild instead.
+    if (layers_[layer]->masterWeightVersion() !=
+        hydratorVersion_[layer])
+        return false;
+    HydratedCell h;
+    if (!hydrator_(layer, cacheSet_.bits()[prec], h))
+        return false;
+    // Defensive geometry check: a malformed (but parseable) cell must
+    // fall back to a rebuild, not corrupt the install.
+    if (h.codes.bits != cacheSet_.bits()[prec] ||
+        h.codes.size() != layers_[layer]->masterWeight().size() ||
+        h.steMask.size() != h.codes.size())
+        return false;
+    CacheEntry &e = cache_[layer][prec];
+    e.codes = std::move(h.codes);
+    e.floats.steMask = std::move(h.steMask);
+    e.floats.values = Tensor();
+    e.floats.scale = e.codes.scale;
+    e.floats.bits = e.codes.bits;
+    e.floatsReady = false;
+    if (h.hasPack) {
+        e.packed = std::move(h.packed);
+        e.packedReady = true;
+    } else if (e.packedReady) {
+        packEntry(e); // keep a live tile pack current
+    }
+    e.built = true;
+    e.builtVersion = layers_[layer]->masterWeightVersion();
+    cellHydrations_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+void
+RpsEngine::ensureCell(size_t layer, size_t prec, bool want_floats)
+{
+    CacheEntry &e = cache_[layer][prec];
+    if (!e.built)
+        tryHydrate(layer, prec);
+    if (cellStale(layer, prec))
+        rebuildCell(layer, prec, want_floats);
 }
 
 void
@@ -112,6 +162,7 @@ RpsEngine::refresh()
     for (size_t l = 0; l < layers_.size(); ++l)
         all[l] = l;
     rebuildLayers(all);
+    evictToBudget();
 }
 
 size_t
@@ -161,20 +212,20 @@ RpsEngine::setPrecision(int bits)
         return;
     }
     size_t idx = static_cast<size_t>(cacheSet_.indexOf(bits));
-    // Bring the installed column current: re-quantize cells whose
-    // master weights moved (the lazy column rebuild — only the column
-    // being consumed pays), and materialize float views on first use
-    // (codes are the source of truth; float(code) * scale is exactly
-    // the fake-quant grid value).
+    // Bring the installed column current: hydrate absent cells from
+    // the streaming artifact when one is attached, re-quantize cells
+    // whose master weights moved (the lazy column rebuild — only the
+    // column being consumed pays), and materialize float views on
+    // first use (codes are the source of truth; float(code) * scale
+    // is exactly the fake-quant grid value).
     ThreadPool::global().parallelFor(
         0, static_cast<int64_t>(layers_.size()), 1,
         [&](int64_t lo, int64_t hi) {
             for (int64_t l = lo; l < hi; ++l) {
                 size_t ls = static_cast<size_t>(l);
                 CacheEntry &e = cache_[ls][idx];
-                if (cellStale(ls, idx)) {
-                    rebuildCell(ls, idx, /*want_floats=*/true);
-                } else if (!e.floatsReady) {
+                ensureCell(ls, idx, /*want_floats=*/true);
+                if (!e.floatsReady) {
                     e.codes.dequantizeInto(e.floats.values);
                     e.floatsReady = true;
                 }
@@ -187,13 +238,18 @@ RpsEngine::setPrecision(int bits)
                     packEntry(e);
             }
         });
+    const uint64_t tick = ++useTick_;
     for (size_t l = 0; l < layers_.size(); ++l) {
+        cache_[l][idx].lastUse = tick;
         layers_[l]->setWeightCache(&cache_[l][idx].floats);
         layers_[l]->setWeightCodes(&cache_[l][idx].codes);
         layers_[l]->setWeightPacked(&cache_[l][idx].packed);
     }
     installedIdx_ = static_cast<int>(idx);
     net_.setPrecision(bits);
+    // The install may have materialized a whole column — re-enforce
+    // the byte ceiling now that the column is protected.
+    evictToBudget();
 }
 
 Tensor
@@ -251,8 +307,8 @@ RpsEngine::codesFor(size_t layer, int bits)
     TWOINONE_ASSERT(cacheSet_.contains(bits), "precision ", bits,
                     " not cached");
     size_t p = static_cast<size_t>(cacheSet_.indexOf(bits));
-    if (cellStale(layer, p))
-        rebuildCell(layer, p, /*want_floats=*/false);
+    ensureCell(layer, p, /*want_floats=*/false);
+    cache_[layer][p].lastUse = ++useTick_;
     return cache_[layer][p].codes;
 }
 
@@ -263,14 +319,14 @@ RpsEngine::steMaskFor(size_t layer, int bits)
     TWOINONE_ASSERT(cacheSet_.contains(bits), "precision ", bits,
                     " not cached");
     size_t p = static_cast<size_t>(cacheSet_.indexOf(bits));
-    if (cellStale(layer, p))
-        rebuildCell(layer, p, /*want_floats=*/false);
+    ensureCell(layer, p, /*want_floats=*/false);
+    cache_[layer][p].lastUse = ++useTick_;
     return cache_[layer][p].floats.steMask;
 }
 
 void
-RpsEngine::importCell(size_t layer, size_t prec, QuantTensor codes,
-                      Tensor ste_mask)
+RpsEngine::importCellImpl(size_t layer, size_t prec, QuantTensor codes,
+                          Tensor ste_mask)
 {
     TWOINONE_ASSERT(layer < cache_.size() && prec < cacheSet_.size(),
                     "cache cell out of range");
@@ -289,6 +345,15 @@ RpsEngine::importCell(size_t layer, size_t prec, QuantTensor codes,
         packEntry(e); // keep a live tile pack current
     e.built = true;
     e.builtVersion = layers_[layer]->masterWeightVersion();
+    e.lastUse = ++useTick_;
+}
+
+void
+RpsEngine::importCell(size_t layer, size_t prec, QuantTensor codes,
+                      Tensor ste_mask)
+{
+    importCellImpl(layer, prec, std::move(codes), std::move(ste_mask));
+    evictToBudget();
 }
 
 void
@@ -302,10 +367,11 @@ RpsEngine::importCell(size_t layer, size_t prec, QuantTensor codes,
     TWOINONE_ASSERT(packed.m == m && packed.k == k &&
                         packed.bits == codes.bits,
                     "imported pack geometry does not match its codes");
-    importCell(layer, prec, std::move(codes), std::move(ste_mask));
+    importCellImpl(layer, prec, std::move(codes), std::move(ste_mask));
     CacheEntry &e = cache_[layer][prec];
     e.packed = std::move(packed);
     e.packedReady = true;
+    evictToBudget();
 }
 
 const gemm::PackedIntWeights &
@@ -315,9 +381,9 @@ RpsEngine::packedFor(size_t layer, int bits)
     TWOINONE_ASSERT(cacheSet_.contains(bits), "precision ", bits,
                     " not cached");
     size_t p = static_cast<size_t>(cacheSet_.indexOf(bits));
-    if (cellStale(layer, p))
-        rebuildCell(layer, p, /*want_floats=*/false);
+    ensureCell(layer, p, /*want_floats=*/false);
     CacheEntry &e = cache_[layer][p];
+    e.lastUse = ++useTick_;
     if (!e.packedReady)
         packEntry(e);
     return e.packed;
@@ -361,19 +427,100 @@ RpsEngine::resetCacheStats()
 }
 
 size_t
+RpsEngine::cellBytes(const CacheEntry &e)
+{
+    size_t bytes = e.codes.bytes();
+    bytes += e.floats.steMask.size() * sizeof(float);
+    if (e.floatsReady)
+        bytes += e.floats.values.size() * sizeof(float);
+    bytes += e.packed.bytes();
+    return bytes;
+}
+
+size_t
 RpsEngine::cacheBytes() const
 {
     size_t bytes = 0;
-    for (const auto &per_layer : cache_) {
-        for (const CacheEntry &e : per_layer) {
-            bytes += e.codes.bytes();
-            bytes += e.floats.steMask.size() * sizeof(float);
-            if (e.floatsReady)
-                bytes += e.floats.values.size() * sizeof(float);
-            bytes += e.packed.bytes();
-        }
-    }
+    for (const auto &per_layer : cache_)
+        for (const CacheEntry &e : per_layer)
+            bytes += cellBytes(e);
     return bytes;
+}
+
+void
+RpsEngine::setCacheConfig(EngineCacheConfig cfg)
+{
+    pinnedIdx_.assign(cacheSet_.size(), false);
+    for (int b : cfg.pinnedBits) {
+        TWOINONE_ASSERT(cacheSet_.contains(b), "pinned precision ", b,
+                        " not in the cached set ", cacheSet_.name());
+        pinnedIdx_[static_cast<size_t>(cacheSet_.indexOf(b))] = true;
+    }
+    cacheCfg_ = std::move(cfg);
+    evictToBudget();
+}
+
+void
+RpsEngine::setCellHydrator(CellHydrator hydrator)
+{
+    hydrator_ = std::move(hydrator);
+    hydratorVersion_.resize(layers_.size());
+    for (size_t l = 0; l < layers_.size(); ++l)
+        hydratorVersion_[l] = layers_[l]->masterWeightVersion();
+}
+
+void
+RpsEngine::evictToBudget()
+{
+    if (cacheCfg_.budgetBytes == 0)
+        return;
+    size_t total = cacheBytes();
+    while (total > cacheCfg_.budgetBytes) {
+        // LRU victim among the evictable cells: never the installed
+        // column (layers hold live pointers into it) and never a
+        // pinned precision. When only protected bytes remain the
+        // budget is infeasible — stop rather than break serving; the
+        // budget is a ceiling on *idle* cells, not on the working set.
+        CacheEntry *victim = nullptr;
+        for (auto &per_layer : cache_) {
+            for (size_t p = 0; p < per_layer.size(); ++p) {
+                CacheEntry &e = per_layer[p];
+                if (!e.built || pinnedIdx_[p] ||
+                    (installedIdx_ >= 0 &&
+                     p == static_cast<size_t>(installedIdx_)))
+                    continue;
+                if (victim == nullptr || e.lastUse < victim->lastUse)
+                    victim = &e;
+            }
+        }
+        if (victim == nullptr)
+            break;
+        total -= cellBytes(*victim);
+        *victim = CacheEntry();
+        cacheEvictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+bool
+RpsEngine::cellResident(size_t layer, int bits) const
+{
+    TWOINONE_ASSERT(layer < cache_.size(), "layer index out of range");
+    TWOINONE_ASSERT(cacheSet_.contains(bits), "precision ", bits,
+                    " not cached");
+    size_t p = static_cast<size_t>(cacheSet_.indexOf(bits));
+    return cache_[layer][p].built;
+}
+
+uint64_t
+RpsEngine::cacheEvictions() const
+{
+    return cacheEvictions_.load(std::memory_order_relaxed);
+}
+
+uint64_t
+RpsEngine::cellHydrations() const
+{
+    return cellHydrations_.load(std::memory_order_relaxed);
 }
 
 } // namespace twoinone

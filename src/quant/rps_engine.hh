@@ -49,6 +49,8 @@
 #define TWOINONE_QUANT_RPS_ENGINE_HH
 
 #include <atomic>
+#include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "nn/network.hh"
@@ -56,6 +58,27 @@
 #include "tensor/gemm.hh"
 
 namespace twoinone {
+
+/**
+ * Byte-budget policy for the engine's weight cache. With a budget,
+ * the cache behaves as an LRU over (layer, precision) cells: after
+ * each install/import the least-recently-used evictable cells are
+ * dropped until cacheBytes() <= budgetBytes. The currently installed
+ * precision column and any pinned precisions are never evicted, so a
+ * budget can at most strip the cache down to installed + pinned —
+ * forwards stay bit-identical at every candidate, because an evicted
+ * cell transparently rehydrates (from a streaming artifact) or
+ * re-quantizes from the master weights on its next install, both of
+ * which reproduce the evicted codes exactly.
+ */
+struct EngineCacheConfig
+{
+    /** Cache byte ceiling (0 = unlimited; the pre-budget behavior). */
+    size_t budgetBytes = 0;
+    /** Precisions whose cells are never evicted (must be members of
+     * the cached set) — e.g. the serving fleet's hottest widths. */
+    std::vector<int> pinnedBits;
+};
 
 /**
  * Per-precision quantized-weight cache + switch/forward façade over a
@@ -109,6 +132,59 @@ class RpsEngine
     /** Total bytes held by the cache: int codes + STE masks + any
      * materialized float views + any tile-packed kernel buffers. */
     size_t cacheBytes() const;
+
+    /**
+     * Install a byte-budget policy (see EngineCacheConfig). Applies
+     * immediately: over-budget cells are evicted LRU-first before the
+     * call returns, and every subsequent install/import re-enforces
+     * the ceiling. Pinned precisions must be members of the cached
+     * set. A default-constructed config restores unlimited caching.
+     */
+    void setCacheConfig(EngineCacheConfig cfg);
+
+    /** The installed budget policy. */
+    const EngineCacheConfig &cacheConfig() const { return cacheCfg_; }
+
+    /** One lazily hydrated cache cell, produced by a CellHydrator:
+     * the canonical codes + STE mask (and optionally the tile pack),
+     * exactly as importCell would receive them. */
+    struct HydratedCell
+    {
+        QuantTensor codes;
+        Tensor steMask;
+        gemm::PackedIntWeights packed;
+        bool hasPack = false;
+    };
+
+    /**
+     * Source of truth for absent cells, consulted before the engine
+     * falls back to re-quantizing from the master weights: the
+     * streaming checkpoint loader installs one that reads the cell's
+     * section from disk. Returns false on any failure (missing
+     * section, corruption) — the engine then rebuilds the cell, which
+     * is bit-identical to the persisted codes. Called concurrently
+     * from the install pass, so it must be thread-safe; it is only
+     * consulted while a layer's master weights still match their
+     * state at hydrator installation (training invalidates the
+     * artifact's cells, so moved layers rebuild instead).
+     */
+    using CellHydrator =
+        std::function<bool(size_t layer, int bits, HydratedCell &out)>;
+
+    /** Install @p hydrator (empty = none), snapshotting the current
+     * master-weight versions it is valid against. */
+    void setCellHydrator(CellHydrator hydrator);
+
+    /** Whether the (layer, bits) cell is currently resident (built
+     * and not evicted) — eviction-test observability. */
+    bool cellResident(size_t layer, int bits) const;
+
+    /** Cells dropped by the byte-budget policy since construction. */
+    uint64_t cacheEvictions() const;
+
+    /** Cells filled from the hydrator (streaming artifact) instead of
+     * a quantization pass since construction. */
+    uint64_t cellHydrations() const;
 
     /**
      * Re-quantize every cache entry from the current master weights
@@ -255,6 +331,9 @@ class RpsEngine
         bool floatsReady = false;
         bool built = false;
         uint64_t builtVersion = 0;
+        /** Logical clock of the cell's last install/access — the LRU
+         * key the byte-budget eviction orders by. */
+        uint64_t lastUse = 0;
     };
 
     Network &net_;
@@ -272,6 +351,21 @@ class RpsEngine
     std::atomic<uint64_t> columnRebuilds_{0};
     /** Tile packs built so far (see packBuilds()). */
     std::atomic<uint64_t> packBuilds_{0};
+    /** Byte-budget policy (budgetBytes 0 = unlimited). */
+    EngineCacheConfig cacheCfg_;
+    /** pinnedIdx_[prec]: that cached precision is never evicted. */
+    std::vector<bool> pinnedIdx_;
+    /** Lazy cell source (empty = rebuild-only), and the per-layer
+     * master-weight versions it was installed against. */
+    CellHydrator hydrator_;
+    std::vector<uint64_t> hydratorVersion_;
+    /** LRU clock; advanced only from serial sections (install loop,
+     * accessors) — never inside a parallelFor body. */
+    uint64_t useTick_ = 0;
+    /** Cells evicted so far (see cacheEvictions()). */
+    std::atomic<uint64_t> cacheEvictions_{0};
+    /** Cells hydrated so far (see cellHydrations()). */
+    std::atomic<uint64_t> cellHydrations_{0};
 
     /** Whether the cell's codes predate the layer's current master
      * weights. */
@@ -285,6 +379,26 @@ class RpsEngine
 
     /** (Re)build a cell's tile-packed kernel weights from its codes. */
     void packEntry(CacheEntry &e);
+
+    /** Bytes one cell currently holds (the cacheBytes() summand). */
+    static size_t cellBytes(const CacheEntry &e);
+
+    /** Shared importCell body (no budget enforcement — the public
+     * overloads re-enforce it once the cell is fully landed). */
+    void importCellImpl(size_t layer, size_t prec, QuantTensor codes,
+                        Tensor ste_mask);
+
+    /** Try to fill an absent cell from the hydrator. Thread-safe for
+     * disjoint cells (each parallelFor worker owns its cell). */
+    bool tryHydrate(size_t layer, size_t prec);
+
+    /** Make the cell current: hydrate when absent and the hydrator
+     * is still valid for the layer, else re-quantize when stale. */
+    void ensureCell(size_t layer, size_t prec, bool want_floats);
+
+    /** Drop LRU evictable cells until cacheBytes() fits the budget
+     * (no-op without one). Serial sections only. */
+    void evictToBudget();
 
     /** Rebuild all cached precisions of the given layers (parallel
      * over layers x precisions; float views of used precisions are

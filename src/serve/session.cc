@@ -25,6 +25,32 @@ engineSet(const SessionConfig &cfg, const Network &net)
     return cfg.cacheSet.empty() ? net.precisionSet() : cfg.cacheSet;
 }
 
+/** Retry-with-backoff around an artifact open/parse: transient
+ * corruption (a racing writer, flaky storage) often clears on the
+ * next attempt; persistent corruption exhausts the budget and
+ * surfaces the last CheckpointError to the caller — recoverable,
+ * never a crash. */
+template <typename Fn>
+auto
+loadWithRetries(const SessionConfig &cfg, Fn &&fn) -> decltype(fn())
+{
+    int attempts = 1 + std::max(0, cfg.loadRetries);
+    for (int a = 1;; ++a) {
+        try {
+            return fn();
+        } catch (const io::CheckpointError &e) {
+            if (a >= attempts)
+                throw;
+            if (cfg.onLoadRetry)
+                cfg.onLoadRetry(a, e.what());
+            if (cfg.loadRetryBackoffMs > 0) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(
+                    cfg.loadRetryBackoffMs << (a - 1)));
+            }
+        }
+    }
+}
+
 } // namespace
 
 Session::Session(std::unique_ptr<Network> owned, Network *net,
@@ -42,6 +68,24 @@ Session::Session(std::unique_ptr<Network> owned, Network *net,
     if (!engine_ && extEngine_ == nullptr)
         engine_ = std::make_unique<RpsEngine>(*net_,
                                               engineSet(cfg_, *net_));
+    // Byte budget / pins apply to the session-owned engine on every
+    // construction path (a shared engine's policy belongs to its
+    // owner). A pinned precision outside the cache set is caller data
+    // gone wrong — reject it here instead of panicking in the engine.
+    if (engine_ &&
+        (cfg_.cacheBudgetBytes > 0 || !cfg_.pinnedBits.empty())) {
+        for (int b : cfg_.pinnedBits) {
+            if (!engine_->set().contains(b))
+                throw serve::ServeError(formatMessage(
+                    "pinned precision ", b,
+                    " is not in the engine cache set ",
+                    engine_->set().name()));
+        }
+        EngineCacheConfig ec;
+        ec.budgetBytes = cfg_.cacheBudgetBytes;
+        ec.pinnedBits = cfg_.pinnedBits;
+        engine_->setCacheConfig(std::move(ec));
+    }
     if (owned_ == nullptr) {
         restorePlanState_ = true;
         prevPlanExec_ = net_->planExecutionEnabled();
@@ -90,28 +134,40 @@ Session::operator=(Session &&other) noexcept
 Session
 Session::fromCheckpoint(const std::string &path, SessionConfig cfg)
 {
-    // Retry-with-backoff on a malformed read: transient corruption (a
-    // racing writer, flaky storage) often clears on the next attempt;
-    // persistent corruption exhausts the budget and surfaces the last
-    // CheckpointError to the caller — recoverable, never a crash.
-    checkpoint::Checkpoint ckpt = [&] {
-        int attempts = 1 + std::max(0, cfg.loadRetries);
-        for (int a = 1;; ++a) {
-            try {
-                return checkpoint::Checkpoint::read(path);
-            } catch (const io::CheckpointError &e) {
-                if (a >= attempts)
-                    throw;
-                if (cfg.onLoadRetry)
-                    cfg.onLoadRetry(a, e.what());
-                if (cfg.loadRetryBackoffMs > 0) {
-                    std::this_thread::sleep_for(
-                        std::chrono::milliseconds(
-                            cfg.loadRetryBackoffMs << (a - 1)));
-                }
-            }
+    if (cfg.streamArtifact) {
+        // Streaming load: header + directory + model state hydrate
+        // eagerly (inside the retry budget — that is where framing
+        // corruption surfaces); the engine code cells stay on disk
+        // and fault in per (layer, precision) on first install.
+        auto sckpt = loadWithRetries(cfg, [&] {
+            return std::make_shared<checkpoint::StreamingCheckpoint>(
+                path);
+        });
+        if (sckpt->spec().precisions.empty())
+            throw io::CheckpointError(
+                path +
+                " holds a model with no candidate precision set — "
+                "not servable through a Session");
+        auto net = std::make_unique<Network>(sckpt->instantiate());
+        std::unique_ptr<tune::TuningArtifact> tuning;
+        if (sckpt->tuning() != nullptr) {
+            tuning =
+                std::make_unique<tune::TuningArtifact>(*sckpt->tuning());
+            if (cfg.applyTuning)
+                tune::applyGenome(tuning->genome, cfg.serving);
         }
-    }();
+        std::unique_ptr<RpsEngine> engine;
+        if (cfg.restoreEngineCache && cfg.cacheSet.empty())
+            engine = checkpoint::StreamingCheckpoint::restoreEngine(
+                sckpt, *net);
+        Network *raw = net.get();
+        Session s(std::move(net), raw, std::move(cfg),
+                  std::move(engine));
+        s.tuning_ = std::move(tuning);
+        return s;
+    }
+    checkpoint::Checkpoint ckpt = loadWithRetries(
+        cfg, [&] { return checkpoint::Checkpoint::read(path); });
     // Sessions require an RPS-capable model; the constructor treats a
     // precision-less network as a caller bug (panic), but here the
     // network comes from the artifact — recoverable input.

@@ -73,6 +73,24 @@ struct SessionConfig
      * checkpoint carries one. */
     bool restoreEngineCache = true;
 
+    /** @name Streaming artifacts & cache budgets
+     * streamArtifact makes fromCheckpoint() hydrate lazily: header +
+     * directory + model state load eagerly, while engine code cells
+     * (the dominant payload on ImageNet-class shapes) stay on disk
+     * and fault in per (layer, precision) on first install — peak RSS
+     * of a warm start drops from ~artifact size to ~model state plus
+     * the resident cells. cacheBudgetBytes (0 = unlimited) caps the
+     * engine cache with LRU-by-(layer, precision) eviction; evicted
+     * cells rehydrate from the artifact (or re-quantize from the
+     * masters), bit-identically. pinnedBits lists precisions never
+     * evicted. The budget applies to session-owned engines on every
+     * construction path; pinned precisions must be cached candidates. */
+    /** @{ */
+    bool streamArtifact = false;
+    size_t cacheBudgetBytes = 0;
+    std::vector<int> pinnedBits;
+    /** @} */
+
     /** Auto-apply a checkpoint's tuning section (serving autotuner
      * winner) to the serving config: batch geometry, replicas,
      * precision draw distribution. The artifact stays readable via

@@ -10,6 +10,12 @@
 #include "workloads/model_library.hh"
 
 #include "common/logging.hh"
+#include "nn/activation.hh"
+#include "nn/batchnorm.hh"
+#include "nn/conv2d.hh"
+#include "nn/linear.hh"
+#include "nn/pooling.hh"
+#include "nn/residual.hh"
 
 namespace twoinone {
 namespace workloads {
@@ -183,6 +189,61 @@ preActResNet18Cifar(int batch)
     NetworkWorkload w = resNet18Cifar(batch);
     w.name = "PreActResNet-18";
     return w;
+}
+
+namespace {
+
+/** Servable residual skeleton with per-stage block counts: stem conv
+ * -> PreActBlock stages (channels double per stage, stride 2 between
+ * stages) -> SBN + ReLU + ActQuant -> global average pool -> linear
+ * classifier. The mirror of model_zoo's uniform-depth skeleton, but
+ * parameterized the way the big models actually are (ResNet-50 is
+ * 3-4-6-3, not n-n-n-n). */
+Network
+servableNet(const std::vector<int> &blocks, int base_width,
+            int num_classes, Rng &rng)
+{
+    Network net(PrecisionSet::rps4to16());
+    int banks = net.bnBanks();
+
+    net.add(std::make_unique<Conv2d>(3, base_width, 3, 1, 1, false,
+                                     rng));
+    int in_ch = base_width;
+    for (size_t s = 0; s < blocks.size(); ++s) {
+        int out_ch = base_width << s;
+        for (int b = 0; b < blocks[s]; ++b) {
+            int stride = (s > 0 && b == 0) ? 2 : 1;
+            net.add(std::make_unique<PreActBlock>(in_ch, out_ch,
+                                                  stride, banks, rng));
+            in_ch = out_ch;
+        }
+    }
+    net.add(std::make_unique<SwitchableBatchNorm2d>(in_ch, banks));
+    net.add(std::make_unique<ReLU>());
+    net.add(std::make_unique<ActQuant>());
+    net.add(std::make_unique<GlobalAvgPool>());
+    net.add(std::make_unique<Linear>(in_ch, num_classes, true, rng));
+    return net;
+}
+
+} // namespace
+
+Network
+servableResNet18(Rng &rng, int base_width, int num_classes)
+{
+    return servableNet({2, 2, 2, 2}, base_width, num_classes, rng);
+}
+
+Network
+servableResNet50(Rng &rng, int base_width, int num_classes)
+{
+    return servableNet({3, 4, 6, 3}, base_width, num_classes, rng);
+}
+
+Network
+servableWideResNet32(Rng &rng, int base_width, int num_classes)
+{
+    return servableNet({5, 5, 5}, base_width * 2, num_classes, rng);
 }
 
 std::vector<NetworkWorkload>

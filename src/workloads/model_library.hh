@@ -9,6 +9,7 @@
 #ifndef TWOINONE_WORKLOADS_MODEL_LIBRARY_HH
 #define TWOINONE_WORKLOADS_MODEL_LIBRARY_HH
 
+#include "nn/network.hh"
 #include "workloads/layer_shape.hh"
 
 namespace twoinone {
@@ -39,6 +40,37 @@ NetworkWorkload preActResNet18Cifar(int batch = 1);
  * order: ResNet-18 (CIFAR), WideResNet-32 (CIFAR), ResNet-18
  * (ImageNet), ResNet-50, VGG-16, AlexNet. */
 std::vector<NetworkWorkload> benchmarkSuite(int batch = 1);
+
+/** @name Servable big-model stand-ins
+ *
+ * The shapes above feed the accelerator simulator; these builders
+ * make the same architectures *runnable* — live Networks echoing each
+ * big model's stage structure (stage count and per-stage block
+ * counts) at a scaled base width, so end-to-end serving, streaming
+ * warm starts, and cache budgets are measured on real forwards
+ * instead of synthetic layer lists. At the default width the
+ * ResNet-50 stand-in carries ~1.4M weights — a code cache across the
+ * rps4to16 candidates runs to tens of MB, big enough that full
+ * hydration vs streaming shows up in peak RSS. Input images are
+ * [3, hw, hw] with hw divisible by 2^(stages-1) (default serving
+ * shape: 32x32).
+ */
+/** @{ */
+
+/** ResNet-18 stage structure (blocks 2-2-2-2). */
+Network servableResNet18(Rng &rng, int base_width = 16,
+                         int num_classes = 100);
+
+/** ResNet-50 stage structure (blocks 3-4-6-3) — the ImageNet-class
+ * headline shape for streaming/budget benchmarks. */
+Network servableResNet50(Rng &rng, int base_width = 16,
+                         int num_classes = 100);
+
+/** WideResNet-32 stage structure (3 stages x 5 blocks, 2x width). */
+Network servableWideResNet32(Rng &rng, int base_width = 16,
+                             int num_classes = 100);
+
+/** @} */
 
 } // namespace workloads
 } // namespace twoinone

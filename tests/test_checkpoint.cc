@@ -18,7 +18,9 @@
 #include <memory>
 
 #include "io/checkpoint.hh"
+#include "nn/loss.hh"
 #include "nn/model_zoo.hh"
+#include "nn/sgd.hh"
 #include "quant/calibration.hh"
 #include "quant/rps_engine.hh"
 #include "serve/session.hh"
@@ -609,6 +611,113 @@ TEST(Session, AttachRestoresPlanRouting)
         EXPECT_TRUE(net.planExecutionEnabled());
     }
     EXPECT_FALSE(net.planExecutionEnabled());
+}
+
+/** Deterministic training fixture shared by the momentum round-trip
+ * tests: a fixed input batch, fixed labels, and N full-precision SGD
+ * steps applied to `net` through `sgd`. */
+void
+trainSteps(Network &net, Sgd &sgd, int steps)
+{
+    Tensor x = makeInput(23, 8);
+    std::vector<int> labels = {0, 1, 2, 3, 0, 1, 2, 3};
+    SoftmaxCrossEntropy loss;
+    net.setPrecision(0);
+    for (int it = 0; it < steps; ++it) {
+        Tensor logits = net.forward(x, true);
+        loss.forward(logits, labels);
+        net.zeroGrad();
+        net.backward(loss.backward());
+        sgd.step(net.parameters());
+        net.zeroGrad();
+    }
+}
+
+void
+expectParamsBitIdentical(Network &a, Network &b)
+{
+    auto pa = a.parameters();
+    auto pb = b.parameters();
+    ASSERT_EQ(pa.size(), pb.size());
+    for (size_t i = 0; i < pa.size(); ++i) {
+        ASSERT_EQ(pa[i]->value.size(), pb[i]->value.size()) << "param " << i;
+        for (size_t t = 0; t < pa[i]->value.size(); ++t)
+            ASSERT_EQ(pa[i]->value[t], pb[i]->value[t])
+                << "param " << i << " elem " << t;
+    }
+}
+
+/** Satellite (a) acceptance: save mid-run with the optimizer, reload,
+ * continue — N further steps match the uninterrupted run bit for bit,
+ * because the format now carries the SGD velocity buffers. */
+TEST(Checkpoint, OptimizerResumeMatchesUninterruptedRun)
+{
+    // Uninterrupted reference: K + M steps in one process.
+    Network ref = makeTinyNet(77);
+    Sgd ref_sgd(0.05f, 0.9f, 5e-4f);
+    trainSteps(ref, ref_sgd, 4);
+
+    // Interrupted twin: K steps, save with the optimizer, reload into
+    // a fresh network + fresh Sgd, then the remaining M steps.
+    Network net = makeTinyNet(77);
+    Sgd sgd(0.05f, 0.9f, 5e-4f);
+    trainSteps(net, sgd, 2);
+
+    std::string path = tmpPath("momentum");
+    checkpoint::SaveOptions opts;
+    opts.optimizer = &sgd;
+    checkpoint::save(path, net, nullptr, opts);
+
+    checkpoint::Checkpoint ckpt = checkpoint::Checkpoint::read(path);
+    ASSERT_TRUE(ckpt.hasOptimizerState());
+    Network resumed = ckpt.instantiate();
+    Sgd sgd2(0.05f, 0.9f, 5e-4f);
+    ckpt.restoreOptimizer(sgd2, resumed);
+
+    trainSteps(resumed, sgd2, 2);
+    trainSteps(net, sgd, 2); // in-process continuation, same result
+
+    expectParamsBitIdentical(net, ref);
+    expectParamsBitIdentical(resumed, ref);
+    std::remove(path.c_str());
+}
+
+/** The control: dropping the velocity (fresh Sgd, no restore) after
+ * the same interruption diverges from the uninterrupted run — the
+ * momentum section is load-bearing, not decorative. */
+TEST(Checkpoint, ResumeWithoutOptimizerStateDiverges)
+{
+    Network ref = makeTinyNet(78);
+    Sgd ref_sgd(0.05f, 0.9f, 0.0f);
+    trainSteps(ref, ref_sgd, 4);
+
+    Network net = makeTinyNet(78);
+    Sgd sgd(0.05f, 0.9f, 0.0f);
+    trainSteps(net, sgd, 2);
+
+    std::string path = tmpPath("momentum_ctrl");
+    checkpoint::save(path, net); // no optimizer in the artifact
+
+    checkpoint::Checkpoint ckpt = checkpoint::Checkpoint::read(path);
+    EXPECT_FALSE(ckpt.hasOptimizerState());
+    Network resumed = ckpt.instantiate();
+    Sgd cold(0.05f, 0.9f, 0.0f); // velocity starts at zero
+    EXPECT_THROW(ckpt.restoreOptimizer(cold, resumed),
+                 io::CheckpointError);
+    trainSteps(resumed, cold, 2);
+
+    auto pa = resumed.parameters();
+    auto pb = ref.parameters();
+    ASSERT_EQ(pa.size(), pb.size());
+    bool differs = false;
+    for (size_t i = 0; i < pa.size() && !differs; ++i)
+        for (size_t t = 0; t < pa[i]->value.size(); ++t)
+            if (pa[i]->value[t] != pb[i]->value[t]) {
+                differs = true;
+                break;
+            }
+    EXPECT_TRUE(differs);
+    std::remove(path.c_str());
 }
 
 } // namespace
